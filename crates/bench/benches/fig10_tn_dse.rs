@@ -1,0 +1,70 @@
+//! **Figure 10** — DianNao design-space exploration over Tn ∈ {4,8,16,32}:
+//! area/power rise with Tn while area efficiency (throughput per area) and
+//! energy per inference are both best at Tn = 16, explaining the original
+//! DianNao choice.
+
+use sns_bench::{headline, standard_model, write_csv};
+use sns_casestudies::diannao::{alexnet_like, simulate_diannao};
+use sns_designs::diannao::{diannao, DianNaoParams};
+use sns_netlist::parse_and_elaborate;
+
+fn main() {
+    headline("Figure 10: DianNao DSE over Tn (int16)");
+    let (model, _) = standard_model();
+    let layers = alexnet_like();
+
+    println!(
+        "\n{:>4} {:>12} {:>10} {:>10} {:>14} {:>14}",
+        "Tn", "area um2", "power mW", "GHz", "infer/s/mm2", "uJ/inference"
+    );
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for tn in [4u32, 8, 16, 32] {
+        let p = DianNaoParams { tn, ..Default::default() };
+        let d = diannao(&p);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).expect("generator output");
+        let perf = simulate_diannao(&p, &layers, &nl);
+        let pred = model.predict_netlist(&nl, Some(&perf.activity));
+        let freq_ghz = 1000.0 / pred.timing_ps;
+        let throughput = perf.throughput(freq_ghz); // inferences/s
+        let area_mm2 = pred.area_um2 / 1e6;
+        let area_eff = throughput / area_mm2;
+        let energy_uj = pred.power_mw * 1e-3 / throughput * 1e6;
+        println!(
+            "{:>4} {:>12.0} {:>10.3} {:>10.2} {:>14.1} {:>14.4}",
+            tn, pred.area_um2, pred.power_mw, freq_ghz, area_eff, energy_uj
+        );
+        rows.push(format!(
+            "{tn},{},{},{freq_ghz},{area_eff},{energy_uj}",
+            pred.area_um2, pred.power_mw
+        ));
+        results.push((tn, pred.area_um2, pred.power_mw, area_eff, energy_uj));
+    }
+
+    // Shape checks from the paper.
+    let areas: Vec<f64> = results.iter().map(|r| r.1).collect();
+    let monotone_area = areas.windows(2).all(|w| w[1] > w[0]);
+    println!(
+        "\nshape: area increases with Tn: {}",
+        if monotone_area { "yes (matches Figure 10a)" } else { "NO" }
+    );
+    let best_eff = results
+        .iter()
+        .max_by(|a, b| a.3.partial_cmp(&b.3).expect("finite"))
+        .expect("nonempty");
+    let best_energy = results
+        .iter()
+        .min_by(|a, b| a.4.partial_cmp(&b.4).expect("finite"))
+        .expect("nonempty");
+    println!(
+        "shape: best area efficiency at Tn={} (paper: 16); lowest energy/inference at Tn={} (paper: 16)",
+        best_eff.0, best_energy.0
+    );
+    println!("(the original DianNao design — the red dot in Figure 10 — chose Tn = 16)");
+
+    write_csv(
+        "fig10_tn_dse.csv",
+        "tn,area_um2,power_mw,freq_ghz,infer_per_s_per_mm2,uj_per_inference",
+        &rows,
+    );
+}

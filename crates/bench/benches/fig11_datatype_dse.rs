@@ -1,0 +1,84 @@
+//! **Figure 11** — DianNao design-space exploration over datatypes:
+//! cheaper datatypes greatly improve area and power efficiency, and
+//! beyond int16 the task accuracy does not improve — which is why the
+//! original DianNao chose int16.
+
+use sns_bench::{headline, standard_model, write_csv};
+use sns_casestudies::diannao::{alexnet_like, classification_accuracy, simulate_diannao};
+use sns_designs::diannao::{diannao, DataType, DianNaoParams};
+use sns_netlist::parse_and_elaborate;
+
+fn main() {
+    headline("Figure 11: DianNao DSE over datatypes (Tn=16)");
+    let (model, _) = standard_model();
+    let layers = alexnet_like();
+
+    println!(
+        "\n{:>6} {:>12} {:>10} {:>14} {:>14} {:>10}",
+        "dtype", "area um2", "power mW", "infer/s/mm2", "uJ/inference", "accuracy"
+    );
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for dt in DataType::ALL {
+        let p = DianNaoParams { tn: 16, datatype: dt, ..Default::default() };
+        let d = diannao(&p);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).expect("generator output");
+        let perf = simulate_diannao(&p, &layers, &nl);
+        let pred = model.predict_netlist(&nl, Some(&perf.activity));
+        let freq_ghz = 1000.0 / pred.timing_ps;
+        let throughput = perf.throughput(freq_ghz);
+        let area_eff = throughput / (pred.area_um2 / 1e6);
+        let energy_uj = pred.power_mw * 1e-3 / throughput * 1e6;
+        let acc = classification_accuracy(dt, 42);
+        println!(
+            "{:>6} {:>12.0} {:>10.3} {:>14.1} {:>14.4} {:>9.1}%",
+            dt.tag(),
+            pred.area_um2,
+            pred.power_mw,
+            area_eff,
+            energy_uj,
+            100.0 * acc
+        );
+        rows.push(format!(
+            "{},{},{},{area_eff},{energy_uj},{acc}",
+            dt.tag(),
+            pred.area_um2,
+            pred.power_mw
+        ));
+        results.push((dt, pred.area_um2, area_eff, acc));
+    }
+
+    // Shape checks from the paper.
+    let area = |dt: DataType| results.iter().find(|r| r.0 == dt).expect("present").1;
+    let acc = |dt: DataType| results.iter().find(|r| r.0 == dt).expect("present").3;
+    println!("\nshape checks:");
+    println!(
+        "  int8 < int16 < fp32 area: {}",
+        if area(DataType::Int8) < area(DataType::Int16)
+            && area(DataType::Int16) < area(DataType::Fp32)
+        {
+            "yes (cheaper datatypes are cheaper hardware)"
+        } else {
+            "NO"
+        }
+    );
+    println!(
+        "  accuracy saturates at int16: int8 {:.1}% < int16 {:.1}% ~= fp32 {:.1}% : {}",
+        100.0 * acc(DataType::Int8),
+        100.0 * acc(DataType::Int16),
+        100.0 * acc(DataType::Fp32),
+        if acc(DataType::Int8) < acc(DataType::Int16)
+            && (acc(DataType::Int16) - acc(DataType::Fp32)).abs() < 0.03
+        {
+            "yes — int16 is optimal, as the original DianNao chose"
+        } else {
+            "NO"
+        }
+    );
+
+    write_csv(
+        "fig11_datatype_dse.csv",
+        "dtype,area_um2,power_mw,infer_per_s_per_mm2,uj_per_inference,accuracy",
+        &rows,
+    );
+}

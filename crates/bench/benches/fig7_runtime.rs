@@ -1,0 +1,82 @@
+//! **Figure 7** — SNS runtime vs. synthesizer runtime per design.
+//!
+//! The baseline is the virtual synthesizer at "DC effort" (a long
+//! timing-closure loop); SNS is the trained model's full prediction flow
+//! (parse → GraphIR → sample → Circuitformer → aggregate). The paper's
+//! absolute 760× does not transfer — our baseline is orders of magnitude
+//! faster than Synopsys DC — but the *shape* (speedup grows with design
+//! size; the 16-core stencil shows the largest gap) is what this bench
+//! reports. See EXPERIMENTS.md.
+
+use std::time::Instant;
+
+use sns_bench::{headline, standard_model, write_csv};
+use sns_designs::{misc, mlaccel, nonlinear, Design};
+use sns_netlist::parse_and_elaborate;
+use sns_vsynth::{SynthOptions, VirtualSynthesizer};
+
+fn dc_effort() -> SynthOptions {
+    SynthOptions { sizing_iterations: 50, ..SynthOptions::default() }
+}
+
+fn main() {
+    headline("Figure 7: SNS runtime vs synthesizer runtime");
+    let (model, dataset) = standard_model();
+
+    // The paper highlights: a small lookup table, an in-order core, and a
+    // large 16-core FP stencil accelerator. Use the catalog plus those
+    // highlights (the large ones are extra, not in the training set).
+    let mut designs: Vec<Design> = dataset.entries.iter().map(|e| e.design.clone()).collect();
+    designs.push(mlaccel::systolic_array(12, 16));
+    designs.push(misc::stencil2d(8, 32));
+    designs.push(misc::stencil2d(16, 32));
+    let highlights = [
+        nonlinear::lut(128, 8).name,
+        "sodor_32".to_string(),
+        misc::stencil2d(16, 32).name,
+    ];
+
+    let synth = VirtualSynthesizer::new(dc_effort());
+    println!(
+        "\n{:<26} {:>10} {:>12} {:>12} {:>9}",
+        "design", "gates", "synth ms", "sns ms", "speedup"
+    );
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    let mut sized: Vec<(u64, f64)> = Vec::new();
+    for d in &designs {
+        let nl = parse_and_elaborate(&d.verilog, &d.top).expect("catalog design");
+        let report = synth.synthesize(&nl);
+        let t0 = Instant::now();
+        let _pred = model.predict_netlist(&nl, None);
+        let sns_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let synth_ms = report.runtime.as_secs_f64() * 1e3;
+        let speedup = synth_ms / sns_ms;
+        speedups.push(speedup);
+        sized.push((report.gate_count, speedup));
+        let mark = if highlights.contains(&d.name) { "  <-- paper highlight" } else { "" };
+        println!(
+            "{:<26} {:>10} {:>12.2} {:>12.2} {:>8.2}x{mark}",
+            d.name, report.gate_count, synth_ms, sns_ms, speedup
+        );
+        rows.push(format!("{},{},{synth_ms},{sns_ms},{speedup}", d.name, report.gate_count));
+    }
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    println!("\naverage speedup: {avg:.1}x (paper, vs Synopsys DC: 760x)");
+
+    // Shape check: speedup should grow with design size.
+    sized.sort_by_key(|&(g, _)| g);
+    let small_avg: f64 =
+        sized[..sized.len() / 3].iter().map(|&(_, s)| s).sum::<f64>() / (sized.len() / 3) as f64;
+    let large_avg: f64 = sized[2 * sized.len() / 3..].iter().map(|&(_, s)| s).sum::<f64>()
+        / (sized.len() - 2 * sized.len() / 3) as f64;
+    println!(
+        "shape: mean speedup small third {small_avg:.2}x vs large third {large_avg:.2}x — {}",
+        if large_avg > small_avg {
+            "larger designs benefit more (matches the paper)"
+        } else {
+            "no size trend at this scale"
+        }
+    );
+    write_csv("fig7_runtime.csv", "design,gates,synth_ms,sns_ms,speedup", &rows);
+}

@@ -1,0 +1,88 @@
+//! **Table 12** — SNS's synthesis prediction for DianNao: the published
+//! 65 nm synthesis result, its Stillmaker–Baas scaling to 15 nm, the SNS
+//! prediction, and (extra) this repo's virtual-synthesizer ground truth.
+
+use sns_bench::{headline, standard_model, write_csv};
+use sns_casestudies::diannao::{alexnet_like, simulate_diannao};
+use sns_core::maep;
+use sns_designs::diannao::{diannao, DianNaoParams};
+use sns_netlist::parse_and_elaborate;
+use sns_vsynth::{scale_area, scale_delay, scale_power, SynthOptions, TechNode, VirtualSynthesizer};
+
+fn main() {
+    headline("Table 12: SNS synthesis prediction for DianNao (Tn=16, int16)");
+    let (model, _) = standard_model();
+
+    // Row 1: the published 65 nm DianNao synthesis result.
+    let (pow65, area65_mm2, t65_ns) = (132.0, 0.846563, 1.02);
+    // Row 2: scaled to the 15 nm node SNS targets.
+    let pow15 = scale_power(pow65, TechNode::N65, TechNode::N15);
+    let area15 = scale_area(area65_mm2, TechNode::N65, TechNode::N15);
+    let t15 = scale_delay(t65_ns, TechNode::N65, TechNode::N15);
+
+    // Row 3: SNS prediction with power gating from the cycle-accurate
+    // performance model (§5.7).
+    let p = DianNaoParams::default(); // Tn = 16, int16 — the published config
+    let d = diannao(&p);
+    let nl = parse_and_elaborate(&d.verilog, &d.top).expect("generator output");
+    let perf = simulate_diannao(&p, &alexnet_like(), &nl);
+    let pred = model.predict_netlist(&nl, Some(&perf.activity));
+
+    // Extra row: this repo's ground truth for the same design.
+    let truth = VirtualSynthesizer::new(SynthOptions {
+        register_activity: Some(perf.activity.clone()),
+        ..SynthOptions::default()
+    })
+    .synthesize(&nl);
+
+    println!("\n|                          | Power (mW) | Area (mm2)  | Timing (ns) |");
+    println!("|--------------------------|------------|-------------|-------------|");
+    println!("| Synthesis result (65nm)  | {pow65:>10.2} | {area65_mm2:>11.6} | {t65_ns:>11.2} |");
+    println!("| Scaled result (15nm)     | {pow15:>10.2} | {area15:>11.6} | {t15:>11.2} |");
+    println!(
+        "| SNS prediction (15nm)    | {:>10.2} | {:>11.6} | {:>11.2} |",
+        pred.power_mw,
+        pred.area_um2 / 1e6,
+        pred.timing_ps / 1e3
+    );
+    println!(
+        "| virtual synth (this repo)| {:>10.2} | {:>11.6} | {:>11.2} |",
+        truth.power_mw,
+        truth.area_um2 / 1e6,
+        truth.timing_ps / 1e3
+    );
+    println!("\n(paper row 2: 65.90 mW, 0.097302 mm2, 0.33 ns — reproduced by the scaling model)");
+    println!("(paper row 3: 59.26 mW, 0.070269 mm2, 0.36 ns — errors of 10.1%, 27.8%, 9.1%)");
+
+    // Our apples-to-apples error: SNS vs this repo's ground truth.
+    let err = [
+        maep(&[pred.power_mw], &[truth.power_mw]),
+        maep(&[pred.area_um2], &[truth.area_um2]),
+        maep(&[pred.timing_ps], &[truth.timing_ps]),
+    ];
+    println!(
+        "\nSNS vs virtual-synthesizer ground truth: power {:.1}%, area {:.1}%, timing {:.1}% error",
+        err[0], err[1], err[2]
+    );
+    println!(
+        "performance model: {} cycles/inference, utilization {:.1}%",
+        perf.cycles,
+        100.0 * perf.utilization
+    );
+
+    write_csv(
+        "table12_diannao.csv",
+        "row,power_mw,area_mm2,timing_ns",
+        &[
+            format!("synthesis_65nm,{pow65},{area65_mm2},{t65_ns}"),
+            format!("scaled_15nm,{pow15},{area15},{t15}"),
+            format!("sns_15nm,{},{},{}", pred.power_mw, pred.area_um2 / 1e6, pred.timing_ps / 1e3),
+            format!(
+                "vsynth_15nm,{},{},{}",
+                truth.power_mw,
+                truth.area_um2 / 1e6,
+                truth.timing_ps / 1e3
+            ),
+        ],
+    );
+}

@@ -1,0 +1,87 @@
+//! **Table 7** — SNS prediction accuracy (RRSE / MAEP) at the 50 % and
+//! 30 % training splits, 2-fold cross-validated, compared against the
+//! D-SAGE reference point. Also writes the Figure 6 scatter data.
+
+use sns_bench::{bench_train_config, headline, labeled_catalog, write_csv};
+use sns_core::eval::{cross_validate, evaluate_split};
+
+fn main() {
+    headline("Table 7: evaluation accuracy (lower is better) + Figure 6 data");
+    let dataset = labeled_catalog();
+    let config = bench_train_config();
+
+    println!("\nrunning 2-fold cross validation (50% split)...");
+    let cv50 = cross_validate(&dataset, &config, 42);
+    println!("running 30%/70% split...");
+    let cv30 = evaluate_split(&dataset, 0.3, &config, 42);
+
+    println!("\n| SNS Prediction Error | 50% train | 30% train | D-SAGE |");
+    println!("|----------------------|-----------|-----------|--------|");
+    println!(
+        "| Timing RRSE          | {:>9.2} | {:>9.2} | 0.83   |  (paper: 0.67 / 0.82)",
+        cv50.rrse[0], cv30.rrse[0]
+    );
+    println!(
+        "| Power  RRSE          | {:>9.2} | {:>9.2} | -      |  (paper: 0.60 / 1.02)",
+        cv50.rrse[2], cv30.rrse[2]
+    );
+    println!(
+        "| Area   RRSE          | {:>9.2} | {:>9.2} | -      |  (paper: 0.22 / 0.26)",
+        cv50.rrse[1], cv30.rrse[1]
+    );
+    println!(
+        "| Timing MAEP          | {:>8.2}% | {:>8.2}% | -      |  (paper: 38.00% / 61.46%)",
+        cv50.maep[0], cv30.maep[0]
+    );
+    println!(
+        "| Power  MAEP          | {:>8.2}% | {:>8.2}% | -      |  (paper: 48.72% / 71.35%)",
+        cv50.maep[2], cv30.maep[2]
+    );
+    println!(
+        "| Area   MAEP          | {:>8.2}% | {:>8.2}% | -      |  (paper: 54.57% / 52.02%)",
+        cv50.maep[1], cv30.maep[1]
+    );
+    println!(
+        "\nheadline mean RRSE (50% split): {:.4}   (paper abstract: 0.4998)",
+        cv50.mean_rrse()
+    );
+
+    // Shape checks the paper's Table 7 exhibits.
+    let mut notes = Vec::new();
+    if cv50.rrse[1] <= cv50.rrse[0] && cv50.rrse[1] <= cv50.rrse[2] {
+        notes.push("area is the easiest target (matches the paper)");
+    }
+    if cv30.rrse[0] >= cv50.rrse[0] {
+        notes.push("timing degrades with less training data (matches the paper)");
+    }
+    for n in notes {
+        println!("  shape: {n}");
+    }
+
+    // Figure 6 scatter artifact (consumed by fig6_accuracy_scatter).
+    let rows: Vec<String> = cv50
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                "{},{},{},{},{},{},{}",
+                p.name, p.truth[0], p.pred[0], p.truth[1], p.pred[1], p.truth[2], p.pred[2]
+            )
+        })
+        .collect();
+    write_csv(
+        "fig6_scatter.csv",
+        "design,timing_truth_ps,timing_pred_ps,area_truth_um2,area_pred_um2,power_truth_mw,power_pred_mw",
+        &rows,
+    );
+    let t7 = vec![
+        format!("timing_rrse,{},{}", cv50.rrse[0], cv30.rrse[0]),
+        format!("power_rrse,{},{}", cv50.rrse[2], cv30.rrse[2]),
+        format!("area_rrse,{},{}", cv50.rrse[1], cv30.rrse[1]),
+        format!("timing_maep,{},{}", cv50.maep[0], cv30.maep[0]),
+        format!("power_maep,{},{}", cv50.maep[2], cv30.maep[2]),
+        format!("area_maep,{},{}", cv50.maep[1], cv30.maep[1]),
+        format!("mean_rrse_50,{},", cv50.mean_rrse()),
+    ];
+    write_csv("table7_accuracy.csv", "metric,split50,split30", &t7);
+}

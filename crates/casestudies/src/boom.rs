@@ -1,0 +1,140 @@
+//! The BOOM design-space exploration (§5.6).
+//!
+//! The paper runs CoreMark on Chipyard's cycle-accurate simulator for each
+//! of the 2592 Table 10 configurations, then scales scores by the
+//! SNS-predicted frequency. Chipyard is not available here, so
+//! [`coremark_score`] is an analytical IPC model that encodes the
+//! first-order microarchitectural effects the paper reports:
+//!
+//! * IPC rises with core width at strongly diminishing returns,
+//! * issue slots beyond ~4× the core width add nothing (the 4-wide core
+//!   is decoder-bound, §5.6 observation 1),
+//! * ROB size and physical registers saturate once they cover the window,
+//! * better branch predictors help modestly on CoreMark,
+//! * CoreMark is not memory intensive, so memory ports barely matter
+//!   (§5.6 observation 3).
+
+use sns_designs::boomlike::{BoomParams, Predictor};
+
+/// Relative CoreMark score (IPC model, frequency-independent). Multiply
+/// by the SNS-predicted frequency to obtain performance as in Figure 8.
+pub fn coremark_score(p: &BoomParams) -> f64 {
+    let w = p.core_width as f64;
+    // Width: strong but sub-linear gains (decoder/dependency limits).
+    let width_factor = w.powf(0.62);
+    // Issue queue: saturates at 4 slots per way.
+    let issue_factor = ((p.issue_slots as f64) / (4.0 * w)).min(1.0).powf(0.28);
+    // ROB: needs ~24 entries per way to cover the window.
+    let rob_factor = ((p.rob_size as f64) / (24.0 * w)).min(1.0).powf(0.22);
+    // Physical registers: beyond the architectural 32, ~16 per way help.
+    let prf_factor = (((p.int_regs as f64) - 32.0) / (16.0 * w)).min(1.0).max(0.1).powf(0.2);
+    // Fetch: needs ~2 instructions per decode way.
+    let fetch_factor = ((p.fetch_width as f64) / (2.0 * w)).min(1.0).powf(0.4);
+    // Branch prediction quality.
+    let bp_factor = match p.predictor {
+        Predictor::TageL => 1.0,
+        Predictor::Alpha21264 => 0.975,
+        Predictor::Boom2 => 0.94,
+    };
+    // CoreMark is not memory bound.
+    let mem_factor = 1.0 + 0.012 * (p.mem_ports as f64 - 1.0);
+    let cache_factor = 1.0 + 0.006 * ((p.dcache_ways as f64) - 4.0) / 4.0;
+    width_factor * issue_factor * rob_factor * prf_factor * fetch_factor * bp_factor
+        * mem_factor
+        * cache_factor
+}
+
+/// One evaluated DSE point.
+#[derive(Debug, Clone)]
+pub struct BoomDsePoint {
+    /// The configuration.
+    pub params: BoomParams,
+    /// Normalized performance (score × frequency, caller-normalized).
+    pub performance: f64,
+    /// Predicted power in mW.
+    pub power_mw: f64,
+    /// Predicted area in µm².
+    pub area_um2: f64,
+    /// Predicted clock period in ps.
+    pub timing_ps: f64,
+}
+
+/// Extracts the Pareto frontier maximizing `value` while minimizing
+/// `cost`. Returns indices into `points`, sorted by cost.
+pub fn pareto_front<T>(
+    points: &[T],
+    value: impl Fn(&T) -> f64,
+    cost: impl Fn(&T) -> f64,
+) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        cost(&points[a]).partial_cmp(&cost(&points[b])).expect("finite costs")
+    });
+    let mut front = Vec::new();
+    let mut best = f64::NEG_INFINITY;
+    for i in order {
+        let v = value(&points[i]);
+        if v > best {
+            best = v;
+            front.push(i);
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> BoomParams {
+        BoomParams::default()
+    }
+
+    #[test]
+    fn wider_cores_are_faster_with_diminishing_returns() {
+        let s1 = coremark_score(&BoomParams { core_width: 1, ..base() });
+        let s2 = coremark_score(&BoomParams { core_width: 2, ..base() });
+        let s4 = coremark_score(&BoomParams { core_width: 4, issue_slots: 16, ..base() });
+        assert!(s2 > s1 && s4 > s2);
+        assert!((s2 / s1) > (s4 / s2), "returns must diminish");
+    }
+
+    #[test]
+    fn issue_slots_saturate_on_a_4_wide_core() {
+        // §5.6 observation 1: 32 slots give no speedup over 16 at width 4.
+        let p16 = BoomParams { core_width: 4, issue_slots: 16, ..base() };
+        let p32 = BoomParams { core_width: 4, issue_slots: 32, ..base() };
+        let s16 = coremark_score(&p16);
+        let s32 = coremark_score(&p32);
+        assert!((s32 - s16).abs() < 1e-9, "{s16} vs {s32}");
+        // But 8 slots do hurt.
+        let p8 = BoomParams { core_width: 4, issue_slots: 8, ..base() };
+        assert!(coremark_score(&p8) < s16);
+    }
+
+    #[test]
+    fn memory_ports_barely_matter() {
+        // §5.6 observation 3.
+        let one = coremark_score(&BoomParams { mem_ports: 1, ..base() });
+        let two = coremark_score(&BoomParams { mem_ports: 2, ..base() });
+        assert!(two > one);
+        assert!((two - one) / one < 0.02);
+    }
+
+    #[test]
+    fn predictor_ordering_matches_quality() {
+        let tage = coremark_score(&BoomParams { predictor: Predictor::TageL, ..base() });
+        let alpha = coremark_score(&BoomParams { predictor: Predictor::Alpha21264, ..base() });
+        let boom2 = coremark_score(&BoomParams { predictor: Predictor::Boom2, ..base() });
+        assert!(tage > alpha && alpha > boom2);
+    }
+
+    #[test]
+    fn pareto_front_is_monotone() {
+        #[derive(Debug)]
+        struct P(f64, f64); // (value, cost)
+        let pts = vec![P(1.0, 1.0), P(2.0, 2.0), P(1.5, 3.0), P(3.0, 4.0), P(2.5, 5.0)];
+        let front = pareto_front(&pts, |p| p.0, |p| p.1);
+        assert_eq!(front, vec![0, 1, 3]);
+    }
+}

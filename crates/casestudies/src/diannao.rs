@@ -1,0 +1,277 @@
+//! The DianNao case study (§5.7): cycle-accurate performance model,
+//! per-register activity coefficients, and the datatype-vs-accuracy
+//! experiment.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use sns_designs::diannao::{DataType, DianNaoParams};
+use sns_netlist::{CellKind, Netlist};
+
+/// One neural-network layer shape for the performance model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerShape {
+    /// Input neurons (fan-in per output, for FC; Cin·K² for conv).
+    pub nin: u32,
+    /// Output neurons.
+    pub nout: u32,
+}
+
+/// An AlexNet-like layer stack (sized for CIFAR-10-scale inputs), used as
+/// the workload in the DianNao experiments.
+pub fn alexnet_like() -> Vec<LayerShape> {
+    vec![
+        LayerShape { nin: 363, nout: 96 },   // conv1: 3*11*11
+        LayerShape { nin: 2400, nout: 256 }, // conv2: 96*5*5
+        LayerShape { nin: 2304, nout: 384 }, // conv3: 256*3*3
+        LayerShape { nin: 3456, nout: 384 }, // conv4
+        LayerShape { nin: 3456, nout: 256 }, // conv5
+        LayerShape { nin: 4096, nout: 1024 },// fc6 (scaled for CIFAR)
+        LayerShape { nin: 1024, nout: 256 }, // fc7
+        LayerShape { nin: 256, nout: 10 },   // fc8
+    ]
+}
+
+/// The result of simulating a workload on a DianNao configuration.
+#[derive(Debug, Clone)]
+pub struct DianNaoPerf {
+    /// Total cycles for one inference.
+    pub cycles: u64,
+    /// Multiply-accumulate operations performed.
+    pub macs: u64,
+    /// Average NFU utilization in [0, 1].
+    pub utilization: f64,
+    /// Per-register activity coefficients (keyed by register cell name),
+    /// ready to feed SNS power gating (§3.4.4) or the virtual
+    /// synthesizer.
+    pub activity: HashMap<String, f32>,
+}
+
+impl DianNaoPerf {
+    /// Inference throughput at a clock frequency (GHz → inferences/s).
+    pub fn throughput(&self, freq_ghz: f64) -> f64 {
+        freq_ghz * 1e9 / self.cycles as f64
+    }
+}
+
+/// Cycle-accurate simulation of `layers` on the DianNao configuration
+/// `p`, plus activity-coefficient extraction for the registers of the
+/// generated design `netlist` (pass the netlist elaborated from
+/// [`sns_designs::diannao::diannao`]).
+pub fn simulate_diannao(
+    p: &DianNaoParams,
+    layers: &[LayerShape],
+    netlist: &Netlist,
+) -> DianNaoPerf {
+    let tn = p.tn as u64;
+    let pipe_fill = p.pipeline_stages as u64;
+    let mut cycles = 0u64;
+    let mut macs = 0u64;
+    let mut busy_mac_slots = 0u64;
+    for l in layers {
+        // Tn output neurons and Tn input neurons are processed per cycle:
+        // ceil(nout/Tn) output groups, each needing ceil(nin/Tn) cycles.
+        let in_steps = (l.nin as u64).div_ceil(tn);
+        let out_steps = (l.nout as u64).div_ceil(tn);
+        let layer_cycles = in_steps * out_steps + pipe_fill;
+        cycles += layer_cycles;
+        macs += l.nin as u64 * l.nout as u64;
+        busy_mac_slots += in_steps * out_steps * tn * tn;
+    }
+    // Utilization: useful MACs over offered MAC slots.
+    let utilization = (macs as f64 / busy_mac_slots.max(1) as f64).min(1.0);
+
+    // Activity coefficients per pipeline region. NFU-1 product registers
+    // toggle with operand churn (high), NFU-2 sums are partially
+    // correlated (medium), NFU-3 activations change once per output
+    // (lower). Idle (fill) cycles reduce everything.
+    let busy_frac = 1.0 - (layers.len() as f64 * pipe_fill as f64) / cycles.max(1) as f64;
+    let a1 = (0.85 * utilization * busy_frac) as f32;
+    let a2 = (0.65 * utilization * busy_frac) as f32;
+    let a3 = (0.40 * utilization * busy_frac) as f32;
+    let mut activity = HashMap::new();
+    for c in netlist.cells() {
+        if c.kind != CellKind::Dff {
+            continue;
+        }
+        let coeff = if c.name.starts_with('p') {
+            a1
+        } else if c.name.starts_with("sum") {
+            a2
+        } else if c.name.starts_with("act") {
+            a3
+        } else {
+            (0.5 * utilization) as f32
+        };
+        activity.insert(c.name.clone(), coeff.clamp(0.005, 1.0));
+    }
+    DianNaoPerf { cycles, macs, utilization, activity }
+}
+
+// ---- datatype vs model accuracy (Figure 11) ----
+
+/// Quantizes a value as datatype `dt` with a fixed-point scale chosen for
+/// a [-8, 8) dynamic range (integers) or by mantissa rounding (floats).
+fn quantize(x: f64, dt: DataType) -> f64 {
+    match dt {
+        DataType::Int8 => {
+            let scale = 127.0 / 8.0;
+            ((x * scale).round() / scale).clamp(-8.0, 8.0 - 1.0 / scale)
+        }
+        DataType::Int16 => {
+            let scale = 32767.0 / 8.0;
+            ((x * scale).round() / scale).clamp(-8.0, 8.0 - 1.0 / scale)
+        }
+        DataType::Fp16 | DataType::Bf16 | DataType::Tf32 | DataType::Fp32 => {
+            let (_, m) = dt.float_fields().expect("float type");
+            if x == 0.0 {
+                return 0.0;
+            }
+            let exp = x.abs().log2().floor();
+            let scale = 2f64.powf(m as f64 - exp);
+            (x * scale).round() / scale
+        }
+    }
+}
+
+/// Measures classification accuracy of a linear classifier evaluated with
+/// weights *and* activations quantized to `dt`.
+///
+/// This is the stand-in for the paper's AlexNet-on-CIFAR-10 sweep: the
+/// task is a synthetic two-class problem with heavy-tailed feature scales
+/// (as real activations have), trained in full precision and evaluated
+/// quantized. It reproduces the paper's Figure 11(b) shape: int8 loses
+/// accuracy, and everything from int16 up is indistinguishable.
+pub fn classification_accuracy(dt: DataType, seed: u64) -> f64 {
+    let dim = 64;
+    let n_train = 600;
+    let n_test = 2000;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Heavy-tailed per-feature scales, as real activations have: a few
+    // large-magnitude features that set the quantizer's dynamic range but
+    // carry almost no class signal, plus many small features that decide
+    // the class in aggregate. int8's coarse step (sized for the large
+    // features) crushes the small ones; int16 and floats keep them.
+    let scales: Vec<f64> =
+        (0..dim).map(|i| if i < 4 { 4.0 } else { 0.12 }).collect();
+    let true_w: Vec<f64> = (0..dim)
+        .map(|i| {
+            if i < 4 {
+                rng.gen_range(-0.05..0.05)
+            } else {
+                rng.gen_range(-1.0f64..1.0)
+            }
+        })
+        .collect();
+    let sample = |rng: &mut StdRng| -> (Vec<f64>, f64) {
+        let x: Vec<f64> =
+            scales.iter().map(|s| s * (rng.gen_range(-1.0f64..1.0))).collect();
+        let score: f64 = x.iter().zip(&true_w).map(|(a, b)| a * b).sum();
+        let noise = rng.gen_range(-0.05f64..0.05);
+        (x, if score + noise > 0.0 { 1.0 } else { -1.0 })
+    };
+    // Train a logistic classifier in full precision.
+    let train: Vec<(Vec<f64>, f64)> = (0..n_train).map(|_| sample(&mut rng)).collect();
+    let mut w = vec![0.0f64; dim];
+    for _ in 0..300 {
+        for (x, y) in &train {
+            let score: f64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
+            let margin = y * score;
+            let g = -y / (1.0 + margin.exp());
+            for (wi, xi) in w.iter_mut().zip(x) {
+                *wi -= 0.05 * (g * xi + 1e-4 * *wi);
+            }
+        }
+    }
+    // Evaluate with quantized weights and activations.
+    let wq: Vec<f64> = w.iter().map(|&v| quantize(v, dt)).collect();
+    let mut correct = 0;
+    for _ in 0..n_test {
+        let (x, y) = sample(&mut rng);
+        let score: f64 =
+            x.iter().zip(&wq).map(|(a, b)| quantize(*a, dt) * b).sum();
+        if (score > 0.0) == (y > 0.0) {
+            correct += 1;
+        }
+    }
+    correct as f64 / n_test as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_designs::diannao::diannao;
+    use sns_netlist::parse_and_elaborate;
+
+    #[test]
+    fn tn16_is_faster_than_tn4() {
+        let layers = alexnet_like();
+        let nl4 = {
+            let d = diannao(&DianNaoParams { tn: 4, ..Default::default() });
+            parse_and_elaborate(&d.verilog, &d.top).unwrap()
+        };
+        let nl16 = {
+            let d = diannao(&DianNaoParams::default());
+            parse_and_elaborate(&d.verilog, &d.top).unwrap()
+        };
+        let p4 = simulate_diannao(&DianNaoParams { tn: 4, ..Default::default() }, &layers, &nl4);
+        let p16 = simulate_diannao(&DianNaoParams::default(), &layers, &nl16);
+        assert!(p16.cycles < p4.cycles / 8, "{} vs {}", p16.cycles, p4.cycles);
+        assert_eq!(p4.macs, p16.macs);
+    }
+
+    #[test]
+    fn utilization_drops_for_oversized_tn() {
+        let tiny_layer = vec![LayerShape { nin: 6, nout: 6 }];
+        let p32 = DianNaoParams { tn: 32, ..Default::default() };
+        let d = diannao(&DianNaoParams { tn: 4, ..Default::default() });
+        let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+        let perf = simulate_diannao(&p32, &tiny_layer, &nl);
+        assert!(perf.utilization < 0.1, "utilization {}", perf.utilization);
+    }
+
+    #[test]
+    fn activity_coefficients_cover_registers_by_region() {
+        let p = DianNaoParams { tn: 4, ..Default::default() };
+        let d = diannao(&p);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+        let perf = simulate_diannao(&p, &alexnet_like(), &nl);
+        assert!(!perf.activity.is_empty());
+        // NFU-1 registers (products) busier than NFU-3 (activations).
+        let a1 = perf.activity.iter().find(|(k, _)| k.starts_with('p')).map(|(_, v)| *v);
+        let a3 = perf.activity.iter().find(|(k, _)| k.starts_with("act")).map(|(_, v)| *v);
+        if let (Some(a1), Some(a3)) = (a1, a3) {
+            assert!(a1 > a3, "NFU-1 {a1} should exceed NFU-3 {a3}");
+        } else {
+            panic!("expected both NFU-1 and NFU-3 registers in the activity map");
+        }
+    }
+
+    #[test]
+    fn figure_11_accuracy_shape() {
+        // int8 visibly worse; int16 and all floats saturate.
+        let acc: Vec<(DataType, f64)> =
+            DataType::ALL.iter().map(|&dt| (dt, classification_accuracy(dt, 42))).collect();
+        let get = |dt: DataType| acc.iter().find(|(d, _)| *d == dt).unwrap().1;
+        let int8 = get(DataType::Int8);
+        let int16 = get(DataType::Int16);
+        let fp32 = get(DataType::Fp32);
+        assert!(int8 < int16 - 0.015, "int8 {int8} should lose accuracy vs int16 {int16}");
+        assert!((int16 - fp32).abs() < 0.02, "int16 {int16} should match fp32 {fp32}");
+        assert!(fp32 > 0.88, "fp32 accuracy {fp32} too low for a sane task");
+    }
+
+    #[test]
+    fn quantization_is_identity_ish_for_fp32() {
+        for &x in &[0.12345, -3.75, 0.0, 7.5] {
+            let q = quantize(x, DataType::Fp32);
+            assert!((q - x).abs() < 1e-6, "{x} -> {q}");
+        }
+        // int8 is coarse.
+        let q = quantize(0.033, DataType::Int8);
+        assert!((q - 0.033).abs() > 1e-4);
+    }
+}

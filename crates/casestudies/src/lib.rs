@@ -1,0 +1,19 @@
+//! # sns-casestudies
+//!
+//! The two case studies of the SNS paper's evaluation:
+//!
+//! * [`boom`] — the RISC-V BOOM design-space exploration (§5.6): the
+//!   2592-point Table 10 grid, an analytical CoreMark performance model,
+//!   and Pareto-selection helpers behind Figure 8 / Table 11.
+//! * [`diannao`] — the DianNao accelerator study (§5.7): a cycle-accurate
+//!   performance model that also produces per-register activity
+//!   coefficients for power gating, the Table 13 DSE grid, and the
+//!   datatype-vs-accuracy experiment behind Figure 11 (a quantization
+//!   study on a synthetic classification task standing in for
+//!   AlexNet/CIFAR-10 — see DESIGN.md).
+
+pub mod boom;
+pub mod diannao;
+
+pub use boom::{coremark_score, pareto_front, BoomDsePoint};
+pub use diannao::{classification_accuracy, simulate_diannao, DianNaoPerf, LayerShape};

@@ -1,0 +1,416 @@
+//! # sns-circuitformer
+//!
+//! The *Circuitformer* (§3.3 of the SNS paper): a lightweight Transformer
+//! that regresses the physical characteristics (timing, area, power) of a
+//! complete circuit path from its token sequence.
+//!
+//! Architecture, following the paper's Table 2:
+//!
+//! | hyperparameter        | Circuitformer |
+//! |-----------------------|---------------|
+//! | vocabulary            | 79 (+1 CLS)   |
+//! | hidden layers         | 2             |
+//! | attention heads       | 2             |
+//! | embedding size        | 128           |
+//! | maximum input size    | 512           |
+//! | total parameters      | ≈ 1.4 M       |
+//!
+//! The model is a pre-LN Transformer encoder with learned positional
+//! embeddings; a CLS token is prepended and its final representation feeds
+//! a small regression head producing the three targets in normalized log
+//! space (see [`LabelScaler`]).
+//!
+//! # Example
+//!
+//! ```rust
+//! use sns_circuitformer::{Circuitformer, CircuitformerConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let model = Circuitformer::new(CircuitformerConfig::fast(), &mut rng);
+//! let out = model.predict_raw(&[3, 40, 44, 9]); // token ids of a path
+//! assert_eq!(out.len(), 3); // timing, area, power (normalized log space)
+//! ```
+
+pub mod scaler;
+pub mod train;
+
+pub use scaler::LabelScaler;
+pub use train::{train, EpochStats, TrainConfig, TrainHistory};
+
+use rand::rngs::StdRng;
+
+use sns_nn::{
+    save_params, load_params, Embedding, Gelu, Grads, LayerNorm, Linear, Mat, ModelState, Param,
+    ParamRegistry,
+};
+
+/// Hyperparameters of the Circuitformer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitformerConfig {
+    /// Vocabulary size *excluding* the CLS token (79 for Table 1).
+    pub vocab: usize,
+    /// Model width (embedding vector size).
+    pub dim: usize,
+    /// Attention heads per layer.
+    pub heads: usize,
+    /// Encoder layers.
+    pub layers: usize,
+    /// Feed-forward inner width.
+    pub ffn_dim: usize,
+    /// Maximum input length (positions in the positional table).
+    pub max_len: usize,
+}
+
+impl CircuitformerConfig {
+    /// The paper's Table 2 configuration (≈ 1.4 M parameters).
+    pub fn paper() -> Self {
+        CircuitformerConfig { vocab: 79, dim: 128, heads: 2, layers: 2, ffn_dim: 2304, max_len: 512 }
+    }
+
+    /// A reduced feed-forward width for fast CI/bench runs. Same depth,
+    /// heads and width — only the FFN inner size shrinks.
+    pub fn fast() -> Self {
+        CircuitformerConfig { ffn_dim: 512, ..CircuitformerConfig::paper() }
+    }
+}
+
+/// One pre-LN encoder block.
+#[derive(Debug, Clone)]
+struct Block {
+    ln1: LayerNorm,
+    attn: sns_nn::MultiHeadAttention,
+    ln2: LayerNorm,
+    ff1: Linear,
+    ff2: Linear,
+}
+
+#[derive(Debug)]
+struct BlockCtx {
+    ln1: sns_nn::LayerNormCtx,
+    attn: sns_nn::AttentionCtx,
+    ln2: sns_nn::LayerNormCtx,
+    ff1: sns_nn::LinearCtx,
+    gelu: sns_nn::act::ActCtx,
+    ff2: sns_nn::LinearCtx,
+}
+
+impl Block {
+    fn new(reg: &mut ParamRegistry, cfg: &CircuitformerConfig, rng: &mut StdRng) -> Self {
+        Block {
+            ln1: LayerNorm::new(reg, cfg.dim),
+            attn: sns_nn::MultiHeadAttention::new(reg, cfg.dim, cfg.heads, rng),
+            ln2: LayerNorm::new(reg, cfg.dim),
+            ff1: Linear::new(reg, cfg.dim, cfg.ffn_dim, rng),
+            ff2: Linear::new(reg, cfg.ffn_dim, cfg.dim, rng),
+        }
+    }
+
+    fn forward(&self, x: &Mat) -> (Mat, BlockCtx) {
+        let (n1, ln1) = self.ln1.forward(x);
+        let (a, attn) = self.attn.forward(&n1);
+        let x1 = x.add(&a);
+        let (n2, ln2) = self.ln2.forward(&x1);
+        let (h, ff1) = self.ff1.forward(&n2);
+        let (g, gelu) = Gelu.forward(&h);
+        let (f, ff2) = self.ff2.forward(&g);
+        let y = x1.add(&f);
+        (y, BlockCtx { ln1, attn, ln2, ff1, gelu, ff2 })
+    }
+
+    fn backward(&self, ctx: &BlockCtx, dy: &Mat, grads: &mut Grads) -> Mat {
+        // y = x1 + ff2(gelu(ff1(ln2(x1))))
+        let dg = self.ff2.backward(&ctx.ff2, dy, grads);
+        let dh = Gelu.backward(&ctx.gelu, &dg);
+        let dn2 = self.ff1.backward(&ctx.ff1, &dh, grads);
+        let dx1_ffn = self.ln2.backward(&ctx.ln2, &dn2, grads);
+        let dx1 = dy.add(&dx1_ffn);
+        // x1 = x + attn(ln1(x))
+        let dn1 = self.attn.backward(&ctx.attn, &dx1, grads);
+        let dx_attn = self.ln1.backward(&ctx.ln1, &dn1, grads);
+        dx1.add(&dx_attn)
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&Param)) {
+        self.ln1.visit(f);
+        self.attn.visit(f);
+        self.ln2.visit(f);
+        self.ff1.visit(f);
+        self.ff2.visit(f);
+    }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.ln1.visit_mut(f);
+        self.attn.visit_mut(f);
+        self.ln2.visit_mut(f);
+        self.ff1.visit_mut(f);
+        self.ff2.visit_mut(f);
+    }
+}
+
+/// The Circuitformer model.
+#[derive(Debug, Clone)]
+pub struct Circuitformer {
+    config: CircuitformerConfig,
+    registry: ParamRegistry,
+    tok: Embedding,
+    pos: Embedding,
+    blocks: Vec<Block>,
+    final_ln: LayerNorm,
+    head1: Linear,
+    head2: Linear,
+}
+
+/// Saved forward state for [`Circuitformer::backward`].
+#[derive(Debug)]
+pub struct ForwardCtx {
+    tok: sns_nn::EmbeddingCtx,
+    pos: sns_nn::EmbeddingCtx,
+    blocks: Vec<BlockCtx>,
+    final_ln: sns_nn::LayerNormCtx,
+    head1: sns_nn::LinearCtx,
+    gelu: sns_nn::act::ActCtx,
+    head2: sns_nn::LinearCtx,
+    seq_len: usize,
+}
+
+impl Circuitformer {
+    /// Builds a freshly initialized model.
+    pub fn new(config: CircuitformerConfig, rng: &mut StdRng) -> Self {
+        let mut reg = ParamRegistry::new();
+        // +1 vocabulary slot for the CLS token (id = config.vocab).
+        let tok = Embedding::new(&mut reg, config.vocab + 1, config.dim, rng);
+        let pos = Embedding::new(&mut reg, config.max_len, config.dim, rng);
+        let blocks = (0..config.layers).map(|_| Block::new(&mut reg, &config, rng)).collect();
+        let final_ln = LayerNorm::new(&mut reg, config.dim);
+        let head1 = Linear::new(&mut reg, config.dim, config.dim, rng);
+        let head2 = Linear::new(&mut reg, config.dim, 3, rng);
+        Circuitformer { config, registry: reg, tok, pos, blocks, final_ln, head1, head2 }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &CircuitformerConfig {
+        &self.config
+    }
+
+    /// The parameter registry (needed to allocate [`Grads`] buffers).
+    pub fn registry(&self) -> &ParamRegistry {
+        &self.registry
+    }
+
+    /// Total scalar parameter count (Table 2's "Total #Parameters").
+    pub fn parameter_count(&self) -> usize {
+        self.registry.scalar_count()
+    }
+
+    /// The CLS token id.
+    pub fn cls_id(&self) -> usize {
+        self.config.vocab
+    }
+
+    /// Full forward pass over a token sequence; returns the three
+    /// normalized-log-space outputs and the backward context.
+    ///
+    /// Sequences longer than `max_len - 1` are truncated (the paper's
+    /// maximum input size is 512; real circuit paths top out around 500).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or contains an id ≥ vocab.
+    pub fn forward(&self, tokens: &[usize]) -> ([f32; 3], ForwardCtx) {
+        assert!(!tokens.is_empty(), "cannot run the Circuitformer on an empty path");
+        let take = tokens.len().min(self.config.max_len - 1);
+        let mut ids = Vec::with_capacity(take + 1);
+        ids.push(self.cls_id());
+        ids.extend_from_slice(&tokens[..take]);
+        let positions: Vec<usize> = (0..ids.len()).collect();
+
+        let (te, tok_ctx) = self.tok.forward(&ids);
+        let (pe, pos_ctx) = self.pos.forward(&positions);
+        let mut x = te.add(&pe);
+        let mut block_ctxs = Vec::with_capacity(self.blocks.len());
+        for b in &self.blocks {
+            let (y, c) = b.forward(&x);
+            x = y;
+            block_ctxs.push(c);
+        }
+        let (n, final_ln) = self.final_ln.forward(&x);
+        let cls = n.rows_slice(0, 1);
+        let (h, head1) = self.head1.forward(&cls);
+        let (g, gelu) = Gelu.forward(&h);
+        let (out, head2) = self.head2.forward(&g);
+        let result = [out.get(0, 0), out.get(0, 1), out.get(0, 2)];
+        (
+            result,
+            ForwardCtx {
+                tok: tok_ctx,
+                pos: pos_ctx,
+                blocks: block_ctxs,
+                final_ln,
+                head1,
+                gelu,
+                head2,
+                seq_len: ids.len(),
+            },
+        )
+    }
+
+    /// Inference-only forward: the three outputs in normalized log space.
+    pub fn predict_raw(&self, tokens: &[usize]) -> [f32; 3] {
+        self.forward(tokens).0
+    }
+
+    /// Backpropagates the output gradient, accumulating into `grads`.
+    pub fn backward(&self, ctx: &ForwardCtx, d_out: [f32; 3], grads: &mut Grads) {
+        let d = Mat::from_rows(&[&d_out]);
+        let dg = self.head2.backward(&ctx.head2, &d, grads);
+        let dh = Gelu.backward(&ctx.gelu, &dg);
+        let dcls = self.head1.backward(&ctx.head1, &dh, grads);
+        // Scatter the CLS gradient into a full-sequence gradient.
+        let mut dn = Mat::zeros(ctx.seq_len, self.config.dim);
+        dn.row_mut(0).copy_from_slice(dcls.row(0));
+        let mut dx = self.final_ln.backward(&ctx.final_ln, &dn, grads);
+        for (b, c) in self.blocks.iter().zip(&ctx.blocks).rev() {
+            dx = b.backward(c, &dx, grads);
+        }
+        self.tok.backward(&ctx.tok, &dx, grads);
+        self.pos.backward(&ctx.pos, &dx, grads);
+    }
+
+    /// Visits all parameters.
+    pub fn visit(&self, f: &mut dyn FnMut(&Param)) {
+        self.tok.visit(f);
+        self.pos.visit(f);
+        for b in &self.blocks {
+            b.visit(f);
+        }
+        self.final_ln.visit(f);
+        self.head1.visit(f);
+        self.head2.visit(f);
+    }
+
+    /// Visits all parameters mutably.
+    pub fn visit_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.tok.visit_mut(f);
+        self.pos.visit_mut(f);
+        for b in &mut self.blocks {
+            b.visit_mut(f);
+        }
+        self.final_ln.visit_mut(f);
+        self.head1.visit_mut(f);
+        self.head2.visit_mut(f);
+    }
+
+    /// Snapshots the parameters.
+    pub fn save(&self) -> ModelState {
+        save_params(|f| self.visit(f))
+    }
+
+    /// Restores parameters from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the snapshot does not match this architecture.
+    pub fn load(&mut self, state: &ModelState) -> Result<(), String> {
+        load_params(state, |f| self.visit_mut(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn model() -> Circuitformer {
+        let mut rng = StdRng::seed_from_u64(7);
+        Circuitformer::new(CircuitformerConfig::fast(), &mut rng)
+    }
+
+    #[test]
+    fn paper_config_matches_table_2() {
+        let cfg = CircuitformerConfig::paper();
+        assert_eq!(cfg.vocab, 79);
+        assert_eq!(cfg.layers, 2);
+        assert_eq!(cfg.heads, 2);
+        assert_eq!(cfg.dim, 128);
+        assert_eq!(cfg.max_len, 512);
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = Circuitformer::new(cfg, &mut rng);
+        let n = m.parameter_count();
+        assert!(
+            (1_300_000..1_500_000).contains(&n),
+            "paper config should be ≈1.4M parameters, got {n}"
+        );
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_finite() {
+        let m = model();
+        let a = m.predict_raw(&[1, 2, 3, 4, 5]);
+        let b = m.predict_raw(&[1, 2, 3, 4, 5]);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn order_changes_the_prediction() {
+        // The §3.3 motivating property: [mul, add] ≠ [add, mul].
+        let m = model();
+        let a = m.predict_raw(&[3, 40, 44, 9]);
+        let b = m.predict_raw(&[3, 44, 40, 9]);
+        assert_ne!(a, b, "Circuitformer must be order-sensitive");
+    }
+
+    #[test]
+    fn long_sequences_are_truncated() {
+        let m = model();
+        let long = vec![5usize; 600];
+        let out = m.predict_raw(&long);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn gradients_flow_to_every_parameter_tensor() {
+        let m = model();
+        let mut grads = Grads::new(m.registry());
+        let (_, ctx) = m.forward(&[1, 2, 3]);
+        m.backward(&ctx, [1.0, -1.0, 0.5], &mut grads);
+        let mut zero_tensors = Vec::new();
+        m.visit(&mut |p| {
+            if grads.get(p.id).norm() == 0.0 {
+                zero_tensors.push(p.name.clone());
+            }
+        });
+        // The positional table only gets gradient at used positions; every
+        // *tensor* should still be nonzero except none.
+        assert!(zero_tensors.is_empty(), "no gradient reached: {zero_tensors:?}");
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_predictions() {
+        let m = model();
+        let state = m.save();
+        let mut rng = StdRng::seed_from_u64(999);
+        let mut m2 = Circuitformer::new(CircuitformerConfig::fast(), &mut rng);
+        assert_ne!(m.predict_raw(&[1, 2, 3]), m2.predict_raw(&[1, 2, 3]));
+        m2.load(&state).unwrap();
+        assert_eq!(m.predict_raw(&[1, 2, 3]), m2.predict_raw(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn load_rejects_wrong_architecture() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut other = Circuitformer::new(
+            CircuitformerConfig { ffn_dim: 256, ..CircuitformerConfig::fast() },
+            &mut rng,
+        );
+        assert!(other.load(&m.save()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty path")]
+    fn empty_path_panics() {
+        let _ = model().predict_raw(&[]);
+    }
+}

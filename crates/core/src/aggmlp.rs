@@ -1,0 +1,190 @@
+//! The Aggregation MLP (§3.4): three fully-connected layers of 32 neurons
+//! that refine an aggregated path statistic plus the design's graph
+//! statistics into the final design-level prediction.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use sns_nn::{Grads, Linear, Mat, Optimizer, Relu, Sgd};
+
+/// One per-target Aggregation MLP (`input → 32 → 32 → 32 → 1`).
+#[derive(Debug, Clone)]
+pub struct AggMlp {
+    registry: sns_nn::ParamRegistry,
+    l1: Linear,
+    l2: Linear,
+    l3: Linear,
+    out: Linear,
+}
+
+/// Training hyperparameters for the MLP (Table 6 row 2: SGD, batch 64,
+/// lr 1e-4, 10240 epochs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpTrainConfig {
+    /// Epochs over the design set.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl MlpTrainConfig {
+    /// The paper's Table 6 schedule.
+    pub fn paper() -> Self {
+        MlpTrainConfig { epochs: 10240, batch_size: 64, lr: 1e-4, momentum: 0.9, seed: 7 }
+    }
+
+    /// A reduced schedule for CI (the design set is tiny, so far fewer
+    /// epochs saturate).
+    pub fn fast() -> Self {
+        MlpTrainConfig { epochs: 600, ..MlpTrainConfig::paper() }
+    }
+}
+
+impl AggMlp {
+    /// Creates an MLP over `input_dim` features.
+    pub fn new(input_dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut reg = sns_nn::ParamRegistry::new();
+        let l1 = Linear::new(&mut reg, input_dim, 32, &mut rng);
+        let l2 = Linear::new(&mut reg, 32, 32, &mut rng);
+        let l3 = Linear::new(&mut reg, 32, 32, &mut rng);
+        let out = Linear::new(&mut reg, 32, 1, &mut rng);
+        AggMlp { registry: reg, l1, l2, l3, out }
+    }
+
+    /// Input feature dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.l1.in_dim()
+    }
+
+    /// Predicts a scalar for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != input_dim()`.
+    pub fn predict(&self, features: &[f32]) -> f32 {
+        let x = Mat::from_rows(&[features]);
+        self.forward(&x).0.get(0, 0)
+    }
+
+    fn forward(
+        &self,
+        x: &Mat,
+    ) -> (Mat, (sns_nn::LinearCtx, sns_nn::act::ActCtx, sns_nn::LinearCtx, sns_nn::act::ActCtx, sns_nn::LinearCtx, sns_nn::act::ActCtx, sns_nn::LinearCtx)) {
+        let (h1, c1) = self.l1.forward(x);
+        let (a1, g1) = Relu.forward(&h1);
+        let (h2, c2) = self.l2.forward(&a1);
+        let (a2, g2) = Relu.forward(&h2);
+        let (h3, c3) = self.l3.forward(&a2);
+        let (a3, g3) = Relu.forward(&h3);
+        let (y, c4) = self.out.forward(&a3);
+        (y, (c1, g1, c2, g2, c3, g3, c4))
+    }
+
+    /// Trains on `(features, target)` pairs with SGD + momentum; returns
+    /// the per-epoch MSE curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or a feature vector has the wrong width.
+    pub fn fit(&mut self, data: &[(Vec<f32>, f32)], config: &MlpTrainConfig) -> Vec<f32> {
+        assert!(!data.is_empty(), "no training data for the Aggregation MLP");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut opt = Sgd::new(config.lr, config.momentum);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut curve = Vec::with_capacity(config.epochs);
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            for batch in order.chunks(config.batch_size) {
+                let rows: Vec<&[f32]> = batch.iter().map(|&i| data[i].0.as_slice()).collect();
+                let x = Mat::from_rows(&rows);
+                let t_rows: Vec<[f32; 1]> = batch.iter().map(|&i| [data[i].1]).collect();
+                let t_refs: Vec<&[f32]> = t_rows.iter().map(|r| r.as_slice()).collect();
+                let t = Mat::from_rows(&t_refs);
+                let (y, ctx) = self.forward(&x);
+                let (loss, dy) = sns_nn::mse_loss(&y, &t);
+                epoch_loss += loss as f64 * batch.len() as f64;
+                let mut grads = Grads::new(&self.registry);
+                let (c1, g1, c2, g2, c3, g3, c4) = &ctx;
+                let d3 = self.out.backward(c4, &dy, &mut grads);
+                let d3 = Relu.backward(g3, &d3);
+                let d2 = self.l3.backward(c3, &d3, &mut grads);
+                let d2 = Relu.backward(g2, &d2);
+                let d1 = self.l2.backward(c2, &d2, &mut grads);
+                let d1 = Relu.backward(g1, &d1);
+                self.l1.backward(c1, &d1, &mut grads);
+                grads.scale(1.0 / batch.len() as f32);
+                opt.step_visit(&grads, |f| {
+                    self.l1.visit_mut(f);
+                    self.l2.visit_mut(f);
+                    self.l3.visit_mut(f);
+                    self.out.visit_mut(f);
+                });
+            }
+            curve.push((epoch_loss / data.len() as f64) as f32);
+        }
+        curve
+    }
+
+    /// Visits all parameters (serialization).
+    pub fn visit(&self, f: &mut dyn FnMut(&sns_nn::Param)) {
+        self.l1.visit(f);
+        self.l2.visit(f);
+        self.l3.visit(f);
+        self.out.visit(f);
+    }
+
+    /// Visits all parameters mutably.
+    pub fn visit_mut(&mut self, f: &mut dyn FnMut(&mut sns_nn::Param)) {
+        self.l1.visit_mut(f);
+        self.l2.visit_mut(f);
+        self.l3.visit_mut(f);
+        self.out.visit_mut(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_has_three_32_neuron_hidden_layers() {
+        let m = AggMlp::new(10, 1);
+        assert_eq!(m.l1.out_dim(), 32);
+        assert_eq!(m.l2.out_dim(), 32);
+        assert_eq!(m.l3.out_dim(), 32);
+        assert_eq!(m.out.out_dim(), 1);
+    }
+
+    #[test]
+    fn fits_a_simple_function() {
+        let mut m = AggMlp::new(2, 3);
+        let data: Vec<(Vec<f32>, f32)> = (0..64)
+            .map(|i| {
+                let a = (i % 8) as f32 / 8.0;
+                let b = (i / 8) as f32 / 8.0;
+                (vec![a, b], 2.0 * a - b + 0.5)
+            })
+            .collect();
+        let cfg = MlpTrainConfig { epochs: 400, batch_size: 16, lr: 1e-2, momentum: 0.9, seed: 1 };
+        let curve = m.fit(&data, &cfg);
+        assert!(curve.last().unwrap() < &0.01, "final loss {:?}", curve.last());
+        assert!((m.predict(&[0.5, 0.5]) - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn paper_config_matches_table_6() {
+        let c = MlpTrainConfig::paper();
+        assert_eq!(c.epochs, 10240);
+        assert_eq!(c.batch_size, 64);
+        assert!((c.lr - 1e-4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,143 @@
+//! 2-fold cross-validated evaluation (§5.2): the machinery behind
+//! Figure 6 and Table 7.
+
+use crate::dataset::HardwareDesignDataset;
+use crate::metrics::{maep, rrse};
+use crate::train::{train_sns_on_labeled, SnsTrainConfig};
+
+use sns_netlist::parse_and_elaborate;
+
+/// One design's point in the Figure 6 scatter plots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScatterPoint {
+    /// Design name.
+    pub name: String,
+    /// Ground truth `[timing_ps, area_um2, power_mw]`.
+    pub truth: [f64; 3],
+    /// SNS prediction `[timing_ps, area_um2, power_mw]`.
+    pub pred: [f64; 3],
+}
+
+/// Cross-validation results: scatter points plus the Table 7 metrics.
+#[derive(Debug, Clone, Default)]
+pub struct CrossValidation {
+    /// One point per evaluated design.
+    pub points: Vec<ScatterPoint>,
+    /// RRSE per target `[timing, area, power]`.
+    pub rrse: [f64; 3],
+    /// MAEP (%) per target.
+    pub maep: [f64; 3],
+}
+
+impl CrossValidation {
+    /// The paper's headline "average RRSE" (mean over the three targets;
+    /// the abstract quotes 0.4998).
+    pub fn mean_rrse(&self) -> f64 {
+        self.rrse.iter().sum::<f64>() / 3.0
+    }
+}
+
+/// Evaluates predictions for `test` designs with a model trained on
+/// `train` designs, appending scatter points.
+fn eval_fold(
+    dataset: &HardwareDesignDataset,
+    train: &[usize],
+    test: &[usize],
+    config: &SnsTrainConfig,
+    points: &mut Vec<ScatterPoint>,
+) {
+    let train_entries = dataset.select(train);
+    let (model, _) = train_sns_on_labeled(&train_entries, config);
+    for &i in test {
+        let e = &dataset.entries[i];
+        let nl = parse_and_elaborate(&e.design.verilog, &e.design.top)
+            .expect("labeled designs elaborate");
+        let p = model.predict_netlist(&nl, None);
+        points.push(ScatterPoint {
+            name: e.design.name.clone(),
+            truth: [e.report.timing_ps, e.report.area_um2, e.report.power_mw],
+            pred: [p.timing_ps, p.area_um2, p.power_mw],
+        });
+    }
+}
+
+/// 2-fold cross validation over a labeled dataset: part A is evaluated by
+/// a model trained on part B and vice versa, exactly as in §5.2.
+pub fn cross_validate(
+    dataset: &HardwareDesignDataset,
+    config: &SnsTrainConfig,
+    seed: u64,
+) -> CrossValidation {
+    let ((a_train, a_test), (b_train, b_test)) = dataset.two_fold(seed);
+    let mut points = Vec::new();
+    eval_fold(dataset, &a_train, &a_test, config, &mut points);
+    eval_fold(dataset, &b_train, &b_test, config, &mut points);
+    summarize(points)
+}
+
+/// Single-split evaluation (e.g. the 30 %/70 % row of Table 7).
+pub fn evaluate_split(
+    dataset: &HardwareDesignDataset,
+    train_frac: f64,
+    config: &SnsTrainConfig,
+    seed: u64,
+) -> CrossValidation {
+    let (train, test) = dataset.split(train_frac, seed);
+    let mut points = Vec::new();
+    eval_fold(dataset, &train, &test, config, &mut points);
+    summarize(points)
+}
+
+fn summarize(points: Vec<ScatterPoint>) -> CrossValidation {
+    let mut cv = CrossValidation { points, ..Default::default() };
+    for d in 0..3 {
+        let pred: Vec<f64> = cv.points.iter().map(|p| p.pred[d]).collect();
+        let truth: Vec<f64> = cv.points.iter().map(|p| p.truth[d]).collect();
+        if !pred.is_empty() {
+            cv.rrse[d] = rrse(&pred, &truth);
+            cv.maep[d] = maep(&pred, &truth);
+        }
+    }
+    cv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::AugmentConfig;
+    use sns_circuitformer::{CircuitformerConfig, TrainConfig};
+    use sns_designs::{dsp, nonlinear, sort, vector};
+    use sns_sampler::SampleConfig;
+    use sns_vsynth::SynthOptions;
+
+    fn tiny_config() -> SnsTrainConfig {
+        let mut c = SnsTrainConfig::fast();
+        c.circuitformer =
+            CircuitformerConfig { dim: 32, ffn_dim: 64, max_len: 64, ..CircuitformerConfig::fast() };
+        c.cf_train = TrainConfig { epochs: 3, batch_size: 32, threads: 2, ..TrainConfig::fast() };
+        c.mlp_train = crate::aggmlp::MlpTrainConfig { epochs: 40, ..crate::aggmlp::MlpTrainConfig::fast() };
+        c.augment = AugmentConfig::none();
+        c.sample = SampleConfig::paper_default().with_max_paths(200);
+        c
+    }
+
+    #[test]
+    fn cross_validation_covers_every_design_once() {
+        let designs = vec![
+            vector::simd_alu(2, 8),
+            nonlinear::piecewise(4, 8),
+            dsp::fir(4, 8),
+            nonlinear::lut(16, 8),
+            sort::radix_sort_stage(4, 8),
+            dsp::conv2d(2, 8),
+        ];
+        let dataset = HardwareDesignDataset::generate(&designs, &SynthOptions::default());
+        let cv = cross_validate(&dataset, &tiny_config(), 11);
+        assert_eq!(cv.points.len(), designs.len());
+        for d in 0..3 {
+            assert!(cv.rrse[d].is_finite(), "dim {d}");
+            assert!(cv.maep[d].is_finite());
+        }
+        assert!(cv.mean_rrse().is_finite());
+    }
+}

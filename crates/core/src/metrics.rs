@@ -1,0 +1,84 @@
+//! Evaluation metrics (§5.1): Root Relative Squared Error and Mean
+//! Absolute Error Percentage.
+
+/// Root Relative Squared Error: RMSE normalized by the standard deviation
+/// of the ground truth. An RRSE of 1.0 means "no better than predicting
+/// the mean"; the paper reports e.g. 0.67 timing RRSE at the 50 % split.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+///
+/// # Example
+///
+/// ```rust
+/// use sns_core::rrse;
+///
+/// // Perfect prediction.
+/// assert_eq!(rrse(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+/// // Predicting the mean gives exactly 1.0.
+/// let truth = [1.0, 2.0, 3.0];
+/// let mean = [2.0, 2.0, 2.0];
+/// assert!((rrse(&mean, &truth) - 1.0).abs() < 1e-12);
+/// ```
+pub fn rrse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+    assert!(!pred.is_empty(), "cannot compute RRSE of nothing");
+    let n = truth.len() as f64;
+    let mean = truth.iter().sum::<f64>() / n;
+    let num: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
+    let den: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if den == 0.0 {
+        return if num == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    (num / den).sqrt()
+}
+
+/// Mean Absolute Error Percentage: `mean(|pred - truth| / |truth|) × 100`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn maep(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+    assert!(!pred.is_empty(), "cannot compute MAEP of nothing");
+    let mut total = 0.0;
+    for (p, t) in pred.iter().zip(truth) {
+        let denom = t.abs().max(1e-12);
+        total += (p - t).abs() / denom;
+    }
+    100.0 * total / pred.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rrse_of_scaled_noise_behaves() {
+        let truth: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let slightly_off: Vec<f64> = truth.iter().map(|t| t + 1.0).collect();
+        let way_off: Vec<f64> = truth.iter().map(|t| t * 2.0).collect();
+        assert!(rrse(&slightly_off, &truth) < rrse(&way_off, &truth));
+        assert!(rrse(&slightly_off, &truth) < 0.1);
+    }
+
+    #[test]
+    fn maep_is_a_percentage() {
+        assert!((maep(&[110.0], &[100.0]) - 10.0).abs() < 1e-9);
+        assert!((maep(&[90.0, 110.0], &[100.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert_eq!(maep(&[5.0], &[5.0]), 0.0);
+    }
+
+    #[test]
+    fn rrse_constant_truth_edge_case() {
+        assert_eq!(rrse(&[2.0, 2.0], &[2.0, 2.0]), 0.0);
+        assert!(rrse(&[1.0, 3.0], &[2.0, 2.0]).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = rrse(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Saving and loading trained SNS models (serde/JSON).
+
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sns_circuitformer::{Circuitformer, CircuitformerConfig, LabelScaler};
+use sns_graphir::Vocab;
+use sns_nn::{load_params, save_params, ModelState};
+use sns_sampler::SampleConfig;
+
+use crate::aggmlp::AggMlp;
+use crate::predictor::SnsModel;
+
+/// The serialized form of a trained model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedModel {
+    vocab: usize,
+    dim: usize,
+    heads: usize,
+    layers: usize,
+    ffn_dim: usize,
+    max_len: usize,
+    sample_k: u32,
+    sample_max_paths: usize,
+    sample_max_len: usize,
+    sample_seed: u64,
+    circuitformer: ModelState,
+    path_scaler: LabelScaler,
+    design_scaler: LabelScaler,
+    corr_scaler: LabelScaler,
+    mlps: Vec<ModelState>,
+}
+
+/// Serializes a trained model to JSON at `path`.
+///
+/// # Errors
+///
+/// Returns an I/O or serialization error message.
+pub fn save_model(model: &SnsModel, path: impl AsRef<Path>) -> Result<(), String> {
+    let cfg = model.circuitformer().config().clone();
+    let sample = model.sample_config();
+    let saved = SavedModel {
+        vocab: cfg.vocab,
+        dim: cfg.dim,
+        heads: cfg.heads,
+        layers: cfg.layers,
+        ffn_dim: cfg.ffn_dim,
+        max_len: cfg.max_len,
+        sample_k: sample.k,
+        sample_max_paths: sample.max_paths,
+        sample_max_len: sample.max_len,
+        sample_seed: sample.seed,
+        circuitformer: model.circuitformer.save(),
+        path_scaler: model.path_scaler.clone(),
+        design_scaler: model.design_scaler.clone(),
+        corr_scaler: model.corr_scaler.clone(),
+        mlps: model.mlps.iter().map(|m| save_params(|f| m.visit(f))).collect(),
+    };
+    let json = serde_json::to_string(&saved).map_err(|e| e.to_string())?;
+    fs::write(path, json).map_err(|e| e.to_string())
+}
+
+/// Loads a model serialized by [`save_model`].
+///
+/// # Errors
+///
+/// Returns an I/O, parse, or shape-mismatch error message.
+pub fn load_model(path: impl AsRef<Path>) -> Result<SnsModel, String> {
+    let json = fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let saved: SavedModel = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    let cfg = CircuitformerConfig {
+        vocab: saved.vocab,
+        dim: saved.dim,
+        heads: saved.heads,
+        layers: saved.layers,
+        ffn_dim: saved.ffn_dim,
+        max_len: saved.max_len,
+    };
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut circuitformer = Circuitformer::new(cfg, &mut rng);
+    circuitformer.load(&saved.circuitformer)?;
+    if saved.mlps.len() != 3 {
+        return Err(format!("expected 3 MLP states, found {}", saved.mlps.len()));
+    }
+    let vocab = Vocab::new();
+    let mut mlps = [
+        AggMlp::new(5 + vocab.len(), 0),
+        AggMlp::new(5 + vocab.len(), 0),
+        AggMlp::new(5 + vocab.len(), 0),
+    ];
+    for (m, state) in mlps.iter_mut().zip(&saved.mlps) {
+        load_params(state, |f| m.visit_mut(f))?;
+    }
+    let sample = SampleConfig {
+        k: saved.sample_k,
+        max_paths: saved.sample_max_paths,
+        max_len: saved.sample_max_len,
+        seed: saved.sample_seed,
+        dedup: true,
+    };
+    Ok(SnsModel {
+        circuitformer,
+        path_scaler: saved.path_scaler,
+        design_scaler: saved.design_scaler,
+        corr_scaler: saved.corr_scaler,
+        mlps,
+        sample,
+        vocab,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::AugmentConfig;
+    use crate::train::{train_sns, SnsTrainConfig};
+    use sns_circuitformer::TrainConfig;
+    use sns_designs::{nonlinear, vector};
+
+    #[test]
+    fn save_load_round_trip_preserves_predictions() {
+        let designs = vec![vector::simd_alu(2, 8), nonlinear::piecewise(4, 8)];
+        let mut cfg = SnsTrainConfig::fast();
+        cfg.circuitformer = CircuitformerConfig {
+            dim: 32,
+            ffn_dim: 64,
+            max_len: 64,
+            ..CircuitformerConfig::fast()
+        };
+        cfg.cf_train = TrainConfig { epochs: 2, batch_size: 32, threads: 1, ..TrainConfig::fast() };
+        cfg.mlp_train = crate::aggmlp::MlpTrainConfig { epochs: 20, ..crate::aggmlp::MlpTrainConfig::fast() };
+        cfg.augment = AugmentConfig::none();
+        let (model, _) = train_sns(&designs, &cfg);
+        let before = model.predict_verilog(&designs[0].verilog, &designs[0].top).unwrap();
+
+        let dir = std::env::temp_dir().join("sns_model_test.json");
+        save_model(&model, &dir).unwrap();
+        let loaded = load_model(&dir).unwrap();
+        let after = loaded.predict_verilog(&designs[0].verilog, &designs[0].top).unwrap();
+        assert_eq!(before.timing_ps, after.timing_ps);
+        assert_eq!(before.area_um2, after.area_um2);
+        assert_eq!(before.power_mw, after.power_mw);
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("sns_model_garbage.json");
+        std::fs::write(&dir, "{not json").unwrap();
+        assert!(load_model(&dir).is_err());
+        let _ = std::fs::remove_file(dir);
+    }
+}

@@ -1,0 +1,222 @@
+//! The trained SNS model and its prediction flow (§3, Figure 1).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use sns_circuitformer::{Circuitformer, LabelScaler};
+use sns_graphir::{GraphIr, Vocab};
+use sns_netlist::{Netlist, NetlistError};
+use sns_sampler::{CircuitPath, PathSampler, SampleConfig};
+
+use crate::aggmlp::AggMlp;
+
+/// Default activity assumed for paths starting at I/O ports when the user
+/// supplies per-register activity coefficients (§3.4.4).
+const IO_PATH_ACTIVITY: f32 = 0.5;
+
+/// The output of one SNS prediction — the fast analogue of a synthesis
+/// report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPrediction {
+    /// Predicted minimum clock period in ps.
+    pub timing_ps: f64,
+    /// Predicted cell area in µm².
+    pub area_um2: f64,
+    /// Predicted total power in mW.
+    pub power_mw: f64,
+    /// Number of complete circuit paths sampled.
+    pub path_count: usize,
+    /// The predicted critical path as vertex names — SNS keeps path
+    /// provenance, so the critical path is located in the design (§2.2).
+    pub critical_path: Vec<String>,
+    /// Wall-clock time of the whole prediction.
+    pub runtime: Duration,
+}
+
+/// A fully trained SNS model: Circuitformer + scalers + the three
+/// Aggregation MLPs + the sampling configuration it was trained with.
+#[derive(Debug, Clone)]
+pub struct SnsModel {
+    pub(crate) circuitformer: Circuitformer,
+    pub(crate) path_scaler: LabelScaler,
+    pub(crate) design_scaler: LabelScaler,
+    /// Scaler over the correction ratios `label / aggregate` the MLPs
+    /// predict in (§3.4 refinement, reparameterized so that a zero MLP
+    /// output already yields a proportional estimate).
+    pub(crate) corr_scaler: LabelScaler,
+    /// Per-target MLPs: `[timing, area, power]`.
+    pub(crate) mlps: [AggMlp; 3],
+    pub(crate) sample: SampleConfig,
+    pub(crate) vocab: Vocab,
+}
+
+impl SnsModel {
+    /// The Circuitformer inside this model.
+    pub fn circuitformer(&self) -> &Circuitformer {
+        &self.circuitformer
+    }
+
+    /// The sampling configuration used at inference time.
+    pub fn sample_config(&self) -> &SampleConfig {
+        &self.sample
+    }
+
+    /// Predicts the raw `[timing, area, power]` of a single path given as
+    /// vocabulary token ids.
+    pub fn predict_path(&self, tokens: &[usize]) -> [f64; 3] {
+        let z = self.circuitformer.predict_raw(tokens);
+        self.path_scaler.inverse(z)
+    }
+
+    /// Full prediction from Verilog source (parse → GraphIR → sample →
+    /// Circuitformer → aggregate).
+    ///
+    /// # Errors
+    ///
+    /// Returns the front-end error if the source does not parse or
+    /// elaborate.
+    pub fn predict_verilog(&self, source: &str, top: &str) -> Result<DesignPrediction, NetlistError> {
+        let nl = sns_netlist::parse_and_elaborate(source, top)?;
+        Ok(self.predict_netlist(&nl, None))
+    }
+
+    /// Full prediction from an elaborated netlist, optionally with
+    /// per-register activity coefficients for power gating (§3.4.4).
+    pub fn predict_netlist(
+        &self,
+        netlist: &Netlist,
+        activity: Option<&HashMap<String, f32>>,
+    ) -> DesignPrediction {
+        let start = Instant::now();
+        let graph = GraphIr::from_netlist(netlist);
+        let paths = PathSampler::new(self.sample.clone()).sample(&graph);
+        self.aggregate(&graph, &paths, activity, start)
+    }
+
+    /// The path-level reductions of §3.4 (max timing, summed area,
+    /// activity-scaled summed power), before MLP refinement. Returns the
+    /// raw aggregates and the critical path's vertex names.
+    pub fn path_aggregates(
+        &self,
+        graph: &GraphIr,
+        paths: &[CircuitPath],
+        activity: Option<&HashMap<String, f32>>,
+    ) -> ([f64; 3], Vec<String>) {
+        let mut timing_max = 0.0f64;
+        let mut area_sum = 0.0f64;
+        let mut power_sum = 0.0f64;
+        let mut critical: Vec<String> = Vec::new();
+        // Regular designs sample many identical token sequences (every PE
+        // of a systolic array yields the same path); one Circuitformer
+        // call per *unique* sequence keeps inference fast.
+        let mut cache: HashMap<Vec<usize>, [f64; 3]> = HashMap::new();
+        for p in paths {
+            let tokens = p.token_ids(graph, &self.vocab);
+            let raw = *cache
+                .entry(tokens)
+                .or_insert_with_key(|t| self.predict_path(t));
+            if raw[0] > timing_max {
+                timing_max = raw[0];
+                critical = p.vertices().iter().map(|&v| graph.vertex(v).name.clone()).collect();
+            }
+            area_sum += raw[1];
+            // Power gating: scale each path's power by the activity
+            // coefficient of its source register, then sum (§3.4.4).
+            let coeff = match activity {
+                None => 1.0,
+                Some(map) => {
+                    let src = graph.vertex(p.vertices()[0]);
+                    if src.vertex.vtype == sns_graphir::VocabType::Dff {
+                        map.get(&src.name).copied().unwrap_or(1.0)
+                    } else {
+                        IO_PATH_ACTIVITY
+                    }
+                }
+            };
+            power_sum += raw[2] * coeff as f64;
+        }
+        ([timing_max.max(1e-3), area_sum.max(1e-6), power_sum.max(1e-9)], critical)
+    }
+
+    /// The full aggregation step (reductions + MLP refinement), exposed
+    /// for tests and ablations.
+    pub fn aggregate(
+        &self,
+        graph: &GraphIr,
+        paths: &[CircuitPath],
+        activity: Option<&HashMap<String, f32>>,
+        start: Instant,
+    ) -> DesignPrediction {
+        let (aggregates, critical) = self.path_aggregates(graph, paths, activity);
+        let stats = graph.stats(&self.vocab);
+        let mut out = [0.0f64; 3];
+        for d in 0..3 {
+            let features = self.features(d, aggregates, paths.len(), &stats);
+            let z = self.mlps[d].predict(&features);
+            // The MLP predicts the (normalized log) correction ratio to
+            // the path aggregate, not the absolute label.
+            let ratio = self.corr_scaler.inverse_dim(d, z);
+            out[d] = aggregates[d] * ratio;
+        }
+        DesignPrediction {
+            timing_ps: out[0],
+            area_um2: out[1],
+            power_mw: out[2],
+            path_count: paths.len(),
+            critical_path: critical,
+            runtime: start.elapsed(),
+        }
+    }
+
+    /// Ranks the `n` slowest predicted paths — §2.2's "knowing both the
+    /// length and location of the critical path": each entry is the
+    /// predicted path delay (ps) plus the named vertices along the path.
+    pub fn critical_paths(
+        &self,
+        graph: &GraphIr,
+        paths: &[CircuitPath],
+        n: usize,
+    ) -> Vec<(f64, Vec<String>)> {
+        let mut cache: HashMap<Vec<usize>, [f64; 3]> = HashMap::new();
+        let mut ranked: Vec<(f64, Vec<String>)> = paths
+            .iter()
+            .map(|p| {
+                let tokens = p.token_ids(graph, &self.vocab);
+                let raw = *cache.entry(tokens).or_insert_with_key(|t| self.predict_path(t));
+                let names =
+                    p.vertices().iter().map(|&v| graph.vertex(v).name.clone()).collect();
+                (raw[0], names)
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite predictions"));
+        ranked.truncate(n);
+        ranked
+    }
+
+    /// Builds the Aggregation-MLP feature vector for target `dim`: the
+    /// target's own normalized log aggregate first, then all three
+    /// aggregates (timing/area/power reductions are strongly correlated,
+    /// so each MLP benefits from seeing the others), the log path count,
+    /// and the 79 graph-statistic features of Figure 2(c).
+    pub fn features(
+        &self,
+        dim: usize,
+        aggregates: [f64; 3],
+        path_count: usize,
+        stats: &sns_graphir::GraphStats,
+    ) -> Vec<f32> {
+        let mut f = Vec::with_capacity(5 + self.vocab.len());
+        f.push(self.design_scaler.transform_dim(dim, aggregates[dim]));
+        for d in 0..3 {
+            f.push(self.design_scaler.transform_dim(d, aggregates[d]));
+        }
+        f.push((path_count as f32).ln_1p());
+        f.extend(stats.to_features());
+        f
+    }
+
+    /// The feature dimensionality of the Aggregation MLPs.
+    pub fn feature_dim(&self) -> usize {
+        5 + self.vocab.len()
+    }
+}

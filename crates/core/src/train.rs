@@ -1,0 +1,327 @@
+//! The SNS training flow (§4, Figure 4).
+//!
+//! 1. Label designs with the virtual synthesizer (Hardware Design
+//!    Dataset).
+//! 2. Sample complete circuit paths from the training designs, label
+//!    them, and augment with Markov-chain and SeqGAN paths (Circuit Path
+//!    Dataset).
+//! 3. Train the Circuitformer on the path dataset.
+//! 4. Run the trained Circuitformer over each training design, aggregate
+//!    per-design features, and train the three Aggregation MLPs against
+//!    the design labels.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sns_circuitformer::{
+    train as cf_train, Circuitformer, CircuitformerConfig, LabelScaler, TrainConfig, TrainHistory,
+};
+use sns_designs::Design;
+use sns_graphir::{GraphIr, Vocab};
+use sns_netlist::parse_and_elaborate;
+use sns_sampler::{PathSampler, SampleConfig};
+use sns_vsynth::SynthOptions;
+
+use crate::aggmlp::{AggMlp, MlpTrainConfig};
+use crate::dataset::{AugmentConfig, CircuitPathDataset, HardwareDesignDataset, LabeledDesign};
+use crate::predictor::SnsModel;
+
+/// Configuration of the full SNS training flow.
+#[derive(Debug, Clone)]
+pub struct SnsTrainConfig {
+    /// Path sampling (Algorithm 1) configuration; the paper uses k = 5.
+    pub sample: SampleConfig,
+    /// Path-dataset augmentation (§4.2).
+    pub augment: AugmentConfig,
+    /// Circuitformer architecture (Table 2).
+    pub circuitformer: CircuitformerConfig,
+    /// Circuitformer optimization (Table 6 row 1).
+    pub cf_train: TrainConfig,
+    /// Aggregation-MLP optimization (Table 6 row 2).
+    pub mlp_train: MlpTrainConfig,
+    /// Virtual synthesizer options for label generation.
+    pub synth: SynthOptions,
+    /// Upper bound on the number of paths used to train the Circuitformer
+    /// (a random subsample; the full set still fits the label scaler and
+    /// drives feature aggregation). Large designs sample tens of thousands
+    /// of unique paths, far more than the regressor needs per epoch.
+    pub cf_path_cap: usize,
+    /// Validation fraction of the path dataset (for the Figure 5 curves).
+    pub val_frac: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl SnsTrainConfig {
+    /// The paper's full-scale configuration (Tables 2 and 6).
+    pub fn paper() -> Self {
+        SnsTrainConfig {
+            sample: SampleConfig::paper_default(),
+            augment: AugmentConfig::paper(),
+            circuitformer: CircuitformerConfig::paper(),
+            cf_train: TrainConfig::paper(),
+            mlp_train: MlpTrainConfig::paper(),
+            synth: SynthOptions::default(),
+            cf_path_cap: usize::MAX,
+            val_frac: 0.1,
+            seed: 0x535E5,
+        }
+    }
+
+    /// A reduced configuration for CI and quick experiments: the same
+    /// pipeline and model shapes, smaller schedules.
+    pub fn fast() -> Self {
+        SnsTrainConfig {
+            augment: AugmentConfig::fast(),
+            circuitformer: CircuitformerConfig::fast(),
+            cf_train: TrainConfig::fast(),
+            mlp_train: MlpTrainConfig::fast(),
+            cf_path_cap: 2000,
+            ..SnsTrainConfig::paper()
+        }
+    }
+}
+
+/// Artifacts and diagnostics of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Total labeled paths (direct + generated).
+    pub path_dataset_size: usize,
+    /// Directly sampled paths (the paper obtained 684).
+    pub direct_paths: usize,
+    /// Markov-generated paths (~1000 in the paper).
+    pub markov_paths: usize,
+    /// SeqGAN-generated paths (~3000 in the paper).
+    pub seqgan_paths: usize,
+    /// Circuitformer loss curves (Figure 5 data).
+    pub cf_history: TrainHistory,
+    /// Aggregation-MLP loss curves, `[timing, area, power]`.
+    pub mlp_curves: [Vec<f32>; 3],
+    /// Number of training designs.
+    pub design_count: usize,
+}
+
+/// Trains SNS end-to-end on `designs` (labels them first). Returns the
+/// trained model and the training report.
+///
+/// # Panics
+///
+/// Panics if `designs` is empty or any design fails to elaborate.
+pub fn train_sns(designs: &[Design], config: &SnsTrainConfig) -> (SnsModel, TrainReport) {
+    assert!(!designs.is_empty(), "no training designs");
+    let labeled = HardwareDesignDataset::generate(designs, &config.synth);
+    let refs: Vec<&LabeledDesign> = labeled.entries.iter().collect();
+    train_sns_on_labeled(&refs, config)
+}
+
+/// Trains SNS on pre-labeled designs (used by cross-validation, which
+/// labels once and trains per fold).
+///
+/// # Panics
+///
+/// Panics if `entries` is empty.
+pub fn train_sns_on_labeled(
+    entries: &[&LabeledDesign],
+    config: &SnsTrainConfig,
+) -> (SnsModel, TrainReport) {
+    assert!(!entries.is_empty(), "no labeled training designs");
+    let vocab = Vocab::new();
+
+    // ---- Circuit Path Dataset (§4.2) ----
+    let design_refs: Vec<&Design> = entries.iter().map(|e| &e.design).collect();
+    let paths = CircuitPathDataset::build(
+        &design_refs,
+        &config.sample,
+        &config.augment,
+        &config.synth.library,
+    );
+    assert!(!paths.is_empty(), "path sampling produced no paths");
+
+    // ---- Circuitformer (§3.3) ----
+    let path_scaler = LabelScaler::fit(
+        &paths.examples.iter().map(|(_, l)| *l).collect::<Vec<_>>(),
+    );
+    let examples: Vec<(Vec<usize>, [f32; 3])> = paths
+        .examples
+        .iter()
+        .map(|(ids, l)| (ids.clone(), path_scaler.transform(*l)))
+        .collect();
+    let (mut train_idx, val_idx) = paths.train_val_split(config.val_frac, config.seed);
+    // Cap the regressor's training set (the full set still fits the
+    // scaler and the aggregation features).
+    if train_idx.len() > config.cf_path_cap {
+        use rand::seq::SliceRandom as _;
+        let mut cap_rng = StdRng::seed_from_u64(config.seed ^ 0xCAF);
+        train_idx.shuffle(&mut cap_rng);
+        train_idx.truncate(config.cf_path_cap);
+    }
+    let train_set: Vec<_> = train_idx.iter().map(|&i| examples[i].clone()).collect();
+    let val_set: Vec<_> = val_idx.iter().map(|&i| examples[i].clone()).collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut circuitformer = Circuitformer::new(config.circuitformer.clone(), &mut rng);
+    let cf_history = cf_train(&mut circuitformer, &train_set, &val_set, &config.cf_train);
+
+    // ---- Aggregation MLPs (§3.4) ----
+    let design_labels: Vec<[f64; 3]> = entries
+        .iter()
+        .map(|e| [e.report.timing_ps, e.report.area_um2, e.report.power_mw])
+        .collect();
+    let design_scaler = LabelScaler::fit(&design_labels);
+    // Correction-ratio scaler is fitted below once aggregates exist; start
+    // with a placeholder fitted on unit ratios.
+    let corr_scaler = LabelScaler::fit(&[[1.0, 1.0, 1.0], [1.0, 1.0, 1.0]]);
+    let mlps = [
+        AggMlp::new(5 + vocab.len(), config.seed ^ 1),
+        AggMlp::new(5 + vocab.len(), config.seed ^ 2),
+        AggMlp::new(5 + vocab.len(), config.seed ^ 3),
+    ];
+    let mut model = SnsModel {
+        circuitformer,
+        path_scaler,
+        design_scaler,
+        corr_scaler,
+        mlps,
+        sample: config.sample.clone(),
+        vocab,
+    };
+
+    // Per-design features from the trained Circuitformer.
+    let sampler = PathSampler::new(config.sample.clone());
+    let mut per_design: Vec<([f64; 3], usize, sns_graphir::GraphStats)> = Vec::new();
+    for e in entries.iter() {
+        let nl = parse_and_elaborate(&e.design.verilog, &e.design.top)
+            .unwrap_or_else(|err| panic!("design `{}`: {err}", e.design.name));
+        let graph = GraphIr::from_netlist(&nl);
+        let paths = sampler.sample(&graph);
+        let stats = graph.stats(&model.vocab);
+        let mut timing_max = 0.0f64;
+        let mut area_sum = 0.0f64;
+        let mut power_sum = 0.0f64;
+        let mut cache: std::collections::HashMap<Vec<usize>, [f64; 3]> =
+            std::collections::HashMap::new();
+        for p in &paths {
+            let tokens = p.token_ids(&graph, &model.vocab);
+            let raw = *cache.entry(tokens).or_insert_with_key(|t| model.predict_path(t));
+            timing_max = timing_max.max(raw[0]);
+            area_sum += raw[1];
+            power_sum += raw[2];
+        }
+        let aggs = [timing_max.max(1e-3), area_sum.max(1e-6), power_sum.max(1e-9)];
+        per_design.push((aggs, paths.len(), stats));
+    }
+    // Fit the correction-ratio scaler on label/aggregate ratios, then
+    // build the MLP training sets in that space.
+    let ratios: Vec<[f64; 3]> = per_design
+        .iter()
+        .zip(&design_labels)
+        .map(|((aggs, _, _), label)| {
+            [label[0] / aggs[0], label[1] / aggs[1], label[2] / aggs[2]]
+        })
+        .collect();
+    model.corr_scaler = LabelScaler::fit(&ratios);
+    let mut feature_sets: [Vec<(Vec<f32>, f32)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for ((aggs, n_paths, stats), ratio) in per_design.iter().zip(&ratios) {
+        for d in 0..3 {
+            let f = model.features(d, *aggs, *n_paths, stats);
+            let target = model.corr_scaler.transform_dim(d, ratio[d]);
+            feature_sets[d].push((f, target));
+        }
+    }
+    let mut mlp_curves: [Vec<f32>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for d in 0..3 {
+        mlp_curves[d] = model.mlps[d].fit(&feature_sets[d], &config.mlp_train);
+    }
+
+    let report = TrainReport {
+        path_dataset_size: paths.len(),
+        direct_paths: paths.direct_count,
+        markov_paths: paths.markov_count,
+        seqgan_paths: paths.seqgan_count,
+        cf_history,
+        mlp_curves,
+        design_count: entries.len(),
+    };
+    (model, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_designs::{dsp, nonlinear, vector};
+
+    fn tiny_config() -> SnsTrainConfig {
+        let mut c = SnsTrainConfig::fast();
+        c.circuitformer =
+            CircuitformerConfig { dim: 32, ffn_dim: 64, max_len: 64, ..CircuitformerConfig::fast() };
+        c.cf_train = TrainConfig { epochs: 4, batch_size: 32, threads: 2, ..TrainConfig::fast() };
+        c.mlp_train = MlpTrainConfig { epochs: 50, ..MlpTrainConfig::fast() };
+        c.augment = AugmentConfig::none();
+        c.sample = SampleConfig::paper_default().with_max_paths(300);
+        c
+    }
+
+    fn tiny_designs() -> Vec<Design> {
+        vec![
+            vector::simd_alu(2, 8),
+            nonlinear::piecewise(4, 8),
+            dsp::fir(4, 8),
+            nonlinear::lut(16, 8),
+        ]
+    }
+
+    #[test]
+    fn end_to_end_training_produces_a_usable_model() {
+        let designs = tiny_designs();
+        let (model, report) = train_sns(&designs, &tiny_config());
+        assert_eq!(report.design_count, 4);
+        assert!(report.direct_paths > 0);
+        assert_eq!(report.cf_history.epochs.len(), 4);
+        // Predictions are positive, finite, and come with a critical path.
+        let pred = model.predict_verilog(&designs[0].verilog, &designs[0].top).unwrap();
+        assert!(pred.timing_ps.is_finite() && pred.timing_ps > 0.0);
+        assert!(pred.area_um2.is_finite() && pred.area_um2 > 0.0);
+        assert!(pred.power_mw.is_finite() && pred.power_mw > 0.0);
+        assert!(pred.path_count > 0);
+        assert!(!pred.critical_path.is_empty());
+        assert!(pred.runtime.as_nanos() > 0);
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let designs = tiny_designs();
+        let (_, report) = train_sns(&designs, &tiny_config());
+        let first = report.cf_history.epochs.first().unwrap().train_loss;
+        let last = report.cf_history.epochs.last().unwrap().train_loss;
+        assert!(last < first, "Circuitformer loss {first} -> {last}");
+    }
+
+    #[test]
+    fn activity_coefficients_reduce_aggregated_power() {
+        let designs = tiny_designs();
+        let (model, _) = train_sns(&designs, &tiny_config());
+        let nl = parse_and_elaborate(&designs[2].verilog, &designs[2].top).unwrap();
+        // All registers nearly idle.
+        let mut act = std::collections::HashMap::new();
+        for c in nl.cells() {
+            if c.kind == sns_netlist::CellKind::Dff {
+                act.insert(c.name.clone(), 0.01f32);
+            }
+        }
+        let graph = sns_graphir::GraphIr::from_netlist(&nl);
+        let paths = sns_sampler::PathSampler::new(model.sample_config().clone()).sample(&graph);
+        let (base, _) = model.path_aggregates(&graph, &paths, None);
+        let (gated, _) = model.path_aggregates(&graph, &paths, Some(&act));
+        // §3.4.4: power scales with the coefficients; timing/area do not.
+        assert!(gated[2] < base[2] * 0.6, "gated {} !<< base {}", gated[2], base[2]);
+        assert_eq!(gated[0], base[0]);
+        assert_eq!(gated[1], base[1]);
+        // And the end-to-end prediction stays finite with activity given.
+        // (Area may shift slightly: the MLPs see all three aggregates, and
+        // activity changes the power aggregate.)
+        let pred = model.predict_netlist(&nl, Some(&act));
+        assert!(pred.power_mw.is_finite() && pred.power_mw > 0.0);
+        let base_pred = model.predict_netlist(&nl, None);
+        let rel = (pred.area_um2 - base_pred.area_um2).abs() / base_pred.area_um2;
+        assert!(rel < 0.5, "area shifted {rel:.2}x under power gating");
+    }
+}

@@ -1,0 +1,444 @@
+//! A parameterizable out-of-order core generator for the BOOM case study
+//! (§5.6 / Table 10 of the SNS paper).
+//!
+//! The generator produces a structural skeleton of an OoO core whose
+//! hardware cost responds to the same knobs the paper sweeps: branch
+//! predictor flavour, core (decode) width, memory ports, fetch width, ROB
+//! size, physical integer register count, issue-queue slots and L1-D
+//! associativity. Storage structures are real register arrays (the
+//! elaborator expands them to flip-flops, write decoders and read-mux
+//! trees); the issue queue is a genuine CAM (per-slot tag comparators
+//! against every wakeup bus).
+
+use crate::{Design, Family};
+
+/// The branch predictor options of Table 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Predictor {
+    /// TAGE-L: several tagged geometric-history tables.
+    TageL,
+    /// The BOOM-2 gshare-style predictor.
+    Boom2,
+    /// The Alpha 21264 tournament predictor.
+    Alpha21264,
+}
+
+impl Predictor {
+    /// All options, Table 10 order.
+    pub const ALL: [Predictor; 3] = [Predictor::TageL, Predictor::Boom2, Predictor::Alpha21264];
+
+    /// Short tag for names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Predictor::TageL => "tage",
+            Predictor::Boom2 => "boom2",
+            Predictor::Alpha21264 => "alpha",
+        }
+    }
+}
+
+/// The Table 10 design-space parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BoomParams {
+    /// Branch predictor flavour.
+    pub predictor: Predictor,
+    /// Decode/issue/commit width (1–4).
+    pub core_width: u32,
+    /// Load/store ports (1–2).
+    pub mem_ports: u32,
+    /// Instruction fetch width (4 or 8).
+    pub fetch_width: u32,
+    /// Reorder-buffer entries.
+    pub rob_size: u32,
+    /// Physical integer registers.
+    pub int_regs: u32,
+    /// Issue-queue slots.
+    pub issue_slots: u32,
+    /// L1 data-cache ways.
+    pub dcache_ways: u32,
+}
+
+impl Default for BoomParams {
+    fn default() -> Self {
+        BoomParams {
+            predictor: Predictor::TageL,
+            core_width: 2,
+            mem_ports: 1,
+            fetch_width: 4,
+            rob_size: 64,
+            int_regs: 80,
+            issue_slots: 16,
+            dcache_ways: 4,
+        }
+    }
+}
+
+impl BoomParams {
+    /// Unique design name.
+    pub fn name(&self) -> String {
+        format!(
+            "boom_{}_w{}_m{}_f{}_rob{}_pr{}_iq{}_dw{}",
+            self.predictor.tag(),
+            self.core_width,
+            self.mem_ports,
+            self.fetch_width,
+            self.rob_size,
+            self.int_regs,
+            self.issue_slots,
+            self.dcache_ways
+        )
+    }
+
+    /// Top module name (same as [`BoomParams::name`]).
+    pub fn top(&self) -> String {
+        self.name()
+    }
+
+    /// The full 2592-point Table 10 grid.
+    pub fn grid() -> Vec<BoomParams> {
+        let mut out = Vec::new();
+        for predictor in Predictor::ALL {
+            for core_width in [1, 2, 3, 4] {
+                for mem_ports in [1, 2] {
+                    for fetch_width in [4, 8] {
+                        for rob_size in [32, 64, 96] {
+                            for int_regs in [52, 80, 100] {
+                                for issue_slots in [8, 16, 32] {
+                                    for dcache_ways in [4, 8] {
+                                        out.push(BoomParams {
+                                            predictor,
+                                            core_width,
+                                            mem_ports,
+                                            fetch_width,
+                                            rob_size,
+                                            int_regs,
+                                            issue_slots,
+                                            dcache_ways,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn predictor_logic(v: &mut String, p: Predictor) {
+    match p {
+        Predictor::TageL => {
+            // Four tagged tables, geometric history lengths.
+            for t in 0..4u32 {
+                let entries = 32;
+                v.push_str(&format!(
+                    "    reg [11:0] tage_t{t} [0:{last}];\n",
+                    last = entries - 1
+                ));
+                v.push_str(&format!(
+                    "    wire [4:0] tage_idx{t} = pc[6:2] ^ ghist[{h}:{l}];\n",
+                    h = 4 + t,
+                    l = t
+                ));
+                v.push_str(&format!(
+                    "    wire [11:0] tage_e{t} = tage_t{t}[tage_idx{t}];\n"
+                ));
+                v.push_str(&format!(
+                    "    wire tage_hit{t} = tage_e{t}[11:4] == pc[14:7];\n"
+                ));
+                v.push_str(&format!(
+                    "    always @(posedge clk) if (bp_update) tage_t{t}[tage_idx{t}] <= {{pc[14:7], bp_taken, tage_e{t}[2:0]}};\n"
+                ));
+            }
+            v.push_str(
+                "    wire predict_taken = tage_hit3 ? tage_e3[3] : (tage_hit2 ? tage_e2[3] : (tage_hit1 ? tage_e1[3] : (tage_hit0 ? tage_e0[3] : ghist[0])));\n",
+            );
+        }
+        Predictor::Boom2 => {
+            v.push_str(
+                r#"    reg [3:0] gshare [0:63];
+    wire [5:0] gidx = pc[7:2] ^ ghist[5:0];
+    wire [3:0] gent = gshare[gidx];
+    always @(posedge clk) if (bp_update) gshare[gidx] <= bp_taken ? (gent + 4'd1) : (gent - 4'd1);
+    reg [33:0] btb [0:15];
+    wire [33:0] btb_e = btb[pc[5:2]];
+    always @(posedge clk) if (bp_update) btb[pc[5:2]] <= {pc[3:2], target};
+    wire predict_taken = gent[3];
+"#,
+            );
+        }
+        Predictor::Alpha21264 => {
+            v.push_str(
+                r#"    reg [9:0] local_hist [0:31];
+    wire [9:0] lhist = local_hist[pc[6:2]];
+    reg [2:0] local_pred [0:31];
+    wire [2:0] lpred = local_pred[lhist[4:0]];
+    reg [1:0] global_pred [0:63];
+    wire [1:0] gpred = global_pred[ghist[5:0]];
+    reg [1:0] choice [0:63];
+    wire [1:0] ch = choice[ghist[5:0]];
+    always @(posedge clk) begin
+        if (bp_update) begin
+            local_hist[pc[6:2]] <= {lhist[8:0], bp_taken};
+            local_pred[lhist[4:0]] <= bp_taken ? (lpred + 3'd1) : (lpred - 3'd1);
+            global_pred[ghist[5:0]] <= bp_taken ? (gpred + 2'd1) : (gpred - 2'd1);
+            choice[ghist[5:0]] <= ch + 2'd1;
+        end
+    end
+    wire predict_taken = ch[1] ? gpred[1] : lpred[2];
+"#,
+            );
+        }
+    }
+}
+
+/// Generates the OoO core for `p`.
+pub fn boom_like(p: &BoomParams) -> Design {
+    let name = p.name();
+    let prf_ab = 32 - (p.int_regs as u32).leading_zeros(); // address bits
+    let rob_ab = 32 - (p.rob_size - 1).leading_zeros();
+    let mut v = String::new();
+    v.push_str(&format!(
+        "\nmodule {name} (\n    input clk, input rst,\n    input [{fb}:0] fetch_bundle,\n    input bp_update, input bp_taken,\n    input [31:0] target,\n    input [{mb}:0] dmem_rdata,\n    output [{mb}:0] dmem_addr,\n    output [31:0] commit_value\n);\n",
+        fb = p.fetch_width * 32 - 1,
+        mb = p.mem_ports * 32 - 1,
+    ));
+
+    // ---- fetch ----
+    v.push_str("    reg [31:0] pc;\n    reg [15:0] ghist;\n");
+    for f in 0..p.fetch_width {
+        v.push_str(&format!(
+            "    reg [31:0] fq{f};\n    always @(posedge clk) fq{f} <= fetch_bundle[{hi}:{lo}];\n",
+            hi = (f + 1) * 32 - 1,
+            lo = f * 32
+        ));
+    }
+    predictor_logic(&mut v, p.predictor);
+    v.push_str(
+        r#"    always @(posedge clk) begin
+        if (rst) begin
+            pc <= 32'd0;
+            ghist <= 16'd0;
+        end else begin
+            pc <= predict_taken ? target : (pc + 32'd16);
+            ghist <= {ghist[14:0], predict_taken};
+        end
+    end
+"#,
+    );
+
+    // ---- decode + rename (core_width ways) ----
+    v.push_str(&format!(
+        "    reg [{pam}:0] map_table [0:31];\n",
+        pam = prf_ab - 1
+    ));
+    for w in 0..p.core_width {
+        let f = w % p.fetch_width;
+        v.push_str(&format!(
+            r#"    wire [4:0] dec_rs1_{w} = fq{f}[19:15];
+    wire [4:0] dec_rs2_{w} = fq{f}[24:20];
+    wire [4:0] dec_rd_{w} = fq{f}[11:7];
+    wire [{pam}:0] phys_rs1_{w} = map_table[dec_rs1_{w}];
+    wire [{pam}:0] phys_rs2_{w} = map_table[dec_rs2_{w}];
+    reg [{pam}:0] freelist_head_{w};
+    always @(posedge clk) begin
+        if (rst) freelist_head_{w} <= {pab}'d{init};
+        else freelist_head_{w} <= freelist_head_{w} + {pab}'d{stride};
+    end
+    always @(posedge clk) map_table[dec_rd_{w}] <= freelist_head_{w};
+"#,
+            pam = prf_ab - 1,
+            pab = prf_ab,
+            init = w + 1,
+            stride = p.core_width,
+        ));
+    }
+
+    // ---- issue queue: CAM wakeup ----
+    for s in 0..p.issue_slots {
+        v.push_str(&format!(
+            "    reg [{pam}:0] iq_src1_{s}, iq_src2_{s};\n    reg iq_rdy1_{s}, iq_rdy2_{s}, iq_valid_{s};\n",
+            pam = prf_ab - 1
+        ));
+        let mut wake1 = Vec::new();
+        let mut wake2 = Vec::new();
+        for w in 0..p.core_width {
+            v.push_str(&format!(
+                "    wire wk1_{s}_{w} = iq_src1_{s} == freelist_head_{w};\n    wire wk2_{s}_{w} = iq_src2_{s} == freelist_head_{w};\n"
+            ));
+            wake1.push(format!("wk1_{s}_{w}"));
+            wake2.push(format!("wk2_{s}_{w}"));
+        }
+        v.push_str(&format!(
+            r#"    always @(posedge clk) begin
+        if (rst) begin
+            iq_valid_{s} <= 1'b0;
+            iq_rdy1_{s} <= 1'b0;
+            iq_rdy2_{s} <= 1'b0;
+        end else begin
+            iq_src1_{s} <= phys_rs1_{w0};
+            iq_src2_{s} <= phys_rs2_{w0};
+            iq_rdy1_{s} <= iq_rdy1_{s} | {or1};
+            iq_rdy2_{s} <= iq_rdy2_{s} | {or2};
+            iq_valid_{s} <= 1'b1;
+        end
+    end
+    wire iq_ready_{s} = iq_valid_{s} && iq_rdy1_{s} && iq_rdy2_{s};
+"#,
+            w0 = s % p.core_width,
+            or1 = wake1.join(" | "),
+            or2 = wake2.join(" | "),
+        ));
+    }
+    // Select: priority-encode one ready slot per execution way.
+    for w in 0..p.core_width {
+        let mut sel = format!("{prf_ab}'d0");
+        for s in (0..p.issue_slots).rev() {
+            if s % p.core_width == w {
+                sel = format!("(iq_ready_{s} ? iq_src1_{s} : {sel})");
+            }
+        }
+        v.push_str(&format!(
+            "    wire [{pam}:0] grant_src_{w} = {sel};\n",
+            pam = prf_ab - 1
+        ));
+    }
+
+    // ---- physical register file: core_width*2 read ports ----
+    v.push_str(&format!(
+        "    reg [31:0] prf [0:{last}];\n",
+        last = p.int_regs - 1
+    ));
+    for w in 0..p.core_width {
+        v.push_str(&format!(
+            "    wire [31:0] exe_a_{w} = prf[grant_src_{w}];\n    wire [31:0] exe_b_{w} = prf[phys_rs2_{w}];\n"
+        ));
+    }
+
+    // ---- execute: ALU per way + one multiplier ----
+    for w in 0..p.core_width {
+        v.push_str(&format!(
+            r#"    reg [31:0] alu_{w};
+    wire [3:0] fn_{w} = fq{f}[30:27];
+    always @(*) begin
+        case (fn_{w})
+            4'd0: alu_{w} = exe_a_{w} + exe_b_{w};
+            4'd1: alu_{w} = exe_a_{w} - exe_b_{w};
+            4'd2: alu_{w} = exe_a_{w} & exe_b_{w};
+            4'd3: alu_{w} = exe_a_{w} | exe_b_{w};
+            4'd4: alu_{w} = exe_a_{w} ^ exe_b_{w};
+            4'd5: alu_{w} = exe_a_{w} << exe_b_{w}[4:0];
+            4'd6: alu_{w} = exe_a_{w} >> exe_b_{w}[4:0];
+            4'd7: alu_{w} = (exe_a_{w} < exe_b_{w}) ? 32'd1 : 32'd0;
+            default: alu_{w} = exe_a_{w};
+        endcase
+    end
+    always @(posedge clk) prf[grant_src_{w}] <= alu_{w};
+"#,
+            f = w % p.fetch_width,
+        ));
+    }
+    v.push_str("    wire [31:0] mul_res = exe_a_0 * exe_b_0;\n");
+
+    // ---- memory ports + L1D tag check ----
+    for m in 0..p.mem_ports {
+        v.push_str(&format!(
+            "    wire [31:0] agu_{m} = exe_a_{w} + {{{{20{{fq{w}[31]}}}}, fq{w}[31:20]}};\n    assign dmem_addr[{hi}:{lo}] = agu_{m};\n",
+            w = (m % p.core_width),
+            hi = (m + 1) * 32 - 1,
+            lo = m * 32,
+        ));
+        for way in 0..p.dcache_ways {
+            v.push_str(&format!(
+                "    reg [19:0] dtag_{m}_{way} [0:15];\n    wire dhit_{m}_{way} = dtag_{m}_{way}[agu_{m}[5:2]] == agu_{m}[25:6];\n"
+            ));
+            v.push_str(&format!(
+                "    always @(posedge clk) if (bp_update) dtag_{m}_{way}[agu_{m}[5:2]] <= agu_{m}[25:6];\n"
+            ));
+        }
+        let hits: Vec<String> =
+            (0..p.dcache_ways).map(|way| format!("dhit_{m}_{way}")).collect();
+        v.push_str(&format!(
+            "    wire dhit_{m} = {};\n",
+            hits.join(" | ")
+        ));
+    }
+
+    // ---- ROB ----
+    v.push_str(&format!(
+        r#"    reg [31:0] rob [0:{last}];
+    reg [{ram}:0] rob_head, rob_tail;
+    always @(posedge clk) begin
+        if (rst) begin
+            rob_head <= {rab}'d0;
+            rob_tail <= {rab}'d0;
+        end else begin
+            rob[rob_tail] <= dhit_0 ? dmem_rdata[31:0] : (mul_res ^ alu_0);
+            rob_tail <= rob_tail + {rab}'d{cw};
+            rob_head <= rob_head + {rab}'d{cw};
+        end
+    end
+    assign commit_value = rob[rob_head];
+endmodule
+"#,
+        last = p.rob_size - 1,
+        ram = rob_ab - 1,
+        rab = rob_ab,
+        cw = p.core_width,
+    ));
+
+    Design::new(name.clone(), Family::ProcessorCore, name, "boom", v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_netlist::parse_and_elaborate;
+
+    #[test]
+    fn grid_matches_table_10_count() {
+        assert_eq!(BoomParams::grid().len(), 2592);
+    }
+
+    #[test]
+    fn all_predictors_elaborate() {
+        for pred in Predictor::ALL {
+            let p = BoomParams { predictor: pred, ..Default::default() };
+            let d = boom_like(&p);
+            let nl = parse_and_elaborate(&d.verilog, &d.top)
+                .unwrap_or_else(|e| panic!("{}: {e}", d.name));
+            nl.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn bigger_configs_are_bigger_hardware() {
+        let small = BoomParams {
+            core_width: 1,
+            rob_size: 32,
+            int_regs: 52,
+            issue_slots: 8,
+            dcache_ways: 4,
+            fetch_width: 4,
+            ..Default::default()
+        };
+        let big = BoomParams {
+            core_width: 4,
+            rob_size: 96,
+            int_regs: 100,
+            issue_slots: 32,
+            dcache_ways: 8,
+            fetch_width: 8,
+            ..Default::default()
+        };
+        let cells = |p: &BoomParams| {
+            let d = boom_like(p);
+            parse_and_elaborate(&d.verilog, &d.top).unwrap().logic_cell_count()
+        };
+        let cs = cells(&small);
+        let cb = cells(&big);
+        assert!(cb > 2 * cs, "big {cb} vs small {cs}");
+    }
+}

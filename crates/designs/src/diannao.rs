@@ -1,0 +1,420 @@
+//! A parameterizable DianNao generator (§5.7 / Figure 9 of the SNS paper).
+//!
+//! The pipeline has three functional stages:
+//!
+//! * **NFU-1**: `Tn × Tn` multipliers,
+//! * **NFU-2**: `Tn` adder trees of `Tn` inputs each (tree arity set by the
+//!   *reduction width* parameter),
+//! * **NFU-3**: `Tn` activation units — piecewise-linear approximation
+//!   with a configurable number of segments (slope·x + offset selected by
+//!   comparators).
+//!
+//! Supported datatypes match Table 13: `int8`, `int16`, `fp16`, `bf16`,
+//! `tf32`, `fp32`. Floating-point operators are generated as explicit
+//! sub-modules (sign/exponent/mantissa datapaths), so datatype choice has
+//! the same first-order hardware-cost effect as in the paper.
+
+use crate::{Design, Family};
+
+/// The DianNao datatypes of Table 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// 8-bit integer.
+    Int8,
+    /// 16-bit integer (the original DianNao choice).
+    Int16,
+    /// IEEE half precision (1+5+10).
+    Fp16,
+    /// bfloat16 (1+8+7).
+    Bf16,
+    /// TensorFloat-32 (1+8+10).
+    Tf32,
+    /// IEEE single precision (1+8+23).
+    Fp32,
+}
+
+impl DataType {
+    /// All datatypes, in Table 13 order.
+    pub const ALL: [DataType; 6] =
+        [DataType::Int8, DataType::Int16, DataType::Fp16, DataType::Bf16, DataType::Tf32, DataType::Fp32];
+
+    /// Storage width in bits.
+    pub fn width(self) -> u32 {
+        match self {
+            DataType::Int8 => 8,
+            DataType::Int16 => 16,
+            DataType::Fp16 | DataType::Bf16 => 16,
+            DataType::Tf32 => 19,
+            DataType::Fp32 => 32,
+        }
+    }
+
+    /// `(exponent bits, stored mantissa bits)` for float types.
+    pub fn float_fields(self) -> Option<(u32, u32)> {
+        match self {
+            DataType::Fp16 => Some((5, 10)),
+            DataType::Bf16 => Some((8, 7)),
+            DataType::Tf32 => Some((8, 10)),
+            DataType::Fp32 => Some((8, 23)),
+            _ => None,
+        }
+    }
+
+    /// Short name used in module and design names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            DataType::Int8 => "int8",
+            DataType::Int16 => "int16",
+            DataType::Fp16 => "fp16",
+            DataType::Bf16 => "bf16",
+            DataType::Tf32 => "tf32",
+            DataType::Fp32 => "fp32",
+        }
+    }
+}
+
+/// The DSE parameters of Table 13.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DianNaoParams {
+    /// Neurons processed per cycle (4, 8, 16 or 32).
+    pub tn: u32,
+    /// Arithmetic datatype.
+    pub datatype: DataType,
+    /// Total pipeline registers: 3 (one per NFU) or 8 (3+2+3).
+    pub pipeline_stages: u32,
+    /// Adder-tree arity in NFU-2 (4, 8 or 16).
+    pub reduction_width: u32,
+    /// Piecewise-linear segments in NFU-3 (2, 4, 8 or 16).
+    pub activation_entries: u32,
+}
+
+impl Default for DianNaoParams {
+    /// The original published configuration: Tn = 16, int16.
+    fn default() -> Self {
+        DianNaoParams {
+            tn: 16,
+            datatype: DataType::Int16,
+            pipeline_stages: 3,
+            reduction_width: 4,
+            activation_entries: 8,
+        }
+    }
+}
+
+impl DianNaoParams {
+    /// Unique design name for this configuration.
+    pub fn name(&self) -> String {
+        format!(
+            "diannao_tn{}_{}_{}s_r{}_a{}",
+            self.tn,
+            self.datatype.tag(),
+            self.pipeline_stages,
+            self.reduction_width,
+            self.activation_entries
+        )
+    }
+
+    /// Top module name.
+    pub fn top(&self) -> String {
+        self.name()
+    }
+}
+
+fn fp_mul_module(name: &str, dt: DataType) -> String {
+    let w = dt.width();
+    let (e, m) = dt.float_fields().expect("float type");
+    let wm = w - 1;
+    let sign = w - 1;
+    let exp_hi = w - 2;
+    let exp_lo = m;
+    let man_hi = m - 1;
+    let full = m + 1; // with hidden bit
+    let prod_w = 2 * full;
+    let bias = (1u32 << (e - 1)) - 1;
+    format!(
+        r#"
+module {name} (input [{wm}:0] a, input [{wm}:0] b, output [{wm}:0] y);
+    wire sgn = a[{sign}] ^ b[{sign}];
+    wire [{em}:0] ea = a[{exp_hi}:{exp_lo}];
+    wire [{em}:0] eb = b[{exp_hi}:{exp_lo}];
+    wire [{fm}:0] ma = {{1'b1, a[{man_hi}:0]}};
+    wire [{fm}:0] mb = {{1'b1, b[{man_hi}:0]}};
+    wire [{pm}:0] prod = ma * mb;
+    wire norm = prod[{pm}];
+    wire [{man_hi}:0] frac = norm ? prod[{fhi}:{flo_n}] : prod[{fhi_d}:{flo_d}];
+    wire [{em}:0] eo = ea + eb - {e}'d{bias} + (norm ? {e}'d1 : {e}'d0);
+    assign y = {{sgn, eo, frac}};
+endmodule
+"#,
+        em = e - 1,
+        fm = full - 1,
+        pm = prod_w - 1,
+        fhi = prod_w - 2,
+        flo_n = prod_w - 1 - m,
+        fhi_d = prod_w - 3,
+        flo_d = prod_w - 2 - m,
+    )
+}
+
+fn fp_add_module(name: &str, dt: DataType) -> String {
+    let w = dt.width();
+    let (e, m) = dt.float_fields().expect("float type");
+    let wm = w - 1;
+    let sign = w - 1;
+    let exp_hi = w - 2;
+    let exp_lo = m;
+    let man_hi = m - 1;
+    let full = m + 1;
+    let sum_w = full + 1;
+    format!(
+        r#"
+module {name} (input [{wm}:0] a, input [{wm}:0] b, output [{wm}:0] y);
+    wire [{em}:0] ea = a[{exp_hi}:{exp_lo}];
+    wire [{em}:0] eb = b[{exp_hi}:{exp_lo}];
+    wire [{fm}:0] ma = {{1'b1, a[{man_hi}:0]}};
+    wire [{fm}:0] mb = {{1'b1, b[{man_hi}:0]}};
+    wire a_big = ea >= eb;
+    wire [{em}:0] ediff = a_big ? (ea - eb) : (eb - ea);
+    wire [{fm}:0] mbig = a_big ? ma : mb;
+    wire [{fm}:0] msmall = a_big ? mb : ma;
+    wire [{fm}:0] aligned = msmall >> ediff;
+    wire [{sm}:0] sum = {{1'b0, mbig}} + {{1'b0, aligned}};
+    wire carry = sum[{sm}];
+    wire [{man_hi}:0] frac = carry ? sum[{fm}:1] : sum[{fm2}:0];
+    wire [{em}:0] ebig = a_big ? ea : eb;
+    wire [{em}:0] eo = ebig + (carry ? {e}'d1 : {e}'d0);
+    wire sgn = a_big ? a[{sign}] : b[{sign}];
+    assign y = {{sgn, eo, frac}};
+endmodule
+"#,
+        em = e - 1,
+        fm = full - 1,
+        sm = sum_w - 1,
+        fm2 = full - 2,
+    )
+}
+
+/// Generates the DianNao design for `p`.
+pub fn diannao(p: &DianNaoParams) -> Design {
+    let dt = p.datatype;
+    let w = dt.width();
+    let wm = w - 1;
+    let tn = p.tn as usize;
+    let is_fp = dt.float_fields().is_some();
+    let acc_w = if is_fp { w } else { 2 * w };
+    let am = acc_w - 1;
+    let name = p.name();
+    let mulmod = format!("dn_mul_{}", dt.tag());
+    let addmod = format!("dn_add_{}", dt.tag());
+
+    let mut v = String::new();
+    if is_fp {
+        v.push_str(&fp_mul_module(&mulmod, dt));
+        v.push_str(&fp_add_module(&addmod, dt));
+    }
+    v.push_str(&format!(
+        "\nmodule {name} (\n    input clk,\n    input [{nb}:0] neurons,\n    input [{sb}:0] synapses,\n    output [{ob}:0] outputs\n);\n",
+        nb = tn as u32 * w - 1,
+        sb = (tn * tn) as u32 * w - 1,
+        ob = tn as u32 * w - 1,
+    ));
+
+    // Split buses into named lanes.
+    for i in 0..tn {
+        v.push_str(&format!(
+            "    wire [{wm}:0] nb{i} = neurons[{hi}:{lo}];\n",
+            hi = (i as u32 + 1) * w - 1,
+            lo = i as u32 * w
+        ));
+    }
+    for i in 0..tn {
+        for j in 0..tn {
+            let idx = i * tn + j;
+            v.push_str(&format!(
+                "    wire [{wm}:0] sb{i}_{j} = synapses[{hi}:{lo}];\n",
+                hi = (idx as u32 + 1) * w - 1,
+                lo = idx as u32 * w
+            ));
+        }
+    }
+
+    // ---- NFU-1: Tn x Tn multipliers ----
+    for i in 0..tn {
+        for j in 0..tn {
+            if is_fp {
+                v.push_str(&format!(
+                    "    wire [{wm}:0] p{i}_{j};\n    {mulmod} um{i}_{j} (.a(nb{j}), .b(sb{i}_{j}), .y(p{i}_{j}));\n"
+                ));
+            } else {
+                v.push_str(&format!(
+                    "    wire [{am}:0] p{i}_{j} = nb{j} * sb{i}_{j};\n"
+                ));
+            }
+        }
+    }
+    // NFU-1 pipeline registers.
+    let (s1, s2, s3) = if p.pipeline_stages >= 8 { (3, 2, 3) } else { (1, 1, 1) };
+    let pw = if is_fp { w } else { acc_w };
+    let pm = pw - 1;
+    for i in 0..tn {
+        for j in 0..tn {
+            let mut prev = format!("p{i}_{j}");
+            for s in 0..s1 {
+                v.push_str(&format!(
+                    "    reg [{pm}:0] p{i}_{j}_r{s};\n    always @(posedge clk) p{i}_{j}_r{s} <= {prev};\n"
+                ));
+                prev = format!("p{i}_{j}_r{s}");
+            }
+            v.push_str(&format!("    wire [{pm}:0] pp{i}_{j} = {prev};\n"));
+        }
+    }
+
+    // ---- NFU-2: Tn adder trees with arity = reduction_width ----
+    let arity = p.reduction_width.max(2) as usize;
+    for i in 0..tn {
+        let mut terms: Vec<String> = (0..tn).map(|j| format!("pp{i}_{j}")).collect();
+        let mut lvl = 0;
+        let mut tmp = 0;
+        while terms.len() > 1 {
+            let mut next = Vec::new();
+            for group in terms.chunks(arity) {
+                if group.len() == 1 {
+                    next.push(group[0].clone());
+                    continue;
+                }
+                let mut acc = group[0].clone();
+                for item in &group[1..] {
+                    let nname = format!("t{i}_{lvl}_{tmp}");
+                    tmp += 1;
+                    if is_fp {
+                        v.push_str(&format!(
+                            "    wire [{pm}:0] {nname};\n    {addmod} ua_{nname} (.a({acc}), .b({item}), .y({nname}));\n"
+                        ));
+                    } else {
+                        v.push_str(&format!("    wire [{pm}:0] {nname} = {acc} + {item};\n"));
+                    }
+                    acc = nname;
+                }
+                next.push(acc);
+            }
+            terms = next;
+            lvl += 1;
+        }
+        let mut prev = terms[0].clone();
+        for s in 0..s2 {
+            v.push_str(&format!(
+                "    reg [{pm}:0] sum{i}_r{s};\n    always @(posedge clk) sum{i}_r{s} <= {prev};\n"
+            ));
+            prev = format!("sum{i}_r{s}");
+        }
+        v.push_str(&format!("    wire [{pm}:0] nfu2_{i} = {prev};\n"));
+    }
+
+    // ---- NFU-3: piecewise-linear activation ----
+    let entries = p.activation_entries.max(2);
+    for i in 0..tn {
+        let x = format!("nfu2_{i}");
+        // Segment index from comparators against evenly spaced breakpoints.
+        let mut sel = format!("{pw}'d0");
+        for k in 1..entries {
+            let bp = (k as u64) << (pw.saturating_sub(4).min(40));
+            v.push_str(&format!(
+                "    wire seg{i}_{k} = {x} >= {pw}'d{bp};\n"
+            ));
+            sel = format!("(seg{i}_{k} ? {pw}'d{k} : {sel})");
+        }
+        v.push_str(&format!("    wire [{pm}:0] segsel{i} = {sel};\n"));
+        // slope/offset lookup via mux chains over constants.
+        let mut slope = format!("{w}'d1");
+        let mut offset = format!("{w}'d0");
+        for k in 1..entries {
+            let sl = (k * 3 + 1) % 13 + 1;
+            let of = (k * 7 + 5) % 97;
+            slope = format!("((segsel{i} == {pw}'d{k}) ? {w}'d{sl} : {slope})");
+            offset = format!("((segsel{i} == {pw}'d{k}) ? {w}'d{of} : {offset})");
+        }
+        v.push_str(&format!("    wire [{wm}:0] slope{i} = {slope};\n"));
+        v.push_str(&format!("    wire [{wm}:0] offset{i} = {offset};\n"));
+        v.push_str(&format!(
+            "    wire [{wm}:0] act{i} = {x}[{wm}:0] * slope{i} + offset{i};\n"
+        ));
+        let mut prev = format!("act{i}");
+        for s in 0..s3 {
+            v.push_str(&format!(
+                "    reg [{wm}:0] act{i}_r{s};\n    always @(posedge clk) act{i}_r{s} <= {prev};\n"
+            ));
+            prev = format!("act{i}_r{s}");
+        }
+        v.push_str(&format!(
+            "    assign outputs[{hi}:{lo}] = {prev};\n",
+            hi = (i as u32 + 1) * w - 1,
+            lo = i as u32 * w
+        ));
+    }
+    v.push_str("endmodule\n");
+
+    Design::new(name.clone(), Family::MachineLearning, name, "diannao", v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_netlist::{parse_and_elaborate, CellKind};
+
+    #[test]
+    fn int16_diannao_has_tn_squared_multipliers() {
+        let p = DianNaoParams { tn: 4, ..Default::default() };
+        let d = diannao(&p);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+        nl.validate().unwrap();
+        // Tn² NFU-1 multipliers + Tn activation multipliers.
+        let muls = nl.cells().filter(|c| c.kind == CellKind::Mul).count();
+        assert_eq!(muls, 16 + 4);
+    }
+
+    #[test]
+    fn fp_datatypes_elaborate() {
+        for dt in [DataType::Fp16, DataType::Bf16, DataType::Tf32, DataType::Fp32] {
+            let p = DianNaoParams { tn: 2, datatype: dt, ..Default::default() };
+            let d = diannao(&p);
+            let nl = parse_and_elaborate(&d.verilog, &d.top)
+                .unwrap_or_else(|e| panic!("{}: {e}", d.name));
+            nl.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn deeper_pipeline_adds_registers() {
+        let base = DianNaoParams { tn: 4, ..Default::default() };
+        let deep = DianNaoParams { tn: 4, pipeline_stages: 8, ..Default::default() };
+        let count = |p: &DianNaoParams| {
+            let d = diannao(p);
+            parse_and_elaborate(&d.verilog, &d.top)
+                .unwrap()
+                .cells()
+                .filter(|c| c.kind == CellKind::Dff)
+                .count()
+        };
+        assert!(count(&deep) > 2 * count(&base));
+    }
+
+    #[test]
+    fn larger_tn_is_larger_hardware() {
+        let small = diannao(&DianNaoParams { tn: 4, ..Default::default() });
+        let big = diannao(&DianNaoParams { tn: 8, ..Default::default() });
+        let cells = |d: &Design| {
+            parse_and_elaborate(&d.verilog, &d.top).unwrap().logic_cell_count()
+        };
+        assert!(cells(&big) > 2 * cells(&small));
+    }
+
+    #[test]
+    fn datatype_metadata_is_consistent() {
+        for dt in DataType::ALL {
+            assert!(dt.width() >= 8);
+            if let Some((e, m)) = dt.float_fields() {
+                assert_eq!(1 + e + m, dt.width());
+            }
+        }
+    }
+}

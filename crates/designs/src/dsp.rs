@@ -1,0 +1,196 @@
+//! Signal-processing generators (FFT stage, FIR filter, 2-D convolution).
+
+use crate::{Design, Family};
+
+/// One radix-2 FFT stage over `n` complex fixed-point samples: `n/2`
+/// butterflies, each a complex multiply (4 real multiplies) by a constant
+/// twiddle factor plus add/sub, with output registers.
+pub fn fft_stage(n: u32, width: u32) -> Design {
+    assert!(n >= 2 && n.is_power_of_two(), "n must be a power of two >= 2");
+    let im = width - 1;
+    let pm = 2 * width - 1;
+    let mut v = String::new();
+    v.push_str(&format!(
+        "\nmodule fft{n}_{width} (\n    input clk,\n    input [{b}:0] re_in,\n    input [{b}:0] im_in,\n    output [{b}:0] re_out,\n    output [{b}:0] im_out\n);\n",
+        b = n * width - 1
+    ));
+    for k in 0..n / 2 {
+        let hi_a = (k + 1) * width - 1;
+        let lo_a = k * width;
+        let hi_b = (k + n / 2 + 1) * width - 1;
+        let lo_b = (k + n / 2) * width;
+        // Deterministic pseudo-twiddle constants.
+        let wr = (k * 37 + 11) % (1 << (width.min(15))) | 1;
+        let wi = (k * 53 + 7) % (1 << (width.min(15))) | 1;
+        v.push_str(&format!(
+            r#"    wire [{im}:0] ar{k} = re_in[{hi_a}:{lo_a}];
+    wire [{im}:0] ai{k} = im_in[{hi_a}:{lo_a}];
+    wire [{im}:0] br{k} = re_in[{hi_b}:{lo_b}];
+    wire [{im}:0] bi{k} = im_in[{hi_b}:{lo_b}];
+    wire [{pm}:0] twr{k} = br{k} * {width}'d{wr};
+    wire [{pm}:0] twi{k} = bi{k} * {width}'d{wi};
+    wire [{pm}:0] txr{k} = br{k} * {width}'d{wi};
+    wire [{pm}:0] txi{k} = bi{k} * {width}'d{wr};
+    wire [{im}:0] tr{k} = twr{k}[{pm}:{width}] - twi{k}[{pm}:{width}];
+    wire [{im}:0] ti{k} = txr{k}[{pm}:{width}] + txi{k}[{pm}:{width}];
+    reg [{im}:0] yr{k}, yi{k}, zr{k}, zi{k};
+    always @(posedge clk) begin
+        yr{k} <= ar{k} + tr{k};
+        yi{k} <= ai{k} + ti{k};
+        zr{k} <= ar{k} - tr{k};
+        zi{k} <= ai{k} - ti{k};
+    end
+    assign re_out[{hi_a}:{lo_a}] = yr{k};
+    assign im_out[{hi_a}:{lo_a}] = yi{k};
+    assign re_out[{hi_b}:{lo_b}] = zr{k};
+    assign im_out[{hi_b}:{lo_b}] = zi{k};
+"#
+        ));
+    }
+    v.push_str("endmodule\n");
+    Design::new(
+        format!("fft_{n}_{width}"),
+        Family::SignalProcessing,
+        format!("fft{n}_{width}"),
+        "fft",
+        v,
+    )
+}
+
+/// A direct-form FIR filter: a `taps`-deep delay line, constant
+/// coefficient multipliers and a balanced adder tree.
+pub fn fir(taps: u32, width: u32) -> Design {
+    let im = width - 1;
+    let pm = 2 * width - 1;
+    let mut v = String::new();
+    v.push_str(&format!(
+        "\nmodule fir{taps}_{width} (\n    input clk, input rst,\n    input [{im}:0] sample,\n    output [{pm}:0] filtered\n);\n"
+    ));
+    v.push_str(&format!("    reg [{im}:0] dl0;\n    always @(posedge clk) dl0 <= sample;\n"));
+    for t in 1..taps {
+        v.push_str(&format!(
+            "    reg [{im}:0] dl{t};\n    always @(posedge clk) dl{t} <= dl{p};\n",
+            p = t - 1
+        ));
+    }
+    for t in 0..taps {
+        let coef = (t * 29 + 13) % (1 << width.min(15)) | 1;
+        v.push_str(&format!("    wire [{pm}:0] m{t} = dl{t} * {width}'d{coef};\n"));
+    }
+    let mut terms: Vec<String> = (0..taps).map(|t| format!("m{t}")).collect();
+    let mut lvl = 0;
+    while terms.len() > 1 {
+        let mut next = Vec::new();
+        for (k, pair) in terms.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                let nm = format!("s_{lvl}_{k}");
+                v.push_str(&format!("    wire [{pm}:0] {nm} = {} + {};\n", pair[0], pair[1]));
+                next.push(nm);
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        terms = next;
+        lvl += 1;
+    }
+    v.push_str(&format!(
+        "    reg [{pm}:0] out_r;\n    always @(posedge clk) begin\n        if (rst) out_r <= {ow}'d0;\n        else out_r <= {top};\n    end\n    assign filtered = out_r;\nendmodule\n",
+        ow = 2 * width,
+        top = terms[0]
+    ));
+    Design::new(
+        format!("fir_{taps}_{width}"),
+        Family::SignalProcessing,
+        format!("fir{taps}_{width}"),
+        "fir",
+        v,
+    )
+}
+
+/// A `k × k` 2-D convolution window: line-buffer shift registers, constant
+/// kernel multiplies and an adder tree.
+pub fn conv2d(k: u32, width: u32) -> Design {
+    let im = width - 1;
+    let pm = 2 * width - 1;
+    let cols = 8u32; // fixed modeled row length
+    let mut v = String::new();
+    v.push_str(&format!(
+        "\nmodule conv2d_{k}x{k}_{width} (\n    input clk,\n    input [{im}:0] pixel,\n    output [{pm}:0] conv_out\n);\n"
+    ));
+    // k rows of shift registers, `cols` deep each.
+    let depth = cols;
+    let mut prev = "pixel".to_string();
+    for r in 0..k {
+        for c in 0..depth {
+            v.push_str(&format!(
+                "    reg [{im}:0] lb{r}_{c};\n    always @(posedge clk) lb{r}_{c} <= {prev};\n"
+            ));
+            prev = format!("lb{r}_{c}");
+        }
+    }
+    // Window taps: the first k entries of each row.
+    let mut terms = Vec::new();
+    for r in 0..k {
+        for c in 0..k {
+            let coef = (r * 31 + c * 17 + 3) % (1 << width.min(15)) | 1;
+            let nm = format!("w{r}_{c}");
+            v.push_str(&format!("    wire [{pm}:0] {nm} = lb{r}_{c} * {width}'d{coef};\n"));
+            terms.push(nm);
+        }
+    }
+    let mut lvl = 0;
+    while terms.len() > 1 {
+        let mut next = Vec::new();
+        for (i, pair) in terms.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                let nm = format!("cs_{lvl}_{i}");
+                v.push_str(&format!("    wire [{pm}:0] {nm} = {} + {};\n", pair[0], pair[1]));
+                next.push(nm);
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        terms = next;
+        lvl += 1;
+    }
+    v.push_str(&format!("    assign conv_out = {};\nendmodule\n", terms[0]));
+    Design::new(
+        format!("conv2d_{k}x{k}_{width}"),
+        Family::SignalProcessing,
+        format!("conv2d_{k}x{k}_{width}"),
+        "conv2d",
+        v,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_netlist::{parse_and_elaborate, CellKind};
+
+    #[test]
+    fn fft_stage_has_four_muls_per_butterfly() {
+        let d = fft_stage(8, 16);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+        nl.validate().unwrap();
+        assert_eq!(nl.cells().filter(|c| c.kind == CellKind::Mul).count(), 16);
+    }
+
+    #[test]
+    fn fir_delay_line_depth_matches_taps() {
+        let d = fir(8, 16);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+        nl.validate().unwrap();
+        // 8 delay registers + 1 output register.
+        assert_eq!(nl.cells().filter(|c| c.kind == CellKind::Dff).count(), 9);
+        assert_eq!(nl.cells().filter(|c| c.kind == CellKind::Mul).count(), 8);
+    }
+
+    #[test]
+    fn conv2d_elaborates() {
+        let d = conv2d(3, 8);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+        nl.validate().unwrap();
+        assert_eq!(nl.cells().filter(|c| c.kind == CellKind::Mul).count(), 9);
+    }
+}

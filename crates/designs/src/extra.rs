@@ -1,0 +1,414 @@
+//! Extra design generators beyond the 41-design Table 3 catalog.
+//!
+//! These widen the structural variety available to robustness tests,
+//! ablations and the Figure 7 size ladder (crossbars, cache control,
+//! explicitly structural arithmetic like Booth multipliers and CORDIC,
+//! LFSRs, a DCT butterfly, string matching, and a hash round).
+//! [`extended`] returns the full catalog plus these.
+
+use crate::{catalog, Design, Family};
+
+/// An `n × n` crossbar switch: per-output select registers and `n`
+/// n-to-1 mux trees.
+pub fn crossbar(n: u32, width: u32) -> Design {
+    let im = width - 1;
+    let sel_w = (32 - (n - 1).leading_zeros()).max(1);
+    let mut v = String::new();
+    v.push_str(&format!(
+        "\nmodule xbar{n}x{n}_{width} (\n    input clk,\n    input [{ib}:0] in_bus,\n    input [{sb}:0] sel_bus,\n    input sel_we,\n    output [{ib}:0] out_bus\n);\n",
+        ib = n * width - 1,
+        sb = n * sel_w - 1,
+    ));
+    for i in 0..n {
+        v.push_str(&format!(
+            "    wire [{im}:0] in{i} = in_bus[{hi}:{lo}];\n",
+            hi = (i + 1) * width - 1,
+            lo = i * width
+        ));
+    }
+    for o in 0..n {
+        v.push_str(&format!(
+            "    reg [{sm}:0] sel{o};\n    always @(posedge clk) if (sel_we) sel{o} <= sel_bus[{hi}:{lo}];\n",
+            sm = sel_w - 1,
+            hi = (o + 1) * sel_w - 1,
+            lo = o * sel_w
+        ));
+        let mut expr = "in0".to_string();
+        for i in 1..n {
+            expr = format!("((sel{o} == {sel_w}'d{i}) ? in{i} : {expr})");
+        }
+        v.push_str(&format!(
+            "    reg [{im}:0] out{o};\n    always @(posedge clk) out{o} <= {expr};\n    assign out_bus[{hi}:{lo}] = out{o};\n",
+            hi = (o + 1) * width - 1,
+            lo = o * width
+        ));
+    }
+    v.push_str("endmodule\n");
+    Design::new(
+        format!("xbar_{n}x{n}_{width}"),
+        Family::Peripheral,
+        format!("xbar{n}x{n}_{width}"),
+        "xbar",
+        v,
+    )
+}
+
+/// A direct-mapped cache controller slice: tag/valid arrays, hit
+/// comparison, and a write-allocate state register.
+pub fn cache_ctrl(sets: u32, tag_w: u32) -> Design {
+    assert!(sets.is_power_of_two(), "sets must be a power of two");
+    let idx_w = sets.trailing_zeros().max(1);
+    let tm = tag_w - 1;
+    let verilog = format!(
+        r#"
+module cache{sets}_{tag_w} (
+    input clk, input rst,
+    input req_valid,
+    input req_write,
+    input [{am}:0] req_addr,
+    output hit,
+    output evict,
+    output [{tm}:0] evict_tag
+);
+    reg [{tm}:0] tags [0:{last}];
+    reg [{last}:0] valid;
+    wire [{xm}:0] index = req_addr[{xm}:0];
+    wire [{tm}:0] tag = req_addr[{am}:{idx_w}];
+    wire [{tm}:0] stored = tags[index];
+    wire way_valid = (valid >> index) & 1'b1;
+    wire tag_match = stored == tag;
+    wire is_hit = req_valid && way_valid && tag_match;
+    wire is_miss = req_valid && !is_hit;
+    always @(posedge clk) begin
+        if (rst) valid <= {sets}'d0;
+        else if (is_miss) begin
+            tags[index] <= tag;
+            valid <= valid | ({sets}'d1 << index);
+        end
+    end
+    reg [{tm}:0] evict_r;
+    reg evict_v;
+    always @(posedge clk) begin
+        if (rst) begin
+            evict_v <= 1'b0;
+            evict_r <= {tag_w}'d0;
+        end else begin
+            evict_v <= is_miss && way_valid && req_write;
+            evict_r <= stored;
+        end
+    end
+    assign hit = is_hit;
+    assign evict = evict_v;
+    assign evict_tag = evict_r;
+endmodule
+"#,
+        am = tag_w + idx_w - 1,
+        xm = idx_w - 1,
+        last = sets - 1,
+    );
+    Design::new(
+        format!("cache_{sets}_{tag_w}"),
+        Family::Peripheral,
+        format!("cache{sets}_{tag_w}"),
+        "cache",
+        verilog,
+    )
+}
+
+/// A structurally-described shift-add multiplier (radix-2 Booth-style
+/// recoding unrolled across the operand): exercises adders, muxes and
+/// wiring rather than the `*` operator.
+pub fn shift_add_multiplier(width: u32) -> Design {
+    let im = width - 1;
+    let pm = 2 * width - 1;
+    let mut v = String::new();
+    v.push_str(&format!(
+        "\nmodule shiftmul{width} (\n    input clk,\n    input [{im}:0] a,\n    input [{im}:0] b,\n    output [{pm}:0] p\n);\n"
+    ));
+    v.push_str(&format!("    wire [{pm}:0] acc0 = {w2}'d0;\n", w2 = 2 * width));
+    for i in 0..width {
+        v.push_str(&format!(
+            "    wire [{pm}:0] pp{i} = b[{i}] ? ({{{pad}'d0, a}} << {i}) : {w2}'d0;\n    wire [{pm}:0] acc{next} = acc{i} + pp{i};\n",
+            pad = width,
+            w2 = 2 * width,
+            next = i + 1,
+        ));
+    }
+    v.push_str(&format!(
+        "    reg [{pm}:0] p_r;\n    always @(posedge clk) p_r <= acc{width};\n    assign p = p_r;\nendmodule\n"
+    ));
+    Design::new(
+        format!("shiftmul_{width}"),
+        Family::LinearAlgebra,
+        format!("shiftmul{width}"),
+        "shiftmul",
+        v,
+    )
+}
+
+/// An unrolled CORDIC rotator: per-iteration conditional add/subtract of
+/// arctangent constants with arithmetic shifts.
+pub fn cordic(iterations: u32, width: u32) -> Design {
+    let im = width - 1;
+    let mut v = String::new();
+    v.push_str(&format!(
+        "\nmodule cordic{iterations}_{width} (\n    input clk,\n    input [{im}:0] x_in, y_in, z_in,\n    output [{im}:0] x_out, y_out\n);\n"
+    ));
+    v.push_str(&format!(
+        "    wire [{im}:0] x0 = x_in;\n    wire [{im}:0] y0 = y_in;\n    wire [{im}:0] z0 = z_in;\n"
+    ));
+    for i in 0..iterations {
+        let atan = (1u64 << width.saturating_sub(3)) >> i;
+        v.push_str(&format!(
+            r#"    wire neg{i} = z{i}[{im}];
+    wire [{im}:0] xs{i} = x{i} >> {i};
+    wire [{im}:0] ys{i} = y{i} >> {i};
+    wire [{im}:0] x{n} = neg{i} ? (x{i} + ys{i}) : (x{i} - ys{i});
+    wire [{im}:0] y{n} = neg{i} ? (y{i} - xs{i}) : (y{i} + xs{i});
+    wire [{im}:0] z{n} = neg{i} ? (z{i} + {width}'d{atan}) : (z{i} - {width}'d{atan});
+"#,
+            n = i + 1,
+        ));
+    }
+    v.push_str(&format!(
+        "    reg [{im}:0] xr, yr;\n    always @(posedge clk) begin\n        xr <= x{iterations};\n        yr <= y{iterations};\n    end\n    assign x_out = xr;\n    assign y_out = yr;\nendmodule\n"
+    ));
+    Design::new(
+        format!("cordic_{iterations}_{width}"),
+        Family::NonlinearApprox,
+        format!("cordic{iterations}_{width}"),
+        "cordic",
+        v,
+    )
+}
+
+/// A Fibonacci LFSR pseudo-random generator.
+pub fn lfsr(width: u32) -> Design {
+    let im = width - 1;
+    // A few tap positions spread over the register.
+    let t1 = width - 1;
+    let t2 = width / 2;
+    let t3 = width / 3;
+    let verilog = format!(
+        r#"
+module lfsr{width} (
+    input clk, input rst,
+    input enable,
+    output [{im}:0] value
+);
+    reg [{im}:0] state;
+    wire feedback = state[{t1}] ^ state[{t2}] ^ state[{t3}] ^ state[0];
+    always @(posedge clk) begin
+        if (rst) state <= {width}'d1;
+        else if (enable) state <= {{state[{sm}:0], feedback}};
+    end
+    assign value = state;
+endmodule
+"#,
+        sm = width - 2,
+    );
+    Design::new(format!("lfsr_{width}"), Family::Cryptographic, format!("lfsr{width}"), "lfsr", verilog)
+}
+
+/// A 4-point DCT butterfly with constant multipliers.
+pub fn dct4(width: u32) -> Design {
+    let im = width - 1;
+    let pm = 2 * width - 1;
+    let c1 = (1u64 << (width.min(12) - 1)) | 3;
+    let c2 = (1u64 << (width.min(12) - 2)) | 5;
+    let verilog = format!(
+        r#"
+module dct4_{width} (
+    input clk,
+    input [{im}:0] x0, x1, x2, x3,
+    output [{pm}:0] y0, y1, y2, y3
+);
+    wire [{im}:0] s0 = x0 + x3;
+    wire [{im}:0] s1 = x1 + x2;
+    wire [{im}:0] d0 = x0 - x3;
+    wire [{im}:0] d1 = x1 - x2;
+    reg [{pm}:0] y0r, y1r, y2r, y3r;
+    always @(posedge clk) begin
+        y0r <= (s0 + s1) * {width}'d{c1};
+        y2r <= (s0 - s1) * {width}'d{c1};
+        y1r <= d0 * {width}'d{c1} + d1 * {width}'d{c2};
+        y3r <= d0 * {width}'d{c2} - d1 * {width}'d{c1};
+    end
+    assign y0 = y0r;
+    assign y1 = y1r;
+    assign y2 = y2r;
+    assign y3 = y3r;
+endmodule
+"#,
+    );
+    Design::new(format!("dct4_{width}"), Family::SignalProcessing, format!("dct4_{width}"), "dct", verilog)
+}
+
+/// A parallel string matcher: compares a sliding window of input bytes
+/// against `patterns` stored constant patterns (KMP-flavoured workload
+/// from MachSuite, as hardware).
+pub fn string_match(patterns: u32) -> Design {
+    let mut v = String::new();
+    v.push_str(&format!(
+        "\nmodule strmatch{patterns} (\n    input clk, input rst,\n    input [7:0] byte_in,\n    output [{pm}:0] match_flags,\n    output [15:0] match_count\n);\n",
+        pm = patterns - 1,
+    ));
+    // 4-byte sliding window.
+    v.push_str(
+        "    reg [7:0] w0, w1, w2, w3;\n    always @(posedge clk) begin\n        w0 <= byte_in;\n        w1 <= w0;\n        w2 <= w1;\n        w3 <= w2;\n    end\n",
+    );
+    for p in 0..patterns {
+        let b0 = 0x41 + (p % 26) as u64;
+        let b1 = 0x41 + ((p * 7 + 3) % 26) as u64;
+        let b2 = 0x41 + ((p * 13 + 5) % 26) as u64;
+        let b3 = 0x41 + ((p * 19 + 11) % 26) as u64;
+        v.push_str(&format!(
+            "    wire m{p} = (w3 == 8'd{b0}) && (w2 == 8'd{b1}) && (w1 == 8'd{b2}) && (w0 == 8'd{b3});\n    assign match_flags[{p}] = m{p};\n"
+        ));
+    }
+    let ors: Vec<String> = (0..patterns).map(|p| format!("{{15'd0, m{p}}}")).collect();
+    v.push_str(&format!(
+        "    reg [15:0] count;\n    always @(posedge clk) begin\n        if (rst) count <= 16'd0;\n        else count <= count + {};\n    end\n    assign match_count = count;\nendmodule\n",
+        ors.join(" + ")
+    ));
+    Design::new(
+        format!("strmatch_{patterns}"),
+        Family::Sort, // string processing kernels group with the sorting class here
+        format!("strmatch{patterns}"),
+        "strmatch",
+        v,
+    )
+}
+
+/// One round of an MD5-flavoured hash: modular adds, rotations and a
+/// nonlinear boolean function.
+pub fn hash_round() -> Design {
+    let verilog = r#"
+module hash_round (
+    input clk,
+    input [31:0] a_in, b_in, c_in, d_in,
+    input [31:0] msg,
+    input [31:0] konst,
+    output [31:0] a_out, b_out, c_out, d_out
+);
+    wire [31:0] f = (b_in & c_in) | (~b_in & d_in);
+    wire [31:0] sum = a_in + f + msg + konst;
+    wire [31:0] rot = {sum[24:0], sum[31:25]};
+    reg [31:0] ar, br, cr, dr;
+    always @(posedge clk) begin
+        ar <= d_in;
+        br <= b_in + rot;
+        cr <= b_in;
+        dr <= c_in;
+    end
+    assign a_out = ar;
+    assign b_out = br;
+    assign c_out = cr;
+    assign d_out = dr;
+endmodule
+"#
+    .to_string();
+    Design::new("hash_round", Family::Cryptographic, "hash_round", "hash", verilog)
+}
+
+/// The 41-design catalog plus the extra generators — a 49-design pool for
+/// robustness testing and size-ladder studies.
+pub fn extended() -> Vec<Design> {
+    let mut all = catalog();
+    all.extend([
+        crossbar(8, 16),
+        cache_ctrl(64, 20),
+        shift_add_multiplier(16),
+        cordic(12, 16),
+        lfsr(32),
+        dct4(12),
+        string_match(16),
+        hash_round(),
+    ]);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_netlist::{parse_and_elaborate, CellKind, Simulator};
+
+    #[test]
+    fn extended_designs_all_elaborate() {
+        let all = extended();
+        assert_eq!(all.len(), 49);
+        for d in &all[41..] {
+            let nl = parse_and_elaborate(&d.verilog, &d.top)
+                .unwrap_or_else(|e| panic!("{}: {e}", d.name));
+            nl.validate().unwrap_or_else(|e| panic!("{}: {e}", d.name));
+            assert!(nl.logic_cell_count() > 5, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn shift_add_multiplier_multiplies() {
+        let d = shift_add_multiplier(8);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+        // It must NOT use a hardware multiplier cell.
+        assert_eq!(nl.cells().filter(|c| c.kind == CellKind::Mul).count(), 0);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for (a, b) in [(7u128, 9u128), (255, 255), (0, 123), (13, 11)] {
+            sim.set_input("a", a).unwrap();
+            sim.set_input("b", b).unwrap();
+            sim.step().unwrap();
+            assert_eq!(sim.output("p").unwrap(), a * b, "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn lfsr_cycles_through_states() {
+        let d = lfsr(16);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("rst", 1).unwrap();
+        sim.step().unwrap();
+        sim.set_input("rst", 0).unwrap();
+        sim.set_input("enable", 1).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            sim.step().unwrap();
+            seen.insert(sim.output("value").unwrap());
+        }
+        assert!(seen.len() > 48, "LFSR should not repeat quickly: {} states", seen.len());
+    }
+
+    #[test]
+    fn cache_hits_after_fill() {
+        let d = cache_ctrl(16, 8);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("rst", 1).unwrap();
+        sim.step().unwrap();
+        sim.set_input("rst", 0).unwrap();
+        // Miss then hit on the same address.
+        sim.set_input("req_valid", 1).unwrap();
+        sim.set_input("req_addr", 0xAB3).unwrap();
+        sim.eval().unwrap();
+        assert_eq!(sim.output("hit").unwrap(), 0, "cold cache should miss");
+        sim.step().unwrap(); // allocate
+        sim.eval().unwrap();
+        assert_eq!(sim.output("hit").unwrap(), 1, "second access should hit");
+    }
+
+    #[test]
+    fn string_matcher_counts_matches() {
+        let d = string_match(4);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("rst", 1).unwrap();
+        sim.step().unwrap();
+        sim.set_input("rst", 0).unwrap();
+        // Pattern 0 is bytes (0x41, 0x44, 0x46, 0x4C) given the generator's
+        // constants for p=0: b0=0x41+(0)=A, b1=0x41+3=D, b2=0x41+5=F, b3=0x41+11=L.
+        for b in [0x41u128, 0x44, 0x46, 0x4C] {
+            sim.set_input("byte_in", b).unwrap();
+            sim.step().unwrap();
+        }
+        assert_eq!(sim.output("match_flags").unwrap() & 1, 1, "pattern 0 should match");
+    }
+}

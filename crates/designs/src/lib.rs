@@ -1,0 +1,206 @@
+//! # sns-designs
+//!
+//! The hardware-design dataset generators (§4.1 / Table 3 of the SNS
+//! paper).
+//!
+//! The paper collects 41 open-source Verilog designs across ten
+//! application classes (processor cores, peripherals, ML accelerators,
+//! vector units, signal processing, crypto, linear algebra, sorting,
+//! non-linear approximation, and "other"), re-implementing several
+//! MachSuite kernels in Chisel. Those exact repositories are not
+//! available here, so this crate provides *parameterizable generators* in
+//! the same classes and size range, each emitting plain synthesizable
+//! Verilog **source text** — which forces the whole SNS front-end (parser
+//! → elaborator → GraphIR) on every use, exactly like the paper's flow
+//! compiles Verilog through Yosys.
+//!
+//! [`catalog`] returns the standard 41-design dataset.
+//!
+//! # Example
+//!
+//! ```rust
+//! use sns_designs::catalog;
+//! use sns_netlist::parse_and_elaborate;
+//!
+//! let designs = catalog();
+//! assert_eq!(designs.len(), 41);
+//! let d = &designs[0];
+//! let netlist = parse_and_elaborate(&d.verilog, &d.top).expect("catalog designs elaborate");
+//! assert!(netlist.logic_cell_count() > 0);
+//! ```
+
+pub mod boomlike;
+pub mod cores;
+pub mod crypto;
+pub mod diannao;
+pub mod dsp;
+pub mod extra;
+pub mod linalg;
+pub mod mlaccel;
+pub mod misc;
+pub mod nonlinear;
+pub mod peripherals;
+pub mod sort;
+pub mod vector;
+
+use std::fmt;
+
+/// The application classes of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Family {
+    /// Rocket / Ariane / Sodor-class processor cores.
+    ProcessorCore,
+    /// IceNet / GPIO-class peripheral components.
+    Peripheral,
+    /// Gemmini / NVDLA / DianNao-class ML accelerators.
+    MachineLearning,
+    /// SIMD ALUs / Hwacha-class vector arithmetic.
+    VectorArithmetic,
+    /// FFT / convolution signal processing.
+    SignalProcessing,
+    /// AES / SHA3 cryptographic arithmetic.
+    Cryptographic,
+    /// GEMM / SPMV linear algebra.
+    LinearAlgebra,
+    /// Merge / radix sorting.
+    Sort,
+    /// Lookup tables / piecewise approximation.
+    NonlinearApprox,
+    /// FP unit / Stencil2D / Viterbi.
+    Other,
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Family::ProcessorCore => "processor-core",
+            Family::Peripheral => "peripheral",
+            Family::MachineLearning => "ml-accelerator",
+            Family::VectorArithmetic => "vector-arithmetic",
+            Family::SignalProcessing => "signal-processing",
+            Family::Cryptographic => "cryptographic",
+            Family::LinearAlgebra => "linear-algebra",
+            Family::Sort => "sort",
+            Family::NonlinearApprox => "nonlinear-approx",
+            Family::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One generated design: a name, its class, and Verilog source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Design {
+    /// Unique dataset name, e.g. `"simd_alu_8x16"`.
+    pub name: String,
+    /// Application class.
+    pub family: Family,
+    /// Top module name within [`Design::verilog`].
+    pub top: String,
+    /// Synthesizable Verilog source.
+    pub verilog: String,
+    /// Designs generated from the same parameterizable base share a base
+    /// id; the dataset split keeps a base on one side only (§4.1: "we
+    /// avoid putting designs generated from the same parameterizable base
+    /// design in both the training and the testing sets").
+    pub base: String,
+}
+
+impl Design {
+    /// Creates a design record.
+    pub fn new(
+        name: impl Into<String>,
+        family: Family,
+        top: impl Into<String>,
+        base: impl Into<String>,
+        verilog: String,
+    ) -> Self {
+        Design { name: name.into(), family, top: top.into(), base: base.into(), verilog }
+    }
+}
+
+/// The standard 41-design hardware dataset (the analogue of Table 3).
+pub fn catalog() -> Vec<Design> {
+    vec![
+        // Processor cores (4)
+        cores::sodor_like(32),
+        cores::rocket_like(32),
+        cores::rocket_like(64),
+        cores::ariane_like(),
+        // Peripherals (4)
+        peripherals::gpio(8),
+        peripherals::gpio(32),
+        peripherals::uart_like(),
+        peripherals::icenet_like(),
+        // ML accelerators (6)
+        mlaccel::systolic_array(4, 8),
+        mlaccel::systolic_array(8, 16),
+        mlaccel::nvdla_like(8),
+        diannao::diannao(&diannao::DianNaoParams { tn: 4, ..Default::default() }),
+        diannao::diannao(&diannao::DianNaoParams { tn: 8, ..Default::default() }),
+        diannao::diannao(&diannao::DianNaoParams::default()),
+        // Vector arithmetic (5)
+        vector::simd_alu(4, 8),
+        vector::simd_alu(8, 16),
+        vector::simd_alu(16, 32),
+        vector::hwacha_like(4, 32),
+        vector::hwacha_like(8, 16),
+        // Signal processing (5)
+        dsp::fft_stage(8, 16),
+        dsp::fft_stage(16, 16),
+        dsp::fir(8, 16),
+        dsp::fir(16, 16),
+        dsp::conv2d(3, 8),
+        // Crypto (3)
+        crypto::aes_round(),
+        crypto::sha3_like(4),
+        crypto::sha3_like(8),
+        // Linear algebra (4)
+        linalg::gemm(2, 16),
+        linalg::gemm(4, 16),
+        linalg::spmv(4, 16),
+        linalg::spmv(8, 32),
+        // Sort (4)
+        sort::merge_sort_network(8, 16),
+        sort::merge_sort_network(16, 16),
+        sort::radix_sort_stage(8, 16),
+        sort::radix_sort_stage(16, 32),
+        // Non-linear approximation (3)
+        nonlinear::lut(128, 8),
+        nonlinear::lut(64, 16),
+        nonlinear::piecewise(8, 16),
+        // Other (3)
+        misc::fp_unit(),
+        misc::stencil2d(1, 16),
+        misc::viterbi(4, 8),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalog_has_41_unique_designs() {
+        let c = catalog();
+        assert_eq!(c.len(), 41, "the paper's dataset has 41 designs");
+        let names: HashSet<_> = c.iter().map(|d| d.name.clone()).collect();
+        assert_eq!(names.len(), 41, "design names must be unique");
+    }
+
+    #[test]
+    fn catalog_covers_all_families() {
+        let c = catalog();
+        let fams: HashSet<_> = c.iter().map(|d| d.family).collect();
+        assert_eq!(fams.len(), 10, "all ten Table 3 classes present");
+    }
+
+    #[test]
+    fn parameter_variants_share_a_base() {
+        let c = catalog();
+        let bases: HashSet<_> = c.iter().map(|d| d.base.clone()).collect();
+        assert!(bases.len() >= 20, "enough independent bases for a fair split");
+        assert!(bases.len() < c.len(), "some designs are parameter variants");
+    }
+}

@@ -1,0 +1,141 @@
+//! Linear-algebra generators (GEMM tile, SpMV lane unit).
+
+use crate::{Design, Family};
+
+/// A GEMM tile computing a `t × t` block of dot products per cycle:
+/// t² MACs over shared row/column operand buses with accumulators.
+pub fn gemm(t: u32, width: u32) -> Design {
+    let im = width - 1;
+    let am = 2 * width - 1;
+    let mut v = String::new();
+    v.push_str(&format!(
+        "\nmodule gemm{t}x{t}_{width} (\n    input clk, input rst,\n    input [{rb}:0] row_bus,\n    input [{rb}:0] col_bus,\n    output [{ob}:0] c_bus\n);\n",
+        rb = t * width - 1,
+        ob = t * t * 2 * width - 1,
+    ));
+    for i in 0..t {
+        v.push_str(&format!(
+            "    wire [{im}:0] a{i} = row_bus[{hi}:{lo}];\n",
+            hi = (i + 1) * width - 1,
+            lo = i * width
+        ));
+        v.push_str(&format!(
+            "    wire [{im}:0] b{i} = col_bus[{hi}:{lo}];\n",
+            hi = (i + 1) * width - 1,
+            lo = i * width
+        ));
+    }
+    for i in 0..t {
+        for j in 0..t {
+            let idx = i * t + j;
+            v.push_str(&format!(
+                r#"    reg [{am}:0] c{i}_{j};
+    always @(posedge clk) begin
+        if (rst) c{i}_{j} <= {aw}'d0;
+        else c{i}_{j} <= c{i}_{j} + a{i} * b{j};
+    end
+    assign c_bus[{hi}:{lo}] = c{i}_{j};
+"#,
+                aw = 2 * width,
+                hi = (idx + 1) * 2 * width - 1,
+                lo = idx * 2 * width,
+            ));
+        }
+    }
+    v.push_str("endmodule\n");
+    Design::new(
+        format!("gemm_{t}x{t}_{width}"),
+        Family::LinearAlgebra,
+        format!("gemm{t}x{t}_{width}"),
+        "gemm",
+        v,
+    )
+}
+
+/// A sparse matrix-vector lane unit: `lanes` value/column pairs per cycle,
+/// each gated by a row-bound comparison, merged through an adder tree into
+/// a row accumulator.
+pub fn spmv(lanes: u32, width: u32) -> Design {
+    let im = width - 1;
+    let am = 2 * width - 1;
+    let mut v = String::new();
+    v.push_str(&format!(
+        "\nmodule spmv{lanes}_{width} (\n    input clk, input rst,\n    input [{vb}:0] values,\n    input [{cb}:0] cols,\n    input [{vb}:0] vec,\n    input [15:0] row_end,\n    output [{am}:0] row_sum\n);\n",
+        vb = lanes * width - 1,
+        cb = lanes * 16 - 1,
+    ));
+    for l in 0..lanes {
+        v.push_str(&format!(
+            r#"    wire [{im}:0] val{l} = values[{vhi}:{vlo}];
+    wire [15:0] col{l} = cols[{chi}:{clo}];
+    wire [{im}:0] x{l} = vec[{vhi}:{vlo}];
+    wire active{l} = col{l} < row_end;
+    wire [{am}:0] prod{l} = active{l} ? (val{l} * x{l}) : {aw}'d0;
+"#,
+            vhi = (l + 1) * width - 1,
+            vlo = l * width,
+            chi = (l + 1) * 16 - 1,
+            clo = l * 16,
+            aw = 2 * width,
+        ));
+    }
+    let mut terms: Vec<String> = (0..lanes).map(|l| format!("prod{l}")).collect();
+    let mut lvl = 0;
+    while terms.len() > 1 {
+        let mut next = Vec::new();
+        for (k, pair) in terms.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                let nm = format!("ps_{lvl}_{k}");
+                v.push_str(&format!("    wire [{am}:0] {nm} = {} + {};\n", pair[0], pair[1]));
+                next.push(nm);
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        terms = next;
+        lvl += 1;
+    }
+    v.push_str(&format!(
+        r#"    reg [{am}:0] acc;
+    always @(posedge clk) begin
+        if (rst) acc <= {aw}'d0;
+        else acc <= acc + {top};
+    end
+    assign row_sum = acc;
+endmodule
+"#,
+        aw = 2 * width,
+        top = terms[0]
+    ));
+    Design::new(
+        format!("spmv_{lanes}_{width}"),
+        Family::LinearAlgebra,
+        format!("spmv{lanes}_{width}"),
+        "spmv",
+        v,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_netlist::{parse_and_elaborate, CellKind};
+
+    #[test]
+    fn gemm_tile_has_t_squared_macs() {
+        let d = gemm(4, 16);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+        nl.validate().unwrap();
+        assert_eq!(nl.cells().filter(|c| c.kind == CellKind::Mul).count(), 16);
+        assert_eq!(nl.cells().filter(|c| c.kind == CellKind::Dff).count(), 16);
+    }
+
+    #[test]
+    fn spmv_gates_products_with_comparators() {
+        let d = spmv(4, 16);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+        nl.validate().unwrap();
+        assert_eq!(nl.cells().filter(|c| c.kind == CellKind::Lgt).count(), 4);
+        assert_eq!(nl.cells().filter(|c| c.kind == CellKind::Mul).count(), 4);
+    }
+}

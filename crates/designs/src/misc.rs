@@ -1,0 +1,216 @@
+//! "Other" generators: FP unit, multi-core Stencil2D, Viterbi decoder.
+
+use crate::{Design, Family};
+
+/// A combined FP32 adder + multiplier execution unit (Berkeley
+/// HardFloat-flavoured: explicit sign/exponent/mantissa datapaths with
+/// alignment and normalization shifters).
+pub fn fp_unit() -> Design {
+    let verilog = r#"
+module fp_unit (
+    input clk,
+    input op_mul,
+    input [31:0] a,
+    input [31:0] b,
+    output [31:0] result
+);
+    wire sa = a[31];
+    wire sb = b[31];
+    wire [7:0] ea = a[30:23];
+    wire [7:0] eb = b[30:23];
+    wire [23:0] ma = {1'b1, a[22:0]};
+    wire [23:0] mb = {1'b1, b[22:0]};
+
+    // ---- multiply path ----
+    wire smul = sa ^ sb;
+    wire [47:0] prod = ma * mb;
+    wire mnorm = prod[47];
+    wire [22:0] mfrac = mnorm ? prod[46:24] : prod[45:23];
+    wire [7:0] emul = ea + eb - 8'd127 + (mnorm ? 8'd1 : 8'd0);
+    wire [31:0] mul_res = {smul, emul, mfrac};
+
+    // ---- add path ----
+    wire a_big = {ea, a[22:0]} >= {eb, b[22:0]};
+    wire [7:0] ediff = a_big ? (ea - eb) : (eb - ea);
+    wire [23:0] mbig = a_big ? ma : mb;
+    wire [23:0] msml = a_big ? mb : ma;
+    wire [23:0] aligned = msml >> ediff;
+    wire sub = sa ^ sb;
+    wire [24:0] sum = sub ? ({1'b0, mbig} - {1'b0, aligned})
+                          : ({1'b0, mbig} + {1'b0, aligned});
+    // Normalization: priority shift by 16/8/4/2/1.
+    wire [24:0] n16 = (sum[24:9] == 16'd0) ? {sum[8:0], 16'd0} : sum;
+    wire [4:0] sh16 = (sum[24:9] == 16'd0) ? 5'd16 : 5'd0;
+    wire [24:0] n8 = (n16[24:17] == 8'd0) ? {n16[16:0], 8'd0} : n16;
+    wire [4:0] sh8 = (n16[24:17] == 8'd0) ? 5'd8 : 5'd0;
+    wire [24:0] n4 = (n8[24:21] == 4'd0) ? {n8[20:0], 4'd0} : n8;
+    wire [4:0] sh4 = (n8[24:21] == 4'd0) ? 5'd4 : 5'd0;
+    wire [24:0] n2 = (n4[24:23] == 2'd0) ? {n4[22:0], 2'd0} : n4;
+    wire [4:0] sh2 = (n4[24:23] == 2'd0) ? 5'd2 : 5'd0;
+    wire [24:0] n1 = (n2[24] == 1'd0) ? {n2[23:0], 1'd0} : n2;
+    wire [4:0] sh1 = (n2[24] == 1'd0) ? 5'd1 : 5'd0;
+    wire [4:0] shtot = sh16 + sh8 + sh4 + sh2 + sh1;
+    wire [7:0] ebig = a_big ? ea : eb;
+    wire [7:0] eadd = ebig + 8'd1 - {3'd0, shtot};
+    wire sadd = a_big ? sa : sb;
+    wire [31:0] add_res = {sadd, eadd, n1[23:1]};
+
+    reg [31:0] res_r;
+    always @(posedge clk) res_r <= op_mul ? mul_res : add_res;
+    assign result = res_r;
+endmodule
+"#
+    .to_string();
+    Design::new("fp_unit", Family::Other, "fp_unit", "fp_unit", verilog)
+}
+
+/// A multi-core Stencil2D accelerator: `cores` independent 3×3 stencil
+/// engines (line buffers + MAC trees), matching the paper's largest
+/// Figure 7 design when instantiated as `stencil2d(16, 32)`.
+pub fn stencil2d(cores: u32, width: u32) -> Design {
+    let im = width - 1;
+    let pm = 2 * width - 1;
+    let mut v = String::new();
+    // Single-core engine module.
+    v.push_str(&format!(
+        "\nmodule stencil_core_{width} (\n    input clk,\n    input [{im}:0] pixel,\n    output [{pm}:0] stencil_out\n);\n"
+    ));
+    let depth = 12u32;
+    let mut prev = "pixel".to_string();
+    for r in 0..3 {
+        for c in 0..depth {
+            v.push_str(&format!(
+                "    reg [{im}:0] lb{r}_{c};\n    always @(posedge clk) lb{r}_{c} <= {prev};\n"
+            ));
+            prev = format!("lb{r}_{c}");
+        }
+    }
+    let mut terms = Vec::new();
+    for r in 0..3 {
+        for c in 0..3 {
+            let coef = (r * 13 + c * 7 + 1) % (1 << width.min(12)) | 1;
+            let nm = format!("sm{r}_{c}");
+            v.push_str(&format!("    wire [{pm}:0] {nm} = lb{r}_{c} * {width}'d{coef};\n"));
+            terms.push(nm);
+        }
+    }
+    let mut lvl = 0;
+    while terms.len() > 1 {
+        let mut next = Vec::new();
+        for (k, pair) in terms.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                let nm = format!("st_{lvl}_{k}");
+                v.push_str(&format!("    wire [{pm}:0] {nm} = {} + {};\n", pair[0], pair[1]));
+                next.push(nm);
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        terms = next;
+        lvl += 1;
+    }
+    v.push_str(&format!(
+        "    reg [{pm}:0] out_r;\n    always @(posedge clk) out_r <= {};\n    assign stencil_out = out_r;\nendmodule\n",
+        terms[0]
+    ));
+    // Multi-core top.
+    v.push_str(&format!(
+        "\nmodule stencil2d_{cores}c_{width} (\n    input clk,\n    input [{b}:0] pixels,\n    output [{ob}:0] results\n);\n",
+        b = cores * width - 1,
+        ob = cores * 2 * width - 1,
+    ));
+    for c in 0..cores {
+        v.push_str(&format!(
+            "    wire [{pm}:0] core_out{c};\n    stencil_core_{width} u{c} (.clk(clk), .pixel(pixels[{hi}:{lo}]), .stencil_out(core_out{c}));\n    assign results[{ohi}:{olo}] = core_out{c};\n",
+            hi = (c + 1) * width - 1,
+            lo = c * width,
+            ohi = (c + 1) * 2 * width - 1,
+            olo = c * 2 * width,
+        ));
+    }
+    v.push_str("endmodule\n");
+    Design::new(
+        format!("stencil2d_{cores}c_{width}"),
+        Family::Other,
+        format!("stencil2d_{cores}c_{width}"),
+        "stencil2d",
+        v,
+    )
+}
+
+/// A Viterbi add-compare-select stage over `states` trellis states.
+pub fn viterbi(states: u32, width: u32) -> Design {
+    let im = width - 1;
+    let mut v = String::new();
+    v.push_str(&format!(
+        "\nmodule viterbi{states}_{width} (\n    input clk, input rst,\n    input [{bm}:0] branch_metrics,\n    output [{sm}:0] survivors\n);\n",
+        bm = 2 * states * width - 1,
+        sm = states - 1,
+    ));
+    for s in 0..states {
+        v.push_str(&format!(
+            "    reg [{im}:0] pm{s};\n",
+        ));
+    }
+    for s in 0..states as usize {
+        let p0 = (2 * s) % states as usize;
+        let p1 = (2 * s + 1) % states as usize;
+        let b0_hi = (2 * s + 1) * width as usize - 1;
+        let b0_lo = 2 * s * width as usize;
+        let b1_hi = (2 * s + 2) * width as usize - 1;
+        let b1_lo = (2 * s + 1) * width as usize;
+        v.push_str(&format!(
+            r#"    wire [{im}:0] cand0_{s} = pm{p0} + branch_metrics[{b0_hi}:{b0_lo}];
+    wire [{im}:0] cand1_{s} = pm{p1} + branch_metrics[{b1_hi}:{b1_lo}];
+    wire sel{s} = cand1_{s} < cand0_{s};
+    wire [{im}:0] best{s} = sel{s} ? cand1_{s} : cand0_{s};
+    always @(posedge clk) begin
+        if (rst) pm{s} <= {width}'d0;
+        else pm{s} <= best{s};
+    end
+    assign survivors[{s}] = sel{s};
+"#
+        ));
+    }
+    v.push_str("endmodule\n");
+    Design::new(
+        format!("viterbi_{states}_{width}"),
+        Family::Other,
+        format!("viterbi{states}_{width}"),
+        "viterbi",
+        v,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_netlist::{parse_and_elaborate, CellKind};
+
+    #[test]
+    fn fp_unit_elaborates_with_mul_and_shifts() {
+        let d = fp_unit();
+        let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+        nl.validate().unwrap();
+        assert!(nl.cells().any(|c| c.kind == CellKind::Mul));
+        assert!(nl.cells().any(|c| c.kind == CellKind::Shr));
+    }
+
+    #[test]
+    fn stencil_cores_scale_linearly() {
+        let one = parse_and_elaborate(&stencil2d(1, 16).verilog, "stencil2d_1c_16").unwrap();
+        let four = parse_and_elaborate(&stencil2d(4, 16).verilog, "stencil2d_4c_16").unwrap();
+        one.validate().unwrap();
+        four.validate().unwrap();
+        assert!(four.logic_cell_count() >= 3 * one.logic_cell_count());
+    }
+
+    #[test]
+    fn viterbi_acs_structure() {
+        let d = viterbi(4, 8);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+        nl.validate().unwrap();
+        assert_eq!(nl.cells().filter(|c| c.kind == CellKind::Lgt).count(), 4);
+        assert_eq!(nl.cells().filter(|c| c.kind == CellKind::Dff).count(), 4);
+    }
+}

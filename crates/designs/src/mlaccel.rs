@@ -1,0 +1,181 @@
+//! ML-accelerator generators (Gemmini / NVDLA analogues).
+
+use crate::{Design, Family};
+
+/// A weight-stationary systolic array in the spirit of Gemmini: an
+/// `n × n` grid of processing elements, each a registered MAC, built as a
+/// module hierarchy (one `pe` definition instantiated n² times).
+pub fn systolic_array(n: u32, width: u32) -> Design {
+    let w = width;
+    let im = w - 1;
+    let am = 2 * w - 1;
+    let mut v = String::new();
+    v.push_str(&format!(
+        r#"
+module pe{w} (
+    input clk,
+    input [{im}:0] a_in,
+    input [{im}:0] b_in,
+    output [{im}:0] a_out,
+    output [{im}:0] b_out,
+    output [{am}:0] acc_out
+);
+    reg [{im}:0] a_r, b_r;
+    reg [{am}:0] acc;
+    always @(posedge clk) begin
+        a_r <= a_in;
+        b_r <= b_in;
+        acc <= acc + a_in * b_in;
+    end
+    assign a_out = a_r;
+    assign b_out = b_r;
+    assign acc_out = acc;
+endmodule
+
+module systolic{n}x{n}_{w} (
+    input clk,
+"#
+    ));
+    for i in 0..n {
+        v.push_str(&format!("    input [{im}:0] a{i},\n"));
+    }
+    for j in 0..n {
+        v.push_str(&format!("    input [{im}:0] b{j},\n"));
+    }
+    v.push_str(&format!("    output [{am}:0] result\n);\n"));
+    // Internal forwarding wires.
+    for i in 0..n {
+        for j in 0..=n {
+            v.push_str(&format!("    wire [{im}:0] ah_{i}_{j};\n"));
+        }
+    }
+    for i in 0..=n {
+        for j in 0..n {
+            v.push_str(&format!("    wire [{im}:0] bv_{i}_{j};\n"));
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            v.push_str(&format!("    wire [{am}:0] acc_{i}_{j};\n"));
+        }
+    }
+    for i in 0..n {
+        v.push_str(&format!("    assign ah_{i}_0 = a{i};\n"));
+    }
+    for j in 0..n {
+        v.push_str(&format!("    assign bv_0_{j} = b{j};\n"));
+    }
+    for i in 0..n {
+        for j in 0..n {
+            v.push_str(&format!(
+                "    pe{w} u_{i}_{j} (.clk(clk), .a_in(ah_{i}_{j}), .b_in(bv_{i}_{j}), \
+                 .a_out(ah_{i}_{jn}), .b_out(bv_{inx}_{j}), .acc_out(acc_{i}_{j}));\n",
+                jn = j + 1,
+                inx = i + 1,
+            ));
+        }
+    }
+    // Reduce all accumulators into one result (balanced xor-free add tree).
+    let mut terms: Vec<String> = (0..n)
+        .flat_map(|i| (0..n).map(move |j| format!("acc_{i}_{j}")))
+        .collect();
+    let mut level = 0;
+    while terms.len() > 1 {
+        let mut next = Vec::new();
+        for (k, pair) in terms.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                let name = format!("sum_{level}_{k}");
+                v.push_str(&format!(
+                    "    wire [{am}:0] {name} = {} + {};\n",
+                    pair[0], pair[1]
+                ));
+                next.push(name);
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        terms = next;
+        level += 1;
+    }
+    v.push_str(&format!("    assign result = {};\nendmodule\n", terms[0]));
+    Design::new(
+        format!("systolic_{n}x{n}_{w}"),
+        Family::MachineLearning,
+        format!("systolic{n}x{n}_{w}"),
+        "systolic",
+        v,
+    )
+}
+
+/// An NVDLA-style convolution MAC unit: `k` parallel multipliers, an adder
+/// tree, and a partial-sum accumulator with saturation compare.
+pub fn nvdla_like(k: u32) -> Design {
+    let mut v = String::new();
+    v.push_str(&format!("\nmodule nvdla_mac{k} (\n    input clk, input rst,\n"));
+    for i in 0..k {
+        v.push_str(&format!("    input [15:0] feat{i},\n    input [15:0] wt{i},\n"));
+    }
+    v.push_str("    input accumulate,\n    output [31:0] psum_out,\n    output saturated\n);\n");
+    for i in 0..k {
+        v.push_str(&format!("    wire [31:0] prod{i} = feat{i} * wt{i};\n"));
+    }
+    let mut terms: Vec<String> = (0..k).map(|i| format!("prod{i}")).collect();
+    let mut level = 0;
+    while terms.len() > 1 {
+        let mut next = Vec::new();
+        for (idx, pair) in terms.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                let name = format!("t_{level}_{idx}");
+                v.push_str(&format!("    wire [31:0] {name} = {} + {};\n", pair[0], pair[1]));
+                next.push(name);
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        terms = next;
+        level += 1;
+    }
+    v.push_str(&format!(
+        r#"    reg [31:0] psum;
+    wire [31:0] tree = {top};
+    always @(posedge clk) begin
+        if (rst) psum <= 32'd0;
+        else if (accumulate) psum <= psum + tree;
+        else psum <= tree;
+    end
+    assign psum_out = psum;
+    assign saturated = psum > 32'h7FFF0000;
+endmodule
+"#,
+        top = terms[0]
+    ));
+    Design::new(format!("nvdla_mac_{k}"), Family::MachineLearning, format!("nvdla_mac{k}"), "nvdla", v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_netlist::{parse_and_elaborate, CellKind};
+
+    #[test]
+    fn systolic_array_has_n_squared_macs() {
+        let d = systolic_array(4, 8);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+        nl.validate().unwrap();
+        let muls = nl.cells().filter(|c| c.kind == CellKind::Mul).count();
+        assert_eq!(muls, 16);
+        let dffs = nl.cells().filter(|c| c.kind == CellKind::Dff).count();
+        assert_eq!(dffs, 48); // 16 PEs x (a_r + b_r + acc)
+    }
+
+    #[test]
+    fn nvdla_mac_elaborates() {
+        let d = nvdla_like(8);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+        nl.validate().unwrap();
+        let muls = nl.cells().filter(|c| c.kind == CellKind::Mul).count();
+        assert_eq!(muls, 8);
+        let adds = nl.cells().filter(|c| c.kind == CellKind::Add).count();
+        assert_eq!(adds, 8); // 7 tree + 1 accumulate
+    }
+}

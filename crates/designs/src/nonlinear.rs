@@ -1,0 +1,105 @@
+//! Non-linear function approximation generators (lookup table, piecewise
+//! approximation) — including the paper's smallest design, a 128-entry
+//! 8-bit lookup table.
+
+use crate::{Design, Family};
+
+/// A writable lookup table: `entries` × `width` storage with one write
+/// port and one registered read port. `lut(128, 8)` is the smallest design
+/// in the paper's runtime comparison (Figure 7).
+pub fn lut(entries: u32, width: u32) -> Design {
+    assert!(entries.is_power_of_two(), "entries must be a power of two");
+    let ab = entries.trailing_zeros().max(1);
+    let im = width - 1;
+    let verilog = format!(
+        r#"
+module lut{entries}x{width} (
+    input clk,
+    input we,
+    input [{abm}:0] waddr,
+    input [{im}:0] wdata,
+    input [{abm}:0] raddr,
+    output [{im}:0] rdata
+);
+    reg [{im}:0] table_mem [0:{last}];
+    always @(posedge clk) begin
+        if (we) table_mem[waddr] <= wdata;
+    end
+    reg [{im}:0] rd_r;
+    always @(posedge clk) rd_r <= table_mem[raddr];
+    assign rdata = rd_r;
+endmodule
+"#,
+        abm = ab - 1,
+        last = entries - 1,
+    );
+    Design::new(
+        format!("lut_{entries}x{width}"),
+        Family::NonlinearApprox,
+        format!("lut{entries}x{width}"),
+        "lut",
+        verilog,
+    )
+}
+
+/// A piecewise-linear function approximator: `segments` breakpoints with
+/// slope/offset selection (the NFU-3 structure as a standalone unit).
+pub fn piecewise(segments: u32, width: u32) -> Design {
+    let im = width - 1;
+    let pm = 2 * width - 1;
+    let mut v = String::new();
+    v.push_str(&format!(
+        "\nmodule pw{segments}_{width} (\n    input clk,\n    input [{im}:0] x,\n    output [{pm}:0] fx\n);\n"
+    ));
+    let step = (1u64 << width) / segments as u64;
+    let mut slope_expr = format!("{width}'d1");
+    let mut offset_expr = format!("{width}'d0");
+    for s in 1..segments {
+        let bp = step * s as u64;
+        let sl = (s * 5 + 3) % (1 << width.min(10)) | 1;
+        let of = (s * 11 + 7) % (1 << width.min(10));
+        v.push_str(&format!("    wire ge{s} = x >= {width}'d{bp};\n"));
+        slope_expr = format!("(ge{s} ? {width}'d{sl} : {slope_expr})");
+        offset_expr = format!("(ge{s} ? {width}'d{of} : {offset_expr})");
+    }
+    v.push_str(&format!(
+        r#"    wire [{im}:0] slope = {slope_expr};
+    wire [{im}:0] offset = {offset_expr};
+    reg [{pm}:0] fx_r;
+    always @(posedge clk) fx_r <= x * slope + offset;
+    assign fx = fx_r;
+endmodule
+"#
+    ));
+    Design::new(
+        format!("piecewise_{segments}_{width}"),
+        Family::NonlinearApprox,
+        format!("pw{segments}_{width}"),
+        "piecewise",
+        v,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_netlist::{parse_and_elaborate, CellKind};
+
+    #[test]
+    fn lut_128x8_is_the_papers_smallest_design() {
+        let d = lut(128, 8);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+        nl.validate().unwrap();
+        // 128 entry registers + the read register.
+        assert_eq!(nl.cells().filter(|c| c.kind == CellKind::Dff).count(), 129);
+    }
+
+    #[test]
+    fn piecewise_has_segment_comparators_and_mac() {
+        let d = piecewise(8, 16);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+        nl.validate().unwrap();
+        assert_eq!(nl.cells().filter(|c| c.kind == CellKind::Lgt).count(), 7);
+        assert_eq!(nl.cells().filter(|c| c.kind == CellKind::Mul).count(), 1);
+    }
+}

@@ -1,0 +1,25 @@
+//! # sns-genmodel
+//!
+//! Generative models for circuit-path data augmentation (§4.2 of the SNS
+//! paper). Real hardware designs are scarce, so SNS augments the ~684
+//! directly-sampled complete circuit paths with ~4096 synthetic ones from
+//! two generators:
+//!
+//! * [`MarkovChain`] — a first-order transition-matrix model (§4.2.1),
+//!   "simple and effective", noisier and less biased;
+//! * [`SeqGan`] — a sequence GAN (Yu et al. 2017, §4.2.2): a GRU generator
+//!   MLE-pretrained on real paths and then trained adversarially with
+//!   REINFORCE against a GRU discriminator, producing longer, more
+//!   coherent paths.
+//!
+//! Both generate token-id sequences over the GraphIR vocabulary;
+//! [`PathValidator`] filters them down to plausible *complete* circuit
+//! paths (terminal endpoints, non-terminal interior).
+
+pub mod markov;
+pub mod seqgan;
+pub mod validate;
+
+pub use markov::MarkovChain;
+pub use seqgan::{SeqGan, SeqGanConfig, SeqGanStats};
+pub use validate::PathValidator;

@@ -1,0 +1,214 @@
+//! First-order Markov-chain path generator (§4.2.1).
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A first-order Markov chain over token ids with virtual START/END
+/// states and Laplace smoothing.
+///
+/// "The transition matrix stores the conditional probability of the next
+/// vertex given the current vertex" — trained by counting adjacent pairs
+/// in real sampled paths.
+///
+/// # Example
+///
+/// ```rust
+/// use sns_genmodel::MarkovChain;
+/// use rand::SeedableRng;
+///
+/// let real: Vec<Vec<usize>> = vec![vec![0, 2, 3, 1], vec![0, 2, 4, 1]];
+/// let mc = MarkovChain::fit(5, &real, 0.01);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let path = mc.generate(&mut rng, 16);
+/// assert!(!path.is_empty());
+/// assert!(path.iter().all(|&t| t < 5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MarkovChain {
+    vocab: usize,
+    /// Row-major `(vocab+1) x (vocab+1)` transition probabilities; state
+    /// `vocab` is START on the row axis and END on the column axis.
+    probs: Vec<f64>,
+}
+
+impl MarkovChain {
+    /// Fits the transition matrix on `paths` (token ids `< vocab`), with
+    /// Laplace smoothing `alpha` (0 disables smoothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab == 0` or any token id is out of range.
+    pub fn fit(vocab: usize, paths: &[Vec<usize>], alpha: f64) -> Self {
+        assert!(vocab > 0, "empty vocabulary");
+        let n = vocab + 1;
+        let mut counts = vec![alpha; n * n];
+        for p in paths {
+            let mut prev = vocab; // START
+            for &t in p {
+                assert!(t < vocab, "token {t} out of vocabulary {vocab}");
+                counts[prev * n + t] += 1.0;
+                prev = t;
+            }
+            counts[prev * n + vocab] += 1.0; // END
+        }
+        // Normalize rows.
+        let mut probs = counts;
+        for r in 0..n {
+            let row = &mut probs[r * n..(r + 1) * n];
+            let sum: f64 = row.iter().sum();
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            } else {
+                // Unseen state: uniform over END to guarantee termination.
+                row[vocab] = 1.0;
+            }
+        }
+        MarkovChain { vocab, probs }
+    }
+
+    /// The vocabulary size the chain was fitted with.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// The transition probability from `from` to `to` (use `vocab` for
+    /// START on `from` and END on `to`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index exceeds `vocab`.
+    pub fn prob(&self, from: usize, to: usize) -> f64 {
+        let n = self.vocab + 1;
+        assert!(from < n && to < n, "state out of range");
+        self.probs[from * n + to]
+    }
+
+    /// Samples one path (may be empty if END is drawn immediately); always
+    /// terminates within `max_len` tokens.
+    pub fn generate(&self, rng: &mut StdRng, max_len: usize) -> Vec<usize> {
+        let n = self.vocab + 1;
+        let mut out = Vec::new();
+        let mut state = self.vocab; // START
+        while out.len() < max_len {
+            let row = &self.probs[state * n..(state + 1) * n];
+            let mut x: f64 = rng.gen();
+            let mut next = self.vocab;
+            for (t, &p) in row.iter().enumerate() {
+                if x < p {
+                    next = t;
+                    break;
+                }
+                x -= p;
+            }
+            if next == self.vocab {
+                break; // END
+            }
+            out.push(next);
+            state = next;
+        }
+        out
+    }
+
+    /// Generates up to `count` *unique* paths not present in `exclude`,
+    /// giving up after `count * 50` attempts (scarce chains may not have
+    /// enough entropy).
+    pub fn generate_unique(
+        &self,
+        rng: &mut StdRng,
+        count: usize,
+        max_len: usize,
+        exclude: &HashSet<Vec<usize>>,
+    ) -> Vec<Vec<usize>> {
+        let mut seen = exclude.clone();
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count.saturating_mul(50) {
+            if out.len() >= count {
+                break;
+            }
+            let p = self.generate(rng, max_len);
+            if p.len() >= 2 && seen.insert(p.clone()) {
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn chain() -> MarkovChain {
+        // Deterministic training corpus: 0 -> 1 -> 2 always.
+        let paths = vec![vec![0, 1, 2]; 10];
+        MarkovChain::fit(3, &paths, 0.0)
+    }
+
+    #[test]
+    fn learns_deterministic_transitions() {
+        let mc = chain();
+        assert!((mc.prob(0, 1) - 1.0).abs() < 1e-12);
+        assert!((mc.prob(1, 2) - 1.0).abs() < 1e-12);
+        assert!((mc.prob(3, 0) - 1.0).abs() < 1e-12); // START -> 0
+        assert!((mc.prob(2, 3) - 1.0).abs() < 1e-12); // 2 -> END
+    }
+
+    #[test]
+    fn generates_the_learned_path() {
+        let mc = chain();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(mc.generate(&mut rng, 16), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn smoothing_spreads_probability() {
+        let paths = vec![vec![0, 1]; 5];
+        let mc = MarkovChain::fit(3, &paths, 1.0);
+        assert!(mc.prob(0, 2) > 0.0);
+        assert!(mc.prob(0, 1) > mc.prob(0, 2));
+    }
+
+    #[test]
+    fn rows_are_distributions() {
+        let mc = MarkovChain::fit(4, &[vec![0, 1, 2, 3], vec![3, 2, 1]], 0.5);
+        for from in 0..=4 {
+            let s: f64 = (0..=4).map(|to| mc.prob(from, to)).sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {from} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn generation_respects_max_len() {
+        // A chain that loops 0 -> 0 forever.
+        let mc = MarkovChain::fit(1, &[vec![0; 100]], 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(mc.generate(&mut rng, 8).len() <= 8);
+    }
+
+    #[test]
+    fn unique_generation_excludes_training_paths() {
+        let paths: Vec<Vec<usize>> = vec![vec![0, 1, 2], vec![0, 2, 1], vec![1, 0, 2]];
+        let mc = MarkovChain::fit(3, &paths, 0.3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let exclude: HashSet<Vec<usize>> = paths.into_iter().collect();
+        let generated = mc.generate_unique(&mut rng, 10, 8, &exclude);
+        for g in &generated {
+            assert!(!exclude.contains(g), "{g:?} is a training path");
+            assert!(g.len() >= 2);
+        }
+        let set: HashSet<_> = generated.iter().cloned().collect();
+        assert_eq!(set.len(), generated.len(), "duplicates in output");
+    }
+
+    #[test]
+    fn unseen_state_terminates() {
+        // Token 2 never appears in training; smoothing off.
+        let mc = MarkovChain::fit(3, &[vec![0, 1]], 0.0);
+        assert!((mc.prob(2, 3) - 1.0).abs() < 1e-12);
+    }
+}

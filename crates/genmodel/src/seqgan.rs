@@ -1,0 +1,434 @@
+//! SeqGAN (§4.2.2): a sequence GAN for circuit paths.
+//!
+//! Following Yu et al. (2017): a recurrent generator produces token
+//! sequences; a recurrent discriminator scores real vs. generated; the
+//! generator is trained with the REINFORCE policy gradient using the
+//! discriminator's probability as the reward. The generator is MLE
+//! pre-trained on the real paths first, as in the original recipe.
+//!
+//! Scale note: the reference SeqGAN trains with batch 2048 for 130 epochs
+//! (the paper's Table 6); [`SeqGanConfig::fast`] keeps the same algorithm
+//! at a CI-friendly scale, and [`SeqGanConfig::paper`] carries the Table 6
+//! values. Rollouts use the terminal reward for every step (Monte-Carlo
+//! rollout count of 1), the cheapest faithful variant.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use sns_nn::{
+    bce_with_logits_loss, softmax_cross_entropy, Adam, Embedding, Grads, Gru, Linear, Mat,
+    Optimizer, ParamRegistry,
+};
+
+/// Hyperparameters for SeqGAN training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqGanConfig {
+    /// Embedding width.
+    pub embed: usize,
+    /// GRU hidden width.
+    pub hidden: usize,
+    /// MLE pre-training epochs over the real set.
+    pub pretrain_epochs: usize,
+    /// Adversarial rounds (each: G policy-gradient steps + D steps).
+    pub adversarial_rounds: usize,
+    /// Generated sequences per generator update.
+    pub g_batch: usize,
+    /// Real+fake pairs per discriminator update.
+    pub d_batch: usize,
+    /// Learning rate (Table 6: 0.01 for SeqGAN).
+    pub lr: f32,
+    /// Maximum generated length.
+    pub max_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SeqGanConfig {
+    /// The paper's Table 6 hyperparameters (batch 2048, lr 0.01, 130
+    /// epochs split between pre-training and adversarial rounds).
+    pub fn paper() -> Self {
+        SeqGanConfig {
+            embed: 32,
+            hidden: 64,
+            pretrain_epochs: 80,
+            adversarial_rounds: 50,
+            g_batch: 2048,
+            d_batch: 2048,
+            lr: 0.01,
+            max_len: 64,
+            seed: 0x5E9A,
+        }
+    }
+
+    /// The same algorithm at CI scale.
+    pub fn fast() -> Self {
+        SeqGanConfig {
+            pretrain_epochs: 40,
+            adversarial_rounds: 6,
+            g_batch: 48,
+            d_batch: 48,
+            ..SeqGanConfig::paper()
+        }
+    }
+}
+
+/// Diagnostics from a training run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SeqGanStats {
+    /// MLE pre-training loss per epoch.
+    pub pretrain_loss: Vec<f32>,
+    /// Discriminator BCE per adversarial round.
+    pub d_loss: Vec<f32>,
+    /// Mean generator reward (discriminator probability) per round.
+    pub g_reward: Vec<f32>,
+}
+
+/// The SeqGAN: generator + discriminator over a token vocabulary.
+#[derive(Debug)]
+pub struct SeqGan {
+    vocab: usize,
+    cfg: SeqGanConfig,
+    // Generator.
+    g_reg: ParamRegistry,
+    g_emb: Embedding,
+    g_gru: Gru,
+    g_out: Linear, // hidden -> vocab+1 (END = vocab)
+    // Discriminator.
+    d_reg: ParamRegistry,
+    d_emb: Embedding,
+    d_gru: Gru,
+    d_out: Linear, // hidden -> 1
+}
+
+impl SeqGan {
+    /// Creates an untrained SeqGAN over `vocab` tokens.
+    pub fn new(vocab: usize, cfg: SeqGanConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut g_reg = ParamRegistry::new();
+        // Generator input vocabulary has a START token (id = vocab).
+        let g_emb = Embedding::new(&mut g_reg, vocab + 1, cfg.embed, &mut rng);
+        let g_gru = Gru::new(&mut g_reg, cfg.embed, cfg.hidden, &mut rng);
+        let g_out = Linear::new(&mut g_reg, cfg.hidden, vocab + 1, &mut rng);
+        let mut d_reg = ParamRegistry::new();
+        let d_emb = Embedding::new(&mut d_reg, vocab + 1, cfg.embed, &mut rng);
+        let d_gru = Gru::new(&mut d_reg, cfg.embed, cfg.hidden, &mut rng);
+        let d_out = Linear::new(&mut d_reg, cfg.hidden, 1, &mut rng);
+        SeqGan { vocab, cfg, g_reg, g_emb, g_gru, g_out, d_reg, d_emb, d_gru, d_out }
+    }
+
+    /// The token vocabulary size (excluding START/END).
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    fn start_id(&self) -> usize {
+        self.vocab
+    }
+
+    fn end_id(&self) -> usize {
+        self.vocab
+    }
+
+    /// Generator logits for each next-token position given the teacher
+    /// sequence `[START, t0, t1, ...]`.
+    fn g_logits(&self, input_ids: &[usize]) -> (Mat, sns_nn::EmbeddingCtx, sns_nn::GruCtx, sns_nn::LinearCtx) {
+        let (emb, ectx) = self.g_emb.forward(input_ids);
+        let (hs, gctx) = self.g_gru.forward(&emb);
+        let (logits, lctx) = self.g_out.forward(&hs);
+        (logits, ectx, gctx, lctx)
+    }
+
+    /// One MLE step over a batch of real sequences; returns the mean CE.
+    fn mle_step(&mut self, batch: &[&Vec<usize>], opt: &mut Adam) -> f32 {
+        let mut grads = Grads::new(&self.g_reg);
+        let mut loss_sum = 0.0;
+        for seq in batch {
+            let mut input = Vec::with_capacity(seq.len() + 1);
+            input.push(self.start_id());
+            input.extend_from_slice(seq);
+            let targets: Vec<usize> = seq.iter().copied().chain([self.end_id()]).collect();
+            let (logits, ectx, gctx, lctx) = self.g_logits(&input);
+            let (loss, dlogits) = softmax_cross_entropy(&logits, &targets);
+            loss_sum += loss;
+            let dh = self.g_out.backward(&lctx, &dlogits, &mut grads);
+            let demb = self.g_gru.backward(&gctx, &dh, &mut grads);
+            self.g_emb.backward(&ectx, &demb, &mut grads);
+        }
+        grads.scale(1.0 / batch.len().max(1) as f32);
+        grads.clip_global_norm(5.0);
+        opt.step_visit(&grads, |f| {
+            self.g_emb.visit_mut(f);
+            self.g_gru.visit_mut(f);
+            self.g_out.visit_mut(f);
+        });
+        loss_sum / batch.len().max(1) as f32
+    }
+
+    /// Samples a sequence from the generator.
+    pub fn sample(&self, rng: &mut StdRng, temperature: f32) -> Vec<usize> {
+        let mut ids = vec![self.start_id()];
+        let mut out = Vec::new();
+        for _ in 0..self.cfg.max_len {
+            let (logits, _, _, _) = self.g_logits(&ids);
+            let last = logits.rows_slice(logits.rows() - 1, logits.rows());
+            let scaled = last.scale(1.0 / temperature.max(1e-3));
+            let probs = scaled.softmax_rows();
+            let mut x: f32 = rng.gen();
+            let mut tok = self.end_id();
+            for (t, &p) in probs.row(0).iter().enumerate() {
+                if x < p {
+                    tok = t;
+                    break;
+                }
+                x -= p;
+            }
+            if tok == self.end_id() {
+                break;
+            }
+            out.push(tok);
+            ids.push(tok);
+        }
+        out
+    }
+
+    /// Discriminator probability that `seq` is real.
+    pub fn discriminate(&self, seq: &[usize]) -> f32 {
+        if seq.is_empty() {
+            return 0.0;
+        }
+        let (emb, _) = self.d_emb.forward(seq);
+        let (hs, _) = self.d_gru.forward(&emb);
+        let last = hs.rows_slice(hs.rows() - 1, hs.rows());
+        let (logit, _) = self.d_out.forward(&last);
+        sns_nn::act::sigmoid(logit.get(0, 0))
+    }
+
+    fn d_step(&mut self, real: &[&Vec<usize>], fake: &[Vec<usize>], opt: &mut Adam) -> f32 {
+        let mut grads = Grads::new(&self.d_reg);
+        let mut loss_sum = 0.0;
+        let mut n = 0;
+        for (seq, label) in real
+            .iter()
+            .map(|s| (s.as_slice(), 1.0f32))
+            .chain(fake.iter().filter(|s| !s.is_empty()).map(|s| (s.as_slice(), 0.0f32)))
+        {
+            let (emb, ectx) = self.d_emb.forward(seq);
+            let (hs, gctx) = self.d_gru.forward(&emb);
+            let t = hs.rows();
+            let last = hs.rows_slice(t - 1, t);
+            let (logit, lctx) = self.d_out.forward(&last);
+            let (loss, dlogit) = bce_with_logits_loss(&logit, &Mat::from_rows(&[&[label]]));
+            loss_sum += loss;
+            n += 1;
+            let dlast = self.d_out.backward(&lctx, &dlogit, &mut grads);
+            let mut dhs = Mat::zeros(t, hs.cols());
+            dhs.row_mut(t - 1).copy_from_slice(dlast.row(0));
+            let demb = self.d_gru.backward(&gctx, &dhs, &mut grads);
+            self.d_emb.backward(&ectx, &demb, &mut grads);
+        }
+        grads.scale(1.0 / n.max(1) as f32);
+        grads.clip_global_norm(5.0);
+        opt.step_visit(&grads, |f| {
+            self.d_emb.visit_mut(f);
+            self.d_gru.visit_mut(f);
+            self.d_out.visit_mut(f);
+        });
+        loss_sum / n.max(1) as f32
+    }
+
+    /// One REINFORCE step: sample sequences, reward each with the
+    /// discriminator, ascend the policy gradient. Returns the mean reward.
+    fn g_policy_step(&mut self, rng: &mut StdRng, opt: &mut Adam) -> f32 {
+        let samples: Vec<Vec<usize>> =
+            (0..self.cfg.g_batch).map(|_| self.sample(rng, 1.0)).collect();
+        let rewards: Vec<f32> = samples.iter().map(|s| self.discriminate(s)).collect();
+        let baseline: f32 = rewards.iter().sum::<f32>() / rewards.len().max(1) as f32;
+        let mut grads = Grads::new(&self.g_reg);
+        let mut used = 0;
+        for (seq, &r) in samples.iter().zip(&rewards) {
+            if seq.is_empty() {
+                continue;
+            }
+            used += 1;
+            let advantage = r - baseline;
+            let mut input = Vec::with_capacity(seq.len() + 1);
+            input.push(self.start_id());
+            input.extend_from_slice(seq);
+            let targets: Vec<usize> = seq.iter().copied().chain([self.end_id()]).collect();
+            let (logits, ectx, gctx, lctx) = self.g_logits(&input);
+            // ∇ of −advantage · log π(token): reuse CE gradient scaled by
+            // the advantage (REINFORCE with the mean-reward baseline).
+            let (_, dlogits) = softmax_cross_entropy(&logits, &targets);
+            let dlogits = dlogits.scale(advantage);
+            let dh = self.g_out.backward(&lctx, &dlogits, &mut grads);
+            let demb = self.g_gru.backward(&gctx, &dh, &mut grads);
+            self.g_emb.backward(&ectx, &demb, &mut grads);
+        }
+        if used > 0 {
+            grads.scale(1.0 / used as f32);
+            grads.clip_global_norm(5.0);
+            opt.step_visit(&grads, |f| {
+                self.g_emb.visit_mut(f);
+                self.g_gru.visit_mut(f);
+                self.g_out.visit_mut(f);
+            });
+        }
+        baseline
+    }
+
+    /// Runs the full SeqGAN recipe on `real` paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `real` is empty or contains an out-of-vocabulary token.
+    pub fn train(&mut self, real: &[Vec<usize>]) -> SeqGanStats {
+        assert!(!real.is_empty(), "SeqGAN needs real sequences to train on");
+        for s in real {
+            for &t in s {
+                assert!(t < self.vocab, "token {t} out of vocabulary {}", self.vocab);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
+        let mut g_opt = Adam::new(self.cfg.lr);
+        let mut d_opt = Adam::new(self.cfg.lr);
+        let mut stats = SeqGanStats::default();
+
+        // 1) MLE pre-training.
+        for _ in 0..self.cfg.pretrain_epochs {
+            let batch: Vec<&Vec<usize>> = (0..self.cfg.g_batch.min(real.len()))
+                .map(|_| &real[rng.gen_range(0..real.len())])
+                .collect();
+            stats.pretrain_loss.push(self.mle_step(&batch, &mut g_opt));
+        }
+        // 2) Adversarial rounds.
+        for _ in 0..self.cfg.adversarial_rounds {
+            let fake: Vec<Vec<usize>> =
+                (0..self.cfg.d_batch).map(|_| self.sample(&mut rng, 1.0)).collect();
+            let real_batch: Vec<&Vec<usize>> = (0..self.cfg.d_batch.min(real.len()))
+                .map(|_| &real[rng.gen_range(0..real.len())])
+                .collect();
+            stats.d_loss.push(self.d_step(&real_batch, &fake, &mut d_opt));
+            stats.g_reward.push(self.g_policy_step(&mut rng, &mut g_opt));
+        }
+        stats
+    }
+
+    /// Generates up to `count` unique sequences not in `exclude`.
+    pub fn generate_unique(
+        &self,
+        rng: &mut StdRng,
+        count: usize,
+        exclude: &HashSet<Vec<usize>>,
+    ) -> Vec<Vec<usize>> {
+        let mut seen = exclude.clone();
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count.saturating_mul(50) {
+            if out.len() >= count {
+                break;
+            }
+            let s = self.sample(rng, 1.0);
+            if s.len() >= 2 && seen.insert(s.clone()) {
+                out.push(s);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy corpus with strong structure: 0 (1 2)* 3.
+    fn corpus() -> Vec<Vec<usize>> {
+        let mut v = Vec::new();
+        for reps in 1..=4 {
+            let mut s = vec![0usize];
+            for _ in 0..reps {
+                s.push(1);
+                s.push(2);
+            }
+            s.push(3);
+            v.push(s);
+        }
+        v
+    }
+
+    fn tiny_cfg() -> SeqGanConfig {
+        SeqGanConfig {
+            embed: 8,
+            hidden: 16,
+            pretrain_epochs: 30,
+            adversarial_rounds: 2,
+            g_batch: 8,
+            d_batch: 8,
+            lr: 0.02,
+            max_len: 16,
+            seed: 4,
+        }
+    }
+
+    #[test]
+    fn pretraining_reduces_mle_loss() {
+        let mut gan = SeqGan::new(4, tiny_cfg());
+        let stats = gan.train(&corpus());
+        let first = stats.pretrain_loss[0];
+        let last = *stats.pretrain_loss.last().unwrap();
+        assert!(last < first * 0.8, "MLE loss {first} -> {last}");
+    }
+
+    #[test]
+    fn generator_learns_corpus_statistics() {
+        let mut gan = SeqGan::new(4, tiny_cfg());
+        gan.train(&corpus());
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut starts_with_zero = 0;
+        let n = 30;
+        for _ in 0..n {
+            let s = gan.sample(&mut rng, 0.5);
+            if s.first() == Some(&0) {
+                starts_with_zero += 1;
+            }
+        }
+        assert!(starts_with_zero > n / 2, "only {starts_with_zero}/{n} start with 0");
+    }
+
+    #[test]
+    fn discriminator_output_is_a_probability() {
+        let gan = SeqGan::new(4, tiny_cfg());
+        let p = gan.discriminate(&[0, 1, 2, 3]);
+        assert!((0.0..=1.0).contains(&p));
+        assert_eq!(gan.discriminate(&[]), 0.0);
+    }
+
+    #[test]
+    fn adversarial_stats_are_recorded() {
+        let mut gan = SeqGan::new(4, tiny_cfg());
+        let stats = gan.train(&corpus());
+        assert_eq!(stats.d_loss.len(), 2);
+        assert_eq!(stats.g_reward.len(), 2);
+        assert!(stats.g_reward.iter().all(|r| (0.0..=1.0).contains(r)));
+    }
+
+    #[test]
+    fn unique_generation_avoids_excluded() {
+        let mut gan = SeqGan::new(4, tiny_cfg());
+        gan.train(&corpus());
+        let exclude: HashSet<Vec<usize>> = corpus().into_iter().collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = gan.generate_unique(&mut rng, 5, &exclude);
+        for s in &out {
+            assert!(!exclude.contains(s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn out_of_vocab_token_panics() {
+        let mut gan = SeqGan::new(3, tiny_cfg());
+        let _ = gan.train(&[vec![0, 7]]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Filtering generated sequences down to plausible complete circuit paths.
+
+use sns_graphir::Vocab;
+
+/// Validates that a token sequence is a plausible *complete circuit path*:
+/// at least two tokens, terminal (io/dff) endpoints, non-terminal interior.
+///
+/// Generated sequences that fail are discarded before labeling — the same
+/// structural constraint Algorithm 1 guarantees for directly-sampled paths.
+///
+/// # Example
+///
+/// ```rust
+/// use sns_genmodel::PathValidator;
+/// use sns_graphir::{Vocab, Vertex, VocabType};
+///
+/// let vocab = Vocab::new();
+/// let v = PathValidator::new(&vocab);
+/// let io8 = vocab.token_id(Vertex::new(VocabType::Io, 8)).unwrap();
+/// let mul16 = vocab.token_id(Vertex::new(VocabType::Mul, 16)).unwrap();
+/// let dff16 = vocab.token_id(Vertex::new(VocabType::Dff, 16)).unwrap();
+/// assert!(v.is_complete_path(&[io8, mul16, dff16]));
+/// assert!(!v.is_complete_path(&[mul16, dff16]));     // starts mid-logic
+/// assert!(!v.is_complete_path(&[io8, dff16, dff16])); // terminal interior
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathValidator {
+    terminal: Vec<bool>,
+}
+
+impl PathValidator {
+    /// Builds a validator for a vocabulary.
+    pub fn new(vocab: &Vocab) -> Self {
+        let terminal = vocab.iter().map(|v| v.vtype.is_terminal()).collect();
+        PathValidator { terminal }
+    }
+
+    /// Whether `tokens` forms a structurally valid complete circuit path.
+    /// Out-of-range ids fail validation.
+    pub fn is_complete_path(&self, tokens: &[usize]) -> bool {
+        if tokens.len() < 2 {
+            return false;
+        }
+        if tokens.iter().any(|&t| t >= self.terminal.len()) {
+            return false;
+        }
+        let first = self.terminal[tokens[0]];
+        let last = self.terminal[*tokens.last().expect("len >= 2")];
+        if !first || !last {
+            return false;
+        }
+        tokens[1..tokens.len() - 1].iter().all(|&t| !self.terminal[t])
+    }
+
+    /// Retains only the valid complete paths from `candidates`.
+    pub fn filter(&self, candidates: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+        candidates.into_iter().filter(|c| self.is_complete_path(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_graphir::{Vertex, VocabType};
+
+    fn ids() -> (PathValidator, usize, usize, usize) {
+        let vocab = Vocab::new();
+        let v = PathValidator::new(&vocab);
+        let io = vocab.token_id(Vertex::new(VocabType::Io, 8)).unwrap();
+        let add = vocab.token_id(Vertex::new(VocabType::Add, 16)).unwrap();
+        let dff = vocab.token_id(Vertex::new(VocabType::Dff, 16)).unwrap();
+        (v, io, add, dff)
+    }
+
+    #[test]
+    fn accepts_proper_paths() {
+        let (v, io, add, dff) = ids();
+        assert!(v.is_complete_path(&[io, add, dff]));
+        assert!(v.is_complete_path(&[dff, add, add, io]));
+        assert!(v.is_complete_path(&[dff, dff])); // direct register-to-register
+    }
+
+    #[test]
+    fn rejects_malformed_paths() {
+        let (v, io, add, dff) = ids();
+        assert!(!v.is_complete_path(&[]));
+        assert!(!v.is_complete_path(&[io]));
+        assert!(!v.is_complete_path(&[add, add, dff]));
+        assert!(!v.is_complete_path(&[io, add, add]));
+        assert!(!v.is_complete_path(&[io, dff, io]));
+        assert!(!v.is_complete_path(&[io, 9999, dff]));
+    }
+
+    #[test]
+    fn filter_keeps_only_valid() {
+        let (v, io, add, dff) = ids();
+        let out = v.filter(vec![vec![io, add, dff], vec![add], vec![dff, io]]);
+        assert_eq!(out.len(), 2);
+    }
+}

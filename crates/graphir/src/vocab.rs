@@ -1,0 +1,314 @@
+//! The GraphIR embedding vocabulary (Table 1 of the paper).
+//!
+//! Each vertex is a `(type, width)` pair. Eleven types allow widths
+//! {4, 8, 16, 32, 64} and six arithmetic types allow {8, 16, 32, 64},
+//! giving 11 × 5 + 6 × 4 = **79** vocabulary entries — the number quoted in
+//! the paper's Table 2.
+
+use std::fmt;
+
+/// The functional-unit types of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VocabType {
+    /// Input/output port.
+    Io,
+    /// D-flip-flop.
+    Dff,
+    /// Multiplexer.
+    Mux,
+    /// Bitwise NOT.
+    Not,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR (and XNOR).
+    Xor,
+    /// Parametrizable shifter (left and right).
+    Sh,
+    /// AND reduction.
+    ReduceAnd,
+    /// OR reduction.
+    ReduceOr,
+    /// XOR reduction.
+    ReduceXor,
+    /// Adder/subtractor.
+    Add,
+    /// Multiplier.
+    Mul,
+    /// Equality comparator.
+    Eq,
+    /// Less-than / greater-than comparator.
+    Lgt,
+    /// Divider.
+    Div,
+    /// Modulus.
+    Mod,
+}
+
+impl VocabType {
+    /// All types, in Table 1 order.
+    pub const ALL: [VocabType; 17] = [
+        VocabType::Io,
+        VocabType::Dff,
+        VocabType::Mux,
+        VocabType::Not,
+        VocabType::And,
+        VocabType::Or,
+        VocabType::Xor,
+        VocabType::Sh,
+        VocabType::ReduceAnd,
+        VocabType::ReduceOr,
+        VocabType::ReduceXor,
+        VocabType::Add,
+        VocabType::Mul,
+        VocabType::Eq,
+        VocabType::Lgt,
+        VocabType::Div,
+        VocabType::Mod,
+    ];
+
+    /// The allowed (rounded) widths for this type, per Table 1.
+    pub fn allowed_widths(self) -> &'static [u32] {
+        match self {
+            VocabType::Add
+            | VocabType::Mul
+            | VocabType::Eq
+            | VocabType::Lgt
+            | VocabType::Div
+            | VocabType::Mod => &[8, 16, 32, 64],
+            _ => &[4, 8, 16, 32, 64],
+        }
+    }
+
+    /// The short name used in token strings (e.g. `"reduce_and"`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            VocabType::Io => "io",
+            VocabType::Dff => "dff",
+            VocabType::Mux => "mux",
+            VocabType::Not => "not",
+            VocabType::And => "and",
+            VocabType::Or => "or",
+            VocabType::Xor => "xor",
+            VocabType::Sh => "sh",
+            VocabType::ReduceAnd => "reduce_and",
+            VocabType::ReduceOr => "reduce_or",
+            VocabType::ReduceXor => "reduce_xor",
+            VocabType::Add => "add",
+            VocabType::Mul => "mul",
+            VocabType::Eq => "eq",
+            VocabType::Lgt => "lgt",
+            VocabType::Div => "div",
+            VocabType::Mod => "mod",
+        }
+    }
+
+    /// Whether paths may begin/end at this type ("contains flip-flops" in
+    /// the paper's phrasing: registers and ports).
+    pub fn is_terminal(self) -> bool {
+        matches!(self, VocabType::Io | VocabType::Dff)
+    }
+
+    /// Rounds a raw connection width into this type's allowed set: closest
+    /// power of two, ties rounding **up** (the paper maps widths 12–23 to
+    /// 16), clamped to the ends of the range.
+    ///
+    /// # Example
+    ///
+    /// ```rust
+    /// use sns_graphir::VocabType;
+    ///
+    /// assert_eq!(VocabType::Div.round_width(17), 16);
+    /// assert_eq!(VocabType::Div.round_width(12), 16); // tie rounds up
+    /// assert_eq!(VocabType::Div.round_width(3), 8);   // clamped low
+    /// assert_eq!(VocabType::Io.round_width(3), 4);
+    /// assert_eq!(VocabType::Io.round_width(100), 64); // clamped high
+    /// ```
+    pub fn round_width(self, raw: u32) -> u32 {
+        let allowed = self.allowed_widths();
+        let mut best = allowed[0];
+        let mut best_d = u32::MAX;
+        for &w in allowed {
+            let d = raw.abs_diff(w);
+            // Strictly smaller distance wins; equal distance prefers the
+            // larger width (tie rounds up).
+            if d < best_d || (d == best_d && w > best) {
+                best = w;
+                best_d = d;
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for VocabType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// A vocabulary entry: a functional-unit type at a rounded width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Vertex {
+    /// The functional-unit type.
+    pub vtype: VocabType,
+    /// The rounded width (a member of `vtype.allowed_widths()`).
+    pub width: u32,
+}
+
+impl Vertex {
+    /// Builds a vertex from a raw (unrounded) width.
+    pub fn new(vtype: VocabType, raw_width: u32) -> Self {
+        Vertex { vtype, width: vtype.round_width(raw_width) }
+    }
+
+    /// The token string the paper uses, e.g. `"mul16"`.
+    pub fn token_name(&self) -> String {
+        format!("{}{}", self.vtype.short_name(), self.width)
+    }
+}
+
+impl fmt::Display for Vertex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.vtype.short_name(), self.width)
+    }
+}
+
+/// The full 79-entry vocabulary, with stable token ids.
+///
+/// Token ids are dense in `0..len()` and ordered by Table 1 (type-major,
+/// width-minor), so they can index embedding matrices directly.
+///
+/// # Example
+///
+/// ```rust
+/// use sns_graphir::{Vocab, Vertex, VocabType};
+///
+/// let vocab = Vocab::new();
+/// assert_eq!(vocab.len(), 79);
+/// let v = Vertex::new(VocabType::Mul, 12); // rounds to mul16
+/// let id = vocab.token_id(v).unwrap();
+/// assert_eq!(vocab.vertex(id), v);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    entries: Vec<Vertex>,
+}
+
+impl Vocab {
+    /// Builds the Table 1 vocabulary.
+    pub fn new() -> Self {
+        let mut entries = Vec::new();
+        for t in VocabType::ALL {
+            for &w in t.allowed_widths() {
+                entries.push(Vertex { vtype: t, width: w });
+            }
+        }
+        Vocab { entries }
+    }
+
+    /// Number of vocabulary entries (79).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vocabulary is empty (never, for the standard table).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The dense token id of `v`, if its width is a legal rounded width.
+    pub fn token_id(&self, v: Vertex) -> Option<usize> {
+        self.entries.iter().position(|&e| e == v)
+    }
+
+    /// The vertex for a dense token id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= self.len()`.
+    pub fn vertex(&self, id: usize) -> Vertex {
+        self.entries[id]
+    }
+
+    /// Iterates over all entries in token-id order.
+    pub fn iter(&self) -> impl Iterator<Item = Vertex> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Vocab::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_has_79_entries_as_in_table_2() {
+        assert_eq!(Vocab::new().len(), 79);
+    }
+
+    #[test]
+    fn token_ids_are_dense_and_stable() {
+        let v = Vocab::new();
+        for id in 0..v.len() {
+            assert_eq!(v.token_id(v.vertex(id)), Some(id));
+        }
+    }
+
+    #[test]
+    fn rounding_matches_paper_examples() {
+        // "dividers with widths 12..23 are all considered div16"
+        for w in 12..=23 {
+            assert_eq!(VocabType::Div.round_width(w), 16, "width {w}");
+        }
+        assert_eq!(VocabType::Div.round_width(24), 32);
+        assert_eq!(VocabType::Div.round_width(11), 8);
+    }
+
+    #[test]
+    fn rounding_clamps_to_type_range() {
+        assert_eq!(VocabType::Add.round_width(1), 8);
+        assert_eq!(VocabType::Add.round_width(1000), 64);
+        assert_eq!(VocabType::Mux.round_width(1), 4);
+        assert_eq!(VocabType::Mux.round_width(128), 64);
+    }
+
+    #[test]
+    fn rounding_is_identity_on_allowed_widths() {
+        for t in VocabType::ALL {
+            for &w in t.allowed_widths() {
+                assert_eq!(t.round_width(w), w);
+            }
+        }
+    }
+
+    #[test]
+    fn token_names_match_paper_format() {
+        assert_eq!(Vertex::new(VocabType::Mul, 16).token_name(), "mul16");
+        assert_eq!(Vertex::new(VocabType::Io, 8).token_name(), "io8");
+        assert_eq!(Vertex::new(VocabType::ReduceXor, 5).token_name(), "reduce_xor4");
+    }
+
+    #[test]
+    fn terminals_are_io_and_dff_only() {
+        for t in VocabType::ALL {
+            assert_eq!(
+                t.is_terminal(),
+                matches!(t, VocabType::Io | VocabType::Dff),
+                "{t}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_width_vertex_has_no_token_id() {
+        let vocab = Vocab::new();
+        assert!(vocab.token_id(Vertex { vtype: VocabType::Add, width: 5 }).is_none());
+    }
+}

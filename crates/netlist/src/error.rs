@@ -1,0 +1,112 @@
+//! Error types for the Verilog front-end.
+
+use std::fmt;
+
+/// A source location (1-based line and column) attached to diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Loc {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The error type returned by every fallible operation in this crate.
+///
+/// # Example
+///
+/// ```rust
+/// use sns_netlist::parse_and_elaborate;
+///
+/// let err = parse_and_elaborate("module m (input a;", "m").unwrap_err();
+/// assert!(err.to_string().contains("parse error"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A lexical error: an unexpected character or malformed literal.
+    Lex {
+        /// Location of the offending character.
+        loc: Loc,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// A syntactic error while parsing.
+    Parse {
+        /// Location of the offending token.
+        loc: Loc,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// A semantic error during elaboration (unknown names, bad widths,
+    /// multiple drivers, unsupported constructs, ...).
+    Elab {
+        /// Human-readable description, including the module it occurred in.
+        msg: String,
+    },
+    /// The requested top module was not found in the parsed design.
+    UnknownTop {
+        /// The module name that was requested.
+        name: String,
+    },
+}
+
+impl NetlistError {
+    /// Creates a lexical error at `loc`.
+    pub fn lex(loc: Loc, msg: impl Into<String>) -> Self {
+        NetlistError::Lex { loc, msg: msg.into() }
+    }
+
+    /// Creates a parse error at `loc`.
+    pub fn parse(loc: Loc, msg: impl Into<String>) -> Self {
+        NetlistError::Parse { loc, msg: msg.into() }
+    }
+
+    /// Creates an elaboration error.
+    pub fn elab(msg: impl Into<String>) -> Self {
+        NetlistError::Elab { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Lex { loc, msg } => write!(f, "lex error at {loc}: {msg}"),
+            NetlistError::Parse { loc, msg } => write!(f, "parse error at {loc}: {msg}"),
+            NetlistError::Elab { msg } => write!(f, "elaboration error: {msg}"),
+            NetlistError::UnknownTop { name } => {
+                write!(f, "top module `{name}` is not defined in the source")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = NetlistError::lex(Loc { line: 3, col: 7 }, "bad char `$`");
+        assert_eq!(e.to_string(), "lex error at 3:7: bad char `$`");
+        let e = NetlistError::parse(Loc { line: 1, col: 1 }, "expected `module`");
+        assert!(e.to_string().contains("parse error at 1:1"));
+        let e = NetlistError::elab("unknown identifier `x`");
+        assert!(e.to_string().contains("elaboration error"));
+        let e = NetlistError::UnknownTop { name: "top".into() };
+        assert!(e.to_string().contains("`top`"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

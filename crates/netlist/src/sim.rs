@@ -1,0 +1,550 @@
+//! A cycle-accurate two-state netlist simulator.
+//!
+//! Interprets an elaborated [`Netlist`] directly: combinational cells are
+//! evaluated in topological order, flip-flops latch on [`Simulator::step`].
+//! This is the semantic ground truth for the elaborator (the test suites
+//! simulate generated designs and check functional behaviour) and a handy
+//! debugging tool for users of the crate.
+//!
+//! Limitations (by design): two-state values (no `x`/`z`), nets up to 128
+//! bits (wider designs — e.g. very wide accelerator buses — are rejected
+//! at construction), arithmetic right shift behaves logically (the
+//! elaborator does not track signedness).
+//!
+//! # Example
+//!
+//! ```rust
+//! use sns_netlist::{parse_and_elaborate, Simulator};
+//!
+//! # fn main() -> Result<(), sns_netlist::NetlistError> {
+//! let nl = parse_and_elaborate(
+//!     "module mac (input clk, input [7:0] a, b, output [15:0] y);
+//!          reg [15:0] acc;
+//!          always @(posedge clk) acc <= acc + a * b;
+//!          assign y = acc;
+//!      endmodule",
+//!     "mac",
+//! )?;
+//! let mut sim = Simulator::new(&nl)?;
+//! sim.set_input("a", 3)?;
+//! sim.set_input("b", 5)?;
+//! sim.step()?; // acc <- 0 + 15
+//! sim.step()?; // acc <- 15 + 15
+//! assert_eq!(sim.output("y")?, 30);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+use crate::netlist::{Cell, CellId, CellKind, NetId, Netlist, PortDir};
+
+/// Maximum net width the simulator supports.
+const MAX_SIM_WIDTH: u32 = 128;
+
+/// A two-state netlist interpreter.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    nl: &'a Netlist,
+    /// Combinational cells in evaluation order (registers excluded).
+    comb_order: Vec<CellId>,
+    /// Register cells (evaluated at the clock edge).
+    regs: Vec<CellId>,
+    /// Current value of every net, masked to its width.
+    values: Vec<u128>,
+    /// Input port name → net.
+    inputs: HashMap<String, NetId>,
+    /// Output port name → net.
+    outputs: HashMap<String, NetId>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Prepares a simulator for `nl`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Elab`] if any net is wider than 128 bits
+    /// (unsimulatable with scalar values) — cost analysis still works on
+    /// such designs, only simulation is unavailable.
+    pub fn new(nl: &'a Netlist) -> Result<Self, NetlistError> {
+        for (id, net) in nl.nets_enumerated() {
+            if net.width > MAX_SIM_WIDTH {
+                return Err(NetlistError::elab(format!(
+                    "net {:?} ({}) is {} bits wide; the simulator supports at most {MAX_SIM_WIDTH}",
+                    id,
+                    net.name.as_deref().unwrap_or("<anon>"),
+                    net.width
+                )));
+            }
+        }
+        let mut comb_order = Vec::new();
+        let mut regs = Vec::new();
+        // Kahn topological order over combinational cells, with register
+        // outputs and primary inputs as sources.
+        let driver = nl.driver_map();
+        let readers = nl.reader_map();
+        let mut indegree = vec![0u32; nl.cell_count()];
+        let mut ready: Vec<CellId> = Vec::new();
+        for (cid, cell) in nl.cells_enumerated() {
+            if cell.kind == CellKind::Dff {
+                regs.push(cid);
+                continue;
+            }
+            let deg = cell
+                .inputs
+                .iter()
+                .filter(|n| driver.get(n).is_some_and(|&d| nl.cell(d).kind != CellKind::Dff))
+                .count() as u32;
+            indegree[cid.0 as usize] = deg;
+            if deg == 0 {
+                ready.push(cid);
+            }
+        }
+        let mut head = 0;
+        while head < ready.len() {
+            let cid = ready[head];
+            head += 1;
+            comb_order.push(cid);
+            if let Some(consumers) = readers.get(&nl.cell(cid).output) {
+                for &r in consumers {
+                    if nl.cell(r).kind == CellKind::Dff {
+                        continue;
+                    }
+                    let d = &mut indegree[r.0 as usize];
+                    if *d > 0 {
+                        *d -= 1;
+                        if *d == 0 {
+                            ready.push(r);
+                        }
+                    }
+                }
+            }
+        }
+        let comb_total = nl.cells().filter(|c| c.kind != CellKind::Dff).count();
+        if comb_order.len() != comb_total {
+            return Err(NetlistError::elab(
+                "combinational cycle detected; the design is not simulatable",
+            ));
+        }
+        let mut inputs = HashMap::new();
+        let mut outputs = HashMap::new();
+        for p in nl.ports() {
+            match p.dir {
+                PortDir::Input => inputs.insert(p.name.clone(), p.net),
+                PortDir::Output => outputs.insert(p.name.clone(), p.net),
+            };
+        }
+        Ok(Simulator {
+            nl,
+            comb_order,
+            regs,
+            values: vec![0; nl.net_count()],
+            inputs,
+            outputs,
+        })
+    }
+
+    fn mask(width: u32) -> u128 {
+        if width >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        }
+    }
+
+    /// Drives an input port.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the port does not exist.
+    pub fn set_input(&mut self, name: &str, value: u128) -> Result<(), NetlistError> {
+        let &net = self
+            .inputs
+            .get(name)
+            .ok_or_else(|| NetlistError::elab(format!("no input port `{name}`")))?;
+        self.values[net.0 as usize] = value & Self::mask(self.nl.net(net).width);
+        Ok(())
+    }
+
+    /// Reads an output port (after [`Simulator::eval`] or
+    /// [`Simulator::step`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the port does not exist.
+    pub fn output(&self, name: &str) -> Result<u128, NetlistError> {
+        let &net = self
+            .outputs
+            .get(name)
+            .ok_or_else(|| NetlistError::elab(format!("no output port `{name}`")))?;
+        Ok(self.values[net.0 as usize])
+    }
+
+    /// Reads any named net (hierarchical names work: `u0.acc`).
+    pub fn peek(&self, name: &str) -> Option<u128> {
+        self.nl
+            .nets_enumerated()
+            .find(|(_, n)| n.name.as_deref() == Some(name))
+            .map(|(id, _)| self.values[id.0 as usize])
+    }
+
+    /// Propagates combinational logic with the current inputs and
+    /// register states.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction; the `Result` is reserved.
+    pub fn eval(&mut self) -> Result<(), NetlistError> {
+        for &cid in &self.comb_order {
+            let cell = self.nl.cell(cid);
+            let v = self.eval_cell(cell);
+            let w = self.nl.net(cell.output).width;
+            self.values[cell.output.0 as usize] = v & Self::mask(w);
+        }
+        Ok(())
+    }
+
+    /// One clock cycle: combinational propagate, then all registers latch
+    /// their D inputs simultaneously.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::eval`].
+    pub fn step(&mut self) -> Result<(), NetlistError> {
+        self.eval()?;
+        let next: Vec<(NetId, u128)> = self
+            .regs
+            .iter()
+            .map(|&cid| {
+                let cell = self.nl.cell(cid);
+                let d = self.values[cell.inputs[0].0 as usize];
+                (cell.output, d & Self::mask(self.nl.net(cell.output).width))
+            })
+            .collect();
+        for (net, v) in next {
+            self.values[net.0 as usize] = v;
+        }
+        self.eval()
+    }
+
+    /// Resets all registers (and nets) to zero.
+    pub fn reset_state(&mut self) {
+        for v in &mut self.values {
+            *v = 0;
+        }
+    }
+
+    fn eval_cell(&self, cell: &Cell) -> u128 {
+        let inv = |i: usize| self.values[cell.inputs[i].0 as usize];
+        let in_w = |i: usize| self.nl.net(cell.inputs[i]).width;
+        match cell.kind {
+            CellKind::Const => cell.attr as u128,
+            CellKind::Buf => inv(0),
+            CellKind::Slice => inv(0) >> cell.attr.min(127) as u32,
+            CellKind::Concat => {
+                let mut v: u128 = 0;
+                let mut off = 0u32;
+                for (i, _) in cell.inputs.iter().enumerate() {
+                    if off < 128 {
+                        v |= (inv(i) & Self::mask(in_w(i))) << off;
+                    }
+                    off += in_w(i);
+                }
+                v
+            }
+            CellKind::Replicate => {
+                let w = in_w(0);
+                let x = inv(0) & Self::mask(w);
+                let mut v: u128 = 0;
+                let mut off = 0u32;
+                for _ in 0..cell.attr.max(1) {
+                    if off < 128 {
+                        v |= x << off;
+                    }
+                    off += w;
+                }
+                v
+            }
+            CellKind::Not => !inv(0),
+            CellKind::And => inv(0) & inv(1),
+            CellKind::Or => inv(0) | inv(1),
+            CellKind::Xor => inv(0) ^ inv(1),
+            CellKind::Xnor => !(inv(0) ^ inv(1)),
+            CellKind::Mux => {
+                if inv(0) & 1 == 1 {
+                    inv(2)
+                } else {
+                    inv(1)
+                }
+            }
+            CellKind::Add => inv(0).wrapping_add(inv(1)),
+            CellKind::Sub => inv(0).wrapping_sub(inv(1)),
+            CellKind::Mul => inv(0).wrapping_mul(inv(1)),
+            CellKind::Div => {
+                let d = inv(1);
+                if d == 0 {
+                    0
+                } else {
+                    inv(0) / d
+                }
+            }
+            CellKind::Mod => {
+                let d = inv(1);
+                if d == 0 {
+                    0
+                } else {
+                    inv(0) % d
+                }
+            }
+            CellKind::Shl => {
+                let s = inv(1).min(127) as u32;
+                inv(0) << s
+            }
+            CellKind::Shr => {
+                let s = inv(1).min(127) as u32;
+                (inv(0) & Self::mask(in_w(0))) >> s
+            }
+            CellKind::Eq => {
+                let w = in_w(0).max(in_w(1));
+                let m = Self::mask(w);
+                ((inv(0) & m) == (inv(1) & m)) as u128
+            }
+            CellKind::Lgt => {
+                let w = in_w(0).max(in_w(1));
+                let m = Self::mask(w);
+                ((inv(0) & m) < (inv(1) & m)) as u128
+            }
+            CellKind::ReduceAnd => {
+                let w = in_w(0);
+                ((inv(0) & Self::mask(w)) == Self::mask(w)) as u128
+            }
+            CellKind::ReduceOr => ((inv(0) & Self::mask(in_w(0))) != 0) as u128,
+            CellKind::ReduceXor => {
+                ((inv(0) & Self::mask(in_w(0))).count_ones() % 2) as u128
+            }
+            CellKind::Dff => unreachable!("registers latch in step(), not eval()"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_and_elaborate;
+
+    fn sim_of<'a>(nl: &'a Netlist) -> Simulator<'a> {
+        Simulator::new(nl).expect("simulatable")
+    }
+
+    #[test]
+    fn alu_operations_compute_correctly() {
+        let nl = parse_and_elaborate(
+            "module alu (input [7:0] a, b, input [3:0] op, output reg [7:0] y);
+                 always @(*) begin
+                     case (op)
+                         4'd0: y = a + b;
+                         4'd1: y = a - b;
+                         4'd2: y = a & b;
+                         4'd3: y = a | b;
+                         4'd4: y = a ^ b;
+                         4'd5: y = a << b[2:0];
+                         4'd6: y = a >> b[2:0];
+                         4'd7: y = (a < b) ? 8'd1 : 8'd0;
+                         4'd8: y = (a > b) ? 8'd1 : 8'd0;
+                         4'd9: y = a * b;
+                         4'd10: y = a / ((b == 8'd0) ? 8'd1 : b);
+                         default: y = a;
+                     endcase
+                 end
+             endmodule",
+            "alu",
+        )
+        .unwrap();
+        let mut sim = sim_of(&nl);
+        let cases: Vec<(u128, u128, u128, u128)> = vec![
+            (200, 100, 0, 44),  // 300 wraps to 44
+            (7, 9, 1, 254),     // 7-9 wraps
+            (0b1100, 0b1010, 2, 0b1000),
+            (0b1100, 0b1010, 3, 0b1110),
+            (0b1100, 0b1010, 4, 0b0110),
+            (3, 2, 5, 12),
+            (200, 3, 6, 25),
+            (3, 9, 7, 1),
+            (9, 3, 7, 0),
+            (9, 3, 8, 1),  // a > b
+            (3, 9, 8, 0),
+            (12, 12, 9, 144),
+            (100, 7, 10, 14),
+        ];
+        for (a, b, op, expect) in cases {
+            sim.set_input("a", a).unwrap();
+            sim.set_input("b", b).unwrap();
+            sim.set_input("op", op).unwrap();
+            sim.eval().unwrap();
+            assert_eq!(sim.output("y").unwrap(), expect, "a={a} b={b} op={op}");
+        }
+    }
+
+    #[test]
+    fn counter_counts_and_resets() {
+        let nl = parse_and_elaborate(
+            "module ctr (input clk, input rst, output [7:0] y);
+                 reg [7:0] c;
+                 always @(posedge clk) begin
+                     if (rst) c <= 8'd0;
+                     else c <= c + 8'd1;
+                 end
+                 assign y = c;
+             endmodule",
+            "ctr",
+        )
+        .unwrap();
+        let mut sim = sim_of(&nl);
+        sim.set_input("rst", 0).unwrap();
+        for i in 1..=5u128 {
+            sim.step().unwrap();
+            assert_eq!(sim.output("y").unwrap(), i);
+        }
+        sim.set_input("rst", 1).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.output("y").unwrap(), 0);
+    }
+
+    #[test]
+    fn memory_write_then_read() {
+        let nl = parse_and_elaborate(
+            "module m (input clk, input we, input [1:0] wa, ra, input [7:0] wd, output [7:0] rd);
+                 reg [7:0] mem [0:3];
+                 always @(posedge clk) if (we) mem[wa] <= wd;
+                 assign rd = mem[ra];
+             endmodule",
+            "m",
+        )
+        .unwrap();
+        let mut sim = sim_of(&nl);
+        for (addr, data) in [(0u128, 17u128), (1, 34), (2, 51), (3, 68)] {
+            sim.set_input("we", 1).unwrap();
+            sim.set_input("wa", addr).unwrap();
+            sim.set_input("wd", data).unwrap();
+            sim.step().unwrap();
+        }
+        sim.set_input("we", 0).unwrap();
+        for (addr, data) in [(0u128, 17u128), (1, 34), (2, 51), (3, 68)] {
+            sim.set_input("ra", addr).unwrap();
+            sim.eval().unwrap();
+            assert_eq!(sim.output("rd").unwrap(), data, "addr {addr}");
+        }
+    }
+
+    #[test]
+    fn concat_lvalue_carries_out() {
+        let nl = parse_and_elaborate(
+            "module m (input [7:0] a, b, output [7:0] s, output c);
+                 assign {c, s} = a + b;
+             endmodule",
+            "m",
+        )
+        .unwrap();
+        let mut sim = sim_of(&nl);
+        sim.set_input("a", 200).unwrap();
+        sim.set_input("b", 100).unwrap();
+        sim.eval().unwrap();
+        assert_eq!(sim.output("s").unwrap(), 44);
+        assert_eq!(sim.output("c").unwrap(), 1);
+    }
+
+    #[test]
+    fn hierarchy_simulates_and_peeks() {
+        let src = "
+            module addsub (input [7:0] x, y, input sel, output [7:0] r);
+                assign r = sel ? (x - y) : (x + y);
+            endmodule
+            module top (input clk, input [7:0] p, q, input mode, output [7:0] o);
+                wire [7:0] t;
+                addsub u0 (.x(p), .y(q), .sel(mode), .r(t));
+                reg [7:0] hold;
+                always @(posedge clk) hold <= t;
+                assign o = hold;
+            endmodule";
+        let nl = parse_and_elaborate(src, "top").unwrap();
+        let mut sim = sim_of(&nl);
+        sim.set_input("p", 40).unwrap();
+        sim.set_input("q", 2).unwrap();
+        sim.set_input("mode", 1).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.output("o").unwrap(), 38);
+        assert_eq!(sim.peek("hold"), Some(38));
+    }
+
+    #[test]
+    fn fir_impulse_response_matches_coefficients() {
+        // A 4-tap FIR from the designs crate family, checked by impulse.
+        let nl = parse_and_elaborate(
+            "module fir (input clk, input [7:0] x, output [15:0] y);
+                 reg [7:0] d0, d1, d2, d3;
+                 always @(posedge clk) begin
+                     d0 <= x;
+                     d1 <= d0;
+                     d2 <= d1;
+                     d3 <= d2;
+                 end
+                 assign y = d0 * 16'd3 + d1 * 16'd5 + d2 * 16'd7 + d3 * 16'd11;
+             endmodule",
+            "fir",
+        )
+        .unwrap();
+        let mut sim = sim_of(&nl);
+        sim.set_input("x", 1).unwrap();
+        sim.step().unwrap();
+        sim.set_input("x", 0).unwrap();
+        let mut response = vec![sim.output("y").unwrap()];
+        for _ in 0..3 {
+            sim.step().unwrap();
+            response.push(sim.output("y").unwrap());
+        }
+        assert_eq!(response, vec![3, 5, 7, 11]);
+    }
+
+    #[test]
+    fn reductions_and_replication() {
+        let nl = parse_and_elaborate(
+            "module m (input [3:0] a, output all_set, any_set, parity, output [7:0] rep);
+                 assign all_set = &a;
+                 assign any_set = |a;
+                 assign parity = ^a;
+                 assign rep = {2{a}};
+             endmodule",
+            "m",
+        )
+        .unwrap();
+        let mut sim = sim_of(&nl);
+        for (a, all, any, par) in [(0b1111u128, 1u128, 1u128, 0u128), (0b0000, 0, 0, 0), (0b0110, 0, 1, 0), (0b0100, 0, 1, 1)] {
+            sim.set_input("a", a).unwrap();
+            sim.eval().unwrap();
+            assert_eq!(sim.output("all_set").unwrap(), all, "a={a:b}");
+            assert_eq!(sim.output("any_set").unwrap(), any);
+            assert_eq!(sim.output("parity").unwrap(), par);
+            assert_eq!(sim.output("rep").unwrap(), a | (a << 4));
+        }
+    }
+
+    #[test]
+    fn wide_nets_are_rejected() {
+        let nl = parse_and_elaborate(
+            "module w (input [199:0] a, output [199:0] y); assign y = a; endmodule",
+            "w",
+        )
+        .unwrap();
+        assert!(Simulator::new(&nl).is_err());
+    }
+
+    #[test]
+    fn unknown_ports_error() {
+        let nl = parse_and_elaborate("module m (input a, output y); assign y = a; endmodule", "m")
+            .unwrap();
+        let mut sim = sim_of(&nl);
+        assert!(sim.set_input("nope", 1).is_err());
+        assert!(sim.output("nada").is_err());
+    }
+}

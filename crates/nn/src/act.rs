@@ -1,0 +1,173 @@
+//! Elementwise activations with exact backward passes.
+
+use crate::mat::Mat;
+
+/// Rectified linear unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Relu;
+
+/// Hyperbolic tangent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tanh;
+
+/// Logistic sigmoid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sigmoid;
+
+/// GELU (tanh approximation, as used by Transformer FFNs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gelu;
+
+/// Forward context for activations: the saved pre-activation input.
+#[derive(Debug, Clone)]
+pub struct ActCtx {
+    x: Mat,
+}
+
+impl Relu {
+    /// `max(0, x)`.
+    pub fn forward(&self, x: &Mat) -> (Mat, ActCtx) {
+        (x.map(|v| v.max(0.0)), ActCtx { x: x.clone() })
+    }
+
+    /// Backward pass.
+    pub fn backward(&self, ctx: &ActCtx, dy: &Mat) -> Mat {
+        let mask = ctx.x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        dy.hadamard(&mask)
+    }
+}
+
+impl Tanh {
+    /// `tanh(x)`.
+    pub fn forward(&self, x: &Mat) -> (Mat, ActCtx) {
+        (x.map(f32::tanh), ActCtx { x: x.clone() })
+    }
+
+    /// Backward pass.
+    pub fn backward(&self, ctx: &ActCtx, dy: &Mat) -> Mat {
+        let d = ctx.x.map(|v| {
+            let t = v.tanh();
+            1.0 - t * t
+        });
+        dy.hadamard(&d)
+    }
+}
+
+impl Sigmoid {
+    /// `1 / (1 + e^{-x})`.
+    pub fn forward(&self, x: &Mat) -> (Mat, ActCtx) {
+        (x.map(sigmoid), ActCtx { x: x.clone() })
+    }
+
+    /// Backward pass.
+    pub fn backward(&self, ctx: &ActCtx, dy: &Mat) -> Mat {
+        let d = ctx.x.map(|v| {
+            let s = sigmoid(v);
+            s * (1.0 - s)
+        });
+        dy.hadamard(&d)
+    }
+}
+
+/// Scalar logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
+
+impl Gelu {
+    /// GELU via the tanh approximation.
+    pub fn forward(&self, x: &Mat) -> (Mat, ActCtx) {
+        (x.map(gelu), ActCtx { x: x.clone() })
+    }
+
+    /// Backward pass (derivative of the tanh approximation).
+    pub fn backward(&self, ctx: &ActCtx, dy: &Mat) -> Mat {
+        let d = ctx.x.map(gelu_deriv);
+        dy.hadamard(&d)
+    }
+}
+
+fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+fn gelu_deriv(x: f32) -> f32 {
+    let u = GELU_C * (x + 0.044715 * x * x * x);
+    let t = u.tanh();
+    let du = GELU_C * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_fd(fwd: impl Fn(&Mat) -> Mat, bwd: impl Fn(&Mat, &Mat) -> Mat) {
+        // Avoid x = 0 exactly: ReLU is not differentiable there.
+        let x = Mat::from_rows(&[&[-2.0, -0.5, 0.05, 0.7, 3.0]]);
+        let dy = Mat::from_rows(&[&[1.0, 1.0, 1.0, 1.0, 1.0]]);
+        let dx = bwd(&x, &dy);
+        let eps = 1e-3;
+        for c in 0..5 {
+            let mut xp = x.clone();
+            xp.set(0, c, x.get(0, c) + eps);
+            let mut xm = x.clone();
+            xm.set(0, c, x.get(0, c) - eps);
+            let fd = (fwd(&xp).get(0, c) - fwd(&xm).get(0, c)) / (2.0 * eps);
+            assert!((fd - dx.get(0, c)).abs() < 2e-2, "col {c}: fd={fd} got={}", dx.get(0, c));
+        }
+    }
+
+    #[test]
+    fn relu_matches_finite_difference() {
+        check_fd(
+            |x| Relu.forward(x).0,
+            |x, dy| {
+                let (_, c) = Relu.forward(x);
+                Relu.backward(&c, dy)
+            },
+        );
+    }
+
+    #[test]
+    fn tanh_matches_finite_difference() {
+        check_fd(
+            |x| Tanh.forward(x).0,
+            |x, dy| {
+                let (_, c) = Tanh.forward(x);
+                Tanh.backward(&c, dy)
+            },
+        );
+    }
+
+    #[test]
+    fn sigmoid_matches_finite_difference() {
+        check_fd(
+            |x| Sigmoid.forward(x).0,
+            |x, dy| {
+                let (_, c) = Sigmoid.forward(x);
+                Sigmoid.backward(&c, dy)
+            },
+        );
+    }
+
+    #[test]
+    fn gelu_matches_finite_difference() {
+        check_fd(
+            |x| Gelu.forward(x).0,
+            |x, dy| {
+                let (_, c) = Gelu.forward(x);
+                Gelu.backward(&c, dy)
+            },
+        );
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        assert!(gelu(0.0).abs() < 1e-7);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!(gelu(-5.0).abs() < 1e-3);
+    }
+}

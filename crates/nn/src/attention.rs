@@ -1,0 +1,228 @@
+//! Multi-head self-attention over a single sequence.
+//!
+//! Sequences in SNS are short circuit paths, so attention operates on one
+//! `[T, d]` matrix at a time — no batching, padding or masking. Minibatch
+//! parallelism happens one level up (threads × private [`Grads`]).
+
+use rand::rngs::StdRng;
+
+use crate::linear::{Linear, LinearCtx};
+use crate::mat::Mat;
+use crate::param::{Grads, Param, ParamRegistry};
+
+/// Multi-head scaled-dot-product self-attention with output projection.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    dim: usize,
+}
+
+/// Saved forward state for [`MultiHeadAttention::backward`].
+#[derive(Debug, Clone)]
+pub struct AttentionCtx {
+    q_ctx: LinearCtx,
+    k_ctx: LinearCtx,
+    v_ctx: LinearCtx,
+    o_ctx: LinearCtx,
+    q: Mat,
+    k: Mat,
+    v: Mat,
+    attn: Vec<Mat>, // per head, [T, T]
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention block with `heads` heads over model width
+    /// `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim % heads != 0`.
+    pub fn new(reg: &mut ParamRegistry, dim: usize, heads: usize, rng: &mut StdRng) -> Self {
+        assert_eq!(dim % heads, 0, "dim must divide evenly into heads");
+        MultiHeadAttention {
+            wq: Linear::new(reg, dim, dim, rng),
+            wk: Linear::new(reg, dim, dim, rng),
+            wv: Linear::new(reg, dim, dim, rng),
+            wo: Linear::new(reg, dim, dim, rng),
+            heads,
+            dim,
+        }
+    }
+
+    /// Number of heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    fn head_cols(&self, m: &Mat, h: usize) -> Mat {
+        let dh = self.dim / self.heads;
+        let mut out = Mat::zeros(m.rows(), dh);
+        for r in 0..m.rows() {
+            out.row_mut(r).copy_from_slice(&m.row(r)[h * dh..(h + 1) * dh]);
+        }
+        out
+    }
+
+    fn scatter_head(&self, dst: &mut Mat, src: &Mat, h: usize) {
+        let dh = self.dim / self.heads;
+        for r in 0..src.rows() {
+            dst.row_mut(r)[h * dh..(h + 1) * dh].copy_from_slice(src.row(r));
+        }
+    }
+
+    /// Full self-attention over `x` of shape `[T, dim]`.
+    pub fn forward(&self, x: &Mat) -> (Mat, AttentionCtx) {
+        let (q, q_ctx) = self.wq.forward(x);
+        let (k, k_ctx) = self.wk.forward(x);
+        let (v, v_ctx) = self.wv.forward(x);
+        let dh = self.dim / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut concat = Mat::zeros(x.rows(), self.dim);
+        let mut attn = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qh = self.head_cols(&q, h);
+            let kh = self.head_cols(&k, h);
+            let vh = self.head_cols(&v, h);
+            let scores = qh.matmul_nt(&kh).scale(scale);
+            let a = scores.softmax_rows();
+            let ctxh = a.matmul(&vh);
+            self.scatter_head(&mut concat, &ctxh, h);
+            attn.push(a);
+        }
+        let (y, o_ctx) = self.wo.forward(&concat);
+        (y, AttentionCtx { q_ctx, k_ctx, v_ctx, o_ctx, q, k, v, attn })
+    }
+
+    /// Backpropagates `dy`, returning `dx`.
+    pub fn backward(&self, ctx: &AttentionCtx, dy: &Mat, grads: &mut Grads) -> Mat {
+        let dconcat = self.wo.backward(&ctx.o_ctx, dy, grads);
+        let dh = self.dim / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let t = dy.rows();
+        let mut dq = Mat::zeros(t, self.dim);
+        let mut dk = Mat::zeros(t, self.dim);
+        let mut dv = Mat::zeros(t, self.dim);
+        for h in 0..self.heads {
+            let qh = self.head_cols(&ctx.q, h);
+            let kh = self.head_cols(&ctx.k, h);
+            let vh = self.head_cols(&ctx.v, h);
+            let a = &ctx.attn[h];
+            let dctx = self.head_cols(&dconcat, h);
+            // ctx = a @ v
+            let da = dctx.matmul_nt(&vh);
+            let dvh = a.matmul_tn(&dctx);
+            // softmax backward: ds = a ⊙ (da − rowsum(da ⊙ a))
+            let mut ds = Mat::zeros(t, t);
+            for r in 0..t {
+                let dot: f32 =
+                    da.row(r).iter().zip(a.row(r)).map(|(x, y)| x * y).sum();
+                for c in 0..t {
+                    ds.set(r, c, a.get(r, c) * (da.get(r, c) - dot));
+                }
+            }
+            let ds = ds.scale(scale);
+            // scores = q @ kᵀ
+            let dqh = ds.matmul(&kh);
+            let dkh = ds.matmul_tn(&qh);
+            self.scatter_head(&mut dq, &dqh, h);
+            self.scatter_head(&mut dk, &dkh, h);
+            self.scatter_head(&mut dv, &dvh, h);
+        }
+        let dx_q = self.wq.backward(&ctx.q_ctx, &dq, grads);
+        let dx_k = self.wk.backward(&ctx.k_ctx, &dk, grads);
+        let dx_v = self.wv.backward(&ctx.v_ctx, &dv, grads);
+        dx_q.add(&dx_k).add(&dx_v)
+    }
+
+    /// Visits all projection parameters.
+    pub fn visit(&self, f: &mut dyn FnMut(&Param)) {
+        self.wq.visit(f);
+        self.wk.visit(f);
+        self.wv.visit(f);
+        self.wo.visit(f);
+    }
+
+    /// Visits all projection parameters mutably.
+    pub fn visit_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.wq.visit_mut(f);
+        self.wk.visit_mut(f);
+        self.wv.visit_mut(f);
+        self.wo.visit_mut(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn setup(dim: usize, heads: usize) -> (ParamRegistry, MultiHeadAttention) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut reg = ParamRegistry::new();
+        let a = MultiHeadAttention::new(&mut reg, dim, heads, &mut rng);
+        (reg, a)
+    }
+
+    #[test]
+    fn forward_shape_is_preserved() {
+        let (_, a) = setup(8, 2);
+        let x = Mat::full(5, 8, 0.3);
+        let (y, ctx) = a.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (5, 8));
+        assert_eq!(ctx.attn.len(), 2);
+        // Attention rows are distributions.
+        for h in &ctx.attn {
+            for r in 0..5 {
+                let s: f32 = h.row(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn attention_mixes_positions() {
+        // Output at position 0 must depend on input at position 2.
+        let (_, a) = setup(8, 2);
+        let mut x = Mat::zeros(3, 8);
+        x.row_mut(0).copy_from_slice(&[0.5; 8]);
+        let (y1, _) = a.forward(&x);
+        x.row_mut(2).copy_from_slice(&[1.0, -1.0, 0.7, 0.2, -0.3, 0.9, 0.0, 0.4]);
+        let (y2, _) = a.forward(&x);
+        let diff: f32 =
+            y1.row(0).iter().zip(y2.row(0)).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-4, "position 0 ignored position 2");
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let (reg, a) = setup(4, 2);
+        let x = Mat::from_rows(&[&[0.1, -0.2, 0.3, 0.4], &[0.5, 0.0, -0.6, 0.2]]);
+        let loss = |x: &Mat| a.forward(x).0.sum();
+        let (_, ctx) = a.forward(&x);
+        let dy = Mat::full(2, 4, 1.0);
+        let mut grads = Grads::new(&reg);
+        let dx = a.backward(&ctx, &dy, &mut grads);
+        let eps = 1e-3;
+        for r in 0..2 {
+            for c in 0..4 {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + eps);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - eps);
+                let fd = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+                let got = dx.get(r, c);
+                assert!((fd - got).abs() < 2e-2, "[{r}][{c}]: fd={fd} got={got}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn indivisible_heads_panic() {
+        let _ = setup(7, 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Token embedding lookup.
+
+use rand::rngs::StdRng;
+use rand_distr_normal::sample_normal;
+
+use crate::mat::Mat;
+use crate::param::{Grads, Param, ParamRegistry};
+
+/// Tiny local normal sampler (Box–Muller) so we do not pull `rand_distr`.
+mod rand_distr_normal {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    pub fn sample_normal(rng: &mut StdRng, std: f32) -> f32 {
+        let u1: f32 = rng.gen_range(1e-7f32..1.0);
+        let u2: f32 = rng.gen_range(0.0f32..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * std
+    }
+}
+
+/// An embedding table mapping token ids to learned vectors.
+///
+/// Used twice in the Circuitformer: token embeddings over the 79-entry
+/// GraphIR vocabulary and learned positional embeddings over the 512
+/// positions.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    table: Param,
+    dim: usize,
+}
+
+/// Saved forward state for [`Embedding::backward`].
+#[derive(Debug, Clone)]
+pub struct EmbeddingCtx {
+    ids: Vec<usize>,
+}
+
+impl Embedding {
+    /// Creates a table of `vocab` rows of dimension `dim`, N(0, 0.02).
+    pub fn new(reg: &mut ParamRegistry, vocab: usize, dim: usize, rng: &mut StdRng) -> Self {
+        let mut t = Mat::zeros(vocab, dim);
+        for v in t.as_mut_slice() {
+            *v = sample_normal(rng, 0.02);
+        }
+        Embedding { table: reg.alloc(format!("embedding{vocab}x{dim}"), t), dim }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows (vocabulary size).
+    pub fn vocab(&self) -> usize {
+        self.table.value.rows()
+    }
+
+    /// Looks up a sequence of token ids, producing `[len, dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn forward(&self, ids: &[usize]) -> (Mat, EmbeddingCtx) {
+        let mut out = Mat::zeros(ids.len(), self.dim);
+        for (r, &id) in ids.iter().enumerate() {
+            assert!(id < self.table.value.rows(), "token id {id} out of range");
+            out.row_mut(r).copy_from_slice(self.table.value.row(id));
+        }
+        (out, EmbeddingCtx { ids: ids.to_vec() })
+    }
+
+    /// Scatters `dy` back into the table gradient.
+    pub fn backward(&self, ctx: &EmbeddingCtx, dy: &Mat, grads: &mut Grads) {
+        let g = grads.get_mut(self.table.id);
+        for (r, &id) in ctx.ids.iter().enumerate() {
+            for (gv, dv) in g.row_mut(id).iter_mut().zip(dy.row(r)) {
+                *gv += dv;
+            }
+        }
+    }
+
+    /// Visits the table parameter.
+    pub fn visit(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.table);
+    }
+
+    /// Visits the table parameter mutably.
+    pub fn visit_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.table);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_copies_rows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut reg = ParamRegistry::new();
+        let e = Embedding::new(&mut reg, 10, 4, &mut rng);
+        let (out, _) = e.forward(&[3, 3, 7]);
+        assert_eq!(out.rows(), 3);
+        assert_eq!(out.row(0), out.row(1));
+        assert_ne!(out.row(0), out.row(2));
+        assert_eq!(e.vocab(), 10);
+        assert_eq!(e.dim(), 4);
+    }
+
+    #[test]
+    fn backward_scatters_and_accumulates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut reg = ParamRegistry::new();
+        let e = Embedding::new(&mut reg, 5, 2, &mut rng);
+        let (_, ctx) = e.forward(&[1, 1, 2]);
+        let mut grads = Grads::new(&reg);
+        let dy = Mat::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 5.0]]);
+        e.backward(&ctx, &dy, &mut grads);
+        let mut gid = None;
+        e.visit(&mut |p| gid = Some(p.id));
+        let g = grads.get(gid.unwrap());
+        assert_eq!(g.row(1), &[2.0, 0.0]); // two hits on token 1
+        assert_eq!(g.row(2), &[0.0, 5.0]);
+        assert_eq!(g.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_token_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut reg = ParamRegistry::new();
+        let e = Embedding::new(&mut reg, 3, 2, &mut rng);
+        let _ = e.forward(&[3]);
+    }
+}

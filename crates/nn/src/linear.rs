@@ -1,0 +1,162 @@
+//! Fully-connected layer.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::mat::Mat;
+use crate::param::{Grads, Param, ParamRegistry};
+
+/// A dense affine layer `y = x W + b` with Xavier-uniform initialization.
+///
+/// `forward` is `&self` and returns a [`LinearCtx`]; `backward` consumes the
+/// context, accumulates parameter gradients into a [`Grads`] buffer and
+/// returns the input gradient.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: Param,
+    b: Param,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+/// Saved forward state for [`Linear::backward`].
+#[derive(Debug, Clone)]
+pub struct LinearCtx {
+    x: Mat,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weights and zero bias.
+    pub fn new(reg: &mut ParamRegistry, in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        let bound = (6.0 / (in_dim + out_dim) as f32).sqrt();
+        let mut w = Mat::zeros(in_dim, out_dim);
+        for v in w.as_mut_slice() {
+            *v = rng.gen_range(-bound..bound);
+        }
+        Linear {
+            w: reg.alloc(format!("linear{}x{}.w", in_dim, out_dim), w),
+            b: reg.alloc(format!("linear{}x{}.b", in_dim, out_dim), Mat::zeros(1, out_dim)),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Applies the layer to `x` of shape `[n, in_dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim`.
+    pub fn forward(&self, x: &Mat) -> (Mat, LinearCtx) {
+        let y = x.matmul(&self.w.value).add_row_broadcast(self.b.value.row(0));
+        (y, LinearCtx { x: x.clone() })
+    }
+
+    /// Backpropagates `dy` (shape `[n, out_dim]`), returning `dx`.
+    pub fn backward(&self, ctx: &LinearCtx, dy: &Mat, grads: &mut Grads) -> Mat {
+        // dW = xᵀ dy ; db = column sums of dy ; dx = dy Wᵀ
+        grads.accumulate(self.w.id, &ctx.x.matmul_tn(dy));
+        let mut db = Mat::zeros(1, self.out_dim);
+        for r in 0..dy.rows() {
+            for (d, g) in db.as_mut_slice().iter_mut().zip(dy.row(r)) {
+                *d += g;
+            }
+        }
+        grads.accumulate(self.b.id, &db);
+        dy.matmul_nt(&self.w.value)
+    }
+
+    /// Visits this layer's parameters (for optimizers / serialization).
+    pub fn visit(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.w);
+        f(&self.b);
+    }
+
+    /// Visits this layer's parameters mutably.
+    pub fn visit_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn setup() -> (ParamRegistry, Linear) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut reg = ParamRegistry::new();
+        let l = Linear::new(&mut reg, 3, 2, &mut rng);
+        (reg, l)
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let (_, mut l) = setup();
+        l.visit_mut(&mut |p| {
+            if p.name.ends_with(".b") {
+                p.value = Mat::from_rows(&[&[1.0, -1.0]]);
+            }
+        });
+        let (y, _) = l.forward(&Mat::zeros(4, 3));
+        assert_eq!((y.rows(), y.cols()), (4, 2));
+        assert_eq!(y.row(0), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let (reg, l) = setup();
+        let x = Mat::from_rows(&[&[0.3, -0.2, 0.9], &[0.1, 0.5, -0.7]]);
+        let t = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+
+        // Analytic gradient of L = 0.5*||y - t||² wrt W.
+        let (y, ctx) = l.forward(&x);
+        let dy = y.add(&t.scale(-1.0));
+        let mut grads = Grads::new(&reg);
+        let dx = l.backward(&ctx, &dy, &mut grads);
+
+        // Finite differences on a few weight entries.
+        let mut l2 = l.clone();
+        let eps = 1e-3;
+        for (r, c) in [(0usize, 0usize), (1, 1), (2, 0)] {
+            let loss = |lay: &Linear| {
+                let (y, _) = lay.forward(&x);
+                let d = y.add(&t.scale(-1.0));
+                0.5 * d.as_slice().iter().map(|v| v * v).sum::<f32>()
+            };
+            let bump = |delta: f32, lay: &mut Linear| {
+                lay.visit_mut(&mut |p| {
+                    if p.name.ends_with(".w") {
+                        let v = p.value.get(r, c);
+                        p.value.set(r, c, v + delta);
+                    }
+                });
+            };
+            bump(eps, &mut l2);
+            let hi = loss(&l2);
+            bump(-2.0 * eps, &mut l2);
+            let lo = loss(&l2);
+            bump(eps, &mut l2);
+            let fd = (hi - lo) / (2.0 * eps);
+            let mut analytic = 0.0;
+            l.visit(&mut |p| {
+                if p.name.ends_with(".w") {
+                    analytic = grads.get(p.id).get(r, c);
+                }
+            });
+            assert!((fd - analytic).abs() < 1e-2, "W[{r}][{c}]: fd={fd} analytic={analytic}");
+        }
+        // dx shape sanity.
+        assert_eq!((dx.rows(), dx.cols()), (2, 3));
+    }
+}

@@ -1,0 +1,146 @@
+//! Losses, each returning `(loss, dLoss/dInput)`.
+
+use crate::mat::Mat;
+
+/// Mean-squared error over all elements.
+///
+/// Returns `(L, dL/dpred)` with `L = mean((pred - target)²)`.
+///
+/// # Panics
+///
+/// Panics on a shape mismatch.
+///
+/// # Example
+///
+/// ```rust
+/// use sns_nn::{mse_loss, Mat};
+///
+/// let (l, g) = mse_loss(&Mat::from_rows(&[&[1.0]]), &Mat::from_rows(&[&[3.0]]));
+/// assert_eq!(l, 4.0);
+/// assert_eq!(g.get(0, 0), -4.0); // 2*(1-3)/1
+/// ```
+pub fn mse_loss(pred: &Mat, target: &Mat) -> (f32, Mat) {
+    assert_eq!(
+        (pred.rows(), pred.cols()),
+        (target.rows(), target.cols()),
+        "mse shapes differ"
+    );
+    let n = (pred.rows() * pred.cols()) as f32;
+    let mut loss = 0.0;
+    let mut grad = Mat::zeros(pred.rows(), pred.cols());
+    for i in 0..pred.as_slice().len() {
+        let d = pred.as_slice()[i] - target.as_slice()[i];
+        loss += d * d;
+        grad.as_mut_slice()[i] = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+/// Binary cross-entropy on logits (numerically stable).
+///
+/// `targets` are 0/1 per element; returns the mean loss and the gradient
+/// w.r.t. the logits (`sigmoid(z) - t`, scaled by 1/n).
+///
+/// # Panics
+///
+/// Panics on a shape mismatch.
+pub fn bce_with_logits_loss(logits: &Mat, targets: &Mat) -> (f32, Mat) {
+    assert_eq!(
+        (logits.rows(), logits.cols()),
+        (targets.rows(), targets.cols()),
+        "bce shapes differ"
+    );
+    let n = (logits.rows() * logits.cols()) as f32;
+    let mut loss = 0.0;
+    let mut grad = Mat::zeros(logits.rows(), logits.cols());
+    for i in 0..logits.as_slice().len() {
+        let z = logits.as_slice()[i];
+        let t = targets.as_slice()[i];
+        // max(z,0) - z*t + ln(1 + e^{-|z|})
+        loss += z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln();
+        let s = 1.0 / (1.0 + (-z).exp());
+        grad.as_mut_slice()[i] = (s - t) / n;
+    }
+    (loss / n, grad)
+}
+
+/// Softmax + cross-entropy over rows of `logits` with integer class
+/// targets. Returns the mean loss and the gradient w.r.t. the logits.
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.rows()` or a target class is out of
+/// range.
+pub fn softmax_cross_entropy(logits: &Mat, targets: &[usize]) -> (f32, Mat) {
+    assert_eq!(targets.len(), logits.rows(), "one target per row");
+    let probs = logits.softmax_rows();
+    let n = logits.rows() as f32;
+    let mut loss = 0.0;
+    let mut grad = probs.clone();
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < logits.cols(), "target class {t} out of range");
+        loss += -probs.get(r, t).max(1e-12).ln();
+        grad.set(r, t, grad.get(r, t) - 1.0);
+    }
+    (loss / n, grad.scale(1.0 / n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_at_perfect_prediction() {
+        let p = Mat::from_rows(&[&[1.0, 2.0]]);
+        let (l, g) = mse_loss(&p, &p);
+        assert_eq!(l, 0.0);
+        assert_eq!(g.sum(), 0.0);
+    }
+
+    #[test]
+    fn bce_is_low_for_confident_correct_predictions() {
+        let z = Mat::from_rows(&[&[8.0, -8.0]]);
+        let t = Mat::from_rows(&[&[1.0, 0.0]]);
+        let (l, _) = bce_with_logits_loss(&z, &t);
+        assert!(l < 0.01, "loss {l}");
+        let t_wrong = Mat::from_rows(&[&[0.0, 1.0]]);
+        let (lw, _) = bce_with_logits_loss(&z, &t_wrong);
+        assert!(lw > 4.0, "loss {lw}");
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let z = Mat::from_rows(&[&[0.3, -1.2, 2.0]]);
+        let t = Mat::from_rows(&[&[1.0, 0.0, 1.0]]);
+        let (_, g) = bce_with_logits_loss(&z, &t);
+        let eps = 1e-3;
+        for c in 0..3 {
+            let mut zp = z.clone();
+            zp.set(0, c, z.get(0, c) + eps);
+            let mut zm = z.clone();
+            zm.set(0, c, z.get(0, c) - eps);
+            let fd = (bce_with_logits_loss(&zp, &t).0 - bce_with_logits_loss(&zm, &t).0)
+                / (2.0 * eps);
+            assert!((fd - g.get(0, c)).abs() < 1e-3, "c={c}");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let z = Mat::from_rows(&[&[0.5, -0.3, 1.2], &[2.0, 0.0, -1.0]]);
+        let t = [2usize, 0usize];
+        let (_, g) = softmax_cross_entropy(&z, &t);
+        let eps = 1e-3;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut zp = z.clone();
+                zp.set(r, c, z.get(r, c) + eps);
+                let mut zm = z.clone();
+                zm.set(r, c, z.get(r, c) - eps);
+                let fd = (softmax_cross_entropy(&zp, &t).0 - softmax_cross_entropy(&zm, &t).0)
+                    / (2.0 * eps);
+                assert!((fd - g.get(r, c)).abs() < 1e-3, "[{r}][{c}]");
+            }
+        }
+    }
+}

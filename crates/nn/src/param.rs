@@ -1,0 +1,203 @@
+//! Parameters and gradient buffers.
+//!
+//! Layers own parameter *values*; gradients live in a separate [`Grads`]
+//! buffer indexed by [`ParamId`]. This split is what makes minibatch
+//! data-parallelism trivial: every worker thread owns a private `Grads`,
+//! and the buffers are summed before the optimizer step.
+
+use crate::mat::Mat;
+
+/// A dense identifier for a parameter tensor, assigned by
+/// [`ParamRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub usize);
+
+/// A parameter tensor: an id plus its current value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Registry-assigned id (indexes [`Grads`] and optimizer state).
+    pub id: ParamId,
+    /// A human-readable name for diagnostics and serialization.
+    pub name: String,
+    /// The current value.
+    pub value: Mat,
+}
+
+/// Allocates dense [`ParamId`]s and remembers each parameter's shape.
+#[derive(Debug, Clone, Default)]
+pub struct ParamRegistry {
+    shapes: Vec<(usize, usize)>,
+}
+
+impl ParamRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        ParamRegistry::default()
+    }
+
+    /// Registers a parameter and returns it.
+    pub fn alloc(&mut self, name: impl Into<String>, value: Mat) -> Param {
+        let id = ParamId(self.shapes.len());
+        self.shapes.push((value.rows(), value.cols()));
+        Param { id, name: name.into(), value }
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Whether no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// The shape registered for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not allocated by this registry.
+    pub fn shape(&self, id: ParamId) -> (usize, usize) {
+        self.shapes[id.0]
+    }
+
+    /// Total number of scalar parameters (for the paper's Table 2 counts).
+    pub fn scalar_count(&self) -> usize {
+        self.shapes.iter().map(|&(r, c)| r * c).sum()
+    }
+}
+
+/// Gradient buffers, one per registered parameter.
+#[derive(Debug, Clone)]
+pub struct Grads {
+    bufs: Vec<Mat>,
+}
+
+impl Grads {
+    /// Zeroed gradients shaped like `registry`.
+    pub fn new(registry: &ParamRegistry) -> Self {
+        let bufs = registry.shapes.iter().map(|&(r, c)| Mat::zeros(r, c)).collect();
+        Grads { bufs }
+    }
+
+    /// The gradient buffer for a parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: ParamId) -> &Mat {
+        &self.bufs[id.0]
+    }
+
+    /// Mutable access to a gradient buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Mat {
+        &mut self.bufs[id.0]
+    }
+
+    /// Accumulates `delta` into the buffer for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch.
+    pub fn accumulate(&mut self, id: ParamId, delta: &Mat) {
+        self.bufs[id.0].add_assign(delta);
+    }
+
+    /// Merges another gradient buffer into this one (data-parallel join).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers come from different registries.
+    pub fn merge(&mut self, other: &Grads) {
+        assert_eq!(self.bufs.len(), other.bufs.len(), "grads from different registries");
+        for (a, b) in self.bufs.iter_mut().zip(&other.bufs) {
+            a.add_assign(b);
+        }
+    }
+
+    /// Scales every gradient (e.g. by 1/batch).
+    pub fn scale(&mut self, s: f32) {
+        for b in &mut self.bufs {
+            for x in b.as_mut_slice() {
+                *x *= s;
+            }
+        }
+    }
+
+    /// Zeroes all buffers for reuse.
+    pub fn zero(&mut self) {
+        for b in &mut self.bufs {
+            for x in b.as_mut_slice() {
+                *x = 0.0;
+            }
+        }
+    }
+
+    /// Global L2 norm across all buffers (for clipping).
+    pub fn global_norm(&self) -> f32 {
+        self.bufs.iter().map(|b| {
+            let n = b.norm();
+            n * n
+        }).sum::<f32>().sqrt()
+    }
+
+    /// Clips the global norm to `max_norm` if it exceeds it.
+    pub fn clip_global_norm(&mut self, max_norm: f32) {
+        let n = self.global_norm();
+        if n > max_norm && n > 0.0 {
+            self.scale(max_norm / n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_assigns_dense_ids() {
+        let mut reg = ParamRegistry::new();
+        let a = reg.alloc("a", Mat::zeros(2, 3));
+        let b = reg.alloc("b", Mat::zeros(4, 1));
+        assert_eq!(a.id, ParamId(0));
+        assert_eq!(b.id, ParamId(1));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.shape(b.id), (4, 1));
+        assert_eq!(reg.scalar_count(), 10);
+    }
+
+    #[test]
+    fn grads_accumulate_and_merge() {
+        let mut reg = ParamRegistry::new();
+        let p = reg.alloc("p", Mat::zeros(1, 2));
+        let mut g1 = Grads::new(&reg);
+        let mut g2 = Grads::new(&reg);
+        g1.accumulate(p.id, &Mat::from_rows(&[&[1.0, 2.0]]));
+        g2.accumulate(p.id, &Mat::from_rows(&[&[3.0, 4.0]]));
+        g1.merge(&g2);
+        assert_eq!(g1.get(p.id), &Mat::from_rows(&[&[4.0, 6.0]]));
+        g1.scale(0.5);
+        assert_eq!(g1.get(p.id), &Mat::from_rows(&[&[2.0, 3.0]]));
+        g1.zero();
+        assert_eq!(g1.get(p.id).sum(), 0.0);
+    }
+
+    #[test]
+    fn global_norm_clipping() {
+        let mut reg = ParamRegistry::new();
+        let p = reg.alloc("p", Mat::zeros(1, 2));
+        let mut g = Grads::new(&reg);
+        g.accumulate(p.id, &Mat::from_rows(&[&[3.0, 4.0]]));
+        assert!((g.global_norm() - 5.0).abs() < 1e-6);
+        g.clip_global_norm(1.0);
+        assert!((g.global_norm() - 1.0).abs() < 1e-6);
+        // Below the cap: unchanged.
+        let before = g.get(p.id).clone();
+        g.clip_global_norm(10.0);
+        assert_eq!(g.get(p.id), &before);
+    }
+}

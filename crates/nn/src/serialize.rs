@@ -1,0 +1,134 @@
+//! Parameter serialization via serde.
+//!
+//! Models expose `visit`/`visit_mut`; serialization snapshots every
+//! parameter by name. The format is a plain serde structure, so any serde
+//! format works (the workspace uses JSON for its small trained models).
+
+use serde::{Deserialize, Serialize};
+
+use crate::mat::Mat;
+use crate::param::Param;
+
+/// A serializable snapshot of model parameters.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ModelState {
+    /// `(name, rows, cols, data)` per parameter, in visit order.
+    pub tensors: Vec<(String, usize, usize, Vec<f32>)>,
+}
+
+/// Captures all parameters yielded by `visit` into a [`ModelState`].
+///
+/// # Example
+///
+/// ```rust
+/// use sns_nn::{save_params, load_params, Linear, ParamRegistry};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut reg = ParamRegistry::new();
+/// let mut layer = Linear::new(&mut reg, 4, 2, &mut rng);
+/// let state = save_params(|f| layer.visit(f));
+/// let mut layer2 = Linear::new(&mut reg, 4, 2, &mut rng);
+/// load_params(&state, |f| layer2.visit_mut(f)).unwrap();
+/// let s2 = save_params(|f| layer2.visit(f));
+/// assert_eq!(state, s2);
+/// ```
+pub fn save_params(mut visit: impl FnMut(&mut dyn FnMut(&Param))) -> ModelState {
+    let mut tensors = Vec::new();
+    visit(&mut |p: &Param| {
+        tensors.push((p.name.clone(), p.value.rows(), p.value.cols(), p.value.as_slice().to_vec()));
+    });
+    ModelState { tensors }
+}
+
+/// Restores parameters in visit order from a [`ModelState`].
+///
+/// # Errors
+///
+/// Returns a description of the first mismatch (count or shape) — partial
+/// restores are applied up to that point.
+pub fn load_params(
+    state: &ModelState,
+    mut visit: impl FnMut(&mut dyn FnMut(&mut Param)),
+) -> Result<(), String> {
+    let mut idx = 0usize;
+    let mut error: Option<String> = None;
+    visit(&mut |p: &mut Param| {
+        if error.is_some() {
+            return;
+        }
+        let Some((name, rows, cols, data)) = state.tensors.get(idx) else {
+            error = Some(format!("state has only {} tensors", state.tensors.len()));
+            return;
+        };
+        if (*rows, *cols) != (p.value.rows(), p.value.cols()) {
+            error = Some(format!(
+                "tensor `{name}` shape {}x{} does not match parameter `{}` {}x{}",
+                rows,
+                cols,
+                p.name,
+                p.value.rows(),
+                p.value.cols()
+            ));
+            return;
+        }
+        p.value = Mat::from_vec(*rows, *cols, data.clone());
+        idx += 1;
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    if idx != state.tensors.len() {
+        return Err(format!("model consumed {idx} of {} tensors", state.tensors.len()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use crate::param::ParamRegistry;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_through_json() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut reg = ParamRegistry::new();
+        let l = Linear::new(&mut reg, 3, 3, &mut rng);
+        let state = save_params(|f| l.visit(f));
+        let json = serde_json::to_string(&state).unwrap();
+        let back: ModelState = serde_json::from_str(&json).unwrap();
+        assert_eq!(state, back);
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut reg = ParamRegistry::new();
+        let small = Linear::new(&mut reg, 2, 2, &mut rng);
+        let mut big = Linear::new(&mut reg, 4, 4, &mut rng);
+        let state = save_params(|f| small.visit(f));
+        let err = load_params(&state, |f| big.visit_mut(f)).unwrap_err();
+        assert!(err.contains("shape"), "{err}");
+    }
+
+    #[test]
+    fn too_few_tensors_is_an_error() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut reg = ParamRegistry::new();
+        let l = Linear::new(&mut reg, 2, 2, &mut rng);
+        let mut two = (
+            Linear::new(&mut reg, 2, 2, &mut rng),
+            Linear::new(&mut reg, 2, 2, &mut rng),
+        );
+        let state = save_params(|f| l.visit(f));
+        let err = load_params(&state, |f| {
+            two.0.visit_mut(f);
+            two.1.visit_mut(f);
+        })
+        .unwrap_err();
+        assert!(err.contains("only"), "{err}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the neural-network substrate: gradient
+//! correctness on random shapes and inputs, optimizer convergence, and
+//! algebraic identities of the matrix kernels.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sns_nn::{Grads, Linear, Mat, MultiHeadAttention, ParamRegistry};
+
+fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(-1.5f32..1.5, rows * cols)
+        .prop_map(move |v| Mat::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// (A·B)·C == A·(B·C) within float tolerance, for random small shapes.
+    #[test]
+    fn matmul_is_associative(
+        a in mat_strategy(3, 4),
+        b in mat_strategy(4, 5),
+        c in mat_strategy(5, 2),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Transpose identities: (Aᵀ)ᵀ = A and (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_identities(a in mat_strategy(3, 5), b in mat_strategy(5, 4)) {
+        prop_assert_eq!(a.transposed().transposed(), a.clone());
+        let lhs = a.matmul(&b).transposed();
+        let rhs = b.transposed().matmul(&a.transposed());
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Softmax rows are valid distributions and invariant to row shifts.
+    #[test]
+    fn softmax_properties(a in mat_strategy(4, 6), shift in -10.0f32..10.0) {
+        let s = a.softmax_rows();
+        for r in 0..4 {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        let shifted = a.map(|v| v + shift).softmax_rows();
+        for (x, y) in s.as_slice().iter().zip(shifted.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4, "softmax must be shift-invariant");
+        }
+    }
+
+    /// Linear's input gradient matches finite differences on random data.
+    #[test]
+    fn linear_gradient_matches_fd(seed in 0u64..500, x in mat_strategy(2, 3)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut reg = ParamRegistry::new();
+        let l = Linear::new(&mut reg, 3, 2, &mut rng);
+        let loss = |x: &Mat| l.forward(x).0.as_slice().iter().map(|v| v * v).sum::<f32>();
+        let (y, ctx) = l.forward(&x);
+        let dy = y.scale(2.0);
+        let mut grads = Grads::new(&reg);
+        let dx = l.backward(&ctx, &dy, &mut grads);
+        let eps = 1e-2;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + eps);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - eps);
+                let fd = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+                prop_assert!(
+                    (fd - dx.get(r, c)).abs() < 0.05 * (1.0 + fd.abs()),
+                    "[{r}][{c}] fd={fd} analytic={}",
+                    dx.get(r, c)
+                );
+            }
+        }
+    }
+
+    /// Attention output is permutation-covariant in positions when Q/K/V
+    /// see the same permuted input (self-attention without positional
+    /// encodings has no position preference).
+    #[test]
+    fn attention_is_position_covariant(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut reg = ParamRegistry::new();
+        let attn = MultiHeadAttention::new(&mut reg, 8, 2, &mut rng);
+        let x = {
+            let mut m = Mat::zeros(3, 8);
+            for i in 0..24 {
+                m.as_mut_slice()[i] = ((i * 37 + seed as usize) % 17) as f32 / 17.0 - 0.5;
+            }
+            m
+        };
+        let (y, _) = attn.forward(&x);
+        // Swap rows 0 and 2 of the input; outputs swap identically.
+        let xs = Mat::from_rows(&[x.row(2), x.row(1), x.row(0)]);
+        let (ys, _) = attn.forward(&xs);
+        for c in 0..8 {
+            prop_assert!((y.get(0, c) - ys.get(2, c)).abs() < 1e-4);
+            prop_assert!((y.get(2, c) - ys.get(0, c)).abs() < 1e-4);
+            prop_assert!((y.get(1, c) - ys.get(1, c)).abs() < 1e-4);
+        }
+    }
+
+    /// Gradient buffers merge linearly: grads(batch) == grads(a) + grads(b).
+    #[test]
+    fn gradients_are_additive(xa in mat_strategy(2, 3), xb in mat_strategy(2, 3)) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut reg = ParamRegistry::new();
+        let l = Linear::new(&mut reg, 3, 2, &mut rng);
+        let run = |x: &Mat, grads: &mut Grads| {
+            let (y, ctx) = l.forward(x);
+            l.backward(&ctx, &y, grads);
+        };
+        let mut ga = Grads::new(&reg);
+        run(&xa, &mut ga);
+        let mut gb = Grads::new(&reg);
+        run(&xb, &mut gb);
+        ga.merge(&gb);
+        let mut gboth = Grads::new(&reg);
+        run(&xa, &mut gboth);
+        run(&xb, &mut gboth);
+        l.visit(&mut |p| {
+            for (x, y) in ga.get(p.id).as_slice().iter().zip(gboth.get(p.id).as_slice()) {
+                assert!((x - y).abs() < 1e-4, "merge mismatch {x} vs {y}");
+            }
+        });
+    }
+}

@@ -1,0 +1,245 @@
+//! The bit-level gate graph.
+//!
+//! Stored struct-of-arrays for cache-friendly full-graph passes (STA,
+//! sizing, power): a design of a few million gates fits comfortably and
+//! traverses in milliseconds per pass.
+
+/// Index of a node in a [`GateGraph`].
+pub type NodeId = u32;
+
+/// Sentinel for an absent fanin slot.
+pub const NO_NODE: NodeId = u32::MAX;
+
+/// The primitive gate/node kinds of the virtual cell library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum GateKind {
+    /// A primary input bit (zero delay source).
+    Input,
+    /// A constant bit (zero delay source).
+    Const,
+    /// A D-flip-flop bit. Fanin 0 is the D input; the node itself is the Q
+    /// output and an STA startpoint.
+    Dff,
+    /// Inverter.
+    Inv,
+    /// Buffer.
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 mux: fanins `[sel, a, b]`.
+    Mux2,
+    /// 3-input majority (carry) gate.
+    Maj3,
+}
+
+impl GateKind {
+    /// All kinds, for iteration in tests and reports.
+    pub const ALL: [GateKind; 13] = [
+        GateKind::Input,
+        GateKind::Const,
+        GateKind::Dff,
+        GateKind::Inv,
+        GateKind::Buf,
+        GateKind::Nand2,
+        GateKind::Nor2,
+        GateKind::And2,
+        GateKind::Or2,
+        GateKind::Xor2,
+        GateKind::Xnor2,
+        GateKind::Mux2,
+        GateKind::Maj3,
+    ];
+
+    /// Whether the node is an STA source (no delay contribution from
+    /// fanins).
+    pub fn is_source(self) -> bool {
+        matches!(self, GateKind::Input | GateKind::Const | GateKind::Dff)
+    }
+
+    /// Whether the node counts as a logic gate in gate-count reports
+    /// (sources do not; flip-flops do).
+    pub fn is_gate(self) -> bool {
+        !matches!(self, GateKind::Input | GateKind::Const)
+    }
+}
+
+/// A flat gate-level graph.
+///
+/// Nodes are appended in (combinational) topological order by the expander,
+/// except that flip-flop D fanins are patched in afterwards — which is fine
+/// because STA never propagates *through* a flip-flop.
+#[derive(Debug, Clone, Default)]
+pub struct GateGraph {
+    kinds: Vec<GateKind>,
+    fanins: Vec<[NodeId; 3]>,
+    /// Per-node drive strength multiplier (sizing), starts at 1.0.
+    pub drive: Vec<f32>,
+}
+
+impl GateGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        GateGraph::default()
+    }
+
+    /// Creates an empty graph with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut g = GateGraph::new();
+        g.kinds.reserve(n);
+        g.fanins.reserve(n);
+        g.drive.reserve(n);
+        g
+    }
+
+    /// Appends a node and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any fanin id is ≥ the new node's id and
+    /// not `NO_NODE` (nodes must arrive topologically, flip-flop D patches
+    /// excepted — use [`GateGraph::set_fanin`] for those).
+    pub fn push(&mut self, kind: GateKind, fanins: [NodeId; 3]) -> NodeId {
+        let id = self.kinds.len() as NodeId;
+        debug_assert!(
+            fanins.iter().all(|&f| f == NO_NODE || f < id),
+            "fanins must precede the node (kind {kind:?})"
+        );
+        self.kinds.push(kind);
+        self.fanins.push(fanins);
+        self.drive.push(1.0);
+        id
+    }
+
+    /// Convenience: push a 1-input gate.
+    pub fn push1(&mut self, kind: GateKind, a: NodeId) -> NodeId {
+        self.push(kind, [a, NO_NODE, NO_NODE])
+    }
+
+    /// Convenience: push a 2-input gate.
+    pub fn push2(&mut self, kind: GateKind, a: NodeId, b: NodeId) -> NodeId {
+        self.push(kind, [a, b, NO_NODE])
+    }
+
+    /// Convenience: push a 3-input gate.
+    pub fn push3(&mut self, kind: GateKind, a: NodeId, b: NodeId, c: NodeId) -> NodeId {
+        self.push(kind, [a, b, c])
+    }
+
+    /// Patches a fanin slot after the fact (used for flip-flop D inputs,
+    /// which may close cycles through the register).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `slot >= 3`.
+    pub fn set_fanin(&mut self, node: NodeId, slot: usize, value: NodeId) {
+        self.fanins[node as usize][slot] = value;
+    }
+
+    /// Number of nodes (including sources).
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The kind of a node.
+    pub fn kind(&self, id: NodeId) -> GateKind {
+        self.kinds[id as usize]
+    }
+
+    /// The fanins of a node (`NO_NODE` marks unused slots).
+    pub fn fanins(&self, id: NodeId) -> [NodeId; 3] {
+        self.fanins[id as usize]
+    }
+
+    /// Number of logic gates (excludes inputs/constants, includes DFFs).
+    pub fn gate_count(&self) -> u64 {
+        self.kinds.iter().filter(|k| k.is_gate()).count() as u64
+    }
+
+    /// Computes per-node fanout counts (one full pass).
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut fo = vec![0u32; self.len()];
+        for f in &self.fanins {
+            for &x in f {
+                if x != NO_NODE {
+                    fo[x as usize] += 1;
+                }
+            }
+        }
+        fo
+    }
+
+    /// Histogram of node kinds.
+    pub fn kind_histogram(&self) -> [u64; 13] {
+        let mut h = [0u64; 13];
+        for &k in &self.kinds {
+            h[k as usize] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut g = GateGraph::new();
+        let a = g.push(GateKind::Input, [NO_NODE; 3]);
+        let b = g.push(GateKind::Input, [NO_NODE; 3]);
+        let n = g.push2(GateKind::Nand2, a, b);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.kind(n), GateKind::Nand2);
+        assert_eq!(g.fanins(n), [a, b, NO_NODE]);
+        assert_eq!(g.gate_count(), 1);
+    }
+
+    #[test]
+    fn fanout_counts() {
+        let mut g = GateGraph::new();
+        let a = g.push(GateKind::Input, [NO_NODE; 3]);
+        let x = g.push1(GateKind::Inv, a);
+        let _y = g.push2(GateKind::And2, a, x);
+        let fo = g.fanout_counts();
+        assert_eq!(fo[a as usize], 2);
+        assert_eq!(fo[x as usize], 1);
+    }
+
+    #[test]
+    fn dff_fanin_patching() {
+        let mut g = GateGraph::new();
+        let q = g.push(GateKind::Dff, [NO_NODE; 3]);
+        let inc = g.push1(GateKind::Inv, q);
+        g.set_fanin(q, 0, inc);
+        assert_eq!(g.fanins(q)[0], inc);
+        assert!(GateKind::Dff.is_source());
+        assert!(GateKind::Dff.is_gate());
+    }
+
+    #[test]
+    fn kind_histogram_counts() {
+        let mut g = GateGraph::new();
+        let a = g.push(GateKind::Input, [NO_NODE; 3]);
+        g.push1(GateKind::Inv, a);
+        g.push1(GateKind::Inv, a);
+        let h = g.kind_histogram();
+        assert_eq!(h[GateKind::Inv as usize], 2);
+        assert_eq!(h[GateKind::Input as usize], 1);
+    }
+}

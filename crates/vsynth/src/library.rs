@@ -1,0 +1,248 @@
+//! The characterized cell library.
+//!
+//! Parameter values are representative of a 15 nm-class standard-cell
+//! library (the paper uses FreePDK-15): gate areas of a few tenths of a
+//! µm², intrinsic delays of a few picoseconds, switching energies of a
+//! fraction of a femtojoule, and leakage of tens of nanowatts.
+//! Absolute accuracy is not the goal (see DESIGN.md §1); internal
+//! consistency and correct *relative* costs across gate types are.
+
+use crate::gates::GateKind;
+
+/// Physical parameters of one gate type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateParams {
+    /// Cell area in µm² at drive 1.
+    pub area_um2: f32,
+    /// Intrinsic propagation delay in ps at drive 1.
+    pub delay_ps: f32,
+    /// Additional delay per fanout load, in ps.
+    pub load_ps_per_fanout: f32,
+    /// Energy per output toggle, in fJ.
+    pub energy_fj: f32,
+    /// Leakage power in nW.
+    pub leakage_nw: f32,
+    /// Transistor count (for the paper's gate/transistor statistics).
+    pub transistors: u32,
+}
+
+const ZERO: GateParams = GateParams {
+    area_um2: 0.0,
+    delay_ps: 0.0,
+    load_ps_per_fanout: 0.0,
+    energy_fj: 0.0,
+    leakage_nw: 0.0,
+    transistors: 0,
+};
+
+/// A complete characterized library.
+#[derive(Debug, Clone)]
+pub struct CellLibrary {
+    params: [GateParams; 13],
+    /// Flip-flop clock-to-Q delay in ps.
+    pub clk_to_q_ps: f32,
+    /// Flip-flop setup time in ps.
+    pub setup_ps: f32,
+}
+
+impl CellLibrary {
+    /// The default 15 nm-class library.
+    pub fn freepdk15() -> Self {
+        let mut params = [ZERO; 13];
+        let set = |p: &mut [GateParams; 13], k: GateKind, v: GateParams| p[k as usize] = v;
+        set(&mut params, GateKind::Inv, GateParams {
+            area_um2: 0.098,
+            delay_ps: 4.0,
+            load_ps_per_fanout: 1.0,
+            energy_fj: 0.08,
+            leakage_nw: 15.0,
+            transistors: 2,
+        });
+        set(&mut params, GateKind::Buf, GateParams {
+            area_um2: 0.130,
+            delay_ps: 6.0,
+            load_ps_per_fanout: 0.8,
+            energy_fj: 0.10,
+            leakage_nw: 18.0,
+            transistors: 4,
+        });
+        set(&mut params, GateKind::Nand2, GateParams {
+            area_um2: 0.147,
+            delay_ps: 5.5,
+            load_ps_per_fanout: 1.1,
+            energy_fj: 0.10,
+            leakage_nw: 20.0,
+            transistors: 4,
+        });
+        set(&mut params, GateKind::Nor2, GateParams {
+            area_um2: 0.147,
+            delay_ps: 6.5,
+            load_ps_per_fanout: 1.2,
+            energy_fj: 0.11,
+            leakage_nw: 22.0,
+            transistors: 4,
+        });
+        set(&mut params, GateKind::And2, GateParams {
+            area_um2: 0.196,
+            delay_ps: 7.5,
+            load_ps_per_fanout: 1.1,
+            energy_fj: 0.13,
+            leakage_nw: 25.0,
+            transistors: 6,
+        });
+        set(&mut params, GateKind::Or2, GateParams {
+            area_um2: 0.196,
+            delay_ps: 8.0,
+            load_ps_per_fanout: 1.2,
+            energy_fj: 0.14,
+            leakage_nw: 26.0,
+            transistors: 6,
+        });
+        set(&mut params, GateKind::Xor2, GateParams {
+            area_um2: 0.294,
+            delay_ps: 9.5,
+            load_ps_per_fanout: 1.3,
+            energy_fj: 0.20,
+            leakage_nw: 30.0,
+            transistors: 8,
+        });
+        set(&mut params, GateKind::Xnor2, GateParams {
+            area_um2: 0.294,
+            delay_ps: 9.5,
+            load_ps_per_fanout: 1.3,
+            energy_fj: 0.20,
+            leakage_nw: 30.0,
+            transistors: 10,
+        });
+        set(&mut params, GateKind::Mux2, GateParams {
+            area_um2: 0.245,
+            delay_ps: 8.5,
+            load_ps_per_fanout: 1.2,
+            energy_fj: 0.16,
+            leakage_nw: 28.0,
+            transistors: 12,
+        });
+        set(&mut params, GateKind::Maj3, GateParams {
+            area_um2: 0.294,
+            delay_ps: 9.0,
+            load_ps_per_fanout: 1.3,
+            energy_fj: 0.18,
+            leakage_nw: 32.0,
+            transistors: 10,
+        });
+        set(&mut params, GateKind::Dff, GateParams {
+            area_um2: 0.882,
+            delay_ps: 0.0, // sequenced by clk_to_q / setup below
+            load_ps_per_fanout: 1.0,
+            energy_fj: 0.90,
+            leakage_nw: 60.0,
+            transistors: 24,
+        });
+        CellLibrary { params, clk_to_q_ps: 22.0, setup_ps: 15.0 }
+    }
+
+    /// Parameters for a gate kind.
+    pub fn params(&self, kind: GateKind) -> GateParams {
+        self.params[kind as usize]
+    }
+
+    /// Effective propagation delay of a gate at a drive strength and fanout.
+    ///
+    /// Upsizing speeds the gate up (toward ~55 % of intrinsic delay) and
+    /// drives load more easily, at an area/energy cost — the classic
+    /// sizing trade the synthesizer's timing loop exploits.
+    pub fn delay(&self, kind: GateKind, drive: f32, fanout: u32) -> f32 {
+        let p = self.params(kind);
+        if kind.is_source() {
+            return 0.0;
+        }
+        p.delay_ps * (0.55 + 0.45 / drive) + p.load_ps_per_fanout * fanout as f32 / drive
+    }
+
+    /// Effective area at a drive strength.
+    pub fn area(&self, kind: GateKind, drive: f32) -> f32 {
+        self.params(kind).area_um2 * drive
+    }
+
+    /// Effective switching energy at a drive strength.
+    pub fn energy(&self, kind: GateKind, drive: f32) -> f32 {
+        self.params(kind).energy_fj * (0.7 + 0.3 * drive)
+    }
+
+    /// Effective leakage at a drive strength.
+    pub fn leakage(&self, kind: GateKind, drive: f32) -> f32 {
+        self.params(kind).leakage_nw * drive
+    }
+
+    /// The activity transmission factor of a gate: what fraction of input
+    /// switching propagates to the output, on average. Used by the power
+    /// pass.
+    pub fn activity_factor(&self, kind: GateKind) -> f32 {
+        match kind {
+            GateKind::Inv | GateKind::Buf => 1.0,
+            GateKind::Xor2 | GateKind::Xnor2 => 0.95,
+            GateKind::Nand2 | GateKind::Nor2 | GateKind::And2 | GateKind::Or2 => 0.55,
+            GateKind::Mux2 => 0.65,
+            GateKind::Maj3 => 0.75,
+            GateKind::Dff => 0.9,
+            GateKind::Input | GateKind::Const => 0.0,
+        }
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        CellLibrary::freepdk15()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_logic_gates_are_characterized() {
+        let lib = CellLibrary::freepdk15();
+        for k in GateKind::ALL {
+            let p = lib.params(k);
+            if k.is_gate() {
+                assert!(p.area_um2 > 0.0, "{k:?} has no area");
+                assert!(p.transistors > 0, "{k:?} has no transistors");
+            } else {
+                assert_eq!(p.area_um2, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sizing_speeds_up_but_costs_area() {
+        let lib = CellLibrary::freepdk15();
+        let d1 = lib.delay(GateKind::Nand2, 1.0, 4);
+        let d2 = lib.delay(GateKind::Nand2, 2.0, 4);
+        assert!(d2 < d1);
+        assert!(lib.area(GateKind::Nand2, 2.0) > lib.area(GateKind::Nand2, 1.0));
+        assert!(lib.energy(GateKind::Nand2, 2.0) > lib.energy(GateKind::Nand2, 1.0));
+    }
+
+    #[test]
+    fn fanout_increases_delay() {
+        let lib = CellLibrary::freepdk15();
+        assert!(lib.delay(GateKind::Inv, 1.0, 8) > lib.delay(GateKind::Inv, 1.0, 1));
+    }
+
+    #[test]
+    fn sources_have_zero_delay() {
+        let lib = CellLibrary::freepdk15();
+        assert_eq!(lib.delay(GateKind::Input, 1.0, 100), 0.0);
+        assert_eq!(lib.delay(GateKind::Dff, 1.0, 100), 0.0); // clk→Q handled separately
+    }
+
+    #[test]
+    fn relative_costs_are_sane() {
+        let lib = CellLibrary::freepdk15();
+        // XOR is costlier than NAND; DFF is the biggest cell.
+        assert!(lib.params(GateKind::Xor2).area_um2 > lib.params(GateKind::Nand2).area_um2);
+        assert!(lib.params(GateKind::Dff).area_um2 > lib.params(GateKind::Xor2).area_um2);
+        assert!(lib.activity_factor(GateKind::Xor2) > lib.activity_factor(GateKind::And2));
+    }
+}

@@ -1,0 +1,408 @@
+//! Physical characterization of individual circuit paths (Table 5 labels).
+//!
+//! SNS trains the Circuitformer on `(path, timing/area/power)` records. The
+//! paper obtains these from Synopsys DC; here each path unit is expanded
+//! through the same gate-level machinery as whole designs
+//! ([`crate::expand`]) and the per-unit results are chained:
+//! path timing is the sum of unit delays plus register sequencing overhead,
+//! path area the sum of unit areas, and path power the switching + leakage
+//! power of the chain at the path's own maximum frequency.
+
+use std::collections::HashMap;
+
+use sns_graphir::VocabType;
+
+use crate::expand::Expander;
+use crate::gates::{GateGraph, GateKind, NodeId, NO_NODE};
+use crate::library::CellLibrary;
+
+/// Physical characteristics of a single functional unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitPhysical {
+    /// Cell area in µm².
+    pub area_um2: f64,
+    /// Worst input-to-output delay in ps (sequencing overhead for
+    /// registers, pad delay for I/O).
+    pub delay_ps: f64,
+    /// Activity-weighted switching energy per cycle, in fJ.
+    pub energy_fj: f64,
+    /// Leakage in nW.
+    pub leakage_nw: f64,
+    /// Gate count.
+    pub gates: u64,
+    /// Transistor count.
+    pub transistors: u64,
+}
+
+/// Physical characteristics of a complete circuit path — one row of the
+/// paper's Table 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathPhysical {
+    /// End-to-end path delay in ps.
+    pub timing_ps: f64,
+    /// Total area of the units on the path, in µm².
+    pub area_um2: f64,
+    /// Power of the path at its own maximum frequency, in mW.
+    pub power_mw: f64,
+}
+
+/// Pad delay charged for I/O vertices on a path, in ps.
+const IO_DELAY_PS: f64 = 2.0;
+/// Input switching activity used when characterizing units.
+const UNIT_ACTIVITY: f32 = 0.2;
+
+/// Computes the physical characteristics of one functional unit by
+/// expanding it to gates and running a miniature timing/power analysis.
+///
+/// # Example
+///
+/// ```rust
+/// use sns_graphir::VocabType;
+/// use sns_vsynth::{unit_physical, CellLibrary};
+///
+/// let lib = CellLibrary::freepdk15();
+/// let add16 = unit_physical(VocabType::Add, 16, &lib);
+/// let mul16 = unit_physical(VocabType::Mul, 16, &lib);
+/// assert!(mul16.area_um2 > add16.area_um2);
+/// assert!(mul16.delay_ps > add16.delay_ps);
+/// ```
+pub fn unit_physical(vtype: VocabType, width: u32, lib: &CellLibrary) -> UnitPhysical {
+    let w = width.max(1);
+    match vtype {
+        VocabType::Io => UnitPhysical {
+            area_um2: 0.0,
+            delay_ps: IO_DELAY_PS,
+            energy_fj: 0.0,
+            leakage_nw: 0.0,
+            gates: 0,
+            transistors: 0,
+        },
+        VocabType::Dff => {
+            let p = lib.params(GateKind::Dff);
+            UnitPhysical {
+                area_um2: p.area_um2 as f64 * w as f64,
+                delay_ps: (lib.clk_to_q_ps + lib.setup_ps) as f64,
+                energy_fj: (p.energy_fj * UNIT_ACTIVITY) as f64 * w as f64,
+                leakage_nw: p.leakage_nw as f64 * w as f64,
+                gates: w as u64,
+                transistors: p.transistors as u64 * w as u64,
+            }
+        }
+        _ => {
+            let mut g = GateGraph::new();
+            let mut e = Expander::new(&mut g);
+            build_unit(&mut e, vtype, w);
+            characterize(&g, lib)
+        }
+    }
+}
+
+fn build_unit(e: &mut Expander<'_>, vtype: VocabType, w: u32) {
+    match vtype {
+        VocabType::Mux => {
+            let s = e.input();
+            let a = e.inputs(w);
+            let b = e.inputs(w);
+            e.mux(s, &a, &b);
+        }
+        VocabType::Not => {
+            let a = e.inputs(w);
+            e.map1(GateKind::Inv, &a);
+        }
+        VocabType::And | VocabType::Or | VocabType::Xor => {
+            let a = e.inputs(w);
+            let b = e.inputs(w);
+            let k = match vtype {
+                VocabType::And => GateKind::And2,
+                VocabType::Or => GateKind::Or2,
+                _ => GateKind::Xor2,
+            };
+            e.map2(k, &a, &b);
+        }
+        VocabType::Sh => {
+            let a = e.inputs(w);
+            let bits = (32 - (w.max(2) - 1).leading_zeros()).max(1);
+            let s = e.inputs(bits);
+            e.shift(&a, &s, false);
+        }
+        VocabType::ReduceAnd | VocabType::ReduceOr | VocabType::ReduceXor => {
+            let a = e.inputs(w);
+            let k = match vtype {
+                VocabType::ReduceAnd => GateKind::And2,
+                VocabType::ReduceOr => GateKind::Or2,
+                _ => GateKind::Xor2,
+            };
+            e.reduce(k, &a);
+        }
+        VocabType::Add => {
+            let a = e.inputs(w);
+            let b = e.inputs(w);
+            e.add(&a, &b);
+        }
+        VocabType::Mul => {
+            let a = e.inputs(w);
+            let b = e.inputs(w);
+            e.mul(&a, &b, w);
+        }
+        VocabType::Eq => {
+            let a = e.inputs(w);
+            let b = e.inputs(w);
+            e.equal(&a, &b);
+        }
+        VocabType::Lgt => {
+            let a = e.inputs(w);
+            let b = e.inputs(w);
+            e.less_than(&a, &b);
+        }
+        VocabType::Div | VocabType::Mod => {
+            let a = e.inputs(w);
+            let b = e.inputs(w);
+            e.divmod(&a, &b);
+        }
+        VocabType::Io | VocabType::Dff => unreachable!("handled by unit_physical"),
+    }
+}
+
+/// Miniature STA + power over a standalone unit graph.
+fn characterize(g: &GateGraph, lib: &CellLibrary) -> UnitPhysical {
+    let fanouts = g.fanout_counts();
+    let mut area = 0.0f64;
+    let mut leak = 0.0f64;
+    let mut energy = 0.0f64;
+    let mut transistors = 0u64;
+    let mut arrival = vec![0.0f32; g.len()];
+    let mut act = vec![0.0f32; g.len()];
+    let mut worst = 0.0f32;
+    for id in 0..g.len() {
+        let k = g.kind(id as NodeId);
+        area += lib.area(k, 1.0) as f64;
+        leak += lib.leakage(k, 1.0) as f64;
+        transistors += lib.params(k).transistors as u64;
+        if k.is_source() {
+            arrival[id] = 0.0;
+            act[id] = if k == GateKind::Input { UNIT_ACTIVITY } else { 0.0 };
+        } else {
+            let mut a = 0.0f32;
+            let mut asum = 0.0f32;
+            let mut n = 0;
+            for &f in &g.fanins(id as NodeId) {
+                if f != NO_NODE {
+                    a = a.max(arrival[f as usize]);
+                    asum += act[f as usize];
+                    n += 1;
+                }
+            }
+            arrival[id] = a + lib.delay(k, 1.0, fanouts[id]);
+            act[id] = if n == 0 { 0.0 } else { (lib.activity_factor(k) * asum / n as f32).min(1.0) };
+        }
+        energy += (act[id] * lib.energy(k, 1.0)) as f64;
+        worst = worst.max(arrival[id]);
+    }
+    UnitPhysical {
+        area_um2: area,
+        delay_ps: worst as f64,
+        energy_fj: energy,
+        leakage_nw: leak,
+        gates: g.gate_count(),
+        transistors,
+    }
+}
+
+/// A memoizing cache of unit characterizations.
+///
+/// Path labeling touches the same (type, width) pairs constantly; at most
+/// 79 entries ever exist, so the cache makes path labeling O(path length).
+#[derive(Debug, Default)]
+pub struct UnitCache {
+    map: HashMap<(VocabType, u32), UnitPhysical>,
+}
+
+impl UnitCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        UnitCache::default()
+    }
+
+    /// Fetches or computes the characterization of a unit.
+    pub fn get(&mut self, vtype: VocabType, width: u32, lib: &CellLibrary) -> UnitPhysical {
+        *self.map.entry((vtype, width)).or_insert_with(|| unit_physical(vtype, width, lib))
+    }
+}
+
+/// Computes the Table 5 label for a complete circuit path given as
+/// `(type, width)` tokens.
+///
+/// # Example
+///
+/// ```rust
+/// use sns_graphir::VocabType;
+/// use sns_vsynth::{path_physical, CellLibrary, UnitCache};
+///
+/// let lib = CellLibrary::freepdk15();
+/// let mut cache = UnitCache::new();
+/// // The Figure 2 path [io8, mul16, add16, dff16]:
+/// let p = path_physical(
+///     &[(VocabType::Io, 8), (VocabType::Mul, 16), (VocabType::Add, 16), (VocabType::Dff, 16)],
+///     &lib,
+///     &mut cache,
+/// );
+/// assert!(p.timing_ps > 0.0 && p.area_um2 > 0.0 && p.power_mw > 0.0);
+/// ```
+pub fn path_physical(
+    tokens: &[(VocabType, u32)],
+    lib: &CellLibrary,
+    cache: &mut UnitCache,
+) -> PathPhysical {
+    let mut timing = 0.0f64;
+    let mut area = 0.0f64;
+    let mut energy = 0.0f64;
+    let mut leak = 0.0f64;
+    for (i, &(t, w)) in tokens.iter().enumerate() {
+        let u = cache.get(t, w, lib);
+        // Structural fusion, as a timing-driven synthesizer would apply it.
+        // This is what makes unit *order* matter (§3.3 of the paper): a
+        // multiplier followed by an adder fuses into a MAC (the addend
+        // enters the multiplier's compression tree, absorbing most of the
+        // adder); chained adders share carry-save structure; an inverter
+        // after simple logic folds into the preceding gate's output stage.
+        let (dt, da, de) = match (i.checked_sub(1).map(|j| tokens[j].0), t) {
+            (Some(VocabType::Mul), VocabType::Add) => (0.25, 0.40, 0.50),
+            (Some(VocabType::Add), VocabType::Add) => (0.55, 0.75, 0.80),
+            (Some(VocabType::And | VocabType::Or | VocabType::Xor), VocabType::Not) => {
+                (0.20, 0.20, 0.30)
+            }
+            (Some(VocabType::Add | VocabType::Mul), VocabType::Lgt) => (0.50, 0.60, 0.70),
+            _ => (1.0, 1.0, 1.0),
+        };
+        timing += u.delay_ps * dt;
+        area += u.area_um2 * da;
+        energy += u.energy_fj * de;
+        leak += u.leakage_nw * da;
+    }
+    let timing = timing.max(1.0);
+    // Power at the path's own maximum operating frequency.
+    let freq_ghz = 1000.0 / timing;
+    let power_mw = energy * freq_ghz / 1000.0 + leak / 1e6;
+    PathPhysical { timing_ps: timing, area_um2: area, power_mw }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> CellLibrary {
+        CellLibrary::freepdk15()
+    }
+
+    #[test]
+    fn unit_delay_orders_match_hardware_intuition() {
+        let l = lib();
+        let and = unit_physical(VocabType::And, 16, &l);
+        let add = unit_physical(VocabType::Add, 16, &l);
+        let mul = unit_physical(VocabType::Mul, 16, &l);
+        let div = unit_physical(VocabType::Div, 16, &l);
+        assert!(and.delay_ps < add.delay_ps);
+        assert!(add.delay_ps < mul.delay_ps);
+        assert!(mul.delay_ps < div.delay_ps);
+    }
+
+    #[test]
+    fn unit_area_grows_with_width() {
+        let l = lib();
+        for t in [VocabType::Add, VocabType::Mul, VocabType::Mux, VocabType::Sh] {
+            let a8 = unit_physical(t, 8, &l).area_um2;
+            let a32 = unit_physical(t, 32, &l).area_um2;
+            assert!(a32 > 2.0 * a8, "{t:?}: {a8} -> {a32}");
+        }
+    }
+
+    #[test]
+    fn adder_delay_grows_logarithmically() {
+        let l = lib();
+        let d8 = unit_physical(VocabType::Add, 8, &l).delay_ps;
+        let d64 = unit_physical(VocabType::Add, 64, &l).delay_ps;
+        // Prefix adder: delay grows with log(width), so 8x width should be
+        // well under 4x delay.
+        assert!(d64 < 4.0 * d8, "d8={d8} d64={d64}");
+        assert!(d64 > d8);
+    }
+
+    #[test]
+    fn io_and_dff_have_fixed_costs() {
+        let l = lib();
+        let io = unit_physical(VocabType::Io, 32, &l);
+        assert_eq!(io.area_um2, 0.0);
+        assert!(io.delay_ps > 0.0);
+        let dff = unit_physical(VocabType::Dff, 16, &l);
+        assert_eq!(dff.gates, 16);
+        assert!((dff.delay_ps - (l.clk_to_q_ps + l.setup_ps) as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_returns_identical_values() {
+        let l = lib();
+        let mut c = UnitCache::new();
+        let a = c.get(VocabType::Mul, 16, &l);
+        let b = c.get(VocabType::Mul, 16, &l);
+        assert_eq!(a, b);
+        assert_eq!(a, unit_physical(VocabType::Mul, 16, &l));
+    }
+
+    #[test]
+    fn path_label_shapes_match_table_5() {
+        // Longer path => more timing, more area; power stays finite.
+        let l = lib();
+        let mut c = UnitCache::new();
+        let short = path_physical(
+            &[(VocabType::Dff, 16), (VocabType::Add, 16), (VocabType::Dff, 16)],
+            &l,
+            &mut c,
+        );
+        let long = path_physical(
+            &[
+                (VocabType::Io, 8),
+                (VocabType::Mul, 16),
+                (VocabType::Add, 16),
+                (VocabType::Add, 16),
+                (VocabType::Mul, 32),
+                (VocabType::Dff, 32),
+            ],
+            &l,
+            &mut c,
+        );
+        assert!(long.timing_ps > short.timing_ps);
+        assert!(long.area_um2 > short.area_um2);
+        assert!(short.power_mw > 0.0 && long.power_mw > 0.0);
+    }
+
+    #[test]
+    fn mac_order_matters_as_in_section_3_3() {
+        // The paper's §3.3 example: [io8, mul16, add16, dff16] fuses into a
+        // MAC and must be cheaper than the swapped [io8, add16, mul16,
+        // dff16] — this order sensitivity is exactly what the Circuitformer
+        // learns and a linear model cannot.
+        let l = lib();
+        let mut c = UnitCache::new();
+        let mac = path_physical(
+            &[(VocabType::Io, 8), (VocabType::Mul, 16), (VocabType::Add, 16), (VocabType::Dff, 16)],
+            &l,
+            &mut c,
+        );
+        let swapped = path_physical(
+            &[(VocabType::Io, 8), (VocabType::Add, 16), (VocabType::Mul, 16), (VocabType::Dff, 16)],
+            &l,
+            &mut c,
+        );
+        assert!(mac.timing_ps < swapped.timing_ps);
+        assert!(mac.area_um2 < swapped.area_um2);
+    }
+
+    #[test]
+    fn empty_path_yields_minimum_timing() {
+        let l = lib();
+        let mut c = UnitCache::new();
+        let p = path_physical(&[], &l, &mut c);
+        assert_eq!(p.timing_ps, 1.0);
+        assert_eq!(p.area_um2, 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Technology-node scaling (Stillmaker & Baas, *Integration* 2017 style).
+//!
+//! The paper scales DianNao's published 65 nm synthesis results to the
+//! 15 nm node SNS targets (Table 12). This module provides per-node scaling
+//! factors for area, delay and power, normalized to 45 nm; the 65 nm →
+//! 15 nm ratios are calibrated to reproduce the paper's Table 12 scaling
+//! (area ×0.115, delay ×0.324, power ×0.499).
+
+use std::fmt;
+
+/// A CMOS technology node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TechNode {
+    /// 180 nm
+    N180,
+    /// 130 nm
+    N130,
+    /// 90 nm
+    N90,
+    /// 65 nm
+    N65,
+    /// 45 nm
+    N45,
+    /// 32 nm
+    N32,
+    /// 22 nm
+    N22,
+    /// 15 nm (FreePDK15-class)
+    N15,
+    /// 7 nm
+    N7,
+}
+
+impl TechNode {
+    /// All nodes, largest feature size first.
+    pub const ALL: [TechNode; 9] = [
+        TechNode::N180,
+        TechNode::N130,
+        TechNode::N90,
+        TechNode::N65,
+        TechNode::N45,
+        TechNode::N32,
+        TechNode::N22,
+        TechNode::N15,
+        TechNode::N7,
+    ];
+
+    /// The feature size in nanometres.
+    pub fn nanometres(self) -> u32 {
+        match self {
+            TechNode::N180 => 180,
+            TechNode::N130 => 130,
+            TechNode::N90 => 90,
+            TechNode::N65 => 65,
+            TechNode::N45 => 45,
+            TechNode::N32 => 32,
+            TechNode::N22 => 22,
+            TechNode::N15 => 15,
+            TechNode::N7 => 7,
+        }
+    }
+
+    /// Area factor relative to 45 nm.
+    pub fn area_factor(self) -> f64 {
+        match self {
+            TechNode::N180 => 16.0,
+            TechNode::N130 => 8.35,
+            TechNode::N90 => 4.0,
+            TechNode::N65 => 2.09,
+            TechNode::N45 => 1.0,
+            TechNode::N32 => 0.50,
+            TechNode::N22 => 0.30,
+            TechNode::N15 => 0.240_141,
+            TechNode::N7 => 0.08,
+        }
+    }
+
+    /// Delay factor relative to 45 nm.
+    pub fn delay_factor(self) -> f64 {
+        match self {
+            TechNode::N180 => 3.53,
+            TechNode::N130 => 2.62,
+            TechNode::N90 => 1.96,
+            TechNode::N65 => 1.60,
+            TechNode::N45 => 1.0,
+            TechNode::N32 => 0.78,
+            TechNode::N22 => 0.62,
+            TechNode::N15 => 0.517_647,
+            TechNode::N7 => 0.36,
+        }
+    }
+
+    /// Power factor (iso-design, at each node's native frequency) relative
+    /// to 45 nm. Post-Dennard voltage stagnation makes this scale slowly.
+    pub fn power_factor(self) -> f64 {
+        match self {
+            TechNode::N180 => 4.5,
+            TechNode::N130 => 3.6,
+            TechNode::N90 => 2.9,
+            TechNode::N65 => 2.3,
+            TechNode::N45 => 1.75,
+            TechNode::N32 => 1.50,
+            TechNode::N22 => 1.30,
+            TechNode::N15 => 1.148_255,
+            TechNode::N7 => 0.95,
+        }
+    }
+}
+
+impl fmt::Display for TechNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}nm", self.nanometres())
+    }
+}
+
+/// Scales an area value from one node to another.
+///
+/// # Example
+///
+/// ```rust
+/// use sns_vsynth::{scale_area, TechNode};
+///
+/// // DianNao's 0.8466 mm² at 65 nm becomes ≈ 0.0973 mm² at 15 nm.
+/// let scaled = scale_area(0.846563, TechNode::N65, TechNode::N15);
+/// assert!((scaled - 0.097302).abs() < 1e-4);
+/// ```
+pub fn scale_area(value: f64, from: TechNode, to: TechNode) -> f64 {
+    value * to.area_factor() / from.area_factor()
+}
+
+/// Scales a delay value from one node to another.
+pub fn scale_delay(value: f64, from: TechNode, to: TechNode) -> f64 {
+    value * to.delay_factor() / from.delay_factor()
+}
+
+/// Scales a power value from one node to another.
+pub fn scale_power(value: f64, from: TechNode, to: TechNode) -> f64 {
+    value * to.power_factor() / from.power_factor()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_are_monotone_in_feature_size() {
+        for pair in TechNode::ALL.windows(2) {
+            let (big, small) = (pair[0], pair[1]);
+            assert!(big.area_factor() > small.area_factor(), "{big} vs {small}");
+            assert!(big.delay_factor() > small.delay_factor(), "{big} vs {small}");
+            assert!(big.power_factor() > small.power_factor(), "{big} vs {small}");
+        }
+    }
+
+    #[test]
+    fn table_12_scaling_is_reproduced() {
+        // Paper Table 12: 65 nm synthesis (132 mW, 0.846563 mm², 1.02 ns)
+        // scales to 15 nm as (65.90 mW, 0.097302 mm², 0.33 ns).
+        let area = scale_area(0.846563, TechNode::N65, TechNode::N15);
+        let delay = scale_delay(1.02, TechNode::N65, TechNode::N15);
+        let power = scale_power(132.0, TechNode::N65, TechNode::N15);
+        assert!((area - 0.097302).abs() < 5e-4, "area {area}");
+        assert!((delay - 0.33).abs() < 5e-3, "delay {delay}");
+        assert!((power - 65.90).abs() < 0.5, "power {power}");
+    }
+
+    #[test]
+    fn scaling_round_trips() {
+        let v = 123.456;
+        let there = scale_area(v, TechNode::N90, TechNode::N22);
+        let back = scale_area(there, TechNode::N22, TechNode::N90);
+        assert!((back - v).abs() < 1e-9);
+        assert_eq!(scale_delay(v, TechNode::N45, TechNode::N45), v);
+    }
+
+    #[test]
+    fn display_shows_nanometres() {
+        assert_eq!(TechNode::N15.to_string(), "15nm");
+        assert_eq!(TechNode::N180.nanometres(), 180);
+    }
+}

@@ -1,0 +1,708 @@
+//! The virtual synthesizer driver: netlist → gate graph → timing / area /
+//! power report.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use sns_netlist::{CellId, CellKind, NetId, Netlist, PortDir};
+
+use crate::expand::Expander;
+use crate::gates::{GateGraph, GateKind, NodeId, NO_NODE};
+use crate::library::CellLibrary;
+
+/// Options controlling a synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthOptions {
+    /// Iterations of the timing-driven gate-sizing loop. More iterations
+    /// means better timing and longer runtime — like raising the effort
+    /// level of a real tool.
+    pub sizing_iterations: u32,
+    /// Switching activity assumed at primary inputs.
+    pub input_activity: f32,
+    /// Initial switching activity assumed at register outputs (refined by
+    /// the power pass, or overridden per register via
+    /// [`SynthOptions::register_activity`]).
+    pub default_register_activity: f32,
+    /// Per-register activity coefficients, keyed by the register's
+    /// hierarchical cell name — the paper's power-gating mode (§3.4.4).
+    pub register_activity: Option<HashMap<String, f32>>,
+    /// The characterized cell library.
+    pub library: CellLibrary,
+}
+
+impl Default for SynthOptions {
+    fn default() -> Self {
+        SynthOptions {
+            sizing_iterations: 8,
+            input_activity: 0.2,
+            default_register_activity: 0.1,
+            register_activity: None,
+            library: CellLibrary::freepdk15(),
+        }
+    }
+}
+
+/// The result of a synthesis run — the virtual analogue of the paper's
+/// Table 4 rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthReport {
+    /// Total cell area in µm².
+    pub area_um2: f64,
+    /// Minimum clock period (critical path + sequencing overhead) in ps.
+    pub timing_ps: f64,
+    /// Total power (dynamic + leakage) at the achieved frequency, in mW.
+    pub power_mw: f64,
+    /// Dynamic component of [`SynthReport::power_mw`].
+    pub dynamic_mw: f64,
+    /// Leakage component of [`SynthReport::power_mw`].
+    pub leakage_mw: f64,
+    /// Number of gates (including flip-flops).
+    pub gate_count: u64,
+    /// Estimated transistor count.
+    pub transistor_count: u64,
+    /// Wall-clock time the synthesis run took.
+    pub runtime: Duration,
+}
+
+/// The elaborated gate level of a design, exposed for tests and benchmarks.
+#[derive(Debug)]
+pub struct GateLevel {
+    /// The flat gate graph.
+    pub graph: GateGraph,
+    /// For each register cell: its hierarchical name and Q-bit nodes.
+    pub registers: Vec<(String, Vec<NodeId>)>,
+    /// Primary-output bit nodes.
+    pub outputs: Vec<NodeId>,
+    /// Per-coarse-cell gate ranges: `(hierarchical cell name, start, end)`
+    /// node ids — each functional cell expands contiguously, enabling
+    /// hierarchical area breakdowns.
+    pub regions: Vec<(String, NodeId, NodeId)>,
+}
+
+impl GateLevel {
+    /// Area per top-level hierarchy prefix (the text before the first
+    /// `.` of each cell's name; cells without a prefix group under
+    /// `"<top>"`). Returns `(prefix, area_um2)` sorted by descending area.
+    pub fn area_breakdown(&self, lib: &CellLibrary) -> Vec<(String, f64)> {
+        let mut map: HashMap<String, f64> = HashMap::new();
+        for (name, start, end) in &self.regions {
+            let prefix = match name.split_once('.') {
+                Some((head, _)) => head.to_string(),
+                None => "<top>".to_string(),
+            };
+            let mut area = 0.0;
+            for id in *start..*end {
+                area += lib.area(self.graph.kind(id), self.graph.drive[id as usize]) as f64;
+            }
+            *map.entry(prefix).or_default() += area;
+        }
+        let mut out: Vec<(String, f64)> = map.into_iter().collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite areas"));
+        out
+    }
+}
+
+/// The virtual synthesizer.
+///
+/// See the crate docs for what it models and why. Construction is cheap;
+/// each [`VirtualSynthesizer::synthesize`] call is independent.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualSynthesizer {
+    options: SynthOptions,
+}
+
+impl VirtualSynthesizer {
+    /// Creates a synthesizer with the given options.
+    pub fn new(options: SynthOptions) -> Self {
+        VirtualSynthesizer { options }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &SynthOptions {
+        &self.options
+    }
+
+    /// Runs the full flow: gate-level expansion, sizing-driven timing
+    /// closure, and power analysis.
+    pub fn synthesize(&self, nl: &Netlist) -> SynthReport {
+        let start = Instant::now();
+        let gl = self.elaborate_gates(nl);
+        let mut report = self.analyze(&gl);
+        report.runtime = start.elapsed();
+        report
+    }
+
+    /// Expands a netlist into its flat gate graph.
+    pub fn elaborate_gates(&self, nl: &Netlist) -> GateLevel {
+        let mut graph = GateGraph::with_capacity(nl.cell_count() * 8);
+        let mut e = Expander::new(&mut graph);
+        let mut net_bits: HashMap<NetId, Vec<NodeId>> = HashMap::new();
+        let mut registers: Vec<(String, Vec<NodeId>)> = Vec::new();
+        let mut dff_patches: Vec<(Vec<NodeId>, NetId)> = Vec::new();
+        let mut regions: Vec<(String, NodeId, NodeId)> = Vec::new();
+
+        // Primary inputs.
+        for p in nl.ports() {
+            if p.dir == PortDir::Input {
+                let w = nl.net(p.net).width;
+                net_bits.insert(p.net, e.inputs(w));
+            }
+        }
+
+        for cid in topo_order(nl) {
+            let cell = nl.cell(cid);
+            let region_start = e.g.len() as NodeId;
+            let out_w = nl.net(cell.output).width;
+            let ins: Vec<Vec<NodeId>> = cell
+                .inputs
+                .iter()
+                .map(|&n| {
+                    net_bits
+                        .get(&n)
+                        .cloned()
+                        // Unresolvable input (combinational cycle): treat as
+                        // a fresh input so the run stays robust.
+                        .unwrap_or_else(|| e.inputs(nl.net(n).width))
+                })
+                .collect();
+            let bits = match cell.kind {
+                CellKind::Const => e.const_bits(cell.attr, out_w),
+                CellKind::Buf => e.resize(&ins[0], out_w),
+                CellKind::Slice => {
+                    let lsb = cell.attr as usize;
+                    let have = &ins[0];
+                    let taken: Vec<NodeId> = have
+                        .iter()
+                        .copied()
+                        .skip(lsb)
+                        .take(out_w as usize)
+                        .collect();
+                    e.resize(&taken, out_w)
+                }
+                CellKind::Concat => {
+                    let mut v = Vec::new();
+                    for i in &ins {
+                        v.extend_from_slice(i);
+                    }
+                    e.resize(&v, out_w)
+                }
+                CellKind::Replicate => {
+                    let mut v = Vec::new();
+                    for _ in 0..cell.attr.max(1) {
+                        v.extend_from_slice(&ins[0]);
+                    }
+                    e.resize(&v, out_w)
+                }
+                CellKind::Dff => {
+                    let q = e.dff_bank(out_w);
+                    registers.push((cell.name.clone(), q.clone()));
+                    dff_patches.push((q.clone(), cell.inputs[0]));
+                    q
+                }
+                CellKind::Not => {
+                    let a = e.resize(&ins[0], out_w);
+                    e.map1(GateKind::Inv, &a)
+                }
+                CellKind::And | CellKind::Or | CellKind::Xor | CellKind::Xnor => {
+                    let a = e.resize(&ins[0], out_w);
+                    let b = e.resize(&ins[1], out_w);
+                    let k = match cell.kind {
+                        CellKind::And => GateKind::And2,
+                        CellKind::Or => GateKind::Or2,
+                        CellKind::Xor => GateKind::Xor2,
+                        _ => GateKind::Xnor2,
+                    };
+                    e.map2(k, &a, &b)
+                }
+                CellKind::Mux => {
+                    let sel = ins[0][0];
+                    let a = e.resize(&ins[1], out_w);
+                    let b = e.resize(&ins[2], out_w);
+                    e.mux(sel, &a, &b)
+                }
+                CellKind::Add | CellKind::Sub => {
+                    let a = e.resize(&ins[0], out_w);
+                    let b = e.resize(&ins[1], out_w);
+                    let (s, _) =
+                        if cell.kind == CellKind::Add { e.add(&a, &b) } else { e.sub(&a, &b) };
+                    s
+                }
+                CellKind::Mul => e.mul(&ins[0], &ins[1], out_w),
+                CellKind::Div | CellKind::Mod => {
+                    let w = out_w.max(1);
+                    let a = e.resize(&ins[0], w);
+                    let b = e.resize(&ins[1], w);
+                    let (q, r) = e.divmod(&a, &b);
+                    if cell.kind == CellKind::Div {
+                        q
+                    } else {
+                        r
+                    }
+                }
+                CellKind::Shl | CellKind::Shr => {
+                    let a = e.resize(&ins[0], out_w);
+                    e.shift(&a, &ins[1], cell.kind == CellKind::Shl)
+                }
+                CellKind::Eq => {
+                    let w = ins[0].len().max(ins[1].len()) as u32;
+                    let a = e.resize(&ins[0], w);
+                    let b = e.resize(&ins[1], w);
+                    let bit = e.equal(&a, &b);
+                    e.resize(&[bit], out_w)
+                }
+                CellKind::Lgt => {
+                    let w = ins[0].len().max(ins[1].len()) as u32;
+                    let a = e.resize(&ins[0], w);
+                    let b = e.resize(&ins[1], w);
+                    let bit = e.less_than(&a, &b);
+                    e.resize(&[bit], out_w)
+                }
+                CellKind::ReduceAnd | CellKind::ReduceOr | CellKind::ReduceXor => {
+                    let k = match cell.kind {
+                        CellKind::ReduceAnd => GateKind::And2,
+                        CellKind::ReduceOr => GateKind::Or2,
+                        _ => GateKind::Xor2,
+                    };
+                    let bit = e.reduce(k, &ins[0]);
+                    e.resize(&[bit], out_w)
+                }
+            };
+            net_bits.insert(cell.output, bits);
+            let region_end = e.g.len() as NodeId;
+            if region_end > region_start && !cell.kind.is_wiring() {
+                regions.push((cell.name.clone(), region_start, region_end));
+            }
+        }
+
+        // Patch register D inputs now the full combinational cone exists.
+        for (q_bits, d_net) in dff_patches {
+            let d_bits = net_bits
+                .get(&d_net)
+                .cloned()
+                .unwrap_or_else(|| vec![e.const0(); q_bits.len()]);
+            let d_bits = e.resize(&d_bits, q_bits.len() as u32);
+            for (q, d) in q_bits.iter().zip(d_bits) {
+                e.g.set_fanin(*q, 0, d);
+            }
+        }
+
+        let mut outputs = Vec::new();
+        for p in nl.ports() {
+            if p.dir == PortDir::Output {
+                if let Some(bits) = net_bits.get(&p.net) {
+                    outputs.extend_from_slice(bits);
+                }
+            }
+        }
+        GateLevel { graph, registers, outputs, regions }
+    }
+
+    /// Timing closure + power analysis over an elaborated gate level.
+    pub fn analyze(&self, gl: &GateLevel) -> SynthReport {
+        let lib = &self.options.library;
+        let mut graph = gl.graph.clone();
+        let fanouts = graph.fanout_counts();
+
+        // Timing-driven sizing loop: forward STA, backward required-time
+        // (slack) propagation, then upsize the low-slack gates — the same
+        // inner loop a real timing-driven synthesis tool iterates, and the
+        // super-linear part of its runtime.
+        let mut arrivals = vec![0.0f32; graph.len()];
+        let mut required = vec![0.0f32; graph.len()];
+        let mut crit = self.sta(&graph, &fanouts, gl, &mut arrivals);
+        for _ in 0..self.options.sizing_iterations {
+            self.required_times(&graph, &fanouts, gl, &arrivals, crit, &mut required);
+            let margin = (crit.path_ps * 0.08) as f32;
+            let mut touched = 0u64;
+            for id in 0..graph.len() {
+                let slack = required[id] - arrivals[id];
+                if slack <= margin && graph.kind(id as NodeId).is_gate() && graph.drive[id] < 4.0
+                {
+                    graph.drive[id] = (graph.drive[id] * 1.25).min(4.0);
+                    touched += 1;
+                }
+            }
+            if touched == 0 {
+                break;
+            }
+            let new_crit = self.sta(&graph, &fanouts, gl, &mut arrivals);
+            if new_crit.path_ps >= crit.path_ps * 0.999 {
+                crit = new_crit;
+                break;
+            }
+            crit = new_crit;
+        }
+
+        // Area, gate and transistor counts.
+        let mut area = 0.0f64;
+        let mut transistors = 0u64;
+        for id in 0..graph.len() {
+            let k = graph.kind(id as NodeId);
+            area += lib.area(k, graph.drive[id]) as f64;
+            transistors += lib.params(k).transistors as u64;
+        }
+
+        // Activity propagation (two rounds so register activities settle).
+        let user_act = self.options.register_activity.as_ref();
+        let mut reg_act: HashMap<NodeId, f32> = HashMap::new();
+        for (name, qs) in &gl.registers {
+            let a = user_act
+                .and_then(|m| m.get(name).copied())
+                .unwrap_or(self.options.default_register_activity);
+            for &q in qs {
+                reg_act.insert(q, a);
+            }
+        }
+        let mut act = vec![0.0f32; graph.len()];
+        for round in 0..2 {
+            for id in 0..graph.len() {
+                let k = graph.kind(id as NodeId);
+                act[id] = match k {
+                    GateKind::Input => self.options.input_activity,
+                    GateKind::Const => 0.0,
+                    GateKind::Dff => {
+                        let pinned = user_act.is_some()
+                            && reg_act.get(&(id as NodeId)).is_some()
+                            && user_act
+                                .map(|m| {
+                                    gl.registers
+                                        .iter()
+                                        .any(|(n, qs)| m.contains_key(n) && qs.contains(&(id as NodeId)))
+                                })
+                                .unwrap_or(false);
+                        if round == 0 || pinned {
+                            reg_act[&(id as NodeId)]
+                        } else {
+                            // refine from the D cone
+                            let d = graph.fanins(id as NodeId)[0];
+                            if d == NO_NODE {
+                                reg_act[&(id as NodeId)]
+                            } else {
+                                (lib.activity_factor(GateKind::Dff) * act[d as usize]).min(1.0)
+                            }
+                        }
+                    }
+                    _ => {
+                        let f = graph.fanins(id as NodeId);
+                        let mut sum = 0.0;
+                        let mut n = 0;
+                        for &x in &f {
+                            if x != NO_NODE {
+                                sum += act[x as usize];
+                                n += 1;
+                            }
+                        }
+                        if n == 0 {
+                            0.0
+                        } else {
+                            (lib.activity_factor(k) * sum / n as f32).min(1.0)
+                        }
+                    }
+                };
+            }
+        }
+
+        // Power at the achieved frequency.
+        let freq_ghz = 1000.0 / crit.period_ps;
+        let mut dyn_uw = 0.0f64;
+        let mut leak_nw = 0.0f64;
+        for id in 0..graph.len() {
+            let k = graph.kind(id as NodeId);
+            dyn_uw += (act[id] * lib.energy(k, graph.drive[id])) as f64 * freq_ghz;
+            leak_nw += lib.leakage(k, graph.drive[id]) as f64;
+        }
+        let dynamic_mw = dyn_uw / 1000.0;
+        let leakage_mw = leak_nw / 1e6;
+
+        SynthReport {
+            area_um2: area,
+            timing_ps: crit.period_ps,
+            power_mw: dynamic_mw + leakage_mw,
+            dynamic_mw,
+            leakage_mw,
+            gate_count: graph.gate_count(),
+            transistor_count: transistors,
+            runtime: Duration::ZERO,
+        }
+    }
+
+    fn sta(
+        &self,
+        graph: &GateGraph,
+        fanouts: &[u32],
+        gl: &GateLevel,
+        arrivals: &mut [f32],
+    ) -> Critical {
+        let lib = &self.options.library;
+        for id in 0..graph.len() {
+            let k = graph.kind(id as NodeId);
+            arrivals[id] = if k == GateKind::Dff {
+                lib.clk_to_q_ps
+            } else if k.is_source() {
+                0.0
+            } else {
+                let mut worst = 0.0f32;
+                for &f in &graph.fanins(id as NodeId) {
+                    if f != NO_NODE {
+                        worst = worst.max(arrivals[f as usize]);
+                    }
+                }
+                worst + lib.delay(k, graph.drive[id], fanouts[id])
+            };
+        }
+        let mut path = 0.0f32;
+        for (_, qs) in &gl.registers {
+            for &q in qs {
+                let d = graph.fanins(q)[0];
+                if d != NO_NODE {
+                    path = path.max(arrivals[d as usize] + lib.setup_ps);
+                }
+            }
+        }
+        for &o in &gl.outputs {
+            path = path.max(arrivals[o as usize] + lib.setup_ps);
+        }
+        let period = path.max(lib.clk_to_q_ps + lib.setup_ps + 1.0);
+        Critical { path_ps: path as f64, period_ps: period as f64 }
+    }
+}
+
+impl VirtualSynthesizer {
+    /// Backward required-time pass: endpoints get `period − setup`;
+    /// every fanin must be ready `delay` before its consumer.
+    fn required_times(
+        &self,
+        graph: &GateGraph,
+        fanouts: &[u32],
+        gl: &GateLevel,
+        _arrivals: &[f32],
+        crit: Critical,
+        required: &mut [f32],
+    ) {
+        let lib = &self.options.library;
+        let deadline = (crit.period_ps - lib.setup_ps as f64) as f32;
+        required.fill(f32::INFINITY);
+        for (_, qs) in &gl.registers {
+            for &q in qs {
+                let d = graph.fanins(q)[0];
+                if d != NO_NODE {
+                    required[d as usize] = required[d as usize].min(deadline);
+                }
+            }
+        }
+        for &o in &gl.outputs {
+            required[o as usize] = required[o as usize].min(deadline);
+        }
+        for id in (0..graph.len()).rev() {
+            let k = graph.kind(id as NodeId);
+            if k.is_source() {
+                continue;
+            }
+            let req = required[id];
+            if req == f32::INFINITY {
+                continue;
+            }
+            let own = lib.delay(k, graph.drive[id], fanouts[id]);
+            for &f in &graph.fanins(id as NodeId) {
+                if f != NO_NODE {
+                    required[f as usize] = required[f as usize].min(req - own);
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Critical {
+    path_ps: f64,
+    period_ps: f64,
+}
+
+/// Topological order over cells (Kahn), treating register outputs as
+/// sources. Cells stuck in combinational cycles are appended at the end in
+/// id order (the expander substitutes fresh inputs for their unresolved
+/// fanins).
+fn topo_order(nl: &Netlist) -> Vec<CellId> {
+    let driver = nl.driver_map();
+    let mut indegree: Vec<u32> = Vec::with_capacity(nl.cell_count());
+    let mut ready: Vec<CellId> = Vec::new();
+    for (cid, cell) in nl.cells_enumerated() {
+        let deg = if cell.kind == CellKind::Dff {
+            0
+        } else {
+            cell.inputs
+                .iter()
+                .filter(|n| {
+                    driver.get(n).is_some_and(|&d| nl.cell(d).kind != CellKind::Dff)
+                })
+                .count() as u32
+        };
+        indegree.push(deg);
+        if deg == 0 {
+            ready.push(cid);
+        }
+    }
+    let readers = nl.reader_map();
+    let mut order = Vec::with_capacity(nl.cell_count());
+    let mut head = 0;
+    while head < ready.len() {
+        let cid = ready[head];
+        head += 1;
+        order.push(cid);
+        // Register outputs were never counted in consumer in-degrees (they
+        // are sequential sources), so they must not decrement them either —
+        // otherwise consumers are re-queued and expanded repeatedly.
+        if nl.cell(cid).kind == CellKind::Dff {
+            continue;
+        }
+        if let Some(consumers) = readers.get(&nl.cell(cid).output) {
+            for &r in consumers {
+                if nl.cell(r).kind == CellKind::Dff {
+                    continue;
+                }
+                let d = &mut indegree[r.0 as usize];
+                if *d > 0 {
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push(r);
+                    }
+                }
+            }
+        }
+    }
+    if order.len() < nl.cell_count() {
+        let mut seen = vec![false; nl.cell_count()];
+        for &c in &order {
+            seen[c.0 as usize] = true;
+        }
+        for i in 0..nl.cell_count() {
+            if !seen[i] {
+                order.push(CellId(i as u32));
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_netlist::parse_and_elaborate;
+
+    fn synth(src: &str, top: &str) -> SynthReport {
+        let nl = parse_and_elaborate(src, top).unwrap();
+        VirtualSynthesizer::new(SynthOptions::default()).synthesize(&nl)
+    }
+
+    const MAC: &str = "module mac (input clk, input [7:0] a, b, output [15:0] y);
+                           reg [15:0] acc;
+                           always @(posedge clk) acc <= acc + a * b;
+                           assign y = acc;
+                       endmodule";
+
+    #[test]
+    fn mac_report_is_physically_plausible() {
+        let r = synth(MAC, "mac");
+        assert!(r.gate_count > 100, "a 16-bit MAC is a few hundred gates, got {}", r.gate_count);
+        assert!(r.area_um2 > 10.0 && r.area_um2 < 10_000.0, "area {}", r.area_um2);
+        assert!(r.timing_ps > 50.0 && r.timing_ps < 2_000.0, "timing {}", r.timing_ps);
+        assert!(r.power_mw > 0.0 && r.power_mw < 100.0, "power {}", r.power_mw);
+        assert!(r.transistor_count > 2 * r.gate_count);
+    }
+
+    #[test]
+    fn wider_datapath_costs_more_area_and_delay() {
+        let narrow = synth(MAC, "mac");
+        let wide = synth(
+            "module mac (input clk, input [31:0] a, b, output [63:0] y);
+                 reg [63:0] acc;
+                 always @(posedge clk) acc <= acc + a * b;
+                 assign y = acc;
+             endmodule",
+            "mac",
+        );
+        assert!(wide.area_um2 > 5.0 * narrow.area_um2);
+        assert!(wide.timing_ps > narrow.timing_ps);
+        assert!(wide.power_mw > narrow.power_mw);
+    }
+
+    #[test]
+    fn divider_is_much_slower_than_adder() {
+        let add = synth(
+            "module m (input clk, input [15:0] a, b, output reg [15:0] y);
+                 always @(posedge clk) y <= a + b;
+             endmodule",
+            "m",
+        );
+        let div = synth(
+            "module m (input clk, input [15:0] a, b, output reg [15:0] y);
+                 always @(posedge clk) y <= a / b;
+             endmodule",
+            "m",
+        );
+        assert!(div.timing_ps > 3.0 * add.timing_ps, "div {} vs add {}", div.timing_ps, add.timing_ps);
+        assert!(div.area_um2 > 5.0 * add.area_um2);
+    }
+
+    #[test]
+    fn sizing_iterations_improve_timing() {
+        let nl = parse_and_elaborate(MAC, "mac").unwrap();
+        let lazy = VirtualSynthesizer::new(SynthOptions { sizing_iterations: 0, ..Default::default() })
+            .synthesize(&nl);
+        let tuned = VirtualSynthesizer::new(SynthOptions { sizing_iterations: 10, ..Default::default() })
+            .synthesize(&nl);
+        assert!(tuned.timing_ps < lazy.timing_ps);
+        assert!(tuned.area_um2 > lazy.area_um2); // upsizing costs area
+    }
+
+    #[test]
+    fn register_activity_scales_power() {
+        let nl = parse_and_elaborate(MAC, "mac").unwrap();
+        let reg_name = nl
+            .cells()
+            .find(|c| c.kind == CellKind::Dff)
+            .map(|c| c.name.clone())
+            .unwrap();
+        let mut hot = HashMap::new();
+        hot.insert(reg_name.clone(), 1.0f32);
+        let mut cold = HashMap::new();
+        cold.insert(reg_name, 0.001f32);
+        let mk = |m: HashMap<String, f32>| {
+            VirtualSynthesizer::new(SynthOptions {
+                register_activity: Some(m),
+                ..Default::default()
+            })
+            .synthesize(&nl)
+        };
+        let hot_r = mk(hot);
+        let cold_r = mk(cold);
+        assert!(hot_r.dynamic_mw > cold_r.dynamic_mw);
+        assert_eq!(hot_r.area_um2, cold_r.area_um2); // power-only knob
+    }
+
+    #[test]
+    fn purely_combinational_design_synthesizes() {
+        let r = synth(
+            "module comb (input [7:0] a, b, output [7:0] y); assign y = a ^ b; endmodule",
+            "comb",
+        );
+        assert_eq!(r.gate_count, 8);
+        assert!(r.timing_ps > 0.0);
+    }
+
+    #[test]
+    fn gate_counts_match_expander_math() {
+        // 64-bit AND reduction: 63 gates + nothing else.
+        let r = synth(
+            "module m (input [63:0] a, output y); assign y = &a; endmodule",
+            "m",
+        );
+        assert_eq!(r.gate_count, 63);
+    }
+
+    #[test]
+    fn runtime_is_recorded() {
+        let r = synth(MAC, "mac");
+        assert!(r.runtime > Duration::ZERO);
+    }
+}

@@ -1,0 +1,55 @@
+//! DianNao accelerator study (a reduced version of §5.7): predict the
+//! synthesis results of DianNao configurations, run the cycle-accurate
+//! performance model for power gating, and show the datatype/accuracy
+//! trade-off.
+//!
+//! ```text
+//! cargo run --release --example accelerator_diannao
+//! ```
+
+use sns::casestudies::diannao::{alexnet_like, classification_accuracy, simulate_diannao};
+use sns::core::{train_sns, SnsTrainConfig};
+use sns::designs::catalog;
+use sns::designs::diannao::{diannao, DataType, DianNaoParams};
+use sns::netlist::parse_and_elaborate;
+
+fn main() {
+    println!("training SNS...");
+    let designs = catalog();
+    let mut config = SnsTrainConfig::fast();
+    config.sample = config.sample.with_max_paths(300);
+    let (model, _) = train_sns(&designs[..16], &config);
+
+    let layers = alexnet_like();
+    println!("\nTn sweep (int16, like Figure 10):");
+    println!("{:>4} {:>12} {:>12} {:>10} {:>14}", "Tn", "area um2", "power mW", "cycles", "infer/s @pred");
+    for tn in [4u32, 8, 16, 32] {
+        let p = DianNaoParams { tn, ..Default::default() };
+        let d = diannao(&p);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).expect("generator output is valid");
+        let perf = simulate_diannao(&p, &layers, &nl);
+        // Power-gated prediction using the performance model's activities.
+        let pred = model.predict_netlist(&nl, Some(&perf.activity));
+        let freq_ghz = 1000.0 / pred.timing_ps;
+        println!(
+            "{:>4} {:>12.0} {:>12.3} {:>10} {:>14.1}",
+            tn,
+            pred.area_um2,
+            pred.power_mw,
+            perf.cycles,
+            perf.throughput(freq_ghz)
+        );
+    }
+
+    println!("\ndatatype sweep (Tn=16, like Figure 11):");
+    println!("{:>6} {:>12} {:>12} {:>10}", "dtype", "area um2", "power mW", "accuracy");
+    for dt in DataType::ALL {
+        let p = DianNaoParams { tn: 16, datatype: dt, ..Default::default() };
+        let d = diannao(&p);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).expect("generator output is valid");
+        let pred = model.predict_netlist(&nl, None);
+        let acc = classification_accuracy(dt, 42);
+        println!("{:>6} {:>12.0} {:>12.3} {:>9.1}%", dt.tag(), pred.area_um2, pred.power_mw, 100.0 * acc);
+    }
+    println!("\n(int16 saturates the task accuracy — the paper's §5.7 conclusion.)");
+}

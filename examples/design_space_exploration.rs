@@ -1,0 +1,85 @@
+//! BOOM-style design-space exploration (a reduced version of §5.6):
+//! sweep a slice of the Table 10 grid with SNS, score CoreMark with the
+//! analytical performance model, and report the Pareto designs.
+//!
+//! ```text
+//! cargo run --release --example design_space_exploration
+//! ```
+
+use sns::casestudies::boom::{coremark_score, pareto_front, BoomDsePoint};
+use sns::core::{train_sns, SnsTrainConfig};
+use sns::designs::boomlike::{boom_like, BoomParams, Predictor};
+use sns::designs::catalog;
+use sns::netlist::parse_and_elaborate;
+
+fn main() {
+    // Train once on the standard dataset.
+    println!("training SNS...");
+    let designs = catalog();
+    let mut config = SnsTrainConfig::fast();
+    config.sample = config.sample.with_max_paths(300);
+    let (model, _) = train_sns(&designs[..16], &config);
+
+    // A 36-point slice of the 2592-point grid (full grid: Table10 bench).
+    let mut grid = Vec::new();
+    for predictor in Predictor::ALL {
+        for core_width in [1, 2, 4] {
+            for issue_slots in [8, 32] {
+                for rob_size in [32, 96] {
+                    grid.push(BoomParams {
+                        predictor,
+                        core_width,
+                        issue_slots,
+                        rob_size,
+                        ..BoomParams::default()
+                    });
+                }
+            }
+        }
+    }
+    println!("exploring {} BOOM configurations with SNS...", grid.len());
+
+    let mut points = Vec::new();
+    for p in grid {
+        let d = boom_like(&p);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).expect("generator output is valid");
+        let pred = model.predict_netlist(&nl, None);
+        let freq_ghz = 1000.0 / pred.timing_ps;
+        points.push(BoomDsePoint {
+            performance: coremark_score(&p) * freq_ghz,
+            power_mw: pred.power_mw,
+            area_um2: pred.area_um2,
+            timing_ps: pred.timing_ps,
+            params: p,
+        });
+    }
+    // Normalize performance like Figure 8 (fastest = 1.0).
+    let max_perf = points.iter().map(|p| p.performance).fold(0.0, f64::max);
+    for p in &mut points {
+        p.performance /= max_perf;
+    }
+
+    println!("\n{:<12} {:>5} {:>6} {:>5} {:>9} {:>10} {:>8}", "predictor", "width", "slots", "rob", "perf", "area um2", "mW");
+    let front = pareto_front(&points, |p| p.performance, |p| p.power_mw);
+    for &i in &front {
+        let p = &points[i];
+        println!(
+            "{:<12} {:>5} {:>6} {:>5} {:>9.3} {:>10.0} {:>8.2}",
+            p.params.predictor.tag(),
+            p.params.core_width,
+            p.params.issue_slots,
+            p.params.rob_size,
+            p.performance,
+            p.area_um2,
+            p.power_mw
+        );
+    }
+
+    let best = front.last().map(|&i| &points[i]).expect("nonempty front");
+    println!(
+        "\nHighPerf pick: {} (perf {:.3}, {:.2} mW)",
+        best.params.name(),
+        best.performance,
+        best.power_mw
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: train a small SNS model and predict a design it has never
+//! seen, comparing against the virtual synthesizer's ground truth.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sns::core::{train_sns, SnsTrainConfig};
+use sns::designs::catalog;
+use sns::netlist::parse_and_elaborate;
+use sns::vsynth::{SynthOptions, VirtualSynthesizer};
+
+fn main() {
+    // 1. Take the 41-design dataset and hold one design out.
+    let designs = catalog();
+    let held_out = designs.iter().position(|d| d.name == "fir_16_16").expect("in catalog");
+    let train_set: Vec<_> = designs
+        .iter()
+        .enumerate()
+        .filter(|&(i, d)| i != held_out && d.base != designs[held_out].base)
+        .map(|(_, d)| d.clone())
+        .take(16)
+        .collect();
+    let target = &designs[held_out];
+
+    // 2. Train (reduced schedule — pass SnsTrainConfig::paper() for the
+    //    full Table 6 schedule).
+    println!("training SNS on {} designs...", train_set.len());
+    let mut config = SnsTrainConfig::fast();
+    config.sample = config.sample.with_max_paths(400);
+    let (model, report) = train_sns(&train_set, &config);
+    println!(
+        "  path dataset: {} ({} direct, {} markov, {} seqgan)",
+        report.path_dataset_size, report.direct_paths, report.markov_paths, report.seqgan_paths
+    );
+    if let Some(last) = report.cf_history.last() {
+        println!(
+            "  circuitformer: train loss {:.4}, val loss {:.4} after {} epochs",
+            last.train_loss,
+            last.val_loss,
+            report.cf_history.epochs.len()
+        );
+    }
+
+    // 3. Predict the held-out design.
+    let pred = model.predict_verilog(&target.verilog, &target.top).expect("valid Verilog");
+    println!("\nSNS prediction for `{}` ({} paths, {:?}):", target.name, pred.path_count, pred.runtime);
+    println!("  timing {:>10.1} ps", pred.timing_ps);
+    println!("  area   {:>10.1} um2", pred.area_um2);
+    println!("  power  {:>10.4} mW", pred.power_mw);
+    println!("  critical path: {}", pred.critical_path.join(" -> "));
+
+    // 4. Compare with the (much slower) virtual synthesizer.
+    let nl = parse_and_elaborate(&target.verilog, &target.top).expect("valid Verilog");
+    let truth = VirtualSynthesizer::new(SynthOptions::default()).synthesize(&nl);
+    println!("\nvirtual synthesizer ground truth ({:?}):", truth.runtime);
+    println!("  timing {:>10.1} ps", truth.timing_ps);
+    println!("  area   {:>10.1} um2", truth.area_um2);
+    println!("  power  {:>10.4} mW", truth.power_mw);
+    println!(
+        "\nprediction error: timing {:+.1}%, area {:+.1}%, power {:+.1}%",
+        100.0 * (pred.timing_ps - truth.timing_ps) / truth.timing_ps,
+        100.0 * (pred.area_um2 - truth.area_um2) / truth.area_um2,
+        100.0 * (pred.power_mw - truth.power_mw) / truth.power_mw,
+    );
+}

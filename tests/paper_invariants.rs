@@ -1,0 +1,177 @@
+//! Invariants lifted directly from the paper's text, tables and figures.
+
+use sns::designs::boomlike::BoomParams;
+use sns::designs::diannao::{DataType, DianNaoParams};
+use sns::graphir::{GraphIr, Vocab, VocabType};
+use sns::netlist::parse_and_elaborate;
+use sns::sampler::{PathSampler, SampleConfig};
+use sns::vsynth::{scale_area, scale_delay, scale_power, TechNode};
+
+/// §3.1 / Table 2: the rounded vocabulary has exactly 79 entries.
+#[test]
+fn table_1_vocabulary_is_79_entries() {
+    assert_eq!(Vocab::new().len(), 79);
+}
+
+/// Table 2: Circuitformer has 2 layers, 2 heads, 128-dim embeddings,
+/// 512 max input, ~1.4 M parameters.
+#[test]
+fn table_2_circuitformer_hyperparameters() {
+    use rand::SeedableRng;
+    let cfg = sns::circuitformer::CircuitformerConfig::paper();
+    assert_eq!((cfg.layers, cfg.heads, cfg.dim, cfg.max_len), (2, 2, 128, 512));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let m = sns::circuitformer::Circuitformer::new(cfg, &mut rng);
+    let params = m.parameter_count();
+    assert!((1_300_000..1_500_000).contains(&params), "{params}");
+}
+
+/// Figure 2: the 8-bit MAC produces the exact GraphIR and the exact four
+/// complete circuit paths shown in the figure.
+#[test]
+fn figure_2_mac_walkthrough() {
+    let nl = parse_and_elaborate(
+        "module mac (input clk, input [7:0] a, b, output [15:0] y);
+             reg [15:0] acc;
+             always @(posedge clk) acc <= acc + a * b;
+             assign y = acc;
+         endmodule",
+        "mac",
+    )
+    .unwrap();
+    let g = GraphIr::from_netlist(&nl);
+    let mut tokens: Vec<String> = g.vertices().map(|v| v.vertex.token_name()).collect();
+    tokens.sort();
+    assert_eq!(tokens, vec!["add16", "dff16", "io16", "io4", "io8", "io8", "mul16"]);
+
+    let paths = PathSampler::new(SampleConfig::exhaustive()).sample(&g);
+    let mut named: Vec<String> =
+        paths.iter().map(|p| p.token_names(&g).join(",")).collect();
+    named.sort();
+    assert_eq!(
+        named,
+        vec![
+            "dff16,add16,dff16",
+            "dff16,io16",
+            "io8,mul16,add16,dff16",
+            "io8,mul16,add16,dff16",
+        ]
+    );
+}
+
+/// §3.1: width rounding maps 12–23-bit dividers to div16 and reduces the
+/// vocabulary; Table 1 gives arithmetic units a minimum width of 8.
+#[test]
+fn width_rounding_examples() {
+    for w in 12..=23 {
+        assert_eq!(VocabType::Div.round_width(w), 16);
+    }
+    assert_eq!(VocabType::Add.round_width(3), 8);
+    assert_eq!(VocabType::Io.round_width(3), 4);
+    assert_eq!(VocabType::Mul.round_width(999), 64);
+}
+
+/// §3.2 / Algorithm 1: k = 1 samples exhaustively; larger k samples a
+/// subset; every path is terminal-to-terminal.
+#[test]
+fn algorithm_1_k_parameter() {
+    let d = sns::designs::vector::simd_alu(4, 8);
+    let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+    let g = GraphIr::from_netlist(&nl);
+    let all = PathSampler::new(SampleConfig::exhaustive()).sample(&g);
+    let sparse = PathSampler::new(SampleConfig::paper_default().with_k(5)).sample(&g);
+    assert!(!all.is_empty());
+    assert!(sparse.len() <= all.len());
+    for p in all.iter().chain(sparse.iter()) {
+        assert!(g.vertex(p.vertices()[0]).is_terminal());
+        assert!(g.vertex(*p.vertices().last().unwrap()).is_terminal());
+    }
+}
+
+/// Table 10: the BOOM grid enumerates exactly 2592 configurations.
+#[test]
+fn table_10_grid_size() {
+    assert_eq!(BoomParams::grid().len(), 2592);
+}
+
+/// Table 13: the DianNao grid enumerates exactly 576 configurations.
+#[test]
+fn table_13_grid_size() {
+    let mut count = 0;
+    for _tn in [4u32, 8, 16, 32] {
+        for _dt in DataType::ALL {
+            for _stages in [3u32, 8] {
+                for _red in [4u32, 8, 16] {
+                    for _act in [2u32, 4, 8, 16] {
+                        count += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(count, 576);
+}
+
+/// Table 12: the published 65 nm DianNao numbers scale to the paper's
+/// 15 nm row.
+#[test]
+fn table_12_technology_scaling() {
+    let area = scale_area(0.846563, TechNode::N65, TechNode::N15);
+    let delay = scale_delay(1.02, TechNode::N65, TechNode::N15);
+    let power = scale_power(132.0, TechNode::N65, TechNode::N15);
+    assert!((area - 0.097302).abs() < 5e-4);
+    assert!((delay - 0.33).abs() < 5e-3);
+    assert!((power - 65.90).abs() < 0.5);
+}
+
+/// §2 footnote: gate and transistor counts are reported by the
+/// gate-level expansion, with a plausible transistors-per-gate ratio.
+#[test]
+fn gate_and_transistor_statistics() {
+    let d = sns::designs::mlaccel::systolic_array(4, 8);
+    let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+    let r = sns::vsynth::VirtualSynthesizer::new(Default::default()).synthesize(&nl);
+    let ratio = r.transistor_count as f64 / r.gate_count as f64;
+    // The paper's 18M gates ≈ 67.8M transistors gives ratio ≈ 3.77.
+    assert!((2.0..8.0).contains(&ratio), "ratio {ratio}");
+}
+
+/// §3.3: the Circuitformer input is token order-sensitive, unlike a
+/// linear model over vertex counts (the MAC example).
+#[test]
+fn section_3_3_order_sensitivity_of_labels() {
+    use sns::vsynth::{path_physical, CellLibrary, UnitCache};
+    let lib = CellLibrary::freepdk15();
+    let mut cache = UnitCache::new();
+    let mac = path_physical(
+        &[(VocabType::Io, 8), (VocabType::Mul, 16), (VocabType::Add, 16), (VocabType::Dff, 16)],
+        &lib,
+        &mut cache,
+    );
+    let swapped = path_physical(
+        &[(VocabType::Io, 8), (VocabType::Add, 16), (VocabType::Mul, 16), (VocabType::Dff, 16)],
+        &lib,
+        &mut cache,
+    );
+    assert!(mac.timing_ps < swapped.timing_ps, "MAC fusion must be cheaper");
+    assert!(mac.area_um2 < swapped.area_um2);
+}
+
+/// The DianNao generator supports every Table 13 datatype, with hardware
+/// cost ordered by arithmetic complexity (int8 < int16 < fp32).
+#[test]
+fn diannao_datatype_cost_ordering() {
+    let cells = |dt: DataType| {
+        let p = DianNaoParams { tn: 4, datatype: dt, ..Default::default() };
+        let d = sns::designs::diannao::diannao(&p);
+        let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+        sns::vsynth::VirtualSynthesizer::new(Default::default())
+            .synthesize(&nl)
+            .area_um2
+    };
+    let int8 = cells(DataType::Int8);
+    let int16 = cells(DataType::Int16);
+    let fp32 = cells(DataType::Fp32);
+    assert!(int8 < int16, "int8 {int8} < int16 {int16}");
+    assert!(int16 < fp32, "int16 {int16} < fp32 {fp32}");
+}
