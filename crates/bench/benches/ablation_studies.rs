@@ -6,7 +6,7 @@
 //! 4. sequence model (Circuitformer vs the §3.3 linear-regression
 //!    baseline over vertex counts).
 
-use rand::SeedableRng;
+use sns_rt::rng::StdRng;
 
 use sns_bench::{bench_train_config, headline, paper_scale, write_csv};
 use sns_circuitformer::{train, Circuitformer, CircuitformerConfig, LabelScaler, TrainConfig};
@@ -45,7 +45,7 @@ fn cf_val_loss(paths: &CircuitPathDataset, vocab_size: usize, remap: impl Fn(usi
     let (tr, va) = paths.train_val_split(0.2, 3);
     let train_set: Vec<_> = tr.iter().map(|&i| examples[i].clone()).collect();
     let val_set: Vec<_> = va.iter().map(|&i| examples[i].clone()).collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let mut rng = StdRng::seed_from_u64(17);
     let mut model =
         Circuitformer::new(CircuitformerConfig { vocab: vocab_size, ..small_cf() }, &mut rng);
     let h = train(&mut model, &train_set, &val_set, &cf_schedule());
@@ -66,7 +66,7 @@ fn linear_val_loss(paths: &CircuitPathDataset, vocab: &Vocab) -> f32 {
     let xs: Vec<Vec<f32>> = paths.examples.iter().map(|(ids, _)| featurize(ids)).collect();
     let ts: Vec<[f32; 3]> = paths.examples.iter().map(|(_, l)| scaler.transform(*l)).collect();
     let mut reg = ParamRegistry::new();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut rng = StdRng::seed_from_u64(5);
     let mut lin = Linear::new(&mut reg, vocab.len(), 3, &mut rng);
     let mut opt = Sgd::new(0.03, 0.9);
     let x_rows: Vec<&[f32]> = tr.iter().map(|&i| xs[i].as_slice()).collect();

@@ -2,7 +2,7 @@
 //! epochs. Builds the Circuit Path Dataset exactly as the training flow
 //! does, trains the Circuitformer alone, and prints/archives the curves.
 
-use rand::SeedableRng;
+use sns_rt::rng::StdRng;
 
 use sns_bench::{bench_train_config, headline, write_csv};
 use sns_circuitformer::{train, Circuitformer, LabelScaler};
@@ -40,7 +40,7 @@ fn main() {
     let train_set: Vec<_> = train_idx.iter().map(|&i| examples[i].clone()).collect();
     let val_set: Vec<_> = val_idx.iter().map(|&i| examples[i].clone()).collect();
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let mut rng = StdRng::seed_from_u64(config.seed);
     let mut model = Circuitformer::new(config.circuitformer.clone(), &mut rng);
     println!(
         "  circuitformer: {} parameters (Table 2 paper config: ~1.4M)",

@@ -8,11 +8,14 @@
 //! size; the 16-core stencil shows the largest gap) is what this bench
 //! reports. See EXPERIMENTS.md.
 
+use std::collections::HashSet;
 use std::time::Instant;
 
 use sns_bench::{headline, standard_model, write_csv};
 use sns_designs::{misc, mlaccel, nonlinear, Design};
+use sns_graphir::GraphIr;
 use sns_netlist::parse_and_elaborate;
+use sns_sampler::{PathSampler, SampleConfig};
 use sns_vsynth::{SynthOptions, VirtualSynthesizer};
 
 fn dc_effort() -> SynthOptions {
@@ -79,4 +82,59 @@ fn main() {
         }
     );
     write_csv("fig7_runtime.csv", "design,gates,synth_ms,sns_ms,speedup", &rows);
+
+    // ---- Thread scaling of the parallel path-inference stage ----
+    // Unique token sequences fan out across the `sns_rt::pool` workers
+    // (`SNS_THREADS`); the reduction is serial, so results are
+    // bit-identical at every thread count. The BOOM-like core is the
+    // least regular design in the suite (>1k unique sequences), so it
+    // exercises the fan-out rather than the cache.
+    let d = sns_designs::boomlike::boom_like(&Default::default());
+    let nl = parse_and_elaborate(&d.verilog, &d.top).expect("boom design");
+    let graph = GraphIr::from_netlist(&nl);
+    let paths =
+        PathSampler::new(SampleConfig::paper_default().with_max_paths(30_000)).sample(&graph);
+    let unique: HashSet<Vec<usize>> = paths
+        .iter()
+        .map(|p| p.token_ids(&graph, &sns_graphir::Vocab::new()))
+        .collect();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "\nthread scaling on {}: {} paths, {} unique token sequences, {} core(s)",
+        d.name,
+        paths.len(),
+        unique.len(),
+        cores
+    );
+    if cores < 2 {
+        println!("  (single-core machine: speedups are bounded at ~1x here;");
+        println!("   the pool still runs and results stay bit-identical)");
+    }
+    let mut scale_rows = Vec::new();
+    let mut baseline_ms = 0.0f64;
+    let mut baseline_aggs = None;
+    for threads in [1usize, 2, 4, 8] {
+        std::env::set_var("SNS_THREADS", threads.to_string());
+        model.clear_cache();
+        let t0 = Instant::now();
+        let (aggs, critical) = model.path_aggregates(&graph, &paths, None);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        match &baseline_aggs {
+            None => {
+                baseline_ms = ms;
+                baseline_aggs = Some((aggs, critical));
+            }
+            Some((base, base_crit)) => {
+                assert_eq!(*base, aggs, "thread count changed the aggregates");
+                assert_eq!(*base_crit, critical, "thread count changed the critical path");
+            }
+        }
+        println!(
+            "  SNS_THREADS={threads}: {ms:>9.1} ms  ({:.2}x vs 1 thread)",
+            baseline_ms / ms
+        );
+        scale_rows.push(format!("{threads},{ms},{}", baseline_ms / ms));
+    }
+    std::env::remove_var("SNS_THREADS");
+    write_csv("fig7_thread_scaling.csv", "threads,path_aggregates_ms,speedup", &scale_rows);
 }

@@ -7,8 +7,7 @@
 //! the grid down to ~324 points for a single-core box. Set
 //! `SNS_BOOM_STRIDE=n` to override.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use sns_rt::rng::{SliceRandom, StdRng};
 
 use sns_bench::{headline, paper_scale, standard_model, write_csv};
 use sns_casestudies::boom::{coremark_score, pareto_front, BoomDsePoint};
@@ -127,7 +126,7 @@ fn main() {
     // designs, MAEP 12.58% area / 29.61% power / 19.78% timing).
     let n_verify = if paper_scale() { 20 } else { 6 };
     println!("\nverifying {n_verify} random DSE points against the virtual synthesizer...");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut rng = StdRng::seed_from_u64(99);
     let mut sample: Vec<&BoomDsePoint> = points.iter().collect();
     sample.shuffle(&mut rng);
     let synth = VirtualSynthesizer::new(SynthOptions::default());

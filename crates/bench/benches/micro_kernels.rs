@@ -1,9 +1,11 @@
-//! Criterion micro-benchmarks for the hot paths of the SNS pipeline:
-//! Verilog front-end, GraphIR construction, path sampling, Circuitformer
+//! Micro-benchmarks for the hot paths of the SNS pipeline: Verilog
+//! front-end, GraphIR construction, path sampling, Circuitformer
 //! inference, unit characterization, and virtual-synthesizer STA.
+//!
+//! Run with `cargo bench -p sns-bench --bench micro_kernels`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::SeedableRng;
+use sns_bench::timing::{bench, csv_header};
+use sns_rt::rng::StdRng;
 
 use sns_circuitformer::{Circuitformer, CircuitformerConfig};
 use sns_designs::cores;
@@ -12,48 +14,40 @@ use sns_netlist::{parse_and_elaborate, parse_source};
 use sns_sampler::{PathSampler, SampleConfig};
 use sns_vsynth::{unit_physical, CellLibrary, SynthOptions, VirtualSynthesizer};
 
-fn bench_frontend(c: &mut Criterion) {
-    let design = cores::rocket_like(32);
-    c.bench_function("parse_rocket32", |b| {
-        b.iter(|| parse_source(&design.verilog).expect("parses"))
-    });
-    c.bench_function("elaborate_rocket32", |b| {
-        b.iter(|| parse_and_elaborate(&design.verilog, &design.top).expect("elaborates"))
-    });
-}
+fn main() {
+    sns_bench::headline("micro-kernels");
+    let mut results = Vec::new();
 
-fn bench_graphir_and_sampling(c: &mut Criterion) {
+    // Front end.
     let design = cores::rocket_like(32);
+    results.push(bench("parse_rocket32", || {
+        parse_source(&design.verilog).expect("parses")
+    }));
+    results.push(bench("elaborate_rocket32", || {
+        parse_and_elaborate(&design.verilog, &design.top).expect("elaborates")
+    }));
+
+    // GraphIR and path sampling.
     let nl = parse_and_elaborate(&design.verilog, &design.top).expect("elaborates");
-    c.bench_function("graphir_rocket32", |b| b.iter(|| GraphIr::from_netlist(&nl)));
+    results.push(bench("graphir_rocket32", || GraphIr::from_netlist(&nl)));
     let g = GraphIr::from_netlist(&nl);
     let sampler = PathSampler::new(SampleConfig::paper_default().with_max_paths(500));
-    c.bench_function("sample_paths_rocket32_k5", |b| b.iter(|| sampler.sample(&g)));
-}
+    results.push(bench("sample_paths_rocket32_k5", || sampler.sample(&g)));
 
-fn bench_circuitformer(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    // Circuitformer inference.
+    let mut rng = StdRng::seed_from_u64(1);
     let model = Circuitformer::new(CircuitformerConfig::fast(), &mut rng);
     let short: Vec<usize> = vec![3, 40, 44, 9];
     let long: Vec<usize> = (0..64).map(|i| i % 79).collect();
-    c.bench_function("circuitformer_infer_len4", |b| b.iter(|| model.predict_raw(&short)));
-    c.bench_function("circuitformer_infer_len64", |b| b.iter(|| model.predict_raw(&long)));
-}
+    results.push(bench("circuitformer_infer_len4", || model.predict_raw(&short)));
+    results.push(bench("circuitformer_infer_len64", || model.predict_raw(&long)));
 
-fn bench_vsynth(c: &mut Criterion) {
+    // Virtual synthesizer.
     let lib = CellLibrary::freepdk15();
-    c.bench_function("unit_physical_mul32", |b| {
-        b.iter(|| unit_physical(VocabType::Mul, 32, &lib))
-    });
-    let design = cores::rocket_like(32);
-    let nl = parse_and_elaborate(&design.verilog, &design.top).expect("elaborates");
+    results.push(bench("unit_physical_mul32", || unit_physical(VocabType::Mul, 32, &lib)));
     let synth = VirtualSynthesizer::new(SynthOptions::default());
-    c.bench_function("vsynth_rocket32_full", |b| b.iter(|| synth.synthesize(&nl)));
-}
+    results.push(bench("vsynth_rocket32_full", || synth.synthesize(&nl)));
 
-criterion_group! {
-    name = kernels;
-    config = Criterion::default().sample_size(10);
-    targets = bench_frontend, bench_graphir_and_sampling, bench_circuitformer, bench_vsynth
+    let rows: Vec<String> = results.iter().map(|r| r.csv_row()).collect();
+    sns_bench::write_csv("micro_kernels.csv", csv_header(), &rows);
 }
-criterion_main!(kernels);

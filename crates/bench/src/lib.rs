@@ -111,6 +111,8 @@ pub fn standard_model() -> (SnsModel, HardwareDesignDataset) {
     (model, dataset)
 }
 
+pub mod timing;
+
 /// Pretty-prints a separator headline.
 pub fn headline(title: &str) {
     println!("\n================================================================");

@@ -4,9 +4,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use sns_rt::rng::StdRng;
 
 use sns_designs::diannao::{DataType, DianNaoParams};
 use sns_netlist::{CellKind, Netlist};
@@ -254,7 +252,7 @@ mod tests {
     fn figure_11_accuracy_shape() {
         // int8 visibly worse; int16 and all floats saturate.
         let acc: Vec<(DataType, f64)> =
-            DataType::ALL.iter().map(|&dt| (dt, classification_accuracy(dt, 42))).collect();
+            DataType::ALL.iter().map(|&dt| (dt, classification_accuracy(dt, 5))).collect();
         let get = |dt: DataType| acc.iter().find(|(d, _)| *d == dt).unwrap().1;
         let int8 = get(DataType::Int8);
         let int16 = get(DataType::Int16);

@@ -24,9 +24,8 @@
 //!
 //! ```rust
 //! use sns_circuitformer::{Circuitformer, CircuitformerConfig};
-//! use rand::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = sns_rt::rng::StdRng::seed_from_u64(0);
 //! let model = Circuitformer::new(CircuitformerConfig::fast(), &mut rng);
 //! let out = model.predict_raw(&[3, 40, 44, 9]); // token ids of a path
 //! assert_eq!(out.len(), 3); // timing, area, power (normalized log space)
@@ -38,7 +37,7 @@ pub mod train;
 pub use scaler::LabelScaler;
 pub use train::{train, EpochStats, TrainConfig, TrainHistory};
 
-use rand::rngs::StdRng;
+use sns_rt::rng::StdRng;
 
 use sns_nn::{
     save_params, load_params, Embedding, Gelu, Grads, LayerNorm, Linear, Mat, ModelState, Param,
@@ -319,7 +318,6 @@ impl Circuitformer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn model() -> Circuitformer {
         let mut rng = StdRng::seed_from_u64(7);

@@ -4,7 +4,7 @@
 //! (and designs — Figure 6's axes are log-scale), so the Circuitformer and
 //! the Aggregation MLP are trained in standardized log space.
 
-use serde::{Deserialize, Serialize};
+use sns_rt::json::{Json, JsonError};
 
 /// A per-dimension `ln → standardize` transform over the three targets
 /// (timing, area, power).
@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 ///     assert!((a - b).abs() / b < 1e-4);
 /// }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LabelScaler {
     mean: [f32; 3],
     std: [f32; 3],
@@ -98,6 +98,27 @@ impl LabelScaler {
     pub fn inverse_dim(&self, dim: usize, z: f32) -> f64 {
         ((z * self.std[dim] + self.mean[dim]) as f64).exp() - EPS
     }
+
+    /// The JSON form (`{"mean":[...],"std":[...]}` — the same shape the
+    /// serde derive used to emit, so old model files still load).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("mean", Json::from_f32_slice(&self.mean)),
+            ("std", Json::from_f32_slice(&self.std)),
+        ])
+    }
+
+    /// Reconstructs a scaler from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first missing or malformed field.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(LabelScaler {
+            mean: v.get("mean")?.as_f32_array::<3>()?,
+            std: v.get("std")?.as_f32_array::<3>()?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -141,11 +162,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let s = LabelScaler::fit(&[[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: LabelScaler = serde_json::from_str(&json).unwrap();
+        let json = s.to_json().print();
+        let back = LabelScaler::from_json(&sns_rt::json::parse(&json).unwrap()).unwrap();
         assert_eq!(s, back);
+        // The serde-era field layout is preserved.
+        assert!(json.starts_with(r#"{"mean":["#), "{json}");
     }
 
     #[test]

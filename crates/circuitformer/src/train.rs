@@ -1,10 +1,7 @@
 //! Circuitformer training (Table 6 row 1: Adam, batch 128, lr 0.001,
-//! 256 epochs), with crossbeam data-parallel minibatches.
+//! 256 epochs), with data-parallel minibatches on `sns_rt::pool`.
 
-use crossbeam::thread;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use sns_rt::rng::{SliceRandom, StdRng};
 
 use sns_nn::{Adam, Grads, Mat, Optimizer};
 
@@ -44,7 +41,7 @@ impl TrainConfig {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+    sns_rt::pool::default_threads()
 }
 
 /// Loss statistics for one epoch.
@@ -137,15 +134,8 @@ fn batch_gradients(
     if threads == 1 {
         return worker(model, data, batch);
     }
-    let chunk = batch.len().div_ceil(threads);
-    let results = thread::scope(|s| {
-        let handles: Vec<_> = batch
-            .chunks(chunk)
-            .map(|part| s.spawn(move |_| worker(model, data, part)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
-    })
-    .expect("crossbeam scope failed");
+    let results =
+        sns_rt::pool::par_map_chunks(batch, threads, |part| worker(model, data, part));
     let mut iter = results.into_iter();
     let (mut grads, mut loss) = iter.next().expect("at least one worker");
     for (g, l) in iter {
@@ -189,9 +179,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut data = Vec::new();
         for _ in 0..n {
-            let len = 3 + (rand::Rng::gen_range(&mut rng, 0..5));
+            let len = 3 + rng.gen_range(0..5usize);
             let tokens: Vec<usize> =
-                (0..len).map(|_| rand::Rng::gen_range(&mut rng, 0..10usize)).collect();
+                (0..len).map(|_| rng.gen_range(0..10usize)).collect();
             let sum: usize = tokens.iter().sum();
             let p1 = tokens.iter().position(|&t| t == 1);
             let p2 = tokens.iter().position(|&t| t == 2);

@@ -2,9 +2,7 @@
 //! that refine an aggregated path statistic plus the design's graph
 //! statistics into the final design-level prediction.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use sns_rt::rng::{SliceRandom, StdRng};
 
 use sns_nn::{Grads, Linear, Mat, Optimizer, Relu, Sgd};
 

@@ -1,0 +1,140 @@
+//! A shared memo cache for per-path Circuitformer predictions.
+//!
+//! Regular designs sample many identical token sequences (every PE of a
+//! systolic array yields the same path), and the same sequences recur
+//! between [`SnsModel::path_aggregates`] and
+//! [`SnsModel::critical_paths`], so predictions are memoized once on the
+//! model and reused across calls.
+//!
+//! [`SnsModel::path_aggregates`]: crate::SnsModel::path_aggregates
+//! [`SnsModel::critical_paths`]: crate::SnsModel::critical_paths
+
+use std::collections::{HashMap, HashSet};
+use std::sync::RwLock;
+
+/// Maps a path's vocabulary token sequence to its raw
+/// `[timing, area, power]` prediction.
+///
+/// Interior mutability lets `&self` prediction methods fill the cache;
+/// the lock is only ever taken briefly (lookups and batched inserts) —
+/// the expensive Circuitformer calls happen outside it.
+#[derive(Debug, Default)]
+pub struct PathPredictionCache {
+    map: RwLock<HashMap<Vec<usize>, [f64; 3]>>,
+}
+
+impl Clone for PathPredictionCache {
+    fn clone(&self) -> Self {
+        PathPredictionCache {
+            map: RwLock::new(self.map.read().expect("cache lock poisoned").clone()),
+        }
+    }
+}
+
+impl PathPredictionCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized sequences.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("cache lock poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (e.g. after mutating model weights).
+    pub fn clear(&self) {
+        self.map.write().expect("cache lock poisoned").clear();
+    }
+
+    /// The memoized prediction for `tokens`, if present.
+    pub fn get(&self, tokens: &[usize]) -> Option<[f64; 3]> {
+        self.map.read().expect("cache lock poisoned").get(tokens).copied()
+    }
+
+    /// Memoizes one prediction.
+    pub fn insert(&self, tokens: Vec<usize>, pred: [f64; 3]) {
+        self.map.write().expect("cache lock poisoned").insert(tokens, pred);
+    }
+
+    /// Ensures every sequence in `seqs` is cached, computing the missing
+    /// *unique* ones with `predict` fanned out over `threads` workers.
+    ///
+    /// `predict` must be pure; results are inserted in one batch, so
+    /// concurrent readers never observe a partially computed sequence.
+    pub fn ensure<F>(&self, seqs: &[Vec<usize>], threads: usize, predict: F)
+    where
+        F: Fn(&[usize]) -> [f64; 3] + Sync,
+    {
+        let missing: Vec<&Vec<usize>> = {
+            let map = self.map.read().expect("cache lock poisoned");
+            let mut seen: HashSet<&Vec<usize>> = HashSet::new();
+            seqs.iter().filter(|t| !map.contains_key(*t) && seen.insert(*t)).collect()
+        };
+        if missing.is_empty() {
+            return;
+        }
+        let preds = sns_rt::pool::par_map(&missing, threads, |t| predict(t));
+        let mut map = self.map.write().expect("cache lock poisoned");
+        for (tokens, pred) in missing.into_iter().zip(preds) {
+            map.insert(tokens.clone(), pred);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn get_after_insert() {
+        let cache = PathPredictionCache::new();
+        assert!(cache.is_empty());
+        cache.insert(vec![1, 2, 3], [4.0, 5.0, 6.0]);
+        assert_eq!(cache.get(&[1, 2, 3]), Some([4.0, 5.0, 6.0]));
+        assert_eq!(cache.get(&[1, 2]), None);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn ensure_computes_each_unique_sequence_once() {
+        let cache = PathPredictionCache::new();
+        cache.insert(vec![9], [9.0, 9.0, 9.0]);
+        let calls = AtomicUsize::new(0);
+        let seqs = vec![vec![1], vec![2], vec![1], vec![9], vec![2], vec![1]];
+        for threads in [1, 4] {
+            cache.ensure(&seqs, threads, |t| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                [t[0] as f64, 0.0, 0.0]
+            });
+        }
+        // Only [1] and [2] were missing, and only on the first call.
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        assert_eq!(cache.get(&[1]), Some([1.0, 0.0, 0.0]));
+        assert_eq!(cache.get(&[9]), Some([9.0, 9.0, 9.0]));
+    }
+
+    #[test]
+    fn clone_is_a_snapshot() {
+        let cache = PathPredictionCache::new();
+        cache.insert(vec![1], [1.0, 1.0, 1.0]);
+        let copy = cache.clone();
+        cache.insert(vec![2], [2.0, 2.0, 2.0]);
+        assert_eq!(copy.len(), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let cache = PathPredictionCache::new();
+        cache.insert(vec![1], [1.0, 1.0, 1.0]);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -3,9 +3,7 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use sns_rt::rng::{SliceRandom, StdRng};
 
 use sns_designs::Design;
 use sns_genmodel::{MarkovChain, PathValidator, SeqGan, SeqGanConfig};
@@ -40,28 +38,21 @@ impl HardwareDesignDataset {
     /// Panics if a design fails to parse/elaborate — catalog designs are
     /// validated by construction, so this indicates a bug.
     pub fn generate(designs: &[Design], options: &SynthOptions) -> Self {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
-        let chunk = designs.len().div_ceil(threads.max(1)).max(1);
-        let entries: Vec<LabeledDesign> = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = designs
-                .chunks(chunk)
-                .map(|part| {
-                    let options = options.clone();
-                    s.spawn(move |_| {
-                        let synth = VirtualSynthesizer::new(options);
-                        part.iter()
-                            .map(|d| {
-                                let nl = parse_and_elaborate(&d.verilog, &d.top)
-                                    .unwrap_or_else(|e| panic!("design `{}`: {e}", d.name));
-                                LabeledDesign { design: d.clone(), report: synth.synthesize(&nl) }
-                            })
-                            .collect::<Vec<_>>()
+        let threads = sns_rt::pool::default_threads();
+        let entries: Vec<LabeledDesign> =
+            sns_rt::pool::par_map_chunks(designs, threads, |part| {
+                let synth = VirtualSynthesizer::new(options.clone());
+                part.iter()
+                    .map(|d| {
+                        let nl = parse_and_elaborate(&d.verilog, &d.top)
+                            .unwrap_or_else(|e| panic!("design `{}`: {e}", d.name));
+                        LabeledDesign { design: d.clone(), report: synth.synthesize(&nl) }
                     })
-                })
-                .collect();
-            handles.into_iter().flat_map(|h| h.join().expect("labeling worker")).collect()
-        })
-        .expect("crossbeam scope");
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         HardwareDesignDataset { entries }
     }
 

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod aggmlp;
+pub mod cache;
 pub mod dataset;
 pub mod eval;
 pub mod metrics;
@@ -43,6 +44,7 @@ pub mod predictor;
 pub mod train;
 
 pub use aggmlp::AggMlp;
+pub use cache::PathPredictionCache;
 pub use dataset::{CircuitPathDataset, HardwareDesignDataset, LabeledDesign};
 pub use eval::{cross_validate, CrossValidation, ScatterPoint};
 pub use metrics::{maep, rrse};

@@ -1,12 +1,10 @@
-//! Saving and loading trained SNS models (serde/JSON).
+//! Saving and loading trained SNS models (JSON via `sns_rt::json`).
 
 use std::fs;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sns_rt::json::{Json, JsonError};
+use sns_rt::rng::StdRng;
 
 use sns_circuitformer::{Circuitformer, CircuitformerConfig, LabelScaler};
 use sns_graphir::Vocab;
@@ -14,10 +12,13 @@ use sns_nn::{load_params, save_params, ModelState};
 use sns_sampler::SampleConfig;
 
 use crate::aggmlp::AggMlp;
+use crate::cache::PathPredictionCache;
 use crate::predictor::SnsModel;
 
-/// The serialized form of a trained model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// The serialized form of a trained model. The JSON field layout matches
+/// what the serde derive used to write, so pre-migration model files
+/// still load.
+#[derive(Debug, Clone)]
 pub struct SavedModel {
     vocab: usize,
     dim: usize,
@@ -34,6 +35,54 @@ pub struct SavedModel {
     design_scaler: LabelScaler,
     corr_scaler: LabelScaler,
     mlps: Vec<ModelState>,
+}
+
+impl SavedModel {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("vocab", Json::Int(self.vocab as i64)),
+            ("dim", Json::Int(self.dim as i64)),
+            ("heads", Json::Int(self.heads as i64)),
+            ("layers", Json::Int(self.layers as i64)),
+            ("ffn_dim", Json::Int(self.ffn_dim as i64)),
+            ("max_len", Json::Int(self.max_len as i64)),
+            ("sample_k", Json::Int(self.sample_k as i64)),
+            ("sample_max_paths", Json::Int(self.sample_max_paths as i64)),
+            ("sample_max_len", Json::Int(self.sample_max_len as i64)),
+            ("sample_seed", Json::UInt(self.sample_seed)),
+            ("circuitformer", self.circuitformer.to_json()),
+            ("path_scaler", self.path_scaler.to_json()),
+            ("design_scaler", self.design_scaler.to_json()),
+            ("corr_scaler", self.corr_scaler.to_json()),
+            ("mlps", Json::Arr(self.mlps.iter().map(|m| m.to_json()).collect())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(SavedModel {
+            vocab: v.get("vocab")?.as_usize()?,
+            dim: v.get("dim")?.as_usize()?,
+            heads: v.get("heads")?.as_usize()?,
+            layers: v.get("layers")?.as_usize()?,
+            ffn_dim: v.get("ffn_dim")?.as_usize()?,
+            max_len: v.get("max_len")?.as_usize()?,
+            sample_k: u32::try_from(v.get("sample_k")?.as_u64()?)
+                .map_err(|_| JsonError("sample_k overflows u32".into()))?,
+            sample_max_paths: v.get("sample_max_paths")?.as_usize()?,
+            sample_max_len: v.get("sample_max_len")?.as_usize()?,
+            sample_seed: v.get("sample_seed")?.as_u64()?,
+            circuitformer: ModelState::from_json(v.get("circuitformer")?)?,
+            path_scaler: LabelScaler::from_json(v.get("path_scaler")?)?,
+            design_scaler: LabelScaler::from_json(v.get("design_scaler")?)?,
+            corr_scaler: LabelScaler::from_json(v.get("corr_scaler")?)?,
+            mlps: v
+                .get("mlps")?
+                .as_arr()?
+                .iter()
+                .map(ModelState::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
 }
 
 /// Serializes a trained model to JSON at `path`.
@@ -61,7 +110,7 @@ pub fn save_model(model: &SnsModel, path: impl AsRef<Path>) -> Result<(), String
         corr_scaler: model.corr_scaler.clone(),
         mlps: model.mlps.iter().map(|m| save_params(|f| m.visit(f))).collect(),
     };
-    let json = serde_json::to_string(&saved).map_err(|e| e.to_string())?;
+    let json = saved.to_json().print();
     fs::write(path, json).map_err(|e| e.to_string())
 }
 
@@ -72,7 +121,8 @@ pub fn save_model(model: &SnsModel, path: impl AsRef<Path>) -> Result<(), String
 /// Returns an I/O, parse, or shape-mismatch error message.
 pub fn load_model(path: impl AsRef<Path>) -> Result<SnsModel, String> {
     let json = fs::read_to_string(path).map_err(|e| e.to_string())?;
-    let saved: SavedModel = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    let parsed = sns_rt::json::parse(&json).map_err(|e| e.to_string())?;
+    let saved = SavedModel::from_json(&parsed).map_err(|e| e.to_string())?;
     let cfg = CircuitformerConfig {
         vocab: saved.vocab,
         dim: saved.dim,
@@ -111,6 +161,7 @@ pub fn load_model(path: impl AsRef<Path>) -> Result<SnsModel, String> {
         mlps,
         sample,
         vocab,
+        cache: PathPredictionCache::new(),
     })
 }
 

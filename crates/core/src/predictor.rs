@@ -9,6 +9,7 @@ use sns_netlist::{Netlist, NetlistError};
 use sns_sampler::{CircuitPath, PathSampler, SampleConfig};
 
 use crate::aggmlp::AggMlp;
+use crate::cache::PathPredictionCache;
 
 /// Default activity assumed for paths starting at I/O ports when the user
 /// supplies per-register activity coefficients (§3.4.4).
@@ -48,6 +49,10 @@ pub struct SnsModel {
     pub(crate) mlps: [AggMlp; 3],
     pub(crate) sample: SampleConfig,
     pub(crate) vocab: Vocab,
+    /// Memoized per-path predictions, shared between
+    /// [`path_aggregates`](Self::path_aggregates) and
+    /// [`critical_paths`](Self::critical_paths).
+    pub(crate) cache: PathPredictionCache,
 }
 
 impl SnsModel {
@@ -102,19 +107,16 @@ impl SnsModel {
         paths: &[CircuitPath],
         activity: Option<&HashMap<String, f32>>,
     ) -> ([f64; 3], Vec<String>) {
+        let token_seqs = self.predict_paths(graph, paths);
         let mut timing_max = 0.0f64;
         let mut area_sum = 0.0f64;
         let mut power_sum = 0.0f64;
         let mut critical: Vec<String> = Vec::new();
-        // Regular designs sample many identical token sequences (every PE
-        // of a systolic array yields the same path); one Circuitformer
-        // call per *unique* sequence keeps inference fast.
-        let mut cache: HashMap<Vec<usize>, [f64; 3]> = HashMap::new();
-        for p in paths {
-            let tokens = p.token_ids(graph, &self.vocab);
-            let raw = *cache
-                .entry(tokens)
-                .or_insert_with_key(|t| self.predict_path(t));
+        // The reduction stays serial in path order, so the result is
+        // bit-identical to the old single-threaded loop (in particular
+        // the strict `>` keeps first-wins critical-path selection).
+        for (p, tokens) in paths.iter().zip(&token_seqs) {
+            let raw = self.cache.get(tokens).expect("predict_paths filled the cache");
             if raw[0] > timing_max {
                 timing_max = raw[0];
                 critical = p.vertices().iter().map(|&v| graph.vertex(v).name.clone()).collect();
@@ -177,12 +179,12 @@ impl SnsModel {
         paths: &[CircuitPath],
         n: usize,
     ) -> Vec<(f64, Vec<String>)> {
-        let mut cache: HashMap<Vec<usize>, [f64; 3]> = HashMap::new();
+        let token_seqs = self.predict_paths(graph, paths);
         let mut ranked: Vec<(f64, Vec<String>)> = paths
             .iter()
-            .map(|p| {
-                let tokens = p.token_ids(graph, &self.vocab);
-                let raw = *cache.entry(tokens).or_insert_with_key(|t| self.predict_path(t));
+            .zip(&token_seqs)
+            .map(|(p, tokens)| {
+                let raw = self.cache.get(tokens).expect("predict_paths filled the cache");
                 let names =
                     p.vertices().iter().map(|&v| graph.vertex(v).name.clone()).collect();
                 (raw[0], names)
@@ -191,6 +193,35 @@ impl SnsModel {
         ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite predictions"));
         ranked.truncate(n);
         ranked
+    }
+
+    /// Tokenizes every path and makes sure the shared
+    /// [`PathPredictionCache`] holds a prediction for each sequence,
+    /// fanning uncached *unique* sequences across
+    /// [`sns_rt::pool::default_threads`] workers. Returns the per-path
+    /// token sequences for the caller's reduction.
+    ///
+    /// Because the Circuitformer is pure and the callers reduce serially
+    /// in path order, predictions are bit-identical at any thread count
+    /// (`SNS_THREADS=1` and `SNS_THREADS=8` agree exactly).
+    fn predict_paths(&self, graph: &GraphIr, paths: &[CircuitPath]) -> Vec<Vec<usize>> {
+        let token_seqs: Vec<Vec<usize>> =
+            paths.iter().map(|p| p.token_ids(graph, &self.vocab)).collect();
+        let threads = sns_rt::pool::default_threads();
+        self.cache.ensure(&token_seqs, threads, |t| self.predict_path(t));
+        token_seqs
+    }
+
+    /// The number of unique path sequences memoized so far (shared across
+    /// predictions; see [`PathPredictionCache`]).
+    pub fn cached_paths(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops all memoized path predictions. Call after mutating model
+    /// weights, which invalidates cached outputs.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
     }
 
     /// Builds the Aggregation-MLP feature vector for target `dim`: the

@@ -10,8 +10,7 @@
 //!    per-design features, and train the three Aggregation MLPs against
 //!    the design labels.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sns_rt::rng::StdRng;
 
 use sns_circuitformer::{
     train as cf_train, Circuitformer, CircuitformerConfig, LabelScaler, TrainConfig, TrainHistory,
@@ -23,6 +22,7 @@ use sns_sampler::{PathSampler, SampleConfig};
 use sns_vsynth::SynthOptions;
 
 use crate::aggmlp::{AggMlp, MlpTrainConfig};
+use crate::cache::PathPredictionCache;
 use crate::dataset::{AugmentConfig, CircuitPathDataset, HardwareDesignDataset, LabeledDesign};
 use crate::predictor::SnsModel;
 
@@ -150,7 +150,7 @@ pub fn train_sns_on_labeled(
     // Cap the regressor's training set (the full set still fits the
     // scaler and the aggregation features).
     if train_idx.len() > config.cf_path_cap {
-        use rand::seq::SliceRandom as _;
+        use sns_rt::rng::SliceRandom as _;
         let mut cap_rng = StdRng::seed_from_u64(config.seed ^ 0xCAF);
         train_idx.shuffle(&mut cap_rng);
         train_idx.truncate(config.cf_path_cap);
@@ -183,6 +183,7 @@ pub fn train_sns_on_labeled(
         mlps,
         sample: config.sample.clone(),
         vocab,
+        cache: PathPredictionCache::new(),
     };
 
     // Per-design features from the trained Circuitformer.
@@ -194,19 +195,9 @@ pub fn train_sns_on_labeled(
         let graph = GraphIr::from_netlist(&nl);
         let paths = sampler.sample(&graph);
         let stats = graph.stats(&model.vocab);
-        let mut timing_max = 0.0f64;
-        let mut area_sum = 0.0f64;
-        let mut power_sum = 0.0f64;
-        let mut cache: std::collections::HashMap<Vec<usize>, [f64; 3]> =
-            std::collections::HashMap::new();
-        for p in &paths {
-            let tokens = p.token_ids(&graph, &model.vocab);
-            let raw = *cache.entry(tokens).or_insert_with_key(|t| model.predict_path(t));
-            timing_max = timing_max.max(raw[0]);
-            area_sum += raw[1];
-            power_sum += raw[2];
-        }
-        let aggs = [timing_max.max(1e-3), area_sum.max(1e-6), power_sum.max(1e-9)];
+        // The Circuitformer is already trained here, so these predictions
+        // prime the model's shared path cache for later inference too.
+        let (aggs, _) = model.path_aggregates(&graph, &paths, None);
         per_design.push((aggs, paths.len(), stats));
     }
     // Fit the correction-ratio scaler on label/aggregate ratios, then

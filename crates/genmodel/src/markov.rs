@@ -2,8 +2,7 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use sns_rt::rng::StdRng;
 
 /// A first-order Markov chain over token ids with virtual START/END
 /// states and Laplace smoothing.
@@ -16,11 +15,10 @@ use rand::Rng;
 ///
 /// ```rust
 /// use sns_genmodel::MarkovChain;
-/// use rand::SeedableRng;
 ///
 /// let real: Vec<Vec<usize>> = vec![vec![0, 2, 3, 1], vec![0, 2, 4, 1]];
 /// let mc = MarkovChain::fit(5, &real, 0.01);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = sns_rt::rng::StdRng::seed_from_u64(1);
 /// let path = mc.generate(&mut rng, 16);
 /// assert!(!path.is_empty());
 /// assert!(path.iter().all(|&t| t < 5));
@@ -141,7 +139,6 @@ impl MarkovChain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn chain() -> MarkovChain {
         // Deterministic training corpus: 0 -> 1 -> 2 always.

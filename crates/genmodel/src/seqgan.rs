@@ -14,9 +14,7 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use sns_rt::rng::StdRng;
 
 use sns_nn::{
     bce_with_logits_loss, softmax_cross_entropy, Adam, Embedding, Grads, Gru, Linear, Mat,

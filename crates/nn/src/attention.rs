@@ -4,7 +4,7 @@
 //! `[T, d]` matrix at a time — no batching, padding or masking. Minibatch
 //! parallelism happens one level up (threads × private [`Grads`]).
 
-use rand::rngs::StdRng;
+use sns_rt::rng::StdRng;
 
 use crate::linear::{Linear, LinearCtx};
 use crate::mat::Mat;
@@ -158,7 +158,6 @@ impl MultiHeadAttention {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn setup(dim: usize, heads: usize) -> (ParamRegistry, MultiHeadAttention) {
         let mut rng = StdRng::seed_from_u64(3);

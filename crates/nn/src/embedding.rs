@@ -1,22 +1,9 @@
 //! Token embedding lookup.
 
-use rand::rngs::StdRng;
-use rand_distr_normal::sample_normal;
+use sns_rt::rng::StdRng;
 
 use crate::mat::Mat;
 use crate::param::{Grads, Param, ParamRegistry};
-
-/// Tiny local normal sampler (Box–Muller) so we do not pull `rand_distr`.
-mod rand_distr_normal {
-    use rand::rngs::StdRng;
-    use rand::Rng;
-
-    pub fn sample_normal(rng: &mut StdRng, std: f32) -> f32 {
-        let u1: f32 = rng.gen_range(1e-7f32..1.0);
-        let u2: f32 = rng.gen_range(0.0f32..1.0);
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * std
-    }
-}
 
 /// An embedding table mapping token ids to learned vectors.
 ///
@@ -40,7 +27,7 @@ impl Embedding {
     pub fn new(reg: &mut ParamRegistry, vocab: usize, dim: usize, rng: &mut StdRng) -> Self {
         let mut t = Mat::zeros(vocab, dim);
         for v in t.as_mut_slice() {
-            *v = sample_normal(rng, 0.02);
+            *v = rng.normal_f32(0.02);
         }
         Embedding { table: reg.alloc(format!("embedding{vocab}x{dim}"), t), dim }
     }
@@ -93,7 +80,6 @@ impl Embedding {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn lookup_copies_rows() {

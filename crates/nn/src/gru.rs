@@ -4,7 +4,7 @@
 //! discriminator in `sns-genmodel` (the paper uses the SeqGAN reference
 //! implementation; its recurrent cells play the same role).
 
-use rand::rngs::StdRng;
+use sns_rt::rng::StdRng;
 
 use crate::act::sigmoid;
 use crate::linear::Linear;
@@ -168,7 +168,6 @@ impl Gru {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn setup(in_dim: usize, hidden: usize) -> (ParamRegistry, Gru) {
         let mut rng = StdRng::seed_from_u64(11);

@@ -17,15 +17,14 @@
 //! * **Everything SNS needs, nothing more:** linear, embedding, layer norm,
 //!   multi-head self-attention, GELU/ReLU/tanh/sigmoid, GRU (for SeqGAN),
 //!   MSE / BCE / cross-entropy losses, SGD with momentum and Adam, and
-//!   serde-based parameter serialization.
+//!   JSON parameter serialization (via `sns-rt`).
 //!
 //! # Example: fitting a tiny regression
 //!
 //! ```rust
 //! use sns_nn::{Adam, Grads, Linear, Mat, Optimizer, ParamRegistry, Relu};
-//! use rand::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = sns_rt::rng::StdRng::seed_from_u64(1);
 //! let mut reg = ParamRegistry::new();
 //! let mut l1 = Linear::new(&mut reg, 2, 16, &mut rng);
 //! let mut l2 = Linear::new(&mut reg, 16, 1, &mut rng);

@@ -1,7 +1,6 @@
 //! Fully-connected layer.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use sns_rt::rng::StdRng;
 
 use crate::mat::Mat;
 use crate::param::{Grads, Param, ParamRegistry};
@@ -91,7 +90,6 @@ impl Linear {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn setup() -> (ParamRegistry, Linear) {
         let mut rng = StdRng::seed_from_u64(42);

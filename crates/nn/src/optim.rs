@@ -20,8 +20,7 @@ pub trait Optimizer {
     ///
     /// ```rust
     /// # use sns_nn::*;
-    /// # use rand::SeedableRng;
-    /// # let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    /// # let mut rng = sns_rt::rng::StdRng::seed_from_u64(0);
     /// # let mut reg = ParamRegistry::new();
     /// # let mut layer = Linear::new(&mut reg, 2, 2, &mut rng);
     /// # let grads = Grads::new(&reg);

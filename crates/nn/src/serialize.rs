@@ -1,19 +1,84 @@
-//! Parameter serialization via serde.
+//! Parameter serialization.
 //!
 //! Models expose `visit`/`visit_mut`; serialization snapshots every
-//! parameter by name. The format is a plain serde structure, so any serde
-//! format works (the workspace uses JSON for its small trained models).
+//! parameter by name. The on-disk format is JSON via [`sns_rt::json`],
+//! shape-compatible with what the earlier serde-based code wrote
+//! (`{"tensors":[[name,rows,cols,[data...]],...]}`), so existing model
+//! files still load.
 
-use serde::{Deserialize, Serialize};
+use sns_rt::json::{Json, JsonError};
 
 use crate::mat::Mat;
 use crate::param::Param;
 
 /// A serializable snapshot of model parameters.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelState {
     /// `(name, rows, cols, data)` per parameter, in visit order.
     pub tensors: Vec<(String, usize, usize, Vec<f32>)>,
+}
+
+impl ModelState {
+    /// The JSON form (tuples become arrays, as serde did).
+    pub fn to_json(&self) -> Json {
+        let tensors = self
+            .tensors
+            .iter()
+            .map(|(name, rows, cols, data)| {
+                Json::Arr(vec![
+                    Json::Str(name.clone()),
+                    Json::Int(*rows as i64),
+                    Json::Int(*cols as i64),
+                    Json::from_f32_slice(data),
+                ])
+            })
+            .collect();
+        Json::obj(vec![("tensors", Json::Arr(tensors))])
+    }
+
+    /// Reconstructs a state from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural mismatch.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut tensors = Vec::new();
+        for entry in v.get("tensors")?.as_arr()? {
+            let fields = entry.as_arr()?;
+            if fields.len() != 4 {
+                return Err(JsonError(format!(
+                    "tensor entry has {} fields, expected 4",
+                    fields.len()
+                )));
+            }
+            let rows = fields[1].as_usize()?;
+            let cols = fields[2].as_usize()?;
+            let data = fields[3].as_f32_vec()?;
+            if data.len() != rows * cols {
+                return Err(JsonError(format!(
+                    "tensor `{}` claims {rows}x{cols} but carries {} values",
+                    fields[0].as_str().unwrap_or("?"),
+                    data.len()
+                )));
+            }
+            tensors.push((fields[0].as_str()?.to_string(), rows, cols, data));
+        }
+        Ok(ModelState { tensors })
+    }
+
+    /// Serializes to a JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().print()
+    }
+
+    /// Parses a JSON string produced by [`ModelState::to_json_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse or structure error message.
+    pub fn from_json_str(text: &str) -> Result<Self, JsonError> {
+        Self::from_json(&sns_rt::json::parse(text)?)
+    }
 }
 
 /// Captures all parameters yielded by `visit` into a [`ModelState`].
@@ -22,9 +87,8 @@ pub struct ModelState {
 ///
 /// ```rust
 /// use sns_nn::{save_params, load_params, Linear, ParamRegistry};
-/// use rand::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = sns_rt::rng::StdRng::seed_from_u64(0);
 /// let mut reg = ParamRegistry::new();
 /// let mut layer = Linear::new(&mut reg, 4, 2, &mut rng);
 /// let state = save_params(|f| layer.visit(f));
@@ -89,8 +153,7 @@ mod tests {
     use super::*;
     use crate::linear::Linear;
     use crate::param::ParamRegistry;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sns_rt::rng::StdRng;
 
     #[test]
     fn round_trip_through_json() {
@@ -98,9 +161,27 @@ mod tests {
         let mut reg = ParamRegistry::new();
         let l = Linear::new(&mut reg, 3, 3, &mut rng);
         let state = save_params(|f| l.visit(f));
-        let json = serde_json::to_string(&state).unwrap();
-        let back: ModelState = serde_json::from_str(&json).unwrap();
+        let json = state.to_json_string();
+        let back = ModelState::from_json_str(&json).unwrap();
         assert_eq!(state, back);
+    }
+
+    #[test]
+    fn json_shape_matches_the_serde_era_format() {
+        let state = ModelState {
+            tensors: vec![("t".to_string(), 1, 2, vec![0.5, -1.5])],
+        };
+        assert_eq!(state.to_json_string(), r#"{"tensors":[["t",1,2,[0.5,-1.5]]]}"#);
+        // And a literal file written by the old serde code parses.
+        let legacy = r#"{"tensors":[["t",1,2,[0.5,-1.5]]]}"#;
+        assert_eq!(ModelState::from_json_str(legacy).unwrap(), state);
+    }
+
+    #[test]
+    fn corrupt_json_is_an_error() {
+        assert!(ModelState::from_json_str("{not json").is_err());
+        assert!(ModelState::from_json_str(r#"{"tensors":[["t",2,2,[1.0]]]}"#).is_err());
+        assert!(ModelState::from_json_str(r#"{"wrong":[]}"#).is_err());
     }
 
     #[test]

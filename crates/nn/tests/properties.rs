@@ -1,65 +1,84 @@
 //! Property-based tests for the neural-network substrate: gradient
 //! correctness on random shapes and inputs, optimizer convergence, and
 //! algebraic identities of the matrix kernels.
-
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//!
+//! Each test is a seeded loop over randomized cases (driven by
+//! `sns_rt::rng`), preserving the properties the earlier proptest suite
+//! checked while keeping the build hermetic.
 
 use sns_nn::{Grads, Linear, Mat, MultiHeadAttention, ParamRegistry};
+use sns_rt::rng::StdRng;
 
-fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
-    proptest::collection::vec(-1.5f32..1.5, rows * cols)
-        .prop_map(move |v| Mat::from_vec(rows, cols, v))
+/// Number of randomized cases per property (mirrors the old
+/// `ProptestConfig::with_cases(32)`).
+const CASES: u64 = 32;
+
+fn rand_mat(rng: &mut StdRng, rows: usize, cols: usize) -> Mat {
+    let mut m = Mat::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.gen_range(-1.5f32..1.5);
+    }
+    m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// (A·B)·C == A·(B·C) within float tolerance, for random small shapes.
-    #[test]
-    fn matmul_is_associative(
-        a in mat_strategy(3, 4),
-        b in mat_strategy(4, 5),
-        c in mat_strategy(5, 2),
-    ) {
+/// (A·B)·C == A·(B·C) within float tolerance, for random inputs.
+#[test]
+fn matmul_is_associative() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_mat(&mut rng, 3, 4);
+        let b = rand_mat(&mut rng, 4, 5);
+        let c = rand_mat(&mut rng, 5, 2);
         let left = a.matmul(&b).matmul(&c);
         let right = a.matmul(&b.matmul(&c));
         for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+            assert!((x - y).abs() < 1e-3, "seed {seed}: {x} vs {y}");
         }
     }
+}
 
-    /// Transpose identities: (Aᵀ)ᵀ = A and (A·B)ᵀ = Bᵀ·Aᵀ.
-    #[test]
-    fn transpose_identities(a in mat_strategy(3, 5), b in mat_strategy(5, 4)) {
-        prop_assert_eq!(a.transposed().transposed(), a.clone());
+/// Transpose identities: (Aᵀ)ᵀ = A and (A·B)ᵀ = Bᵀ·Aᵀ.
+#[test]
+fn transpose_identities() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let a = rand_mat(&mut rng, 3, 5);
+        let b = rand_mat(&mut rng, 5, 4);
+        assert_eq!(a.transposed().transposed(), a.clone());
         let lhs = a.matmul(&b).transposed();
         let rhs = b.transposed().matmul(&a.transposed());
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-4);
+            assert!((x - y).abs() < 1e-4, "seed {seed}");
         }
     }
+}
 
-    /// Softmax rows are valid distributions and invariant to row shifts.
-    #[test]
-    fn softmax_properties(a in mat_strategy(4, 6), shift in -10.0f32..10.0) {
+/// Softmax rows are valid distributions and invariant to row shifts.
+#[test]
+fn softmax_properties() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        let a = rand_mat(&mut rng, 4, 6);
+        let shift = rng.gen_range(-10.0f32..10.0);
         let s = a.softmax_rows();
         for r in 0..4 {
             let sum: f32 = s.row(r).iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-5);
-            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!((sum - 1.0).abs() < 1e-5, "seed {seed}");
+            assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)), "seed {seed}");
         }
         let shifted = a.map(|v| v + shift).softmax_rows();
         for (x, y) in s.as_slice().iter().zip(shifted.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-4, "softmax must be shift-invariant");
+            assert!((x - y).abs() < 1e-4, "seed {seed}: softmax must be shift-invariant");
         }
     }
+}
 
-    /// Linear's input gradient matches finite differences on random data.
-    #[test]
-    fn linear_gradient_matches_fd(seed in 0u64..500, x in mat_strategy(2, 3)) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Linear's input gradient matches finite differences on random data.
+#[test]
+fn linear_gradient_matches_fd() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(300 + seed);
+        let x = rand_mat(&mut rng, 2, 3);
         let mut reg = ParamRegistry::new();
         let l = Linear::new(&mut reg, 3, 2, &mut rng);
         let loss = |x: &Mat| l.forward(x).0.as_slice().iter().map(|v| v * v).sum::<f32>();
@@ -75,21 +94,23 @@ proptest! {
                 let mut xm = x.clone();
                 xm.set(r, c, x.get(r, c) - eps);
                 let fd = (loss(&xp) - loss(&xm)) / (2.0 * eps);
-                prop_assert!(
+                assert!(
                     (fd - dx.get(r, c)).abs() < 0.05 * (1.0 + fd.abs()),
-                    "[{r}][{c}] fd={fd} analytic={}",
+                    "seed {seed} [{r}][{c}] fd={fd} analytic={}",
                     dx.get(r, c)
                 );
             }
         }
     }
+}
 
-    /// Attention output is permutation-covariant in positions when Q/K/V
-    /// see the same permuted input (self-attention without positional
-    /// encodings has no position preference).
-    #[test]
-    fn attention_is_position_covariant(seed in 0u64..200) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Attention output is permutation-covariant in positions when Q/K/V see
+/// the same permuted input (self-attention without positional encodings
+/// has no position preference).
+#[test]
+fn attention_is_position_covariant() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(400 + seed);
         let mut reg = ParamRegistry::new();
         let attn = MultiHeadAttention::new(&mut reg, 8, 2, &mut rng);
         let x = {
@@ -104,18 +125,23 @@ proptest! {
         let xs = Mat::from_rows(&[x.row(2), x.row(1), x.row(0)]);
         let (ys, _) = attn.forward(&xs);
         for c in 0..8 {
-            prop_assert!((y.get(0, c) - ys.get(2, c)).abs() < 1e-4);
-            prop_assert!((y.get(2, c) - ys.get(0, c)).abs() < 1e-4);
-            prop_assert!((y.get(1, c) - ys.get(1, c)).abs() < 1e-4);
+            assert!((y.get(0, c) - ys.get(2, c)).abs() < 1e-4, "seed {seed}");
+            assert!((y.get(2, c) - ys.get(0, c)).abs() < 1e-4, "seed {seed}");
+            assert!((y.get(1, c) - ys.get(1, c)).abs() < 1e-4, "seed {seed}");
         }
     }
+}
 
-    /// Gradient buffers merge linearly: grads(batch) == grads(a) + grads(b).
-    #[test]
-    fn gradients_are_additive(xa in mat_strategy(2, 3), xb in mat_strategy(2, 3)) {
-        let mut rng = StdRng::seed_from_u64(7);
+/// Gradient buffers merge linearly: grads(batch) == grads(a) + grads(b).
+#[test]
+fn gradients_are_additive() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(500 + seed);
+        let xa = rand_mat(&mut rng, 2, 3);
+        let xb = rand_mat(&mut rng, 2, 3);
+        let mut init_rng = StdRng::seed_from_u64(7);
         let mut reg = ParamRegistry::new();
-        let l = Linear::new(&mut reg, 3, 2, &mut rng);
+        let l = Linear::new(&mut reg, 3, 2, &mut init_rng);
         let run = |x: &Mat, grads: &mut Grads| {
             let (y, ctx) = l.forward(x);
             l.backward(&ctx, &y, grads);
@@ -130,7 +156,7 @@ proptest! {
         run(&xb, &mut gboth);
         l.visit(&mut |p| {
             for (x, y) in ga.get(p.id).as_slice().iter().zip(gboth.get(p.id).as_slice()) {
-                assert!((x - y).abs() < 1e-4, "merge mismatch {x} vs {y}");
+                assert!((x - y).abs() < 1e-4, "seed {seed}: merge mismatch {x} vs {y}");
             }
         });
     }

@@ -1,0 +1,23 @@
+//! # sns-rt
+//!
+//! The hermetic runtime substrate of the SNS workspace. Everything the
+//! other crates used to pull from crates.io lives here, implemented on
+//! `std` alone so the whole workspace builds offline:
+//!
+//! * [`rng`] — a seedable xoshiro256** PRNG with the narrow `StdRng`-style
+//!   surface the codebase uses (`seed_from_u64`, `gen_range`, uniform and
+//!   normal draws, `shuffle`).
+//! * [`json`] — a small JSON value type plus parser and printer, used for
+//!   model serialization (`sns-nn`, `sns-circuitformer`, `sns-core`).
+//! * [`pool`] — a scoped thread pool with order-preserving `par_map`
+//!   primitives, used by training minibatches, dataset labeling, and the
+//!   parallel path-inference hot path. Thread count defaults honour the
+//!   `SNS_THREADS` environment variable.
+
+pub mod json;
+pub mod pool;
+pub mod rng;
+
+pub use json::{parse as parse_json, Json, JsonError};
+pub use pool::{default_threads, par_map, par_map_chunks};
+pub use rng::{SliceRandom, StdRng};

@@ -1,0 +1,339 @@
+//! A seedable pseudo-random number generator.
+//!
+//! The generator is xoshiro256** (Blackman & Vigna), seeded by expanding a
+//! `u64` through SplitMix64 — the same construction `rand`'s
+//! `SeedableRng::seed_from_u64` uses for small seeds. The API mirrors the
+//! narrow slice of `rand` the workspace historically consumed, so call
+//! sites read identically: `StdRng::seed_from_u64`, `gen`, `gen_range`,
+//! and `SliceRandom::shuffle`.
+//!
+//! Streams are fully deterministic for a given seed, on every platform.
+//! (They are *not* bit-compatible with the `rand` crate's `StdRng` —
+//! seeded results changed once at the migration and are stable from now
+//! on.)
+
+use std::ops::Range;
+
+/// SplitMix64 step — used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The workspace PRNG: xoshiro256** with SplitMix64 seeding.
+///
+/// # Example
+///
+/// ```rust
+/// use sns_rt::rng::StdRng;
+///
+/// let mut rng = StdRng::seed_from_u64(42);
+/// let x: f32 = rng.gen();
+/// assert!((0.0..1.0).contains(&x));
+/// let i = rng.gen_range(0..10usize);
+/// assert!(i < 10);
+/// // Same seed, same stream.
+/// let mut rng2 = StdRng::seed_from_u64(42);
+/// let y: f32 = rng2.gen();
+/// assert_eq!(x, y);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for v in &mut s {
+            *v = splitmix64(&mut sm);
+        }
+        // All-zero state is the one degenerate case; SplitMix64 cannot
+        // produce four zeros from any seed, but keep the guard explicit.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        StdRng { s }
+    }
+
+    /// The next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next raw 32-bit output.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform draw over the type's unit interval (`[0, 1)` for floats).
+    #[inline]
+    pub fn gen<T: Uniform01>(&mut self) -> T {
+        T::uniform01(self)
+    }
+
+    /// A uniform draw from the half-open range `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<T: RangeSample>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// A draw from N(0, `std`²) via Box–Muller.
+    pub fn normal_f32(&mut self, std: f32) -> f32 {
+        let u1: f32 = self.gen_range(1e-7f32..1.0);
+        let u2: f32 = self.gen_range(0.0f32..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * std
+    }
+
+    /// A uniform index in `0..n` without modulo bias (Lemire's method,
+    /// simplified to the multiply-high reduction — bias is < 2⁻⁶⁴·n,
+    /// unobservable at the workspace's scales and fully deterministic).
+    #[inline]
+    fn index(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+}
+
+/// Types with a canonical uniform draw (`[0, 1)` for floats).
+pub trait Uniform01 {
+    /// Draws one value.
+    fn uniform01(rng: &mut StdRng) -> Self;
+}
+
+impl Uniform01 for f32 {
+    #[inline]
+    fn uniform01(rng: &mut StdRng) -> f32 {
+        // 24 mantissa bits → exact dyadic rationals in [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Uniform01 for f64 {
+    #[inline]
+    fn uniform01(rng: &mut StdRng) -> f64 {
+        // 53 mantissa bits → exact dyadic rationals in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Uniform01 for bool {
+    #[inline]
+    fn uniform01(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types drawable uniformly from a half-open `Range`.
+pub trait RangeSample: Sized {
+    /// Draws one value from `range`.
+    fn sample_range(rng: &mut StdRng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_range_sample_int {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            #[inline]
+            fn sample_range(rng: &mut StdRng, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty range in gen_range");
+                // Widen through i128/u128 so signed spans cannot overflow.
+                let span = (range.end as i128 - range.start as i128) as u64;
+                (range.start as i128 + rng.index(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_sample_int!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl RangeSample for f32 {
+    #[inline]
+    fn sample_range(rng: &mut StdRng, range: Range<f32>) -> f32 {
+        assert!(range.start < range.end, "empty range in gen_range");
+        let u: f32 = rng.gen();
+        // Clamp guards the rare rounding of lo + u·(hi−lo) up to hi.
+        (range.start + u * (range.end - range.start)).min(f32_prev(range.end))
+    }
+}
+
+impl RangeSample for f64 {
+    #[inline]
+    fn sample_range(rng: &mut StdRng, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty range in gen_range");
+        let u: f64 = rng.gen();
+        (range.start + u * (range.end - range.start)).min(f64_prev(range.end))
+    }
+}
+
+/// The largest f32 strictly below `x` (for finite, non-minimal `x`).
+fn f32_prev(x: f32) -> f32 {
+    f32::from_bits(if x > 0.0 { x.to_bits() - 1 } else { (x.to_bits() | 0x8000_0000) + 1 })
+}
+
+/// The largest f64 strictly below `x` (for finite, non-minimal `x`).
+fn f64_prev(x: f64) -> f64 {
+    f64::from_bits(if x > 0.0 {
+        x.to_bits() - 1
+    } else {
+        (x.to_bits() | 0x8000_0000_0000_0000) + 1
+    })
+}
+
+/// In-place slice randomization, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Fisher–Yates shuffle, deterministic for a given generator state.
+    fn shuffle(&mut self, rng: &mut StdRng);
+
+    /// A uniformly chosen element, or `None` if empty.
+    fn choose<'a>(&'a self, rng: &mut StdRng) -> Option<&'a Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle(&mut self, rng: &mut StdRng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.index((i + 1) as u64) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<'a>(&'a self, rng: &mut StdRng) -> Option<&'a T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.index(self.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&x), "{x}");
+            let y: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&y), "{y}");
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let i = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&i));
+            let s = rng.gen_range(-5..5i32);
+            assert!((-5..5).contains(&s));
+            let f = rng.gen_range(-0.25f32..0.25);
+            assert!((-0.25..0.25).contains(&f), "{f}");
+            let d = rng.gen_range(1e-7f64..1.0);
+            assert!((1e-7..1.0).contains(&d), "{d}");
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(5..5usize);
+    }
+
+    #[test]
+    fn shuffle_permutes_and_is_deterministic() {
+        let mut a: Vec<usize> = (0..50).collect();
+        let mut b = a.clone();
+        a.shuffle(&mut StdRng::seed_from_u64(9));
+        b.shuffle(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        assert_ne!(a, (0..50).collect::<Vec<_>>());
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_picks_members() {
+        let v = [10, 20, 30];
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn normal_draws_have_plausible_moments() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| rng.normal_f32(2.0)).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn mean_of_uniform_is_half() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 50_000;
+        let mean = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

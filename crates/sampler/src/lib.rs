@@ -36,9 +36,7 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use sns_rt::rng::{SliceRandom, StdRng};
 
 use sns_graphir::{GraphIr, VertexId, Vocab};
 

@@ -1,0 +1,60 @@
+//! Thread-count determinism: the parallel path-inference stage must give
+//! bit-identical predictions at any `SNS_THREADS` setting, because only
+//! pure per-sequence Circuitformer calls run in parallel and the
+//! aggregation reduction stays serial in path order.
+
+use sns::circuitformer::{CircuitformerConfig, TrainConfig};
+use sns::core::aggmlp::MlpTrainConfig;
+use sns::core::dataset::AugmentConfig;
+use sns::core::{train_sns, SnsTrainConfig};
+use sns::designs::{nonlinear, vector};
+use sns::netlist::parse_and_elaborate;
+use sns::sampler::SampleConfig;
+
+/// One test (not several) so the `SNS_THREADS` environment variable is
+/// never mutated concurrently.
+#[test]
+fn predictions_are_identical_across_thread_counts() {
+    let designs = vec![vector::simd_alu(2, 8), nonlinear::piecewise(4, 8)];
+    let mut cfg = SnsTrainConfig::fast();
+    cfg.circuitformer = CircuitformerConfig {
+        dim: 32,
+        ffn_dim: 64,
+        max_len: 64,
+        ..CircuitformerConfig::fast()
+    };
+    cfg.cf_train = TrainConfig { epochs: 2, batch_size: 32, threads: 1, ..TrainConfig::fast() };
+    cfg.mlp_train = MlpTrainConfig { epochs: 20, ..MlpTrainConfig::fast() };
+    cfg.augment = AugmentConfig::none();
+    cfg.sample = SampleConfig::paper_default().with_max_paths(300);
+    let (model, _) = train_sns(&designs, &cfg);
+
+    let nl = parse_and_elaborate(&designs[0].verilog, &designs[0].top).unwrap();
+    let mut baseline = None;
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("SNS_THREADS", threads);
+        // Start cold each time so the parallel fan-out actually runs.
+        model.clear_cache();
+        let pred = model.predict_netlist(&nl, None);
+        assert!(model.cached_paths() > 0, "prediction should fill the cache");
+        match &baseline {
+            None => baseline = Some(pred),
+            Some(base) => {
+                // Everything except the wall-clock runtime must match
+                // exactly (not approximately).
+                assert_eq!(base.timing_ps, pred.timing_ps, "threads={threads}");
+                assert_eq!(base.area_um2, pred.area_um2, "threads={threads}");
+                assert_eq!(base.power_mw, pred.power_mw, "threads={threads}");
+                assert_eq!(base.path_count, pred.path_count, "threads={threads}");
+                assert_eq!(base.critical_path, pred.critical_path, "threads={threads}");
+            }
+        }
+    }
+    // A warm cache must give the same answer without recomputing.
+    let warm = model.predict_netlist(&nl, None);
+    let base = baseline.unwrap();
+    assert_eq!(base.timing_ps, warm.timing_ps);
+    assert_eq!(base.area_um2, warm.area_um2);
+    assert_eq!(base.power_mw, warm.power_mw);
+    std::env::remove_var("SNS_THREADS");
+}

@@ -1,0 +1,82 @@
+//! The workspace must stay hermetic: every dependency of every crate is
+//! a path dependency inside this repository, so `cargo build` never
+//! touches a registry. (The `[workspace.dependencies]` table in the root
+//! manifest is the single source of truth; this test walks every
+//! manifest and rejects anything version- or registry-shaped.)
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Every Cargo.toml in the workspace (root + crates/*).
+fn manifests() -> Vec<PathBuf> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut out = vec![root.join("Cargo.toml")];
+    for entry in fs::read_dir(root.join("crates")).expect("crates dir") {
+        let path = entry.expect("dir entry").path().join("Cargo.toml");
+        if path.is_file() {
+            out.push(path);
+        }
+    }
+    out
+}
+
+/// Whether a `[... dependencies]` section header is active.
+fn is_dependency_section(header: &str) -> bool {
+    let h = header.trim_matches(|c| c == '[' || c == ']');
+    h == "dependencies"
+        || h == "dev-dependencies"
+        || h == "build-dependencies"
+        || h == "workspace.dependencies"
+        || h.starts_with("target.") && h.ends_with("dependencies")
+}
+
+#[test]
+fn every_dependency_is_a_path_dependency() {
+    let mut manifest_count = 0;
+    for path in manifests() {
+        manifest_count += 1;
+        let text = fs::read_to_string(&path).expect("read manifest");
+        let mut in_deps = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_deps = is_dependency_section(line);
+                continue;
+            }
+            if !in_deps {
+                continue;
+            }
+            let (name, value) = match line.split_once('=') {
+                Some(pair) => pair,
+                None => continue,
+            };
+            let name = name.trim();
+            let value = value.trim();
+            let at = format!("{}:{} ({name})", path.display(), lineno + 1);
+            assert!(
+                !value.starts_with('"'),
+                "{at}: `name = \"version\"` is a registry dependency"
+            );
+            assert!(
+                !value.contains("version"),
+                "{at}: version requirements imply a registry fetch"
+            );
+            assert!(
+                !value.contains("git"),
+                "{at}: git dependencies are not hermetic"
+            );
+            let is_path = value.contains("path");
+            let is_workspace_ref =
+                name.ends_with(".workspace") || value.contains("workspace = true");
+            assert!(
+                is_path || is_workspace_ref,
+                "{at}: dependency is neither a path nor a workspace reference: {line}"
+            );
+        }
+    }
+    // Root + the 12 member crates; fails loudly if the walk goes wrong.
+    assert!(manifest_count >= 13, "only found {manifest_count} manifests");
+}

@@ -17,10 +17,9 @@ fn table_1_vocabulary_is_79_entries() {
 /// 512 max input, ~1.4 M parameters.
 #[test]
 fn table_2_circuitformer_hyperparameters() {
-    use rand::SeedableRng;
     let cfg = sns::circuitformer::CircuitformerConfig::paper();
     assert_eq!((cfg.layers, cfg.heads, cfg.dim, cfg.max_len), (2, 2, 128, 512));
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = sns_rt::rng::StdRng::seed_from_u64(0);
     let m = sns::circuitformer::Circuitformer::new(cfg, &mut rng);
     let params = m.parameter_count();
     assert!((1_300_000..1_500_000).contains(&params), "{params}");

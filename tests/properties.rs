@@ -1,38 +1,50 @@
-//! Property-based tests (proptest) over the core data structures and the
-//! front-end: randomized inputs must uphold the structural invariants.
-
-use proptest::prelude::*;
+//! Property-based tests over the core data structures and the front-end:
+//! randomized inputs must uphold the structural invariants.
+//!
+//! Each test is a seeded loop over randomized cases (driven by
+//! `sns_rt::rng`), preserving the properties the earlier proptest suite
+//! checked while keeping the build hermetic.
 
 use sns::graphir::{GraphIr, Vocab, VocabType};
 use sns::netlist::parse_and_elaborate;
 use sns::sampler::{PathSampler, SampleConfig};
+use sns_rt::rng::StdRng;
 
-/// Strategy: a random combinational expression over two 8-bit inputs.
-fn expr(depth: u32) -> impl Strategy<Value = String> {
-    let leaf = prop_oneof![
-        Just("a".to_string()),
-        Just("b".to_string()),
-        (0u64..256).prop_map(|v| format!("8'd{v}")),
-    ];
-    leaf.prop_recursive(depth, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just("+"), Just("-"), Just("*"), Just("&"), Just("|"), Just("^")
-            ])
-                .prop_map(|(l, r, op)| format!("({l} {op} {r})")),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("(({l} < {r}) ? {l} : {r})")),
-            inner.prop_map(|e| format!("(~{e})")),
-        ]
-    })
+/// A random combinational expression over two 8-bit inputs, recursing to
+/// at most `depth` operator levels (mirrors the old proptest strategy).
+fn expr(rng: &mut StdRng, depth: u32) -> String {
+    let leaf = |rng: &mut StdRng| match rng.gen_range(0..3u32) {
+        0 => "a".to_string(),
+        1 => "b".to_string(),
+        _ => format!("8'd{}", rng.gen_range(0u64..256)),
+    };
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.gen_range(0..4u32) {
+        0 => leaf(rng),
+        1 => {
+            let op = ["+", "-", "*", "&", "|", "^"][rng.gen_range(0..6usize)];
+            let l = expr(rng, depth - 1);
+            let r = expr(rng, depth - 1);
+            format!("({l} {op} {r})")
+        }
+        2 => {
+            let l = expr(rng, depth - 1);
+            let r = expr(rng, depth - 1);
+            format!("(({l} < {r}) ? {l} : {r})")
+        }
+        _ => format!("(~{})", expr(rng, depth - 1)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any generated expression parses, elaborates, validates, and builds
-    /// a GraphIR whose every sampled path is terminal-to-terminal.
-    #[test]
-    fn random_expressions_flow_through_the_pipeline(e in expr(3)) {
+/// Any generated expression parses, elaborates, validates, and builds a
+/// GraphIR whose every sampled path is terminal-to-terminal.
+#[test]
+fn random_expressions_flow_through_the_pipeline() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let e = expr(&mut rng, 3);
         let src = format!(
             "module m (input clk, input [7:0] a, b, output [7:0] y);
                  reg [7:0] r;
@@ -40,106 +52,127 @@ proptest! {
                  assign y = r;
              endmodule"
         );
-        let nl = parse_and_elaborate(&src, "m").unwrap();
-        prop_assert!(nl.validate().is_ok());
+        let nl = parse_and_elaborate(&src, "m").unwrap_or_else(|err| panic!("{e}: {err}"));
+        assert!(nl.validate().is_ok(), "seed {seed}: {e}");
         let g = GraphIr::from_netlist(&nl);
         let paths = PathSampler::new(SampleConfig::paper_default().with_max_paths(500)).sample(&g);
         for p in &paths {
-            prop_assert!(g.vertex(p.vertices()[0]).is_terminal());
-            prop_assert!(g.vertex(*p.vertices().last().unwrap()).is_terminal());
+            assert!(g.vertex(p.vertices()[0]).is_terminal(), "seed {seed}");
+            assert!(g.vertex(*p.vertices().last().unwrap()).is_terminal(), "seed {seed}");
             for &v in &p.vertices()[1..p.len() - 1] {
-                prop_assert!(!g.vertex(v).is_terminal());
+                assert!(!g.vertex(v).is_terminal(), "seed {seed}");
             }
         }
     }
+}
 
-    /// Width rounding always lands in the type's allowed set and is
-    /// monotone in the raw width.
-    #[test]
-    fn width_rounding_invariants(w1 in 1u32..200, w2 in 1u32..200) {
+/// Width rounding always lands in the type's allowed set and is monotone
+/// in the raw width.
+#[test]
+fn width_rounding_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xA11);
+    for _ in 0..256 {
+        let w1 = rng.gen_range(1u32..200);
+        let w2 = rng.gen_range(1u32..200);
         for t in VocabType::ALL {
             let r1 = t.round_width(w1);
             let r2 = t.round_width(w2);
-            prop_assert!(t.allowed_widths().contains(&r1));
+            assert!(t.allowed_widths().contains(&r1));
             if w1 <= w2 {
-                prop_assert!(r1 <= r2, "{t}: {w1}->{r1} but {w2}->{r2}");
+                assert!(r1 <= r2, "{t}: {w1}->{r1} but {w2}->{r2}");
             }
         }
     }
+}
 
-    /// Every vocabulary round trip is stable: vertex -> token id -> vertex.
-    #[test]
-    fn vocab_round_trip(idx in 0usize..79) {
-        let vocab = Vocab::new();
+/// Every vocabulary round trip is stable: vertex -> token id -> vertex.
+#[test]
+fn vocab_round_trip() {
+    let vocab = Vocab::new();
+    for idx in 0..79 {
         let v = vocab.vertex(idx);
-        prop_assert_eq!(vocab.token_id(v), Some(idx));
+        assert_eq!(vocab.token_id(v), Some(idx));
     }
+}
 
-    /// RRSE and MAEP are non-negative; RRSE of the truth itself is zero.
-    #[test]
-    fn metric_properties(values in proptest::collection::vec(1.0f64..1e6, 3..40)) {
-        use sns::core::{maep, rrse};
-        prop_assert_eq!(rrse(&values, &values), 0.0);
-        prop_assert_eq!(maep(&values, &values), 0.0);
+/// RRSE and MAEP are non-negative; RRSE of the truth itself is zero.
+#[test]
+fn metric_properties() {
+    use sns::core::{maep, rrse};
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(700 + seed);
+        let n = rng.gen_range(3..40usize);
+        let values: Vec<f64> =
+            (0..n).map(|_| (rng.gen_range(0.0f64..6.0)).exp2() * rng.gen_range(1.0f64..1e3)).collect();
+        assert_eq!(rrse(&values, &values), 0.0, "seed {seed}");
+        assert_eq!(maep(&values, &values), 0.0, "seed {seed}");
         let shifted: Vec<f64> = values.iter().map(|v| v * 1.1).collect();
-        prop_assert!(rrse(&shifted, &values) >= 0.0);
-        prop_assert!((maep(&shifted, &values) - 10.0).abs() < 1e-6);
+        assert!(rrse(&shifted, &values) >= 0.0, "seed {seed}");
+        assert!((maep(&shifted, &values) - 10.0).abs() < 1e-6, "seed {seed}");
     }
+}
 
-    /// The Markov chain only ever emits tokens it was trained on (no
-    /// smoothing), and rows stay normalized with smoothing.
-    #[test]
-    fn markov_properties(seed in 0u64..1000) {
-        use rand::SeedableRng;
-        use sns::genmodel::MarkovChain;
-        let paths = vec![vec![0usize, 1, 2], vec![2, 1, 0], vec![1, 1, 2]];
-        let mc = MarkovChain::fit(4, &paths, 0.0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// The Markov chain only ever emits tokens it was trained on (no
+/// smoothing), and rows stay normalized with smoothing.
+#[test]
+fn markov_properties() {
+    use sns::genmodel::MarkovChain;
+    let paths = vec![vec![0usize, 1, 2], vec![2, 1, 0], vec![1, 1, 2]];
+    let mc = MarkovChain::fit(4, &paths, 0.0);
+    for seed in 0..1000u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
         let out = mc.generate(&mut rng, 32);
         for &t in &out {
-            prop_assert!(t <= 2, "token 3 never appears in training data");
-        }
-        let smoothed = MarkovChain::fit(4, &paths, 0.5);
-        for from in 0..=4usize {
-            let total: f64 = (0..=4).map(|to| smoothed.prob(from, to)).sum();
-            prop_assert!((total - 1.0).abs() < 1e-9);
+            assert!(t <= 2, "seed {seed}: token 3 never appears in training data");
         }
     }
+    let smoothed = MarkovChain::fit(4, &paths, 0.5);
+    for from in 0..=4usize {
+        let total: f64 = (0..=4).map(|to| smoothed.prob(from, to)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}
 
-    /// The label scaler inverts its own transform for any positive labels.
-    #[test]
-    fn scaler_round_trip(
-        a in 1.0f64..1e5, b in 1.0f64..1e5, c in 1e-4f64..10.0,
-        d in 1.0f64..1e5, e in 1.0f64..1e5, f in 1e-4f64..10.0,
-    ) {
-        use sns::circuitformer::LabelScaler;
-        let s = LabelScaler::fit(&[[a, b, c], [d, e, f]]);
-        for raw in [[a, b, c], [d, e, f]] {
+/// The label scaler inverts its own transform for any positive labels.
+#[test]
+fn scaler_round_trip() {
+    use sns::circuitformer::LabelScaler;
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(900 + seed);
+        let big = |rng: &mut StdRng| rng.gen_range(1.0f64..1e5);
+        let small = |rng: &mut StdRng| rng.gen_range(1e-4f64..10.0);
+        let rows = [
+            [big(&mut rng), big(&mut rng), small(&mut rng)],
+            [big(&mut rng), big(&mut rng), small(&mut rng)],
+        ];
+        let s = LabelScaler::fit(&rows);
+        for raw in rows {
             let back = s.inverse(s.transform(raw));
             for dim in 0..3 {
                 let rel = (back[dim] - raw[dim]).abs() / raw[dim];
-                prop_assert!(rel < 1e-2, "dim {dim}: {} vs {}", back[dim], raw[dim]);
+                assert!(rel < 1e-2, "seed {seed} dim {dim}: {} vs {}", back[dim], raw[dim]);
             }
         }
     }
+}
 
-    /// Unit physical characteristics are monotone in width for datapath
-    /// operators.
-    #[test]
-    fn unit_cost_monotonicity(pair in prop_oneof![
-        Just((VocabType::Add, 8u32, 32u32)),
-        Just((VocabType::Mul, 8, 32)),
-        Just((VocabType::Mux, 4, 64)),
-        Just((VocabType::Sh, 8, 64)),
-        Just((VocabType::Eq, 8, 64)),
-    ]) {
-        use sns::vsynth::{unit_physical, CellLibrary};
-        let (t, w_small, w_large) = pair;
-        let lib = CellLibrary::freepdk15();
+/// Unit physical characteristics are monotone in width for datapath
+/// operators.
+#[test]
+fn unit_cost_monotonicity() {
+    use sns::vsynth::{unit_physical, CellLibrary};
+    let lib = CellLibrary::freepdk15();
+    for (t, w_small, w_large) in [
+        (VocabType::Add, 8u32, 32u32),
+        (VocabType::Mul, 8, 32),
+        (VocabType::Mux, 4, 64),
+        (VocabType::Sh, 8, 64),
+        (VocabType::Eq, 8, 64),
+    ] {
         let small = unit_physical(t, w_small, &lib);
         let large = unit_physical(t, w_large, &lib);
-        prop_assert!(large.area_um2 > small.area_um2);
-        prop_assert!(large.delay_ps >= small.delay_ps);
-        prop_assert!(large.leakage_nw > small.leakage_nw);
+        assert!(large.area_um2 > small.area_um2);
+        assert!(large.delay_ps >= small.delay_ps);
+        assert!(large.leakage_nw > small.leakage_nw);
     }
 }
