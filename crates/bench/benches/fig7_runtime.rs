@@ -11,7 +11,8 @@
 use std::collections::HashSet;
 use std::time::Instant;
 
-use sns_bench::{headline, standard_model, write_csv};
+use sns_bench::{headline, standard_model, write_csv, write_root_json};
+use sns_rt::json::Json;
 use sns_designs::{misc, mlaccel, nonlinear, Design};
 use sns_graphir::GraphIr;
 use sns_netlist::parse_and_elaborate;
@@ -137,4 +138,68 @@ fn main() {
     }
     std::env::remove_var("SNS_THREADS");
     write_csv("fig7_thread_scaling.csv", "threads,path_aggregates_ms,speedup", &scale_rows);
+
+    // ---- Batch scaling of the packed Circuitformer forward ----
+    // `SNS_BATCH` controls how many same-length sequences share one packed
+    // forward pass (one set of tall GEMMs instead of many short ones).
+    // Predictions are bit-identical at every batch size — asserted below —
+    // so batching is purely a throughput knob, even on one thread.
+    println!("\nbatch scaling on {} (SNS_THREADS=1):", d.name);
+    std::env::set_var("SNS_THREADS", "1");
+    let mut batch_rows = Vec::new();
+    let mut batch_json = Vec::new();
+    let mut batch1_ms = 0.0f64;
+    let mut batch_base = None;
+    for batch in [1usize, 4, 32] {
+        std::env::set_var("SNS_BATCH", batch.to_string());
+        model.clear_cache();
+        let t0 = Instant::now();
+        let (aggs, critical) = model.path_aggregates(&graph, &paths, None);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        match &batch_base {
+            None => {
+                batch1_ms = ms;
+                batch_base = Some((aggs, critical));
+            }
+            Some((base, base_crit)) => {
+                assert_eq!(*base, aggs, "batch size changed the aggregates");
+                assert_eq!(*base_crit, critical, "batch size changed the critical path");
+            }
+        }
+        let paths_per_s = unique.len() as f64 / (ms / 1e3);
+        println!(
+            "  SNS_BATCH={batch:<3}: {ms:>9.1} ms  {paths_per_s:>9.0} unique paths/s  ({:.2}x vs batch 1)",
+            batch1_ms / ms
+        );
+        batch_rows.push(format!("{batch},{ms},{paths_per_s},{}", batch1_ms / ms));
+        batch_json.push(Json::obj(vec![
+            ("batch", Json::Int(batch as i64)),
+            ("path_aggregates_ms", Json::Num(ms)),
+            ("unique_paths_per_s", Json::Num(paths_per_s)),
+            ("speedup_vs_batch1", Json::Num(batch1_ms / ms)),
+        ]));
+    }
+    std::env::remove_var("SNS_BATCH");
+    std::env::remove_var("SNS_THREADS");
+    write_csv("fig7_batch_scaling.csv", "batch,path_aggregates_ms,paths_per_s,speedup", &batch_rows);
+
+    let design_json: Vec<Json> = sized
+        .iter()
+        .map(|&(gates, speedup)| {
+            Json::obj(vec![
+                ("gates", Json::UInt(gates)),
+                ("speedup_vs_synth", Json::Num(speedup)),
+            ])
+        })
+        .collect();
+    write_root_json(
+        "BENCH_runtime.json",
+        &Json::obj(vec![
+            ("suite", Json::Str("fig7_runtime".to_string())),
+            ("designs", Json::Int(designs.len() as i64)),
+            ("avg_speedup_vs_synth", Json::Num(avg)),
+            ("per_design", Json::Arr(design_json)),
+            ("batch_scaling", Json::Arr(batch_json)),
+        ]),
+    );
 }

@@ -4,19 +4,54 @@
 //!
 //! Run with `cargo bench -p sns-bench --bench micro_kernels`.
 
-use sns_bench::timing::{bench, csv_header};
+use sns_bench::timing::{bench, csv_header, results_to_json};
+use sns_rt::json::Json;
 use sns_rt::rng::StdRng;
 
 use sns_circuitformer::{Circuitformer, CircuitformerConfig};
 use sns_designs::cores;
 use sns_graphir::{GraphIr, VocabType};
 use sns_netlist::{parse_and_elaborate, parse_source};
+use sns_nn::Mat;
 use sns_sampler::{PathSampler, SampleConfig};
 use sns_vsynth::{unit_physical, CellLibrary, SynthOptions, VirtualSynthesizer};
+
+fn rand_mat(rng: &mut StdRng, rows: usize, cols: usize) -> Mat {
+    let mut m = Mat::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.gen_range(-1.0f32..1.0);
+    }
+    m
+}
 
 fn main() {
     sns_bench::headline("micro-kernels");
     let mut results = Vec::new();
+
+    // GEMM kernel layer: blocked vs. the retained naive reference on the
+    // shapes the Circuitformer actually hits — [T,128] activations against
+    // the 128×128 Q/K/V/O projections and the 128×512 (fast) / 128×2304
+    // (paper) FFN expansion, for path lengths T across the sampler's range.
+    let mut gemm_rng = StdRng::seed_from_u64(2);
+    let mut speedup_rows = Vec::new();
+    for &t in &[16usize, 64, 256, 512] {
+        for &n in &[128usize, 512, 2304] {
+            let a = rand_mat(&mut gemm_rng, t, 128);
+            let b = rand_mat(&mut gemm_rng, 128, n);
+            let blocked = bench(&format!("gemm_blocked_{t}x128x{n}"), || a.matmul(&b));
+            let naive = bench(&format!("gemm_naive_{t}x128x{n}"), || a.matmul_ref(&b));
+            let speedup = naive.min.as_nanos() as f64 / blocked.min.as_nanos() as f64;
+            println!("    -> {t}x128x{n}: blocked is {speedup:.2}x the naive kernel");
+            speedup_rows.push(Json::obj(vec![
+                ("m", Json::UInt(t as u64)),
+                ("k", Json::UInt(128)),
+                ("n", Json::UInt(n as u64)),
+                ("speedup", Json::Num(speedup)),
+            ]));
+            results.push(blocked);
+            results.push(naive);
+        }
+    }
 
     // Front end.
     let design = cores::rocket_like(32);
@@ -42,6 +77,32 @@ fn main() {
     results.push(bench("circuitformer_infer_len4", || model.predict_raw(&short)));
     results.push(bench("circuitformer_infer_len64", || model.predict_raw(&long)));
 
+    // Batched inference: 32 paths through one packed forward vs. 32
+    // sequential predict_raw calls (identical outputs, bigger GEMMs). Short
+    // paths are the representative case — sampled circuit paths are mostly
+    // a handful of tokens, where per-call overhead dominates; at length 64
+    // the GEMMs are already tall enough that packing is roughly a wash.
+    let mut batch_speedups = Vec::new();
+    for &len in &[8usize, 64] {
+        let batch_paths: Vec<Vec<usize>> =
+            (0..32).map(|s| (0..len).map(|i| (s * 7 + i) % 79).collect()).collect();
+        let batch_refs: Vec<&[usize]> = batch_paths.iter().map(|p| p.as_slice()).collect();
+        let batched =
+            bench(&format!("circuitformer_batch32_len{len}"), || model.predict_batch(&batch_refs));
+        let sequential = bench(&format!("circuitformer_seq32_len{len}"), || {
+            batch_refs.iter().map(|p| model.predict_raw(p)).collect::<Vec<_>>()
+        });
+        let speedup = sequential.min.as_nanos() as f64 / batched.min.as_nanos() as f64;
+        println!("    -> len-{len}: batch-32 packed forward is {speedup:.2}x sequential predict_raw");
+        batch_speedups.push(Json::obj(vec![
+            ("len", Json::UInt(len as u64)),
+            ("batch", Json::UInt(32)),
+            ("speedup_vs_sequential", Json::Num(speedup)),
+        ]));
+        results.push(batched);
+        results.push(sequential);
+    }
+
     // Virtual synthesizer.
     let lib = CellLibrary::freepdk15();
     results.push(bench("unit_physical_mul32", || unit_physical(VocabType::Mul, 32, &lib)));
@@ -50,4 +111,13 @@ fn main() {
 
     let rows: Vec<String> = results.iter().map(|r| r.csv_row()).collect();
     sns_bench::write_csv("micro_kernels.csv", csv_header(), &rows);
+
+    // Machine-readable artifact at the repo root so the kernel-perf
+    // trajectory is tracked across PRs.
+    let mut doc = results_to_json("micro_kernels", &results);
+    if let Json::Obj(fields) = &mut doc {
+        fields.push(("gemm_speedups".to_string(), Json::Arr(speedup_rows)));
+        fields.push(("batch_speedups".to_string(), Json::Arr(batch_speedups)));
+    }
+    sns_bench::write_root_json("BENCH_kernels.json", &doc);
 }

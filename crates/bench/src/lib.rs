@@ -40,6 +40,20 @@ pub fn out_dir() -> PathBuf {
     dir
 }
 
+/// The repository root (two levels above the bench crate).
+pub fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Writes a machine-readable JSON artifact at the **repo root** (e.g.
+/// `BENCH_kernels.json`), so the perf trajectory is tracked across PRs
+/// alongside the code, and reports its path.
+pub fn write_root_json(name: &str, doc: &sns_rt::json::Json) {
+    let path = repo_root().join(name);
+    fs::write(&path, doc.print() + "\n").expect("write bench json");
+    println!("  [artifact] {}", path.display());
+}
+
 /// Writes a CSV artifact and reports its path.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     let path = out_dir().join(name);

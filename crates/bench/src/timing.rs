@@ -9,6 +9,8 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+use sns_rt::json::Json;
+
 /// Timed samples per benchmark.
 const SAMPLES: usize = 30;
 /// Target wall time for one sample (sets the per-sample iteration count).
@@ -40,6 +42,25 @@ impl BenchResult {
             self.median.as_nanos()
         )
     }
+
+    /// The machine-readable form of this result, for the `BENCH_*.json`
+    /// artifacts tracked across PRs.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("iters_per_sample", Json::UInt(self.iters_per_sample as u64)),
+            ("min_ns", Json::UInt(self.min.as_nanos() as u64)),
+            ("median_ns", Json::UInt(self.median.as_nanos() as u64)),
+        ])
+    }
+}
+
+/// Bundles a slice of results into one JSON report object.
+pub fn results_to_json(suite: &str, results: &[BenchResult]) -> Json {
+    Json::obj(vec![
+        ("suite", Json::Str(suite.to_string())),
+        ("results", Json::Arr(results.iter().map(BenchResult::to_json).collect())),
+    ])
 }
 
 /// The header for [`BenchResult::csv_row`] artifacts.

@@ -27,7 +27,7 @@ pub fn coremark_score(p: &BoomParams) -> f64 {
     // ROB: needs ~24 entries per way to cover the window.
     let rob_factor = ((p.rob_size as f64) / (24.0 * w)).min(1.0).powf(0.22);
     // Physical registers: beyond the architectural 32, ~16 per way help.
-    let prf_factor = (((p.int_regs as f64) - 32.0) / (16.0 * w)).min(1.0).max(0.1).powf(0.2);
+    let prf_factor = (((p.int_regs as f64) - 32.0) / (16.0 * w)).clamp(0.1, 1.0).powf(0.2);
     // Fetch: needs ~2 instructions per decode way.
     let fetch_factor = ((p.fetch_width as f64) / (2.0 * w)).min(1.0).powf(0.4);
     // Branch prediction quality.

@@ -41,7 +41,7 @@ use sns_rt::rng::StdRng;
 
 use sns_nn::{
     save_params, load_params, Embedding, Gelu, Grads, LayerNorm, Linear, Mat, ModelState, Param,
-    ParamRegistry,
+    ParamRegistry, SeqSpan,
 };
 
 /// Hyperparameters of the Circuitformer.
@@ -115,6 +115,22 @@ impl Block {
         let (f, ff2) = self.ff2.forward(&g);
         let y = x1.add(&f);
         (y, BlockCtx { ln1, attn, ln2, ff1, gelu, ff2 })
+    }
+
+    /// Inference-only forward over a packed batch described by `spans`.
+    ///
+    /// Every sub-layer is row-wise except attention, which is evaluated
+    /// per span, so each packed sequence's rows come out bit-identical to
+    /// running [`Block::forward`] on that sequence alone.
+    fn infer(&self, x: &Mat, spans: &[SeqSpan]) -> Mat {
+        let n1 = self.ln1.infer(x);
+        let a = self.attn.infer_masked(&n1, spans);
+        let x1 = x.add(&a);
+        let n2 = self.ln2.infer(&x1);
+        let h = self.ff1.infer(&n2);
+        let g = Gelu.infer(&h);
+        let f = self.ff2.infer(&g);
+        x1.add(&f)
     }
 
     fn backward(&self, ctx: &BlockCtx, dy: &Mat, grads: &mut Grads) -> Mat {
@@ -257,6 +273,53 @@ impl Circuitformer {
     /// Inference-only forward: the three outputs in normalized log space.
     pub fn predict_raw(&self, tokens: &[usize]) -> [f32; 3] {
         self.forward(tokens).0
+    }
+
+    /// Batched inference: packs all `paths` (CLS-prefixed, truncated to
+    /// `max_len - 1` like [`forward`](Self::forward)) into one `[ΣT, dim]`
+    /// matrix and runs a single masked forward pass, so the big FFN and
+    /// projection GEMMs see tall batched operands instead of one short
+    /// sequence at a time.
+    ///
+    /// Attention is evaluated per sequence span (block-diagonal), and all
+    /// other sub-layers are row-wise, so `predict_batch(&[a, b, ...])[i]`
+    /// is **bit-identical** to `predict_raw(paths[i])` for every `i`, at
+    /// any batch size or composition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any path is empty or contains an id ≥ vocab.
+    pub fn predict_batch(&self, paths: &[&[usize]]) -> Vec<[f32; 3]> {
+        if paths.is_empty() {
+            return Vec::new();
+        }
+        let mut ids = Vec::new();
+        let mut positions = Vec::new();
+        let mut spans = Vec::with_capacity(paths.len());
+        for &tokens in paths {
+            assert!(!tokens.is_empty(), "cannot run the Circuitformer on an empty path");
+            let take = tokens.len().min(self.config.max_len - 1);
+            spans.push(SeqSpan::dense(ids.len(), take + 1));
+            ids.push(self.cls_id());
+            ids.extend_from_slice(&tokens[..take]);
+            positions.extend(0..take + 1);
+        }
+        let te = self.tok.infer(&ids);
+        let pe = self.pos.infer(&positions);
+        let mut x = te.add(&pe);
+        for b in &self.blocks {
+            x = b.infer(&x, &spans);
+        }
+        let n = self.final_ln.infer(&x);
+        // Gather every sequence's CLS row into one [B, dim] head input.
+        let mut cls = Mat::zeros(spans.len(), self.config.dim);
+        for (i, span) in spans.iter().enumerate() {
+            cls.row_mut(i).copy_from_slice(n.row(span.start));
+        }
+        let h = self.head1.infer(&cls);
+        let g = Gelu.infer(&h);
+        let out = self.head2.infer(&g);
+        (0..spans.len()).map(|i| [out.get(i, 0), out.get(i, 1), out.get(i, 2)]).collect()
     }
 
     /// Backpropagates the output gradient, accumulating into `grads`.
@@ -410,5 +473,49 @@ mod tests {
     #[should_panic(expected = "empty path")]
     fn empty_path_panics() {
         let _ = model().predict_raw(&[]);
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_raw_bitwise() {
+        // Random length-mixed batches: every batched output must equal the
+        // one-sequence-at-a-time path bit for bit, whatever the batch mix.
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(2024);
+        for round in 0..5 {
+            let batch_size = rng.gen_range(1usize..9);
+            let paths: Vec<Vec<usize>> = (0..batch_size)
+                .map(|_| {
+                    let len = rng.gen_range(1usize..40);
+                    (0..len).map(|_| rng.gen_range(0usize..79)).collect()
+                })
+                .collect();
+            let refs: Vec<&[usize]> = paths.iter().map(|p| p.as_slice()).collect();
+            let batched = m.predict_batch(&refs);
+            assert_eq!(batched.len(), batch_size);
+            for (i, path) in paths.iter().enumerate() {
+                let solo = m.predict_raw(path);
+                for d in 0..3 {
+                    assert_eq!(
+                        batched[i][d].to_bits(),
+                        solo[d].to_bits(),
+                        "round {round} path {i} dim {d}: batched={} solo={}",
+                        batched[i][d],
+                        solo[d]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predict_batch_handles_empty_and_truncated_inputs() {
+        let m = model();
+        assert!(m.predict_batch(&[]).is_empty());
+        // A >max_len path batches identically to its truncated solo run.
+        let long = vec![5usize; 600];
+        let short = vec![3usize, 40, 44];
+        let batched = m.predict_batch(&[&long, &short]);
+        assert_eq!(batched[0], m.predict_raw(&long));
+        assert_eq!(batched[1], m.predict_raw(&short));
     }
 }

@@ -6,6 +6,17 @@ use sns_rt::rng::{SliceRandom, StdRng};
 
 use sns_nn::{Grads, Linear, Mat, Optimizer, Relu, Sgd};
 
+/// Saved forward state for one backward pass through the four layers.
+type MlpFwdCtx = (
+    sns_nn::LinearCtx,
+    sns_nn::act::ActCtx,
+    sns_nn::LinearCtx,
+    sns_nn::act::ActCtx,
+    sns_nn::LinearCtx,
+    sns_nn::act::ActCtx,
+    sns_nn::LinearCtx,
+);
+
 /// One per-target Aggregation MLP (`input → 32 → 32 → 32 → 1`).
 #[derive(Debug, Clone)]
 pub struct AggMlp {
@@ -72,10 +83,7 @@ impl AggMlp {
         self.forward(&x).0.get(0, 0)
     }
 
-    fn forward(
-        &self,
-        x: &Mat,
-    ) -> (Mat, (sns_nn::LinearCtx, sns_nn::act::ActCtx, sns_nn::LinearCtx, sns_nn::act::ActCtx, sns_nn::LinearCtx, sns_nn::act::ActCtx, sns_nn::LinearCtx)) {
+    fn forward(&self, x: &Mat) -> (Mat, MlpFwdCtx) {
         let (h1, c1) = self.l1.forward(x);
         let (a1, g1) = Relu.forward(&h1);
         let (h2, c2) = self.l2.forward(&a1);

@@ -9,7 +9,7 @@
 //! [`SnsModel::path_aggregates`]: crate::SnsModel::path_aggregates
 //! [`SnsModel::critical_paths`]: crate::SnsModel::critical_paths
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::RwLock;
 
 /// Maps a path's vocabulary token sequence to its raw
@@ -85,6 +85,54 @@ impl PathPredictionCache {
             map.insert(tokens.clone(), pred);
         }
     }
+
+    /// Like [`ensure`](Self::ensure), but hands the missing unique
+    /// sequences to `predict_batch` in length-bucketed chunks of at most
+    /// `batch` sequences, fanning the chunks over `threads` workers.
+    ///
+    /// Sequences are grouped by exact token length (shortest bucket
+    /// first, deterministically) so every chunk's packed forward sees
+    /// uniform sequence shapes. `predict_batch` must be pure and return
+    /// one prediction per input, each independent of its batch-mates —
+    /// then the cache contents are identical to the per-sequence
+    /// [`ensure`](Self::ensure) path at any `threads` or `batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predict_batch` returns the wrong number of predictions.
+    pub fn ensure_batched<F>(&self, seqs: &[Vec<usize>], threads: usize, batch: usize, predict_batch: F)
+    where
+        F: Fn(&[&[usize]]) -> Vec<[f64; 3]> + Sync,
+    {
+        let missing: Vec<&Vec<usize>> = {
+            let map = self.map.read().expect("cache lock poisoned");
+            let mut seen: HashSet<&Vec<usize>> = HashSet::new();
+            seqs.iter().filter(|t| !map.contains_key(*t) && seen.insert(*t)).collect()
+        };
+        if missing.is_empty() {
+            return;
+        }
+        let batch = batch.max(1);
+        let mut buckets: BTreeMap<usize, Vec<&Vec<usize>>> = BTreeMap::new();
+        for t in &missing {
+            buckets.entry(t.len()).or_default().push(t);
+        }
+        let chunks: Vec<Vec<&Vec<usize>>> = buckets
+            .into_values()
+            .flat_map(|b| b.chunks(batch).map(<[_]>::to_vec).collect::<Vec<_>>())
+            .collect();
+        let preds = sns_rt::pool::par_map(&chunks, threads, |chunk| {
+            let refs: Vec<&[usize]> = chunk.iter().map(|t| t.as_slice()).collect();
+            predict_batch(&refs)
+        });
+        let mut map = self.map.write().expect("cache lock poisoned");
+        for (chunk, chunk_preds) in chunks.into_iter().zip(preds) {
+            assert_eq!(chunk.len(), chunk_preds.len(), "predict_batch must return one prediction per sequence");
+            for (tokens, pred) in chunk.into_iter().zip(chunk_preds) {
+                map.insert(tokens.clone(), pred);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +166,52 @@ mod tests {
         assert_eq!(calls.load(Ordering::Relaxed), 2);
         assert_eq!(cache.get(&[1]), Some([1.0, 0.0, 0.0]));
         assert_eq!(cache.get(&[9]), Some([9.0, 9.0, 9.0]));
+    }
+
+    #[test]
+    fn ensure_batched_buckets_by_length_and_respects_batch_size() {
+        let cache = PathPredictionCache::new();
+        cache.insert(vec![7, 7], [7.0, 7.0, 7.0]);
+        // Lengths: five of len 1, two of len 3; one len-2 already cached.
+        let seqs = vec![
+            vec![1], vec![2], vec![3], vec![4], vec![5],
+            vec![7, 7],
+            vec![1, 2, 3], vec![4, 5, 6],
+            vec![1], // duplicate
+        ];
+        let max_chunk = AtomicUsize::new(0);
+        cache.ensure_batched(&seqs, 2, 2, |chunk| {
+            max_chunk.fetch_max(chunk.len(), Ordering::Relaxed);
+            // Every chunk is length-uniform.
+            assert!(chunk.iter().all(|t| t.len() == chunk[0].len()), "mixed-length chunk");
+            chunk.iter().map(|t| [t[0] as f64, t.len() as f64, 0.0]).collect()
+        });
+        assert!(max_chunk.load(Ordering::Relaxed) <= 2);
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.get(&[3]), Some([3.0, 1.0, 0.0]));
+        assert_eq!(cache.get(&[4, 5, 6]), Some([4.0, 3.0, 0.0]));
+        assert_eq!(cache.get(&[7, 7]), Some([7.0, 7.0, 7.0])); // untouched
+    }
+
+    #[test]
+    fn ensure_batched_matches_ensure_at_any_batch_size() {
+        let seqs: Vec<Vec<usize>> =
+            (0..20).map(|i| (0..(i % 5 + 1)).map(|j| i + j).collect()).collect();
+        let predict = |t: &[usize]| [t.iter().sum::<usize>() as f64, t.len() as f64, 1.0];
+        let reference = PathPredictionCache::new();
+        reference.ensure(&seqs, 1, predict);
+        for batch in [1, 4, 32] {
+            for threads in [1, 4] {
+                let cache = PathPredictionCache::new();
+                cache.ensure_batched(&seqs, threads, batch, |chunk| {
+                    chunk.iter().map(|t| predict(t)).collect()
+                });
+                assert_eq!(cache.len(), reference.len(), "batch={batch} threads={threads}");
+                for s in &seqs {
+                    assert_eq!(cache.get(s), reference.get(s), "batch={batch} threads={threads}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub struct LabeledDesign {
     pub report: SynthReport,
 }
 
+/// A `(train, test)` pair of entry-index sets produced by
+/// [`HardwareDesignDataset::split`].
+pub type SplitIndices = (Vec<usize>, Vec<usize>);
+
 /// The Hardware Design Dataset.
 #[derive(Debug, Clone, Default)]
 pub struct HardwareDesignDataset {
@@ -84,7 +88,7 @@ impl HardwareDesignDataset {
 
     /// The two folds for 2-fold cross validation (§5.2): a 50/50 split by
     /// base design.
-    pub fn two_fold(&self, seed: u64) -> ((Vec<usize>, Vec<usize>), (Vec<usize>, Vec<usize>)) {
+    pub fn two_fold(&self, seed: u64) -> (SplitIndices, SplitIndices) {
         let (a, b) = self.split(0.5, seed);
         ((a.clone(), b.clone()), (b, a))
     }

@@ -73,6 +73,19 @@ impl SnsModel {
         self.path_scaler.inverse(z)
     }
 
+    /// Predicts many paths in one packed Circuitformer forward pass.
+    ///
+    /// Per-path results are bit-identical to [`predict_path`]
+    /// (Self::predict_path) — batching only changes GEMM operand shapes,
+    /// never any path's arithmetic — so callers may batch freely.
+    pub fn predict_path_batch(&self, paths: &[&[usize]]) -> Vec<[f64; 3]> {
+        self.circuitformer
+            .predict_batch(paths)
+            .into_iter()
+            .map(|z| self.path_scaler.inverse(z))
+            .collect()
+    }
+
     /// Full prediction from Verilog source (parse → GraphIR → sample →
     /// Circuitformer → aggregate).
     ///
@@ -196,19 +209,26 @@ impl SnsModel {
     }
 
     /// Tokenizes every path and makes sure the shared
-    /// [`PathPredictionCache`] holds a prediction for each sequence,
-    /// fanning uncached *unique* sequences across
-    /// [`sns_rt::pool::default_threads`] workers. Returns the per-path
-    /// token sequences for the caller's reduction.
+    /// [`PathPredictionCache`] holds a prediction for each sequence.
+    /// Uncached *unique* sequences are bucketed by exact length, packed
+    /// into batches of at most [`sns_rt::pool::default_batch`] sequences
+    /// (`SNS_BATCH`), and the batches fanned across
+    /// [`sns_rt::pool::default_threads`] workers (`SNS_THREADS`), each
+    /// batch running one packed Circuitformer forward. Returns the
+    /// per-path token sequences for the caller's reduction.
     ///
-    /// Because the Circuitformer is pure and the callers reduce serially
-    /// in path order, predictions are bit-identical at any thread count
-    /// (`SNS_THREADS=1` and `SNS_THREADS=8` agree exactly).
+    /// Because batching is per-path exact, the Circuitformer is pure, and
+    /// the callers reduce serially in path order, predictions are
+    /// bit-identical at any thread count and any batch size
+    /// (`SNS_THREADS=1` vs `8`, `SNS_BATCH=1` vs `32` all agree exactly).
     fn predict_paths(&self, graph: &GraphIr, paths: &[CircuitPath]) -> Vec<Vec<usize>> {
         let token_seqs: Vec<Vec<usize>> =
             paths.iter().map(|p| p.token_ids(graph, &self.vocab)).collect();
         let threads = sns_rt::pool::default_threads();
-        self.cache.ensure(&token_seqs, threads, |t| self.predict_path(t));
+        let batch = sns_rt::pool::default_batch();
+        self.cache.ensure_batched(&token_seqs, threads, batch, |chunk| {
+            self.predict_path_batch(chunk)
+        });
         token_seqs
     }
 
@@ -238,8 +258,8 @@ impl SnsModel {
     ) -> Vec<f32> {
         let mut f = Vec::with_capacity(5 + self.vocab.len());
         f.push(self.design_scaler.transform_dim(dim, aggregates[dim]));
-        for d in 0..3 {
-            f.push(self.design_scaler.transform_dim(d, aggregates[d]));
+        for (d, &agg) in aggregates.iter().enumerate() {
+            f.push(self.design_scaler.transform_dim(d, agg));
         }
         f.push((path_count as f32).ln_1p());
         f.extend(stats.to_features());

@@ -197,7 +197,7 @@ fn predictor_logic(v: &mut String, p: Predictor) {
 /// Generates the OoO core for `p`.
 pub fn boom_like(p: &BoomParams) -> Design {
     let name = p.name();
-    let prf_ab = 32 - (p.int_regs as u32).leading_zeros(); // address bits
+    let prf_ab = 32 - p.int_regs.leading_zeros(); // address bits
     let rob_ab = 32 - (p.rob_size - 1).leading_zeros();
     let mut v = String::new();
     v.push_str(&format!(

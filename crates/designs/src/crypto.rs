@@ -114,10 +114,9 @@ pub fn sha3_like(rounds: u32) -> Design {
         next[0] = format!("rc{r}_0");
         cur = next;
     }
-    for l in 0..lanes as usize {
+    for (l, src) in cur.iter().enumerate().take(lanes as usize) {
         v.push_str(&format!(
-            "    always @(posedge clk) begin\n        if (rst) lane{l} <= 64'd0;\n        else lane{l} <= {};\n    end\n",
-            cur[l]
+            "    always @(posedge clk) begin\n        if (rst) lane{l} <= 64'd0;\n        else lane{l} <= {src};\n    end\n",
         ));
         v.push_str(&format!(
             "    assign digest[{hi}:{lo}] = lane{l};\n",

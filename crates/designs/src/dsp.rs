@@ -20,8 +20,8 @@ pub fn fft_stage(n: u32, width: u32) -> Design {
         let hi_b = (k + n / 2 + 1) * width - 1;
         let lo_b = (k + n / 2) * width;
         // Deterministic pseudo-twiddle constants.
-        let wr = (k * 37 + 11) % (1 << (width.min(15))) | 1;
-        let wi = (k * 53 + 7) % (1 << (width.min(15))) | 1;
+        let wr = ((k * 37 + 11) % (1 << (width.min(15)))) | 1;
+        let wi = ((k * 53 + 7) % (1 << (width.min(15)))) | 1;
         v.push_str(&format!(
             r#"    wire [{im}:0] ar{k} = re_in[{hi_a}:{lo_a}];
     wire [{im}:0] ai{k} = im_in[{hi_a}:{lo_a}];
@@ -74,7 +74,7 @@ pub fn fir(taps: u32, width: u32) -> Design {
         ));
     }
     for t in 0..taps {
-        let coef = (t * 29 + 13) % (1 << width.min(15)) | 1;
+        let coef = ((t * 29 + 13) % (1 << width.min(15))) | 1;
         v.push_str(&format!("    wire [{pm}:0] m{t} = dl{t} * {width}'d{coef};\n"));
     }
     let mut terms: Vec<String> = (0..taps).map(|t| format!("m{t}")).collect();
@@ -132,7 +132,7 @@ pub fn conv2d(k: u32, width: u32) -> Design {
     let mut terms = Vec::new();
     for r in 0..k {
         for c in 0..k {
-            let coef = (r * 31 + c * 17 + 3) % (1 << width.min(15)) | 1;
+            let coef = ((r * 31 + c * 17 + 3) % (1 << width.min(15))) | 1;
             let nm = format!("w{r}_{c}");
             v.push_str(&format!("    wire [{pm}:0] {nm} = lb{r}_{c} * {width}'d{coef};\n"));
             terms.push(nm);

@@ -88,7 +88,7 @@ pub fn stencil2d(cores: u32, width: u32) -> Design {
     let mut terms = Vec::new();
     for r in 0..3 {
         for c in 0..3 {
-            let coef = (r * 13 + c * 7 + 1) % (1 << width.min(12)) | 1;
+            let coef = ((r * 13 + c * 7 + 1) % (1 << width.min(12))) | 1;
             let nm = format!("sm{r}_{c}");
             v.push_str(&format!("    wire [{pm}:0] {nm} = lb{r}_{c} * {width}'d{coef};\n"));
             terms.push(nm);

@@ -56,7 +56,7 @@ pub fn piecewise(segments: u32, width: u32) -> Design {
     let mut offset_expr = format!("{width}'d0");
     for s in 1..segments {
         let bp = step * s as u64;
-        let sl = (s * 5 + 3) % (1 << width.min(10)) | 1;
+        let sl = ((s * 5 + 3) % (1 << width.min(10))) | 1;
         let of = (s * 11 + 7) % (1 << width.min(10));
         v.push_str(&format!("    wire ge{s} = x >= {width}'d{bp};\n"));
         slope_expr = format!("(ge{s} ? {width}'d{sl} : {slope_expr})");

@@ -1019,8 +1019,7 @@ impl<'a, 'n> ModuleCtx<'a, 'n> {
                 } else {
                     // Combinational default: zero (full case/else coverage
                     // overrides this; see crate docs on latch avoidance).
-                    let z = self.mk_const(0, sig.width);
-                    z
+                    self.mk_const(0, sig.width)
                 });
                 let next = match cond {
                     None => value,

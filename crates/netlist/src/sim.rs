@@ -281,22 +281,8 @@ impl<'a> Simulator<'a> {
             CellKind::Add => inv(0).wrapping_add(inv(1)),
             CellKind::Sub => inv(0).wrapping_sub(inv(1)),
             CellKind::Mul => inv(0).wrapping_mul(inv(1)),
-            CellKind::Div => {
-                let d = inv(1);
-                if d == 0 {
-                    0
-                } else {
-                    inv(0) / d
-                }
-            }
-            CellKind::Mod => {
-                let d = inv(1);
-                if d == 0 {
-                    0
-                } else {
-                    inv(0) % d
-                }
-            }
+            CellKind::Div => inv(0).checked_div(inv(1)).unwrap_or(0),
+            CellKind::Mod => inv(0).checked_rem(inv(1)).unwrap_or(0),
             CellKind::Shl => {
                 let s = inv(1).min(127) as u32;
                 inv(0) << s

@@ -27,7 +27,12 @@ pub struct ActCtx {
 impl Relu {
     /// `max(0, x)`.
     pub fn forward(&self, x: &Mat) -> (Mat, ActCtx) {
-        (x.map(|v| v.max(0.0)), ActCtx { x: x.clone() })
+        (self.infer(x), ActCtx { x: x.clone() })
+    }
+
+    /// Inference-only forward (no saved context).
+    pub fn infer(&self, x: &Mat) -> Mat {
+        x.map(|v| v.max(0.0))
     }
 
     /// Backward pass.
@@ -40,7 +45,12 @@ impl Relu {
 impl Tanh {
     /// `tanh(x)`.
     pub fn forward(&self, x: &Mat) -> (Mat, ActCtx) {
-        (x.map(f32::tanh), ActCtx { x: x.clone() })
+        (self.infer(x), ActCtx { x: x.clone() })
+    }
+
+    /// Inference-only forward (no saved context).
+    pub fn infer(&self, x: &Mat) -> Mat {
+        x.map(f32::tanh)
     }
 
     /// Backward pass.
@@ -56,7 +66,12 @@ impl Tanh {
 impl Sigmoid {
     /// `1 / (1 + e^{-x})`.
     pub fn forward(&self, x: &Mat) -> (Mat, ActCtx) {
-        (x.map(sigmoid), ActCtx { x: x.clone() })
+        (self.infer(x), ActCtx { x: x.clone() })
+    }
+
+    /// Inference-only forward (no saved context).
+    pub fn infer(&self, x: &Mat) -> Mat {
+        x.map(sigmoid)
     }
 
     /// Backward pass.
@@ -79,7 +94,12 @@ const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
 impl Gelu {
     /// GELU via the tanh approximation.
     pub fn forward(&self, x: &Mat) -> (Mat, ActCtx) {
-        (x.map(gelu), ActCtx { x: x.clone() })
+        (self.infer(x), ActCtx { x: x.clone() })
+    }
+
+    /// Inference-only forward (no saved context).
+    pub fn infer(&self, x: &Mat) -> Mat {
+        x.map(gelu)
     }
 
     /// Backward pass (derivative of the tanh approximation).

@@ -1,14 +1,43 @@
-//! Multi-head self-attention over a single sequence.
+//! Multi-head self-attention.
 //!
-//! Sequences in SNS are short circuit paths, so attention operates on one
-//! `[T, d]` matrix at a time — no batching, padding or masking. Minibatch
-//! parallelism happens one level up (threads × private [`Grads`]).
+//! The training path ([`MultiHeadAttention::forward`] /
+//! [`MultiHeadAttention::backward`]) operates on one `[T, d]` sequence at
+//! a time; minibatch parallelism happens one level up (threads × private
+//! [`Grads`]).
+//!
+//! The inference path ([`MultiHeadAttention::infer_masked`]) additionally
+//! supports **batched, masked** attention: several sequences packed into
+//! one `[ΣT, d]` matrix, described by [`SeqSpan`]s. Attention is
+//! block-diagonal (a query never attends across a span boundary) and a
+//! span may carry right-padding, whose key/value positions are masked out
+//! of every softmax. Both mechanisms are bit-preserving: each valid row
+//! gets exactly the arithmetic the unbatched forward would have done.
 
 use sns_rt::rng::StdRng;
 
 use crate::linear::{Linear, LinearCtx};
 use crate::mat::Mat;
 use crate::param::{Grads, Param, ParamRegistry};
+
+/// One packed sequence's location inside a batched `[ΣT, d]` activation
+/// matrix: rows `start .. start + padded`, of which the first `valid`
+/// are real tokens and the rest right-padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqSpan {
+    /// First row of this sequence in the packed matrix.
+    pub start: usize,
+    /// Number of real (unpadded) token rows.
+    pub valid: usize,
+    /// Total rows occupied, `valid <= padded`.
+    pub padded: usize,
+}
+
+impl SeqSpan {
+    /// A span with no padding.
+    pub fn dense(start: usize, len: usize) -> Self {
+        SeqSpan { start, valid: len, padded: len }
+    }
+}
 
 /// Multi-head scaled-dot-product self-attention with output projection.
 #[derive(Debug, Clone)]
@@ -59,18 +88,28 @@ impl MultiHeadAttention {
     }
 
     fn head_cols(&self, m: &Mat, h: usize) -> Mat {
+        self.head_cols_span(m, h, SeqSpan::dense(0, m.rows()))
+    }
+
+    /// Extracts head `h`'s column slice for the rows covered by `span`.
+    fn head_cols_span(&self, m: &Mat, h: usize, span: SeqSpan) -> Mat {
         let dh = self.dim / self.heads;
-        let mut out = Mat::zeros(m.rows(), dh);
-        for r in 0..m.rows() {
-            out.row_mut(r).copy_from_slice(&m.row(r)[h * dh..(h + 1) * dh]);
+        let mut out = Mat::zeros(span.padded, dh);
+        for r in 0..span.padded {
+            out.row_mut(r).copy_from_slice(&m.row(span.start + r)[h * dh..(h + 1) * dh]);
         }
         out
     }
 
     fn scatter_head(&self, dst: &mut Mat, src: &Mat, h: usize) {
+        self.scatter_head_span(dst, src, h, 0);
+    }
+
+    /// Writes `src` into head `h`'s column slice starting at row `start`.
+    fn scatter_head_span(&self, dst: &mut Mat, src: &Mat, h: usize, start: usize) {
         let dh = self.dim / self.heads;
         for r in 0..src.rows() {
-            dst.row_mut(r)[h * dh..(h + 1) * dh].copy_from_slice(src.row(r));
+            dst.row_mut(start + r)[h * dh..(h + 1) * dh].copy_from_slice(src.row(r));
         }
     }
 
@@ -95,6 +134,54 @@ impl MultiHeadAttention {
         }
         let (y, o_ctx) = self.wo.forward(&concat);
         (y, AttentionCtx { q_ctx, k_ctx, v_ctx, o_ctx, q, k, v, attn })
+    }
+
+    /// Batched, masked self-attention over several sequences packed into
+    /// one `[ΣT, dim]` matrix.
+    ///
+    /// The Q/K/V/O projections run once over the whole packed matrix
+    /// (per-row arithmetic, so each row matches its unbatched result
+    /// bit-for-bit). Attention itself is evaluated per span and per head:
+    /// a query row only sees key/value rows of its own span, and key
+    /// columns at positions `>= span.valid` are set to `-inf` before the
+    /// softmax, so padding contributes exactly `+0.0` to every context
+    /// sum. For spans with `valid == padded` (exact-length buckets) the
+    /// score matrix is byte-for-byte the one [`forward`](Self::forward)
+    /// computes for that sequence alone.
+    ///
+    /// Output rows belonging to padding positions are garbage and must be
+    /// discarded by the caller; padded input rows must be finite so they
+    /// cannot poison valid rows through `0.0 * inf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if spans overlap `x` out of bounds or `valid > padded`.
+    pub fn infer_masked(&self, x: &Mat, spans: &[SeqSpan]) -> Mat {
+        let q = self.wq.infer(x);
+        let k = self.wk.infer(x);
+        let v = self.wv.infer(x);
+        let dh = self.dim / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut concat = Mat::zeros(x.rows(), self.dim);
+        for &span in spans {
+            assert!(span.valid <= span.padded, "span valid exceeds padded");
+            assert!(span.start + span.padded <= x.rows(), "span out of bounds");
+            for h in 0..self.heads {
+                let qh = self.head_cols_span(&q, h, span);
+                let kh = self.head_cols_span(&k, h, span);
+                let vh = self.head_cols_span(&v, h, span);
+                let mut scores = qh.matmul_nt(&kh).scale(scale);
+                if span.valid < span.padded {
+                    for r in 0..span.padded {
+                        scores.row_mut(r)[span.valid..].fill(f32::NEG_INFINITY);
+                    }
+                }
+                let a = scores.softmax_rows();
+                let ctxh = a.matmul(&vh);
+                self.scatter_head_span(&mut concat, &ctxh, h, span.start);
+            }
+        }
+        self.wo.infer(&concat)
     }
 
     /// Backpropagates `dy`, returning `dx`.
@@ -223,5 +310,90 @@ mod tests {
     #[should_panic(expected = "divide evenly")]
     fn indivisible_heads_panic() {
         let _ = setup(7, 2);
+    }
+
+    fn rand_mat(rows: usize, cols: usize, rng: &mut StdRng) -> Mat {
+        let mut m = Mat::zeros(rows, cols);
+        for v in m.as_mut_slice() {
+            *v = rng.normal_f32(1.0);
+        }
+        m
+    }
+
+    #[test]
+    fn packed_spans_match_unbatched_forward_bitwise() {
+        // Three sequences of different lengths packed into one matrix
+        // must reproduce each standalone forward exactly.
+        let (_, a) = setup(8, 2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let lens = [3usize, 7, 1];
+        let total: usize = lens.iter().sum();
+        let packed = rand_mat(total, 8, &mut rng);
+        let mut spans = Vec::new();
+        let mut start = 0;
+        for &len in &lens {
+            spans.push(SeqSpan::dense(start, len));
+            start += len;
+        }
+        let batched = a.infer_masked(&packed, &spans);
+        for span in &spans {
+            let mut solo = Mat::zeros(span.valid, 8);
+            for r in 0..span.valid {
+                solo.row_mut(r).copy_from_slice(packed.row(span.start + r));
+            }
+            let (want, _) = a.forward(&solo);
+            for r in 0..span.valid {
+                for c in 0..8 {
+                    assert_eq!(
+                        batched.get(span.start + r, c).to_bits(),
+                        want.get(r, c).to_bits(),
+                        "span@{} row {r} col {c}",
+                        span.start
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padding_mask_hides_padded_positions() {
+        // A padded span must produce the same valid rows regardless of
+        // what the padding rows contain.
+        let (_, a) = setup(8, 2);
+        let mut rng = StdRng::seed_from_u64(12);
+        let valid = 4;
+        let padded = 6;
+        let x1 = rand_mat(padded, 8, &mut rng);
+        let mut x2 = x1.clone();
+        for r in valid..padded {
+            x2.row_mut(r).copy_from_slice(rand_mat(1, 8, &mut rng).row(0));
+        }
+        assert_ne!(x1.row(valid), x2.row(valid));
+        let span = [SeqSpan { start: 0, valid, padded }];
+        let y1 = a.infer_masked(&x1, &span);
+        let y2 = a.infer_masked(&x2, &span);
+        for r in 0..valid {
+            assert_eq!(y1.row(r), y2.row(r), "row {r} leaked padding");
+        }
+        // And the valid rows match the unbatched forward on the trimmed
+        // sequence exactly.
+        let mut solo = Mat::zeros(valid, 8);
+        for r in 0..valid {
+            solo.row_mut(r).copy_from_slice(x1.row(r));
+        }
+        let (want, _) = a.forward(&solo);
+        for r in 0..valid {
+            for c in 0..8 {
+                assert_eq!(y1.get(r, c).to_bits(), want.get(r, c).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn span_past_matrix_end_panics() {
+        let (_, a) = setup(8, 2);
+        let x = Mat::zeros(4, 8);
+        let _ = a.infer_masked(&x, &[SeqSpan::dense(2, 3)]);
     }
 }

@@ -48,12 +48,22 @@ impl Embedding {
     ///
     /// Panics if any id is out of range.
     pub fn forward(&self, ids: &[usize]) -> (Mat, EmbeddingCtx) {
+        (self.infer(ids), EmbeddingCtx { ids: ids.to_vec() })
+    }
+
+    /// Inference-only lookup: same rows as [`forward`](Self::forward)
+    /// without recording the ids for backward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn infer(&self, ids: &[usize]) -> Mat {
         let mut out = Mat::zeros(ids.len(), self.dim);
         for (r, &id) in ids.iter().enumerate() {
             assert!(id < self.table.value.rows(), "token id {id} out of range");
             out.row_mut(r).copy_from_slice(self.table.value.row(id));
         }
-        (out, EmbeddingCtx { ids: ids.to_vec() })
+        out
     }
 
     /// Scatters `dy` back into the table gradient.

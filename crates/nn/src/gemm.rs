@@ -1,0 +1,355 @@
+//! Cache-blocked, register-tiled GEMM kernels for the inference hot loop.
+//!
+//! Three kernels back [`Mat::matmul`], [`Mat::matmul_tn`] and
+//! [`Mat::matmul_nt`]. All share one packed-panel driver built around an
+//! `MR × NR` register micro-kernel (GotoBLAS/BLIS structure: pack a
+//! `KC × NC` panel of B and an `MC × KC` panel of A into contiguous
+//! micro-panels, then sweep the micro-kernel over the block).
+//!
+//! # The K-order contract
+//!
+//! Every output element is produced by the *same additive reduction as the
+//! naive triple loop*: `out[i][j] = ((0 + a(i,0)·b(0,j)) + a(i,1)·b(1,j)) + …`
+//! with `l` strictly ascending, every intermediate rounded to `f32`. The
+//! blocking machinery only re-tiles the `i`/`j` loops and splits `l` into
+//! ascending `KC` chunks (partial sums are stored to the output and
+//! reloaded, which is exactly what the naive loop's memory accumulator
+//! does), so results are **bit-identical** to the retained references
+//! [`Mat::matmul_ref`], [`Mat::matmul_tn_ref`] and [`Mat::matmul_nt_ref`]
+//! at every shape. Tile edges are handled by zero-padding the packed
+//! panels: padded lanes accumulate into accumulator slots that are never
+//! written back, so real elements see no extra additions.
+//!
+//! The old element-level `a == 0.0` skip is gone — on dense embedding
+//! activations it was a branch per multiply that blocked vectorization.
+//! What remains is a *row*-level sparse fast path: output rows whose
+//! entire A row is zero (CLS-only gradient scatters, padded rows) are
+//! detected up front in one cheap scan and skipped as whole micro-tiles.
+//! A zero A row contributes only `±0.0` products whose running sum stays
+//! `+0.0`, so the skip is value-identical too.
+
+/// Micro-kernel rows (register tile height).
+pub const MR: usize = 4;
+/// Micro-kernel columns (register tile width; 16 f32 = two AVX vectors).
+pub const NR: usize = 16;
+/// K-dimension block: one packed panel's reduction depth.
+const KC: usize = 256;
+/// N-dimension block: columns of B packed per panel.
+const NC: usize = 512;
+/// M-dimension block: rows of A packed per panel.
+const MC: usize = 128;
+
+/// The portable register micro-kernel:
+/// `acc[r][c] += Σ_l ap[l][r] · bp[l][c]` with `l` ascending. `ap` is an
+/// `[kc][MR]` panel, `bp` an `[kc][NR]` panel.
+#[inline(always)]
+fn micro_kernel_generic(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    for l in 0..kc {
+        let b: &[f32; NR] = bp[l * NR..l * NR + NR].try_into().expect("NR panel");
+        let a: &[f32; MR] = ap[l * MR..l * MR + MR].try_into().expect("MR panel");
+        for r in 0..MR {
+            let ar = a[r];
+            for c in 0..NR {
+                acc[r][c] += ar * b[c];
+            }
+        }
+    }
+}
+
+/// The AVX micro-kernel: the same 4×16 tile held in eight 256-bit
+/// accumulators. Deliberately `vmulps` **then** `vaddps` — never
+/// `vfmadd` — so each lane performs exactly the scalar `round(a·b)` then
+/// `round(acc + ·)` sequence and the result stays bit-identical to
+/// [`micro_kernel_generic`] and the naive references.
+///
+/// # Safety
+///
+/// Caller must guarantee AVX is available (checked via
+/// `is_x86_feature_detected!` in [`micro_kernel`]) and the panel-length
+/// invariants of [`micro_kernel_generic`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn micro_kernel_avx(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    use std::arch::x86_64::*;
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    let mut acc_v = [[_mm256_setzero_ps(); 2]; MR];
+    for (r, row) in acc.iter().enumerate() {
+        acc_v[r][0] = _mm256_loadu_ps(row.as_ptr());
+        acc_v[r][1] = _mm256_loadu_ps(row.as_ptr().add(8));
+    }
+    let mut a_ptr = ap.as_ptr();
+    let mut b_ptr = bp.as_ptr();
+    for _ in 0..kc {
+        let b0 = _mm256_loadu_ps(b_ptr);
+        let b1 = _mm256_loadu_ps(b_ptr.add(8));
+        for (r, accs) in acc_v.iter_mut().enumerate() {
+            let ar = _mm256_broadcast_ss(&*a_ptr.add(r));
+            accs[0] = _mm256_add_ps(accs[0], _mm256_mul_ps(ar, b0));
+            accs[1] = _mm256_add_ps(accs[1], _mm256_mul_ps(ar, b1));
+        }
+        a_ptr = a_ptr.add(MR);
+        b_ptr = b_ptr.add(NR);
+    }
+    for (r, row) in acc.iter_mut().enumerate() {
+        _mm256_storeu_ps(row.as_mut_ptr(), acc_v[r][0]);
+        _mm256_storeu_ps(row.as_mut_ptr().add(8), acc_v[r][1]);
+    }
+}
+
+/// Dispatches to the fastest bit-identical micro-kernel the host supports.
+/// (`is_x86_feature_detected!` caches its probe, so the check is one
+/// atomic load per tile.)
+#[inline(always)]
+fn micro_kernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx") {
+        // SAFETY: AVX probed above; panel sizes checked by the callee's
+        // debug assertions and guaranteed by the driver's packing.
+        unsafe { micro_kernel_avx(kc, ap, bp, acc) };
+        return;
+    }
+    micro_kernel_generic(kc, ap, bp, acc);
+}
+
+/// The shared blocked driver. `pack_a(buf, ic, mc, lc, kc)` must fill
+/// `buf` with `[mc.div_ceil(MR)]` micro-panels of layout `[kc][MR]`
+/// holding the logical `A[ic..ic+mc, lc..lc+kc]` block (zero-padded);
+/// `pack_b` the analogous `[kc][NR]` panels of `B[lc..lc+kc, jc..jc+nc]`.
+/// `zero_rows`, when non-empty, flags output rows whose whole logical A
+/// row is zero; micro-tiles made only of such rows are skipped.
+fn gemm_driver<PA, PB>(
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    zero_rows: &[bool],
+    pack_a: PA,
+    pack_b: PB,
+) where
+    PA: Fn(&mut [f32], usize, usize, usize, usize),
+    PB: Fn(&mut [f32], usize, usize, usize, usize),
+{
+    if m == 0 || n == 0 {
+        return;
+    }
+    debug_assert_eq!(out.len(), m * n);
+    if k == 0 {
+        return; // out stays zero, matching an empty reduction
+    }
+    let mut bp = vec![0.0f32; NC.min(n).div_ceil(NR) * NR * KC.min(k)];
+    let mut ap = vec![0.0f32; MC.min(m).div_ceil(MR) * MR * KC.min(k)];
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let n_panels = nc.div_ceil(NR);
+        let mut lc = 0;
+        while lc < k {
+            let kc = KC.min(k - lc);
+            bp[..n_panels * kc * NR].fill(0.0);
+            pack_b(&mut bp, jc, nc, lc, kc);
+            let mut ic = 0;
+            while ic < m {
+                let mc = MC.min(m - ic);
+                let m_panels = mc.div_ceil(MR);
+                ap[..m_panels * kc * MR].fill(0.0);
+                pack_a(&mut ap, ic, mc, lc, kc);
+                for pj in 0..n_panels {
+                    let j0 = jc + pj * NR;
+                    let nr = NR.min(n - j0);
+                    let bpanel = &bp[pj * kc * NR..(pj + 1) * kc * NR];
+                    for pi in 0..m_panels {
+                        let i0 = ic + pi * MR;
+                        let mr = MR.min(m - i0);
+                        if !zero_rows.is_empty() && zero_rows[i0..i0 + mr].iter().all(|&z| z) {
+                            continue;
+                        }
+                        let apanel = &ap[pi * kc * MR..(pi + 1) * kc * MR];
+                        let mut acc = [[0.0f32; NR]; MR];
+                        for (r, row) in acc.iter_mut().enumerate().take(mr) {
+                            let o = (i0 + r) * n + j0;
+                            row[..nr].copy_from_slice(&out[o..o + nr]);
+                        }
+                        micro_kernel(kc, apanel, bpanel, &mut acc);
+                        for (r, row) in acc.iter().enumerate().take(mr) {
+                            let o = (i0 + r) * n + j0;
+                            out[o..o + nr].copy_from_slice(&row[..nr]);
+                        }
+                    }
+                }
+                ic += mc;
+            }
+            lc += kc;
+        }
+        jc += nc;
+    }
+}
+
+/// Flags rows of the row-major `[m, k]` matrix `a` that are entirely zero.
+/// Early-exits per row, so dense inputs cost ~one read per row.
+fn zero_rows(a: &[f32], m: usize, k: usize) -> Vec<bool> {
+    (0..m).map(|i| a[i * k..(i + 1) * k].iter().all(|&v| v == 0.0)).collect()
+}
+
+/// `out = a @ b` for row-major `a: [m, k]`, `b: [k, n]`. `out` must be
+/// zeroed (or hold a partial sum over earlier `l`, per the K-order
+/// contract).
+pub fn gemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    let zr = zero_rows(a, m, k);
+    gemm_driver(
+        m,
+        k,
+        n,
+        out,
+        &zr,
+        |buf, ic, mc, lc, kc| {
+            for ri in 0..mc {
+                let (pi, r) = (ri / MR, ri % MR);
+                let src = &a[(ic + ri) * k + lc..(ic + ri) * k + lc + kc];
+                let panel = pi * kc * MR;
+                for (l, &v) in src.iter().enumerate() {
+                    buf[panel + l * MR + r] = v;
+                }
+            }
+        },
+        |buf, jc, nc, lc, kc| {
+            for l in 0..kc {
+                let src = &b[(lc + l) * n + jc..(lc + l) * n + jc + nc];
+                for (ci, &v) in src.iter().enumerate() {
+                    let (pj, c) = (ci / NR, ci % NR);
+                    buf[pj * kc * NR + l * NR + c] = v;
+                }
+            }
+        },
+    );
+}
+
+/// `out = aᵀ @ b` for row-major `a: [k, m]`, `b: [k, n]` — the transpose
+/// is absorbed into the A-panel packing, never materialized.
+pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    gemm_driver(
+        m,
+        k,
+        n,
+        out,
+        &[],
+        |buf, ic, mc, lc, kc| {
+            for l in 0..kc {
+                let src = &a[(lc + l) * m + ic..(lc + l) * m + ic + mc];
+                for (ri, &v) in src.iter().enumerate() {
+                    let (pi, r) = (ri / MR, ri % MR);
+                    buf[pi * kc * MR + l * MR + r] = v;
+                }
+            }
+        },
+        |buf, jc, nc, lc, kc| {
+            for l in 0..kc {
+                let src = &b[(lc + l) * n + jc..(lc + l) * n + jc + nc];
+                for (ci, &v) in src.iter().enumerate() {
+                    let (pj, c) = (ci / NR, ci % NR);
+                    buf[pj * kc * NR + l * NR + c] = v;
+                }
+            }
+        },
+    );
+}
+
+/// `out = a @ bᵀ` for row-major `a: [m, k]`, `b: [n, k]` — the transpose
+/// is absorbed into the B-panel packing, never materialized.
+pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    let zr = zero_rows(a, m, k);
+    gemm_driver(
+        m,
+        k,
+        n,
+        out,
+        &zr,
+        |buf, ic, mc, lc, kc| {
+            for ri in 0..mc {
+                let (pi, r) = (ri / MR, ri % MR);
+                let src = &a[(ic + ri) * k + lc..(ic + ri) * k + lc + kc];
+                let panel = pi * kc * MR;
+                for (l, &v) in src.iter().enumerate() {
+                    buf[panel + l * MR + r] = v;
+                }
+            }
+        },
+        |buf, jc, nc, lc, kc| {
+            for ci in 0..nc {
+                let (pj, c) = (ci / NR, ci % NR);
+                let src = &b[(jc + ci) * k + lc..(jc + ci) * k + lc + kc];
+                let panel = pj * kc * NR;
+                for (l, &v) in src.iter().enumerate() {
+                    buf[panel + l * NR + c] = v;
+                }
+            }
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::mat::Mat;
+    use sns_rt::rng::StdRng;
+
+    fn rand_mat(rng: &mut StdRng, rows: usize, cols: usize) -> Mat {
+        let mut m = Mat::zeros(rows, cols);
+        for v in m.as_mut_slice() {
+            *v = rng.gen_range(-1.0f32..1.0);
+        }
+        m
+    }
+
+    /// Blocked kernels are bit-identical to the naive references across
+    /// shapes that hit every tile-edge case (1, MR±1, NR±1, > blocks).
+    #[test]
+    fn blocked_kernels_match_references_bitwise() {
+        let dims = [1usize, 3, 4, 5, 15, 16, 17, 33];
+        let mut rng = StdRng::seed_from_u64(42);
+        for &m in &dims {
+            for &k in &dims {
+                for &n in &dims {
+                    let a = rand_mat(&mut rng, m, k);
+                    let b = rand_mat(&mut rng, k, n);
+                    assert_bits(&a.matmul(&b), &a.matmul_ref(&b), "nn", m, k, n);
+                    let at = rand_mat(&mut rng, k, m);
+                    assert_bits(&at.matmul_tn(&b), &at.matmul_tn_ref(&b), "tn", m, k, n);
+                    let bt = rand_mat(&mut rng, n, k);
+                    assert_bits(&a.matmul_nt(&bt), &a.matmul_nt_ref(&bt), "nt", m, k, n);
+                }
+            }
+        }
+    }
+
+    fn assert_bits(x: &Mat, y: &Mat, kind: &str, m: usize, k: usize, n: usize) {
+        assert_eq!((x.rows(), x.cols()), (y.rows(), y.cols()), "{kind} {m}x{k}x{n}");
+        for (i, (a, b)) in x.as_slice().iter().zip(y.as_slice()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{kind} {m}x{k}x{n} elem {i}: blocked {a} vs reference {b}"
+            );
+        }
+    }
+
+    /// The row-sparse fast path gives the same values as the dense
+    /// reference when whole A rows are zero (the gradient-scatter shape).
+    #[test]
+    fn zero_rows_fast_path_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut a = rand_mat(&mut rng, 9, 6);
+        for r in [0usize, 2, 3, 5, 8] {
+            a.row_mut(r).fill(0.0);
+        }
+        let b = rand_mat(&mut rng, 6, 21);
+        assert_eq!(a.matmul(&b), a.matmul_ref(&b));
+        let bt = rand_mat(&mut rng, 21, 6);
+        assert_eq!(a.matmul_nt(&bt), a.matmul_nt_ref(&bt));
+    }
+}

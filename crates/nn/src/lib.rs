@@ -11,9 +11,10 @@
 //!   [`Grads`] buffer. Because nothing mutable lives in the layer during
 //!   the pass, whole models are `Sync` and minibatches can be split across
 //!   threads (each thread owns its own `Grads`, summed afterwards).
-//! * **Matrix-centric.** Sequence models here process one sequence at a
-//!   time (circuit paths are short), so everything is a 2-D [`Mat`]; there
-//!   is no padding or masking machinery to get wrong.
+//! * **Matrix-centric.** Everything is a 2-D [`Mat`]. Training processes
+//!   one sequence at a time (circuit paths are short); inference can pack
+//!   many sequences into one matrix with per-span masking ([`SeqSpan`])
+//!   so they share the blocked GEMM kernels in [`gemm`].
 //! * **Everything SNS needs, nothing more:** linear, embedding, layer norm,
 //!   multi-head self-attention, GELU/ReLU/tanh/sigmoid, GRU (for SeqGAN),
 //!   MSE / BCE / cross-entropy losses, SGD with momentum and Adam, and
@@ -50,6 +51,7 @@
 pub mod act;
 pub mod attention;
 pub mod embedding;
+pub mod gemm;
 pub mod gru;
 pub mod linear;
 pub mod loss;
@@ -60,7 +62,7 @@ pub mod param;
 pub mod serialize;
 
 pub use act::{Gelu, Relu, Sigmoid, Tanh};
-pub use attention::{AttentionCtx, MultiHeadAttention};
+pub use attention::{AttentionCtx, MultiHeadAttention, SeqSpan};
 pub use embedding::{Embedding, EmbeddingCtx};
 pub use gru::{Gru, GruCtx};
 pub use linear::{Linear, LinearCtx};

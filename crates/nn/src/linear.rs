@@ -56,8 +56,17 @@ impl Linear {
     ///
     /// Panics if `x.cols() != in_dim`.
     pub fn forward(&self, x: &Mat) -> (Mat, LinearCtx) {
-        let y = x.matmul(&self.w.value).add_row_broadcast(self.b.value.row(0));
-        (y, LinearCtx { x: x.clone() })
+        (self.infer(x), LinearCtx { x: x.clone() })
+    }
+
+    /// Inference-only forward: same arithmetic as [`forward`](Self::forward)
+    /// (bit-identical output) without cloning `x` into a backward context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim`.
+    pub fn infer(&self, x: &Mat) -> Mat {
+        x.matmul(&self.w.value).add_row_broadcast(self.b.value.row(0))
     }
 
     /// Backpropagates `dy` (shape `[n, out_dim]`), returning `dx`.

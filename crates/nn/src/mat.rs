@@ -122,7 +122,11 @@ impl Mat {
         self.data[r * self.cols + c] = v;
     }
 
-    /// `self @ other` — the classic ikj loop, which auto-vectorizes well.
+    /// `self @ other` via the blocked GEMM kernel ([`crate::gemm`]).
+    ///
+    /// Bit-identical to [`matmul_ref`](Self::matmul_ref): the kernel keeps
+    /// the K-reduction order of the naive loop and only re-tiles the
+    /// output loops for cache and register reuse.
     ///
     /// # Panics
     ///
@@ -131,13 +135,55 @@ impl Mat {
         assert_eq!(self.cols, other.rows, "matmul inner dims {} vs {}", self.cols, other.rows);
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Mat::zeros(m, n);
+        crate::gemm::gemm_nn(m, k, n, &self.data, &other.data, &mut out.data);
+        out
+    }
+
+    /// `selfᵀ @ other` without materializing the transpose (blocked;
+    /// bit-identical to [`matmul_tn_ref`](Self::matmul_tn_ref)).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a row-count mismatch.
+    pub fn matmul_tn(&self, other: &Mat) -> Mat {
+        assert_eq!(self.rows, other.rows, "matmul_tn outer dims");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Mat::zeros(m, n);
+        crate::gemm::gemm_tn(m, k, n, &self.data, &other.data, &mut out.data);
+        out
+    }
+
+    /// `self @ otherᵀ` without materializing the transpose (blocked;
+    /// bit-identical to [`matmul_nt_ref`](Self::matmul_nt_ref)).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a column-count mismatch.
+    pub fn matmul_nt(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.cols, "matmul_nt inner dims");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Mat::zeros(m, n);
+        crate::gemm::gemm_nt(m, k, n, &self.data, &other.data, &mut out.data);
+        out
+    }
+
+    /// Reference `self @ other`: the naive ikj triple loop. This is the
+    /// semantic contract the blocked kernel must match bit-for-bit — each
+    /// `out[i][j]` accumulates `a(i,l)·b(l,j)` with `l` strictly
+    /// ascending, every intermediate rounded to `f32`. Kept for
+    /// equivalence tests and as the micro-benchmark baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul_ref(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "matmul inner dims {} vs {}", self.cols, other.rows);
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Mat::zeros(m, n);
         for i in 0..m {
             let arow = &self.data[i * k..(i + 1) * k];
             let crow = &mut out.data[i * n..(i + 1) * n];
             for (l, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let brow = &other.data[l * n..(l + 1) * n];
                 for j in 0..n {
                     crow[j] += a * brow[j];
@@ -147,12 +193,12 @@ impl Mat {
         out
     }
 
-    /// `selfᵀ @ other` without materializing the transpose.
+    /// Reference `selfᵀ @ other` (naive loop; see [`matmul_ref`](Self::matmul_ref)).
     ///
     /// # Panics
     ///
     /// Panics on a row-count mismatch.
-    pub fn matmul_tn(&self, other: &Mat) -> Mat {
+    pub fn matmul_tn_ref(&self, other: &Mat) -> Mat {
         assert_eq!(self.rows, other.rows, "matmul_tn outer dims");
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let mut out = Mat::zeros(m, n);
@@ -160,9 +206,6 @@ impl Mat {
             let arow = &self.data[l * m..(l + 1) * m];
             let brow = &other.data[l * n..(l + 1) * n];
             for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let crow = &mut out.data[i * n..(i + 1) * n];
                 for j in 0..n {
                     crow[j] += a * brow[j];
@@ -172,12 +215,12 @@ impl Mat {
         out
     }
 
-    /// `self @ otherᵀ` without materializing the transpose.
+    /// Reference `self @ otherᵀ` (naive loop; see [`matmul_ref`](Self::matmul_ref)).
     ///
     /// # Panics
     ///
     /// Panics on a column-count mismatch.
-    pub fn matmul_nt(&self, other: &Mat) -> Mat {
+    pub fn matmul_nt_ref(&self, other: &Mat) -> Mat {
         assert_eq!(self.cols, other.cols, "matmul_nt inner dims");
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Mat::zeros(m, n);
@@ -195,13 +238,26 @@ impl Mat {
         out
     }
 
-    /// The explicit transpose.
+    /// The explicit transpose, tiled `TB × TB` so both the read and the
+    /// write side stay within a few cache lines per tile.
     pub fn transposed(&self) -> Mat {
-        let mut out = Mat::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+        const TB: usize = 32;
+        let (rows, cols) = (self.rows, self.cols);
+        let mut out = Mat::zeros(cols, rows);
+        let mut ib = 0;
+        while ib < rows {
+            let ie = (ib + TB).min(rows);
+            let mut jb = 0;
+            while jb < cols {
+                let je = (jb + TB).min(cols);
+                for i in ib..ie {
+                    for j in jb..je {
+                        out.data[j * rows + i] = self.data[i * cols + j];
+                    }
+                }
+                jb = je;
             }
+            ib = ie;
         }
         out
     }

@@ -30,6 +30,29 @@ impl LayerNorm {
         }
     }
 
+    /// Inference-only forward: per-row arithmetic identical to
+    /// [`forward`](Self::forward) (bit-identical output) without saving
+    /// the normalized activations for backward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != dim`.
+    pub fn infer(&self, x: &Mat) -> Mat {
+        assert_eq!(x.cols(), self.dim, "layernorm width");
+        let mut out = Mat::zeros(x.rows(), self.dim);
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / self.dim as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / self.dim as f32;
+            let is = 1.0 / (var + self.eps).sqrt();
+            for (c, &v) in row.iter().enumerate() {
+                let n = (v - mean) * is;
+                out.set(r, c, n * self.gamma.value.get(0, c) + self.beta.value.get(0, c));
+            }
+        }
+        out
+    }
+
     /// Normalizes each row of `x` (shape `[n, dim]`).
     ///
     /// # Panics
@@ -46,8 +69,8 @@ impl LayerNorm {
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / self.dim as f32;
             let is = 1.0 / (var + self.eps).sqrt();
             inv_std.push(is);
-            for c in 0..self.dim {
-                let n = (row[c] - mean) * is;
+            for (c, &v) in row.iter().enumerate() {
+                let n = (v - mean) * is;
                 normalized.set(r, c, n);
                 out.set(r, c, n * self.gamma.value.get(0, c) + self.beta.value.get(0, c));
             }
@@ -66,20 +89,20 @@ impl LayerNorm {
             let mut dxhat = vec![0.0f32; self.dim];
             let mut sum_dxhat = 0.0;
             let mut sum_dxhat_xhat = 0.0;
-            for c in 0..self.dim {
+            for (c, slot) in dxhat.iter_mut().enumerate() {
                 let d = dy.get(r, c);
                 let xh = ctx.normalized.get(r, c);
                 dgamma.set(0, c, dgamma.get(0, c) + d * xh);
                 dbeta.set(0, c, dbeta.get(0, c) + d);
                 let dh = d * self.gamma.value.get(0, c);
-                dxhat[c] = dh;
+                *slot = dh;
                 sum_dxhat += dh;
                 sum_dxhat_xhat += dh * xh;
             }
             let is = ctx.inv_std[r];
-            for c in 0..self.dim {
+            for (c, &dh) in dxhat.iter().enumerate() {
                 let xh = ctx.normalized.get(r, c);
-                dx.set(r, c, is / n * (n * dxhat[c] - sum_dxhat - xh * sum_dxhat_xhat));
+                dx.set(r, c, is / n * (n * dh - sum_dxhat - xh * sum_dxhat_xhat));
             }
         }
         grads.accumulate(self.gamma.id, &dgamma);

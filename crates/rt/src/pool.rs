@@ -27,6 +27,23 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
 }
 
+/// The default inference batch size: `SNS_BATCH` if set to a positive
+/// integer, otherwise 32.
+///
+/// This is the number of sequences packed into one batched Circuitformer
+/// forward pass. Predictions are bit-identical at any value (batching is
+/// per-row / per-span exact), so it is purely a throughput knob.
+pub fn default_batch() -> usize {
+    if let Ok(v) = std::env::var("SNS_BATCH") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    32
+}
+
 /// Maps `f` over `items` on up to `threads` workers, returning results in
 /// input order.
 ///
@@ -158,5 +175,10 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn default_batch_is_positive() {
+        assert!(default_batch() >= 1);
     }
 }

@@ -135,9 +135,7 @@ impl<'g> Expander<'g> {
         // carry into bit i is the prefix generate of [0..i).
         let mut carries = Vec::with_capacity(w);
         carries.push(cin);
-        for i in 0..w - 1 {
-            carries.push(gg[i]);
-        }
+        carries.extend_from_slice(&gg[..w - 1]);
         let cout = gg[w - 1];
         (p, carries, cout)
     }
@@ -257,7 +255,7 @@ impl<'g> Expander<'g> {
         let w = a.len();
         let stages = (usize::BITS - (w.max(2) - 1).leading_zeros()) as usize;
         let mut cur: Vec<NodeId> = a.to_vec();
-        for s in 0..stages.min(amount.len()) {
+        for (s, &sel) in amount.iter().enumerate().take(stages) {
             let dist = 1usize << s;
             let shifted: Vec<NodeId> = (0..w)
                 .map(|i| {
@@ -270,7 +268,7 @@ impl<'g> Expander<'g> {
                     }
                 })
                 .collect();
-            cur = self.mux(amount[s], &cur, &shifted);
+            cur = self.mux(sel, &cur, &shifted);
         }
         // Any higher shift-amount bit zeroes the result.
         if amount.len() > stages {

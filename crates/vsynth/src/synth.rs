@@ -362,7 +362,7 @@ impl VirtualSynthesizer {
                     GateKind::Const => 0.0,
                     GateKind::Dff => {
                         let pinned = user_act.is_some()
-                            && reg_act.get(&(id as NodeId)).is_some()
+                            && reg_act.contains_key(&(id as NodeId))
                             && user_act
                                 .map(|m| {
                                     gl.registers
@@ -406,9 +406,9 @@ impl VirtualSynthesizer {
         let freq_ghz = 1000.0 / crit.period_ps;
         let mut dyn_uw = 0.0f64;
         let mut leak_nw = 0.0f64;
-        for id in 0..graph.len() {
+        for (id, &a) in act.iter().enumerate().take(graph.len()) {
             let k = graph.kind(id as NodeId);
-            dyn_uw += (act[id] * lib.energy(k, graph.drive[id])) as f64 * freq_ghz;
+            dyn_uw += (a * lib.energy(k, graph.drive[id])) as f64 * freq_ghz;
             leak_nw += lib.leakage(k, graph.drive[id]) as f64;
         }
         let dynamic_mw = dyn_uw / 1000.0;
@@ -575,8 +575,8 @@ fn topo_order(nl: &Netlist) -> Vec<CellId> {
         for &c in &order {
             seen[c.0 as usize] = true;
         }
-        for i in 0..nl.cell_count() {
-            if !seen[i] {
+        for (i, &s) in seen.iter().enumerate() {
+            if !s {
                 order.push(CellId(i as u32));
             }
         }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green.
+#
+#   ./scripts/tier1.sh
+#
+# Runs the release build, the full test suite, and clippy with warnings
+# promoted to errors, from the repo root regardless of invocation dir.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> tier-1 OK"

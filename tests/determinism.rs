@@ -1,7 +1,9 @@
-//! Thread-count determinism: the parallel path-inference stage must give
-//! bit-identical predictions at any `SNS_THREADS` setting, because only
-//! pure per-sequence Circuitformer calls run in parallel and the
-//! aggregation reduction stays serial in path order.
+//! Scheduling determinism: the parallel path-inference stage must give
+//! bit-identical predictions at any `SNS_THREADS` × `SNS_BATCH` setting.
+//! Only pure Circuitformer calls run in parallel, the packed batched
+//! forward is per-path exact (row-wise layers + per-span attention), and
+//! the aggregation reduction stays serial in path order — so neither the
+//! thread count nor the batch size may change a single output bit.
 
 use sns::circuitformer::{CircuitformerConfig, TrainConfig};
 use sns::core::aggmlp::MlpTrainConfig;
@@ -11,10 +13,10 @@ use sns::designs::{nonlinear, vector};
 use sns::netlist::parse_and_elaborate;
 use sns::sampler::SampleConfig;
 
-/// One test (not several) so the `SNS_THREADS` environment variable is
-/// never mutated concurrently.
+/// One test (not several) so the `SNS_THREADS` / `SNS_BATCH` environment
+/// variables are never mutated concurrently.
 #[test]
-fn predictions_are_identical_across_thread_counts() {
+fn predictions_are_identical_across_thread_counts_and_batch_sizes() {
     let designs = vec![vector::simd_alu(2, 8), nonlinear::piecewise(4, 8)];
     let mut cfg = SnsTrainConfig::fast();
     cfg.circuitformer = CircuitformerConfig {
@@ -32,21 +34,27 @@ fn predictions_are_identical_across_thread_counts() {
     let nl = parse_and_elaborate(&designs[0].verilog, &designs[0].top).unwrap();
     let mut baseline = None;
     for threads in ["1", "2", "8"] {
-        std::env::set_var("SNS_THREADS", threads);
-        // Start cold each time so the parallel fan-out actually runs.
-        model.clear_cache();
-        let pred = model.predict_netlist(&nl, None);
-        assert!(model.cached_paths() > 0, "prediction should fill the cache");
-        match &baseline {
-            None => baseline = Some(pred),
-            Some(base) => {
-                // Everything except the wall-clock runtime must match
-                // exactly (not approximately).
-                assert_eq!(base.timing_ps, pred.timing_ps, "threads={threads}");
-                assert_eq!(base.area_um2, pred.area_um2, "threads={threads}");
-                assert_eq!(base.power_mw, pred.power_mw, "threads={threads}");
-                assert_eq!(base.path_count, pred.path_count, "threads={threads}");
-                assert_eq!(base.critical_path, pred.critical_path, "threads={threads}");
+        for batch in ["1", "4", "32"] {
+            std::env::set_var("SNS_THREADS", threads);
+            std::env::set_var("SNS_BATCH", batch);
+            // Start cold each time so the batched fan-out actually runs.
+            model.clear_cache();
+            let pred = model.predict_netlist(&nl, None);
+            assert!(model.cached_paths() > 0, "prediction should fill the cache");
+            match &baseline {
+                None => baseline = Some(pred),
+                Some(base) => {
+                    // Everything except the wall-clock runtime must match
+                    // exactly (not approximately).
+                    assert_eq!(base.timing_ps, pred.timing_ps, "threads={threads} batch={batch}");
+                    assert_eq!(base.area_um2, pred.area_um2, "threads={threads} batch={batch}");
+                    assert_eq!(base.power_mw, pred.power_mw, "threads={threads} batch={batch}");
+                    assert_eq!(base.path_count, pred.path_count, "threads={threads} batch={batch}");
+                    assert_eq!(
+                        base.critical_path, pred.critical_path,
+                        "threads={threads} batch={batch}"
+                    );
+                }
             }
         }
     }
@@ -57,4 +65,5 @@ fn predictions_are_identical_across_thread_counts() {
     assert_eq!(base.area_um2, warm.area_um2);
     assert_eq!(base.power_mw, warm.power_mw);
     std::env::remove_var("SNS_THREADS");
+    std::env::remove_var("SNS_BATCH");
 }
