@@ -1,0 +1,204 @@
+//! **Serve load** — throughput and latency of the `sns-serve` HTTP
+//! daemon under K concurrent clients.
+//!
+//! Each round drives the same total number of `/predict` requests (over
+//! the same design pool, with the path cache cleared first) at a
+//! different concurrency, so the K = 1 round *is* the sequential
+//! baseline: any req/s gain at K ≥ 4 comes from request pipelining and
+//! the cross-request micro-batcher coalescing concurrent requests' path
+//! sequences into shared packed forwards.
+//!
+//! Artifact: `BENCH_serve.json` at the repo root (req/s, client-side
+//! p50/p99, and per-round batcher stats for every concurrency level).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sns_bench::{headline, write_root_json};
+use sns_circuitformer::{CircuitformerConfig, TrainConfig};
+use sns_core::dataset::AugmentConfig;
+use sns_core::{train_sns, SnsTrainConfig};
+use sns_designs::{dsp, nonlinear, sort, vector, Design};
+use sns_rt::json::Json;
+use sns_sampler::SampleConfig;
+use sns_serve::{ServeConfig, Server};
+
+const CONCURRENCY: &[usize] = &[1, 4, 16];
+const TOTAL_REQUESTS: usize = 48; // divisible by every level above
+
+fn serving_model_config() -> SnsTrainConfig {
+    let mut c = SnsTrainConfig::fast();
+    c.circuitformer =
+        CircuitformerConfig { dim: 32, ffn_dim: 64, max_len: 64, ..CircuitformerConfig::fast() };
+    c.cf_train = TrainConfig { epochs: 8, batch_size: 32, threads: 1, ..TrainConfig::fast() };
+    c.augment = AugmentConfig::none();
+    c.sample = SampleConfig::paper_default().with_max_paths(250);
+    c
+}
+
+/// A pool of distinct parameterized designs: enough variety that rounds
+/// start cold, enough repeats (TOTAL_REQUESTS > pool) that the cache and
+/// batcher dedup see realistic traffic.
+fn design_pool() -> Vec<Design> {
+    let mut pool = Vec::new();
+    for lanes in [2u32, 4, 8] {
+        for width in [8u32, 12, 16] {
+            pool.push(vector::simd_alu(lanes, width));
+        }
+    }
+    for taps in [4u32, 8, 16] {
+        for width in [8u32, 16] {
+            pool.push(dsp::fir(taps, width));
+        }
+    }
+    for width in [8u32, 12] {
+        pool.push(dsp::conv2d(2, width));
+    }
+    for segments in [2u32, 4, 8] {
+        pool.push(nonlinear::piecewise(segments, 8));
+    }
+    for entries in [16u32, 32, 64] {
+        pool.push(nonlinear::lut(entries, 8));
+    }
+    for lanes in [2u32, 4, 8] {
+        pool.push(sort::radix_sort_stage(lanes, 8));
+    }
+    pool
+}
+
+fn predict_request(addr: SocketAddr, d: &Design) -> String {
+    let body = Json::obj(vec![
+        ("verilog", Json::Str(d.verilog.clone())),
+        ("top", Json::Str(d.top.clone())),
+    ])
+    .print();
+    format!(
+        "POST /predict HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// One blocking request; returns the latency in microseconds.
+fn timed_request(addr: SocketAddr, raw: &str) -> u64 {
+    let start = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(response.starts_with("HTTP/1.1 200"), "bad response: {}", &response[..response.len().min(200)]);
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+fn quantile(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1] as f64 / 1000.0
+}
+
+fn main() {
+    headline("sns-serve: throughput vs concurrency (cross-request micro-batching)");
+
+    let pool = design_pool();
+    println!("  [model] training a small serving model ({} pool designs)...", pool.len());
+    let (model, _) = train_sns(
+        &[
+            vector::simd_alu(2, 8),
+            vector::simd_alu(8, 16),
+            nonlinear::piecewise(4, 8),
+            dsp::fir(4, 8),
+            sort::radix_sort_stage(4, 8),
+            nonlinear::lut(32, 8),
+        ],
+        &serving_model_config(),
+    );
+    let model = Arc::new(model);
+
+    // Plenty of HTTP workers at every level: the measured variable is the
+    // inference path, not connection handling.
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 16,
+        queue_cap: 256,
+        cache_cap: None,
+        ..ServeConfig::default()
+    };
+    let server = Server::start_shared(Arc::clone(&model), config.clone()).expect("bind");
+    let addr = server.addr();
+    let metrics = server.metrics();
+    println!(
+        "  [serve] {} workers on {addr}, inference threads={}, batch={}",
+        config.workers, config.threads, config.batch
+    );
+
+    let requests: Vec<String> =
+        (0..TOTAL_REQUESTS).map(|i| predict_request(addr, &pool[i % pool.len()])).collect();
+
+    let mut rows = Vec::new();
+    let mut baseline_rps = 0.0f64;
+    for &k in CONCURRENCY {
+        // Same cold start for every level.
+        model.cache().clear();
+        let rounds_before = metrics.batch_rounds.load(Ordering::Relaxed);
+        let jobs_before = metrics.coalesced_jobs.load(Ordering::Relaxed);
+        let seqs_before = metrics.batched_seqs.load(Ordering::Relaxed);
+
+        let wall = Instant::now();
+        let per_client = TOTAL_REQUESTS / k;
+        let handles: Vec<_> = (0..k)
+            .map(|c| {
+                let slice: Vec<String> =
+                    requests[c * per_client..(c + 1) * per_client].to_vec();
+                std::thread::spawn(move || {
+                    slice.iter().map(|r| timed_request(addr, r)).collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        let mut lat_us: Vec<u64> =
+            handles.into_iter().flat_map(|h| h.join().expect("client")).collect();
+        let wall_s = wall.elapsed().as_secs_f64();
+        lat_us.sort_unstable();
+
+        let rps = TOTAL_REQUESTS as f64 / wall_s;
+        if k == 1 {
+            baseline_rps = rps;
+        }
+        let rounds = metrics.batch_rounds.load(Ordering::Relaxed) - rounds_before;
+        let jobs = metrics.coalesced_jobs.load(Ordering::Relaxed) - jobs_before;
+        let seqs = metrics.batched_seqs.load(Ordering::Relaxed) - seqs_before;
+        println!(
+            "  [k={k:>2}] {rps:7.2} req/s ({:.2}x vs k=1) | p50 {:7.1} ms  p99 {:7.1} ms | {jobs} jobs in {rounds} rounds ({:.1} jobs/round, {seqs} seqs)",
+            rps / baseline_rps,
+            quantile(&lat_us, 0.50),
+            quantile(&lat_us, 0.99),
+            if rounds == 0 { 0.0 } else { jobs as f64 / rounds as f64 },
+        );
+        rows.push(Json::obj(vec![
+            ("concurrency", Json::UInt(k as u64)),
+            ("requests", Json::UInt(TOTAL_REQUESTS as u64)),
+            ("wall_s", Json::Num(wall_s)),
+            ("req_per_s", Json::Num(rps)),
+            ("speedup_vs_sequential", Json::Num(rps / baseline_rps)),
+            ("p50_ms", Json::Num(quantile(&lat_us, 0.50))),
+            ("p99_ms", Json::Num(quantile(&lat_us, 0.99))),
+            ("batch_rounds", Json::UInt(rounds)),
+            ("coalesced_jobs", Json::UInt(jobs)),
+            ("batched_seqs", Json::UInt(seqs)),
+        ]));
+    }
+
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("serve_load".into())),
+        ("total_requests_per_level", Json::UInt(TOTAL_REQUESTS as u64)),
+        ("design_pool", Json::UInt(design_pool().len() as u64)),
+        ("inference_threads", Json::UInt(config.threads as u64)),
+        ("batch", Json::UInt(config.batch as u64)),
+        ("levels", Json::Arr(rows)),
+    ]);
+    write_root_json("BENCH_serve.json", &doc);
+    server.join();
+}

@@ -6,11 +6,61 @@
 //! [`SnsModel::critical_paths`], so predictions are memoized once on the
 //! model and reused across calls.
 //!
+//! The cache can be **bounded**: [`set_capacity`](PathPredictionCache::set_capacity)
+//! installs an entry-count cap with deterministic FIFO (insertion-order)
+//! eviction. Eviction only ever changes *recompute cost*, never values —
+//! the prediction function is pure, so a re-computed entry is
+//! bit-identical to the evicted one. The CLI leaves the cache unbounded;
+//! long-lived servers bound it (`SNS_CACHE_CAP`) so memory stays flat
+//! under unbounded workload diversity.
+//!
+//! Fill calls ([`ensure`](PathPredictionCache::ensure) /
+//! [`ensure_batched`](PathPredictionCache::ensure_batched)) maintain
+//! hit/miss counters over *unique* sequences: a unique sequence already
+//! present counts one hit, a unique sequence that must be computed counts
+//! one miss. Point lookups via [`get`](PathPredictionCache::get) are not
+//! counted (the aggregation reduction reads every path through `get`,
+//! which would drown the fill-level signal the counters exist to report).
+//!
 //! [`SnsModel::path_aggregates`]: crate::SnsModel::path_aggregates
 //! [`SnsModel::critical_paths`]: crate::SnsModel::critical_paths
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<Vec<usize>, [f64; 3]>,
+    /// Insertion order of the keys in `map`, oldest first; drives FIFO
+    /// eviction. Only maintained while a capacity is set (entries
+    /// inserted before the first `set_capacity` call are backfilled in
+    /// deterministic key order at that point).
+    order: VecDeque<Vec<usize>>,
+    /// Entry cap; `usize::MAX` means unbounded.
+    cap: usize,
+}
+
+impl Inner {
+    /// Inserts one entry, evicting FIFO past the cap; returns how many
+    /// entries were evicted.
+    fn insert(&mut self, tokens: Vec<usize>, pred: [f64; 3]) -> u64 {
+        let fresh = self.map.insert(tokens.clone(), pred).is_none();
+        if self.cap == usize::MAX {
+            return 0;
+        }
+        if fresh {
+            self.order.push_back(tokens);
+        }
+        let mut evicted = 0;
+        while self.map.len() > self.cap {
+            let oldest = self.order.pop_front().expect("order tracks map");
+            self.map.remove(&oldest);
+            evicted += 1;
+        }
+        evicted
+    }
+}
 
 /// Maps a path's vocabulary token sequence to its raw
 /// `[timing, area, power]` prediction.
@@ -18,28 +68,91 @@ use std::sync::RwLock;
 /// Interior mutability lets `&self` prediction methods fill the cache;
 /// the lock is only ever taken briefly (lookups and batched inserts) —
 /// the expensive Circuitformer calls happen outside it.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PathPredictionCache {
-    map: RwLock<HashMap<Vec<usize>, [f64; 3]>>,
+    inner: RwLock<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for PathPredictionCache {
+    fn default() -> Self {
+        PathPredictionCache {
+            inner: RwLock::new(Inner { map: HashMap::new(), order: VecDeque::new(), cap: usize::MAX }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
 }
 
 impl Clone for PathPredictionCache {
     fn clone(&self) -> Self {
+        let inner = self.inner.read().expect("cache lock poisoned");
         PathPredictionCache {
-            map: RwLock::new(self.map.read().expect("cache lock poisoned").clone()),
+            inner: RwLock::new(Inner {
+                map: inner.map.clone(),
+                order: inner.order.clone(),
+                cap: inner.cap,
+            }),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+            evictions: AtomicU64::new(self.evictions.load(Ordering::Relaxed)),
         }
     }
 }
 
 impl PathPredictionCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty cache bounded to at most `cap` entries (FIFO eviction).
+    pub fn with_capacity(cap: usize) -> Self {
+        let cache = Self::default();
+        cache.set_capacity(Some(cap));
+        cache
+    }
+
+    /// Installs (or removes, with `None`) an entry-count bound.
+    ///
+    /// Eviction is deterministic: entries leave in insertion order
+    /// (FIFO). Shrinking below the current size evicts immediately.
+    pub fn set_capacity(&self, cap: Option<usize>) {
+        let mut inner = self.inner.write().expect("cache lock poisoned");
+        inner.cap = cap.unwrap_or(usize::MAX);
+        if inner.cap == usize::MAX {
+            inner.order.clear();
+            return;
+        }
+        if inner.order.is_empty() && !inner.map.is_empty() {
+            // Capacity installed on an already-filled unbounded cache:
+            // synthesize a deterministic insertion order (sorted keys).
+            let mut keys: Vec<Vec<usize>> = inner.map.keys().cloned().collect();
+            keys.sort_unstable();
+            inner.order = keys.into();
+        }
+        let mut evicted = 0u64;
+        while inner.map.len() > inner.cap {
+            let oldest = inner.order.pop_front().expect("order tracks map");
+            inner.map.remove(&oldest);
+            evicted += 1;
+        }
+        drop(inner);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// The current entry-count bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        let cap = self.inner.read().expect("cache lock poisoned").cap;
+        (cap != usize::MAX).then_some(cap)
+    }
+
     /// Number of memoized sequences.
     pub fn len(&self) -> usize {
-        self.map.read().expect("cache lock poisoned").len()
+        self.inner.read().expect("cache lock poisoned").map.len()
     }
 
     /// Whether the cache holds no entries.
@@ -47,19 +160,70 @@ impl PathPredictionCache {
         self.len() == 0
     }
 
-    /// Drops every entry (e.g. after mutating model weights).
+    /// Unique sequences found already cached by fill calls.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Unique sequences fill calls had to compute.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the capacity bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Drops every entry (e.g. after mutating model weights). Counters
+    /// are preserved — they describe lifetime traffic, not contents.
     pub fn clear(&self) {
-        self.map.write().expect("cache lock poisoned").clear();
+        let mut inner = self.inner.write().expect("cache lock poisoned");
+        inner.map.clear();
+        inner.order.clear();
     }
 
-    /// The memoized prediction for `tokens`, if present.
+    /// The memoized prediction for `tokens`, if present. Not counted in
+    /// hit/miss statistics (see the module docs).
     pub fn get(&self, tokens: &[usize]) -> Option<[f64; 3]> {
-        self.map.read().expect("cache lock poisoned").get(tokens).copied()
+        self.inner.read().expect("cache lock poisoned").map.get(tokens).copied()
     }
 
-    /// Memoizes one prediction.
+    /// Memoizes one prediction, evicting the oldest entry if a capacity
+    /// bound is set and exceeded.
     pub fn insert(&self, tokens: Vec<usize>, pred: [f64; 3]) {
-        self.map.write().expect("cache lock poisoned").insert(tokens, pred);
+        let mut inner = self.inner.write().expect("cache lock poisoned");
+        let evicted = inner.insert(tokens, pred);
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// The unique sequences from `seqs` not currently cached, in first-
+    /// occurrence order, updating the hit/miss counters (one hit per
+    /// unique cached sequence, one miss per returned sequence).
+    pub fn missing_unique(&self, seqs: &[Vec<usize>]) -> Vec<Vec<usize>> {
+        let missing: Vec<Vec<usize>> = {
+            let inner = self.inner.read().expect("cache lock poisoned");
+            let mut seen: HashSet<&Vec<usize>> = HashSet::new();
+            let mut unique_hits = 0u64;
+            let mut out = Vec::new();
+            for t in seqs {
+                if !seen.insert(t) {
+                    continue;
+                }
+                if inner.map.contains_key(t) {
+                    unique_hits += 1;
+                } else {
+                    out.push(t.clone());
+                }
+            }
+            self.hits.fetch_add(unique_hits, Ordering::Relaxed);
+            out
+        };
+        self.misses.fetch_add(missing.len() as u64, Ordering::Relaxed);
+        missing
     }
 
     /// Ensures every sequence in `seqs` is cached, computing the missing
@@ -71,18 +235,19 @@ impl PathPredictionCache {
     where
         F: Fn(&[usize]) -> [f64; 3] + Sync,
     {
-        let missing: Vec<&Vec<usize>> = {
-            let map = self.map.read().expect("cache lock poisoned");
-            let mut seen: HashSet<&Vec<usize>> = HashSet::new();
-            seqs.iter().filter(|t| !map.contains_key(*t) && seen.insert(*t)).collect()
-        };
+        let missing = self.missing_unique(seqs);
         if missing.is_empty() {
             return;
         }
         let preds = sns_rt::pool::par_map(&missing, threads, |t| predict(t));
-        let mut map = self.map.write().expect("cache lock poisoned");
+        let mut inner = self.inner.write().expect("cache lock poisoned");
+        let mut evicted = 0;
         for (tokens, pred) in missing.into_iter().zip(preds) {
-            map.insert(tokens.clone(), pred);
+            evicted += inner.insert(tokens, pred);
+        }
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
     }
 
@@ -104,11 +269,22 @@ impl PathPredictionCache {
     where
         F: Fn(&[&[usize]]) -> Vec<[f64; 3]> + Sync,
     {
-        let missing: Vec<&Vec<usize>> = {
-            let map = self.map.read().expect("cache lock poisoned");
-            let mut seen: HashSet<&Vec<usize>> = HashSet::new();
-            seqs.iter().filter(|t| !map.contains_key(*t) && seen.insert(*t)).collect()
-        };
+        let missing = self.missing_unique(seqs);
+        if missing.is_empty() {
+            return;
+        }
+        self.compute_batched(missing, threads, batch, predict_batch);
+    }
+
+    /// The fill half of [`ensure_batched`](Self::ensure_batched):
+    /// computes `missing` (assumed unique, counters already updated) in
+    /// length-bucketed chunks and inserts the results. Exposed so a
+    /// cross-request micro-batcher can coalesce the missing sets of many
+    /// concurrent callers into one fill.
+    pub fn compute_batched<F>(&self, missing: Vec<Vec<usize>>, threads: usize, batch: usize, predict_batch: F)
+    where
+        F: Fn(&[&[usize]]) -> Vec<[f64; 3]> + Sync,
+    {
         if missing.is_empty() {
             return;
         }
@@ -125,12 +301,17 @@ impl PathPredictionCache {
             let refs: Vec<&[usize]> = chunk.iter().map(|t| t.as_slice()).collect();
             predict_batch(&refs)
         });
-        let mut map = self.map.write().expect("cache lock poisoned");
+        let mut inner = self.inner.write().expect("cache lock poisoned");
+        let mut evicted = 0;
         for (chunk, chunk_preds) in chunks.into_iter().zip(preds) {
             assert_eq!(chunk.len(), chunk_preds.len(), "predict_batch must return one prediction per sequence");
             for (tokens, pred) in chunk.into_iter().zip(chunk_preds) {
-                map.insert(tokens.clone(), pred);
+                evicted += inner.insert(tokens.clone(), pred);
             }
+        }
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
     }
 }
@@ -166,6 +347,21 @@ mod tests {
         assert_eq!(calls.load(Ordering::Relaxed), 2);
         assert_eq!(cache.get(&[1]), Some([1.0, 0.0, 0.0]));
         assert_eq!(cache.get(&[9]), Some([9.0, 9.0, 9.0]));
+    }
+
+    #[test]
+    fn hit_and_miss_counters_track_unique_fill_traffic() {
+        let cache = PathPredictionCache::new();
+        let seqs = vec![vec![1], vec![2], vec![1]];
+        cache.ensure(&seqs, 1, |t| [t[0] as f64, 0.0, 0.0]);
+        // First fill: two unique sequences, both missing.
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        cache.ensure(&seqs, 1, |_| unreachable!("everything is cached"));
+        // Second fill: both unique sequences hit.
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+        // Point lookups are not counted.
+        let _ = cache.get(&[1]);
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
     }
 
     #[test]
@@ -211,6 +407,89 @@ mod tests {
                     assert_eq!(cache.get(s), reference.get(s), "batch={batch} threads={threads}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn capacity_bound_evicts_fifo_deterministically() {
+        let cache = PathPredictionCache::with_capacity(3);
+        for i in 0..5usize {
+            cache.insert(vec![i], [i as f64, 0.0, 0.0]);
+        }
+        assert_eq!(cache.len(), 3);
+        // FIFO: [0] and [1] left first.
+        assert_eq!(cache.get(&[0]), None);
+        assert_eq!(cache.get(&[1]), None);
+        assert_eq!(cache.get(&[2]), Some([2.0, 0.0, 0.0]));
+        assert_eq!(cache.get(&[4]), Some([4.0, 0.0, 0.0]));
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let cache = PathPredictionCache::new();
+        for i in 0..10usize {
+            cache.insert(vec![i], [i as f64, 0.0, 0.0]);
+        }
+        cache.set_capacity(Some(4));
+        assert_eq!(cache.len(), 4);
+        // Backfilled order is sorted keys, so the 4 largest keys remain.
+        for i in 6..10usize {
+            assert!(cache.get(&[i]).is_some(), "[{i}] should survive");
+        }
+        assert_eq!(cache.capacity(), Some(4));
+        cache.set_capacity(None);
+        assert_eq!(cache.capacity(), None);
+    }
+
+    #[test]
+    fn eviction_changes_recompute_cost_never_values() {
+        // The acceptance property of the bounded cache: with a pure
+        // prediction function, a tiny cap forces recomputation but every
+        // value handed back is bit-identical to the unbounded run.
+        let seqs: Vec<Vec<usize>> =
+            (0..30).map(|i| (0..(i % 7 + 1)).map(|j| 31 * i + j).collect()).collect();
+        let predict = |t: &[usize]| {
+            let s = t.iter().map(|&x| (x as f64).sin()).sum::<f64>();
+            [s, s * 0.5, s * 0.25]
+        };
+        let unbounded = PathPredictionCache::new();
+        unbounded.ensure(&seqs, 1, predict);
+        let reference: Vec<[f64; 3]> = seqs.iter().map(|s| unbounded.get(s).unwrap()).collect();
+
+        for cap in [1, 3, 7] {
+            let cache = PathPredictionCache::with_capacity(cap);
+            let calls = AtomicUsize::new(0);
+            let mut total_calls_prev = 0;
+            for round in 0..3 {
+                // Feed the sequences in small windows so each window fits
+                // in (or overflows) the cap; every returned value must
+                // still match the unbounded reference exactly.
+                for window in seqs.chunks(5) {
+                    cache.ensure_batched(&window.to_vec(), 2, 3, |chunk| {
+                        calls.fetch_add(chunk.len(), Ordering::Relaxed);
+                        chunk.iter().map(|t| predict(t)).collect()
+                    });
+                    for s in window {
+                        if let Some(v) = cache.get(s) {
+                            let expect = reference[seqs.iter().position(|x| x == s).unwrap()];
+                            assert_eq!(v, expect, "cap={cap} round={round}");
+                        }
+                    }
+                }
+                assert!(cache.len() <= cap, "cap={cap} violated: {}", cache.len());
+                let total = calls.load(Ordering::Relaxed);
+                // Bounded cache recomputes: later rounds still do work.
+                assert!(total >= total_calls_prev, "cap={cap}");
+                total_calls_prev = total;
+            }
+            // With cap=1 almost everything is recomputed every round;
+            // with an unbounded cache the 2nd and 3rd rounds would cost 0.
+            assert!(
+                calls.load(Ordering::Relaxed) > seqs.len(),
+                "cap={cap}: expected recomputation beyond the first round"
+            );
+            assert!(cache.evictions() > 0, "cap={cap}");
         }
     }
 

@@ -121,6 +121,22 @@ impl SnsModel {
         activity: Option<&HashMap<String, f32>>,
     ) -> ([f64; 3], Vec<String>) {
         let token_seqs = self.predict_paths(graph, paths);
+        self.reduce_paths(graph, paths, &token_seqs, activity)
+    }
+
+    /// The serial path-order reduction over already-predicted paths.
+    ///
+    /// Reads each path's prediction from the shared cache; a sequence
+    /// evicted between fill and read (bounded caches under concurrent
+    /// fills) is transparently recomputed — the Circuitformer is pure, so
+    /// the value is bit-identical either way.
+    fn reduce_paths(
+        &self,
+        graph: &GraphIr,
+        paths: &[CircuitPath],
+        token_seqs: &[Vec<usize>],
+        activity: Option<&HashMap<String, f32>>,
+    ) -> ([f64; 3], Vec<String>) {
         let mut timing_max = 0.0f64;
         let mut area_sum = 0.0f64;
         let mut power_sum = 0.0f64;
@@ -128,8 +144,9 @@ impl SnsModel {
         // The reduction stays serial in path order, so the result is
         // bit-identical to the old single-threaded loop (in particular
         // the strict `>` keeps first-wins critical-path selection).
-        for (p, tokens) in paths.iter().zip(&token_seqs) {
-            let raw = self.cache.get(tokens).expect("predict_paths filled the cache");
+        for (p, tokens) in paths.iter().zip(token_seqs) {
+            let raw =
+                self.cache.get(tokens).unwrap_or_else(|| self.predict_path(tokens));
             if raw[0] > timing_max {
                 timing_max = raw[0];
                 critical = p.vertices().iter().map(|&v| graph.vertex(v).name.clone()).collect();
@@ -163,6 +180,41 @@ impl SnsModel {
         start: Instant,
     ) -> DesignPrediction {
         let (aggregates, critical) = self.path_aggregates(graph, paths, activity);
+        self.refine(graph, paths, aggregates, critical, start)
+    }
+
+    /// Like [`aggregate`](Self::aggregate), but assumes the caller has
+    /// already primed the shared cache (via
+    /// [`prime_path_cache`](Self::prime_path_cache)) for `token_seqs` —
+    /// no new Circuitformer forward passes are scheduled here, so many
+    /// callers can coalesce their inference into shared batches first and
+    /// then reduce independently. Bit-identical to [`aggregate`]: both
+    /// run the same serial reduction over the same pure per-path values
+    /// (a sequence evicted since priming is recomputed inline).
+    ///
+    /// [`aggregate`]: Self::aggregate
+    pub fn predict_primed(
+        &self,
+        graph: &GraphIr,
+        paths: &[CircuitPath],
+        token_seqs: &[Vec<usize>],
+        activity: Option<&HashMap<String, f32>>,
+        start: Instant,
+    ) -> DesignPrediction {
+        let (aggregates, critical) = self.reduce_paths(graph, paths, token_seqs, activity);
+        self.refine(graph, paths, aggregates, critical, start)
+    }
+
+    /// The MLP refinement step shared by [`aggregate`](Self::aggregate)
+    /// and [`predict_primed`](Self::predict_primed).
+    fn refine(
+        &self,
+        graph: &GraphIr,
+        paths: &[CircuitPath],
+        aggregates: [f64; 3],
+        critical: Vec<String>,
+        start: Instant,
+    ) -> DesignPrediction {
         let stats = graph.stats(&self.vocab);
         let mut out = [0.0f64; 3];
         for d in 0..3 {
@@ -197,7 +249,8 @@ impl SnsModel {
             .iter()
             .zip(&token_seqs)
             .map(|(p, tokens)| {
-                let raw = self.cache.get(tokens).expect("predict_paths filled the cache");
+                let raw =
+                    self.cache.get(tokens).unwrap_or_else(|| self.predict_path(tokens));
                 let names =
                     p.vertices().iter().map(|&v| graph.vertex(v).name.clone()).collect();
                 (raw[0], names)
@@ -222,14 +275,34 @@ impl SnsModel {
     /// bit-identical at any thread count and any batch size
     /// (`SNS_THREADS=1` vs `8`, `SNS_BATCH=1` vs `32` all agree exactly).
     fn predict_paths(&self, graph: &GraphIr, paths: &[CircuitPath]) -> Vec<Vec<usize>> {
-        let token_seqs: Vec<Vec<usize>> =
-            paths.iter().map(|p| p.token_ids(graph, &self.vocab)).collect();
+        let token_seqs = self.tokenize_paths(graph, paths);
         let threads = sns_rt::pool::default_threads();
         let batch = sns_rt::pool::default_batch();
-        self.cache.ensure_batched(&token_seqs, threads, batch, |chunk| {
+        self.prime_path_cache(&token_seqs, threads, batch);
+        token_seqs
+    }
+
+    /// Tokenizes each sampled path into the vocabulary id sequence the
+    /// Circuitformer consumes.
+    pub fn tokenize_paths(&self, graph: &GraphIr, paths: &[CircuitPath]) -> Vec<Vec<usize>> {
+        paths.iter().map(|p| p.token_ids(graph, &self.vocab)).collect()
+    }
+
+    /// Ensures the shared [`PathPredictionCache`] holds a prediction for
+    /// every sequence in `token_seqs`, running the missing unique ones in
+    /// length-bucketed packed forwards of at most `batch` sequences over
+    /// `threads` workers. After this, [`predict_primed`]
+    /// (Self::predict_primed) completes without further inference.
+    pub fn prime_path_cache(&self, token_seqs: &[Vec<usize>], threads: usize, batch: usize) {
+        self.cache.ensure_batched(token_seqs, threads, batch, |chunk| {
             self.predict_path_batch(chunk)
         });
-        token_seqs
+    }
+
+    /// The shared per-path prediction cache (hit/miss counters, capacity
+    /// control — see [`PathPredictionCache`]).
+    pub fn cache(&self) -> &PathPredictionCache {
+        &self.cache
     }
 
     /// The number of unique path sequences memoized so far (shared across

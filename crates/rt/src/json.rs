@@ -168,6 +168,46 @@ impl Json {
         out
     }
 
+    /// Serializes to indented JSON text (2-space indent, trailing
+    /// newline) — for snapshot files and anything a human diffs. Parses
+    /// back to the same value as [`print`](Self::print), bit for bit.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_string(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+            leaf => leaf.write(out),
+        }
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -241,13 +281,26 @@ fn write_string(s: &str, out: &mut String) {
 
 // ---- parsing ----
 
+/// Maximum container nesting depth the parser accepts.
+///
+/// The parser is recursive, so without a bound an adversarial document
+/// like `"[".repeat(1 << 20)` would overflow the stack instead of
+/// returning an error. 128 is far deeper than any model file and keeps
+/// the recursion worst case at a few kilobytes of stack.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses a JSON document.
+///
+/// Total on arbitrary input: any string either parses or returns an
+/// error — malformed syntax, truncation, nesting deeper than
+/// [`MAX_DEPTH`], and numbers outside the finite `f64` range are all
+/// reported as [`JsonError`]s, never panics.
 ///
 /// # Errors
 ///
 /// Returns a [`JsonError`] naming the byte offset of the first problem.
 pub fn parse(text: &str) -> Result<Json, JsonError> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -260,6 +313,7 @@ pub fn parse(text: &str) -> Result<Json, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -305,12 +359,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return err(format!("nesting deeper than {MAX_DEPTH} at byte {}", self.pos));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -321,6 +385,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return err(format!("expected `,` or `]` at byte {}", self.pos)),
@@ -330,10 +395,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -349,6 +416,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 _ => return err(format!("expected `,` or `}}` at byte {}", self.pos)),
@@ -386,10 +454,15 @@ impl<'a> Parser<'a> {
                                 {
                                     self.pos += 1; // past the backslash; hex4 skips the `u`
                                     let lo = self.hex4()?;
-                                    let combined = 0x10000
-                                        + ((cp - 0xD800) << 10)
-                                        + (lo.wrapping_sub(0xDC00));
-                                    char::from_u32(combined)
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        let combined =
+                                            0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                        char::from_u32(combined)
+                                    } else {
+                                        // High surrogate not followed by a
+                                        // low surrogate — unpaired, invalid.
+                                        None
+                                    }
                                 } else {
                                     None
                                 }
@@ -468,9 +541,15 @@ impl<'a> Parser<'a> {
                 return Ok(Json::UInt(u));
             }
         }
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| JsonError(format!("invalid number at byte {start}")))
+        match text.parse::<f64>() {
+            // JSON has no Inf/NaN, and a non-finite value would not
+            // survive a round-trip (the printer writes `null`), so
+            // overflowing literals like `1e999` are rejected rather than
+            // saturated.
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            Ok(_) => err(format!("number out of f64 range at byte {start}")),
+            Err(_) => err(format!("invalid number at byte {start}")),
+        }
     }
 }
 

@@ -1,0 +1,245 @@
+//! Adversarial tests for `sns_rt::json` — the parsing substrate of the
+//! `sns-serve` HTTP daemon, where every byte comes from an untrusted
+//! network peer. The parser must be *total*: any input either parses or
+//! returns a `JsonError`; it must never panic, overflow the stack, or
+//! accept a value that does not survive a round-trip.
+//!
+//! All fuzz loops are seeded (`sns_rt::rng::StdRng`), so failures
+//! reproduce exactly.
+
+use sns_rt::json::{normalized, parse, Json, MAX_DEPTH};
+use sns_rt::rng::StdRng;
+
+// ---- generators ----
+
+/// A random JSON value with bounded depth and size.
+fn gen_value(rng: &mut StdRng, depth: usize) -> Json {
+    let choice = if depth == 0 { rng.gen_range(0..6usize) } else { rng.gen_range(0..8usize) };
+    match choice {
+        0 => Json::Null,
+        1 => Json::Bool(rng.next_u32() & 1 == 0),
+        2 => Json::Int(rng.next_u64() as i64),
+        3 => Json::UInt((i64::MAX as u64).wrapping_add(rng.next_u64() % (1 << 40))),
+        4 => gen_finite_num(rng),
+        5 => Json::Str(gen_string(rng)),
+        6 => {
+            let n = rng.gen_range(0..4usize);
+            Json::Arr((0..n).map(|_| gen_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(0..4usize);
+            Json::Obj((0..n).map(|i| (format!("k{i}_{}", gen_string(rng)), gen_value(rng, depth - 1))).collect())
+        }
+    }
+}
+
+/// A finite f64 spanning many magnitudes (subnormals through 1e300).
+fn gen_finite_num(rng: &mut StdRng) -> Json {
+    loop {
+        let bits = rng.next_u64();
+        let v = f64::from_bits(bits);
+        if v.is_finite() {
+            return Json::Num(v);
+        }
+    }
+}
+
+/// A string mixing ASCII, quotes, backslashes, control chars, and
+/// multi-byte scalars.
+fn gen_string(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(0..12usize);
+    (0..n)
+        .map(|_| match rng.gen_range(0..8u32) {
+            0 => '"',
+            1 => '\\',
+            2 => char::from_u32(rng.gen_range(0..0x20u32)).unwrap(),
+            3 => '😀',
+            4 => '𝄞',
+            5 => char::from_u32(0x7f).unwrap(),
+            _ => char::from_u32(rng.gen_range(0x20..0x7fu32)).unwrap(),
+        })
+        .collect()
+}
+
+// ---- round-trip property ----
+
+#[test]
+fn generated_values_round_trip_exactly() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_1504);
+    for i in 0..2000 {
+        let v = gen_value(&mut rng, 5);
+        let text = v.print();
+        let back = parse(&text).unwrap_or_else(|e| panic!("iter {i}: {e}\n{text}"));
+        assert_eq!(back, v, "iter {i}: round-trip drift\n{text}");
+    }
+}
+
+#[test]
+fn pretty_printing_round_trips_exactly_too() {
+    // The golden-snapshot files are written with `pretty()`; it must
+    // parse back to the identical value (same f64 bits) as `print()`.
+    let mut rng = StdRng::seed_from_u64(0x9E77_40BE);
+    for i in 0..500 {
+        let v = gen_value(&mut rng, 5);
+        let text = v.pretty();
+        let back = parse(&text).unwrap_or_else(|e| panic!("iter {i}: {e}\n{text}"));
+        assert_eq!(back, v, "iter {i}: pretty round-trip drift\n{text}");
+    }
+}
+
+#[test]
+fn printed_objects_round_trip_through_normalization() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for _ in 0..200 {
+        let v = gen_value(&mut rng, 4);
+        let n = normalized(&v);
+        // Normalization is idempotent and print-stable.
+        assert_eq!(normalized(&n), n);
+        assert_eq!(parse(&n.print()).unwrap(), n);
+    }
+}
+
+// ---- truncation ----
+
+#[test]
+fn every_prefix_of_a_valid_document_errors_cleanly() {
+    let mut rng = StdRng::seed_from_u64(0x7A11);
+    for _ in 0..50 {
+        let text = gen_value(&mut rng, 4).print();
+        for cut in 0..text.len() {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &text[..cut];
+            // Must return (ok for prefixes that happen to be valid JSON,
+            // err otherwise) — never panic. The full document parses, so
+            // the empty prefix at least must error.
+            let _ = parse(prefix);
+        }
+        assert!(parse("").is_err());
+    }
+}
+
+#[test]
+fn truncated_escapes_and_literals_error() {
+    for text in [
+        "\"\\", "\"\\u", "\"\\u12", "\"\\uD83D", "\"\\uD83D\\u", "nul", "tru", "fals", "-",
+        "1e", "1e+", "0.", "[", "[1", "[1,", "{", "{\"", "{\"a\"", "{\"a\":", "{\"a\":1,",
+    ] {
+        // `1e` / `1e+` / `0.` are lenient-parsed by Rust's f64 parser or
+        // rejected — either way no panic; structural truncations must err.
+        let _ = parse(text);
+    }
+    for text in ["[", "[1,", "{", "{\"a\":", "\"\\u12", "nul"] {
+        assert!(parse(text).is_err(), "{text:?}");
+    }
+}
+
+// ---- deep nesting ----
+
+#[test]
+fn pathological_nesting_errors_instead_of_overflowing_the_stack() {
+    for unit in ["[", "{\"k\":"] {
+        for n in [MAX_DEPTH + 1, 10_000, 1_000_000] {
+            let doc = unit.repeat(n);
+            let e = parse(&doc).unwrap_err();
+            assert!(e.0.contains("nesting"), "{unit:?} x{n}: {e}");
+        }
+    }
+}
+
+#[test]
+fn nesting_up_to_the_limit_parses() {
+    let doc = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+    parse(&doc).expect("MAX_DEPTH nesting is legal");
+    let over = format!("{}0{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+    assert!(parse(&over).is_err());
+}
+
+// ---- huge numbers ----
+
+#[test]
+fn out_of_range_numbers_are_rejected_not_saturated() {
+    for text in ["1e999", "-1e999", "1e308e5", "9e99999999"] {
+        let r = parse(text);
+        match r {
+            Err(_) => {}
+            Ok(v) => panic!("{text} parsed as {v:?}"),
+        }
+    }
+    // A 400-digit integer exceeds u64 and f64 range → clean error.
+    let huge = "9".repeat(400);
+    assert!(parse(&huge).is_err());
+    // Near the edge of f64 range still parses and round-trips.
+    let v = parse("1e308").unwrap();
+    assert_eq!(parse(&v.print()).unwrap(), v);
+    // u64::MAX + 1 falls back to f64 (inexact but finite, still accepted).
+    assert!(parse("18446744073709551616").is_ok());
+}
+
+// ---- invalid escapes / surrogates ----
+
+#[test]
+fn invalid_escapes_error_cleanly() {
+    for text in [
+        r#""\x41""#,        // unknown escape
+        r#""\uD800""#,      // lone high surrogate
+        r#""\uDC00""#,      // lone low surrogate
+        r#""\uD800\uD800""#, // high followed by high
+        r#""\uD800\n""#,    // high surrogate then non-\u escape
+        r#""\uZZZZ""#,      // non-hex digits
+        r#""\u00""#,        // short hex run
+        "\"\\",             // backslash at EOF
+    ] {
+        assert!(parse(text).is_err(), "{text:?} should fail");
+    }
+    // Paired surrogates remain fine.
+    assert_eq!(parse(r#""😀""#).unwrap().as_str().unwrap(), "😀");
+}
+
+// ---- duplicate keys ----
+
+#[test]
+fn duplicate_keys_parse_deterministically_first_wins_on_get() {
+    let v = parse(r#"{"a":1,"b":2,"a":3}"#).unwrap();
+    // The document parses (insertion order preserved, duplicates kept —
+    // printing reproduces the input), and `get` deterministically returns
+    // the first occurrence.
+    assert_eq!(v.get("a").unwrap().as_f64().unwrap(), 1.0);
+    assert_eq!(v.print(), r#"{"a":1,"b":2,"a":3}"#);
+}
+
+// ---- byte-soup fuzz ----
+
+#[test]
+fn random_token_soup_never_panics() {
+    const TOKENS: &[&str] = &[
+        "{", "}", "[", "]", ",", ":", "\"", "\\", "null", "true", "false", "-", "+", ".",
+        "e", "E", "0", "17", "9e9", "\"a\"", "\\u", "\\uD800", " ", "\n", "\t", "\u{1F600}",
+        "\u{0}", "x",
+    ];
+    let mut rng = StdRng::seed_from_u64(0xF22E);
+    for _ in 0..5000 {
+        let n = rng.gen_range(0..24usize);
+        let doc: String = (0..n).map(|_| TOKENS[rng.gen_range(0..TOKENS.len())]).collect();
+        let _ = parse(&doc); // must return, never panic
+    }
+}
+
+#[test]
+fn mutated_valid_documents_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0xD00D);
+    for _ in 0..500 {
+        let mut text = gen_value(&mut rng, 4).print().into_bytes();
+        if text.is_empty() {
+            continue;
+        }
+        for _ in 0..3 {
+            let i = rng.gen_range(0..text.len());
+            text[i] = (rng.next_u32() & 0x7f) as u8; // keep it ASCII → valid UTF-8
+        }
+        if let Ok(s) = String::from_utf8(text) {
+            let _ = parse(&s);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! A tiny `sns-serve` client: POST one Verilog design to a running
+//! daemon and print the prediction.
+//!
+//! ```text
+//! cargo run -p sns-serve --example client -- 127.0.0.1:7878
+//! ```
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use sns_rt::json::Json;
+
+const MAC: &str = "module mac (input clk, input [7:0] a, b, output [15:0] y);
+    reg [15:0] acc;
+    always @(posedge clk) acc <= acc + a * b;
+    assign y = acc;
+endmodule";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let body = Json::obj(vec![
+        ("verilog", Json::Str(MAC.to_string())),
+        ("top", Json::Str("mac".to_string())),
+        ("clock_ps", Json::Num(1500.0)),
+    ])
+    .print();
+
+    let mut stream = TcpStream::connect(&addr)?;
+    write!(
+        stream,
+        "POST /predict HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+
+    let (head, payload) = response.split_once("\r\n\r\n").ok_or("malformed response")?;
+    println!("{}", head.lines().next().unwrap_or(""));
+    let v = sns_rt::json::parse(payload)?;
+    println!("{}", v.print());
+    if let (Ok(t), Ok(a), Ok(p)) = (v.get("timing_ps"), v.get("area_um2"), v.get("power_mw")) {
+        println!(
+            "\n→ timing {:.0} ps, area {:.1} µm², power {:.3} mW",
+            t.as_f64()?,
+            a.as_f64()?,
+            p.as_f64()?
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,180 @@
+//! The cross-request micro-batcher.
+//!
+//! Each `/predict` handler discovers which of its path token sequences
+//! are missing from the model's shared [`PathPredictionCache`] and
+//! submits them here instead of running inference itself. A single
+//! batcher thread drains *all* currently queued submissions at once,
+//! unions their missing sequences, and fills the cache with one
+//! length-bucketed, `SNS_BATCH`-packed, `SNS_THREADS`-parallel pass —
+//! so concurrent requests' sequences ride in the same packed
+//! Circuitformer forwards.
+//!
+//! Coalescing is emergent rather than timer-driven: while a round is
+//! running, newly arriving submissions pile up in the queue and are all
+//! taken by the next drain. Under load the batch size grows; at
+//! concurrency 1 a request never waits on a timer. Because per-sequence
+//! predictions are independent of their batch-mates (see
+//! `Circuitformer::predict_batch`), coalescing changes throughput only,
+//! never a single bit of any response.
+//!
+//! [`PathPredictionCache`]: sns_core::PathPredictionCache
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use sns_core::SnsModel;
+
+use crate::metrics::Metrics;
+
+/// Completion gate a handler blocks on after submitting.
+#[derive(Debug, Default)]
+pub struct Gate {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    /// Blocks until the submission's fill round completes, or until
+    /// `deadline` passes. Returns `true` when the round completed.
+    ///
+    /// A `false` return does not cancel the round — the cache still gets
+    /// filled (useful work for future requests); only this caller stops
+    /// waiting.
+    pub fn wait(&self, deadline: Option<Instant>) -> bool {
+        let mut done = self.done.lock().expect("gate lock poisoned");
+        loop {
+            if *done {
+                return true;
+            }
+            match deadline {
+                None => done = self.cv.wait(done).expect("gate lock poisoned"),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return false;
+                    }
+                    let (g, _) = self
+                        .cv
+                        .wait_timeout(done, d - now)
+                        .expect("gate lock poisoned");
+                    done = g;
+                }
+            }
+        }
+    }
+
+    fn open(&self) {
+        *self.done.lock().expect("gate lock poisoned") = true;
+        self.cv.notify_all();
+    }
+}
+
+struct Job {
+    missing: Vec<Vec<usize>>,
+    gate: Arc<Gate>,
+}
+
+struct Shared {
+    queue: Mutex<Vec<Job>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Owns the batcher thread; dropped last by the server on shutdown.
+pub struct MicroBatcher {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl MicroBatcher {
+    /// Starts the batcher thread for `model`, filling the model's shared
+    /// cache with `threads`-parallel, `batch`-packed rounds.
+    pub fn start(model: Arc<SnsModel>, threads: usize, batch: usize, metrics: Arc<Metrics>) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Vec::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("sns-batcher".into())
+            .spawn(move || Self::run(&worker_shared, &model, threads, batch, &metrics))
+            .expect("spawn batcher thread");
+        MicroBatcher { shared, worker: Some(worker) }
+    }
+
+    fn run(shared: &Shared, model: &SnsModel, threads: usize, batch: usize, metrics: &Metrics) {
+        loop {
+            let jobs: Vec<Job> = {
+                let mut queue = shared.queue.lock().expect("batcher lock poisoned");
+                while queue.is_empty() {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    queue = shared.cv.wait(queue).expect("batcher lock poisoned");
+                }
+                std::mem::take(&mut *queue)
+            };
+            // Union the jobs' missing sets in first-occurrence order —
+            // concurrent requests for the same design compute once.
+            let mut seen: HashSet<&[usize]> = HashSet::new();
+            let mut union: Vec<Vec<usize>> = Vec::new();
+            for job in &jobs {
+                for seq in &job.missing {
+                    if seen.insert(seq.as_slice()) {
+                        union.push(seq.clone());
+                    }
+                }
+            }
+            metrics.batch_rounds.fetch_add(1, Ordering::Relaxed);
+            metrics.coalesced_jobs.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+            metrics.batched_seqs.fetch_add(union.len() as u64, Ordering::Relaxed);
+            model
+                .cache()
+                .compute_batched(union, threads, batch, |chunk| model.predict_path_batch(chunk));
+            for job in jobs {
+                job.gate.open();
+            }
+        }
+    }
+
+    /// Queues `missing` (token sequences absent from the cache, as
+    /// reported by `PathPredictionCache::missing_unique`) for the next
+    /// fill round. Returns the gate to wait on; an empty submission gets
+    /// an already-open gate.
+    pub fn submit(&self, missing: Vec<Vec<usize>>) -> Arc<Gate> {
+        let gate = Arc::new(Gate::default());
+        if missing.is_empty() {
+            gate.open();
+            return gate;
+        }
+        {
+            let mut queue = self.shared.queue.lock().expect("batcher lock poisoned");
+            queue.push(Job { missing, gate: Arc::clone(&gate) });
+        }
+        self.shared.cv.notify_one();
+        gate
+    }
+
+    /// Finishes queued rounds, then stops the batcher thread.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        if let Some(worker) = self.worker.take() {
+            worker.join().expect("batcher thread panicked");
+        }
+    }
+}
+
+impl Drop for MicroBatcher {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The `sns-serve` daemon: load (or quick-train) an SNS model and serve
+//! predictions over HTTP until SIGTERM/ctrl-C, then drain and exit.
+//!
+//! ```text
+//! sns-serve --model model.json [--addr 127.0.0.1:7878]
+//! sns-serve --train 8          [--addr 127.0.0.1:7878]   # demo model
+//! ```
+//!
+//! Environment knobs: SNS_SERVE_WORKERS, SNS_QUEUE_CAP, SNS_MAX_BODY,
+//! SNS_DEADLINE_MS, SNS_CACHE_CAP, SNS_THREADS, SNS_BATCH.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use sns_serve::{ServeConfig, Server};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sig {
+    //! SIGINT/SIGTERM → a flag the main loop polls. Installed via the
+    //! C `signal` symbol that libc (already linked by `std`) exports —
+    //! no new dependency. The handler body is a single atomic store,
+    //! which is async-signal-safe.
+    use std::ffi::c_int;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+
+    extern "C" {
+        fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: c_int) {
+        super::SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  sns-serve --model <model.json> [--addr <ip:port>]
+  sns-serve --train <n-designs>  [--addr <ip:port>]
+
+env: SNS_SERVE_WORKERS SNS_QUEUE_CAP SNS_MAX_BODY SNS_DEADLINE_MS
+     SNS_CACHE_CAP SNS_THREADS SNS_BATCH"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let model = if let Some(path) = arg(&args, "--model") {
+        eprintln!("loading model from {path}...");
+        match sns_core::load_model(&path) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if let Some(n) = arg(&args, "--train") {
+        let Ok(n) = n.parse::<usize>() else { return usage() };
+        let designs: Vec<_> = sns_designs::catalog().into_iter().take(n.max(2)).collect();
+        eprintln!("training a demo model on {} designs (fast schedule)...", designs.len());
+        let (model, report) =
+            sns_core::train_sns(&designs, &sns_core::SnsTrainConfig::fast());
+        eprintln!("trained on {} paths", report.path_dataset_size);
+        model
+    } else {
+        return usage();
+    };
+
+    let mut config = ServeConfig::from_env();
+    config.addr = arg(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+
+    let server = match Server::start(model, config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "sns-serve listening on http://{} (workers={}, threads={}, batch={}, queue_cap={}, cache_cap={}, deadline={})",
+        server.addr(),
+        config.workers,
+        config.threads,
+        config.batch,
+        config.queue_cap,
+        config.cache_cap.map_or("unbounded".to_string(), |c| c.to_string()),
+        config.deadline.map_or("none".to_string(), |d| format!("{}ms", d.as_millis())),
+    );
+
+    #[cfg(unix)]
+    sig::install();
+
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    eprintln!("shutdown requested — draining in-flight requests...");
+    let metrics = server.metrics();
+    server.join();
+    eprintln!(
+        "done: {} requests served ({} predictions)",
+        metrics.requests_total.load(Ordering::Relaxed),
+        metrics.predict_ok.load(Ordering::Relaxed),
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,303 @@
+//! A hand-rolled HTTP/1.1 subset on `std::net` — just enough protocol
+//! for the inference API, with hard limits everywhere a network peer
+//! could make us allocate.
+//!
+//! Supported: one request per connection (every response carries
+//! `Connection: close`), request bodies sized by `Content-Length`.
+//! Rejected with structured errors: header sections over
+//! [`MAX_HEAD_BYTES`], bodies over the configured limit, chunked
+//! transfer encoding, and any syntactically malformed framing.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+/// Upper bound on the request line + headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, ... (uppercased by the peer, not normalized here).
+    pub method: String,
+    /// The request target, e.g. `/predict`.
+    pub target: String,
+    /// Header name/value pairs in wire order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed framing; the message is safe to echo to the peer.
+    BadRequest(String),
+    /// `Content-Length` exceeded the configured body limit.
+    PayloadTooLarge {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// The socket failed or the peer vanished mid-request.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one HTTP/1.1 request from `stream`, honouring `max_body`.
+///
+/// # Errors
+///
+/// [`HttpError::BadRequest`] for malformed framing,
+/// [`HttpError::PayloadTooLarge`] when `Content-Length > max_body`, and
+/// [`HttpError::Io`] when the socket fails (including read timeouts).
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    // Accumulate the head until the blank line, never past MAX_HEAD_BYTES.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::BadRequest(format!(
+                "header section exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("connection closed mid-headers".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("headers are not valid UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line: {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!("unsupported version {version:?}")));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header line: {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest(format!("malformed header name: {name:?}")));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::BadRequest("chunked transfer encoding is not supported".into()));
+    }
+
+    let content_length = match request.header("content-length") {
+        None => 0usize,
+        Some(v) => v
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("invalid Content-Length {v:?}")))?,
+    };
+    if content_length > max_body {
+        return Err(HttpError::PayloadTooLarge { limit: max_body });
+    }
+
+    // The head read may have pulled in part (or all) of the body.
+    let mut body = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        return Err(HttpError::BadRequest("body longer than Content-Length".into()));
+    }
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want])?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+
+    Ok(Request { body, ..request })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one `Connection: close` JSON response. Errors are ignored by
+/// callers that are already tearing the connection down.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Lingering close: half-close the write side, then discard whatever the
+/// peer is still sending until it closes (bounded by `timeout`).
+///
+/// Necessary whenever a response was written *without* fully reading the
+/// request (shed connections, 413s, framing errors): closing a socket
+/// with unread bytes in its receive buffer makes the kernel send RST,
+/// which can destroy the very response the peer is trying to read.
+pub fn lingering_close(stream: &mut TcpStream, timeout: Duration) {
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(timeout));
+    let mut scratch = [0u8; 4096];
+    while matches!(stream.read(&mut scratch), Ok(n) if n > 0) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Feeds `bytes` through a real socket pair into `read_request`.
+    fn parse_bytes(bytes: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let payload = bytes.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&payload).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let r = read_request(&mut conn, max_body);
+        writer.join().unwrap();
+        r
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse_bytes(
+            b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/predict");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse_bytes(b"GET /metrics HTTP/1.1\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_framing() {
+        for bytes in [
+            &b"NOT A REQUEST\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x SPDY/3\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbad header line\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ] {
+            match parse_bytes(bytes, 1024) {
+                Err(HttpError::BadRequest(_)) => {}
+                other => panic!("{bytes:?}: expected BadRequest, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_by_declared_length() {
+        match parse_bytes(b"POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\n", 10) {
+            Err(HttpError::PayloadTooLarge { limit: 10 }) => {}
+            other => panic!("expected PayloadTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_head() {
+        let mut bytes = b"GET / HTTP/1.1\r\n".to_vec();
+        bytes.extend_from_slice(format!("X-Pad: {}\r\n\r\n", "a".repeat(MAX_HEAD_BYTES)).as_bytes());
+        match parse_bytes(&bytes, 1024) {
+            Err(HttpError::BadRequest(msg)) => assert!(msg.contains("header section")),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_requests_error() {
+        match parse_bytes(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", 1024) {
+            Err(HttpError::BadRequest(msg)) => assert!(msg.contains("mid-body")),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+}

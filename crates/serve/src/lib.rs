@@ -1,0 +1,56 @@
+//! # sns-serve
+//!
+//! A hermetic HTTP/1.1 inference daemon for the SNS synthesis predictor,
+//! built on `std::net::TcpListener` alone — no async runtime, no HTTP
+//! framework, no serde. JSON comes from `sns_rt::json`, parallelism from
+//! `sns_rt::pool`, and the model from `sns-core`.
+//!
+//! The paper's whole value proposition is interactive-speed PPA
+//! estimation; this crate is the network-facing layer that turns a
+//! loaded [`SnsModel`](sns_core::SnsModel) into a service:
+//!
+//! * **`POST /predict`** — body `{"verilog": "...", "top": "...",
+//!   "clock_ps"?: f64, "activity"?: {reg: coeff}}`; replies with the
+//!   [`DesignPrediction`](sns_core::DesignPrediction) fields as JSON
+//!   (`timing_ps`, `area_um2`, `power_mw`, `path_count`,
+//!   `critical_path`, `runtime_us`, plus `slack_ps`/`meets_clock` when a
+//!   target clock was given). Responses are **bit-identical** to a
+//!   direct `SnsModel::predict_verilog` call.
+//! * **`GET /metrics`** — counters, queue/in-flight gauges, cache
+//!   hit/miss statistics, micro-batcher coalescing stats, and per-stage
+//!   log2 latency histograms, all maintained on plain atomics.
+//! * **`GET /healthz`** — liveness.
+//!
+//! ## Throughput under concurrency
+//!
+//! Concurrent requests do not run inference independently: each handler
+//! submits its *uncached* path sequences to a shared
+//! [`MicroBatcher`](batcher::MicroBatcher), which unions everything
+//! queued at each round into the same length-bucketed `SNS_BATCH` packs
+//! the model uses internally, fanned over the `SNS_THREADS` pool. Under
+//! load, paths from many requests ride in one packed Circuitformer
+//! forward — throughput at N clients beats N sequential calls — while a
+//! lone request never waits on a coalescing timer.
+//!
+//! ## Robustness
+//!
+//! Bounded accept queue with `503 + Retry-After` shedding, a per-request
+//! deadline (`SNS_DEADLINE_MS`) checked before every expensive stage
+//! (`504`), a request body limit (`413`), structured JSON error bodies
+//! for malformed HTTP or JSON (`400`), and graceful shutdown that drains
+//! queued and in-flight requests (SIGTERM / ctrl-C in the `sns-serve`
+//! binary).
+//!
+//! Environment knobs: `SNS_SERVE_WORKERS`, `SNS_QUEUE_CAP`,
+//! `SNS_MAX_BODY`, `SNS_DEADLINE_MS`, `SNS_CACHE_CAP` (0 = unbounded),
+//! plus the model-level `SNS_THREADS` / `SNS_BATCH`.
+
+pub mod batcher;
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use batcher::MicroBatcher;
+pub use http::{read_request, write_response, HttpError, Request};
+pub use metrics::{CacheStats, Histogram, Metrics};
+pub use server::{ServeConfig, Server};

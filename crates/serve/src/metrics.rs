@@ -1,0 +1,259 @@
+//! Service counters and per-stage latency histograms on plain atomics —
+//! no locks anywhere on the metrics path, so instrumented stages cost a
+//! handful of relaxed atomic adds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use sns_rt::json::Json;
+
+/// Number of histogram buckets: bucket `i < NB-1` counts latencies in
+/// `[2^i, 2^(i+1))` microseconds; the last bucket is the overflow
+/// (≥ ~0.5 h — nothing legitimate lands there).
+const NB: usize = 32;
+
+/// A lock-free log2-bucketed latency histogram (microseconds).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; NB],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        let idx = if us == 0 { 0 } else { (63 - us.leading_zeros() as usize).min(NB - 1) };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An upper bound (bucket boundary) for quantile `q` in microseconds,
+    /// or 0 with no samples.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1); // upper edge of bucket i
+            }
+        }
+        u64::MAX
+    }
+
+    /// The JSON export: count, sum, approximate p50/p99, and the sparse
+    /// bucket list as `[floor_us, count]` pairs.
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| {
+                    Json::Arr(vec![Json::UInt(1u64 << i), Json::UInt(n)])
+                })
+            })
+            .collect();
+        Json::obj(vec![
+            ("count", Json::UInt(self.count())),
+            ("sum_us", Json::UInt(self.sum_us.load(Ordering::Relaxed))),
+            ("p50_us", Json::UInt(self.quantile_us(0.50))),
+            ("p99_us", Json::UInt(self.quantile_us(0.99))),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+}
+
+/// All counters exported by `GET /metrics`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Every request that was successfully read off a socket.
+    pub requests_total: AtomicU64,
+    /// `POST /predict` requests accepted for processing.
+    pub predict_requests: AtomicU64,
+    /// Predictions that completed with a 200.
+    pub predict_ok: AtomicU64,
+    /// Responses by status class.
+    pub responses_2xx: AtomicU64,
+    /// 4xx responses (bad requests, not-found, oversized bodies).
+    pub responses_4xx: AtomicU64,
+    /// 5xx responses (overload rejections, deadline timeouts).
+    pub responses_5xx: AtomicU64,
+    /// Connections rejected with `503 + Retry-After` because the bounded
+    /// accept queue was full.
+    pub rejected_503: AtomicU64,
+    /// Requests aborted with 504 because `SNS_DEADLINE_MS` elapsed.
+    pub deadline_504: AtomicU64,
+    /// Connections that died before a response could be written.
+    pub conn_errors: AtomicU64,
+    /// Current depth of the bounded accept queue.
+    pub queue_depth: AtomicU64,
+    /// Requests currently being handled by workers.
+    pub in_flight: AtomicU64,
+    /// Micro-batcher: fill rounds executed.
+    pub batch_rounds: AtomicU64,
+    /// Micro-batcher: handler jobs coalesced into those rounds (more jobs
+    /// than rounds ⇒ cross-request batching happened).
+    pub coalesced_jobs: AtomicU64,
+    /// Micro-batcher: unique sequences computed across all rounds.
+    pub batched_seqs: AtomicU64,
+    /// Verilog parse + elaborate latency.
+    pub stage_parse: Histogram,
+    /// GraphIR construction + path sampling latency.
+    pub stage_sample: Histogram,
+    /// Micro-batched Circuitformer inference latency (wait included).
+    pub stage_infer: Histogram,
+    /// Reduction + MLP refinement latency.
+    pub stage_aggregate: Histogram,
+    /// Whole-request latency.
+    pub stage_total: Histogram,
+}
+
+/// Cache statistics snapshot merged into the export by the server (the
+/// cache itself lives on the model).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Entry cap, if bounded.
+    pub capacity: Option<usize>,
+    /// Unique-sequence hits at fill time.
+    pub hits: u64,
+    /// Unique-sequence misses at fill time.
+    pub misses: u64,
+    /// Entries evicted by the bound.
+    pub evictions: u64,
+}
+
+impl Metrics {
+    fn g(v: &AtomicU64) -> Json {
+        Json::UInt(v.load(Ordering::Relaxed))
+    }
+
+    /// The full `/metrics` document.
+    pub fn to_json(&self, cache: CacheStats) -> Json {
+        let lookups = cache.hits + cache.misses;
+        let hit_rate =
+            if lookups == 0 { 0.0 } else { cache.hits as f64 / lookups as f64 };
+        Json::obj(vec![
+            ("requests_total", Self::g(&self.requests_total)),
+            ("predict_requests", Self::g(&self.predict_requests)),
+            ("predict_ok", Self::g(&self.predict_ok)),
+            (
+                "responses",
+                Json::obj(vec![
+                    ("2xx", Self::g(&self.responses_2xx)),
+                    ("4xx", Self::g(&self.responses_4xx)),
+                    ("5xx", Self::g(&self.responses_5xx)),
+                ]),
+            ),
+            ("rejected_503", Self::g(&self.rejected_503)),
+            ("deadline_504", Self::g(&self.deadline_504)),
+            ("conn_errors", Self::g(&self.conn_errors)),
+            ("queue_depth", Self::g(&self.queue_depth)),
+            ("in_flight", Self::g(&self.in_flight)),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("entries", Json::UInt(cache.entries as u64)),
+                    (
+                        "capacity",
+                        cache.capacity.map_or(Json::Null, |c| Json::UInt(c as u64)),
+                    ),
+                    ("hits", Json::UInt(cache.hits)),
+                    ("misses", Json::UInt(cache.misses)),
+                    ("evictions", Json::UInt(cache.evictions)),
+                    ("hit_rate", Json::Num(hit_rate)),
+                ]),
+            ),
+            (
+                "batcher",
+                Json::obj(vec![
+                    ("rounds", Self::g(&self.batch_rounds)),
+                    ("coalesced_jobs", Self::g(&self.coalesced_jobs)),
+                    ("batched_seqs", Self::g(&self.batched_seqs)),
+                ]),
+            ),
+            (
+                "stages_us",
+                Json::obj(vec![
+                    ("parse", self.stage_parse.to_json()),
+                    ("sample", self.stage_sample.to_json()),
+                    ("infer", self.stage_infer.to_json()),
+                    ("aggregate", self.stage_aggregate.to_json()),
+                    ("total", self.stage_total.to_json()),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for us in [1u64, 3, 3, 100, 100, 100, 100, 5000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 8);
+        // p50 falls in the 64..128 bucket → upper edge 128.
+        assert_eq!(h.quantile_us(0.5), 128);
+        // p99 falls in the 4096..8192 bucket → upper edge 8192.
+        assert_eq!(h.quantile_us(0.99), 8192);
+        let j = h.to_json();
+        assert_eq!(j.get("count").unwrap().as_u64().unwrap(), 8);
+        assert_eq!(j.get("sum_us").unwrap().as_u64().unwrap(), 1 + 6 + 400 + 5000);
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.99), 0);
+        assert!(h.to_json().get("buckets").unwrap().as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn zero_and_huge_durations_do_not_panic() {
+        let h = Histogram::default();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(1 << 40));
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn metrics_export_has_the_documented_shape() {
+        let m = Metrics::default();
+        m.requests_total.fetch_add(3, Ordering::Relaxed);
+        m.stage_total.record(Duration::from_millis(2));
+        let j = m.to_json(CacheStats {
+            entries: 7,
+            capacity: Some(100),
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        });
+        assert_eq!(j.get("requests_total").unwrap().as_u64().unwrap(), 3);
+        let cache = j.get("cache").unwrap();
+        assert_eq!(cache.get("capacity").unwrap().as_u64().unwrap(), 100);
+        assert!((cache.get("hit_rate").unwrap().as_f64().unwrap() - 0.75).abs() < 1e-12);
+        assert!(j.get("stages_us").unwrap().get("total").unwrap().get("count").is_ok());
+        // The export is valid JSON text.
+        sns_rt::json::parse(&j.print()).unwrap();
+    }
+}

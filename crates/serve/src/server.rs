@@ -1,0 +1,491 @@
+//! The accept loop, bounded work queue, worker pool, and the `/predict`
+//! pipeline.
+//!
+//! ```text
+//! acceptor ──► bounded queue ──► workers ──┬─► parse ► sample ─┐
+//!    │ (full → 503 + Retry-After)          │                   │ missing
+//!    ▼                                     │                   ▼
+//!  shutdown flag (drain, then exit)        │             micro-batcher ──► shared cache
+//!                                          └─► reduce + MLP (predict_primed)
+//! ```
+//!
+//! Every stage boundary checks the per-request deadline, so a request
+//! that has already blown `SNS_DEADLINE_MS` never starts sampling or
+//! inference.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sns_core::SnsModel;
+use sns_graphir::GraphIr;
+use sns_rt::json::{parse as parse_json, Json};
+use sns_sampler::PathSampler;
+
+use crate::batcher::MicroBatcher;
+use crate::http::{lingering_close, read_request, write_response, HttpError, Request};
+use crate::metrics::{CacheStats, Metrics};
+
+/// Reads a positive integer environment knob.
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// Everything tunable about the daemon. `Default` is suitable for tests;
+/// [`from_env`](Self::from_env) layers the documented `SNS_*` knobs on
+/// top for production use.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks an ephemeral port).
+    pub addr: String,
+    /// HTTP worker threads (connection handling; not inference threads).
+    pub workers: usize,
+    /// Bounded accept-queue length; beyond it connections get `503`.
+    pub queue_cap: usize,
+    /// Request body byte limit (`413` beyond it).
+    pub max_body: usize,
+    /// Per-request deadline; stages are never started past it (`504`).
+    pub deadline: Option<Duration>,
+    /// Entry cap installed on the model's path cache (`None` = unbounded).
+    pub cache_cap: Option<usize>,
+    /// Inference pool threads per batch round (`SNS_THREADS`).
+    pub threads: usize,
+    /// Sequences per packed Circuitformer forward (`SNS_BATCH`).
+    pub batch: usize,
+    /// Socket read timeout while receiving a request.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_cap: 64,
+            max_body: 1 << 20,
+            deadline: None,
+            // A long-lived server bounds the cache so memory stays flat
+            // under unbounded design diversity; the CLI stays unbounded.
+            cache_cap: Some(1 << 18),
+            threads: sns_rt::pool::default_threads(),
+            batch: sns_rt::pool::default_batch(),
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default configuration with every `SNS_*` environment knob
+    /// applied: `SNS_SERVE_WORKERS`, `SNS_QUEUE_CAP`, `SNS_MAX_BODY`,
+    /// `SNS_DEADLINE_MS`, `SNS_CACHE_CAP` (0 = unbounded), `SNS_THREADS`,
+    /// `SNS_BATCH`.
+    pub fn from_env() -> Self {
+        let mut c = ServeConfig::default();
+        if let Some(n) = env_usize("SNS_SERVE_WORKERS") {
+            c.workers = n;
+        }
+        if let Some(n) = env_usize("SNS_QUEUE_CAP") {
+            c.queue_cap = n;
+        }
+        if let Some(n) = env_usize("SNS_MAX_BODY") {
+            c.max_body = n;
+        }
+        if let Some(ms) = env_usize("SNS_DEADLINE_MS") {
+            c.deadline = Some(Duration::from_millis(ms as u64));
+        }
+        if let Ok(v) = std::env::var("SNS_CACHE_CAP") {
+            c.cache_cap = match v.trim().parse::<usize>() {
+                Ok(0) => None,
+                Ok(n) => Some(n),
+                Err(_) => c.cache_cap,
+            };
+        }
+        c
+    }
+}
+
+struct Shared {
+    model: Arc<SnsModel>,
+    metrics: Arc<Metrics>,
+    batcher: MicroBatcher,
+    config: ServeConfig,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A running inference daemon. Dropping it without calling
+/// [`join`](Self::join) aborts less gracefully (threads are detached);
+/// prefer `request_shutdown` + `join`.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts accepting. The model's path cache is bounded to
+    /// `config.cache_cap` entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn start(model: SnsModel, config: ServeConfig) -> std::io::Result<Server> {
+        Self::start_shared(Arc::new(model), config)
+    }
+
+    /// [`start`](Self::start) for callers that keep their own handle to
+    /// the model (benchmarks clearing the cache between rounds, tests).
+    pub fn start_shared(model: Arc<SnsModel>, config: ServeConfig) -> std::io::Result<Server> {
+        model.cache().set_capacity(config.cache_cap);
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::default());
+        let batcher = MicroBatcher::start(
+            Arc::clone(&model),
+            config.threads,
+            config.batch,
+            Arc::clone(&metrics),
+        );
+        let shared = Arc::new(Shared {
+            model,
+            metrics,
+            batcher,
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("sns-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor")
+        };
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sns-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        Ok(Server { addr, shared, acceptor: Some(acceptor), workers })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live metrics registry.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Begins a graceful shutdown: stop accepting, let queued and
+    /// in-flight requests finish. Idempotent; safe from a signal-watcher
+    /// thread.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Drains in-flight work and joins every thread (acceptor, workers,
+    /// micro-batcher). Implies [`request_shutdown`](Self::request_shutdown).
+    pub fn join(mut self) {
+        self.request_shutdown();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Dropping `self` releases the last `Arc<Shared>` (all threads
+        // have exited), which drops the `MicroBatcher`, whose `Drop`
+        // drains any queued round and joins the batcher thread.
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.request_shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => enqueue(stream, shared),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Admits a connection into the bounded queue, or sheds it with
+/// `503 + Retry-After` when the queue is full (backpressure: the client
+/// learns immediately instead of waiting on an invisible line).
+fn enqueue(mut stream: TcpStream, shared: &Shared) {
+    {
+        let mut queue = shared.queue.lock().expect("queue lock poisoned");
+        if queue.len() < shared.config.queue_cap {
+            queue.push_back(stream);
+            let depth = queue.len() as u64;
+            drop(queue);
+            shared.metrics.queue_depth.store(depth, Ordering::Relaxed);
+            shared.queue_cv.notify_one();
+            return;
+        }
+    }
+    shared.metrics.rejected_503.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.responses_5xx.fetch_add(1, Ordering::Relaxed);
+    let body = error_body("server overloaded, retry shortly", "overload");
+    let _ = write_response(&mut stream, 503, &[("retry-after", "1".to_string())], &body.print());
+    // This runs on the acceptor thread and the request was never read,
+    // so linger briefly — long enough for a well-behaved peer to take
+    // the 503, short enough that a stalled one cannot starve accepts.
+    lingering_close(&mut stream, Duration::from_millis(250));
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    shared.metrics.queue_depth.store(queue.len() as u64, Ordering::Relaxed);
+                    break s;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return; // queue drained, shutting down
+                }
+                queue = shared.queue_cv.wait(queue).expect("queue lock poisoned");
+            }
+        };
+        shared.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        handle_connection(stream, shared);
+        shared.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn error_body(message: &str, kind: &str) -> Json {
+    Json::obj(vec![
+        ("error", Json::Str(message.to_string())),
+        ("kind", Json::Str(kind.to_string())),
+    ])
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    // Only a failed read can leave request bytes unread on the socket
+    // (closing over them would RST the response away, so those paths
+    // linger); after a successful read the request was consumed fully.
+    let mut unread_input = false;
+    let (status, extra, body): Reply = match read_request(&mut stream, shared.config.max_body) {
+        Err(HttpError::Io(_)) => {
+            shared.metrics.conn_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        Err(HttpError::BadRequest(msg)) => {
+            shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+            unread_input = true;
+            (400, Vec::new(), error_body(&format!("malformed HTTP request: {msg}"), "http"))
+        }
+        Err(HttpError::PayloadTooLarge { limit }) => {
+            shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+            unread_input = true;
+            (
+                413,
+                Vec::new(),
+                error_body(&format!("request body exceeds the {limit}-byte limit"), "http"),
+            )
+        }
+        Ok(request) => {
+            shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+            route(&request, shared)
+        }
+    };
+    let class = match status {
+        200..=299 => &shared.metrics.responses_2xx,
+        400..=499 => &shared.metrics.responses_4xx,
+        _ => &shared.metrics.responses_5xx,
+    };
+    class.fetch_add(1, Ordering::Relaxed);
+    if write_response(&mut stream, status, &extra, &body.print()).is_err() {
+        shared.metrics.conn_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    if unread_input {
+        lingering_close(&mut stream, shared.config.read_timeout);
+    }
+}
+
+type Reply = (u16, Vec<(&'static str, String)>, Json);
+
+fn route(request: &Request, shared: &Shared) -> Reply {
+    match (request.method.as_str(), request.target.as_str()) {
+        ("POST", "/predict") => handle_predict(request, shared),
+        ("GET", "/metrics") => {
+            let cache = shared.model.cache();
+            let stats = CacheStats {
+                entries: cache.len(),
+                capacity: cache.capacity(),
+                hits: cache.hits(),
+                misses: cache.misses(),
+                evictions: cache.evictions(),
+            };
+            (200, Vec::new(), shared.metrics.to_json(stats))
+        }
+        ("GET", "/healthz") => (200, Vec::new(), Json::obj(vec![("status", Json::Str("ok".into()))])),
+        (_, "/predict") | (_, "/metrics") | (_, "/healthz") => (
+            405,
+            Vec::new(),
+            error_body(&format!("method {} not allowed here", request.method), "http"),
+        ),
+        (_, target) => (404, Vec::new(), error_body(&format!("no such endpoint {target}"), "http")),
+    }
+}
+
+/// The parsed and validated `/predict` request body.
+struct PredictInput {
+    verilog: String,
+    top: String,
+    clock_ps: Option<f64>,
+    activity: Option<HashMap<String, f32>>,
+}
+
+fn parse_predict_body(body: &[u8]) -> Result<PredictInput, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not valid UTF-8".to_string())?;
+    let v = parse_json(text).map_err(|e| e.to_string())?;
+    let verilog =
+        v.get("verilog").and_then(Json::as_str).map_err(|e| e.to_string())?.to_string();
+    let top = v.get("top").and_then(Json::as_str).map_err(|e| e.to_string())?.to_string();
+    let clock_ps = match v.get("clock_ps") {
+        Err(_) => None,
+        Ok(c) => {
+            let ps = c.as_f64().map_err(|e| e.to_string())?;
+            if !(ps.is_finite() && ps > 0.0) {
+                return Err(format!("clock_ps must be a positive number, got {ps}"));
+            }
+            Some(ps)
+        }
+    };
+    let activity = match v.get("activity") {
+        Err(_) => None,
+        Ok(Json::Obj(fields)) => {
+            let mut map = HashMap::with_capacity(fields.len());
+            for (name, value) in fields {
+                let a = value.as_f32().map_err(|e| format!("activity[{name:?}]: {e}"))?;
+                if !(0.0..=1.0).contains(&a) {
+                    return Err(format!("activity[{name:?}] must be in [0, 1], got {a}"));
+                }
+                map.insert(name.clone(), a);
+            }
+            Some(map)
+        }
+        Ok(other) => {
+            return Err(format!("activity must be an object of register→coefficient, got {}", other.print()))
+        }
+    };
+    Ok(PredictInput { verilog, top, clock_ps, activity })
+}
+
+fn deadline_reply(stage: &str, shared: &Shared) -> Reply {
+    shared.metrics.deadline_504.fetch_add(1, Ordering::Relaxed);
+    (
+        504,
+        Vec::new(),
+        error_body(&format!("deadline exceeded before {stage} stage (SNS_DEADLINE_MS)"), "deadline"),
+    )
+}
+
+/// The full prediction pipeline with per-stage instrumentation and
+/// deadline checks. Responses are bit-identical to a direct
+/// `SnsModel::predict_verilog` call: the sampler is seeded by config, the
+/// micro-batcher fills the same shared cache `aggregate` would, and the
+/// final reduction is the model's own `predict_primed`.
+fn handle_predict(request: &Request, shared: &Shared) -> Reply {
+    let start = Instant::now();
+    let deadline = shared.config.deadline.map(|d| start + d);
+    shared.metrics.predict_requests.fetch_add(1, Ordering::Relaxed);
+
+    let input = match parse_predict_body(&request.body) {
+        Ok(input) => input,
+        Err(msg) => return (400, Vec::new(), error_body(&msg, "json")),
+    };
+
+    // Stage 1: Verilog front-end.
+    let t = Instant::now();
+    let netlist = match sns_netlist::parse_and_elaborate(&input.verilog, &input.top) {
+        Ok(nl) => nl,
+        Err(e) => return (400, Vec::new(), error_body(&e.to_string(), "verilog")),
+    };
+    shared.metrics.stage_parse.record(t.elapsed());
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return deadline_reply("sampling", shared);
+    }
+
+    // Stage 2: GraphIR + path sampling.
+    let t = Instant::now();
+    let graph = GraphIr::from_netlist(&netlist);
+    let paths = PathSampler::new(shared.model.sample_config().clone()).sample(&graph);
+    shared.metrics.stage_sample.record(t.elapsed());
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return deadline_reply("inference", shared);
+    }
+
+    // Stage 3: micro-batched inference — only the sequences this request
+    // is missing; concurrent requests share packed forwards.
+    let t = Instant::now();
+    let token_seqs = shared.model.tokenize_paths(&graph, &paths);
+    let missing = shared.model.cache().missing_unique(&token_seqs);
+    let gate = shared.batcher.submit(missing);
+    if !gate.wait(deadline) {
+        return deadline_reply("aggregation", shared);
+    }
+    shared.metrics.stage_infer.record(t.elapsed());
+
+    // Stage 4: serial reduction + MLP refinement.
+    let t = Instant::now();
+    let pred = shared.model.predict_primed(&graph, &paths, &token_seqs, input.activity.as_ref(), start);
+    shared.metrics.stage_aggregate.record(t.elapsed());
+
+    let mut fields = vec![
+        ("timing_ps", Json::Num(pred.timing_ps)),
+        ("area_um2", Json::Num(pred.area_um2)),
+        ("power_mw", Json::Num(pred.power_mw)),
+        ("path_count", Json::UInt(pred.path_count as u64)),
+        (
+            "critical_path",
+            Json::Arr(pred.critical_path.iter().map(|s| Json::Str(s.clone())).collect()),
+        ),
+        ("runtime_us", Json::UInt(u64::try_from(pred.runtime.as_micros()).unwrap_or(u64::MAX))),
+    ];
+    if let Some(clock_ps) = input.clock_ps {
+        fields.push(("slack_ps", Json::Num(clock_ps - pred.timing_ps)));
+        fields.push(("meets_clock", Json::Bool(pred.timing_ps <= clock_ps)));
+    }
+    shared.metrics.predict_ok.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.stage_total.record(start.elapsed());
+    (200, Vec::new(), Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect()))
+}

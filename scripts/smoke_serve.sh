@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Smoke test for the sns-serve daemon as a real process: build it, boot
+# it with a quick-trained demo model, poll /healthz, run one /predict,
+# then shut it down with SIGTERM and check it drained cleanly.
+#
+#   ./scripts/smoke_serve.sh [port]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${1:-17878}"
+ADDR="127.0.0.1:${PORT}"
+
+echo "==> cargo build --release -p sns-serve"
+cargo build --release -p sns-serve
+
+echo "==> starting sns-serve --train 3 on ${ADDR}"
+./target/release/sns-serve --train 3 --addr "${ADDR}" &
+SERVER_PID=$!
+trap 'kill "${SERVER_PID}" 2>/dev/null || true' EXIT
+
+# /dev/tcp-based HTTP: no curl dependency needed in a hermetic container.
+http_get() {
+    local path="$1"
+    exec 3<>"/dev/tcp/127.0.0.1/${PORT}" || return 1
+    printf 'GET %s HTTP/1.1\r\nhost: smoke\r\nconnection: close\r\n\r\n' "${path}" >&3
+    cat <&3
+    exec 3>&- 3<&-
+}
+
+http_post() {
+    local path="$1" body="$2"
+    exec 3<>"/dev/tcp/127.0.0.1/${PORT}" || return 1
+    printf 'POST %s HTTP/1.1\r\nhost: smoke\r\ncontent-length: %s\r\nconnection: close\r\n\r\n%s' \
+        "${path}" "${#body}" "${body}" >&3
+    cat <&3
+    exec 3>&- 3<&-
+}
+
+echo "==> waiting for /healthz (training the demo model takes a moment)"
+for _ in $(seq 1 120); do
+    if OUT="$(http_get /healthz 2>/dev/null)" && grep -q '"status":"ok"' <<<"${OUT}"; then
+        READY=1
+        break
+    fi
+    sleep 1
+done
+[ "${READY:-0}" = "1" ] || { echo "FAIL: server never became healthy"; exit 1; }
+echo "    healthy"
+
+echo "==> POST /predict"
+BODY='{"verilog": "module mac (input clk, input [7:0] a, b, output [15:0] y);\n reg [15:0] acc;\n always @(posedge clk) acc <= acc + a * b;\n assign y = acc;\nendmodule", "top": "mac", "clock_ps": 1500}'
+OUT="$(http_post /predict "${BODY}")"
+grep -q 'HTTP/1.1 200' <<<"${OUT}" || { echo "FAIL: /predict did not 200:"; echo "${OUT}"; exit 1; }
+grep -q '"timing_ps"' <<<"${OUT}" || { echo "FAIL: no timing in response:"; echo "${OUT}"; exit 1; }
+echo "    $(grep -o '"timing_ps":[0-9.]*' <<<"${OUT}") ps"
+
+echo "==> GET /metrics"
+OUT="$(http_get /metrics)"
+grep -q '"predict_ok":1' <<<"${OUT}" || { echo "FAIL: metrics do not show the prediction:"; echo "${OUT}"; exit 1; }
+echo "    metrics reconcile"
+
+echo "==> SIGTERM and drain"
+kill -TERM "${SERVER_PID}"
+wait "${SERVER_PID}"
+trap - EXIT
+echo "==> smoke_serve OK"

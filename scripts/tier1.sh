@@ -14,6 +14,17 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# `cargo test` at the root only runs the root package; the serving stack
+# and its substrates get exercised explicitly.
+echo "==> cargo test -q -p sns-rt -p sns-core -p sns-serve"
+cargo test -q -p sns-rt -p sns-core -p sns-serve
+
+# The serve end-to-end suite boots real servers with worker/queue limits
+# tuned per test; keep it single-threaded so the limits stay meaningful
+# on small machines.
+echo "==> cargo test -q --test serve_e2e -- --test-threads=1"
+cargo test -q --test serve_e2e -- --test-threads=1
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

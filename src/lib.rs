@@ -14,6 +14,7 @@
 //!
 //! | module | crate | role |
 //! |---|---|---|
+//! | [`rt`] | `sns-rt` | runtime substrate: JSON, RNG, thread pool, GEMM |
 //! | [`netlist`] | `sns-netlist` | Verilog-subset front-end (the Yosys stand-in) |
 //! | [`graphir`] | `sns-graphir` | the GraphIR circuit graph + Table 1 vocabulary |
 //! | [`sampler`] | `sns-sampler` | Algorithm 1 complete-circuit-path sampling |
@@ -24,6 +25,7 @@
 //! | [`designs`] | `sns-designs` | the 41-design hardware dataset (Table 3) |
 //! | [`core`] | `sns-core` | the end-to-end predictor and training flow |
 //! | [`casestudies`] | `sns-casestudies` | BOOM DSE (§5.6) and DianNao (§5.7) |
+//! | [`serve`] | `sns-serve` | HTTP inference daemon with cross-request micro-batching |
 //!
 //! # Quickstart
 //!
@@ -62,5 +64,7 @@ pub use sns_genmodel as genmodel;
 pub use sns_graphir as graphir;
 pub use sns_netlist as netlist;
 pub use sns_nn as nn;
+pub use sns_rt as rt;
 pub use sns_sampler as sampler;
+pub use sns_serve as serve;
 pub use sns_vsynth as vsynth;

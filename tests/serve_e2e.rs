@@ -1,0 +1,380 @@
+//! End-to-end tests for the `sns-serve` HTTP daemon: a real trained
+//! model behind a real TCP listener, exercised by real sockets.
+//!
+//! One tiny model is trained once and shared by every test (training
+//! dominates runtime); each test boots its own server on an ephemeral
+//! port, so the tests are safe under the default parallel test harness.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use sns::circuitformer::{CircuitformerConfig, TrainConfig};
+use sns::core::dataset::AugmentConfig;
+use sns::core::{train_sns, SnsModel, SnsTrainConfig};
+use sns::designs::{dsp, nonlinear, sort, vector, Design};
+use sns::rt::json::{parse as parse_json, Json};
+use sns::sampler::SampleConfig;
+use sns::serve::{ServeConfig, Server};
+
+fn tiny_config() -> SnsTrainConfig {
+    let mut c = SnsTrainConfig::fast();
+    c.circuitformer =
+        CircuitformerConfig { dim: 32, ffn_dim: 64, max_len: 64, ..CircuitformerConfig::fast() };
+    c.cf_train = TrainConfig { epochs: 8, batch_size: 32, threads: 1, ..TrainConfig::fast() };
+    c.mlp_train =
+        sns::core::aggmlp::MlpTrainConfig { epochs: 400, ..sns::core::aggmlp::MlpTrainConfig::fast() };
+    c.augment = AugmentConfig::none();
+    c.sample = SampleConfig::paper_default().with_max_paths(250);
+    c
+}
+
+/// The model every test serves — trained once, shared by `Arc`. Tests
+/// must not reconfigure its cache capacity divergently (they all use
+/// `cache_cap: None`), because the cache is shared too.
+fn model() -> Arc<SnsModel> {
+    static MODEL: OnceLock<Arc<SnsModel>> = OnceLock::new();
+    Arc::clone(MODEL.get_or_init(|| {
+        let train = vec![
+            vector::simd_alu(2, 8),
+            vector::simd_alu(8, 16),
+            nonlinear::piecewise(4, 8),
+            dsp::fir(4, 8),
+            sort::radix_sort_stage(4, 8),
+            nonlinear::lut(32, 8),
+        ];
+        Arc::new(train_sns(&train, &tiny_config()).0)
+    }))
+}
+
+/// Designs the tests predict (distinct from the training set).
+fn serve_designs() -> Vec<Design> {
+    vec![
+        vector::simd_alu(4, 8),
+        nonlinear::lut(16, 8),
+        dsp::fir(8, 8),
+        nonlinear::piecewise(2, 8),
+        dsp::conv2d(2, 8),
+        sort::radix_sort_stage(2, 8),
+    ]
+}
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_cap: None, // shared cache: keep capacity settings idempotent
+        read_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------- client --
+
+/// Sends raw bytes, returns (status, headers, body-text).
+fn http_raw(addr: SocketAddr, raw: &[u8]) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw).expect("send request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let text = String::from_utf8(response).expect("response is UTF-8");
+    let (head, body) = text.split_once("\r\n\r\n").expect("response has a header block");
+    let mut lines = head.lines();
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {status_line}"));
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn post_json(addr: SocketAddr, path: &str, body: &str) -> (u16, Json) {
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let (status, _, body) = http_raw(addr, raw.as_bytes());
+    (status, parse_json(&body).expect("response body is JSON"))
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, Json) {
+    let raw = format!("GET {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n");
+    let (status, _, body) = http_raw(addr, raw.as_bytes());
+    (status, parse_json(&body).expect("response body is JSON"))
+}
+
+fn predict_body(d: &Design) -> String {
+    Json::obj(vec![
+        ("verilog", Json::Str(d.verilog.clone())),
+        ("top", Json::Str(d.top.clone())),
+    ])
+    .print()
+}
+
+// ----------------------------------------------------------------- tests --
+
+#[test]
+fn concurrent_responses_are_bit_identical_to_direct_predictions() {
+    let model = model();
+    let server = Server::start_shared(Arc::clone(&model), test_config()).unwrap();
+    let addr = server.addr();
+    let designs = serve_designs();
+
+    // 8 clients × 3 requests each, round-robin over the design pool, all
+    // in flight together so the micro-batcher actually coalesces.
+    let mut handles = Vec::new();
+    for client in 0..8 {
+        let designs = designs.clone();
+        handles.push(std::thread::spawn(move || {
+            (0..3)
+                .map(|i| {
+                    let d = &designs[(client + i * 3) % designs.len()];
+                    let (status, body) = post_json(addr, "/predict", &predict_body(d));
+                    assert_eq!(status, 200, "{}: {}", d.name, body.print());
+                    (d.name.clone(), body)
+                })
+                .collect::<Vec<_>>()
+        }));
+    }
+    let responses: Vec<(String, Json)> =
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect();
+    assert_eq!(responses.len(), 24);
+
+    // Direct predictions through the very same model — the HTTP path must
+    // reproduce every f64 bit-for-bit (the JSON printer is shortest
+    // round-trip, so parsing the response recovers the exact bits).
+    for d in &designs {
+        let direct = model.predict_verilog(&d.verilog, &d.top).unwrap();
+        for (name, body) in responses.iter().filter(|(n, _)| n == &d.name) {
+            let timing = body.get("timing_ps").unwrap().as_f64().unwrap();
+            let area = body.get("area_um2").unwrap().as_f64().unwrap();
+            let power = body.get("power_mw").unwrap().as_f64().unwrap();
+            assert_eq!(timing.to_bits(), direct.timing_ps.to_bits(), "{name} timing");
+            assert_eq!(area.to_bits(), direct.area_um2.to_bits(), "{name} area");
+            assert_eq!(power.to_bits(), direct.power_mw.to_bits(), "{name} power");
+            assert_eq!(
+                body.get("path_count").unwrap().as_u64().unwrap(),
+                direct.path_count as u64,
+                "{name} path_count"
+            );
+            let critical: Vec<String> = body
+                .get("critical_path")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_str().unwrap().to_string())
+                .collect();
+            assert_eq!(critical, direct.critical_path, "{name} critical path");
+        }
+    }
+
+    // The /metrics document reconciles with what we sent: 24 predictions
+    // plus the metrics request itself.
+    let (status, m) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(m.get("requests_total").unwrap().as_u64().unwrap(), 25);
+    assert_eq!(m.get("predict_requests").unwrap().as_u64().unwrap(), 24);
+    assert_eq!(m.get("predict_ok").unwrap().as_u64().unwrap(), 24);
+    assert_eq!(m.get("responses").unwrap().get("2xx").unwrap().as_u64().unwrap(), 24);
+    assert_eq!(m.get("responses").unwrap().get("4xx").unwrap().as_u64().unwrap(), 0);
+    assert_eq!(m.get("responses").unwrap().get("5xx").unwrap().as_u64().unwrap(), 0);
+    // Coalescing invariant: every round serves >= 1 job, and the
+    // per-stage histograms saw every prediction.
+    let batcher = m.get("batcher").unwrap();
+    let rounds = batcher.get("rounds").unwrap().as_u64().unwrap();
+    let jobs = batcher.get("coalesced_jobs").unwrap().as_u64().unwrap();
+    assert!(jobs >= rounds, "jobs {jobs} < rounds {rounds}");
+    let stages = m.get("stages_us").unwrap();
+    for stage in ["parse", "sample", "infer", "aggregate", "total"] {
+        assert_eq!(
+            stages.get(stage).unwrap().get("count").unwrap().as_u64().unwrap(),
+            24,
+            "stage {stage} sample count"
+        );
+    }
+    server.join();
+}
+
+#[test]
+fn malformed_requests_get_structured_errors_not_hangups() {
+    // Big enough for a real design's Verilog, small enough to overflow.
+    let server = Server::start_shared(model(), ServeConfig { max_body: 1 << 16, ..test_config() })
+        .unwrap();
+    let addr = server.addr();
+
+    // Garbage instead of HTTP.
+    let (status, _, body) = http_raw(addr, b"this is not http\r\n\r\n");
+    assert_eq!(status, 400);
+    assert_eq!(parse_json(&body).unwrap().get("kind").unwrap().as_str().unwrap(), "http");
+
+    // Valid HTTP, body is not JSON.
+    let (status, body) = post_json(addr, "/predict", "{not json");
+    assert_eq!(status, 400);
+    assert_eq!(body.get("kind").unwrap().as_str().unwrap(), "json");
+
+    // Valid JSON, missing the required fields.
+    let (status, body) = post_json(addr, "/predict", r#"{"verilog": "module m; endmodule"}"#);
+    assert_eq!(status, 400);
+    assert_eq!(body.get("kind").unwrap().as_str().unwrap(), "json");
+
+    // A clock_ps that is not a positive number.
+    let (status, body) = post_json(
+        addr,
+        "/predict",
+        r#"{"verilog": "module m; endmodule", "top": "m", "clock_ps": -5}"#,
+    );
+    assert_eq!(status, 400);
+    assert_eq!(body.get("kind").unwrap().as_str().unwrap(), "json");
+
+    // Well-formed JSON, Verilog that does not elaborate.
+    let (status, body) = post_json(
+        addr,
+        "/predict",
+        r#"{"verilog": "module broken (input a; endmodule", "top": "broken"}"#,
+    );
+    assert_eq!(status, 400);
+    assert_eq!(body.get("kind").unwrap().as_str().unwrap(), "verilog");
+
+    // Wrong method / unknown path.
+    let (status, _) = get(addr, "/predict");
+    assert_eq!(status, 405);
+    let (status, _) = get(addr, "/nope");
+    assert_eq!(status, 404);
+
+    // Oversized body → 413 before any parsing happens.
+    let big = format!(r#"{{"verilog": "{}", "top": "m"}}"#, "x".repeat(100_000));
+    let (status, body) = post_json(addr, "/predict", &big);
+    assert_eq!(status, 413, "{}", body.print());
+
+    // And after all that abuse, a good request still works.
+    let d = &serve_designs()[0];
+    let (status, body) = post_json(addr, "/predict", &predict_body(d));
+    assert_eq!(status, 200, "{}", body.print());
+    assert!(body.get("timing_ps").unwrap().as_f64().unwrap() > 0.0);
+    server.join();
+}
+
+#[test]
+fn clock_target_adds_slack_and_meets_clock() {
+    let model = model();
+    let server = Server::start_shared(Arc::clone(&model), test_config()).unwrap();
+    let d = &serve_designs()[1];
+    let direct = model.predict_verilog(&d.verilog, &d.top).unwrap();
+
+    let body = Json::obj(vec![
+        ("verilog", Json::Str(d.verilog.clone())),
+        ("top", Json::Str(d.top.clone())),
+        ("clock_ps", Json::Num(1e9)), // absurdly slow clock: always met
+    ])
+    .print();
+    let (status, resp) = post_json(server.addr(), "/predict", &body);
+    assert_eq!(status, 200, "{}", resp.print());
+    assert!(resp.get("meets_clock").unwrap().as_bool().unwrap());
+    let slack = resp.get("slack_ps").unwrap().as_f64().unwrap();
+    assert_eq!(slack.to_bits(), (1e9 - direct.timing_ps).to_bits());
+    server.join();
+}
+
+#[test]
+fn zero_deadline_aborts_with_504_before_inference() {
+    let server = Server::start_shared(
+        model(),
+        ServeConfig { deadline: Some(Duration::ZERO), ..test_config() },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let d = &serve_designs()[2];
+    let (status, body) = post_json(addr, "/predict", &predict_body(d));
+    assert_eq!(status, 504, "{}", body.print());
+    assert_eq!(body.get("kind").unwrap().as_str().unwrap(), "deadline");
+    // The server is still healthy afterwards.
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body.get("status").unwrap().as_str().unwrap(), "ok");
+    let (_, m) = get(addr, "/metrics");
+    assert_eq!(m.get("deadline_504").unwrap().as_u64().unwrap(), 1);
+    server.join();
+}
+
+#[test]
+fn full_queue_sheds_with_503_and_retry_after() {
+    // One worker, queue depth one: occupy the worker with a stalled
+    // request, fill the queue slot, and every further connection must be
+    // rejected immediately — deterministically, not timing-luck.
+    let server = Server::start_shared(
+        model(),
+        ServeConfig { workers: 1, queue_cap: 1, ..test_config() },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Connection A: headers promise a body that never arrives (yet), so
+    // the lone worker blocks reading it.
+    let mut a = TcpStream::connect(addr).unwrap();
+    a.write_all(b"POST /predict HTTP/1.1\r\nhost: t\r\ncontent-length: 10\r\n\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(300)); // worker has dequeued A
+
+    // Connection B takes the single queue slot.
+    let mut b = TcpStream::connect(addr).unwrap();
+    b.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(300)); // acceptor has queued B
+
+    // C and D find the queue full → shed at the accept stage.
+    for _ in 0..2 {
+        let raw = b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n";
+        let (status, headers, body) = http_raw(addr, raw);
+        assert_eq!(status, 503, "{body}");
+        assert_eq!(parse_json(&body).unwrap().get("kind").unwrap().as_str().unwrap(), "overload");
+        let retry = headers.iter().find(|(k, _)| k == "retry-after");
+        assert_eq!(retry.map(|(_, v)| v.as_str()), Some("1"));
+    }
+
+    // A finally sends its 10 bytes (garbage) → 400, worker moves on to B.
+    a.write_all(b"0123456789").unwrap();
+    let mut response = String::new();
+    a.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    let mut response = String::new();
+    b.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+
+    let (_, m) = get(addr, "/metrics");
+    assert_eq!(m.get("rejected_503").unwrap().as_u64().unwrap(), 2);
+    server.join();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let server = Server::start_shared(model(), test_config()).unwrap();
+    let addr = server.addr();
+    let d = &serve_designs()[3];
+
+    // Get a request in flight, then immediately request shutdown.
+    let body = predict_body(d);
+    let raw = format!(
+        "POST /predict HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(raw.as_bytes()).unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // request accepted
+    server.request_shutdown();
+
+    // The in-flight request still completes with a full answer.
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    let payload = response.split_once("\r\n\r\n").unwrap().1;
+    assert!(parse_json(payload).unwrap().get("timing_ps").unwrap().as_f64().unwrap() > 0.0);
+
+    // join() returns (all threads drained)...
+    server.join();
+    // ...and the listener is gone: new connections are refused.
+    assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
+}
