@@ -252,6 +252,11 @@ fn vocab_type(kind: CellKind) -> Option<VocabType> {
 }
 
 /// Finds the non-wiring vertices that (transitively) drive `net`.
+///
+/// Iterative (explicit work stack) rather than recursive: untrusted input
+/// can chain wiring cells arbitrarily deep — `assign w1 = in; assign
+/// w2 = w1; …` ten thousand times — and the front-end must not overflow
+/// the call stack on any input it accepts.
 fn resolve_sources(
     nl: &Netlist,
     driver: &HashMap<NetId, CellId>,
@@ -260,37 +265,63 @@ fn resolve_sources(
     memo: &mut HashMap<NetId, Vec<VertexId>>,
     net: NetId,
 ) -> Vec<VertexId> {
-    if let Some(v) = memo.get(&net) {
-        return v.clone();
+    enum Frame {
+        /// Resolve this net (expanding a wiring cell's inputs first).
+        Enter(NetId),
+        /// All inputs of this net's wiring driver are memoized; combine them.
+        Combine(NetId),
     }
-    // Insert a placeholder to break cycles through wiring (shouldn't occur
-    // in valid designs, but stay defensive).
-    memo.insert(net, Vec::new());
-    let result = match driver.get(&net) {
-        Some(&cid) => {
-            let cell = nl.cell(cid);
-            if let Some(&v) = cell_vertex.get(&cid) {
-                vec![v]
-            } else if cell.kind == CellKind::Const {
-                Vec::new()
-            } else {
-                // Wiring cell: union of its inputs' sources.
+    let mut stack = vec![Frame::Enter(net)];
+    while let Some(frame) = stack.pop() {
+        match frame {
+            Frame::Enter(n) => {
+                if memo.contains_key(&n) {
+                    continue;
+                }
+                match driver.get(&n) {
+                    Some(&cid) => {
+                        let cell = nl.cell(cid);
+                        if let Some(&v) = cell_vertex.get(&cid) {
+                            memo.insert(n, vec![v]);
+                        } else if cell.kind == CellKind::Const {
+                            memo.insert(n, Vec::new());
+                        } else {
+                            // Wiring cell: placeholder breaks cycles through
+                            // wiring (shouldn't occur in valid designs, but
+                            // stay defensive), then visit inputs in order
+                            // before combining.
+                            memo.insert(n, Vec::new());
+                            stack.push(Frame::Combine(n));
+                            for &i in cell.inputs.iter().rev() {
+                                stack.push(Frame::Enter(i));
+                            }
+                        }
+                    }
+                    None => {
+                        let r = match port_vertex.get(&n) {
+                            Some(&v) => vec![v],
+                            None => Vec::new(), // undriven
+                        };
+                        memo.insert(n, r);
+                    }
+                }
+            }
+            Frame::Combine(n) => {
+                let Some(&cid) = driver.get(&n) else { continue };
+                // Union of the wiring cell's inputs' sources.
                 let mut out = Vec::new();
-                for &i in &cell.inputs {
-                    out.extend(resolve_sources(nl, driver, cell_vertex, port_vertex, memo, i));
+                for &i in &nl.cell(cid).inputs {
+                    if let Some(srcs) = memo.get(&i) {
+                        out.extend(srcs.iter().copied());
+                    }
                 }
                 out.sort_unstable();
                 out.dedup();
-                out
+                memo.insert(n, out);
             }
         }
-        None => match port_vertex.get(&net) {
-            Some(&v) => vec![v],
-            None => Vec::new(), // undriven
-        },
-    };
-    memo.insert(net, result.clone());
-    result
+    }
+    memo.get(&net).cloned().unwrap_or_default()
 }
 
 #[cfg(test)]

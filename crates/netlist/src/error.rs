@@ -54,6 +54,27 @@ pub enum NetlistError {
         /// The module name that was requested.
         name: String,
     },
+    /// Nesting exceeded the parser's recursion bound.
+    ///
+    /// Emitted instead of overflowing the stack on adversarial input such
+    /// as `((((…))))` — the front-end accepts untrusted network Verilog,
+    /// so unbounded recursion would be a remote crash.
+    TooDeep {
+        /// Location where the bound was exceeded.
+        loc: Loc,
+        /// The nesting bound that was exceeded.
+        limit: u32,
+    },
+    /// Elaboration would exceed a resource budget (cell count, net width,
+    /// replication count, memory depth).
+    ///
+    /// Emitted *before* the offending allocation so one small request
+    /// cannot amplify into gigabytes of netlist. The message carries the
+    /// hierarchical module prefix where the budget tripped.
+    TooLarge {
+        /// Description including the budget and the offending quantity.
+        msg: String,
+    },
 }
 
 impl NetlistError {
@@ -71,6 +92,26 @@ impl NetlistError {
     pub fn elab(msg: impl Into<String>) -> Self {
         NetlistError::Elab { msg: msg.into() }
     }
+
+    /// Creates a nesting-bound error at `loc`.
+    pub fn too_deep(loc: Loc, limit: u32) -> Self {
+        NetlistError::TooDeep { loc, limit }
+    }
+
+    /// Creates a resource-budget error.
+    pub fn too_large(msg: impl Into<String>) -> Self {
+        NetlistError::TooLarge { msg: msg.into() }
+    }
+
+    /// True for errors that mean "the input asked for more resources than
+    /// the configured budgets allow" (as opposed to malformed input).
+    ///
+    /// `sns-serve` maps these to HTTP 422 rather than 400: the source may
+    /// be perfectly legal Verilog that simply exceeds the deployment's
+    /// `SNS_MAX_CELLS` / `SNS_MAX_NET_BITS` limits.
+    pub fn is_budget(&self) -> bool {
+        matches!(self, NetlistError::TooLarge { .. })
+    }
 }
 
 impl fmt::Display for NetlistError {
@@ -82,6 +123,10 @@ impl fmt::Display for NetlistError {
             NetlistError::UnknownTop { name } => {
                 write!(f, "top module `{name}` is not defined in the source")
             }
+            NetlistError::TooDeep { loc, limit } => {
+                write!(f, "nesting at {loc} exceeds the maximum depth of {limit}")
+            }
+            NetlistError::TooLarge { msg } => write!(f, "resource budget exceeded: {msg}"),
         }
     }
 }
@@ -102,6 +147,18 @@ mod tests {
         assert!(e.to_string().contains("elaboration error"));
         let e = NetlistError::UnknownTop { name: "top".into() };
         assert!(e.to_string().contains("`top`"));
+        let e = NetlistError::too_deep(Loc { line: 2, col: 9 }, 128);
+        assert_eq!(e.to_string(), "nesting at 2:9 exceeds the maximum depth of 128");
+        let e = NetlistError::too_large("replication count 100000000 exceeds 65536");
+        assert!(e.to_string().starts_with("resource budget exceeded:"));
+    }
+
+    #[test]
+    fn only_too_large_is_a_budget_error() {
+        assert!(NetlistError::too_large("x").is_budget());
+        assert!(!NetlistError::too_deep(Loc::default(), 128).is_budget());
+        assert!(!NetlistError::elab("x").is_budget());
+        assert!(!NetlistError::parse(Loc::default(), "x").is_budget());
     }
 
     #[test]

@@ -38,6 +38,18 @@
 //! modules with parameters, clocked and combinational `always` blocks,
 //! memories, case statements, concatenation/replication, the full
 //! synthesizable operator set).
+//!
+//! # Untrusted input
+//!
+//! The whole front-end is *total* on arbitrary byte strings: every input
+//! returns `Ok` or a structured [`NetlistError`] — it never panics,
+//! overflows the stack, or allocates unboundedly. Nesting is capped at
+//! [`parser::MAX_DEPTH`] ([`NetlistError::TooDeep`]), and elaboration
+//! enforces configurable resource budgets ([`elaborate::ElabLimits`];
+//! `SNS_MAX_CELLS`, `SNS_MAX_NET_BITS`, `SNS_MAX_REPLICATION`) that
+//! reject amplifying constructs such as `{100000000{x}}` with
+//! [`NetlistError::TooLarge`] *before* allocating
+//! (`crates/netlist/tests/adversarial.rs` is the enforcing fuzz suite).
 
 pub mod ast;
 pub mod elaborate;
@@ -47,7 +59,7 @@ pub mod netlist;
 pub mod parser;
 pub mod sim;
 
-pub use elaborate::elaborate;
+pub use elaborate::{elaborate, elaborate_with_limits, ElabLimits};
 pub use error::NetlistError;
 pub use lexer::{Lexer, Token, TokenKind};
 pub use netlist::{Cell, CellId, CellKind, Net, NetId, Netlist, Port, PortDir};

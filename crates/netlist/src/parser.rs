@@ -47,6 +47,19 @@ pub fn parse_source(source: &str) -> Result<Design, NetlistError> {
     Parser::new(tokens).parse_design()
 }
 
+/// Maximum nesting depth for expressions, statements, and lvalues.
+///
+/// The parser is recursive-descent and the AST it produces is walked
+/// recursively by the elaborator (and dropped recursively by Rust), so
+/// unbounded nesting in untrusted source — `((((…))))`, `~~~~…x`,
+/// `begin begin …` — would overflow the stack and abort the process.
+/// The counter below tracks the depth of the AST under construction
+/// (nesting *and* left-leaning operator chains, which deepen the tree
+/// without deepening parser recursion) and fails with
+/// [`NetlistError::TooDeep`] past this bound. The value mirrors
+/// `sns_rt::json::MAX_DEPTH`; real generated designs stay far below it.
+pub const MAX_DEPTH: u32 = 128;
+
 const KEYWORDS: &[&str] = &[
     "module", "endmodule", "input", "output", "inout", "wire", "reg", "assign", "always",
     "posedge", "negedge", "begin", "end", "if", "else", "case", "endcase", "default", "parameter",
@@ -56,11 +69,27 @@ const KEYWORDS: &[&str] = &[
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current AST nesting depth; see [`MAX_DEPTH`].
+    depth: u32,
 }
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0 }
+        Parser { tokens, pos: 0, depth: 0 }
+    }
+
+    /// Charges one level of AST depth, erroring past [`MAX_DEPTH`].
+    ///
+    /// Callers that open a subtree (`parse_expr`, `parse_stmt`,
+    /// `parse_lvalue`) save `self.depth` on entry and restore it on exit;
+    /// chain producers (binary/unary/postfix loops) charge per link and
+    /// rely on the enclosing expression's restore.
+    fn descend(&mut self) -> Result<(), NetlistError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(NetlistError::too_deep(self.loc(), MAX_DEPTH));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> &Token {
@@ -318,6 +347,14 @@ impl Parser {
     }
 
     fn parse_stmt(&mut self) -> Result<Stmt, NetlistError> {
+        let saved = self.depth;
+        self.descend()?;
+        let r = self.parse_stmt_inner();
+        self.depth = saved;
+        r
+    }
+
+    fn parse_stmt_inner(&mut self) -> Result<Stmt, NetlistError> {
         if self.eat_kw("begin") {
             // Optional `: label`.
             if self.eat_punct(":") {
@@ -385,6 +422,14 @@ impl Parser {
     }
 
     fn parse_lvalue(&mut self) -> Result<LValue, NetlistError> {
+        let saved = self.depth;
+        self.descend()?;
+        let r = self.parse_lvalue_inner();
+        self.depth = saved;
+        r
+    }
+
+    fn parse_lvalue_inner(&mut self) -> Result<LValue, NetlistError> {
         if self.eat_punct("{") {
             let mut parts = vec![self.parse_lvalue()?];
             while self.eat_punct(",") {
@@ -455,24 +500,29 @@ impl Parser {
     // ---- Expressions (precedence climbing) ----
 
     fn parse_expr(&mut self) -> Result<Expr, NetlistError> {
-        self.parse_ternary()
+        let saved = self.depth;
+        self.descend()?;
+        let r = self.parse_ternary();
+        self.depth = saved;
+        r
     }
 
     fn parse_ternary(&mut self) -> Result<Expr, NetlistError> {
         let cond = self.parse_binary(0)?;
         if self.eat_punct("?") {
-            let a = self.parse_ternary()?;
+            // Arms go through `parse_expr` so ternary chains charge depth.
+            let a = self.parse_expr()?;
             self.expect_punct(":")?;
-            let b = self.parse_ternary()?;
+            let b = self.parse_expr()?;
             return Ok(Expr::Ternary(Box::new(cond), Box::new(a), Box::new(b)));
         }
         Ok(cond)
     }
 
     /// Binds tighter as the level increases; standard Verilog precedence.
-    fn binop_at(&self, level: u8) -> Option<BinOp> {
+    fn binop(&self) -> Option<(BinOp, u8)> {
         let TokenKind::Punct(p) = &self.peek().kind else { return None };
-        let (op, lvl) = match *p {
+        Some(match *p {
             "||" => (BinOp::LOr, 0),
             "&&" => (BinOp::LAnd, 1),
             "|" => (BinOp::Or, 2),
@@ -494,18 +544,25 @@ impl Parser {
             "/" => (BinOp::Div, 9),
             "%" => (BinOp::Mod, 9),
             _ => return None,
-        };
-        (lvl == level).then_some(op)
+        })
     }
 
-    fn parse_binary(&mut self, level: u8) -> Result<Expr, NetlistError> {
-        if level > 9 {
-            return self.parse_unary();
-        }
-        let mut lhs = self.parse_binary(level + 1)?;
-        while let Some(op) = self.binop_at(level) {
+    /// Precedence climbing (one recursion per *consumed* operator, not a
+    /// fixed ladder of one frame per precedence level). The flat shape
+    /// matters for robustness: untrusted input gets to nest expressions
+    /// [`MAX_DEPTH`] deep, and the ladder's ~11 frames per nesting level
+    /// came close to the 2 MiB thread-stack limit in debug builds.
+    fn parse_binary(&mut self, min_level: u8) -> Result<Expr, NetlistError> {
+        let mut lhs = self.parse_unary()?;
+        while let Some((op, lvl)) = self.binop() {
+            if lvl < min_level {
+                break;
+            }
             self.bump();
-            let rhs = self.parse_binary(level + 1)?;
+            // Each operator deepens the tree one level (left-nesting for
+            // chains, right recursion for tighter-binding ops).
+            self.descend()?;
+            let rhs = self.parse_binary(lvl + 1)?;
             lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
         }
         Ok(lhs)
@@ -526,6 +583,7 @@ impl Parser {
         };
         if let Some(op) = op {
             self.bump();
+            self.descend()?;
             let inner = self.parse_unary()?;
             return Ok(Expr::Unary(op, Box::new(inner)));
         }
@@ -536,6 +594,7 @@ impl Parser {
         let mut e = self.parse_primary()?;
         while self.at_punct("[") {
             self.bump();
+            self.descend()?;
             let a = self.parse_expr()?;
             if self.eat_punct(":") {
                 let b = self.parse_expr()?;
@@ -761,6 +820,97 @@ mod tests {
         let m = parse_one("module m (input [7:0] a, output y); assign y = &a ^ |a; endmodule");
         let Item::Assign { rhs, .. } = &m.items[0] else { panic!() };
         assert!(matches!(rhs, Expr::Binary(BinOp::Xor, _, _)));
+    }
+
+    fn assert_too_deep(src: &str) {
+        let err = parse_source(src).unwrap_err();
+        assert!(
+            matches!(err, NetlistError::TooDeep { limit: MAX_DEPTH, .. }),
+            "expected TooDeep, got: {err}"
+        );
+    }
+
+    #[test]
+    fn deep_parens_error_instead_of_overflowing_the_stack() {
+        for n in [MAX_DEPTH as usize + 1, 10_000, 200_000] {
+            let src = format!(
+                "module m (input a, output y); assign y = {}a{}; endmodule",
+                "(".repeat(n),
+                ")".repeat(n)
+            );
+            assert_too_deep(&src);
+        }
+    }
+
+    #[test]
+    fn nesting_well_below_the_limit_parses() {
+        let n = 100;
+        let src = format!(
+            "module m (input a, output y); assign y = {}a{}; endmodule",
+            "(".repeat(n),
+            ")".repeat(n)
+        );
+        parse_source(&src).expect("100 nested parens are legal");
+    }
+
+    #[test]
+    fn deep_chains_of_every_shape_are_bounded() {
+        let n = 10_000;
+        // Unary chain: parser recursion plus a deep AST.
+        assert_too_deep(&format!(
+            "module m (input a, output y); assign y = {}a; endmodule",
+            "~".repeat(n)
+        ));
+        // Replication nesting.
+        assert_too_deep(&format!(
+            "module m (input a, output y); assign y = {}a{}; endmodule",
+            "{2{".repeat(n),
+            "}}".repeat(n)
+        ));
+        // Ternary chain (right-leaning).
+        assert_too_deep(&format!(
+            "module m (input a, output y); assign y = {}a; endmodule",
+            "a ? a : ".repeat(n)
+        ));
+        // Binary chain: built iteratively, but left-nests the AST — the
+        // elaborator and Drop would recurse over it.
+        assert_too_deep(&format!(
+            "module m (input a, output y); assign y = a{}; endmodule",
+            " ^ a".repeat(n)
+        ));
+        // Postfix select chain.
+        assert_too_deep(&format!(
+            "module m (input a, output y); assign y = a{}; endmodule",
+            "[0]".repeat(n)
+        ));
+        // Statement nesting.
+        assert_too_deep(&format!(
+            "module m (input c, output reg y); always @(*) {}y = c; endmodule",
+            "if (c) ".repeat(n)
+        ));
+        assert_too_deep(&format!(
+            "module m (input c, output reg y); always @(*) {}y = c; {}endmodule",
+            "begin ".repeat(n),
+            "end ".repeat(n)
+        ));
+        // Lvalue concat nesting.
+        assert_too_deep(&format!(
+            "module m (input c, output y); assign {}y{} = c; endmodule",
+            "{".repeat(n),
+            "}".repeat(n)
+        ));
+    }
+
+    #[test]
+    fn depth_resets_between_statements_and_items() {
+        // Many siblings, each modestly nested: depth must not accumulate
+        // across statements, expressions, or module items.
+        let stmt = format!("y = {}c{};", "(".repeat(60), ")".repeat(60));
+        let src = format!(
+            "module m (input c, output reg y); always @(*) begin {} end endmodule",
+            stmt.repeat(50)
+        );
+        parse_source(&src).expect("sibling statements share no depth budget");
     }
 
     #[test]

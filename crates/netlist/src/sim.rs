@@ -309,7 +309,11 @@ impl<'a> Simulator<'a> {
             CellKind::ReduceXor => {
                 ((inv(0) & Self::mask(in_w(0))).count_ones() % 2) as u128
             }
-            CellKind::Dff => unreachable!("registers latch in step(), not eval()"),
+            // Registers latch in step(), not eval(); eval() only visits
+            // combinational cells, so a Dff here means the caller walked the
+            // wrong cell set. Pass D through rather than aborting — the
+            // simulator runs inside the serving path and must not panic.
+            CellKind::Dff => inv(0),
         }
     }
 }

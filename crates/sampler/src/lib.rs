@@ -40,6 +40,13 @@ use sns_rt::rng::{SliceRandom, StdRng};
 
 use sns_graphir::{GraphIr, VertexId, Vocab};
 
+/// Hard ceiling on DFS recursion depth, independent of
+/// [`SampleConfig::max_len`]. Paths are bounded by
+/// `max_len.min(MAX_DFS_DEPTH)` so that no configuration can recurse
+/// deeply enough to overflow a 2 MiB worker-thread stack on adversarial
+/// graph topology.
+pub const MAX_DFS_DEPTH: usize = 4096;
+
 /// Configuration for the path sampler.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SampleConfig {
@@ -140,15 +147,13 @@ impl CircuitPath {
 
     /// The dense vocabulary token ids along the path (for the
     /// Circuitformer). Vertices whose `(type,width)` fall outside the
-    /// vocabulary are impossible by construction, so this never skips.
+    /// vocabulary are impossible by construction with the built-in vocab;
+    /// with a caller-supplied narrower vocabulary, out-of-vocabulary
+    /// vertices are skipped rather than panicking.
     pub fn token_ids(&self, graph: &GraphIr, vocab: &Vocab) -> Vec<usize> {
         self.vertices
             .iter()
-            .map(|&v| {
-                vocab
-                    .token_id(graph.vertex(v).vertex)
-                    .expect("GraphIR vertices always have rounded, in-vocabulary widths")
-            })
+            .filter_map(|&v| vocab.token_id(graph.vertex(v).vertex))
             .collect()
     }
 }
@@ -213,7 +218,14 @@ impl PathSampler {
         seen: &mut HashSet<Vec<VertexId>>,
         rng: &mut StdRng,
     ) {
-        if out.len() >= self.config.max_paths || stack.len() >= self.config.max_len {
+        // `max_len` also bounds the recursion depth here; clamp it so a
+        // caller-supplied huge limit cannot turn untrusted graph topology
+        // into a stack overflow (the sampler runs inside the serving path).
+        // The paper's default (512) is far below the clamp, so results are
+        // unchanged for every supported configuration.
+        if out.len() >= self.config.max_paths
+            || stack.len() >= self.config.max_len.min(MAX_DFS_DEPTH)
+        {
             return;
         }
         if on_path[v.0 as usize] {

@@ -41,9 +41,19 @@
 //! queued and in-flight requests (SIGTERM / ctrl-C in the `sns-serve`
 //! binary).
 //!
+//! The Verilog body is *untrusted*: the `sns-netlist` front-end is total
+//! on arbitrary bytes (depth-bounded parsing, budget-checked
+//! elaboration), so malformed source is a structured `400` and source
+//! that exceeds the deployment's elaboration budgets (`SNS_MAX_CELLS`,
+//! `SNS_MAX_NET_BITS`, `SNS_MAX_REPLICATION`) is a `422`. As defense in
+//! depth, each handler wraps the pipeline in `catch_unwind`: a residual
+//! panic costs one `500` (and bumps the `panics_total` metric) rather
+//! than the worker thread.
+//!
 //! Environment knobs: `SNS_SERVE_WORKERS`, `SNS_QUEUE_CAP`,
 //! `SNS_MAX_BODY`, `SNS_DEADLINE_MS`, `SNS_CACHE_CAP` (0 = unbounded),
-//! plus the model-level `SNS_THREADS` / `SNS_BATCH`.
+//! plus the model-level `SNS_THREADS` / `SNS_BATCH` and the elaboration
+//! budgets above.
 
 pub mod batcher;
 pub mod http;

@@ -99,6 +99,11 @@ pub struct Metrics {
     pub deadline_504: AtomicU64,
     /// Connections that died before a response could be written.
     pub conn_errors: AtomicU64,
+    /// Requests whose handler panicked and was caught at the connection
+    /// boundary (returned as a 500 instead of killing the worker). The
+    /// front-end is supposed to be panic-free, so anything non-zero here
+    /// is a bug worth paging on.
+    pub panics_total: AtomicU64,
     /// Current depth of the bounded accept queue.
     pub queue_depth: AtomicU64,
     /// Requests currently being handled by workers.
@@ -163,6 +168,7 @@ impl Metrics {
             ("rejected_503", Self::g(&self.rejected_503)),
             ("deadline_504", Self::g(&self.deadline_504)),
             ("conn_errors", Self::g(&self.conn_errors)),
+            ("panics_total", Self::g(&self.panics_total)),
             ("queue_depth", Self::g(&self.queue_depth)),
             ("in_flight", Self::g(&self.in_flight)),
             (

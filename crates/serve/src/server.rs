@@ -323,7 +323,25 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         }
         Ok(request) => {
             shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-            route(&request, shared)
+            // The pipeline is designed to be panic-free on arbitrary input
+            // (see the adversarial suites), but a residual bug must cost
+            // one 500, not the worker thread and every queued connection
+            // behind it. `AssertUnwindSafe` is sound: `shared` holds no
+            // lock across this call and all its state is atomics or
+            // poison-checked mutexes.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                route(&request, shared)
+            })) {
+                Ok(reply) => reply,
+                Err(_) => {
+                    shared.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
+                    (
+                        500,
+                        Vec::new(),
+                        error_body("internal error while handling the request", "panic"),
+                    )
+                }
+            }
         }
     };
     let class = match status {
@@ -438,6 +456,11 @@ fn handle_predict(request: &Request, shared: &Shared) -> Reply {
     let t = Instant::now();
     let netlist = match sns_netlist::parse_and_elaborate(&input.verilog, &input.top) {
         Ok(nl) => nl,
+        // Budget rejections (SNS_MAX_CELLS / SNS_MAX_NET_BITS /
+        // SNS_MAX_REPLICATION) are 422: the Verilog may be perfectly
+        // well-formed, the deployment just refuses to elaborate something
+        // that large. Malformed source stays 400.
+        Err(e) if e.is_budget() => return (422, Vec::new(), error_body(&e.to_string(), "budget")),
         Err(e) => return (400, Vec::new(), error_body(&e.to_string(), "verilog")),
     };
     shared.metrics.stage_parse.record(t.elapsed());

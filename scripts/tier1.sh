@@ -19,6 +19,27 @@ cargo test -q
 echo "==> cargo test -q -p sns-rt -p sns-core -p sns-serve"
 cargo test -q -p sns-rt -p sns-core -p sns-serve
 
+# The untrusted front-end: unit suites plus the seeded adversarial fuzz
+# corpus (deep nesting, huge replication, truncated/mutated sources).
+echo "==> cargo test -q -p sns-netlist -p sns-graphir -p sns-sampler"
+cargo test -q -p sns-netlist -p sns-graphir -p sns-sampler
+
+# No-new-panics gate: the untrusted pipeline (netlist/graphir/sampler)
+# must stay free of unwrap/expect/panic!/unreachable! outside tests —
+# every one of these is a remote crash when the input is hostile.
+echo "==> no-new-panics grep gate (crates/{netlist,graphir,sampler}/src)"
+panic_sites=$(
+  for f in crates/netlist/src/*.rs crates/graphir/src/*.rs crates/sampler/src/*.rs; do
+    # Cut each file at its #[cfg(test)] module; test code may panic freely.
+    awk '/^#\[cfg\(test\)\]/ { exit } { print FILENAME ":" FNR ": " $0 }' "$f"
+  done | grep -E '\.unwrap\(\)|\.expect\(|panic!|unreachable!' | grep -vE ':\s*//' || true
+)
+if [ -n "$panic_sites" ]; then
+  echo "panic-capable call sites in untrusted-input crates:"
+  echo "$panic_sites"
+  exit 1
+fi
+
 # The serve end-to-end suite boots real servers with worker/queue limits
 # tuned per test; keep it single-threaded so the limits stay meaningful
 # on small machines.

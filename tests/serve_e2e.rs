@@ -350,6 +350,84 @@ fn full_queue_sheds_with_503_and_retry_after() {
 }
 
 #[test]
+fn adversarial_batch_leaves_the_daemon_alive_and_bit_identical() {
+    let model = model();
+    let server = Server::start_shared(Arc::clone(&model), test_config()).unwrap();
+    let addr = server.addr();
+    let d = &serve_designs()[4];
+    let direct = model.predict_verilog(&d.verilog, &d.top).unwrap();
+
+    // A batch of hostile requests: each must produce a structured error
+    // response — never a hangup, never a dead worker.
+
+    // Deep nesting: the pre-fix reproducer stack-overflowed and aborted
+    // the whole daemon. Now it is a 400 mentioning the depth bound.
+    let deep = format!(
+        "module m (input a, output y); assign y = {}a{}; endmodule",
+        "(".repeat(50_000),
+        ")".repeat(50_000)
+    );
+    let body =
+        Json::obj(vec![("verilog", Json::Str(deep)), ("top", Json::Str("m".into()))]).print();
+    let (status, resp) = post_json(addr, "/predict", &body);
+    assert_eq!(status, 400, "{}", resp.print());
+    assert_eq!(resp.get("kind").unwrap().as_str().unwrap(), "verilog");
+    assert!(resp.get("error").unwrap().as_str().unwrap().contains("depth"));
+
+    // Resource amplification: legal Verilog that exceeds the deployment's
+    // elaboration budgets → 422, kind "budget".
+    for verilog in [
+        "module m (input x, output [7:0] y); assign y = {100000000{x}}; endmodule",
+        "module m (input x, output y); wire [100000000:0] w; assign y = x; endmodule",
+    ] {
+        let body = Json::obj(vec![
+            ("verilog", Json::Str(verilog.into())),
+            ("top", Json::Str("m".into())),
+        ])
+        .print();
+        let (status, resp) = post_json(addr, "/predict", &body);
+        assert_eq!(status, 422, "{}", resp.print());
+        assert_eq!(resp.get("kind").unwrap().as_str().unwrap(), "budget");
+    }
+
+    // Truncations and token soup of the design we are about to predict.
+    for cut in [d.verilog.len() / 3, d.verilog.len() / 2, 2 * d.verilog.len() / 3] {
+        let mut prefix = &d.verilog[..cut];
+        while !d.verilog.is_char_boundary(prefix.len()) {
+            prefix = &prefix[..prefix.len() - 1];
+        }
+        let body = Json::obj(vec![
+            ("verilog", Json::Str(prefix.to_string())),
+            ("top", Json::Str(d.top.clone())),
+        ])
+        .print();
+        let (status, resp) = post_json(addr, "/predict", &body);
+        assert_eq!(status, 400, "{}", resp.print());
+        assert_eq!(resp.get("kind").unwrap().as_str().unwrap(), "verilog");
+    }
+
+    // Immediately after absorbing the corpus, a valid request answers
+    // bit-identically to the direct model call on the same process.
+    let (status, resp) = post_json(addr, "/predict", &predict_body(d));
+    assert_eq!(status, 200, "{}", resp.print());
+    let timing = resp.get("timing_ps").unwrap().as_f64().unwrap();
+    let area = resp.get("area_um2").unwrap().as_f64().unwrap();
+    let power = resp.get("power_mw").unwrap().as_f64().unwrap();
+    assert_eq!(timing.to_bits(), direct.timing_ps.to_bits());
+    assert_eq!(area.to_bits(), direct.area_um2.to_bits());
+    assert_eq!(power.to_bits(), direct.power_mw.to_bits());
+
+    // Nothing panicked behind the catch_unwind net, and the status
+    // classes reconcile: 4 × 400, 2 × 422, 1 × 200.
+    let (_, m) = get(addr, "/metrics");
+    assert_eq!(m.get("panics_total").unwrap().as_u64().unwrap(), 0);
+    assert_eq!(m.get("responses").unwrap().get("4xx").unwrap().as_u64().unwrap(), 6);
+    assert_eq!(m.get("responses").unwrap().get("5xx").unwrap().as_u64().unwrap(), 0);
+    assert_eq!(m.get("predict_ok").unwrap().as_u64().unwrap(), 1);
+    server.join();
+}
+
+#[test]
 fn graceful_shutdown_drains_in_flight_requests() {
     let server = Server::start_shared(model(), test_config()).unwrap();
     let addr = server.addr();
