@@ -1,0 +1,528 @@
+//! The differential oracles.
+//!
+//! Each oracle takes a generated [`DesignSpec`] and checks one cross-layer
+//! agreement the rest of the workspace silently depends on:
+//!
+//! 1. [`check_sim_vs_gates`] — the coarse-cell netlist simulator and the
+//!    gate-level evaluation of the virtual synthesizer's expanded graph
+//!    must produce bit-identical output traces under random stimulus.
+//!    This is the oracle that pins the semantics of every expander in
+//!    `sns_vsynth::expand` to the elaborator's.
+//! 2. [`check_vsynth_invariants`] — synthesis labels are finite, positive,
+//!    deterministic (bit-identical across repeated runs), and monotone:
+//!    widening every signal of a design never shrinks its gate count.
+//! 3. [`PredictorHarness::check`] — a trained `SnsModel` must predict
+//!    bit-identically across thread-count × batch-size × cache-capacity
+//!    configurations (the explicit-argument priming API, so the sweep
+//!    needs no environment variables).
+//! 4. [`ServeHarness::check`] — `POST /predict` against a live `sns-serve`
+//!    instance must return exactly the numbers the in-process model
+//!    produces (the daemon's shortest-round-trip JSON printer makes f64
+//!    equality exact, not approximate).
+//!
+//! All oracles return `Err(description)` on disagreement so callers can
+//! shrink the offending spec (see [`crate::shrink`]) and persist it to the
+//! corpus (see [`crate::corpus`]).
+
+use std::collections::HashMap;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sns_circuitformer::{CircuitformerConfig, TrainConfig};
+use sns_core::aggmlp::MlpTrainConfig;
+use sns_core::dataset::AugmentConfig;
+use sns_core::{train_sns, DesignPrediction, SnsModel, SnsTrainConfig};
+use sns_graphir::GraphIr;
+use sns_netlist::{parse_and_elaborate, Netlist, PortDir, Simulator};
+use sns_rt::json::{parse as parse_json, Json};
+use sns_rt::StdRng;
+use sns_sampler::{PathSampler, SampleConfig};
+use sns_serve::{ServeConfig, Server};
+use sns_vsynth::{GateSim, SynthOptions, SynthReport, VirtualSynthesizer};
+
+use crate::generator::DesignSpec;
+
+/// Which oracle a disagreement came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OracleKind {
+    /// Netlist simulation vs gate-level evaluation.
+    SimVsGates,
+    /// Virtual-synthesizer label invariants.
+    VsynthInvariants,
+    /// Thread/batch/cache-capacity prediction identity.
+    PredictorDeterminism,
+    /// HTTP-vs-direct prediction identity.
+    ServeIdentity,
+}
+
+impl OracleKind {
+    /// A stable snake_case name (used in benchmark breakdowns).
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleKind::SimVsGates => "sim_vs_gates",
+            OracleKind::VsynthInvariants => "vsynth_invariants",
+            OracleKind::PredictorDeterminism => "predictor_determinism",
+            OracleKind::ServeIdentity => "serve_identity",
+        }
+    }
+}
+
+/// A cross-layer disagreement found by an oracle.
+#[derive(Debug, Clone)]
+pub struct Disagreement {
+    pub oracle: OracleKind,
+    pub seed: u64,
+    pub detail: String,
+}
+
+impl std::fmt::Display for Disagreement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] seed {}: {}", self.oracle.name(), self.seed, self.detail)
+    }
+}
+
+/// Elaborates a spec (a generated spec must always elaborate; an error
+/// here is itself a front-end bug worth a corpus case).
+pub fn elaborate(spec: &DesignSpec) -> Result<Netlist, String> {
+    parse_and_elaborate(&spec.verilog(), spec.top())
+        .map_err(|e| format!("generated design failed to elaborate: {e}"))
+}
+
+/// The netlist's port interface: input `(name, width)` pairs and output
+/// names, in declaration order. The stimulus and trace schemes below
+/// depend only on this order, so a corpus replay from raw Verilog drives
+/// the exact same trace as the generated spec did.
+fn io_ports(nl: &Netlist) -> (Vec<(String, u32)>, Vec<String>) {
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    for p in nl.ports() {
+        match p.dir {
+            PortDir::Input => inputs.push((p.name.clone(), nl.net(p.net).width)),
+            PortDir::Output => outputs.push(p.name.clone()),
+        }
+    }
+    (inputs, outputs)
+}
+
+fn mask_to_width(raw: u128, w: u32) -> u128 {
+    if w as usize >= 128 {
+        raw
+    } else {
+        raw & ((1u128 << w) - 1)
+    }
+}
+
+/// Oracle 1: drives `cycles` cycles of seeded random stimulus through the
+/// netlist simulator and the expanded gate graph, comparing every output
+/// both combinationally (after the inputs settle) and after each clock
+/// edge.
+pub fn check_sim_vs_gates(spec: &DesignSpec, stim_seed: u64, cycles: usize) -> Result<(), String> {
+    diff_sim_netlist(&elaborate(spec)?, stim_seed, cycles)
+}
+
+/// The netlist-level half of oracle 1, shared with corpus replay.
+pub fn diff_sim_netlist(nl: &Netlist, stim_seed: u64, cycles: usize) -> Result<(), String> {
+    let (inputs, outputs) = io_ports(nl);
+    let mut nsim = Simulator::new(nl).map_err(|e| format!("netlist sim rejected design: {e}"))?;
+    let gl = VirtualSynthesizer::new(SynthOptions::default()).elaborate_gates(nl);
+    let mut gsim = GateSim::new(&gl)?;
+    let mut rng = StdRng::seed_from_u64(stim_seed);
+
+    for cycle in 0..cycles {
+        for (name, w) in &inputs {
+            let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            let v = mask_to_width(raw, *w);
+            nsim.set_input(name, v).map_err(|e| e.to_string())?;
+            gsim.set_input(name, v)?;
+        }
+        // Compare the settled combinational view first, then the
+        // post-edge view — registered outputs only move on the edge.
+        nsim.eval().map_err(|e| e.to_string())?;
+        gsim.eval();
+        compare_outputs(&nsim, &gsim, &outputs, cycle, "eval")?;
+        nsim.step().map_err(|e| e.to_string())?;
+        gsim.step();
+        compare_outputs(&nsim, &gsim, &outputs, cycle, "step")?;
+    }
+    Ok(())
+}
+
+fn compare_outputs(
+    nsim: &Simulator,
+    gsim: &GateSim,
+    outputs: &[String],
+    cycle: usize,
+    phase: &str,
+) -> Result<(), String> {
+    for name in outputs {
+        let nv = nsim.output(name).map_err(|e| e.to_string())?;
+        let gv = gsim.output(name)?;
+        if nv != gv {
+            return Err(format!(
+                "output {name} diverges at cycle {cycle} after {phase}: \
+                 netlist sim says {nv:#x}, gate-level eval says {gv:#x}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// A compact trace signature: FNV-1a over every output after every eval
+/// and step phase. Corpus sidecars pin this hash so replays detect any
+/// behavioral drift, not just sim-vs-gates divergence.
+pub fn trace_hash(nl: &Netlist, stim_seed: u64, cycles: usize) -> Result<u64, String> {
+    let (inputs, outputs) = io_ports(nl);
+    let mut sim = Simulator::new(nl).map_err(|e| format!("netlist sim rejected design: {e}"))?;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let absorb = |h: &mut u64, v: u128| {
+        for byte in v.to_le_bytes() {
+            *h ^= byte as u64;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(stim_seed);
+    for _ in 0..cycles {
+        for (name, w) in &inputs {
+            let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            sim.set_input(name, mask_to_width(raw, *w)).map_err(|e| e.to_string())?;
+        }
+        sim.eval().map_err(|e| e.to_string())?;
+        for name in &outputs {
+            let v = sim.output(name).map_err(|e| e.to_string())?;
+            absorb(&mut h, v);
+        }
+        sim.step().map_err(|e| e.to_string())?;
+        for name in &outputs {
+            let v = sim.output(name).map_err(|e| e.to_string())?;
+            absorb(&mut h, v);
+        }
+    }
+    Ok(h)
+}
+
+/// Synthesizes a spec with the default options (full sizing loop).
+pub fn synthesize(spec: &DesignSpec) -> Result<SynthReport, String> {
+    let nl = elaborate(spec)?;
+    Ok(VirtualSynthesizer::new(SynthOptions::default()).synthesize(&nl))
+}
+
+/// Oracle 2: synthesis-label invariants.
+///
+/// * every label is finite and positive,
+/// * synthesizing the same netlist twice is bit-identical (everything but
+///   the wall-clock runtime),
+/// * widening every signal never shrinks the gate count (the area analogue
+///   is checked on dedicated families in the test suite, where the sizing
+///   loop can be pinned off).
+pub fn check_vsynth_invariants(spec: &DesignSpec) -> Result<(), String> {
+    let nl = elaborate(spec)?;
+    let vs = VirtualSynthesizer::new(SynthOptions::default());
+    let a = vs.synthesize(&nl);
+    // A design can legitimately synthesize to zero gates (pure wiring,
+    // replication, bit-selects) and constant-driven logic legitimately
+    // has zero dynamic power — so labels must be finite and non-negative,
+    // with positivity required only where the gate graph implies it.
+    for (name, v) in [
+        ("area_um2", a.area_um2),
+        ("timing_ps", a.timing_ps),
+        ("power_mw", a.power_mw),
+        ("dynamic_mw", a.dynamic_mw),
+        ("leakage_mw", a.leakage_mw),
+    ] {
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("synthesis label {name} is not finite-nonnegative: {v}"));
+        }
+    }
+    if a.timing_ps <= 0.0 {
+        return Err(format!("timing_ps must be positive (base delay): {}", a.timing_ps));
+    }
+    if a.gate_count > 0 && (a.area_um2 <= 0.0 || a.leakage_mw <= 0.0 || a.transistor_count == 0) {
+        return Err(format!(
+            "{} gates but area={} leakage={} transistors={}",
+            a.gate_count, a.area_um2, a.leakage_mw, a.transistor_count
+        ));
+    }
+    let b = vs.synthesize(&nl);
+    for (name, x, y) in [
+        ("area_um2", a.area_um2, b.area_um2),
+        ("timing_ps", a.timing_ps, b.timing_ps),
+        ("power_mw", a.power_mw, b.power_mw),
+        ("dynamic_mw", a.dynamic_mw, b.dynamic_mw),
+        ("leakage_mw", a.leakage_mw, b.leakage_mw),
+    ] {
+        if x.to_bits() != y.to_bits() {
+            return Err(format!("synthesis is nondeterministic in {name}: {x} vs {y}"));
+        }
+    }
+    if a.gate_count != b.gate_count {
+        return Err(format!(
+            "synthesis is nondeterministic in gate_count: {} vs {}",
+            a.gate_count, b.gate_count
+        ));
+    }
+
+    let wide = spec.widened();
+    let wnl = elaborate(&wide)?;
+    let w = vs.synthesize(&wnl);
+    if w.gate_count < a.gate_count {
+        return Err(format!(
+            "widening shrank the design: {} gates at base widths, {} gates widened",
+            a.gate_count, w.gate_count
+        ));
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------- predictor --
+
+/// The tiny-but-real training configuration the prediction oracles share.
+/// Dimension 32 keeps training to a few seconds while still exercising
+/// the full Circuitformer + aggregation pipeline.
+pub fn tiny_train_config() -> SnsTrainConfig {
+    let mut c = SnsTrainConfig::fast();
+    c.circuitformer =
+        CircuitformerConfig { dim: 32, ffn_dim: 64, max_len: 64, ..CircuitformerConfig::fast() };
+    c.cf_train = TrainConfig { epochs: 2, batch_size: 32, threads: 1, ..TrainConfig::fast() };
+    c.mlp_train = MlpTrainConfig { epochs: 20, ..MlpTrainConfig::fast() };
+    c.augment = AugmentConfig::none();
+    c.sample = SampleConfig::paper_default().with_max_paths(250);
+    c
+}
+
+/// Oracle 3's stateful half: one trained model, checked against many
+/// generated designs.
+pub struct PredictorHarness {
+    model: Arc<SnsModel>,
+}
+
+impl PredictorHarness {
+    /// Trains a fresh tiny model (a few seconds of work — train once and
+    /// share the harness across checks).
+    pub fn train() -> Self {
+        let designs =
+            vec![sns_designs::vector::simd_alu(2, 8), sns_designs::nonlinear::piecewise(4, 8)];
+        Self::from_model(Arc::new(train_sns(&designs, &tiny_train_config()).0))
+    }
+
+    /// Wraps an already-trained model.
+    pub fn from_model(model: Arc<SnsModel>) -> Self {
+        PredictorHarness { model }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &Arc<SnsModel> {
+        &self.model
+    }
+
+    /// Oracle 3: predictions for `spec` must be bit-identical across a
+    /// sweep of thread-count × batch-size × cache-capacity settings,
+    /// including a capacity small enough to force evictions mid-predict.
+    ///
+    /// Leaves the model's shared cache unbounded and empty on return, so a
+    /// harness can be shared with other tests.
+    pub fn check(&self, spec: &DesignSpec) -> Result<(), String> {
+        let nl = elaborate(spec)?;
+        let graph = GraphIr::from_netlist(&nl);
+        let paths = PathSampler::new(self.model.sample_config().clone()).sample(&graph);
+        let seqs = self.model.tokenize_paths(&graph, &paths);
+        let result = self.sweep(&graph, &paths, &seqs);
+        self.model.cache().set_capacity(None);
+        self.model.clear_cache();
+        result
+    }
+
+    fn sweep(
+        &self,
+        graph: &GraphIr,
+        paths: &[sns_sampler::CircuitPath],
+        seqs: &[Vec<usize>],
+    ) -> Result<(), String> {
+        // A capacity well below the sequence count forces evictions while
+        // the prediction is being assembled.
+        let tiny_cap = (seqs.len() / 4).max(2);
+        let mut baseline: Option<DesignPrediction> = None;
+        for &(threads, batch, cap) in
+            &[(1usize, 1usize, None), (4, 4, None), (3, 2, Some(tiny_cap))]
+        {
+            self.model.clear_cache();
+            self.model.cache().set_capacity(cap);
+            self.model.prime_path_cache(seqs, threads, batch);
+            let pred = self.model.predict_primed(graph, paths, seqs, None, Instant::now());
+            match &baseline {
+                None => baseline = Some(pred),
+                Some(base) => {
+                    for (name, x, y) in [
+                        ("timing_ps", base.timing_ps, pred.timing_ps),
+                        ("area_um2", base.area_um2, pred.area_um2),
+                        ("power_mw", base.power_mw, pred.power_mw),
+                    ] {
+                        if x.to_bits() != y.to_bits() {
+                            return Err(format!(
+                                "prediction {name} differs at threads={threads} batch={batch} \
+                                 cap={cap:?}: {x} vs {y}"
+                            ));
+                        }
+                    }
+                    if base.path_count != pred.path_count
+                        || base.critical_path != pred.critical_path
+                    {
+                        return Err(format!(
+                            "path provenance differs at threads={threads} batch={batch} cap={cap:?}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------------- serve --
+
+/// Oracle 4's stateful half: a live `sns-serve` daemon on an ephemeral
+/// port, sharing its model with the in-process baseline.
+pub struct ServeHarness {
+    server: Option<Server>,
+    addr: SocketAddr,
+    model: Arc<SnsModel>,
+}
+
+impl ServeHarness {
+    /// Boots a daemon around `model` on `127.0.0.1:0`.
+    pub fn start(model: Arc<SnsModel>, cache_cap: Option<usize>) -> Result<Self, String> {
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            cache_cap,
+            read_timeout: Duration::from_secs(5),
+            ..ServeConfig::default()
+        };
+        let server = Server::start_shared(Arc::clone(&model), config)
+            .map_err(|e| format!("failed to start sns-serve: {e}"))?;
+        let addr = server.addr();
+        Ok(ServeHarness { server: Some(server), addr, model })
+    }
+
+    /// The daemon's ephemeral address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Oracle 4: `POST /predict` must return exactly the numbers the
+    /// in-process model computes for the same source. The daemon prints
+    /// f64s with a shortest-round-trip formatter, so the comparison is
+    /// `to_bits` equality after JSON round-trip, not a tolerance.
+    pub fn check(&self, spec: &DesignSpec) -> Result<(), String> {
+        let src = spec.verilog();
+        let body = Json::obj(vec![
+            ("verilog", Json::Str(src.clone())),
+            ("top", Json::Str(spec.top().to_string())),
+        ])
+        .print();
+        let (status, json) = self.post("/predict", &body)?;
+        if status != 200 {
+            return Err(format!("POST /predict returned HTTP {status}: {}", json.print()));
+        }
+        let direct = self
+            .model
+            .predict_verilog(&src, spec.top())
+            .map_err(|e| format!("direct prediction failed: {e}"))?;
+        for (name, local) in [
+            ("timing_ps", direct.timing_ps),
+            ("area_um2", direct.area_um2),
+            ("power_mw", direct.power_mw),
+        ] {
+            let remote = json
+                .get(name)
+                .and_then(|v| v.as_f64())
+                .map_err(|e| format!("bad /predict response field {name}: {e}"))?;
+            if remote.to_bits() != local.to_bits() {
+                return Err(format!(
+                    "HTTP {name} diverges from direct prediction: {remote} vs {local}"
+                ));
+            }
+        }
+        let remote_paths = json
+            .get("path_count")
+            .and_then(|v| v.as_usize())
+            .map_err(|e| format!("bad /predict response field path_count: {e}"))?;
+        if remote_paths != direct.path_count {
+            return Err(format!(
+                "HTTP path_count diverges: {remote_paths} vs {}",
+                direct.path_count
+            ));
+        }
+        Ok(())
+    }
+
+    /// Fetches `GET /metrics` as JSON.
+    pub fn metrics(&self) -> Result<Json, String> {
+        let (status, json) = self.get("/metrics")?;
+        if status != 200 {
+            return Err(format!("GET /metrics returned HTTP {status}"));
+        }
+        Ok(json)
+    }
+
+    fn post(&self, path: &str, body: &str) -> Result<(u16, Json), String> {
+        let raw = format!(
+            "POST {path} HTTP/1.1\r\nhost: c\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        self.http(raw.as_bytes())
+    }
+
+    fn get(&self, path: &str) -> Result<(u16, Json), String> {
+        let raw = format!("GET {path} HTTP/1.1\r\nhost: c\r\nconnection: close\r\n\r\n");
+        self.http(raw.as_bytes())
+    }
+
+    fn http(&self, raw: &[u8]) -> Result<(u16, Json), String> {
+        let mut stream = TcpStream::connect(self.addr).map_err(|e| format!("connect: {e}"))?;
+        stream.write_all(raw).map_err(|e| format!("send: {e}"))?;
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).map_err(|e| format!("read: {e}"))?;
+        let text = String::from_utf8(response).map_err(|e| format!("non-UTF-8 response: {e}"))?;
+        let (head, body) =
+            text.split_once("\r\n\r\n").ok_or("response has no header/body separator")?;
+        let status: u16 = head
+            .lines()
+            .next()
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.parse().ok())
+            .ok_or("malformed status line")?;
+        let json = parse_json(body).map_err(|e| format!("response body is not JSON: {e}"))?;
+        Ok((status, json))
+    }
+
+    /// Shuts the daemon down and joins its threads.
+    pub fn shutdown(mut self) {
+        if let Some(server) = self.server.take() {
+            server.request_shutdown();
+            server.join();
+        }
+    }
+}
+
+impl Drop for ServeHarness {
+    fn drop(&mut self) {
+        if let Some(server) = self.server.take() {
+            server.request_shutdown();
+            server.join();
+        }
+    }
+}
+
+/// Per-register activity map for power-gating spot checks: every register
+/// at the given coefficient.
+pub fn uniform_activity(nl: &Netlist, coeff: f32) -> HashMap<String, f32> {
+    let graph = GraphIr::from_netlist(nl);
+    let mut map = HashMap::new();
+    for info in graph.vertices() {
+        if info.vertex.vtype == sns_graphir::VocabType::Dff {
+            map.insert(info.name.clone(), coeff);
+        }
+    }
+    map
+}

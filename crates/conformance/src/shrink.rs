@@ -1,0 +1,525 @@
+//! Minimization of failing design specs.
+//!
+//! Given a spec and a predicate "does this design still fail?", the
+//! shrinker greedily applies structure-preserving reductions — dropping
+//! unreferenced items and inputs, demoting items to simpler kinds,
+//! replacing expressions by their operands or by constants, halving
+//! widths — re-checking the predicate after every candidate. Each
+//! accepted candidate is well-formed by construction (combinational items
+//! never gain self-references, select bounds stay in range), so the
+//! minimized spec elaborates just like the original.
+//!
+//! The result is what lands in `tests/corpus/`: a failing design of a few
+//! lines instead of a few hundred.
+
+use crate::generator::{DesignSpec, GenExpr, GenItem, RegBody};
+
+/// Shrinks `spec` while `still_fails` keeps returning `true`, spending at
+/// most `max_checks` predicate evaluations. Returns the smallest failing
+/// spec found (the input itself if nothing smaller fails).
+pub fn shrink(
+    spec: &DesignSpec,
+    still_fails: &mut dyn FnMut(&DesignSpec) -> bool,
+    max_checks: usize,
+) -> DesignSpec {
+    let mut cur = spec.clone();
+    let mut checks = 0usize;
+    loop {
+        let mut progressed = false;
+
+        // Pass 1: drop items nothing else references, last first (later
+        // items are the most likely to be unreferenced).
+        let mut k = cur.items.len();
+        while k > 0 {
+            k -= 1;
+            if checks >= max_checks {
+                return cur;
+            }
+            if let Some(cand) = remove_item(&cur, k) {
+                checks += 1;
+                if still_fails(&cand) {
+                    cur = cand;
+                    progressed = true;
+                }
+            }
+        }
+
+        // Pass 2: per-item structural simplification to a fixpoint.
+        for k in 0..cur.items.len() {
+            loop {
+                let mut improved = false;
+                for cand_item in item_candidates(&cur.items[k]) {
+                    if checks >= max_checks {
+                        return cur;
+                    }
+                    if cand_item == cur.items[k] {
+                        continue;
+                    }
+                    let mut cand = cur.clone();
+                    cand.items[k] = cand_item;
+                    checks += 1;
+                    if still_fails(&cand) {
+                        cur = cand;
+                        improved = true;
+                        break;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+                progressed = true;
+            }
+        }
+
+        // Pass 3: drop unreferenced inputs (keep at least one).
+        let mut j = cur.input_widths.len();
+        while j > 0 && cur.input_widths.len() > 1 {
+            j -= 1;
+            if checks >= max_checks {
+                return cur;
+            }
+            if let Some(cand) = remove_input(&cur, j) {
+                checks += 1;
+                if still_fails(&cand) {
+                    cur = cand;
+                    progressed = true;
+                }
+            }
+        }
+
+        // Pass 4: halve every width (when all select bounds survive).
+        if let Some(cand) = halve_widths(&cur) {
+            if checks >= max_checks {
+                return cur;
+            }
+            checks += 1;
+            if still_fails(&cand) {
+                cur = cand;
+                progressed = true;
+            }
+        }
+
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+/// All signal indices an expression references.
+fn expr_refs(e: &GenExpr, out: &mut Vec<usize>) {
+    match e {
+        GenExpr::Ref(s) | GenExpr::Bit { sig: s, .. } | GenExpr::Part { sig: s, .. } => {
+            out.push(*s)
+        }
+        GenExpr::Const { .. } => {}
+        GenExpr::Un(_, a) => expr_refs(a, out),
+        GenExpr::Bin(_, a, b) => {
+            expr_refs(a, out);
+            expr_refs(b, out);
+        }
+        GenExpr::Mux(c, a, b) => {
+            expr_refs(c, out);
+            expr_refs(a, out);
+            expr_refs(b, out);
+        }
+        GenExpr::Cat(sigs) => out.extend_from_slice(sigs),
+        GenExpr::Rep { sig, .. } => out.push(*sig),
+    }
+}
+
+/// All signal indices an item references (not the one it defines).
+fn item_refs(item: &GenItem) -> Vec<usize> {
+    let mut out = Vec::new();
+    for_each_expr(item, &mut |e| expr_refs(e, &mut out));
+    if let GenItem::Mem { raddr_sig, .. } = item {
+        out.push(*raddr_sig);
+    }
+    if let GenItem::Inst { a, b, .. } = item {
+        out.push(*a);
+        out.push(*b);
+    }
+    out
+}
+
+/// Visits every expression slot of an item.
+fn for_each_expr(item: &GenItem, f: &mut dyn FnMut(&GenExpr)) {
+    match item {
+        GenItem::Wire { expr, .. } => f(expr),
+        GenItem::Reg { body, .. } => match body {
+            RegBody::Simple(e) => f(e),
+            RegBody::IfElse(c, a, b) => {
+                f(c);
+                f(a);
+                f(b);
+            }
+            RegBody::Nested { outer, inner, a, b, c } => {
+                f(outer);
+                f(inner);
+                f(a);
+                f(b);
+                f(c);
+            }
+        },
+        GenItem::CombCase { subject, default, arms, .. } => {
+            f(subject);
+            f(default);
+            for a in arms {
+                f(a);
+            }
+        }
+        GenItem::Mem { wen, waddr, wdata, .. } => {
+            f(wen);
+            f(waddr);
+            f(wdata);
+        }
+        GenItem::Inst { .. } => {}
+    }
+}
+
+fn map_expr(e: &GenExpr, f: &dyn Fn(usize) -> usize) -> GenExpr {
+    match e {
+        GenExpr::Ref(s) => GenExpr::Ref(f(*s)),
+        GenExpr::Const { value, width } => GenExpr::Const { value: *value, width: *width },
+        GenExpr::Un(op, a) => GenExpr::Un(*op, Box::new(map_expr(a, f))),
+        GenExpr::Bin(op, a, b) => {
+            GenExpr::Bin(*op, Box::new(map_expr(a, f)), Box::new(map_expr(b, f)))
+        }
+        GenExpr::Mux(c, a, b) => GenExpr::Mux(
+            Box::new(map_expr(c, f)),
+            Box::new(map_expr(a, f)),
+            Box::new(map_expr(b, f)),
+        ),
+        GenExpr::Bit { sig, bit } => GenExpr::Bit { sig: f(*sig), bit: *bit },
+        GenExpr::Part { sig, msb, lsb } => GenExpr::Part { sig: f(*sig), msb: *msb, lsb: *lsb },
+        GenExpr::Cat(sigs) => GenExpr::Cat(sigs.iter().map(|&s| f(s)).collect()),
+        GenExpr::Rep { n, sig } => GenExpr::Rep { n: *n, sig: f(*sig) },
+    }
+}
+
+fn map_item(item: &GenItem, f: &dyn Fn(usize) -> usize) -> GenItem {
+    match item {
+        GenItem::Wire { width, expr } => GenItem::Wire { width: *width, expr: map_expr(expr, f) },
+        GenItem::Reg { width, body } => GenItem::Reg {
+            width: *width,
+            body: match body {
+                RegBody::Simple(e) => RegBody::Simple(map_expr(e, f)),
+                RegBody::IfElse(c, a, b) => {
+                    RegBody::IfElse(map_expr(c, f), map_expr(a, f), map_expr(b, f))
+                }
+                RegBody::Nested { outer, inner, a, b, c } => RegBody::Nested {
+                    outer: map_expr(outer, f),
+                    inner: map_expr(inner, f),
+                    a: map_expr(a, f),
+                    b: map_expr(b, f),
+                    c: map_expr(c, f),
+                },
+            },
+        },
+        GenItem::CombCase { width, subject, default, arms } => GenItem::CombCase {
+            width: *width,
+            subject: map_expr(subject, f),
+            default: map_expr(default, f),
+            arms: arms.iter().map(|a| map_expr(a, f)).collect(),
+        },
+        GenItem::Mem { width, depth, wen, waddr, wdata, raddr_sig } => GenItem::Mem {
+            width: *width,
+            depth: *depth,
+            wen: map_expr(wen, f),
+            waddr: map_expr(waddr, f),
+            wdata: map_expr(wdata, f),
+            raddr_sig: f(*raddr_sig),
+        },
+        GenItem::Inst { width, a, b } => GenItem::Inst { width: *width, a: f(*a), b: f(*b) },
+    }
+}
+
+/// Removes item `k` if no *other* item references its signal.
+fn remove_item(spec: &DesignSpec, k: usize) -> Option<DesignSpec> {
+    let idx = spec.input_widths.len() + k;
+    for (j, item) in spec.items.iter().enumerate() {
+        if j != k && item_refs(item).contains(&idx) {
+            return None;
+        }
+    }
+    let remap = move |s: usize| if s > idx { s - 1 } else { s };
+    let items = spec
+        .items
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| j != k)
+        .map(|(_, item)| map_item(item, &remap))
+        .collect();
+    Some(DesignSpec { seed: spec.seed, input_widths: spec.input_widths.clone(), items })
+}
+
+/// Removes input `j` if no item references it.
+fn remove_input(spec: &DesignSpec, j: usize) -> Option<DesignSpec> {
+    if spec.items.iter().any(|item| item_refs(item).contains(&j)) {
+        return None;
+    }
+    let remap = move |s: usize| if s > j { s - 1 } else { s };
+    let mut input_widths = spec.input_widths.clone();
+    input_widths.remove(j);
+    let items = spec.items.iter().map(|item| map_item(item, &remap)).collect();
+    Some(DesignSpec { seed: spec.seed, input_widths, items })
+}
+
+/// Halves every signal width, if all select bounds stay valid.
+fn halve_widths(spec: &DesignSpec) -> Option<DesignSpec> {
+    let mut cand = spec.clone();
+    for w in &mut cand.input_widths {
+        *w = (*w / 2).max(1);
+    }
+    for item in &mut cand.items {
+        match item {
+            GenItem::Wire { width, .. }
+            | GenItem::Reg { width, .. }
+            | GenItem::CombCase { width, .. }
+            | GenItem::Mem { width, .. }
+            | GenItem::Inst { width, .. } => *width = (*width / 2).max(1),
+        }
+    }
+    if cand == *spec {
+        return None;
+    }
+    // Validity: every select bound (at any expression depth) must fit the
+    // halved widths.
+    let mut ok = true;
+    for item in &cand.items {
+        for_each_expr(item, &mut |top| {
+            for_each_subexpr(top, &mut |e| {
+                let (sig, hi) = match e {
+                    GenExpr::Bit { sig, bit } => (*sig, *bit),
+                    GenExpr::Part { sig, msb, .. } => (*sig, *msb),
+                    _ => return,
+                };
+                if sig < cand.signal_count() && hi >= cand.width_of(sig) {
+                    ok = false;
+                }
+            });
+        });
+    }
+    if ok {
+        Some(cand)
+    } else {
+        None
+    }
+}
+
+/// Visits `e` and every expression nested inside it.
+fn for_each_subexpr(e: &GenExpr, f: &mut dyn FnMut(&GenExpr)) {
+    f(e);
+    match e {
+        GenExpr::Un(_, a) => for_each_subexpr(a, f),
+        GenExpr::Bin(_, a, b) => {
+            for_each_subexpr(a, f);
+            for_each_subexpr(b, f);
+        }
+        GenExpr::Mux(c, a, b) => {
+            for_each_subexpr(c, f);
+            for_each_subexpr(a, f);
+            for_each_subexpr(b, f);
+        }
+        _ => {}
+    }
+}
+
+/// Candidate expressions strictly simpler than `e` (plus the zero
+/// constant).
+fn expr_candidates(e: &GenExpr) -> Vec<GenExpr> {
+    let zero = GenExpr::Const { value: 0, width: 1 };
+    let mut out = Vec::new();
+    match e {
+        GenExpr::Ref(_) => {}
+        GenExpr::Const { value, .. } => {
+            if *value != 0 {
+                out.push(zero.clone());
+            }
+            return out;
+        }
+        GenExpr::Un(op, a) => {
+            out.push((**a).clone());
+            for c in expr_candidates(a) {
+                out.push(GenExpr::Un(*op, Box::new(c)));
+            }
+        }
+        GenExpr::Bin(op, a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+            // In-place operand simplification, so a failing operator can
+            // keep failing while its operands shrink to constants.
+            for c in expr_candidates(a) {
+                out.push(GenExpr::Bin(*op, Box::new(c), b.clone()));
+            }
+            for c in expr_candidates(b) {
+                out.push(GenExpr::Bin(*op, a.clone(), Box::new(c)));
+            }
+        }
+        GenExpr::Mux(c, a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+            out.push((**c).clone());
+            for s in expr_candidates(c) {
+                out.push(GenExpr::Mux(Box::new(s), a.clone(), b.clone()));
+            }
+            for s in expr_candidates(a) {
+                out.push(GenExpr::Mux(c.clone(), Box::new(s), b.clone()));
+            }
+            for s in expr_candidates(b) {
+                out.push(GenExpr::Mux(c.clone(), a.clone(), Box::new(s)));
+            }
+        }
+        GenExpr::Bit { sig, .. } | GenExpr::Part { sig, .. } | GenExpr::Rep { sig, .. } => {
+            out.push(GenExpr::Ref(*sig))
+        }
+        GenExpr::Cat(sigs) => out.extend(sigs.iter().map(|&s| GenExpr::Ref(s))),
+    }
+    out.push(zero);
+    out
+}
+
+/// Simpler variants of one item. Kind-preserving candidates first (they
+/// keep clocked expressions clocked, so self-references stay legal); the
+/// kind-demoting `Wire(0)` candidate references nothing and is therefore
+/// always well-formed.
+fn item_candidates(item: &GenItem) -> Vec<GenItem> {
+    let w = item.width();
+    let zero_wire = GenItem::Wire { width: w, expr: GenExpr::Const { value: 0, width: w } };
+    let mut out = Vec::new();
+    match item {
+        GenItem::Wire { width, expr } => {
+            for cand in expr_candidates(expr) {
+                out.push(GenItem::Wire { width: *width, expr: cand });
+            }
+        }
+        GenItem::Reg { width, body } => {
+            let mk = |b: RegBody| GenItem::Reg { width: *width, body: b };
+            match body {
+                RegBody::Simple(e) => {
+                    for cand in expr_candidates(e) {
+                        out.push(mk(RegBody::Simple(cand)));
+                    }
+                }
+                RegBody::IfElse(c, a, b) => {
+                    out.push(mk(RegBody::Simple(a.clone())));
+                    out.push(mk(RegBody::Simple(b.clone())));
+                    for cand in expr_candidates(c) {
+                        out.push(mk(RegBody::IfElse(cand, a.clone(), b.clone())));
+                    }
+                    for cand in expr_candidates(a) {
+                        out.push(mk(RegBody::IfElse(c.clone(), cand, b.clone())));
+                    }
+                    for cand in expr_candidates(b) {
+                        out.push(mk(RegBody::IfElse(c.clone(), a.clone(), cand)));
+                    }
+                }
+                RegBody::Nested { outer, inner, a, b, c } => {
+                    out.push(mk(RegBody::IfElse(outer.clone(), a.clone(), c.clone())));
+                    out.push(mk(RegBody::IfElse(inner.clone(), a.clone(), b.clone())));
+                    out.push(mk(RegBody::Simple(c.clone())));
+                    out.push(mk(RegBody::Simple(a.clone())));
+                }
+            }
+        }
+        GenItem::CombCase { width, subject, default, arms } => {
+            // Demote to a plain wire of the default or of any arm — all
+            // combinational expressions over earlier signals.
+            out.push(GenItem::Wire { width: *width, expr: default.clone() });
+            for arm in arms {
+                out.push(GenItem::Wire { width: *width, expr: arm.clone() });
+            }
+            for (i, arm) in arms.iter().enumerate() {
+                for cand in expr_candidates(arm) {
+                    let mut new_arms = arms.clone();
+                    new_arms[i] = cand;
+                    out.push(GenItem::CombCase {
+                        width: *width,
+                        subject: subject.clone(),
+                        default: default.clone(),
+                        arms: new_arms,
+                    });
+                }
+            }
+        }
+        GenItem::Mem { width, depth, wen, waddr, wdata, raddr_sig } => {
+            let mk = |wen: GenExpr, waddr: GenExpr, wdata: GenExpr| GenItem::Mem {
+                width: *width,
+                depth: *depth,
+                wen,
+                waddr,
+                wdata,
+                raddr_sig: *raddr_sig,
+            };
+            for cand in expr_candidates(wen) {
+                out.push(mk(cand, waddr.clone(), wdata.clone()));
+            }
+            for cand in expr_candidates(waddr) {
+                out.push(mk(wen.clone(), cand, wdata.clone()));
+            }
+            for cand in expr_candidates(wdata) {
+                out.push(mk(wen.clone(), waddr.clone(), cand));
+            }
+        }
+        GenItem::Inst { width, a, b } => {
+            out.push(GenItem::Wire { width: *width, expr: GenExpr::Ref(*a) });
+            out.push(GenItem::Wire { width: *width, expr: GenExpr::Ref(*b) });
+        }
+    }
+    out.push(zero_wire);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GenConfig};
+
+    #[test]
+    fn shrunk_specs_stay_elaboratable() {
+        // Shrink against an always-true predicate: the shrinker then walks
+        // its full reduction lattice, and every intermediate acceptance
+        // must still be a well-formed design.
+        let cfg = GenConfig::default();
+        for seed in 0..20 {
+            let spec = generate(seed, &cfg);
+            let min = shrink(
+                &spec,
+                &mut |s| {
+                    let src = s.verilog();
+                    sns_netlist::parse_and_elaborate(&src, s.top())
+                        .unwrap_or_else(|e| panic!("shrink candidate must elaborate: {e}\n{src}"));
+                    true
+                },
+                2_000,
+            );
+            // Everything is removable under an always-failing oracle.
+            assert!(min.items.len() <= 1, "seed {seed}: {} items left", min.items.len());
+        }
+    }
+
+    #[test]
+    fn shrink_isolates_the_failing_construct() {
+        // Plant a "bug": the design fails whenever it contains a division.
+        let cfg = GenConfig { max_items: 14, ..GenConfig::default() };
+        let mut found = 0;
+        for seed in 0..200 {
+            let spec = generate(seed, &cfg);
+            if !spec.verilog().contains('/') {
+                continue;
+            }
+            found += 1;
+            let min = shrink(&spec, &mut |s| s.verilog().contains('/'), 2_000);
+            assert!(min.verilog().contains('/'), "seed {seed} lost the failing construct");
+            assert!(
+                min.items.len() <= 2,
+                "seed {seed}: expected a tiny repro, got {} items:\n{}",
+                min.items.len(),
+                min.verilog()
+            );
+            if found >= 10 {
+                break;
+            }
+        }
+        assert!(found >= 5, "the generator should produce divisions regularly");
+    }
+}

@@ -510,4 +510,51 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
     }
+
+    #[test]
+    fn counters_reconcile_under_capacity_pressure() {
+        // The /metrics identity: as long as the cache is only filled
+        // through counted paths (ensure) and never cleared, every live
+        // entry is exactly a miss that has not been evicted.
+        let cache = PathPredictionCache::new();
+        cache.set_capacity(Some(4));
+        let reconcile = |tag: &str| {
+            assert_eq!(
+                cache.len() as u64,
+                cache.misses() - cache.evictions(),
+                "{tag}: len {} hits {} misses {} evictions {}",
+                cache.len(),
+                cache.hits(),
+                cache.misses(),
+                cache.evictions()
+            );
+            assert!(cache.len() <= 4, "{tag}: over capacity");
+        };
+        let predict = |t: &[usize]| [t[0] as f64, 0.0, 0.0];
+        // Fill to capacity: 4 misses, nothing evicted yet.
+        let first: Vec<Vec<usize>> = (0..4).map(|i| vec![i]).collect();
+        cache.ensure(&first, 2, predict);
+        reconcile("full");
+        assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (0, 4, 0));
+        // Overflow with three fresh sequences: FIFO evicts the oldest.
+        let overflow: Vec<Vec<usize>> = (4..7).map(|i| vec![i]).collect();
+        cache.ensure(&overflow, 2, predict);
+        reconcile("overflow");
+        assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (0, 7, 3));
+        assert_eq!(cache.get(&[0]), None, "oldest entries leave first");
+        assert_eq!(cache.get(&[6]), Some([6.0, 0.0, 0.0]));
+        // Re-ensuring survivors hits without disturbing the identity.
+        cache.ensure(&overflow, 1, |_| unreachable!("survivors are cached"));
+        reconcile("re-ensure");
+        assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (3, 7, 3));
+        // Re-ensuring an evicted sequence is a fresh miss + eviction.
+        cache.ensure(&first[..1], 1, predict);
+        reconcile("evicted returns");
+        assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (3, 8, 4));
+        // Shrinking capacity evicts immediately and stays reconciled.
+        cache.set_capacity(Some(2));
+        reconcile("shrunk");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 6);
+    }
 }

@@ -281,8 +281,14 @@ impl<'a> Simulator<'a> {
             CellKind::Add => inv(0).wrapping_add(inv(1)),
             CellKind::Sub => inv(0).wrapping_sub(inv(1)),
             CellKind::Mul => inv(0).wrapping_mul(inv(1)),
-            CellKind::Div => inv(0).checked_div(inv(1)).unwrap_or(0),
-            CellKind::Mod => inv(0).checked_rem(inv(1)).unwrap_or(0),
+            // Division by zero follows the hardware the labels are priced
+            // on: vsynth expands Div/Mod into a restoring-array divider
+            // whose trial subtraction never borrows when the divisor is 0,
+            // yielding an all-ones quotient and the dividend as remainder.
+            // The simulator must agree bit-for-bit (sns-conformance
+            // cross-checks the two layers on random stimulus).
+            CellKind::Div => inv(0).checked_div(inv(1)).unwrap_or(u128::MAX),
+            CellKind::Mod => inv(0).checked_rem(inv(1)).unwrap_or(inv(0)),
             CellKind::Shl => {
                 let s = inv(1).min(127) as u32;
                 inv(0) << s
@@ -424,6 +430,35 @@ mod tests {
             sim.set_input("ra", addr).unwrap();
             sim.eval().unwrap();
             assert_eq!(sim.output("rd").unwrap(), data, "addr {addr}");
+        }
+    }
+
+    #[test]
+    fn division_by_zero_matches_gate_level_divider() {
+        // Minimized from the sns-conformance differential oracle
+        // (tests/corpus/div_by_zero.v): a restoring-array divider returns
+        // an all-ones quotient and the dividend as remainder when the
+        // divisor is zero; the simulator used to return 0 for both.
+        let nl = parse_and_elaborate(
+            "module top (input [3:0] a, b, output [3:0] q, r);
+                 assign q = a / b;
+                 assign r = a % b;
+             endmodule",
+            "top",
+        )
+        .unwrap();
+        let mut sim = sim_of(&nl);
+        for (a, b, q, r) in [
+            (13u128, 3u128, 4u128, 1u128),
+            (13, 0, 15, 13),
+            (0, 0, 15, 0),
+            (7, 0, 15, 7),
+        ] {
+            sim.set_input("a", a).unwrap();
+            sim.set_input("b", b).unwrap();
+            sim.eval().unwrap();
+            assert_eq!(sim.output("q").unwrap(), q, "a={a} b={b}");
+            assert_eq!(sim.output("r").unwrap(), r, "a={a} b={b}");
         }
     }
 

@@ -112,6 +112,33 @@ impl StdRng {
         debug_assert!(n > 0);
         (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
     }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// An index drawn with probability proportional to `weights[i]`.
+    ///
+    /// Zero-weight entries are never picked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn pick_weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        assert!(total > 0, "pick_weighted needs a positive total weight");
+        let mut r = self.index(total);
+        for (i, &w) in weights.iter().enumerate() {
+            let w = w as u64;
+            if r < w {
+                return i;
+            }
+            r -= w;
+        }
+        weights.len() - 1
+    }
 }
 
 /// Types with a canonical uniform draw (`[0, 1)` for floats).
@@ -327,6 +354,42 @@ mod tests {
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(31);
+        assert!(!(0..1000).any(|_| rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn pick_weighted_tracks_weights_and_skips_zeros() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let weights = [3, 0, 1];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[rng.pick_weighted(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[0] as f64 / counts[2] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+        // Deterministic for a given state.
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(a.pick_weighted(&[1, 2, 3]), b.pick_weighted(&[1, 2, 3]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn pick_weighted_rejects_zero_total() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.pick_weighted(&[0, 0]);
     }
 
     #[test]

@@ -45,9 +45,13 @@ impl<'g> Expander<'g> {
         (0..w).map(|_| self.input()).collect()
     }
 
-    /// Bits of a constant value (LSB first).
+    /// Bits of a constant value (LSB first). Widths beyond 64 zero-extend:
+    /// constants are adapted to their context width, which can exceed the
+    /// 64-bit attribute payload (e.g. comparisons against wide concats).
     pub fn const_bits(&self, value: u64, w: u32) -> Vec<NodeId> {
-        (0..w).map(|i| if (value >> i) & 1 == 1 { self.c1 } else { self.c0 }).collect()
+        (0..w)
+            .map(|i| if i < 64 && (value >> i) & 1 == 1 { self.c1 } else { self.c0 })
+            .collect()
     }
 
     /// Zero-extends or truncates a bit vector to `w` bits (free — wiring).

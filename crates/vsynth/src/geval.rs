@@ -1,0 +1,354 @@
+//! A two-state evaluator for elaborated gate graphs.
+//!
+//! [`GateSim`] plays the same role for a [`GateLevel`] that
+//! `sns_netlist::Simulator` plays for a coarse-cell netlist: drive the
+//! input ports, propagate, latch flip-flops on [`GateSim::step`], read the
+//! output ports. The two simulators form a differential pair — the
+//! `sns-conformance` harness runs random RTL through both and demands
+//! bit-identical traces, which is what pins down the semantics of every
+//! expander in [`crate::expand`] against the elaborator's.
+//!
+//! Evaluation cost is one pass over the graph per [`GateSim::eval`]
+//! (nodes are stored in topological order; flip-flop D fanins are the only
+//! backward edges and are skipped until [`GateSim::step`]).
+//!
+//! # Example
+//!
+//! ```rust
+//! use sns_netlist::parse_and_elaborate;
+//! use sns_vsynth::{GateSim, SynthOptions, VirtualSynthesizer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let nl = parse_and_elaborate(
+//!     "module mac (input clk, input [7:0] a, b, output [15:0] y);
+//!          reg [15:0] acc;
+//!          always @(posedge clk) acc <= acc + a * b;
+//!          assign y = acc;
+//!      endmodule",
+//!     "mac",
+//! )?;
+//! let gl = VirtualSynthesizer::new(SynthOptions::default()).elaborate_gates(&nl);
+//! let mut sim = GateSim::new(&gl)?;
+//! sim.set_input("a", 3)?;
+//! sim.set_input("b", 5)?;
+//! sim.step(); // acc <- 0 + 15
+//! sim.step(); // acc <- 15 + 15
+//! assert_eq!(sim.output("y")?, 30);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use crate::gates::{GateKind, NodeId, NO_NODE};
+use crate::synth::GateLevel;
+
+/// Maximum port width [`GateSim`] packs into a scalar value.
+const MAX_PORT_WIDTH: usize = 128;
+
+/// A two-state gate-level interpreter over a [`GateLevel`].
+#[derive(Debug)]
+pub struct GateSim<'a> {
+    gl: &'a GateLevel,
+    /// Current boolean value of every node.
+    values: Vec<bool>,
+    /// Flip-flop node ids, in graph order.
+    dffs: Vec<NodeId>,
+    inputs: HashMap<&'a str, &'a [NodeId]>,
+    outputs: HashMap<&'a str, &'a [NodeId]>,
+}
+
+impl<'a> GateSim<'a> {
+    /// Prepares an evaluator for `gl`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any port is wider than 128 bits (its value
+    /// would not fit the scalar accessors) — mirroring the width limit of
+    /// the netlist simulator this one is differenced against.
+    pub fn new(gl: &'a GateLevel) -> Result<Self, String> {
+        let mut inputs = HashMap::new();
+        for (name, bits) in &gl.input_ports {
+            if bits.len() > MAX_PORT_WIDTH {
+                return Err(format!(
+                    "input port `{name}` is {} bits wide; GateSim supports at most {MAX_PORT_WIDTH}",
+                    bits.len()
+                ));
+            }
+            inputs.insert(name.as_str(), bits.as_slice());
+        }
+        let mut outputs = HashMap::new();
+        for (name, bits) in &gl.output_ports {
+            if bits.len() > MAX_PORT_WIDTH {
+                return Err(format!(
+                    "output port `{name}` is {} bits wide; GateSim supports at most {MAX_PORT_WIDTH}",
+                    bits.len()
+                ));
+            }
+            outputs.insert(name.as_str(), bits.as_slice());
+        }
+        let mut values = vec![false; gl.graph.len()];
+        if (gl.const1 as usize) < values.len() {
+            values[gl.const1 as usize] = true;
+        }
+        let dffs = (0..gl.graph.len() as NodeId)
+            .filter(|&id| gl.graph.kind(id) == GateKind::Dff)
+            .collect();
+        Ok(GateSim { gl, values, dffs, inputs, outputs })
+    }
+
+    /// Drives an input port (value is truncated to the port width).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the port does not exist.
+    pub fn set_input(&mut self, name: &str, value: u128) -> Result<(), String> {
+        let bits = *self.inputs.get(name).ok_or_else(|| format!("no input port `{name}`"))?;
+        for (i, &b) in bits.iter().enumerate() {
+            self.values[b as usize] = (value >> i) & 1 == 1;
+        }
+        Ok(())
+    }
+
+    /// Reads an output port (after [`GateSim::eval`] or [`GateSim::step`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the port does not exist.
+    pub fn output(&self, name: &str) -> Result<u128, String> {
+        let bits = *self.outputs.get(name).ok_or_else(|| format!("no output port `{name}`"))?;
+        let mut v = 0u128;
+        for (i, &b) in bits.iter().enumerate() {
+            v |= (self.values[b as usize] as u128) << i;
+        }
+        Ok(v)
+    }
+
+    /// Propagates combinational logic with the current inputs and
+    /// flip-flop states.
+    pub fn eval(&mut self) {
+        let g = &self.gl.graph;
+        for id in 0..g.len() as NodeId {
+            let kind = g.kind(id);
+            if kind.is_source() {
+                // Inputs and constants hold their driven values; flip-flops
+                // hold state until `step`.
+                continue;
+            }
+            let f = g.fanins(id);
+            // An unused slot reads as 0 — only reachable for kinds whose
+            // arity leaves the slot unread, or for graphs built by hand.
+            let v = |slot: usize| f[slot] != NO_NODE && self.values[f[slot] as usize];
+            self.values[id as usize] = match kind {
+                GateKind::Inv => !v(0),
+                GateKind::Buf => v(0),
+                GateKind::Nand2 => !(v(0) && v(1)),
+                GateKind::Nor2 => !(v(0) || v(1)),
+                GateKind::And2 => v(0) && v(1),
+                GateKind::Or2 => v(0) || v(1),
+                GateKind::Xor2 => v(0) ^ v(1),
+                GateKind::Xnor2 => !(v(0) ^ v(1)),
+                GateKind::Mux2 => {
+                    if v(0) {
+                        v(2)
+                    } else {
+                        v(1)
+                    }
+                }
+                GateKind::Maj3 => (v(0) && v(1)) || (v(0) && v(2)) || (v(1) && v(2)),
+                GateKind::Input | GateKind::Const | GateKind::Dff => unreachable!("sources"),
+            };
+        }
+    }
+
+    /// One clock cycle: combinational propagate, then every flip-flop
+    /// latches its D fanin simultaneously (an unpatched D holds 0), then
+    /// propagate again so outputs reflect the post-edge state — the same
+    /// contract as `sns_netlist::Simulator::step`.
+    pub fn step(&mut self) {
+        self.eval();
+        let next: Vec<bool> = self
+            .dffs
+            .iter()
+            .map(|&q| {
+                let d = self.gl.graph.fanins(q)[0];
+                d != NO_NODE && self.values[d as usize]
+            })
+            .collect();
+        for (&q, v) in self.dffs.iter().zip(next) {
+            self.values[q as usize] = v;
+        }
+        self.eval();
+    }
+
+    /// Resets all state (inputs, nets, flip-flops) to zero.
+    pub fn reset_state(&mut self) {
+        self.values.fill(false);
+        if (self.gl.const1 as usize) < self.values.len() {
+            self.values[self.gl.const1 as usize] = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthOptions, VirtualSynthesizer};
+    use sns_netlist::{parse_and_elaborate, Simulator};
+
+    fn gate_level(src: &str, top: &str) -> GateLevel {
+        let nl = parse_and_elaborate(src, top).unwrap();
+        VirtualSynthesizer::new(SynthOptions::default()).elaborate_gates(&nl)
+    }
+
+    #[test]
+    fn mac_accumulates_like_the_netlist_simulator() {
+        let src = "module mac (input clk, input [7:0] a, b, output [15:0] y);
+                       reg [15:0] acc;
+                       always @(posedge clk) acc <= acc + a * b;
+                       assign y = acc;
+                   endmodule";
+        let nl = parse_and_elaborate(src, "mac").unwrap();
+        let gl = VirtualSynthesizer::new(SynthOptions::default()).elaborate_gates(&nl);
+        let mut gsim = GateSim::new(&gl).unwrap();
+        let mut nsim = Simulator::new(&nl).unwrap();
+        for (a, b) in [(3u128, 5u128), (200, 200), (0, 7), (255, 255)] {
+            gsim.set_input("a", a).unwrap();
+            gsim.set_input("b", b).unwrap();
+            nsim.set_input("a", a).unwrap();
+            nsim.set_input("b", b).unwrap();
+            gsim.step();
+            nsim.step().unwrap();
+            assert_eq!(gsim.output("y").unwrap(), nsim.output("y").unwrap(), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn division_by_zero_is_all_ones_quotient() {
+        let gl = gate_level(
+            "module top (input [3:0] a, b, output [3:0] q, r);
+                 assign q = a / b;
+                 assign r = a % b;
+             endmodule",
+            "top",
+        );
+        let mut sim = GateSim::new(&gl).unwrap();
+        sim.set_input("a", 13).unwrap();
+        sim.set_input("b", 0).unwrap();
+        sim.eval();
+        assert_eq!(sim.output("q").unwrap(), 15);
+        assert_eq!(sim.output("r").unwrap(), 13);
+    }
+
+    #[test]
+    fn register_feedback_accumulates_regardless_of_cell_order() {
+        // Regression (found by sns-conformance): when a combinational cell
+        // reading a register net expanded before the Dff cell itself, the
+        // expander substituted dangling fresh inputs for the Q bits and the
+        // feedback path silently read constant zero. The register-bank
+        // prepass in `elaborate_gates` guarantees Q bits exist first.
+        let gl = gate_level(
+            "module ctr (input clk, input [3:0] i0, output [3:0] o0);
+                 reg [3:0] s0;
+                 always @(posedge clk) s0 <= s0 + i0;
+                 assign o0 = s0;
+             endmodule",
+            "ctr",
+        );
+        let mut sim = GateSim::new(&gl).unwrap();
+        let mut acc = 0u128;
+        for i0 in [5u128, 2, 9, 3] {
+            sim.set_input("i0", i0).unwrap();
+            sim.step();
+            acc = (acc + i0) & 0xf;
+            assert_eq!(sim.output("o0").unwrap(), acc, "after adding {i0}");
+        }
+    }
+
+    #[test]
+    fn undriven_output_reads_zero() {
+        let gl = gate_level(
+            "module top (input [3:0] a, output [3:0] y, z);
+                 assign y = a;
+             endmodule",
+            "top",
+        );
+        let mut sim = GateSim::new(&gl).unwrap();
+        sim.set_input("a", 9).unwrap();
+        sim.eval();
+        assert_eq!(sim.output("y").unwrap(), 9);
+        assert_eq!(sim.output("z").unwrap(), 0);
+    }
+
+    #[test]
+    fn reset_clears_registers() {
+        let gl = gate_level(
+            "module ctr (input clk, output [3:0] y);
+                 reg [3:0] c;
+                 always @(posedge clk) c <= c + 4'd1;
+                 assign y = c;
+             endmodule",
+            "ctr",
+        );
+        let mut sim = GateSim::new(&gl).unwrap();
+        sim.step();
+        sim.step();
+        assert_eq!(sim.output("y").unwrap(), 2);
+        sim.reset_state();
+        sim.eval();
+        assert_eq!(sim.output("y").unwrap(), 0);
+    }
+
+    #[test]
+    fn constants_wider_than_64_bits_zero_extend() {
+        // Regression (found by sns-conformance): comparing a wide concat
+        // against a literal adapts the constant to the 72-bit context, and
+        // `const_bits` used to shift its 64-bit payload out of range.
+        let gl = gate_level(
+            "module top (input [35:0] a, b, output o);
+                 wire [71:0] s;
+                 assign s = {a, b};
+                 assign o = (s == 5'd9);
+             endmodule",
+            "top",
+        );
+        let nl = parse_and_elaborate(
+            "module top (input [35:0] a, b, output o);
+                 wire [71:0] s;
+                 assign s = {a, b};
+                 assign o = (s == 5'd9);
+             endmodule",
+            "top",
+        )
+        .unwrap();
+        let mut gsim = GateSim::new(&gl).unwrap();
+        let mut nsim = Simulator::new(&nl).unwrap();
+        for (a, b) in [(0u128, 9u128), (0, 8), (1, 9), (0xFFF, 0xFFF)] {
+            gsim.set_input("a", a).unwrap();
+            gsim.set_input("b", b).unwrap();
+            nsim.set_input("a", a).unwrap();
+            nsim.set_input("b", b).unwrap();
+            gsim.eval();
+            nsim.eval().unwrap();
+            assert_eq!(gsim.output("o").unwrap(), nsim.output("o").unwrap(), "a={a} b={b}");
+            assert_eq!(gsim.output("o").unwrap(), u128::from(a == 0 && b == 9));
+        }
+    }
+
+    #[test]
+    fn unknown_ports_error() {
+        let gl = gate_level("module m (input a, output y); assign y = a; endmodule", "m");
+        let mut sim = GateSim::new(&gl).unwrap();
+        assert!(sim.set_input("nope", 1).is_err());
+        assert!(sim.output("nada").is_err());
+    }
+
+    #[test]
+    fn wide_ports_are_rejected() {
+        let gl = gate_level(
+            "module w (input [199:0] a, output [199:0] y); assign y = a; endmodule",
+            "w",
+        );
+        assert!(GateSim::new(&gl).is_err());
+    }
+}

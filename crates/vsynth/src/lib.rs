@@ -55,13 +55,15 @@
 
 pub mod expand;
 pub mod gates;
+pub mod geval;
 pub mod library;
 pub mod paths;
 pub mod scaling;
 pub mod synth;
 
 pub use gates::{GateGraph, GateKind, NodeId};
+pub use geval::GateSim;
 pub use library::{CellLibrary, GateParams};
 pub use paths::{path_physical, unit_physical, PathPhysical, UnitCache, UnitPhysical};
 pub use scaling::{scale_area, scale_delay, scale_power, TechNode};
-pub use synth::{SynthOptions, SynthReport, VirtualSynthesizer};
+pub use synth::{GateLevel, SynthOptions, SynthReport, VirtualSynthesizer};

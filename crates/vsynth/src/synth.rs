@@ -77,6 +77,15 @@ pub struct GateLevel {
     /// node ids — each functional cell expands contiguously, enabling
     /// hierarchical area breakdowns.
     pub regions: Vec<(String, NodeId, NodeId)>,
+    /// Per input port: name and bit nodes, LSB first.
+    pub input_ports: Vec<(String, Vec<NodeId>)>,
+    /// Per output port: name and bit nodes, LSB first (undriven output
+    /// bits map to [`GateLevel::const0`]).
+    pub output_ports: Vec<(String, Vec<NodeId>)>,
+    /// The shared constant-0 node.
+    pub const0: NodeId,
+    /// The shared constant-1 node.
+    pub const1: NodeId,
 }
 
 impl GateLevel {
@@ -141,16 +150,42 @@ impl VirtualSynthesizer {
         let mut dff_patches: Vec<(Vec<NodeId>, NetId)> = Vec::new();
         let mut regions: Vec<(String, NodeId, NodeId)> = Vec::new();
 
+        let (const0, const1) = (e.const0(), e.const1());
+
         // Primary inputs.
+        let mut input_ports: Vec<(String, Vec<NodeId>)> = Vec::new();
         for p in nl.ports() {
             if p.dir == PortDir::Input {
                 let w = nl.net(p.net).width;
-                net_bits.insert(p.net, e.inputs(w));
+                let bits = e.inputs(w);
+                input_ports.push((p.name.clone(), bits.clone()));
+                net_bits.insert(p.net, bits);
             }
+        }
+
+        // Register banks first: a register's Q bits must exist before any
+        // reader expands, and readers may precede the Dff cell in any
+        // combinational topological order (registers are sequential
+        // sources, so the order among them is free). Expanding a reader
+        // before its register would silently substitute fresh dangling
+        // inputs for the Q bits.
+        for (_, cell) in nl.cells_enumerated() {
+            if cell.kind != CellKind::Dff {
+                continue;
+            }
+            let region_start = e.g.len() as NodeId;
+            let q = e.dff_bank(nl.net(cell.output).width);
+            registers.push((cell.name.clone(), q.clone()));
+            dff_patches.push((q.clone(), cell.inputs[0]));
+            net_bits.insert(cell.output, q);
+            regions.push((cell.name.clone(), region_start, e.g.len() as NodeId));
         }
 
         for cid in topo_order(nl) {
             let cell = nl.cell(cid);
+            if cell.kind == CellKind::Dff {
+                continue; // bank already materialized above
+            }
             let region_start = e.g.len() as NodeId;
             let out_w = nl.net(cell.output).width;
             let ins: Vec<Vec<NodeId>> = cell
@@ -193,12 +228,7 @@ impl VirtualSynthesizer {
                     }
                     e.resize(&v, out_w)
                 }
-                CellKind::Dff => {
-                    let q = e.dff_bank(out_w);
-                    registers.push((cell.name.clone(), q.clone()));
-                    dff_patches.push((q.clone(), cell.inputs[0]));
-                    q
-                }
+                CellKind::Dff => unreachable!("register banks are expanded in the prepass"),
                 CellKind::Not => {
                     let a = e.resize(&ins[0], out_w);
                     e.map1(GateKind::Inv, &a)
@@ -287,14 +317,21 @@ impl VirtualSynthesizer {
         }
 
         let mut outputs = Vec::new();
+        let mut output_ports: Vec<(String, Vec<NodeId>)> = Vec::new();
         for p in nl.ports() {
             if p.dir == PortDir::Output {
                 if let Some(bits) = net_bits.get(&p.net) {
                     outputs.extend_from_slice(bits);
+                    output_ports.push((p.name.clone(), bits.clone()));
+                } else {
+                    // Undriven output: reads as constant zero, matching the
+                    // netlist simulator's never-written net value.
+                    let w = nl.net(p.net).width as usize;
+                    output_ports.push((p.name.clone(), vec![const0; w]));
                 }
             }
         }
-        GateLevel { graph, registers, outputs, regions }
+        GateLevel { graph, registers, outputs, regions, input_ports, output_ports, const0, const1 }
     }
 
     /// Timing closure + power analysis over an elaborated gate level.

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Conformance soak: thousands of random designs through the full
+# differential-oracle stack, with a throughput report.
+#
+#   ./scripts/conformance_soak.sh             # 2000 designs, seed 1
+#   SNS_SOAK_N=10000 ./scripts/conformance_soak.sh
+#   SNS_SOAK_SEED=42 ./scripts/conformance_soak.sh
+#
+# Writes BENCH_conformance.json at the repo root (designs/second plus a
+# per-oracle checked/failed/seconds breakdown) and exits non-zero if any
+# oracle disagrees. Failing designs are shrunk and persisted under
+# tests/corpus/pending/ for promotion into the blessed corpus.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo run --release -p sns-conformance --bin conformance_soak"
+SNS_SOAK_N="${SNS_SOAK_N:-2000}" SNS_SOAK_SEED="${SNS_SOAK_SEED:-1}" \
+  cargo run --release -p sns-conformance --bin conformance_soak
+
+echo "==> BENCH_conformance.json"
+cat BENCH_conformance.json

@@ -40,6 +40,13 @@ if [ -n "$panic_sites" ]; then
   exit 1
 fi
 
+# Differential conformance: 200 fixed-seed random designs through the
+# sim-vs-gates / vsynth-invariant / predictor-determinism / serve-identity
+# oracles, plus bit-exact replay of every checked-in corpus regression,
+# and the nn serialization/optimizer property suite the oracles lean on.
+echo "==> cargo test -q -p sns-conformance -p sns-nn"
+cargo test -q -p sns-conformance -p sns-nn
+
 # The serve end-to-end suite boots real servers with worker/queue limits
 # tuned per test; keep it single-threaded so the limits stay meaningful
 # on small machines.

@@ -26,6 +26,7 @@
 //! | [`core`] | `sns-core` | the end-to-end predictor and training flow |
 //! | [`casestudies`] | `sns-casestudies` | BOOM DSE (§5.6) and DianNao (§5.7) |
 //! | [`serve`] | `sns-serve` | HTTP inference daemon with cross-request micro-batching |
+//! | [`conformance`] | `sns-conformance` | differential conformance harness (random RTL + oracles) |
 //!
 //! # Quickstart
 //!
@@ -58,6 +59,7 @@
 
 pub use sns_casestudies as casestudies;
 pub use sns_circuitformer as circuitformer;
+pub use sns_conformance as conformance;
 pub use sns_core as core;
 pub use sns_designs as designs;
 pub use sns_genmodel as genmodel;

@@ -1,0 +1,22 @@
+// Coverage: concatenation, replication, reductions, and shifts feeding a
+// case-based combinational mux.
+module top (input [3:0] i0, input [1:0] i1, output [7:0] o0, output [3:0] o1);
+    wire [7:0] s0;
+    assign s0 = {i1, i0, i1};
+    wire [0:0] s1;
+    assign s1 = (^i0);
+    wire [3:0] s2;
+    assign s2 = {4{s1}};
+    reg [3:0] s3;
+    always @(*) begin
+        s3 = 4'd0;
+        case (i1)
+            2'd0: s3 = (i0 << 1);
+            2'd1: s3 = (i0 >> i1);
+            2'd2: s3 = s2;
+            2'd3: s3 = (i0 ^ s2);
+        endcase
+    end
+    assign o0 = s0;
+    assign o1 = s3;
+endmodule

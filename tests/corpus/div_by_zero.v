@@ -1,0 +1,11 @@
+// Regression: division/modulo by zero. The vsynth restoring-array divider
+// never borrows on a zero divisor, yielding an all-ones quotient and the
+// dividend as remainder; the netlist simulator used to return 0 for both.
+module top (input [3:0] i0, input [3:0] i1, output [3:0] o0, output [3:0] o1);
+    wire [3:0] s0;
+    assign s0 = i0 / i1;
+    wire [3:0] s1;
+    assign s1 = i0 % i1;
+    assign o0 = s0;
+    assign o1 = s1;
+endmodule

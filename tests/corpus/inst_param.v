@@ -1,0 +1,13 @@
+// Coverage: a parameterized helper instance next to arithmetic comparisons
+// and a 2:1 mux, the generator's instance vocabulary.
+module cfm_unit #(parameter W = 4) (input [W-1:0] a, input [W-1:0] b, output [W-1:0] y);
+    assign y = (a & b) + (a ^ b);
+endmodule
+module top (input [5:0] i0, input [5:0] i1, output [5:0] o0, output [5:0] o1);
+    wire [5:0] s0;
+    cfm_unit #(.W(6)) u0 (.a(i0), .b(i1), .y(s0));
+    wire [5:0] s1;
+    assign s1 = ((i0 < i1) ? (s0 * i0) : (s0 - i1));
+    assign o0 = s0;
+    assign o1 = s1;
+endmodule

@@ -1,0 +1,21 @@
+// Coverage: a write-enabled memory read combinationally through a wire
+// address, plus a register updated by a nested always-block if/else tree.
+module top (input clk, input [2:0] i0, input [3:0] i1, output [3:0] o0, output [3:0] o1);
+    wire [2:0] sa;
+    assign sa = (i1[2:0] ^ i0);
+    reg [3:0] m0 [0:7];
+    wire [3:0] s0;
+    always @(posedge clk) begin
+        if (i0[0]) m0[i0] <= i1;
+    end
+    assign s0 = m0[sa];
+    reg [3:0] s1;
+    always @(posedge clk) begin
+        if (i0[1]) begin
+            if (i0[2]) s1 <= (s0 + i1);
+            else s1 <= (s0 - i1);
+        end else s1 <= s0;
+    end
+    assign o0 = s0;
+    assign o1 = s1;
+endmodule

@@ -1,0 +1,10 @@
+// Regression: a combinational cell reading a register net that expanded
+// before the Dff cell got dangling fresh-input bits instead of the Q bank,
+// so the gate-level feedback path read constant zero while the netlist
+// simulator accumulated. Fixed by the register-bank prepass in
+// elaborate_gates.
+module top (input clk, input [3:0] i0, output [3:0] o0);
+    reg [3:0] s0;
+    always @(posedge clk) s0 <= s0 + i0;
+    assign o0 = s0;
+endmodule

@@ -1,0 +1,10 @@
+// Regression: a constant adapted to a context wider than 64 bits (here a
+// 72-bit concat equality) used to shift its 64-bit payload out of range in
+// the gate expander; the high bits must read as zero-extension.
+module top (input [35:0] i0, input [35:0] i1, output [0:0] o0);
+    wire [71:0] s0;
+    assign s0 = {i0, i1};
+    wire [0:0] s1;
+    assign s1 = (s0 == 5'd9);
+    assign o0 = s1;
+endmodule

@@ -1,0 +1,16 @@
+// Pure wiring: replication, bit-select, and a constant-driven product.
+// Synthesizes to zero (or constant-only) gates — labels must stay finite
+// and non-negative, with dynamic power legitimately zero.
+module top (input clk, input [5:0] i0, input [2:0] i1, output [0:0] o0, output [4:0] o1, output [9:0] o2);
+    wire [0:0] s0;
+    assign s0 = {3{i1}};
+    wire [4:0] s1;
+    assign s1 = i0[3];
+    wire [3:0] s2;
+    assign s2 = 8'd232;
+    wire [9:0] s3;
+    assign s3 = ((8'd1 != (1'd0 == s2)) * s2[0]);
+    assign o0 = s0;
+    assign o1 = s1;
+    assign o2 = s3;
+endmodule
