@@ -263,8 +263,12 @@ pub enum GenItem {
         /// Read address: an *earlier* signal (the read is combinational).
         raddr_sig: usize,
     },
-    /// An instance of the parameterized helper module, `W` set to the
-    /// item width.
+    /// An instance of a parameterized helper module, `W` set to the
+    /// item width. `deep: false` instantiates the flat `cfm_unit`;
+    /// `deep: true` instantiates `cfm_deep`, the root of a three-level
+    /// helper hierarchy (`cfm_deep` → `cfm_mid` → `cfm_leaf`, with
+    /// `cfm_leaf` shared by both parents) that exercises per-module
+    /// elaboration reuse and transitive invalidation.
     Inst {
         /// Signal width (and the `W` parameter override).
         width: u32,
@@ -272,6 +276,8 @@ pub enum GenItem {
         a: usize,
         /// Second operand signal (earlier only).
         b: usize,
+        /// Instantiate the deep helper hierarchy instead of `cfm_unit`.
+        deep: bool,
     },
 }
 
@@ -301,11 +307,51 @@ pub struct DesignSpec {
     pub items: Vec<GenItem>,
 }
 
-/// The parameterized helper module instantiated by [`GenItem::Inst`].
+/// The flat parameterized helper module instantiated by
+/// [`GenItem::Inst`] with `deep: false`.
 const HELPER: &str = "module cfm_unit #(parameter W = 4) (input [W-1:0] a, input [W-1:0] b, output [W-1:0] y);
     assign y = (a & b) + (a ^ b);
 endmodule
 ";
+
+/// The shared leaf of the deep helper hierarchy.
+const HELPER_LEAF: &str = "module cfm_leaf #(parameter W = 4) (input [W-1:0] a, input [W-1:0] b, output [W-1:0] y);
+    assign y = (a | b) ^ (a + b);
+endmodule
+";
+
+/// The middle tier: two `cfm_leaf` instances in series.
+const HELPER_MID: &str = "module cfm_mid #(parameter W = 4) (input [W-1:0] a, input [W-1:0] b, output [W-1:0] y);
+    wire [W-1:0] t0;
+    wire [W-1:0] t1;
+    cfm_leaf #(.W(W)) l0 (.a(a), .b(b), .y(t0));
+    cfm_leaf #(.W(W)) l1 (.a(b), .b(t0), .y(t1));
+    assign y = t0 ^ t1;
+endmodule
+";
+
+/// The hierarchy root instantiated by [`GenItem::Inst`] with
+/// `deep: true`: one `cfm_mid` (which itself holds two `cfm_leaf`s) plus
+/// a direct `cfm_leaf`, so the leaf is shared across two parents and the
+/// instance tree under `top` is three modules deep.
+const HELPER_DEEP: &str = "module cfm_deep #(parameter W = 4) (input [W-1:0] a, input [W-1:0] b, output [W-1:0] y);
+    wire [W-1:0] m;
+    wire [W-1:0] l;
+    cfm_mid #(.W(W)) md (.a(a), .b(b), .y(m));
+    cfm_leaf #(.W(W)) lf (.a(m), .b(a), .y(l));
+    assign y = m + l;
+endmodule
+";
+
+/// Name and source text of every helper module the generator can emit,
+/// in dependency order (leaves first). Exposed so oracles that merge
+/// patched sources can re-append helpers a patch dropped.
+pub const HELPERS: [(&str, &str); 4] = [
+    ("cfm_leaf", HELPER_LEAF),
+    ("cfm_mid", HELPER_MID),
+    ("cfm_deep", HELPER_DEEP),
+    ("cfm_unit", HELPER),
+];
 
 impl DesignSpec {
     /// The top module name.
@@ -339,8 +385,13 @@ impl DesignSpec {
     /// Prints the spec as Verilog.
     pub fn verilog(&self) -> String {
         let mut out = String::new();
-        if self.items.iter().any(|i| matches!(i, GenItem::Inst { .. })) {
+        if self.items.iter().any(|i| matches!(i, GenItem::Inst { deep: false, .. })) {
             out.push_str(HELPER);
+        }
+        if self.items.iter().any(|i| matches!(i, GenItem::Inst { deep: true, .. })) {
+            out.push_str(HELPER_LEAF);
+            out.push_str(HELPER_MID);
+            out.push_str(HELPER_DEEP);
         }
         out.push_str("module top (input clk");
         for (i, w) in self.input_widths.iter().enumerate() {
@@ -433,10 +484,11 @@ impl DesignSpec {
                     self.sig_name(*raddr_sig)
                 ));
             }
-            GenItem::Inst { width, a, b } => {
+            GenItem::Inst { width, a, b, deep } => {
+                let module = if *deep { "cfm_deep" } else { "cfm_unit" };
                 out.push_str(&format!("    wire [{}:0] s{k};\n", width - 1));
                 out.push_str(&format!(
-                    "    cfm_unit #(.W({width})) u{k} (.a({}), .b({}), .y(s{k}));\n",
+                    "    {module} #(.W({width})) u{k} (.a({}), .b({}), .y(s{k}));\n",
                     self.sig_name(*a),
                     self.sig_name(*b)
                 ));
@@ -563,8 +615,42 @@ fn gen_item(rng: &mut StdRng, spec: &DesignSpec, cfg: &GenConfig) -> GenItem {
             width,
             a: rng.gen_range(0..comb_pool),
             b: rng.gen_range(0..comb_pool),
+            deep: rng.gen_bool(0.4),
         },
     }
+}
+
+/// Replaces one randomly chosen item of `spec` with a freshly generated
+/// one of the *same width*, drawing only on signals defined before it —
+/// the module interface and every later select bound stay valid, so the
+/// edited spec elaborates whenever `spec` does. Pure in
+/// `(spec, edit_seed)`; models a single-module ECO on `top`.
+pub fn edit(spec: &DesignSpec, edit_seed: u64, cfg: &GenConfig) -> DesignSpec {
+    assert!(!spec.items.is_empty(), "cannot edit an empty spec");
+    let mut rng = StdRng::seed_from_u64(edit_seed);
+    let k = rng.gen_range(0..spec.items.len());
+    let width = spec.items[k].width();
+    // Regenerate item k against the truncated signal pool (inputs plus
+    // items 0..k), exactly the pool the original generator saw.
+    let stub = DesignSpec {
+        seed: spec.seed,
+        input_widths: spec.input_widths.clone(),
+        items: spec.items[..k].to_vec(),
+    };
+    let mut item = gen_item(&mut rng, &stub, cfg);
+    // Pin the declared width so output port o{k} and all later bit/part
+    // selects into s{k} remain in range. Expressions inside the item are
+    // width-agnostic (Verilog extends/truncates), so this is safe.
+    match &mut item {
+        GenItem::Wire { width: w, .. }
+        | GenItem::Reg { width: w, .. }
+        | GenItem::CombCase { width: w, .. }
+        | GenItem::Mem { width: w, .. }
+        | GenItem::Inst { width: w, .. } => *w = width,
+    }
+    let mut out = spec.clone();
+    out.items[k] = item;
+    out
 }
 
 fn gen_expr(rng: &mut StdRng, spec: &DesignSpec, pool: usize, depth: u32, cfg: &GenConfig) -> GenExpr {
@@ -674,7 +760,7 @@ mod tests {
     #[test]
     fn item_vocabulary_is_reachable() {
         let cfg = GenConfig { max_items: 16, ..GenConfig::default() };
-        let mut seen = [false; 5];
+        let mut seen = [false; 6];
         for seed in 0..200 {
             for item in &generate(seed, &cfg).items {
                 let idx = match item {
@@ -682,11 +768,62 @@ mod tests {
                     GenItem::Reg { .. } => 1,
                     GenItem::CombCase { .. } => 2,
                     GenItem::Mem { .. } => 3,
-                    GenItem::Inst { .. } => 4,
+                    GenItem::Inst { deep: false, .. } => 4,
+                    GenItem::Inst { deep: true, .. } => 5,
                 };
                 seen[idx] = true;
             }
         }
         assert!(seen.iter().all(|&s| s), "all item kinds reachable: {seen:?}");
+    }
+
+    #[test]
+    fn deep_hierarchy_elaborates_and_is_three_levels() {
+        let spec = DesignSpec {
+            seed: 0,
+            input_widths: vec![6, 6],
+            items: vec![GenItem::Inst { width: 6, a: 0, b: 1, deep: true }],
+        };
+        let src = spec.verilog();
+        for name in ["cfm_leaf", "cfm_mid", "cfm_deep"] {
+            assert!(src.contains(&format!("module {name}")), "missing {name}:\n{src}");
+        }
+        sns_netlist::parse_and_elaborate(&src, spec.top()).expect("deep hierarchy elaborates");
+        // The instance tree under top really is three modules deep, with
+        // cfm_leaf shared by cfm_mid and cfm_deep.
+        let design = sns_netlist::parse_source(&src).unwrap();
+        let hashes = sns_netlist::design_hashes(&design);
+        assert_eq!(hashes.len(), 4); // leaf, mid, deep, top
+        assert_ne!(hashes["cfm_mid"].own, hashes["cfm_mid"].trans, "mid has children");
+        assert_ne!(hashes["cfm_deep"].own, hashes["cfm_deep"].trans, "deep has children");
+    }
+
+    #[test]
+    fn edit_is_pure_and_preserves_well_formedness() {
+        let cfg = GenConfig::default();
+        let mut changed = 0;
+        for seed in 0..40u64 {
+            let spec = generate(seed, &cfg);
+            let mut cur = spec.clone();
+            for step in 0..4u64 {
+                let eseed = seed * 1000 + step;
+                let a = edit(&cur, eseed, &cfg);
+                assert_eq!(a, edit(&cur, eseed, &cfg), "edit must be pure in its seed");
+                let src = a.verilog();
+                sns_netlist::parse_and_elaborate(&src, a.top())
+                    .unwrap_or_else(|e| panic!("edited seed {seed}/{step} must elaborate: {e}\n{src}"));
+                // The interface never moves: same inputs, same output widths.
+                assert_eq!(a.input_widths, cur.input_widths);
+                assert_eq!(a.items.len(), cur.items.len());
+                for (x, y) in a.items.iter().zip(&cur.items) {
+                    assert_eq!(x.width(), y.width());
+                }
+                if a != cur {
+                    changed += 1;
+                }
+                cur = a;
+            }
+        }
+        assert!(changed > 100, "edits should usually change the design: {changed}");
     }
 }

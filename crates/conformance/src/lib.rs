@@ -15,11 +15,12 @@
 //!   elaboratable Verilog spanning the Table-1 cell vocabulary (nested
 //!   always blocks, memories, replication, parameterized instances).
 //!   Same seed → same design, on any machine and any thread count.
-//! * [`oracle`] — the four differential oracles: netlist-sim ≡ gate-level
+//! * [`oracle`] — the five differential oracles: netlist-sim ≡ gate-level
 //!   eval under random stimulus; synthesis-label invariants (finite,
 //!   deterministic, monotone under widening); bit-identical predictions
 //!   across thread/batch/cache-capacity sweeps; HTTP ≡ direct prediction
-//!   through a live `sns-serve`.
+//!   through a live `sns-serve`; incremental ≡ from-scratch prediction
+//!   under K random module edits (the ECO session pipeline).
 //! * [`shrink`] — minimizes a failing design to a few lines while
 //!   preserving the failure.
 //! * [`corpus`] — checked-in minimized cases with blessed behavioral
@@ -37,9 +38,9 @@ pub mod oracle;
 pub mod shrink;
 
 pub use corpus::{bless, load_corpus, replay, CorpusCase};
-pub use generator::{generate, DesignSpec, GenConfig};
+pub use generator::{edit, generate, DesignSpec, GenConfig};
 pub use oracle::{
-    check_sim_vs_gates, check_vsynth_invariants, Disagreement, OracleKind, PredictorHarness,
-    ServeHarness,
+    check_sim_vs_gates, check_vsynth_invariants, Disagreement, IncrementalHarness,
+    IncrementalStats, OracleKind, PredictorHarness, ServeHarness,
 };
 pub use shrink::shrink;

@@ -19,12 +19,21 @@
 //!    instance must return exactly the numbers the in-process model
 //!    produces (the daemon's shortest-round-trip JSON printer makes f64
 //!    equality exact, not approximate).
+//! 5. [`IncrementalHarness::check`] — the hierarchy-first incremental
+//!    pipeline must be invisible: after each of K random module edits,
+//!    the incremental re-prediction (`predict_patch` over a live
+//!    session) must match a from-scratch `predict_session` of the merged
+//!    source bit-for-bit — same token, same prediction, same per-terminal
+//!    token sequences — and `elaborate_incremental` through a persistent
+//!    [`ModuleElabCache`] must reproduce the flat `elaborate` netlist
+//!    exactly (netlist equality is strictly stronger than label equality,
+//!    since oracle 2 pins synthesis determinism on equal netlists).
 //!
 //! All oracles return `Err(description)` on disagreement so callers can
 //! shrink the offending spec (see [`crate::shrink`]) and persist it to the
 //! corpus (see [`crate::corpus`]).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
@@ -33,16 +42,19 @@ use std::time::{Duration, Instant};
 use sns_circuitformer::{CircuitformerConfig, TrainConfig};
 use sns_core::aggmlp::MlpTrainConfig;
 use sns_core::dataset::AugmentConfig;
-use sns_core::{train_sns, DesignPrediction, SnsModel, SnsTrainConfig};
+use sns_core::{train_sns, DesignPrediction, SessionStore, SnsModel, SnsTrainConfig};
 use sns_graphir::GraphIr;
-use sns_netlist::{parse_and_elaborate, Netlist, PortDir, Simulator};
+use sns_netlist::{
+    elaborate_incremental, parse_and_elaborate, parse_source, ModuleElabCache, Netlist, PortDir,
+    Simulator,
+};
 use sns_rt::json::{parse as parse_json, Json};
 use sns_rt::StdRng;
 use sns_sampler::{PathSampler, SampleConfig};
 use sns_serve::{ServeConfig, Server};
 use sns_vsynth::{GateSim, SynthOptions, SynthReport, VirtualSynthesizer};
 
-use crate::generator::DesignSpec;
+use crate::generator::{DesignSpec, GenConfig};
 
 /// Which oracle a disagreement came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -55,6 +67,8 @@ pub enum OracleKind {
     PredictorDeterminism,
     /// HTTP-vs-direct prediction identity.
     ServeIdentity,
+    /// Incremental-vs-from-scratch identity under module edits.
+    Incremental,
 }
 
 impl OracleKind {
@@ -65,6 +79,7 @@ impl OracleKind {
             OracleKind::VsynthInvariants => "vsynth_invariants",
             OracleKind::PredictorDeterminism => "predictor_determinism",
             OracleKind::ServeIdentity => "serve_identity",
+            OracleKind::Incremental => "incremental",
         }
     }
 }
@@ -511,6 +526,211 @@ impl Drop for ServeHarness {
             server.request_shutdown();
             server.join();
         }
+    }
+}
+
+// --------------------------------------------------------- incremental --
+
+/// Counters accumulated by [`IncrementalHarness::check`], used by the ECO
+/// soak to report how much work the incremental pipeline actually skipped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IncrementalStats {
+    /// Module edits applied (and verified) after the base prediction.
+    pub edits: usize,
+    /// Modules re-elaborated across all edits (from `reelaborated`).
+    pub reelaborated_modules: usize,
+    /// Distinct modules in the design, summed across all edits — the
+    /// denominator of the re-elaboration fraction.
+    pub design_modules: usize,
+    /// Terminals whose cached path sample was reused, summed over edits.
+    pub reused_terminals: usize,
+    /// Terminals re-sampled, summed over edits.
+    pub resampled_terminals: usize,
+}
+
+/// Oracle 5's stateful half: one trained model plus the bookkeeping to
+/// replay a session's edit history from scratch.
+pub struct IncrementalHarness {
+    model: Arc<SnsModel>,
+}
+
+/// Splits concatenated generator-style Verilog into `(name, text)` module
+/// blocks. Total on any generator/`edit` output (each module is a
+/// `module <name> ... endmodule` block with no nested `endmodule`).
+fn split_modules(src: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while let Some(off) = src[pos..].find("module ") {
+        let start = pos + off;
+        let end_off = src[start..]
+            .find("endmodule")
+            .ok_or_else(|| "unterminated module block".to_string())?;
+        let end = start + end_off + "endmodule".len();
+        let name = src[start + "module ".len()..]
+            .split_whitespace()
+            .next()
+            .ok_or_else(|| "module keyword with no name".to_string())?
+            .to_string();
+        out.push((name, format!("{}\n", &src[start..end])));
+        pos = end;
+    }
+    if out.is_empty() {
+        return Err("no module blocks in source".to_string());
+    }
+    Ok(out)
+}
+
+/// A semantically distinct `cfm_leaf` body for hierarchy-edit steps:
+/// patching the shared leaf must transitively invalidate `cfm_mid`,
+/// `cfm_deep`, and `top` without touching their sources.
+fn leaf_variant(v: u64) -> String {
+    format!(
+        "module cfm_leaf #(parameter W = 4) (input [W-1:0] a, input [W-1:0] b, output [W-1:0] y);\n    \
+         assign y = ((a | b) ^ (a + b)) + 6'd{};\nendmodule\n",
+        v % 37 + 1
+    )
+}
+
+impl IncrementalHarness {
+    /// Wraps an already-trained model (share one with the other oracles).
+    pub fn from_model(model: Arc<SnsModel>) -> Self {
+        IncrementalHarness { model }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &Arc<SnsModel> {
+        &self.model
+    }
+
+    /// Oracle 5: registers `spec` as a session, applies `k_edits` random
+    /// module edits through [`SnsModel::predict_patch`], and after every
+    /// step demands bit-identity with a from-scratch run of the merged
+    /// source: equal tokens, equal predictions, equal per-terminal path
+    /// samples (names *and* token sequences), and an incremental netlist
+    /// equal to the flat reference netlist.
+    ///
+    /// Edits alternate between regenerating one item of the `top` module
+    /// (via [`crate::generator::edit`]) and, when the design instantiates
+    /// the deep helper hierarchy, patching the shared `cfm_leaf` alone —
+    /// the latter exercises transitive invalidation across three levels.
+    pub fn check(
+        &self,
+        spec: &DesignSpec,
+        edit_seed: u64,
+        k_edits: usize,
+    ) -> Result<IncrementalStats, String> {
+        let cfg = GenConfig::default();
+        let store = SessionStore::default();
+        // Persistent across steps so stale units must be invalidated, not
+        // merely absent.
+        let nl_cache = ModuleElabCache::unbounded();
+        let mut modules: BTreeMap<String, String> =
+            split_modules(&spec.verilog())?.into_iter().collect();
+        let merged: String = modules.values().cloned().collect();
+        let base = self
+            .model
+            .predict_session(&store, &merged, spec.top())
+            .map_err(|e| format!("base predict_session failed: {e}"))?;
+        self.check_netlists(&merged, spec.top(), &nl_cache)?;
+
+        let mut stats = IncrementalStats::default();
+        let mut cur_spec = spec.clone();
+        let mut token = base.token;
+        for step in 0..k_edits {
+            let step_seed = edit_seed.wrapping_add(step as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            // Every third step patches the shared leaf when the hierarchy
+            // is in play; otherwise regenerate one item of `top`.
+            let patch = if step % 3 == 2 && modules.contains_key("cfm_leaf") {
+                leaf_variant(step_seed)
+            } else {
+                cur_spec = crate::generator::edit(&cur_spec, step_seed, &cfg);
+                cur_spec.verilog()
+            };
+            for (name, text) in split_modules(&patch)? {
+                modules.insert(name, text);
+            }
+            let outcome = self
+                .model
+                .predict_patch(&store, &token, &patch)
+                .map_err(|e| format!("edit {step}: predict_patch failed: {e}"))?;
+
+            // From-scratch reference: the merged source on a fresh store.
+            let merged: String = modules.values().cloned().collect();
+            let fresh = SessionStore::default();
+            let scratch = self
+                .model
+                .predict_session(&fresh, &merged, spec.top())
+                .map_err(|e| format!("edit {step}: from-scratch predict failed: {e}"))?;
+
+            if outcome.token != scratch.token {
+                return Err(format!(
+                    "edit {step}: token diverges: patched {} vs from-scratch {}",
+                    outcome.token, scratch.token
+                ));
+            }
+            let (p, s) = (&outcome.prediction, &scratch.prediction);
+            for (name, x, y) in [
+                ("timing_ps", p.timing_ps, s.timing_ps),
+                ("area_um2", p.area_um2, s.area_um2),
+                ("power_mw", p.power_mw, s.power_mw),
+            ] {
+                if x.to_bits() != y.to_bits() {
+                    return Err(format!(
+                        "edit {step}: prediction {name} diverges: incremental {x} vs scratch {y}"
+                    ));
+                }
+            }
+            if p.path_count != s.path_count || p.critical_path != s.critical_path {
+                return Err(format!(
+                    "edit {step}: path provenance diverges: {}/{:?} vs {}/{:?}",
+                    p.path_count, p.critical_path, s.path_count, s.critical_path
+                ));
+            }
+            let a = store
+                .get(&outcome.token)
+                .ok_or_else(|| format!("edit {step}: patched session not registered"))?;
+            let b = fresh
+                .get(&scratch.token)
+                .ok_or_else(|| format!("edit {step}: scratch session not registered"))?;
+            if a.samples() != b.samples() {
+                return Err(format!(
+                    "edit {step}: per-terminal samples diverge (incremental reuse \
+                     returned different names or token sequences)"
+                ));
+            }
+            let report = self.check_netlists(&merged, spec.top(), &nl_cache)?;
+            let mut distinct: std::collections::HashSet<&str> =
+                report.records.iter().map(|r| r.module.as_str()).collect();
+            distinct.insert(spec.top());
+            stats.edits += 1;
+            stats.reelaborated_modules += outcome.reelaborated.len();
+            stats.design_modules += distinct.len();
+            stats.reused_terminals += outcome.reused_terminals;
+            stats.resampled_terminals += outcome.resampled_terminals;
+            token = outcome.token;
+        }
+        Ok(stats)
+    }
+
+    /// Flat-vs-incremental netlist equality on one merged source.
+    fn check_netlists(
+        &self,
+        merged: &str,
+        top: &str,
+        cache: &ModuleElabCache,
+    ) -> Result<sns_netlist::ElabReport, String> {
+        let design =
+            parse_source(merged).map_err(|e| format!("merged source failed to parse: {e}"))?;
+        let flat = sns_netlist::elaborate(&design, top)
+            .map_err(|e| format!("flat elaboration failed: {e}"))?;
+        let (inc, report) = elaborate_incremental(&design, top, cache)
+            .map_err(|e| format!("incremental elaboration failed: {e}"))?;
+        if flat != inc {
+            return Err(
+                "incremental netlist differs from the flat reference netlist".to_string()
+            );
+        }
+        Ok(report)
     }
 }
 

@@ -229,7 +229,9 @@ fn map_item(item: &GenItem, f: &dyn Fn(usize) -> usize) -> GenItem {
             wdata: map_expr(wdata, f),
             raddr_sig: f(*raddr_sig),
         },
-        GenItem::Inst { width, a, b } => GenItem::Inst { width: *width, a: f(*a), b: f(*b) },
+        GenItem::Inst { width, a, b, deep } => {
+            GenItem::Inst { width: *width, a: f(*a), b: f(*b), deep: *deep }
+        }
     }
 }
 
@@ -460,7 +462,12 @@ fn item_candidates(item: &GenItem) -> Vec<GenItem> {
                 out.push(mk(wen.clone(), waddr.clone(), cand));
             }
         }
-        GenItem::Inst { width, a, b } => {
+        GenItem::Inst { width, a, b, deep } => {
+            if *deep {
+                // Flatten the hierarchy first: a shallow instance keeps
+                // the "submodule instance" shape with one less level.
+                out.push(GenItem::Inst { width: *width, a: *a, b: *b, deep: false });
+            }
             out.push(GenItem::Wire { width: *width, expr: GenExpr::Ref(*a) });
             out.push(GenItem::Wire { width: *width, expr: GenExpr::Ref(*b) });
         }

@@ -11,10 +11,11 @@ use std::sync::{Arc, OnceLock};
 use sns_conformance::corpus;
 use sns_conformance::generator::{generate, DesignSpec, GenConfig};
 use sns_conformance::oracle::{
-    check_sim_vs_gates, check_vsynth_invariants, PredictorHarness, ServeHarness,
+    check_sim_vs_gates, check_vsynth_invariants, IncrementalHarness, PredictorHarness,
+    ServeHarness,
 };
 use sns_conformance::shrink::shrink;
-use sns_netlist::parse_and_elaborate;
+use sns_netlist::{design_hashes, parse_and_elaborate, parse_source};
 use sns_rt::pool::par_map;
 use sns_vsynth::{SynthOptions, VirtualSynthesizer};
 
@@ -85,6 +86,137 @@ fn smoke_all_oracles_over_200_seeded_designs() {
     serve.shutdown();
 }
 
+/// Designs the incremental-oracle smoke sweeps (the full ≥500-design run
+/// lives in the `eco_soak` binary).
+const INCREMENTAL_SMOKE_DESIGNS: u64 = 25;
+/// Module edits per design in the smoke.
+const INCREMENTAL_SMOKE_EDITS: usize = 3;
+
+#[test]
+fn incremental_oracle_smoke() {
+    // Oracle 5 over seeded designs: K random module edits per design,
+    // each step's incremental re-prediction bit-identical to from-scratch.
+    let cfg = GenConfig::default();
+    let inc = IncrementalHarness::from_model(Arc::clone(harness().model()));
+    let mut reelaborated = 0usize;
+    let mut design_modules = 0usize;
+    for seed in 1..=INCREMENTAL_SMOKE_DESIGNS {
+        let spec = generate(seed, &cfg);
+        match inc.check(&spec, seed ^ STIM_SEED_SALT, INCREMENTAL_SMOKE_EDITS) {
+            Ok(stats) => {
+                assert_eq!(stats.edits, INCREMENTAL_SMOKE_EDITS);
+                reelaborated += stats.reelaborated_modules;
+                design_modules += stats.design_modules;
+            }
+            Err(e) => {
+                let salt = seed ^ STIM_SEED_SALT;
+                fail_with_repro(&spec, &format!("incremental_{seed}"), &e, &mut |s| {
+                    inc.check(s, salt, INCREMENTAL_SMOKE_EDITS).is_err()
+                });
+            }
+        }
+    }
+    // The point of the tentpole: edits must not re-elaborate everything.
+    assert!(
+        reelaborated <= design_modules,
+        "re-elaborated {reelaborated} of {design_modules} module slots"
+    );
+}
+
+#[test]
+fn content_hashes_ignore_whitespace_and_comments() {
+    let a = parse_source(
+        "module m (input [3:0] a, output [3:0] y);\n    assign y = a + 4'd1;\nendmodule\n",
+    )
+    .unwrap();
+    let b = parse_source(
+        "// a comment\nmodule  m ( input [3:0] a ,\n            output [3:0] y );\n\
+         /* block\n   comment */\n    assign   y = a + 4'd1 ; // trailing\nendmodule\n",
+    )
+    .unwrap();
+    let ha = design_hashes(&a);
+    let hb = design_hashes(&b);
+    assert_eq!(ha["m"], hb["m"], "whitespace/comment reformatting must not change the hash");
+
+    // ... while a real change does.
+    let c = parse_source(
+        "module m (input [3:0] a, output [3:0] y);\n    assign y = a + 4'd2;\nendmodule\n",
+    )
+    .unwrap();
+    assert_ne!(ha["m"].own, design_hashes(&c)["m"].own);
+}
+
+#[test]
+fn content_hashes_are_parameter_binding_sensitive() {
+    let src = |w: u32| {
+        format!(
+            "module sub #(parameter W = 4) (input [W-1:0] a, output [W-1:0] y);\n\
+                 assign y = a + 1'd1;\n\
+             endmodule\n\
+             module top (input [7:0] i0, output [7:0] o0);\n\
+                 wire [7:0] t;\n\
+                 sub #(.W({w})) u (.a(i0[{0}:0]), .y(t[{0}:0]));\n\
+                 assign o0 = t;\n\
+             endmodule\n",
+            w - 1
+        )
+    };
+    let a = parse_source(&src(4)).unwrap();
+    let b = parse_source(&src(8)).unwrap();
+    let (ha, hb) = (design_hashes(&a), design_hashes(&b));
+    // The sub definition is untouched; the parent carries the binding.
+    assert_eq!(ha["sub"], hb["sub"]);
+    assert_ne!(ha["top"].own, hb["top"].own, "a parameter binding is content");
+    assert_ne!(ha["top"].trans, hb["top"].trans);
+}
+
+#[test]
+fn content_hashes_do_not_collide_over_catalog_and_generated_designs() {
+    // Same own-hash must mean same module source text, across the full
+    // design catalog plus 1000 generated specs. Identical text appearing
+    // in many designs (the shared helper modules, catalog building
+    // blocks) is expected and fine.
+    let mut seen: std::collections::HashMap<[u64; 2], String> = std::collections::HashMap::new();
+    let mut check = |name: &str, hash: [u64; 2], text: String, origin: &str| {
+        match seen.get(&hash) {
+            Some(prev) if *prev != text => panic!(
+                "hash collision on module `{name}` from {origin}: two distinct sources share \
+                 {hash:?}:\n--- first ---\n{prev}\n--- second ---\n{text}"
+            ),
+            Some(_) => {}
+            None => {
+                seen.insert(hash, text);
+            }
+        }
+    };
+    // Module texts keyed by re-printing the parsed AST is unavailable, so
+    // compare the normalized token stream instead: strip whitespace runs.
+    let normalize = |src: &str| src.split_whitespace().collect::<Vec<_>>().join(" ");
+    let mut split = |verilog: &str, origin: &str| {
+        let design = parse_source(verilog).unwrap();
+        let hashes = design_hashes(&design);
+        let mut pos = 0;
+        while let Some(off) = verilog[pos..].find("module ") {
+            let start = pos + off;
+            let end = start
+                + verilog[start..].find("endmodule").map(|e| e + "endmodule".len()).unwrap();
+            let name = verilog[start + 7..].split_whitespace().next().unwrap().to_string();
+            if let Some(h) = hashes.get(&name) {
+                check(&name, h.own, normalize(&verilog[start..end]), origin);
+            }
+            pos = end;
+        }
+    };
+    for design in sns_designs::catalog() {
+        split(&design.verilog, &design.name);
+    }
+    let cfg = GenConfig::default();
+    for seed in 0..1000u64 {
+        split(&generate(seed, &cfg).verilog(), &format!("generated seed {seed}"));
+    }
+    assert!(seen.len() > 1000, "expected a large hash population, got {}", seen.len());
+}
+
 #[test]
 fn generation_is_identical_on_any_thread_count() {
     let cfg = GenConfig::default();
@@ -136,7 +268,8 @@ fn synthesis_labels_grow_monotonically_with_width() {
     // iterations trade area for timing nonmonotonically by design, but
     // at zero iterations a wider datapath must never get cheaper.
     let options = || SynthOptions { sizing_iterations: 0, ..SynthOptions::default() };
-    let families: &[(&str, fn(u32) -> String)] = &[
+    type Family = (&'static str, fn(u32) -> String);
+    let families: &[Family] = &[
         ("adder", |w| {
             format!(
                 "module top (input [{0}:0] a, b, output [{1}:0] y); assign y = a + b; endmodule",

@@ -466,7 +466,7 @@ mod tests {
                 // in (or overflows) the cap; every returned value must
                 // still match the unbounded reference exactly.
                 for window in seqs.chunks(5) {
-                    cache.ensure_batched(&window.to_vec(), 2, 3, |chunk| {
+                    cache.ensure_batched(window, 2, 3, |chunk| {
                         calls.fetch_add(chunk.len(), Ordering::Relaxed);
                         chunk.iter().map(|t| predict(t)).collect()
                     });

@@ -41,6 +41,7 @@ pub mod eval;
 pub mod metrics;
 pub mod model_io;
 pub mod predictor;
+pub mod session;
 pub mod train;
 
 pub use aggmlp::AggMlp;
@@ -50,4 +51,5 @@ pub use eval::{cross_validate, CrossValidation, ScatterPoint};
 pub use metrics::{maep, rrse};
 pub use model_io::{load_model, save_model};
 pub use predictor::{DesignPrediction, SnsModel};
+pub use session::{DesignSession, SessionError, SessionOutcome, SessionStore};
 pub use train::{train_sns, train_sns_on_labeled, SnsTrainConfig, TrainReport};

@@ -13,7 +13,7 @@ use crate::cache::PathPredictionCache;
 
 /// Default activity assumed for paths starting at I/O ports when the user
 /// supplies per-register activity coefficients (§3.4.4).
-const IO_PATH_ACTIVITY: f32 = 0.5;
+pub(crate) const IO_PATH_ACTIVITY: f32 = 0.5;
 
 /// The output of one SNS prediction — the fast analogue of a synthesis
 /// report.
@@ -137,23 +137,9 @@ impl SnsModel {
         token_seqs: &[Vec<usize>],
         activity: Option<&HashMap<String, f32>>,
     ) -> ([f64; 3], Vec<String>) {
-        let mut timing_max = 0.0f64;
-        let mut area_sum = 0.0f64;
-        let mut power_sum = 0.0f64;
-        let mut critical: Vec<String> = Vec::new();
-        // The reduction stays serial in path order, so the result is
-        // bit-identical to the old single-threaded loop (in particular
-        // the strict `>` keeps first-wins critical-path selection).
-        for (p, tokens) in paths.iter().zip(token_seqs) {
-            let raw =
-                self.cache.get(tokens).unwrap_or_else(|| self.predict_path(tokens));
-            if raw[0] > timing_max {
-                timing_max = raw[0];
-                critical = p.vertices().iter().map(|&v| graph.vertex(v).name.clone()).collect();
-            }
-            area_sum += raw[1];
+        self.reduce_items(paths.iter().zip(token_seqs).map(|(p, tokens)| {
             // Power gating: scale each path's power by the activity
-            // coefficient of its source register, then sum (§3.4.4).
+            // coefficient of its source register (§3.4.4).
             let coeff = match activity {
                 None => 1.0,
                 Some(map) => {
@@ -165,6 +151,37 @@ impl SnsModel {
                     }
                 }
             };
+            let names = move || {
+                p.vertices().iter().map(|&v| graph.vertex(v).name.clone()).collect()
+            };
+            (tokens.as_slice(), coeff, names)
+        }))
+    }
+
+    /// The serial reduction core shared by the [`CircuitPath`]-based flow
+    /// and the per-terminal portable-path flow of the session layer: each
+    /// item is `(token sequence, power coefficient, lazy vertex names)`.
+    /// The float operations run in item order with exactly the historical
+    /// formulas, so every caller that feeds the same items gets the same
+    /// bits (in particular the strict `>` keeps first-wins critical-path
+    /// selection).
+    pub(crate) fn reduce_items<'a, F, I>(&self, items: I) -> ([f64; 3], Vec<String>)
+    where
+        F: FnOnce() -> Vec<String>,
+        I: Iterator<Item = (&'a [usize], f32, F)>,
+    {
+        let mut timing_max = 0.0f64;
+        let mut area_sum = 0.0f64;
+        let mut power_sum = 0.0f64;
+        let mut critical: Vec<String> = Vec::new();
+        for (tokens, coeff, names) in items {
+            let raw =
+                self.cache.get(tokens).unwrap_or_else(|| self.predict_path(tokens));
+            if raw[0] > timing_max {
+                timing_max = raw[0];
+                critical = names();
+            }
+            area_sum += raw[1];
             power_sum += raw[2] * coeff as f64;
         }
         ([timing_max.max(1e-3), area_sum.max(1e-6), power_sum.max(1e-9)], critical)
@@ -180,7 +197,7 @@ impl SnsModel {
         start: Instant,
     ) -> DesignPrediction {
         let (aggregates, critical) = self.path_aggregates(graph, paths, activity);
-        self.refine(graph, paths, aggregates, critical, start)
+        self.refine(graph, paths.len(), aggregates, critical, start)
     }
 
     /// Like [`aggregate`](Self::aggregate), but assumes the caller has
@@ -202,15 +219,15 @@ impl SnsModel {
         start: Instant,
     ) -> DesignPrediction {
         let (aggregates, critical) = self.reduce_paths(graph, paths, token_seqs, activity);
-        self.refine(graph, paths, aggregates, critical, start)
+        self.refine(graph, paths.len(), aggregates, critical, start)
     }
 
-    /// The MLP refinement step shared by [`aggregate`](Self::aggregate)
-    /// and [`predict_primed`](Self::predict_primed).
-    fn refine(
+    /// The MLP refinement step shared by [`aggregate`](Self::aggregate),
+    /// [`predict_primed`](Self::predict_primed) and the session layer.
+    pub(crate) fn refine(
         &self,
         graph: &GraphIr,
-        paths: &[CircuitPath],
+        path_count: usize,
         aggregates: [f64; 3],
         critical: Vec<String>,
         start: Instant,
@@ -218,7 +235,7 @@ impl SnsModel {
         let stats = graph.stats(&self.vocab);
         let mut out = [0.0f64; 3];
         for d in 0..3 {
-            let features = self.features(d, aggregates, paths.len(), &stats);
+            let features = self.features(d, aggregates, path_count, &stats);
             let z = self.mlps[d].predict(&features);
             // The MLP predicts the (normalized log) correction ratio to
             // the path aggregate, not the absolute label.
@@ -229,7 +246,7 @@ impl SnsModel {
             timing_ps: out[0],
             area_um2: out[1],
             power_mw: out[2],
-            path_count: paths.len(),
+            path_count,
             critical_path: critical,
             runtime: start.elapsed(),
         }

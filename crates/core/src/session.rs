@@ -1,0 +1,544 @@
+//! Per-design prediction sessions and ECO (engineering change order)
+//! re-prediction.
+//!
+//! A full prediction through [`SnsModel::predict_session`] registers the
+//! design in a [`SessionStore`] under a *content-addressed* base token.
+//! A later [`SnsModel::predict_patch`] call names that token plus
+//! replacement module sources, and the whole pipeline re-runs
+//! *incrementally*:
+//!
+//! * elaboration goes through the shared [`ModuleElabCache`] — only
+//!   modules whose transitive content hash changed rebuild, everything
+//!   else splices from cache ([`sns_netlist::elaborate_incremental`]),
+//! * the GraphIR is stitched from per-module subgraphs
+//!   ([`GraphIr::from_netlist_stitched`]),
+//! * sampling reuses the cached per-terminal paths of every terminal
+//!   whose forward region the edit did not touch
+//!   ([`sns_sampler::PathSampler::resample`]),
+//! * per-path Circuitformer predictions come from the model's
+//!   [`PathPredictionCache`](crate::PathPredictionCache).
+//!
+//! The incremental result is **bit-identical** to running the same merged
+//! source from scratch — enforced end-to-end by the `incremental`
+//! conformance oracle in `sns-conformance`.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use sns_graphir::GraphIr;
+use sns_netlist::ast::Design;
+use sns_netlist::{
+    design_hashes, elaborate_incremental, parse_source, ElabReport, ModuleElabCache, NetlistError,
+};
+use sns_sampler::{flatten_samples, PathSampler, PortablePath, ResampleOutcome, TerminalSample};
+
+use crate::predictor::{DesignPrediction, SnsModel};
+
+/// Default bound on concurrently retained sessions.
+pub const DEFAULT_SESSION_CAP: usize = 64;
+
+/// Why a session-layer prediction failed.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The `base` token does not name a live session (expired or never
+    /// registered).
+    UnknownBase(String),
+    /// The front-end rejected the source or the patched design (parse,
+    /// elaboration, or resource-budget failure).
+    Front(NetlistError),
+}
+
+impl From<NetlistError> for SessionError {
+    fn from(e: NetlistError) -> Self {
+        SessionError::Front(e)
+    }
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::UnknownBase(token) => write!(f, "unknown base design `{token}`"),
+            SessionError::Front(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// The retained state of one predicted design: everything an ECO needs
+/// to re-predict incrementally.
+#[derive(Debug)]
+pub struct DesignSession {
+    token: String,
+    top: String,
+    design: Design,
+    /// Per-module transitive content hashes at registration time.
+    trans: HashMap<String, [u64; 2]>,
+    /// Per-terminal cached samples, keyed by terminal name.
+    /// Reference-counted so a resample reuses them by pointer.
+    samples: HashMap<String, Arc<TerminalSample>>,
+    prediction: DesignPrediction,
+    /// The elaboration report of the session's netlist.
+    report: ElabReport,
+}
+
+impl DesignSession {
+    /// The content-addressed base token.
+    pub fn token(&self) -> &str {
+        &self.token
+    }
+
+    /// The design's top module.
+    pub fn top(&self) -> &str {
+        &self.top
+    }
+
+    /// The prediction computed when the session was registered.
+    pub fn prediction(&self) -> &DesignPrediction {
+        &self.prediction
+    }
+
+    /// The elaboration report (instance → cell range map).
+    pub fn report(&self) -> &ElabReport {
+        &self.report
+    }
+
+    /// The cached per-terminal path samples (terminal name → sample).
+    pub fn samples(&self) -> &HashMap<String, Arc<TerminalSample>> {
+        &self.samples
+    }
+}
+
+struct SessionsInner {
+    map: HashMap<String, Arc<DesignSession>>,
+    order: VecDeque<String>,
+    cap: usize,
+}
+
+/// Holds live [`DesignSession`]s (bounded, FIFO eviction) plus the
+/// [`ModuleElabCache`] they share. Owned by the caller (the serving
+/// daemon keeps one per process) and passed into
+/// [`SnsModel::predict_session`] / [`SnsModel::predict_patch`].
+pub struct SessionStore {
+    elab: Arc<ModuleElabCache>,
+    inner: RwLock<SessionsInner>,
+}
+
+impl std::fmt::Debug for SessionStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionStore")
+            .field("sessions", &self.session_count())
+            .field("elab_cache", &self.elab)
+            .finish()
+    }
+}
+
+impl Default for SessionStore {
+    fn default() -> Self {
+        Self::new(DEFAULT_SESSION_CAP, ModuleElabCache::DEFAULT_CAPACITY)
+    }
+}
+
+impl SessionStore {
+    /// Creates a store bounded to `session_cap` sessions with a fresh
+    /// elaboration-unit cache bounded to `elab_cap` units.
+    pub fn new(session_cap: usize, elab_cap: usize) -> Self {
+        SessionStore {
+            elab: Arc::new(ModuleElabCache::new(elab_cap)),
+            inner: RwLock::new(SessionsInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                cap: session_cap,
+            }),
+        }
+    }
+
+    /// The shared per-module elaboration-unit cache.
+    pub fn elab_cache(&self) -> &ModuleElabCache {
+        &self.elab
+    }
+
+    /// The session under `token`, if still live.
+    pub fn get(&self, token: &str) -> Option<Arc<DesignSession>> {
+        self.inner.read().expect("session lock poisoned").map.get(token).cloned()
+    }
+
+    /// Number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.inner.read().expect("session lock poisoned").map.len()
+    }
+
+    /// Drops every session (the elaboration cache is untouched).
+    pub fn clear(&self) {
+        let mut g = self.inner.write().expect("session lock poisoned");
+        g.map.clear();
+        g.order.clear();
+    }
+
+    fn insert(&self, session: Arc<DesignSession>) {
+        let mut g = self.inner.write().expect("session lock poisoned");
+        let token = session.token.clone();
+        if g.map.insert(token.clone(), session).is_none() {
+            g.order.push_back(token);
+        }
+        while g.map.len() > g.cap.max(1) {
+            match g.order.pop_front() {
+                Some(old) => {
+                    g.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// The result of a session-layer prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionOutcome {
+    /// Content-addressed token of the (possibly patched) design — the
+    /// `base` for further patches.
+    pub token: String,
+    /// The design prediction.
+    pub prediction: DesignPrediction,
+    /// Module names that were (re-)elaborated for this prediction: on a
+    /// full predict, every instantiated module; on a patch, the modules
+    /// whose transitive content hash changed. Sorted.
+    pub reelaborated: Vec<String>,
+    /// Terminals whose cached path sample was reused unchanged.
+    pub reused_terminals: usize,
+    /// Terminals that were re-sampled.
+    pub resampled_terminals: usize,
+}
+
+impl SnsModel {
+    /// Full prediction from Verilog source through the incremental
+    /// pipeline, registering the design in `store` for later
+    /// [`SnsModel::predict_patch`] calls. The prediction is bit-identical
+    /// to re-running the same source on a fresh store.
+    ///
+    /// # Errors
+    ///
+    /// Returns the front-end error if the source does not parse or
+    /// elaborate.
+    pub fn predict_session(
+        &self,
+        store: &SessionStore,
+        source: &str,
+        top: &str,
+    ) -> Result<SessionOutcome, NetlistError> {
+        let design = parse_source(source)?;
+        self.run_session(store, design, top, None)
+    }
+
+    /// ECO re-prediction: replaces modules of the `base` session's design
+    /// with the definitions in `patch` (new modules are appended), then
+    /// re-predicts incrementally. Returns the outcome of the *patched*
+    /// design, which is itself registered as a new session.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::UnknownBase`] if `base` is not live;
+    /// [`SessionError::Front`] if the patch does not parse or the patched
+    /// design does not elaborate.
+    pub fn predict_patch(
+        &self,
+        store: &SessionStore,
+        base: &str,
+        patch: &str,
+    ) -> Result<SessionOutcome, SessionError> {
+        let prev =
+            store.get(base).ok_or_else(|| SessionError::UnknownBase(base.to_string()))?;
+        let patch_design = parse_source(patch)?;
+        let mut design = prev.design.clone();
+        for m in patch_design.modules {
+            match design.modules.iter_mut().find(|x| x.name == m.name) {
+                Some(slot) => *slot = m,
+                None => design.modules.push(m),
+            }
+        }
+        let top = prev.top.clone();
+        Ok(self.run_session(store, design, &top, Some(&prev))?)
+    }
+
+    /// The shared session pipeline: incremental elaboration → stitched
+    /// GraphIR → per-terminal (re-)sampling → cached path predictions →
+    /// the same serial reduction and MLP refinement as
+    /// [`SnsModel::predict_netlist`].
+    fn run_session(
+        &self,
+        store: &SessionStore,
+        design: Design,
+        top: &str,
+        prev: Option<&DesignSession>,
+    ) -> Result<SessionOutcome, NetlistError> {
+        let start = Instant::now();
+        let trans: HashMap<String, [u64; 2]> =
+            design_hashes(&design).into_iter().map(|(n, h)| (n, h.trans)).collect();
+
+        // Which modules changed relative to the base session (every module
+        // is "changed" on a cold predict). Implicit invalidation: a changed
+        // transitive hash is a different cache key.
+        let changed: BTreeSet<String> = match prev {
+            Some(p) => trans
+                .iter()
+                .filter(|(name, t)| p.trans.get(*name) != Some(t))
+                .map(|(name, _)| name.clone())
+                .collect(),
+            None => trans.keys().cloned().collect(),
+        };
+        if prev.is_some() {
+            store.elab_cache().note_invalidations(changed.len() as u64);
+        }
+
+        let (netlist, report) = elaborate_incremental(&design, top, store.elab_cache())?;
+        let stitched = GraphIr::from_netlist_stitched(&netlist, &report);
+        let graph = &stitched.graph;
+
+        let sampler = PathSampler::new(self.sample.clone());
+        let ResampleOutcome { samples, reused, resampled } = match prev {
+            Some(p) => sampler.resample(graph, &self.vocab, &p.samples),
+            None => {
+                let samples: Vec<Arc<TerminalSample>> = sampler
+                    .sample_by_terminal(graph, &self.vocab)
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect();
+                let resampled = samples.len();
+                ResampleOutcome { samples, reused: 0, resampled }
+            }
+        };
+
+        let flat: Vec<&PortablePath> = flatten_samples(&samples, self.sample.max_paths);
+        let token_seqs: Vec<Vec<usize>> = flat.iter().map(|p| p.tokens.clone()).collect();
+        self.prime_path_cache(
+            &token_seqs,
+            sns_rt::pool::default_threads(),
+            sns_rt::pool::default_batch(),
+        );
+        // Sessions carry no per-register activity map, so every path's
+        // coefficient is 1.0 — same as `predict_netlist(_, None)`.
+        let (aggregates, critical) = self.reduce_items(
+            flat.iter().map(|p| (p.tokens.as_slice(), 1.0f32, move || p.names.clone())),
+        );
+        let prediction = self.refine(graph, flat.len(), aggregates, critical, start);
+
+        // Reported modules: the changed set restricted to what this design
+        // actually elaborates (instantiated modules plus the top).
+        let mut instantiated: BTreeSet<&str> =
+            report.records.iter().map(|r| r.module.as_str()).collect();
+        instantiated.insert(top);
+        let reelaborated: Vec<String> = changed
+            .iter()
+            .filter(|m| instantiated.contains(m.as_str()))
+            .cloned()
+            .collect();
+
+        let token = design_token(&trans, top);
+        let samples_by_name: HashMap<String, Arc<TerminalSample>> =
+            samples.into_iter().map(|s| (s.name.clone(), s)).collect();
+        store.insert(Arc::new(DesignSession {
+            token: token.clone(),
+            top: top.to_string(),
+            design,
+            trans,
+            samples: samples_by_name,
+            prediction: prediction.clone(),
+            report,
+        }));
+
+        Ok(SessionOutcome {
+            token,
+            prediction,
+            reelaborated,
+            reused_terminals: reused,
+            resampled_terminals: resampled,
+        })
+    }
+
+}
+
+/// Content-addressed design token: a stable hex digest over the top name
+/// and every module's transitive content hash. Whitespace/comment-only
+/// variants of a design map to the same token.
+fn design_token(trans: &HashMap<String, [u64; 2]>, top: &str) -> String {
+    let (mut h0, mut h1) = (0xcbf2_9ce4_8422_2325u64, 0x6c62_272e_07bb_0142u64);
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h0 = (h0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+            h1 = (h1 ^ b as u64).wrapping_mul(0x0000_0100_0000_01B5);
+        }
+        h0 = (h0 ^ 0xFF).wrapping_mul(0x0000_0100_0000_01B3);
+        h1 = (h1 ^ 0xFF).wrapping_mul(0x0000_0100_0000_01B5);
+    };
+    mix(top.as_bytes());
+    let mut names: Vec<&String> = trans.keys().collect();
+    names.sort();
+    for name in names {
+        mix(name.as_bytes());
+        if let Some(t) = trans.get(name) {
+            mix(&t[0].to_le_bytes());
+            mix(&t[1].to_le_bytes());
+        }
+    }
+    format!("d{h0:016x}{h1:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::OnceLock;
+
+    use super::*;
+    use crate::train::{train_sns, SnsTrainConfig};
+
+    /// One tiny model shared by every test in this module — training
+    /// dominates runtime, prediction does not.
+    fn tiny_model() -> &'static SnsModel {
+        static MODEL: OnceLock<SnsModel> = OnceLock::new();
+        MODEL.get_or_init(|| {
+            let designs = sns_designs::catalog();
+            let mut cfg = SnsTrainConfig::fast();
+            cfg.augment = crate::dataset::AugmentConfig::none();
+            cfg.sample =
+                sns_sampler::SampleConfig::paper_default().with_max_paths(250).with_k(2);
+            train_sns(&designs[..3], &cfg).0
+        })
+    }
+
+    fn src(leaf_body: &str) -> String {
+        format!(
+            "module leaf (input [7:0] a, output [7:0] y); assign y = {leaf_body}; endmodule
+             module keep (input clk, input [7:0] a, output [7:0] y);
+                 reg [7:0] r;
+                 always @(posedge clk) r <= r + a;
+                 assign y = r;
+             endmodule
+             module top (input clk, input [7:0] p, output [7:0] y0, output [7:0] y1);
+                 leaf l (.a(p), .y(y0));
+                 keep k (.clk(clk), .a(p), .y(y1));
+             endmodule"
+        )
+    }
+
+    fn assert_same_prediction(a: &DesignPrediction, b: &DesignPrediction) {
+        assert_eq!(a.timing_ps, b.timing_ps);
+        assert_eq!(a.area_um2, b.area_um2);
+        assert_eq!(a.power_mw, b.power_mw);
+        assert_eq!(a.path_count, b.path_count);
+        assert_eq!(a.critical_path, b.critical_path);
+    }
+
+    #[test]
+    fn patch_prediction_matches_from_scratch() {
+        let model = tiny_model();
+        let store = SessionStore::default();
+        let base = model.predict_session(&store, &src("a + 8'd1"), "top").unwrap();
+        assert_eq!(store.session_count(), 1);
+        assert!(base.reelaborated.contains(&"leaf".to_string()));
+
+        let patched = model
+            .predict_patch(
+                &store,
+                &base.token,
+                "module leaf (input [7:0] a, output [7:0] y); assign y = (a * 8'd5) ^ 8'h3C; endmodule",
+            )
+            .unwrap();
+        // Only the edited module re-elaborates; the register terminal's
+        // sample is reused.
+        assert_eq!(patched.reelaborated, vec!["leaf".to_string(), "top".to_string()]);
+        assert!(patched.reused_terminals >= 1, "register sample should be reused");
+        assert!(patched.resampled_terminals >= 1);
+
+        // Bit-identical to predicting the merged source from scratch on a
+        // completely fresh store and path cache.
+        let fresh_model = model.clone();
+        fresh_model.clear_cache();
+        let scratch = fresh_model
+            .predict_session(&SessionStore::default(), &src("(a * 8'd5) ^ 8'h3C"), "top")
+            .unwrap();
+        assert_eq!(patched.token, scratch.token);
+        assert_same_prediction(&patched.prediction, &scratch.prediction);
+    }
+
+    #[test]
+    fn token_is_content_addressed() {
+        let model = tiny_model();
+        let store = SessionStore::default();
+        let a = model.predict_session(&store, &src("a + 8'd1"), "top").unwrap();
+        // Comment/whitespace-only reformulation → same token, same session.
+        let reformatted = src("a  +  /* same */  8'd1").replace("module leaf", "module  leaf");
+        let b = model.predict_session(&store, &reformatted, "top").unwrap();
+        assert_eq!(a.token, b.token);
+        assert_eq!(store.session_count(), 1);
+        assert_same_prediction(&a.prediction, &b.prediction);
+        // A real edit changes the token.
+        let c = model.predict_session(&store, &src("a - 8'd1"), "top").unwrap();
+        assert_ne!(a.token, c.token);
+        assert_eq!(store.session_count(), 2);
+    }
+
+    #[test]
+    fn unknown_base_and_bad_patch_errors() {
+        let model = tiny_model();
+        let store = SessionStore::default();
+        assert!(matches!(
+            model.predict_patch(&store, "dsn-nope", "module m (); endmodule"),
+            Err(SessionError::UnknownBase(_))
+        ));
+        let base = model.predict_session(&store, &src("a + 8'd1"), "top").unwrap();
+        assert!(matches!(
+            model.predict_patch(&store, &base.token, "module broken ("),
+            Err(SessionError::Front(_))
+        ));
+        // A patch that makes elaboration fail is also a front-end error.
+        assert!(matches!(
+            model.predict_patch(
+                &store,
+                &base.token,
+                "module leaf (input [7:0] a, output [7:0] y); assign y = nosuch; endmodule",
+            ),
+            Err(SessionError::Front(_))
+        ));
+    }
+
+    #[test]
+    fn session_store_evicts_fifo() {
+        let model = tiny_model();
+        let store = SessionStore::new(2, 64);
+        let t0 = model.predict_session(&store, &src("a + 8'd1"), "top").unwrap().token;
+        let t1 = model.predict_session(&store, &src("a + 8'd2"), "top").unwrap().token;
+        let t2 = model.predict_session(&store, &src("a + 8'd3"), "top").unwrap().token;
+        assert_eq!(store.session_count(), 2);
+        assert!(store.get(&t0).is_none(), "oldest session evicted");
+        assert!(store.get(&t1).is_some() && store.get(&t2).is_some());
+        store.clear();
+        assert_eq!(store.session_count(), 0);
+    }
+
+    #[test]
+    fn chained_patches_stay_consistent() {
+        let model = tiny_model();
+        let store = SessionStore::default();
+        let mut token =
+            model.predict_session(&store, &src("a + 8'd1"), "top").unwrap().token;
+        for (i, body) in
+            ["a ^ 8'h0F", "(a + 8'd9) & a", "a * 8'd3", "~a"].iter().enumerate()
+        {
+            let patch = format!(
+                "module leaf (input [7:0] a, output [7:0] y); assign y = {body}; endmodule"
+            );
+            let out = model.predict_patch(&store, &token, &patch).unwrap();
+            let scratch_model = model.clone();
+            scratch_model.clear_cache();
+            let scratch = scratch_model
+                .predict_session(&SessionStore::default(), &src(body), "top")
+                .unwrap();
+            assert_eq!(out.token, scratch.token, "step {i}");
+            assert_same_prediction(&out.prediction, &scratch.prediction);
+            token = out.token;
+        }
+        // The shared elab cache saw real reuse across the chain.
+        assert!(store.elab_cache().hits() > 0);
+        assert!(store.elab_cache().invalidations() > 0);
+    }
+}

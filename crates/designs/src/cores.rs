@@ -165,9 +165,174 @@ endmodule
 
 /// A wider five-stage core in the spirit of Ariane (CVA6): 64-bit
 /// datapath, separate multiplier/divider unit, an ALU cluster and a
-/// scoreboard register.
+/// scoreboard register. Emitted as a *module hierarchy* — frontend,
+/// ALU, mul/div, branch and commit are separate modules, each latching
+/// its own operands, the way the real CVA6 splits its functional units.
+/// The registered unit boundaries make this the catalog's ECO
+/// stress-case: editing one unit leaves every other unit's elaboration
+/// and path samples reusable.
 pub fn ariane_like() -> Design {
     let verilog = r#"
+module ar_frontend64 (
+    input clk,
+    input [31:0] instr,
+    input [63:0] wb_value,
+    input [4:0] wb_rd,
+    input wb_valid,
+    output [63:0] rf1,
+    output [63:0] rf2,
+    output [63:0] imm,
+    output [6:0] opcode,
+    output [4:0] rd
+);
+    reg [31:0] if_instr, id_instr;
+    always @(posedge clk) begin
+        if_instr <= instr;
+        id_instr <= if_instr;
+    end
+    wire [4:0] rs1 = id_instr[19:15];
+    wire [4:0] rs2 = id_instr[24:20];
+    reg [63:0] rf [0:31];
+    always @(posedge clk) begin
+        if (wb_valid) rf[wb_rd] <= wb_value;
+    end
+    assign rf1 = rf[rs1];
+    assign rf2 = rf[rs2];
+    assign imm = {{52{id_instr[31]}}, id_instr[31:20]};
+    assign opcode = id_instr[6:0];
+    assign rd = id_instr[11:7];
+endmodule
+
+module ar_alu64 (
+    input clk,
+    input [63:0] a,
+    input [63:0] b,
+    input [63:0] imm,
+    input [6:0] op,
+    output [63:0] result
+);
+    reg [63:0] ex_a, ex_b, ex_imm;
+    reg [6:0] ex_op;
+    always @(posedge clk) begin
+        ex_a <= a;
+        ex_b <= b;
+        ex_imm <= imm;
+        ex_op <= op;
+    end
+    reg [63:0] alu;
+    always @(*) begin
+        case (ex_op)
+            7'd0: alu = ex_a + ex_b;
+            7'd1: alu = ex_a - ex_b;
+            7'd2: alu = ex_a & ex_b;
+            7'd3: alu = ex_a | ex_b;
+            7'd4: alu = ex_a ^ ex_b;
+            7'd5: alu = ex_a << ex_b[5:0];
+            7'd6: alu = ex_a >> ex_b[5:0];
+            7'd7: alu = (ex_a < ex_b) ? 64'd1 : 64'd0;
+            7'd8: alu = ex_a + ex_imm;
+            default: alu = ex_a;
+        endcase
+    end
+    reg [63:0] alu_r;
+    always @(posedge clk) alu_r <= alu;
+    assign result = alu_r;
+endmodule
+
+module ar_muldiv64 (
+    input clk,
+    input [63:0] a,
+    input [63:0] b,
+    input [6:0] op,
+    output [63:0] result
+);
+    reg [63:0] md_a, md_b;
+    reg [6:0] md_op;
+    always @(posedge clk) begin
+        md_a <= a;
+        md_b <= b;
+        md_op <= op;
+    end
+    wire [63:0] mul = md_a * md_b;
+    wire [63:0] divq = md_a / ((md_b == 64'd0) ? 64'd1 : md_b);
+    reg [63:0] md_r;
+    always @(posedge clk) md_r <= (md_op == 7'd9) ? mul : divq;
+    assign result = md_r;
+endmodule
+
+module ar_branch64 (
+    input clk,
+    input rst,
+    input [63:0] a,
+    input [63:0] b,
+    input [63:0] imm,
+    input [6:0] op,
+    output [63:0] pc_out
+);
+    reg [63:0] br_a, br_b, br_imm;
+    reg [6:0] br_op;
+    always @(posedge clk) begin
+        br_a <= a;
+        br_b <= b;
+        br_imm <= imm;
+        br_op <= op;
+    end
+    reg [63:0] pc;
+    wire take = (br_op == 7'd11) && (br_a >= br_b);
+    always @(posedge clk) begin
+        if (rst) pc <= 64'd0;
+        else if (take) pc <= pc + br_imm;
+        else pc <= pc + 64'd4;
+    end
+    assign pc_out = pc;
+endmodule
+
+module ar_commit64 (
+    input clk,
+    input [63:0] a,
+    input [63:0] b,
+    input [63:0] imm,
+    input [6:0] op,
+    input [4:0] rd,
+    input [63:0] alu_result,
+    input [63:0] md_result,
+    input [63:0] dmem_rdata,
+    output [63:0] dmem_addr,
+    output [63:0] dmem_wdata,
+    output dmem_we,
+    output [63:0] wb_value,
+    output [4:0] wb_rd,
+    output wb_valid,
+    output [63:0] retire_value
+);
+    reg [63:0] ls_a, ls_b, ls_imm;
+    reg [6:0] ls_op;
+    reg [4:0] ls_rd;
+    always @(posedge clk) begin
+        ls_a <= a;
+        ls_b <= b;
+        ls_imm <= imm;
+        ls_op <= op;
+        ls_rd <= rd;
+    end
+    wire [63:0] ex_result = (ls_op == 7'd9 || ls_op == 7'd10) ? md_result : alu_result;
+    reg [63:0] mem_result;
+    reg [4:0] mem_rd;
+    reg mem_valid;
+    always @(posedge clk) begin
+        mem_result <= (ls_op == 7'd12) ? dmem_rdata : ex_result;
+        mem_rd <= ls_rd;
+        mem_valid <= ls_op != 7'd13;
+    end
+    assign dmem_addr = ls_a + ls_imm;
+    assign dmem_wdata = ls_b;
+    assign dmem_we = ls_op == 7'd13;
+    assign wb_value = mem_result;
+    assign wb_rd = mem_rd;
+    assign wb_valid = mem_valid;
+    assign retire_value = mem_result;
+endmodule
+
 module ariane64 (
     input clk, input rst,
     input [31:0] instr,
@@ -177,83 +342,35 @@ module ariane64 (
     output dmem_we,
     output [63:0] retire_value
 );
-    // ---- fetch / decode ----
-    reg [31:0] if_instr, id_instr;
-    always @(posedge clk) begin
-        if_instr <= instr;
-        id_instr <= if_instr;
-    end
-    wire [4:0] rs1 = id_instr[19:15];
-    wire [4:0] rs2 = id_instr[24:20];
-    wire [4:0] rd = id_instr[11:7];
-    wire [6:0] opcode = id_instr[6:0];
-    wire [63:0] imm = {{52{id_instr[31]}}, id_instr[31:20]};
-    reg [63:0] rf [0:31];
-    wire [63:0] rf1 = rf[rs1];
-    wire [63:0] rf2 = rf[rs2];
+    wire [63:0] rf1, rf2, imm;
+    wire [6:0] opcode;
+    wire [4:0] rd;
+    wire [63:0] wb_value;
+    wire [4:0] wb_rd;
+    wire wb_valid;
+    wire [63:0] alu_result, md_result, pc_now;
 
-    // ---- issue ----
-    reg [63:0] is_a, is_b, is_imm;
-    reg [6:0] is_op;
-    reg [4:0] is_rd;
-    always @(posedge clk) begin
-        is_a <= rf1;
-        is_b <= rf2;
-        is_imm <= imm;
-        is_op <= opcode;
-        is_rd <= rd;
-    end
-
-    // ---- execute: ALU + MUL + DIV ----
-    reg [63:0] alu;
-    always @(*) begin
-        case (is_op)
-            7'd0: alu = is_a + is_b;
-            7'd1: alu = is_a - is_b;
-            7'd2: alu = is_a & is_b;
-            7'd3: alu = is_a | is_b;
-            7'd4: alu = is_a ^ is_b;
-            7'd5: alu = is_a << is_b[5:0];
-            7'd6: alu = is_a >> is_b[5:0];
-            7'd7: alu = (is_a < is_b) ? 64'd1 : 64'd0;
-            7'd8: alu = is_a + is_imm;
-            default: alu = is_a;
-        endcase
-    end
-    wire [63:0] mul = is_a * is_b;
-    wire [63:0] divq = is_a / ((is_b == 64'd0) ? 64'd1 : is_b);
-    reg [63:0] ex_result;
-    always @(*) begin
-        case (is_op)
-            7'd9: ex_result = mul;
-            7'd10: ex_result = divq;
-            default: ex_result = alu;
-        endcase
-    end
-
-    // ---- memory + commit ----
-    reg [63:0] mem_result;
-    reg [4:0] mem_rd;
-    reg mem_valid;
-    always @(posedge clk) begin
-        mem_result <= (is_op == 7'd12) ? dmem_rdata : ex_result;
-        mem_rd <= is_rd;
-        mem_valid <= is_op != 7'd13;
-    end
-    always @(posedge clk) begin
-        if (mem_valid) rf[mem_rd] <= mem_result;
-    end
-    reg [63:0] pc;
-    wire take = (is_op == 7'd11) && (is_a >= is_b);
-    always @(posedge clk) begin
-        if (rst) pc <= 64'd0;
-        else if (take) pc <= pc + is_imm;
-        else pc <= pc + 64'd4;
-    end
-    assign dmem_addr = is_a + is_imm;
-    assign dmem_wdata = is_b;
-    assign dmem_we = is_op == 7'd13;
-    assign retire_value = mem_result;
+    ar_frontend64 u_frontend (
+        .clk(clk), .instr(instr),
+        .wb_value(wb_value), .wb_rd(wb_rd), .wb_valid(wb_valid),
+        .rf1(rf1), .rf2(rf2), .imm(imm), .opcode(opcode), .rd(rd)
+    );
+    ar_alu64 u_alu (
+        .clk(clk), .a(rf1), .b(rf2), .imm(imm), .op(opcode), .result(alu_result)
+    );
+    ar_muldiv64 u_muldiv (
+        .clk(clk), .a(rf1), .b(rf2), .op(opcode), .result(md_result)
+    );
+    ar_branch64 u_branch (
+        .clk(clk), .rst(rst), .a(rf1), .b(rf2), .imm(imm), .op(opcode), .pc_out(pc_now)
+    );
+    ar_commit64 u_commit (
+        .clk(clk), .a(rf1), .b(rf2), .imm(imm), .op(opcode), .rd(rd),
+        .alu_result(alu_result), .md_result(md_result), .dmem_rdata(dmem_rdata),
+        .dmem_addr(dmem_addr), .dmem_wdata(dmem_wdata), .dmem_we(dmem_we),
+        .wb_value(wb_value), .wb_rd(wb_rd), .wb_valid(wb_valid),
+        .retire_value(retire_value)
+    );
 endmodule
 "#
     .to_string();

@@ -128,9 +128,9 @@ pub fn elaborate_with_limits(
 
 /// Information about a declared scalar signal.
 #[derive(Debug, Clone)]
-struct Signal {
-    net: NetId,
-    width: u32,
+pub(crate) struct Signal {
+    pub(crate) net: NetId,
+    pub(crate) width: u32,
 }
 
 /// Information about a declared memory.
@@ -148,23 +148,28 @@ struct Memory {
 }
 
 /// Per-module-instance elaboration context writing into a shared netlist.
-struct ModuleCtx<'a, 'n> {
-    design: &'a Design,
-    nl: &'n mut Netlist,
-    prefix: String,
-    depth: u32,
-    params: HashMap<String, i64>,
-    signals: HashMap<String, Signal>,
+pub(crate) struct ModuleCtx<'a, 'n> {
+    pub(crate) design: &'a Design,
+    pub(crate) nl: &'n mut Netlist,
+    pub(crate) prefix: String,
+    pub(crate) depth: u32,
+    pub(crate) params: HashMap<String, i64>,
+    pub(crate) signals: HashMap<String, Signal>,
     memories: BTreeMap<String, Memory>,
     /// Partial drivers for signals assigned via bit/part selects:
     /// signal name → list of (lsb, width, value net).
     partial: BTreeMap<String, Vec<(u32, u32, NetId)>>,
     fresh: u32,
-    limits: ElabLimits,
+    pub(crate) limits: ElabLimits,
+    /// When set, instances elaborate through the per-module unit cache
+    /// (see [`crate::incremental`]) instead of inline, and budget
+    /// checkpoints are reported to the engine so cached units replay the
+    /// flat path's budget decisions exactly.
+    pub(crate) inc: Option<&'a crate::incremental::IncEngine<'a>>,
 }
 
 impl<'a, 'n> ModuleCtx<'a, 'n> {
-    fn new(
+    pub(crate) fn new(
         design: &'a Design,
         nl: &'n mut Netlist,
         prefix: String,
@@ -182,10 +187,11 @@ impl<'a, 'n> ModuleCtx<'a, 'n> {
             partial: BTreeMap::new(),
             fresh: 0,
             limits,
+            inc: None,
         }
     }
 
-    fn err(&self, msg: impl std::fmt::Display) -> NetlistError {
+    pub(crate) fn err(&self, msg: impl std::fmt::Display) -> NetlistError {
         NetlistError::elab(format!("{}{}", self.prefix, msg))
     }
 
@@ -193,7 +199,10 @@ impl<'a, 'n> ModuleCtx<'a, 'n> {
     /// past the cell budget. Called at every emission granule (module
     /// item, statement, memory entry) so runaway amplification stops
     /// within one granule of crossing the budget.
-    fn check_cells(&self) -> Result<(), NetlistError> {
+    pub(crate) fn check_cells(&self) -> Result<(), NetlistError> {
+        if let Some(engine) = self.inc {
+            engine.record_checkpoint(self.nl.cell_count() as u64);
+        }
         if self.nl.cell_count() > self.limits.max_cells {
             return Err(NetlistError::too_large(format!(
                 "{}cell count exceeds SNS_MAX_CELLS = {}",
@@ -300,7 +309,7 @@ impl<'a, 'n> ModuleCtx<'a, 'n> {
 
     // ---- parameters and constant evaluation ----
 
-    fn bind_params(
+    pub(crate) fn bind_params(
         &mut self,
         module: &Module,
         overrides: &HashMap<String, i64>,
@@ -419,7 +428,7 @@ impl<'a, 'n> ModuleCtx<'a, 'n> {
     /// Declares ports. For the top module (`bindings == None`), nets are
     /// registered as [`Netlist`] ports; for child instances, input ports are
     /// bound to parent nets.
-    fn declare_ports(
+    pub(crate) fn declare_ports(
         &mut self,
         module: &Module,
         bindings: Option<&HashMap<String, NetId>>,
@@ -505,7 +514,7 @@ impl<'a, 'n> ModuleCtx<'a, 'n> {
 
     // ---- top-level drive of a module body ----
 
-    fn run(&mut self, module: &Module) -> Result<(), NetlistError> {
+    pub(crate) fn run(&mut self, module: &Module) -> Result<(), NetlistError> {
         self.declare_item_decls(module)?;
         for item in &module.items {
             self.check_cells()?;
@@ -940,7 +949,7 @@ impl<'a, 'n> ModuleCtx<'a, 'n> {
     }
 
     /// Drives a continuous-assignment target from `value`.
-    fn drive_lvalue(&mut self, lhs: &LValue, value: NetId) -> Result<(), NetlistError> {
+    pub(crate) fn drive_lvalue(&mut self, lhs: &LValue, value: NetId) -> Result<(), NetlistError> {
         match lhs {
             LValue::Ident(name) => {
                 let sig = self
@@ -1403,6 +1412,53 @@ impl<'a, 'n> ModuleCtx<'a, 'n> {
     // ---- instances ----
 
     fn elab_instance(&mut self, inst: &Instance) -> Result<(), NetlistError> {
+        if let Some(engine) = self.inc {
+            return crate::incremental::elab_instance_inc(self, inst, engine);
+        }
+        let (child, overrides, bindings, outputs) = self.instance_preamble(inst)?;
+
+        // Elaborate the child into the same netlist.
+        let child_prefix = format!("{}{}.", self.prefix, inst.name);
+        let output_nets: Vec<(NetId, LValue)> = {
+            let mut cctx =
+                ModuleCtx::new(self.design, self.nl, child_prefix, self.depth + 1, self.limits);
+            cctx.bind_params(child, &overrides)?;
+            cctx.declare_ports(child, Some(&bindings))?;
+            cctx.run(child)?;
+            let mut nets = Vec::with_capacity(outputs.len());
+            for (port_name, lv) in outputs {
+                // Every output port was declared by `declare_ports` above;
+                // keep the lookup total all the same.
+                let net = match cctx.signals.get(&port_name) {
+                    Some(s) => s.net,
+                    None => {
+                        return Err(NetlistError::elab(format!(
+                            "{}`{}` has no declared output `{port_name}`",
+                            self.prefix, inst.module
+                        )))
+                    }
+                };
+                nets.push((net, lv));
+            }
+            nets
+        };
+
+        // Connect child outputs to parent lvalues.
+        for (child_net, lv) in output_nets {
+            self.drive_lvalue(&lv, child_net)?;
+        }
+        Ok(())
+    }
+
+    /// The instance steps shared by the flat and incremental paths: depth
+    /// check, module lookup, parameter-override evaluation, connection
+    /// normalization, input-expression elaboration (into the *parent*
+    /// context), and output-lvalue collection. Everything up to — but not
+    /// including — elaborating the child body.
+    pub(crate) fn instance_preamble(
+        &mut self,
+        inst: &Instance,
+    ) -> Result<InstancePreamble<'a>, NetlistError> {
         if self.depth > 64 {
             return Err(self.err("instantiation depth exceeds 64 (recursive hierarchy?)"));
         }
@@ -1463,39 +1519,15 @@ impl<'a, 'n> ModuleCtx<'a, 'n> {
             }
         }
 
-        // Elaborate the child into the same netlist.
-        let child_prefix = format!("{}{}.", self.prefix, inst.name);
-        let output_nets: Vec<(NetId, LValue)> = {
-            let mut cctx =
-                ModuleCtx::new(self.design, self.nl, child_prefix, self.depth + 1, self.limits);
-            cctx.bind_params(child, &overrides)?;
-            cctx.declare_ports(child, Some(&bindings))?;
-            cctx.run(child)?;
-            let mut nets = Vec::with_capacity(outputs.len());
-            for (port_name, lv) in outputs {
-                // Every output port was declared by `declare_ports` above;
-                // keep the lookup total all the same.
-                let net = match cctx.signals.get(&port_name) {
-                    Some(s) => s.net,
-                    None => {
-                        return Err(NetlistError::elab(format!(
-                            "{}`{}` has no declared output `{port_name}`",
-                            self.prefix, inst.module
-                        )))
-                    }
-                };
-                nets.push((net, lv));
-            }
-            nets
-        };
-
-        // Connect child outputs to parent lvalues.
-        for (child_net, lv) in output_nets {
-            self.drive_lvalue(&lv, child_net)?;
-        }
-        Ok(())
+        Ok((child, overrides, bindings, outputs))
     }
 }
+
+/// What [`ModuleCtx::instance_preamble`] produces: the child module
+/// definition, the evaluated parameter overrides, the input-port → parent-net
+/// bindings, and the (output port, parent lvalue) connection list.
+pub(crate) type InstancePreamble<'m> =
+    (&'m Module, HashMap<String, i64>, HashMap<String, NetId>, Vec<(String, LValue)>);
 
 /// Interprets an expression used as an instance output connection as an
 /// lvalue (identifier, bit/part select, or concat of those).

@@ -1,0 +1,956 @@
+//! Hierarchy-first incremental elaboration.
+//!
+//! The flat elaborator ([`crate::elaborate::elaborate`]) inlines every
+//! instance in place, so a one-line edit to a leaf module re-elaborates
+//! the entire design. This module keeps the hierarchy first-class: each
+//! `(module, transitive content hash, resolved parameters, input-binding
+//! shape)` combination elaborates once into a relocatable *unit* — a
+//! fragment netlist with placeholder nets standing in for the instance's
+//! bound inputs — and a [`ModuleElabCache`] reuses units across designs
+//! and requests. An edit invalidates exactly the modules whose own hash
+//! changed plus their transitive instantiators (their transitive hash
+//! changes too, so their keys miss); everything else splices from cache.
+//!
+//! # Bit-exactness contract
+//!
+//! [`elaborate_incremental`] produces a [`Netlist`] **identical** (by
+//! `==`) to what [`crate::elaborate::elaborate`] produces for the same
+//! design: same net ids, same cell order, same hierarchical names. This
+//! holds because
+//!
+//! * a unit's fragment is built by the same [`ModuleCtx`] code that the
+//!   flat path runs, with a relative (empty) prefix and placeholder nets
+//!   whose widths are recorded in the cache key — so the fragment's nets
+//!   and cells are created in exactly inline order, and
+//! * [`Netlist::splice_fragment`] appends the fragment at the same
+//!   net/cell ids inline elaboration would have used, prepending the
+//!   instance prefix to every name.
+//!
+//! Resource-budget decisions replay exactly too: the flat path checks the
+//! cell budget at every emission granule against the *whole-design* count,
+//! so units record the maximum fragment-relative count observed at any
+//! checkpoint during their construction ([`ModuleUnit::max_checkpoint`]),
+//! and splicing re-evaluates `base + max_checkpoint` against the budget.
+//! Instantiation-depth errors replay the same way via the maximum relative
+//! depth at which the subtree enters an instance. On *failing* inputs the
+//! two paths agree on the error **kind** (budget vs semantic), though
+//! messages may name a different hierarchical prefix.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::ast::{Design, Dir, Instance, Module};
+use crate::elaborate::{ElabLimits, ModuleCtx};
+use crate::error::NetlistError;
+use crate::hash::{design_hashes, Fnv128, ModHash};
+use crate::netlist::{NetId, Netlist};
+
+/// Identity of one elaboration unit. Two instantiations share a unit —
+/// and therefore an elaborated body — exactly when all fields agree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct UnitKey {
+    /// Module definition name.
+    module: String,
+    /// Transitive content hash of the module (covers its own AST plus
+    /// every module it transitively instantiates, whitespace/comment
+    /// insensitive). See [`crate::hash`].
+    trans: [u64; 2],
+    /// Resolved parameter environment, sorted by name. Captures the
+    /// parameter bindings of the instantiation, not just the overrides:
+    /// defaults that depend on overridden parameters resolve here.
+    params: Vec<(String, i64)>,
+    /// Per input port (in port order): `Some(width)` of the bound parent
+    /// net, or `None` for an unconnected input. Port-binding widths feed
+    /// `adapt`, so they shape the fragment.
+    shape: Vec<Option<u32>>,
+    /// Elaboration budgets in force during the build — a unit built under
+    /// one budget must not satisfy a lookup under another.
+    max_cells: usize,
+    max_net_bits: u32,
+    max_replication: u64,
+}
+
+impl UnitKey {
+    /// A 128-bit digest of the key, used to compare units across
+    /// elaborations in [`InstanceRecord`]s without retaining the key.
+    fn digest(&self) -> [u64; 2] {
+        let mut h = Fnv128::new();
+        h.str(&self.module);
+        h.u64(self.trans[0]);
+        h.u64(self.trans[1]);
+        h.usize(self.params.len());
+        for (name, v) in &self.params {
+            h.str(name);
+            h.i64(*v);
+        }
+        h.usize(self.shape.len());
+        for s in &self.shape {
+            match s {
+                None => h.tag(0),
+                Some(w) => {
+                    h.tag(1);
+                    h.u64(*w as u64);
+                }
+            }
+        }
+        h.usize(self.max_cells);
+        h.u64(self.max_net_bits as u64);
+        h.u64(self.max_replication);
+        h.finish()
+    }
+}
+
+/// One cached elaboration unit: a relocatable fragment of the module's
+/// body plus the metadata needed to splice it as if it had been inlined.
+#[derive(Debug)]
+pub(crate) struct ModuleUnit {
+    /// The fragment netlist. Nets `0..n_ph` are placeholders for the
+    /// instance's bound inputs (in port order); all other nets and every
+    /// cell belong to the module body, in inline elaboration order.
+    frag: Netlist,
+    /// Number of leading placeholder nets.
+    n_ph: usize,
+    /// Output port name → fragment net carrying it.
+    outputs: Vec<(String, NetId)>,
+    /// Records for instances nested inside this unit, with paths and cell
+    /// ranges relative to the fragment.
+    subs: Vec<InstanceRecord>,
+    /// Maximum fragment-relative cell count observed at any budget
+    /// checkpoint while the unit was built (`None` if the subtree never
+    /// checkpoints). Splicing at `base` reproduces the flat path's budget
+    /// decision by testing `base + max_checkpoint` against the budget.
+    max_checkpoint: Option<u64>,
+    /// Maximum depth, relative to this unit's root (root body = 0), at
+    /// which the subtree enters [`ModuleCtx::instance_preamble`]. Splicing
+    /// under a parent at depth `d` reproduces the flat path's depth error
+    /// iff `d + 1 + max_inst_depth_rel > 64`.
+    max_inst_depth_rel: Option<u32>,
+}
+
+/// One spliced instance in an elaborated design: its hierarchical path,
+/// module, unit identity, and the half-open range of cells its body
+/// occupies in the flat netlist. Ranges of nested instances are contained
+/// in their ancestors' ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceRecord {
+    /// Hierarchical instance path (e.g. `"u0.sub"`), without the top.
+    pub path: String,
+    /// Instantiated module definition name.
+    pub module: String,
+    /// Digest of the instance's elaboration-unit key: equal digests mean
+    /// the instance elaborated from an identical unit (same transitive
+    /// content, parameters, and binding shape).
+    pub unit: [u64; 2],
+    /// Index of the first cell of the instance body.
+    pub cell_start: u32,
+    /// One past the last cell of the instance body.
+    pub cell_end: u32,
+}
+
+/// Where the cells of an incrementally elaborated design came from:
+/// one [`InstanceRecord`] per instance, in splice order (parents before
+/// their nested instances). Cells outside every record belong to the top
+/// module's own body.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ElabReport {
+    /// Per-instance records, parents first.
+    pub records: Vec<InstanceRecord>,
+}
+
+impl ElabReport {
+    /// Records whose cell range is not contained in any other record —
+    /// the top-level instances of the design.
+    pub fn top_level(&self) -> impl Iterator<Item = &InstanceRecord> {
+        self.records.iter().filter(|r| !r.path.contains('.'))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The cache
+// ---------------------------------------------------------------------------
+
+struct CacheInner {
+    map: HashMap<UnitKey, Arc<ModuleUnit>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<UnitKey>,
+    cap: Option<usize>,
+}
+
+/// A bounded, thread-safe cache of elaboration units, shared across
+/// designs and requests.
+///
+/// Counter discipline (mirrors `sns-core`'s `PathPredictionCache`):
+/// counting happens at *insert* time — a fresh insert is a miss, a lookup
+/// hit or an insert that finds the key already present (two threads built
+/// the same unit concurrently) is a hit — so the reconciliation invariant
+/// `len == misses − evictions` holds under concurrency.
+pub struct ModuleElabCache {
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl std::fmt::Debug for ModuleElabCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModuleElabCache")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("evictions", &self.evictions())
+            .field("invalidations", &self.invalidations())
+            .finish()
+    }
+}
+
+impl Default for ModuleElabCache {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl ModuleElabCache {
+    /// Default unit capacity.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Creates a cache bounded to `cap` units.
+    pub fn new(cap: usize) -> Self {
+        ModuleElabCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                cap: Some(cap),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates an unbounded cache.
+    pub fn unbounded() -> Self {
+        let cache = Self::new(0);
+        cache.set_capacity(None);
+        cache
+    }
+
+    fn lock(&self) -> MutexGuard<'_, CacheInner> {
+        // A poisoned lock only means another thread panicked mid-access;
+        // the map itself is always structurally valid.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Changes the unit bound (`None` = unbounded), evicting FIFO if the
+    /// cache is over the new bound.
+    pub fn set_capacity(&self, cap: Option<usize>) {
+        let mut g = self.lock();
+        g.cap = cap;
+        let evicted = Self::evict_to_cap(&mut g);
+        drop(g);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    fn evict_to_cap(g: &mut CacheInner) -> u64 {
+        let mut evicted = 0;
+        if let Some(cap) = g.cap {
+            while g.map.len() > cap {
+                match g.order.pop_front() {
+                    Some(old) => {
+                        if g.map.remove(&old).is_some() {
+                            evicted += 1;
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+        evicted
+    }
+
+    fn lookup(&self, key: &UnitKey) -> Option<Arc<ModuleUnit>> {
+        let found = self.lock().map.get(key).cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Inserts a freshly built unit, returning the canonical `Arc` (the
+    /// existing one if another thread inserted the same key first).
+    fn insert(&self, key: UnitKey, unit: Arc<ModuleUnit>) -> Arc<ModuleUnit> {
+        let mut g = self.lock();
+        if let Some(existing) = g.map.get(&key) {
+            let existing = existing.clone();
+            drop(g);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return existing;
+        }
+        g.order.push_back(key.clone());
+        g.map.insert(key, unit.clone());
+        let evicted = Self::evict_to_cap(&mut g);
+        drop(g);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        unit
+    }
+
+    /// Units currently cached.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The unit bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.lock().cap
+    }
+
+    /// Unit reuses (lookup hits plus concurrent duplicate builds).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Fresh unit builds inserted.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Units evicted by the bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Modules reported invalidated by content-hash change (counted by
+    /// callers via [`ModuleElabCache::note_invalidations`]; invalidation
+    /// itself is implicit — a changed hash is a different key).
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Records that `n` modules were invalidated by a content change.
+    pub fn note_invalidations(&self, n: u64) {
+        self.invalidations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Drops every cached unit (counters are retained).
+    pub fn clear(&self) {
+        let mut g = self.lock();
+        let evicted = g.map.len() as u64;
+        g.map.clear();
+        g.order.clear();
+        drop(g);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// Per-build bookkeeping: records and replay metadata for the unit under
+/// construction.
+#[derive(Default)]
+struct BuildFrame {
+    records: Vec<InstanceRecord>,
+    max_checkpoint: Option<u64>,
+    max_depth_rel: Option<u32>,
+    /// Absolute instantiation depth of this fragment's root body. Fragment
+    /// `ModuleCtx` depths are relative, so the flat path's recursion guard
+    /// is re-anchored against `base + relative depth`.
+    base: u32,
+}
+
+#[derive(Default)]
+struct EngineState {
+    /// Stack of in-flight fragment builds (innermost last). Empty while
+    /// elaborating the top module body into the real netlist.
+    frames: Vec<BuildFrame>,
+    /// Records spliced directly into the real netlist.
+    top: Vec<InstanceRecord>,
+}
+
+/// Drives one incremental elaboration: owns the design's content hashes,
+/// points at the shared unit cache, and tracks the fragment-build stack.
+/// Threaded through [`ModuleCtx`] as `Option<&IncEngine>`.
+pub(crate) struct IncEngine<'d> {
+    cache: &'d ModuleElabCache,
+    hashes: HashMap<String, ModHash>,
+    state: Mutex<EngineState>,
+}
+
+impl<'d> IncEngine<'d> {
+    fn new(design: &Design, cache: &'d ModuleElabCache) -> Self {
+        IncEngine { cache, hashes: design_hashes(design), state: Mutex::new(EngineState::default()) }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, EngineState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Called from [`ModuleCtx::check_cells`]: while a fragment is being
+    /// built, every budget checkpoint (a fragment-relative cell count) is
+    /// folded into the innermost frame's maximum.
+    pub(crate) fn record_checkpoint(&self, count: u64) {
+        let mut g = self.lock();
+        if let Some(frame) = g.frames.last_mut() {
+            frame.max_checkpoint = Some(frame.max_checkpoint.map_or(count, |m| m.max(count)));
+        }
+    }
+
+    /// Records that an instance is being entered at (frame-relative)
+    /// `depth`, for depth-error replay.
+    fn record_inst_depth(&self, depth: u32) {
+        let mut g = self.lock();
+        if let Some(frame) = g.frames.last_mut() {
+            frame.max_depth_rel = Some(frame.max_depth_rel.map_or(depth, |m| m.max(depth)));
+        }
+    }
+
+    fn in_frame(&self) -> bool {
+        !self.lock().frames.is_empty()
+    }
+
+    /// Absolute instantiation depth of the innermost fragment root body
+    /// (0 outside any build — top-module depths are already absolute).
+    fn depth_base(&self) -> u32 {
+        self.lock().frames.last().map(|f| f.base).unwrap_or(0)
+    }
+
+    fn push_frame(&self, base: u32) {
+        self.lock().frames.push(BuildFrame { base, ..BuildFrame::default() });
+    }
+
+    fn pop_frame(&self) -> BuildFrame {
+        self.lock().frames.pop().unwrap_or_default()
+    }
+
+    /// Folds a spliced unit's replay metadata into the innermost frame:
+    /// checkpoints inside the sub-subtree happen at `base + count`, and
+    /// instance entries at `depth + 1 + rel`.
+    fn absorb(&self, base: u64, depth: u32, unit: &ModuleUnit) {
+        let mut g = self.lock();
+        if let Some(frame) = g.frames.last_mut() {
+            if let Some(m) = unit.max_checkpoint {
+                let v = base + m;
+                frame.max_checkpoint = Some(frame.max_checkpoint.map_or(v, |c| c.max(v)));
+            }
+            if let Some(r) = unit.max_inst_depth_rel {
+                let v = depth + 1 + r;
+                frame.max_depth_rel = Some(frame.max_depth_rel.map_or(v, |c| c.max(v)));
+            }
+        }
+    }
+
+    fn emit_records(&self, records: Vec<InstanceRecord>) {
+        let mut g = self.lock();
+        match g.frames.last_mut() {
+            Some(frame) => frame.records.extend(records),
+            None => g.top.extend(records),
+        }
+    }
+
+    fn take_top_records(&self) -> Vec<InstanceRecord> {
+        std::mem::take(&mut self.lock().top)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The incremental instance path
+// ---------------------------------------------------------------------------
+
+/// The incremental replacement for the flat instance body: runs the exact
+/// flat preamble, then splices the instance's elaboration unit (building
+/// and caching it on miss) instead of inlining the child.
+pub(crate) fn elab_instance_inc<'a>(
+    ctx: &mut ModuleCtx<'a, '_>,
+    inst: &Instance,
+    engine: &'a IncEngine<'a>,
+) -> Result<(), NetlistError> {
+    engine.record_inst_depth(ctx.depth);
+    // Fragment depths are relative; replay the flat recursion guard against
+    // the absolute depth so recursive hierarchies terminate during builds.
+    let abs_depth = engine.depth_base() + ctx.depth;
+    if abs_depth > 64 {
+        return Err(ctx.err("instantiation depth exceeds 64 (recursive hierarchy?)"));
+    }
+    let (child, overrides, bindings, outputs) = ctx.instance_preamble(inst)?;
+    let child_prefix = format!("{}{}.", ctx.prefix, inst.name);
+
+    // Resolve the child's full parameter environment without touching the
+    // netlist (bind_params only evaluates constants).
+    let params = {
+        let mut scratch = Netlist::new("");
+        let mut tmp =
+            ModuleCtx::new(ctx.design, &mut scratch, child_prefix.clone(), ctx.depth + 1, ctx.limits);
+        tmp.bind_params(child, &overrides)?;
+        let mut params: Vec<(String, i64)> = tmp.params.into_iter().collect();
+        params.sort();
+        params
+    };
+
+    // The binding shape: per input port, the width of the bound parent net.
+    let mut shape: Vec<Option<u32>> = Vec::new();
+    let mut bound: Vec<NetId> = Vec::new();
+    for p in &child.ports {
+        if p.dir == Dir::Input {
+            match bindings.get(&p.name) {
+                Some(&net) => {
+                    shape.push(Some(ctx.nl.net(net).width));
+                    bound.push(net);
+                }
+                None => shape.push(None),
+            }
+        }
+    }
+
+    let key = UnitKey {
+        module: inst.module.clone(),
+        trans: engine.hashes.get(&inst.module).map(|h| h.trans).unwrap_or([0, 0]),
+        params,
+        shape,
+        max_cells: ctx.limits.max_cells,
+        max_net_bits: ctx.limits.max_net_bits,
+        max_replication: ctx.limits.max_replication,
+    };
+    let digest = key.digest();
+
+    let unit = match engine.cache.lookup(&key) {
+        Some(unit) => unit,
+        None => {
+            let built = build_unit(ctx, inst, engine, child, &overrides, &key.shape, abs_depth + 1)?;
+            engine.cache.insert(key, built)
+        }
+    };
+
+    let base = ctx.nl.cell_count() as u64;
+    if engine.in_frame() {
+        engine.absorb(base, ctx.depth, &unit);
+    } else {
+        // Splicing into the real netlist: replay the flat path's depth and
+        // budget decisions with the absolute base now known.
+        if let Some(r) = unit.max_inst_depth_rel {
+            if ctx.depth as u64 + 1 + r as u64 > 64 {
+                return Err(ctx.err("instantiation depth exceeds 64 (recursive hierarchy?)"));
+            }
+        }
+        if let Some(m) = unit.max_checkpoint {
+            if base + m > ctx.limits.max_cells as u64 {
+                return Err(NetlistError::too_large(format!(
+                    "{}cell count exceeds SNS_MAX_CELLS = {}",
+                    ctx.prefix, ctx.limits.max_cells
+                )));
+            }
+        }
+    }
+
+    let (net_base, cell_start) = ctx.nl.splice_fragment(&unit.frag, unit.n_ph, &bound, &child_prefix);
+
+    let path = format!("{}{}", ctx.prefix, inst.name);
+    let mut records = Vec::with_capacity(1 + unit.subs.len());
+    records.push(InstanceRecord {
+        path: path.clone(),
+        module: inst.module.clone(),
+        unit: digest,
+        cell_start,
+        cell_end: ctx.nl.cell_count() as u32,
+    });
+    for s in &unit.subs {
+        records.push(InstanceRecord {
+            path: format!("{path}.{}", s.path),
+            module: s.module.clone(),
+            unit: s.unit,
+            cell_start: cell_start + s.cell_start,
+            cell_end: cell_start + s.cell_end,
+        });
+    }
+    engine.emit_records(records);
+
+    // Connect child outputs to parent lvalues, exactly as the flat path.
+    let to_abs = |frag_net: NetId| -> NetId {
+        let k = frag_net.0 as usize;
+        if k < unit.n_ph {
+            bound.get(k).copied().unwrap_or(frag_net)
+        } else {
+            NetId(net_base + (k - unit.n_ph) as u32)
+        }
+    };
+    for (port_name, lv) in outputs {
+        let frag_net = unit
+            .outputs
+            .iter()
+            .find(|(name, _)| name == &port_name)
+            .map(|&(_, net)| net)
+            .ok_or_else(|| {
+                NetlistError::elab(format!(
+                    "{}`{}` has no declared output `{port_name}`",
+                    ctx.prefix, inst.module
+                ))
+            })?;
+        let abs = to_abs(frag_net);
+        ctx.drive_lvalue(&lv, abs)?;
+    }
+    Ok(())
+}
+
+/// Builds the elaboration unit for one instance shape: placeholder nets
+/// for the bound inputs, then the module body elaborated by the ordinary
+/// [`ModuleCtx`] machinery at a relative prefix and depth.
+fn build_unit<'a>(
+    ctx: &ModuleCtx<'a, '_>,
+    inst: &Instance,
+    engine: &'a IncEngine<'a>,
+    child: &Module,
+    overrides: &HashMap<String, i64>,
+    shape: &[Option<u32>],
+    abs_base: u32,
+) -> Result<Arc<ModuleUnit>, NetlistError> {
+    engine.push_frame(abs_base);
+    let result = (|| {
+        let mut frag = Netlist::new(inst.module.clone());
+        let mut ph: HashMap<String, NetId> = HashMap::new();
+        let mut n_ph = 0usize;
+        let mut shape_it = shape.iter();
+        for p in &child.ports {
+            if p.dir == Dir::Input {
+                if let Some(Some(width)) = shape_it.next() {
+                    let id = frag.add_net(*width, None);
+                    ph.insert(p.name.clone(), id);
+                    n_ph += 1;
+                }
+            }
+        }
+        let mut cctx = ModuleCtx::new(ctx.design, &mut frag, String::new(), 0, ctx.limits);
+        cctx.inc = Some(engine);
+        cctx.bind_params(child, overrides)?;
+        cctx.declare_ports(child, Some(&ph))?;
+        cctx.run(child)?;
+        let outputs: Vec<(String, NetId)> = child
+            .ports
+            .iter()
+            .filter(|p| p.dir == Dir::Output)
+            .filter_map(|p| cctx.signals.get(&p.name).map(|s| (p.name.clone(), s.net)))
+            .collect();
+        drop(cctx);
+        Ok((frag, n_ph, outputs))
+    })();
+    // Pop the frame whether or not the build succeeded (failed builds are
+    // not cached; the error propagates, as it does on the flat path).
+    let frame = engine.pop_frame();
+    let (frag, n_ph, outputs) = result?;
+    Ok(Arc::new(ModuleUnit {
+        frag,
+        n_ph,
+        outputs,
+        subs: frame.records,
+        max_checkpoint: frame.max_checkpoint,
+        max_inst_depth_rel: frame.max_depth_rel,
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// [`elaborate_incremental`] with explicit resource budgets.
+///
+/// # Errors
+///
+/// Exactly the failure conditions of
+/// [`crate::elaborate::elaborate_with_limits`] (the two paths agree on
+/// success/failure and on the error kind; see the module docs).
+pub fn elaborate_incremental_with_limits(
+    design: &Design,
+    top: &str,
+    cache: &ModuleElabCache,
+    limits: ElabLimits,
+) -> Result<(Netlist, ElabReport), NetlistError> {
+    let module = design
+        .module(top)
+        .ok_or_else(|| NetlistError::UnknownTop { name: top.to_string() })?;
+    let engine = IncEngine::new(design, cache);
+    let mut nl = Netlist::new(top);
+    let mut ctx = ModuleCtx::new(design, &mut nl, String::new(), 0, limits);
+    ctx.inc = Some(&engine);
+    ctx.bind_params(module, &HashMap::new())?;
+    ctx.declare_ports(module, None)?;
+    ctx.run(module)?;
+    nl.validate().map_err(NetlistError::elab)?;
+    let records = engine.take_top_records();
+    Ok((nl, ElabReport { records }))
+}
+
+/// Elaborates `top` through the per-module unit cache, producing a netlist
+/// **bit-identical** to [`crate::elaborate::elaborate`] plus an
+/// [`ElabReport`] mapping cell ranges back to the instance hierarchy.
+/// Budgets come from the environment, as on the flat path.
+///
+/// # Errors
+///
+/// See [`elaborate_incremental_with_limits`].
+pub fn elaborate_incremental(
+    design: &Design,
+    top: &str,
+    cache: &ModuleElabCache,
+) -> Result<(Netlist, ElabReport), NetlistError> {
+    elaborate_incremental_with_limits(design, top, cache, ElabLimits::from_env())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elaborate::{elaborate, elaborate_with_limits};
+    use crate::parser::parse_source;
+
+    /// Asserts cold- and warm-cache incremental elaboration both equal the
+    /// flat netlist, and returns the report of the warm run.
+    fn assert_inc_eq(src: &str, top: &str) -> ElabReport {
+        let design = parse_source(src).unwrap();
+        let flat = elaborate(&design, top).unwrap();
+        let cache = ModuleElabCache::default();
+        let (cold, _) = elaborate_incremental(&design, top, &cache).unwrap();
+        assert_eq!(flat, cold, "cold-cache incremental != flat for `{top}`");
+        let (warm, report) = elaborate_incremental(&design, top, &cache).unwrap();
+        assert_eq!(flat, warm, "warm-cache incremental != flat for `{top}`");
+        report
+    }
+
+    const HIER: &str = "
+        module leaf #(parameter W = 4) (input [W-1:0] a, input [W-1:0] b, output [W-1:0] y);
+            assign y = (a & b) + (a ^ b);
+        endmodule
+        module mid #(parameter W = 4) (input clk, input [W-1:0] a, input [W-1:0] b,
+                                       output [W-1:0] y);
+            wire [W-1:0] t;
+            reg [W-1:0] r;
+            leaf #(.W(W)) u0 (.a(a), .b(b), .y(t));
+            always @(posedge clk) r <= t;
+            assign y = r;
+        endmodule
+        module top (input clk, input [7:0] p, input [7:0] q, output [7:0] r, output [3:0] s);
+            wire [3:0] narrow;
+            mid #(.W(8)) m8 (.clk(clk), .a(p), .b(q), .y(r));
+            mid #(.W(4)) m4 (.clk(clk), .a(p[3:0]), .b(narrow), .y(s));
+            leaf u (.a(p[3:0]), .b(q[7:4]), .y(narrow));
+        endmodule";
+
+    #[test]
+    fn incremental_matches_flat_without_hierarchy() {
+        let report = assert_inc_eq(
+            "module mac (input clk, input [7:0] a, input [7:0] b, output [15:0] out);
+                 reg [15:0] acc;
+                 always @(posedge clk) acc <= acc + a * b;
+                 assign out = acc;
+             endmodule",
+            "mac",
+        );
+        assert!(report.records.is_empty());
+    }
+
+    #[test]
+    fn incremental_matches_flat_on_parameterized_hierarchy() {
+        let report = assert_inc_eq(HIER, "top");
+        // 3 direct instances + 1 leaf nested in each of the two mids.
+        assert_eq!(report.records.len(), 5);
+        assert_eq!(report.top_level().count(), 3);
+        let m8 = report.records.iter().find(|r| r.path == "m8").unwrap();
+        let m8_leaf = report.records.iter().find(|r| r.path == "m8.u0").unwrap();
+        assert!(m8.cell_start <= m8_leaf.cell_start && m8_leaf.cell_end <= m8.cell_end);
+        // The two `mid` instances have different parameters → different units.
+        let m4 = report.records.iter().find(|r| r.path == "m4").unwrap();
+        assert_ne!(m8.unit, m4.unit);
+        // ...but the 4-bit leaves (m4.u0 and the direct `u`) share a unit.
+        let m4_leaf = report.records.iter().find(|r| r.path == "m4.u0").unwrap();
+        let u = report.records.iter().find(|r| r.path == "u").unwrap();
+        assert_eq!(m4_leaf.unit, u.unit);
+    }
+
+    #[test]
+    fn incremental_matches_flat_with_memories_and_partials() {
+        assert_inc_eq(
+            "module store (input clk, input we, input [2:0] addr, input [7:0] d,
+                           output [7:0] q);
+                 reg [7:0] mem [0:7];
+                 always @(posedge clk) if (we) mem[addr] <= d;
+                 assign q = mem[addr];
+             endmodule
+             module top (input clk, input we, input [2:0] addr, input [7:0] d,
+                         output [15:0] y);
+                 wire [7:0] q;
+                 store s (.clk(clk), .we(we), .addr(addr), .d(d), .q(q));
+                 assign y[7:0] = q;
+                 assign y[15:8] = ~q;
+             endmodule",
+            "top",
+        );
+    }
+
+    #[test]
+    fn incremental_matches_flat_with_odd_bindings() {
+        // Unconnected inputs, width-mismatched bindings (both directions),
+        // an output into a concat lvalue, and a positional connection.
+        assert_inc_eq(
+            "module pass (input [7:0] a, input [7:0] b, output [7:0] y, output [7:0] z);
+                 assign y = a + b;
+                 assign z = a - b;
+             endmodule
+             module top (input [3:0] p, input [11:0] q, output [15:0] y);
+                 pass u (p, .b(q), .y({y[15:12], y[11:8]}), .z(y[7:0]));
+             endmodule",
+            "top",
+        );
+        assert_inc_eq(
+            "module pass (input [7:0] a, input [7:0] b, output [7:0] y);
+                 assign y = a & b;
+             endmodule
+             module top (input [7:0] p, output [7:0] y);
+                 pass u (.a(p), .y(y));
+             endmodule",
+            "top",
+        );
+    }
+
+    #[test]
+    fn shared_units_are_reused_across_designs() {
+        let leaf = "module leaf (input [3:0] a, input [3:0] b, output [3:0] y);
+                        assign y = (a & b) + (a ^ b);
+                    endmodule";
+        let design_a = parse_source(&format!(
+            "{leaf} module ta (input [3:0] x, output [3:0] y); leaf u (.a(x), .b(x), .y(y)); endmodule"
+        ))
+        .unwrap();
+        // design_b differs in whitespace/comments inside leaf — the unit
+        // must still be shared (content hashing is AST-level).
+        let leaf_b = "module   leaf(input [3:0] a, /* c */ input [3:0] b,
+                          output [3:0] y);
+                          assign y=(a&b)+(a^b); // same body
+                      endmodule";
+        let design_b = parse_source(&format!(
+            "{leaf_b} module tb (input [3:0] p, input [3:0] q, output [3:0] y);
+                 leaf v (.a(p), .b(q), .y(y));
+             endmodule"
+        ))
+        .unwrap();
+        let cache = ModuleElabCache::default();
+        elaborate_incremental(&design_a, "ta", &cache).unwrap();
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 0);
+        let (nl_b, _) = elaborate_incremental(&design_b, "tb", &cache).unwrap();
+        assert_eq!(cache.misses(), 1, "identical leaf content must not rebuild");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(nl_b, elaborate(&design_b, "tb").unwrap());
+    }
+
+    #[test]
+    fn body_edits_invalidate_only_changed_subtrees() {
+        let mid_top = "
+            module mid (input [3:0] a, output [3:0] y); leaf u (.a(a), .y(y)); endmodule
+            module top (input [3:0] a, output [3:0] y); mid m (.a(a), .y(y)); endmodule";
+        let v1 = parse_source(&format!(
+            "module leaf (input [3:0] a, output [3:0] y); assign y = a; endmodule {mid_top}"
+        ))
+        .unwrap();
+        let v2 = parse_source(&format!(
+            "module leaf (input [3:0] a, output [3:0] y); assign y = ~a; endmodule {mid_top}"
+        ))
+        .unwrap();
+        let cache = ModuleElabCache::default();
+        elaborate_incremental(&v1, "top", &cache).unwrap();
+        assert_eq!(cache.misses(), 2); // mid + leaf
+        let (nl2, _) = elaborate_incremental(&v2, "top", &cache).unwrap();
+        // The leaf changed → both leaf and mid rebuild (transitive hash).
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(nl2, elaborate(&v2, "top").unwrap());
+        // Re-running v1 hits everything.
+        let before = cache.misses();
+        elaborate_incremental(&v1, "top", &cache).unwrap();
+        assert_eq!(cache.misses(), before);
+    }
+
+    #[test]
+    fn counters_reconcile_under_capacity_pressure() {
+        let cache = ModuleElabCache::new(2);
+        for w in 1..=6u32 {
+            let src = format!(
+                "module leaf #(parameter W = 4) (input [W-1:0] a, output [W-1:0] y);
+                     assign y = ~a;
+                 endmodule
+                 module top (input [{hi}:0] x, output [{hi}:0] y);
+                     leaf #(.W({w})) u (.a(x), .y(y));
+                 endmodule",
+                hi = w - 1
+            );
+            let design = parse_source(&src).unwrap();
+            elaborate_incremental(&design, "top", &cache).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.len() as u64, cache.misses() - cache.evictions());
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn budget_errors_replay_from_cache() {
+        let src = "
+            module fat (input [7:0] a, output [7:0] y);
+                assign y = ((a + 8'd1) * (a + 8'd2)) ^ ((a - 8'd3) & (a | 8'd4));
+            endmodule
+            module top (input [7:0] p, output [7:0] y0, output [7:0] y1);
+                fat u0 (.a(p), .y(y0));
+                fat u1 (.a(y0), .y(y1));
+            endmodule";
+        let design = parse_source(src).unwrap();
+        let tight = ElabLimits { max_cells: 12, ..ElabLimits::default() };
+        let flat = elaborate_with_limits(&design, "top", tight);
+        assert!(matches!(flat, Err(NetlistError::TooLarge { .. })));
+        let cache = ModuleElabCache::default();
+        for _ in 0..2 {
+            // Cold then warm: both must reproduce the budget error.
+            let inc = elaborate_incremental_with_limits(&design, "top", &cache, tight);
+            assert!(matches!(inc, Err(NetlistError::TooLarge { .. })));
+        }
+        // And the loose-budget elaboration is unaffected (distinct keys).
+        let loose = elaborate_incremental(&design, "top", &cache).unwrap().0;
+        assert_eq!(loose, elaborate(&design, "top").unwrap());
+    }
+
+    #[test]
+    fn depth_errors_replay_from_cache() {
+        let src = "
+            module a (input x, output y); b u (.x(x), .y(y)); endmodule
+            module b (input x, output y); a u (.x(x), .y(y)); endmodule
+            module top (input x, output y); a u (.x(x), .y(y)); endmodule";
+        let design = parse_source(src).unwrap();
+        assert!(elaborate(&design, "top").is_err());
+        let cache = ModuleElabCache::default();
+        for _ in 0..2 {
+            assert!(elaborate_incremental(&design, "top", &cache).is_err());
+        }
+    }
+
+    #[test]
+    fn unbounded_and_clear_and_capacity() {
+        let cache = ModuleElabCache::unbounded();
+        assert_eq!(cache.capacity(), None);
+        let design = parse_source(
+            "module leaf (input x, output y); assign y = ~x; endmodule
+             module top (input x, output y); leaf u (.x(x), .y(y)); endmodule",
+        )
+        .unwrap();
+        elaborate_incremental(&design, "top", &cache).unwrap();
+        assert_eq!(cache.len(), 1);
+        cache.set_capacity(Some(0));
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.len() as u64, cache.misses() - cache.evictions());
+        cache.note_invalidations(3);
+        assert_eq!(cache.invalidations(), 3);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -54,6 +54,8 @@
 pub mod ast;
 pub mod elaborate;
 pub mod error;
+pub mod hash;
+pub mod incremental;
 pub mod lexer;
 pub mod netlist;
 pub mod parser;
@@ -61,6 +63,11 @@ pub mod sim;
 
 pub use elaborate::{elaborate, elaborate_with_limits, ElabLimits};
 pub use error::NetlistError;
+pub use hash::{design_hashes, module_hash, ModHash};
+pub use incremental::{
+    elaborate_incremental, elaborate_incremental_with_limits, ElabReport, InstanceRecord,
+    ModuleElabCache,
+};
 pub use lexer::{Lexer, Token, TokenKind};
 pub use netlist::{Cell, CellId, CellKind, Net, NetId, Netlist, Port, PortDir};
 pub use parser::parse_source;

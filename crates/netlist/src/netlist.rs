@@ -307,6 +307,57 @@ impl Netlist {
         m
     }
 
+    /// Splices a relocatable module fragment into this netlist.
+    ///
+    /// The fragment's first `n_ph` nets are *placeholders* standing in for
+    /// parent nets (the instance's bound input ports, in port order); they
+    /// are not copied — references to placeholder `k` are rewritten to
+    /// `bound[k]`. Every other fragment net is appended, so the k-th
+    /// non-placeholder net lands at id `net_base + k`, which is exactly
+    /// where inline elaboration of the same module body would have put it.
+    /// All fragment cells are appended in order, and `prefix` (the
+    /// instance's hierarchical prefix) is prepended to every copied net and
+    /// cell name, reproducing inline elaboration's naming byte for byte.
+    ///
+    /// Returns `(net_base, cell_start)`: the id of the first copied net and
+    /// the index of the first copied cell.
+    pub(crate) fn splice_fragment(
+        &mut self,
+        frag: &Netlist,
+        n_ph: usize,
+        bound: &[NetId],
+        prefix: &str,
+    ) -> (u32, u32) {
+        let net_base = self.nets.len() as u32;
+        let cell_start = self.cells.len() as u32;
+        let map = |id: NetId| -> NetId {
+            let k = id.0 as usize;
+            if k < n_ph {
+                // Invariant: bound.len() == n_ph (both derive from the
+                // unit's input-binding shape); stay total regardless.
+                bound.get(k).copied().unwrap_or(id)
+            } else {
+                NetId(net_base + (k - n_ph) as u32)
+            }
+        };
+        for net in frag.nets.iter().skip(n_ph) {
+            self.nets.push(Net {
+                width: net.width,
+                name: net.name.as_ref().map(|n| format!("{prefix}{n}")),
+            });
+        }
+        for cell in &frag.cells {
+            self.cells.push(Cell {
+                kind: cell.kind,
+                inputs: cell.inputs.iter().map(|&n| map(n)).collect(),
+                output: map(cell.output),
+                name: format!("{prefix}{}", cell.name),
+                attr: cell.attr,
+            });
+        }
+        (net_base, cell_start)
+    }
+
     /// Checks structural invariants: every net has at most one driver, cell
     /// connections are in range, and every cell has the arity its kind
     /// requires.

@@ -34,7 +34,9 @@
 //! # }
 //! ```
 
-use std::collections::HashSet;
+use std::borrow::Borrow;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use sns_rt::rng::{SliceRandom, StdRng};
 
@@ -158,6 +160,108 @@ impl CircuitPath {
     }
 }
 
+/// A sampled path in id-independent form: hierarchical vertex names (for
+/// provenance/critical-path reporting) plus the vocabulary token ids the
+/// Circuitformer consumes. Unlike [`CircuitPath`], this survives
+/// re-elaboration — names are stable across edits to other modules, raw
+/// [`VertexId`]s are not.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PortablePath {
+    /// Hierarchical vertex names along the path.
+    pub names: Vec<String>,
+    /// Dense vocabulary token ids along the path.
+    pub tokens: Vec<usize>,
+}
+
+/// A 128-bit signature of a terminal's forward sampling region; see
+/// [`PathSampler::terminal_signature`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RegionSig(pub u64, pub u64);
+
+/// All paths sampled from one terminal, keyed by its stable name, plus
+/// the region signature under which they were sampled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TerminalSample {
+    /// The terminal vertex's hierarchical name.
+    pub name: String,
+    /// Signature of the forward region the sample was drawn from.
+    pub signature: RegionSig,
+    /// The sampled paths, in deterministic DFS order.
+    pub paths: Vec<PortablePath>,
+}
+
+/// Result of [`PathSampler::resample`]: the merged per-terminal samples
+/// plus how many terminals were reused vs re-run. Samples are
+/// reference-counted so that reusing an untouched terminal is a pointer
+/// bump, not a deep clone of its path list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResampleOutcome {
+    /// Per-terminal samples for the new graph, in terminal-id order.
+    pub samples: Vec<Arc<TerminalSample>>,
+    /// Terminals whose cached sample was reused unchanged.
+    pub reused: usize,
+    /// Terminals whose forward region changed and were re-sampled.
+    pub resampled: usize,
+}
+
+/// Flattens per-terminal samples into one global path list (terminal
+/// order, then DFS order within a terminal), truncated to `max_paths` —
+/// the shape consumed by prediction. Accepts owned and reference-counted
+/// samples alike.
+pub fn flatten_samples<S: Borrow<TerminalSample>>(
+    samples: &[S],
+    max_paths: usize,
+) -> Vec<&PortablePath> {
+    samples.iter().flat_map(|s| s.borrow().paths.iter()).take(max_paths).collect()
+}
+
+/// FNV-1a over a byte string (terminal-name RNG seeding).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Reusable scratch for region-signature walks. The visited map is
+/// epoch-stamped: bumping the epoch invalidates every stamp at once, so
+/// consecutive terminals share one allocation and never re-zero it.
+#[derive(Debug, Default)]
+struct SigScratch {
+    visited: Vec<u32>,
+    epoch: u32,
+    work: Vec<VertexId>,
+}
+
+impl SigScratch {
+    /// Starts a new walk over a graph with `n` vertices; returns the
+    /// epoch that marks a vertex as visited in this walk.
+    fn begin(&mut self, n: usize) -> u32 {
+        if self.visited.len() < n {
+            self.visited.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: stale stamps could alias, so clear once.
+            self.visited.iter_mut().for_each(|v| *v = 0);
+            self.epoch = 1;
+        }
+        self.work.clear();
+        self.epoch
+    }
+}
+
+/// A vertex's successors ordered by hierarchical name instead of raw id,
+/// so traversal order survives id shifts from unrelated edits.
+fn ordered_successors(graph: &GraphIr, v: VertexId) -> Vec<VertexId> {
+    let mut s: Vec<VertexId> = graph.successors(v).to_vec();
+    s.sort_by(|a, b| {
+        graph.vertex(*a).name.cmp(&graph.vertex(*b).name).then(a.0.cmp(&b.0))
+    });
+    s
+}
+
 /// The DFS-based random path sampler (Algorithm 1).
 #[derive(Debug)]
 pub struct PathSampler {
@@ -249,6 +353,219 @@ impl PathSampler {
         }
         on_path[v.0 as usize] = false;
         stack.pop();
+    }
+
+    // ----------------------------------------------------------------
+    // Per-terminal incremental sampling
+    // ----------------------------------------------------------------
+
+    /// Samples one terminal into id-independent [`PortablePath`]s.
+    ///
+    /// Unlike [`PathSampler::sample`], the traversal here is a pure
+    /// function of the terminal's *named* forward region: successors are
+    /// visited in vertex-name order (names are hierarchical and survive
+    /// re-elaboration; raw [`VertexId`]s shift when other modules change
+    /// size) and the RNG is seeded from `config.seed ⊕ hash(terminal
+    /// name)`. Two graphs in which the terminal has an identical forward
+    /// region — equal [`terminal_signature`] — therefore yield identical
+    /// samples, which is what lets an ECO reuse cached paths for every
+    /// terminal the edit did not touch.
+    ///
+    /// [`terminal_signature`]: PathSampler::terminal_signature
+    pub fn sample_terminal(
+        &self,
+        graph: &GraphIr,
+        vocab: &Vocab,
+        start: VertexId,
+    ) -> TerminalSample {
+        self.sample_terminal_scratched(graph, vocab, start, &mut SigScratch::default())
+    }
+
+    fn sample_terminal_scratched(
+        &self,
+        graph: &GraphIr,
+        vocab: &Vocab,
+        start: VertexId,
+        scratch: &mut SigScratch,
+    ) -> TerminalSample {
+        let name = graph.vertex(start).name.clone();
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ fnv64(name.as_bytes()));
+        let mut paths: Vec<PortablePath> = Vec::new();
+        let mut seen: HashSet<Vec<VertexId>> = HashSet::new();
+        let mut stack: Vec<VertexId> = vec![start];
+        let mut on_path = vec![false; graph.vertex_count()];
+        for v in self.pick(&ordered_successors(graph, start), &mut rng) {
+            self.dfs_portable(
+                graph, vocab, v, &mut stack, &mut on_path, &mut paths, &mut seen, &mut rng,
+            );
+            if paths.len() >= self.config.max_paths {
+                break;
+            }
+        }
+        let signature = self.signature_scratched(graph, start, scratch);
+        TerminalSample { name, signature, paths }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs_portable(
+        &self,
+        graph: &GraphIr,
+        vocab: &Vocab,
+        v: VertexId,
+        stack: &mut Vec<VertexId>,
+        on_path: &mut [bool],
+        out: &mut Vec<PortablePath>,
+        seen: &mut HashSet<Vec<VertexId>>,
+        rng: &mut StdRng,
+    ) {
+        if out.len() >= self.config.max_paths
+            || stack.len() >= self.config.max_len.min(MAX_DFS_DEPTH)
+        {
+            return;
+        }
+        if on_path[v.0 as usize] {
+            return; // combinational loop guard
+        }
+        stack.push(v);
+        if graph.vertex(v).is_terminal() {
+            if !self.config.dedup || seen.insert(stack.clone()) {
+                out.push(PortablePath {
+                    names: stack.iter().map(|&x| graph.vertex(x).name.clone()).collect(),
+                    tokens: stack
+                        .iter()
+                        .filter_map(|&x| vocab.token_id(graph.vertex(x).vertex))
+                        .collect(),
+                });
+            }
+            stack.pop();
+            return;
+        }
+        on_path[v.0 as usize] = true;
+        for s in self.pick(&ordered_successors(graph, v), rng) {
+            self.dfs_portable(graph, vocab, s, stack, on_path, out, seen, rng);
+            if out.len() >= self.config.max_paths {
+                break;
+            }
+        }
+        on_path[v.0 as usize] = false;
+        stack.pop();
+    }
+
+    /// A 128-bit structural signature of the terminal's forward region —
+    /// everything [`PathSampler::sample_terminal`] can observe: the
+    /// terminal's own name, and for every vertex reachable through
+    /// non-terminal interiors its name, vocabulary token and (for expanded
+    /// vertices) the multiset of its successor names. Equal signatures
+    /// imply bit-identical [`TerminalSample`]s under the same
+    /// configuration and vocabulary.
+    pub fn terminal_signature(&self, graph: &GraphIr, start: VertexId) -> RegionSig {
+        self.signature_scratched(graph, start, &mut SigScratch::default())
+    }
+
+    /// [`terminal_signature`] with caller-owned scratch. The signature is
+    /// assembled commutatively — each region vertex contributes a chained
+    /// hash of its name, token and successor-name multiset, and the
+    /// contributions are summed — so the walk needs no sort and no
+    /// ordering guarantees, and the epoch-stamped visited map never
+    /// re-zeroes between terminals. This runs once per terminal on every
+    /// (re)sample, which makes it the fixed cost of a warm ECO pass.
+    ///
+    /// [`terminal_signature`]: PathSampler::terminal_signature
+    fn signature_scratched(
+        &self,
+        graph: &GraphIr,
+        start: VertexId,
+        scratch: &mut SigScratch,
+    ) -> RegionSig {
+        let epoch = scratch.begin(graph.vertex_count());
+        scratch.visited[start.0 as usize] = epoch;
+        scratch.work.push(start);
+        let (mut h0, mut h1) = (0xcbf2_9ce4_8422_2325u64, 0x6c62_272e_07bb_0142u64);
+        let mix = |h0: &mut u64, h1: &mut u64, bytes: &[u8]| {
+            for &b in bytes {
+                *h0 = (*h0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+                *h1 = (*h1 ^ b as u64).wrapping_mul(0x0000_0100_0000_01B5);
+            }
+            *h0 = (*h0 ^ 0xFF).wrapping_mul(0x0000_0100_0000_01B3);
+            *h1 = (*h1 ^ 0xFF).wrapping_mul(0x0000_0100_0000_01B5);
+        };
+        mix(&mut h0, &mut h1, graph.vertex(start).name.as_bytes());
+        let (mut a0, mut a1) = (0u64, 0u64);
+        while let Some(v) = scratch.work.pop() {
+            let info = graph.vertex(v);
+            let expanded = v == start || !info.is_terminal();
+            let (mut c0, mut c1) = (0xcbf2_9ce4_8422_2325u64, 0x6c62_272e_07bb_0142u64);
+            mix(&mut c0, &mut c1, info.name.as_bytes());
+            mix(&mut c0, &mut c1, info.vertex.token_name().as_bytes());
+            mix(&mut c0, &mut c1, &[expanded as u8]);
+            if expanded {
+                // Successor-name multiset: per-name hashes summed, so the
+                // storage order of the adjacency list is irrelevant.
+                let (mut s0, mut s1) = (0u64, 0u64);
+                for &s in graph.successors(v) {
+                    let (mut n0, mut n1) =
+                        (0xcbf2_9ce4_8422_2325u64, 0x6c62_272e_07bb_0142u64);
+                    mix(&mut n0, &mut n1, graph.vertex(s).name.as_bytes());
+                    s0 = s0.wrapping_add(n0);
+                    s1 = s1.wrapping_add(n1);
+                    if scratch.visited[s.0 as usize] != epoch {
+                        scratch.visited[s.0 as usize] = epoch;
+                        scratch.work.push(s);
+                    }
+                }
+                c0 = (c0 ^ s0).wrapping_mul(0x0000_0100_0000_01B3);
+                c1 = (c1 ^ s1).wrapping_mul(0x0000_0100_0000_01B5);
+            }
+            a0 = a0.wrapping_add(c0);
+            a1 = a1.wrapping_add(c1);
+        }
+        RegionSig(h0.wrapping_add(a0), h1.wrapping_add(a1))
+    }
+
+    /// Samples every terminal of the graph into per-terminal portable
+    /// samples, in terminal-id order (ports first, then registers in cell
+    /// order). [`flatten_samples`] turns the result into the global path
+    /// list consumed by prediction.
+    pub fn sample_by_terminal(&self, graph: &GraphIr, vocab: &Vocab) -> Vec<TerminalSample> {
+        let mut scratch = SigScratch::default();
+        graph
+            .terminals()
+            .into_iter()
+            .map(|t| self.sample_terminal_scratched(graph, vocab, t, &mut scratch))
+            .collect()
+    }
+
+    /// Re-samples a design after an edit, reusing the previous sample of
+    /// every terminal whose forward-region signature is unchanged and
+    /// re-running the DFS only for terminals the edit touched. The result
+    /// is bit-identical to [`PathSampler::sample_by_terminal`] on the new
+    /// graph from scratch.
+    pub fn resample(
+        &self,
+        graph: &GraphIr,
+        vocab: &Vocab,
+        prev: &HashMap<String, Arc<TerminalSample>>,
+    ) -> ResampleOutcome {
+        let mut scratch = SigScratch::default();
+        let mut samples = Vec::new();
+        let (mut reused, mut resampled) = (0, 0);
+        for t in graph.terminals() {
+            let name = &graph.vertex(t).name;
+            let sig = self.signature_scratched(graph, t, &mut scratch);
+            match prev.get(name) {
+                Some(old) if old.signature == sig => {
+                    reused += 1;
+                    samples.push(Arc::clone(old));
+                }
+                _ => {
+                    resampled += 1;
+                    samples.push(Arc::new(
+                        self.sample_terminal_scratched(graph, vocab, t, &mut scratch),
+                    ));
+                }
+            }
+        }
+        ResampleOutcome { samples, reused, resampled }
     }
 
     /// Chooses `⌈d / k⌉` successors (at least one, when any exist).
@@ -382,6 +699,141 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn single_vertex_path_is_rejected() {
         let _ = CircuitPath::new(vec![VertexId(0)]);
+    }
+
+    fn graph_of(src: &str, top: &str) -> GraphIr {
+        GraphIr::from_netlist(&parse_and_elaborate(src, top).unwrap())
+    }
+
+    const SHARED: &str = "module acc8 (input clk, input [7:0] a, output [7:0] y);
+                              reg [7:0] r;
+                              always @(posedge clk) r <= (r + a) ^ (r & a);
+                              assign y = r;
+                          endmodule";
+
+    #[test]
+    fn terminal_samples_survive_vertex_id_shifts() {
+        // Design B prepends an unrelated instance, shifting every vertex id
+        // of the shared accumulator — its terminal samples must not change.
+        let a = graph_of(
+            &format!("{SHARED} module ta (input clk, input [7:0] p, output [7:0] q);
+                          acc8 u (.clk(clk), .a(p), .y(q));
+                      endmodule"),
+            "ta",
+        );
+        let b = graph_of(
+            &format!("{SHARED}
+                      module noise (input [7:0] x, output [7:0] z);
+                          assign z = (x * 8'd3) + 8'd7;
+                      endmodule
+                      module tb (input clk, input [7:0] p, output [7:0] q, output [7:0] w);
+                          noise n (.x(p), .z(w));
+                          acc8 u (.clk(clk), .a(p), .y(q));
+                      endmodule"),
+            "tb",
+        );
+        let sampler = PathSampler::new(SampleConfig::paper_default().with_k(2));
+        let vocab = Vocab::new();
+        let find = |g: &GraphIr, name: &str| {
+            g.vertices_enumerated().find(|(_, v)| v.name == name).unwrap().0
+        };
+        let (ta, tb) = (find(&a, "u.r"), find(&b, "u.r"));
+        assert_ne!(ta, tb, "test needs a real id shift to be meaningful");
+        let sa = sampler.sample_terminal(&a, &vocab, ta);
+        let sb = sampler.sample_terminal(&b, &vocab, tb);
+        assert_eq!(sa.signature, sb.signature);
+        assert_eq!(sa, sb);
+        assert!(!sa.paths.is_empty());
+    }
+
+    #[test]
+    fn resample_reuses_untouched_terminals_and_matches_scratch() {
+        let mk = |leaf_body: &str| {
+            graph_of(
+                &format!(
+                    "module leaf (input [7:0] a, output [7:0] y); assign y = {leaf_body}; endmodule
+                     module keep (input clk, input [7:0] a, output [7:0] y);
+                         reg [7:0] r;
+                         always @(posedge clk) r <= r + a;
+                         assign y = r;
+                     endmodule
+                     module top (input clk, input [7:0] p, output [7:0] y0, output [7:0] y1);
+                         leaf l (.a(p), .y(y0));
+                         keep k (.clk(clk), .a(p), .y(y1));
+                     endmodule"
+                ),
+                "top",
+            )
+        };
+        let v1 = mk("a + 8'd1");
+        let v2 = mk("(a * 8'd5) ^ 8'h3C");
+        let sampler = PathSampler::new(SampleConfig::paper_default().with_k(2));
+        let vocab = Vocab::new();
+        let prev: HashMap<String, Arc<TerminalSample>> = sampler
+            .sample_by_terminal(&v1, &vocab)
+            .into_iter()
+            .map(|s| (s.name.clone(), Arc::new(s)))
+            .collect();
+        let outcome = sampler.resample(&v2, &vocab, &prev);
+        // The register's region is untouched; the edit rewires y0's region.
+        assert!(outcome.reused >= 1, "expected register terminal reuse");
+        assert!(outcome.resampled >= 1, "expected edited-region resampling");
+        let scratch: Vec<Arc<TerminalSample>> =
+            sampler.sample_by_terminal(&v2, &vocab).into_iter().map(Arc::new).collect();
+        assert_eq!(outcome.samples, scratch);
+    }
+
+    #[test]
+    fn signature_tracks_region_edits_only() {
+        let sampler = PathSampler::new(SampleConfig::paper_default());
+        let vocab = Vocab::new();
+        let g1 = graph_of(
+            "module m (input clk, input [7:0] a, output [7:0] y);
+                 reg [7:0] r;
+                 always @(posedge clk) r <= r + a;
+                 assign y = r;
+             endmodule",
+            "m",
+        );
+        let g2 = graph_of(
+            "module m (input clk, input [7:0] a, output [7:0] y);
+                 reg [7:0] r;
+                 always @(posedge clk) r <= r * a;
+                 assign y = r;
+             endmodule",
+            "m",
+        );
+        let find = |g: &GraphIr, name: &str| {
+            g.vertices_enumerated().find(|(_, v)| v.name == name).unwrap().0
+        };
+        // The register's region changed (add → mul) → new signature.
+        assert_ne!(
+            sampler.terminal_signature(&g1, find(&g1, "r")),
+            sampler.terminal_signature(&g2, find(&g2, "r"))
+        );
+        // The clock input's region is the register terminal itself in both.
+        assert_eq!(
+            sampler.terminal_signature(&g1, find(&g1, "clk")),
+            sampler.terminal_signature(&g2, find(&g2, "clk"))
+        );
+        let s1 = sampler.sample_terminal(&g1, &vocab, find(&g1, "clk"));
+        let s2 = sampler.sample_terminal(&g2, &vocab, find(&g2, "clk"));
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn flatten_respects_cap_and_order() {
+        let g = mac_graph();
+        let sampler = PathSampler::new(SampleConfig::exhaustive());
+        let samples = sampler.sample_by_terminal(&g, &Vocab::new());
+        let total: usize = samples.iter().map(|s| s.paths.len()).sum();
+        assert_eq!(flatten_samples(&samples, usize::MAX).len(), total);
+        assert_eq!(flatten_samples(&samples, 2).len(), 2.min(total));
+        // Flattened order is terminal order then DFS order.
+        let flat = flatten_samples(&samples, usize::MAX);
+        let manual: Vec<&PortablePath> =
+            samples.iter().flat_map(|s| s.paths.iter()).collect();
+        assert_eq!(flat, manual);
     }
 
     #[test]

@@ -4,6 +4,14 @@
 //! ```text
 //! cargo run -p sns-serve --example client -- 127.0.0.1:7878
 //! ```
+//!
+//! With `--patch`, demonstrates the ECO session flow instead: register a
+//! two-module design as an incremental session, then patch just the leaf
+//! module and re-predict through the warm session.
+//!
+//! ```text
+//! cargo run -p sns-serve --example client -- 127.0.0.1:7878 --patch
+//! ```
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -16,16 +24,21 @@ const MAC: &str = "module mac (input clk, input [7:0] a, b, output [15:0] y);
     assign y = acc;
 endmodule";
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:7878".to_string());
-    let body = Json::obj(vec![
-        ("verilog", Json::Str(MAC.to_string())),
-        ("top", Json::Str("mac".to_string())),
-        ("clock_ps", Json::Num(1500.0)),
-    ])
-    .print();
+const LEAF: &str = "module leaf #(parameter W = 8) (input [W-1:0] a, input [W-1:0] b, output [W-1:0] y);
+    assign y = (a & b) + 8'd3;
+endmodule";
 
-    let mut stream = TcpStream::connect(&addr)?;
+const TOP: &str = "module top (input [7:0] a, input [7:0] b, output [7:0] y);
+    wire [7:0] t0;
+    wire [7:0] t1;
+    leaf #(.W(8)) u0 (.a(a), .b(b), .y(t0));
+    leaf #(.W(8)) u1 (.a(t0), .b(a), .y(t1));
+    assign y = t0 ^ t1;
+endmodule";
+
+/// POST a JSON body to `/predict`, return (status line, parsed body).
+fn post(addr: &str, body: &str) -> Result<(String, Json), Box<dyn std::error::Error>> {
+    let mut stream = TcpStream::connect(addr)?;
     write!(
         stream,
         "POST /predict HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
@@ -33,18 +46,73 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let mut response = String::new();
     stream.read_to_string(&mut response)?;
-
     let (head, payload) = response.split_once("\r\n\r\n").ok_or("malformed response")?;
-    println!("{}", head.lines().next().unwrap_or(""));
-    let v = sns_rt::json::parse(payload)?;
-    println!("{}", v.print());
+    Ok((head.lines().next().unwrap_or("").to_string(), sns_rt::json::parse(payload)?))
+}
+
+fn print_prediction(v: &Json) -> Result<(), Box<dyn std::error::Error>> {
     if let (Ok(t), Ok(a), Ok(p)) = (v.get("timing_ps"), v.get("area_um2"), v.get("power_mw")) {
         println!(
-            "\n→ timing {:.0} ps, area {:.1} µm², power {:.3} mW",
+            "→ timing {:.0} ps, area {:.1} µm², power {:.3} mW",
             t.as_f64()?,
             a.as_f64()?,
             p.as_f64()?
         );
     }
     Ok(())
+}
+
+/// The ECO flow: `{"session": true}` to register a base, then
+/// `{"base", "patch"}` to re-predict an edited module incrementally.
+fn patch_demo(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let base_src = format!("{LEAF}\n{TOP}");
+    let body = Json::obj(vec![
+        ("verilog", Json::Str(base_src)),
+        ("top", Json::Str("top".to_string())),
+        ("session", Json::Bool(true)),
+    ])
+    .print();
+    let (status, v) = post(addr, &body)?;
+    println!("base session: {status}");
+    println!("{}", v.print());
+    print_prediction(&v)?;
+    let token = v.get("base")?.as_str()?.to_string();
+
+    // Patch only the leaf; the daemon re-elaborates the invalidated
+    // modules and reuses every untouched terminal sample.
+    let patched_leaf = LEAF.replace("8'd3", "8'd7");
+    let body = Json::obj(vec![
+        ("base", Json::Str(token)),
+        ("patch", Json::Str(patched_leaf)),
+    ])
+    .print();
+    let (status, v) = post(addr, &body)?;
+    println!("\neco patch: {status}");
+    println!("{}", v.print());
+    print_prediction(&v)?;
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    if args.iter().any(|a| a == "--patch") {
+        return patch_demo(&addr);
+    }
+
+    let body = Json::obj(vec![
+        ("verilog", Json::Str(MAC.to_string())),
+        ("top", Json::Str("mac".to_string())),
+        ("clock_ps", Json::Num(1500.0)),
+    ])
+    .print();
+    let (status, v) = post(&addr, &body)?;
+    println!("{status}");
+    println!("{}", v.print());
+    println!();
+    print_prediction(&v)
 }

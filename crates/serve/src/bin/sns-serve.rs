@@ -7,7 +7,8 @@
 //! ```
 //!
 //! Environment knobs: SNS_SERVE_WORKERS, SNS_QUEUE_CAP, SNS_MAX_BODY,
-//! SNS_DEADLINE_MS, SNS_CACHE_CAP, SNS_THREADS, SNS_BATCH.
+//! SNS_DEADLINE_MS, SNS_CACHE_CAP, SNS_THREADS, SNS_BATCH,
+//! SNS_SESSION_CAP, SNS_ELAB_CACHE_CAP.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -56,7 +57,7 @@ fn usage() -> ExitCode {
   sns-serve --train <n-designs>  [--addr <ip:port>]
 
 env: SNS_SERVE_WORKERS SNS_QUEUE_CAP SNS_MAX_BODY SNS_DEADLINE_MS
-     SNS_CACHE_CAP SNS_THREADS SNS_BATCH"
+     SNS_CACHE_CAP SNS_THREADS SNS_BATCH SNS_SESSION_CAP SNS_ELAB_CACHE_CAP"
     );
     ExitCode::from(2)
 }

@@ -15,10 +15,19 @@
 //!   (`timing_ps`, `area_um2`, `power_mw`, `path_count`,
 //!   `critical_path`, `runtime_us`, plus `slack_ps`/`meets_clock` when a
 //!   target clock was given). Responses are **bit-identical** to a
-//!   direct `SnsModel::predict_verilog` call.
+//!   direct `SnsModel::predict_verilog` call. Two incremental body
+//!   forms serve ECO workflows: `{"verilog", "top", "session": true}`
+//!   registers the design as a session and returns a content-addressed
+//!   `base` token, and `{"base": token, "patch": "<module sources>"}`
+//!   re-predicts through the warm session — only modules whose content
+//!   hash (or a transitively instantiated module's hash) changed are
+//!   re-elaborated, only terminals crossing them re-sampled, and the
+//!   answer is bit-identical to a from-scratch run (unknown/expired
+//!   base ⇒ `404`, `kind: "session"`).
 //! * **`GET /metrics`** — counters, queue/in-flight gauges, cache
-//!   hit/miss statistics, micro-batcher coalescing stats, and per-stage
-//!   log2 latency histograms, all maintained on plain atomics.
+//!   hit/miss statistics, module-elab-cache and session counters,
+//!   micro-batcher coalescing stats, and per-stage log2 latency
+//!   histograms, all maintained on plain atomics.
 //! * **`GET /healthz`** — liveness.
 //!
 //! ## Throughput under concurrency
@@ -62,5 +71,5 @@ pub mod server;
 
 pub use batcher::MicroBatcher;
 pub use http::{read_request, write_response, HttpError, Request};
-pub use metrics::{CacheStats, Histogram, Metrics};
+pub use metrics::{CacheStats, ElabCacheStats, Histogram, Metrics};
 pub use server::{ServeConfig, Server};

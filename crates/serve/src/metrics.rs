@@ -86,6 +86,11 @@ pub struct Metrics {
     pub predict_requests: AtomicU64,
     /// Predictions that completed with a 200.
     pub predict_ok: AtomicU64,
+    /// `/predict` requests that registered a design session
+    /// (`"session": true` or an ECO patch).
+    pub session_predicts: AtomicU64,
+    /// ECO requests (`{"base", "patch"}`) accepted for processing.
+    pub eco_requests: AtomicU64,
     /// Responses by status class.
     pub responses_2xx: AtomicU64,
     /// 4xx responses (bad requests, not-found, oversized bodies).
@@ -143,20 +148,47 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+/// Module-elaboration-cache statistics snapshot merged into the export
+/// by the server (the cache itself lives on the session store).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ElabCacheStats {
+    /// Elaboration units currently cached.
+    pub entries: usize,
+    /// Unit cap, if bounded.
+    pub capacity: Option<usize>,
+    /// Unit-key lookup hits.
+    pub hits: u64,
+    /// Unit-key lookup misses (each one elaborated a module body).
+    pub misses: u64,
+    /// Units evicted by the bound.
+    pub evictions: u64,
+    /// Modules invalidated by ECO patches (content hash changed, so the
+    /// old units became unreachable).
+    pub invalidations: u64,
+    /// Live design sessions available as ECO bases.
+    pub sessions: usize,
+}
+
 impl Metrics {
     fn g(v: &AtomicU64) -> Json {
         Json::UInt(v.load(Ordering::Relaxed))
     }
 
     /// The full `/metrics` document.
-    pub fn to_json(&self, cache: CacheStats) -> Json {
+    pub fn to_json(&self, cache: CacheStats, elab: ElabCacheStats) -> Json {
         let lookups = cache.hits + cache.misses;
         let hit_rate =
             if lookups == 0 { 0.0 } else { cache.hits as f64 / lookups as f64 };
+        let elab_lookups = elab.hits + elab.misses;
+        let elab_hit_rate =
+            if elab_lookups == 0 { 0.0 } else { elab.hits as f64 / elab_lookups as f64 };
         Json::obj(vec![
             ("requests_total", Self::g(&self.requests_total)),
             ("predict_requests", Self::g(&self.predict_requests)),
             ("predict_ok", Self::g(&self.predict_ok)),
+            ("session_predicts", Self::g(&self.session_predicts)),
+            ("eco_requests", Self::g(&self.eco_requests)),
+            ("sessions", Json::UInt(elab.sessions as u64)),
             (
                 "responses",
                 Json::obj(vec![
@@ -183,6 +215,21 @@ impl Metrics {
                     ("misses", Json::UInt(cache.misses)),
                     ("evictions", Json::UInt(cache.evictions)),
                     ("hit_rate", Json::Num(hit_rate)),
+                ]),
+            ),
+            (
+                "elab_cache",
+                Json::obj(vec![
+                    ("entries", Json::UInt(elab.entries as u64)),
+                    (
+                        "capacity",
+                        elab.capacity.map_or(Json::Null, |c| Json::UInt(c as u64)),
+                    ),
+                    ("hits", Json::UInt(elab.hits)),
+                    ("misses", Json::UInt(elab.misses)),
+                    ("evictions", Json::UInt(elab.evictions)),
+                    ("invalidations", Json::UInt(elab.invalidations)),
+                    ("hit_rate", Json::Num(elab_hit_rate)),
                 ]),
             ),
             (
@@ -247,17 +294,27 @@ mod tests {
         let m = Metrics::default();
         m.requests_total.fetch_add(3, Ordering::Relaxed);
         m.stage_total.record(Duration::from_millis(2));
-        let j = m.to_json(CacheStats {
-            entries: 7,
-            capacity: Some(100),
-            hits: 3,
-            misses: 1,
-            evictions: 0,
-        });
+        let j = m.to_json(
+            CacheStats { entries: 7, capacity: Some(100), hits: 3, misses: 1, evictions: 0 },
+            ElabCacheStats {
+                entries: 5,
+                capacity: Some(1024),
+                hits: 6,
+                misses: 7,
+                evictions: 2,
+                invalidations: 4,
+                sessions: 3,
+            },
+        );
         assert_eq!(j.get("requests_total").unwrap().as_u64().unwrap(), 3);
         let cache = j.get("cache").unwrap();
         assert_eq!(cache.get("capacity").unwrap().as_u64().unwrap(), 100);
         assert!((cache.get("hit_rate").unwrap().as_f64().unwrap() - 0.75).abs() < 1e-12);
+        let elab = j.get("elab_cache").unwrap();
+        assert_eq!(elab.get("entries").unwrap().as_u64().unwrap(), 5);
+        assert_eq!(elab.get("invalidations").unwrap().as_u64().unwrap(), 4);
+        assert!((elab.get("hit_rate").unwrap().as_f64().unwrap() - 6.0 / 13.0).abs() < 1e-12);
+        assert_eq!(j.get("sessions").unwrap().as_u64().unwrap(), 3);
         assert!(j.get("stages_us").unwrap().get("total").unwrap().get("count").is_ok());
         // The export is valid JSON text.
         sns_rt::json::parse(&j.print()).unwrap();

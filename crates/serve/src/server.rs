@@ -20,14 +20,15 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use sns_core::SnsModel;
+use sns_core::{SessionError, SessionOutcome, SessionStore, SnsModel};
 use sns_graphir::GraphIr;
+use sns_netlist::ModuleElabCache;
 use sns_rt::json::{parse as parse_json, Json};
 use sns_sampler::PathSampler;
 
 use crate::batcher::MicroBatcher;
 use crate::http::{lingering_close, read_request, write_response, HttpError, Request};
-use crate::metrics::{CacheStats, Metrics};
+use crate::metrics::{CacheStats, ElabCacheStats, Metrics};
 
 /// Reads a positive integer environment knob.
 fn env_usize(name: &str) -> Option<usize> {
@@ -57,6 +58,10 @@ pub struct ServeConfig {
     pub batch: usize,
     /// Socket read timeout while receiving a request.
     pub read_timeout: Duration,
+    /// Live design sessions retained as ECO bases (`SNS_SESSION_CAP`).
+    pub session_cap: usize,
+    /// Module-elaboration-unit cache entries (`SNS_ELAB_CACHE_CAP`).
+    pub elab_cache_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +78,8 @@ impl Default for ServeConfig {
             threads: sns_rt::pool::default_threads(),
             batch: sns_rt::pool::default_batch(),
             read_timeout: Duration::from_secs(10),
+            session_cap: sns_core::session::DEFAULT_SESSION_CAP,
+            elab_cache_cap: ModuleElabCache::DEFAULT_CAPACITY,
         }
     }
 }
@@ -81,7 +88,7 @@ impl ServeConfig {
     /// The default configuration with every `SNS_*` environment knob
     /// applied: `SNS_SERVE_WORKERS`, `SNS_QUEUE_CAP`, `SNS_MAX_BODY`,
     /// `SNS_DEADLINE_MS`, `SNS_CACHE_CAP` (0 = unbounded), `SNS_THREADS`,
-    /// `SNS_BATCH`.
+    /// `SNS_BATCH`, `SNS_SESSION_CAP`, `SNS_ELAB_CACHE_CAP`.
     pub fn from_env() -> Self {
         let mut c = ServeConfig::default();
         if let Some(n) = env_usize("SNS_SERVE_WORKERS") {
@@ -103,6 +110,12 @@ impl ServeConfig {
                 Err(_) => c.cache_cap,
             };
         }
+        if let Some(n) = env_usize("SNS_SESSION_CAP") {
+            c.session_cap = n;
+        }
+        if let Some(n) = env_usize("SNS_ELAB_CACHE_CAP") {
+            c.elab_cache_cap = n;
+        }
         c
     }
 }
@@ -112,6 +125,7 @@ struct Shared {
     metrics: Arc<Metrics>,
     batcher: MicroBatcher,
     config: ServeConfig,
+    sessions: SessionStore,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
@@ -152,11 +166,13 @@ impl Server {
             config.batch,
             Arc::clone(&metrics),
         );
+        let sessions = SessionStore::new(config.session_cap, config.elab_cache_cap);
         let shared = Arc::new(Shared {
             model,
             metrics,
             batcher,
             config,
+            sessions,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -190,6 +206,11 @@ impl Server {
     /// The live metrics registry.
     pub fn metrics(&self) -> Arc<Metrics> {
         Arc::clone(&self.shared.metrics)
+    }
+
+    /// The design-session store backing the ECO endpoint.
+    pub fn sessions(&self) -> &SessionStore {
+        &self.shared.sessions
     }
 
     /// Begins a graceful shutdown: stop accepting, let queued and
@@ -372,7 +393,17 @@ fn route(request: &Request, shared: &Shared) -> Reply {
                 misses: cache.misses(),
                 evictions: cache.evictions(),
             };
-            (200, Vec::new(), shared.metrics.to_json(stats))
+            let elab = shared.sessions.elab_cache();
+            let elab_stats = ElabCacheStats {
+                entries: elab.len(),
+                capacity: elab.capacity(),
+                hits: elab.hits(),
+                misses: elab.misses(),
+                evictions: elab.evictions(),
+                invalidations: elab.invalidations(),
+                sessions: shared.sessions.session_count(),
+            };
+            (200, Vec::new(), shared.metrics.to_json(stats, elab_stats))
         }
         ("GET", "/healthz") => (200, Vec::new(), Json::obj(vec![("status", Json::Str("ok".into()))])),
         (_, "/predict") | (_, "/metrics") | (_, "/healthz") => (
@@ -384,7 +415,14 @@ fn route(request: &Request, shared: &Shared) -> Reply {
     }
 }
 
-/// The parsed and validated `/predict` request body.
+/// The parsed and validated `/predict` request body: a classic one-shot
+/// prediction, a session-registering prediction, or an ECO patch.
+enum PredictBody {
+    Full(PredictInput),
+    Session { verilog: String, top: String, clock_ps: Option<f64> },
+    Patch { base: String, patch: String, clock_ps: Option<f64> },
+}
+
 struct PredictInput {
     verilog: String,
     top: String,
@@ -392,22 +430,52 @@ struct PredictInput {
     activity: Option<HashMap<String, f32>>,
 }
 
-fn parse_predict_body(body: &[u8]) -> Result<PredictInput, String> {
-    let text = std::str::from_utf8(body).map_err(|_| "body is not valid UTF-8".to_string())?;
-    let v = parse_json(text).map_err(|e| e.to_string())?;
-    let verilog =
-        v.get("verilog").and_then(Json::as_str).map_err(|e| e.to_string())?.to_string();
-    let top = v.get("top").and_then(Json::as_str).map_err(|e| e.to_string())?.to_string();
-    let clock_ps = match v.get("clock_ps") {
-        Err(_) => None,
+fn parse_clock_ps(v: &Json) -> Result<Option<f64>, String> {
+    match v.get("clock_ps") {
+        Err(_) => Ok(None),
         Ok(c) => {
             let ps = c.as_f64().map_err(|e| e.to_string())?;
             if !(ps.is_finite() && ps > 0.0) {
                 return Err(format!("clock_ps must be a positive number, got {ps}"));
             }
-            Some(ps)
+            Ok(Some(ps))
         }
+    }
+}
+
+fn parse_predict_body(body: &[u8]) -> Result<PredictBody, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not valid UTF-8".to_string())?;
+    let v = parse_json(text).map_err(|e| e.to_string())?;
+    let clock_ps = parse_clock_ps(&v)?;
+
+    // ECO form: {"base": token, "patch": module sources}.
+    if let Ok(base) = v.get("base") {
+        let base = base.as_str().map_err(|e| format!("base: {e}"))?.to_string();
+        let patch =
+            v.get("patch").and_then(Json::as_str).map_err(|e| format!("patch: {e}"))?.to_string();
+        if v.get("verilog").is_ok() {
+            return Err("give either {verilog, top} or {base, patch}, not both".to_string());
+        }
+        return Ok(PredictBody::Patch { base, patch, clock_ps });
+    }
+
+    let verilog =
+        v.get("verilog").and_then(Json::as_str).map_err(|e| e.to_string())?.to_string();
+    let top = v.get("top").and_then(Json::as_str).map_err(|e| e.to_string())?.to_string();
+
+    // Session form: {"verilog", "top", "session": true} registers the
+    // design as an ECO base and predicts through the incremental pipeline.
+    let session = match v.get("session") {
+        Err(_) => false,
+        Ok(s) => s.as_bool().map_err(|e| format!("session: {e}"))?,
     };
+    if session {
+        if v.get("activity").is_ok() {
+            return Err("session predictions do not take an activity map".to_string());
+        }
+        return Ok(PredictBody::Session { verilog, top, clock_ps });
+    }
+
     let activity = match v.get("activity") {
         Err(_) => None,
         Ok(Json::Obj(fields)) => {
@@ -425,7 +493,7 @@ fn parse_predict_body(body: &[u8]) -> Result<PredictInput, String> {
             return Err(format!("activity must be an object of register→coefficient, got {}", other.print()))
         }
     };
-    Ok(PredictInput { verilog, top, clock_ps, activity })
+    Ok(PredictBody::Full(PredictInput { verilog, top, clock_ps, activity }))
 }
 
 fn deadline_reply(stage: &str, shared: &Shared) -> Reply {
@@ -448,7 +516,13 @@ fn handle_predict(request: &Request, shared: &Shared) -> Reply {
     shared.metrics.predict_requests.fetch_add(1, Ordering::Relaxed);
 
     let input = match parse_predict_body(&request.body) {
-        Ok(input) => input,
+        Ok(PredictBody::Full(input)) => input,
+        Ok(PredictBody::Session { verilog, top, clock_ps }) => {
+            return handle_session(shared, &verilog, &top, clock_ps, start)
+        }
+        Ok(PredictBody::Patch { base, patch, clock_ps }) => {
+            return handle_patch(shared, &base, &patch, clock_ps, start)
+        }
         Err(msg) => return (400, Vec::new(), error_body(&msg, "json")),
     };
 
@@ -493,6 +567,17 @@ fn handle_predict(request: &Request, shared: &Shared) -> Reply {
     let pred = shared.model.predict_primed(&graph, &paths, &token_seqs, input.activity.as_ref(), start);
     shared.metrics.stage_aggregate.record(t.elapsed());
 
+    let fields = prediction_fields(&pred, input.clock_ps);
+    shared.metrics.predict_ok.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.stage_total.record(start.elapsed());
+    (200, Vec::new(), Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect()))
+}
+
+/// The `DesignPrediction` fields every successful `/predict` reply shares.
+fn prediction_fields(
+    pred: &sns_core::DesignPrediction,
+    clock_ps: Option<f64>,
+) -> Vec<(&'static str, Json)> {
     let mut fields = vec![
         ("timing_ps", Json::Num(pred.timing_ps)),
         ("area_um2", Json::Num(pred.area_um2)),
@@ -504,11 +589,81 @@ fn handle_predict(request: &Request, shared: &Shared) -> Reply {
         ),
         ("runtime_us", Json::UInt(u64::try_from(pred.runtime.as_micros()).unwrap_or(u64::MAX))),
     ];
-    if let Some(clock_ps) = input.clock_ps {
+    if let Some(clock_ps) = clock_ps {
         fields.push(("slack_ps", Json::Num(clock_ps - pred.timing_ps)));
         fields.push(("meets_clock", Json::Bool(pred.timing_ps <= clock_ps)));
     }
+    fields
+}
+
+/// Builds the 200 reply for a session-registering or ECO prediction:
+/// the shared prediction fields plus the session outcome (`base` token,
+/// which modules were re-elaborated, terminal-sample reuse counts).
+fn session_reply(
+    shared: &Shared,
+    outcome: &SessionOutcome,
+    clock_ps: Option<f64>,
+    start: Instant,
+) -> Reply {
+    let mut fields = prediction_fields(&outcome.prediction, clock_ps);
+    fields.push(("base", Json::Str(outcome.token.clone())));
+    fields.push((
+        "reelaborated",
+        Json::Arr(outcome.reelaborated.iter().map(|m| Json::Str(m.clone())).collect()),
+    ));
+    fields.push(("reused_terminals", Json::UInt(outcome.reused_terminals as u64)));
+    fields.push(("resampled_terminals", Json::UInt(outcome.resampled_terminals as u64)));
+    shared.metrics.session_predicts.fetch_add(1, Ordering::Relaxed);
     shared.metrics.predict_ok.fetch_add(1, Ordering::Relaxed);
     shared.metrics.stage_total.record(start.elapsed());
     (200, Vec::new(), Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect()))
+}
+
+/// `{"verilog", "top", "session": true}` — predict through the
+/// incremental pipeline and register the design as an ECO base.
+fn handle_session(
+    shared: &Shared,
+    verilog: &str,
+    top: &str,
+    clock_ps: Option<f64>,
+    start: Instant,
+) -> Reply {
+    let outcome = match shared.model.predict_session(&shared.sessions, verilog, top) {
+        Ok(o) => o,
+        Err(e) if e.is_budget() => return (422, Vec::new(), error_body(&e.to_string(), "budget")),
+        Err(e) => return (400, Vec::new(), error_body(&e.to_string(), "verilog")),
+    };
+    session_reply(shared, &outcome, clock_ps, start)
+}
+
+/// `{"base": token, "patch": module sources}` — merge the patch into the
+/// base session's design and re-predict incrementally.
+fn handle_patch(
+    shared: &Shared,
+    base: &str,
+    patch: &str,
+    clock_ps: Option<f64>,
+    start: Instant,
+) -> Reply {
+    shared.metrics.eco_requests.fetch_add(1, Ordering::Relaxed);
+    let outcome = match shared.model.predict_patch(&shared.sessions, base, patch) {
+        Ok(o) => o,
+        Err(SessionError::UnknownBase(token)) => {
+            return (
+                404,
+                Vec::new(),
+                error_body(
+                    &format!("unknown base design `{token}` (expired or never registered)"),
+                    "session",
+                ),
+            )
+        }
+        Err(SessionError::Front(e)) if e.is_budget() => {
+            return (422, Vec::new(), error_body(&e.to_string(), "budget"))
+        }
+        Err(SessionError::Front(e)) => {
+            return (400, Vec::new(), error_body(&e.to_string(), "verilog"))
+        }
+    };
+    session_reply(shared, &outcome, clock_ps, start)
 }

@@ -42,8 +42,11 @@ fi
 
 # Differential conformance: 200 fixed-seed random designs through the
 # sim-vs-gates / vsynth-invariant / predictor-determinism / serve-identity
-# oracles, plus bit-exact replay of every checked-in corpus regression,
-# and the nn serialization/optimizer property suite the oracles lean on.
+# oracles, the incremental-ECO oracle smoke (25 hierarchical designs x 3
+# random module edits, incremental ≡ from-scratch bit-for-bit) with its
+# content-hash identity/sensitivity/collision suite, plus bit-exact replay
+# of every checked-in corpus regression and the nn serialization/optimizer
+# property suite the oracles lean on.
 echo "==> cargo test -q -p sns-conformance -p sns-nn"
 cargo test -q -p sns-conformance -p sns-nn
 

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use sns::circuitformer::{CircuitformerConfig, TrainConfig};
 use sns::core::dataset::AugmentConfig;
-use sns::core::{train_sns, SnsModel, SnsTrainConfig};
+use sns::core::{train_sns, SessionStore, SnsModel, SnsTrainConfig};
 use sns::designs::{dsp, nonlinear, sort, vector, Design};
 use sns::rt::json::{parse as parse_json, Json};
 use sns::sampler::SampleConfig;
@@ -424,6 +424,109 @@ fn adversarial_batch_leaves_the_daemon_alive_and_bit_identical() {
     assert_eq!(m.get("responses").unwrap().get("4xx").unwrap().as_u64().unwrap(), 6);
     assert_eq!(m.get("responses").unwrap().get("5xx").unwrap().as_u64().unwrap(), 0);
     assert_eq!(m.get("predict_ok").unwrap().as_u64().unwrap(), 1);
+    server.join();
+}
+
+#[test]
+fn eco_session_and_patch_are_bit_identical_and_metered() {
+    let model = model();
+    let server = Server::start_shared(Arc::clone(&model), test_config()).unwrap();
+    let addr = server.addr();
+
+    // A small hierarchy: one shared leaf instantiated twice by the top.
+    let leaf = "module leaf #(parameter W = 8) (input [W-1:0] a, input [W-1:0] b, \
+                output [W-1:0] y);\n    assign y = (a & b) + 8'd3;\nendmodule\n";
+    let top = "module top (input [7:0] a, input [7:0] b, output [7:0] y);\n    \
+               wire [7:0] t0;\n    wire [7:0] t1;\n    \
+               leaf #(.W(8)) u0 (.a(a), .b(b), .y(t0));\n    \
+               leaf #(.W(8)) u1 (.a(t0), .b(a), .y(t1));\n    \
+               assign y = t0 ^ t1;\nendmodule\n";
+    let base_src = format!("{leaf}{top}");
+
+    // Register the base design as an ECO session.
+    let body = Json::obj(vec![
+        ("verilog", Json::Str(base_src.clone())),
+        ("top", Json::Str("top".into())),
+        ("session", Json::Bool(true)),
+    ])
+    .print();
+    let (status, resp) = post_json(addr, "/predict", &body);
+    assert_eq!(status, 200, "{}", resp.print());
+    let token = resp.get("base").unwrap().as_str().unwrap().to_string();
+    let reelab: Vec<String> = resp
+        .get("reelaborated")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_str().unwrap().to_string())
+        .collect();
+    assert!(reelab.iter().any(|m| m == "leaf"), "first session elaborates leaf: {reelab:?}");
+    assert!(reelab.iter().any(|m| m == "top"), "first session elaborates top: {reelab:?}");
+
+    // Patch the shared leaf: the top is transitively invalidated too.
+    let leaf2 = leaf.replace("8'd3", "8'd7");
+    let body = Json::obj(vec![
+        ("base", Json::Str(token.clone())),
+        ("patch", Json::Str(leaf2.clone())),
+    ])
+    .print();
+    let (status, patched) = post_json(addr, "/predict", &body);
+    assert_eq!(status, 200, "{}", patched.print());
+    let reelab: Vec<String> = patched
+        .get("reelaborated")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_str().unwrap().to_string())
+        .collect();
+    assert!(reelab.iter().any(|m| m == "leaf"), "patched leaf re-elaborates: {reelab:?}");
+    assert!(reelab.iter().any(|m| m == "top"), "transitive invalidation hits top: {reelab:?}");
+
+    // The HTTP patch answer is bit-identical to a from-scratch session
+    // prediction of the merged source on the very same model.
+    let merged = format!("{leaf2}{top}");
+    let direct = model.predict_session(&SessionStore::default(), &merged, "top").unwrap();
+    assert_eq!(patched.get("base").unwrap().as_str().unwrap(), direct.token, "patched token");
+    for (field, want) in [
+        ("timing_ps", direct.prediction.timing_ps),
+        ("area_um2", direct.prediction.area_um2),
+        ("power_mw", direct.prediction.power_mw),
+    ] {
+        let got = patched.get(field).unwrap().as_f64().unwrap();
+        assert_eq!(got.to_bits(), want.to_bits(), "{field}");
+    }
+    assert_eq!(
+        patched.get("path_count").unwrap().as_u64().unwrap(),
+        direct.prediction.path_count as u64
+    );
+
+    // A forgotten/garbage base token is a structured 404, not a hangup.
+    let body = Json::obj(vec![
+        ("base", Json::Str("not-a-token".into())),
+        ("patch", Json::Str(leaf.to_string())),
+    ])
+    .print();
+    let (status, resp) = post_json(addr, "/predict", &body);
+    assert_eq!(status, 404, "{}", resp.print());
+    assert_eq!(resp.get("kind").unwrap().as_str().unwrap(), "session");
+
+    // Metrics reconcile: two successful session-pipeline predictions, two
+    // ECO attempts (one 404), two live sessions (base + patched), and an
+    // elaboration cache whose entry count equals misses minus evictions
+    // with at least one invalidation from the leaf patch.
+    let (_, m) = get(addr, "/metrics");
+    assert_eq!(m.get("session_predicts").unwrap().as_u64().unwrap(), 2);
+    assert_eq!(m.get("eco_requests").unwrap().as_u64().unwrap(), 2);
+    assert_eq!(m.get("sessions").unwrap().as_u64().unwrap(), 2);
+    let elab = m.get("elab_cache").unwrap();
+    let entries = elab.get("entries").unwrap().as_u64().unwrap();
+    let misses = elab.get("misses").unwrap().as_u64().unwrap();
+    let evictions = elab.get("evictions").unwrap().as_u64().unwrap();
+    assert_eq!(entries, misses - evictions, "elab cache entry/miss reconciliation");
+    assert!(elab.get("hits").unwrap().as_u64().unwrap() >= 1, "shared leaf unit hits");
+    assert!(elab.get("invalidations").unwrap().as_u64().unwrap() >= 1, "leaf patch invalidates");
     server.join();
 }
 
