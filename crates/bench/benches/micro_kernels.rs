@@ -28,29 +28,50 @@ fn main() {
     sns_bench::headline("micro-kernels");
     let mut results = Vec::new();
 
-    // GEMM kernel layer: blocked vs. the retained naive reference on the
-    // shapes the Circuitformer actually hits — [T,128] activations against
-    // the 128×128 Q/K/V/O projections and the 128×512 (fast) / 128×2304
-    // (paper) FFN expansion, for path lengths T across the sampler's range.
+    // GEMM kernel layer: blocked (with small-m dispatch) and prepacked-B
+    // vs. the retained naive reference on the shapes the Circuitformer
+    // actually hits — [m,128] activations against the 128×128 Q/K/V/O
+    // projections and the 128×512 (fast) / 128×2304 (paper) FFN
+    // expansion. m ≤ 16 is the serving regime (small micro-batches, ECO
+    // recomputes) where per-call B-packing used to dominate; the larger
+    // m keep the training-shape trajectory visible.
     let mut gemm_rng = StdRng::seed_from_u64(2);
     let mut speedup_rows = Vec::new();
-    for &t in &[16usize, 64, 256, 512] {
+    for &t in &[1usize, 4, 8, 16, 64, 256, 512] {
         for &n in &[128usize, 512, 2304] {
             let a = rand_mat(&mut gemm_rng, t, 128);
             let b = rand_mat(&mut gemm_rng, 128, n);
+            let pb = sns_nn::PackedB::pack(b.as_slice(), 128, n);
             let blocked = bench(&format!("gemm_blocked_{t}x128x{n}"), || a.matmul(&b));
+            let prepacked =
+                bench(&format!("gemm_prepacked_{t}x128x{n}"), || a.matmul_prepacked(&pb));
             let naive = bench(&format!("gemm_naive_{t}x128x{n}"), || a.matmul_ref(&b));
             let speedup = naive.min.as_nanos() as f64 / blocked.min.as_nanos() as f64;
-            println!("    -> {t}x128x{n}: blocked is {speedup:.2}x the naive kernel");
+            let prepacked_speedup = naive.min.as_nanos() as f64 / prepacked.min.as_nanos() as f64;
+            println!(
+                "    -> {t}x128x{n}: blocked {speedup:.2}x, prepacked {prepacked_speedup:.2}x \
+                 the naive kernel"
+            );
             speedup_rows.push(Json::obj(vec![
                 ("m", Json::UInt(t as u64)),
                 ("k", Json::UInt(128)),
                 ("n", Json::UInt(n as u64)),
                 ("speedup", Json::Num(speedup)),
+                ("prepacked_speedup", Json::Num(prepacked_speedup)),
             ]));
             results.push(blocked);
+            results.push(prepacked);
             results.push(naive);
         }
+    }
+
+    // The gated int8 path on the serving shape (informational — the f32
+    // prepacked path is the production one).
+    {
+        let a = rand_mat(&mut gemm_rng, 16, 128);
+        let b = rand_mat(&mut gemm_rng, 128, 2304);
+        let qb = sns_nn::PackedBInt8::pack(b.as_slice(), 128, 2304);
+        results.push(bench("gemm_int8_16x128x2304", || a.matmul_prepacked_int8(&qb)));
     }
 
     // Front end.
@@ -76,6 +97,10 @@ fn main() {
     let long: Vec<usize> = (0..64).map(|i| i % 79).collect();
     results.push(bench("circuitformer_infer_len4", || model.predict_raw(&short)));
     results.push(bench("circuitformer_infer_len64", || model.predict_raw(&long)));
+    // The end-to-end serving unit: one path through the prepacked
+    // fused-QKV/tiled-attention batch path (what a cache-miss recompute
+    // or an ECO invalidation actually costs).
+    results.push(bench("circuitformer_single_path", || model.predict_batch(&[long.as_slice()])));
 
     // Batched inference: 32 paths through one packed forward vs. 32
     // sequential predict_raw calls (identical outputs, bigger GEMMs). Short

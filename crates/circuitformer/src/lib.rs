@@ -40,8 +40,8 @@ pub use train::{train, EpochStats, TrainConfig, TrainHistory};
 use sns_rt::rng::StdRng;
 
 use sns_nn::{
-    save_params, load_params, Embedding, Gelu, Grads, LayerNorm, Linear, Mat, ModelState, Param,
-    ParamRegistry, SeqSpan,
+    save_params, load_params, Embedding, Gelu, Grads, LayerNorm, Linear, Mat, ModelState,
+    PackedAttention, PackedLinear, Param, ParamRegistry, QuantMode, SeqSpan,
 };
 
 /// Hyperparameters of the Circuitformer.
@@ -121,16 +121,36 @@ impl Block {
     ///
     /// Every sub-layer is row-wise except attention, which is evaluated
     /// per span, so each packed sequence's rows come out bit-identical to
-    /// running [`Block::forward`] on that sequence alone.
-    fn infer(&self, x: &Mat, spans: &[SeqSpan]) -> Mat {
+    /// running [`Block::forward`] on that sequence alone. When a prepacked
+    /// snapshot is supplied, attention and the FFN run the prepacked
+    /// kernels (bit-identical in f32 mode, tolerance-bounded under int8).
+    fn infer(&self, x: &Mat, spans: &[SeqSpan], packed: Option<&PackedBlock>) -> Mat {
         let n1 = self.ln1.infer(x);
-        let a = self.attn.infer_masked(&n1, spans);
+        let a = match packed {
+            Some(p) => p.attn.infer_masked(&n1, spans),
+            None => self.attn.infer_masked(&n1, spans),
+        };
         let x1 = x.add(&a);
         let n2 = self.ln2.infer(&x1);
-        let h = self.ff1.infer(&n2);
+        let h = match packed {
+            Some(p) => p.ff1.infer(&n2),
+            None => self.ff1.infer(&n2),
+        };
         let g = Gelu.infer(&h);
-        let f = self.ff2.infer(&g);
+        let f = match packed {
+            Some(p) => p.ff2.infer(&g),
+            None => self.ff2.infer(&g),
+        };
         x1.add(&f)
+    }
+
+    /// Snapshots this block's attention + FFN weights into prepacked form.
+    fn prepack(&self, mode: QuantMode) -> PackedBlock {
+        PackedBlock {
+            attn: PackedAttention::pack(&self.attn, mode),
+            ff1: PackedLinear::pack(&self.ff1, mode),
+            ff2: PackedLinear::pack(&self.ff2, mode),
+        }
     }
 
     fn backward(&self, ctx: &BlockCtx, dy: &Mat, grads: &mut Grads) -> Mat {
@@ -163,6 +183,44 @@ impl Block {
     }
 }
 
+/// One encoder block's weights in prepacked, inference-ready form.
+#[derive(Debug, Clone)]
+struct PackedBlock {
+    attn: PackedAttention,
+    ff1: PackedLinear,
+    ff2: PackedLinear,
+}
+
+/// The model's prepacked inference plan: every block's fused-QKV
+/// attention and FFN projections plus the first regression-head layer,
+/// repacked once into GEMM panel layout. Built at construction/load and
+/// after training; dropped whenever parameters are mutated
+/// ([`Circuitformer::visit_mut`]) so stale packs can never be consulted —
+/// inference falls back to the unpacked (bit-identical) layers until the
+/// owner re-packs.
+///
+/// The quantization `mode` applies to the block layers only; the heads
+/// and embeddings always stay f32 (they are a rounding error of the FLOP
+/// budget, and the regression head's 3-wide output is the worst possible
+/// shape for per-column quantization).
+#[derive(Debug, Clone)]
+struct PackedPlan {
+    blocks: Vec<PackedBlock>,
+    head1: PackedLinear,
+    mode: QuantMode,
+}
+
+impl PackedPlan {
+    fn bytes(&self) -> usize {
+        self.head1.bytes()
+            + self
+                .blocks
+                .iter()
+                .map(|b| b.attn.bytes() + b.ff1.bytes() + b.ff2.bytes())
+                .sum::<usize>()
+    }
+}
+
 /// The Circuitformer model.
 #[derive(Debug, Clone)]
 pub struct Circuitformer {
@@ -174,6 +232,7 @@ pub struct Circuitformer {
     final_ln: LayerNorm,
     head1: Linear,
     head2: Linear,
+    packed: Option<PackedPlan>,
 }
 
 /// Saved forward state for [`Circuitformer::backward`].
@@ -200,7 +259,48 @@ impl Circuitformer {
         let final_ln = LayerNorm::new(&mut reg, config.dim);
         let head1 = Linear::new(&mut reg, config.dim, config.dim, rng);
         let head2 = Linear::new(&mut reg, config.dim, 3, rng);
-        Circuitformer { config, registry: reg, tok, pos, blocks, final_ln, head1, head2 }
+        let mut m = Circuitformer {
+            config,
+            registry: reg,
+            tok,
+            pos,
+            blocks,
+            final_ln,
+            head1,
+            head2,
+            packed: None,
+        };
+        m.prepack(QuantMode::F32);
+        m
+    }
+
+    /// Rebuilds the prepacked inference plan under `mode`. Called
+    /// automatically by [`new`](Self::new) and [`load`](Self::load) (f32 /
+    /// previous mode); call it explicitly after in-place training or to
+    /// switch quantization modes.
+    pub fn prepack(&mut self, mode: QuantMode) {
+        self.packed = Some(PackedPlan {
+            blocks: self.blocks.iter().map(|b| b.prepack(mode)).collect(),
+            head1: PackedLinear::pack(&self.head1, QuantMode::F32),
+            mode,
+        });
+    }
+
+    /// The quantization mode of the current prepacked plan
+    /// ([`QuantMode::F32`] when no plan is live).
+    pub fn quant_mode(&self) -> QuantMode {
+        self.packed.as_ref().map(|p| p.mode).unwrap_or_default()
+    }
+
+    /// Whether a prepacked plan is live (it drops on any parameter
+    /// mutation and returns after [`prepack`](Self::prepack)).
+    pub fn is_prepacked(&self) -> bool {
+        self.packed.is_some()
+    }
+
+    /// Resident bytes of the prepacked plan (0 when no plan is live).
+    pub fn prepack_bytes(&self) -> usize {
+        self.packed.as_ref().map(|p| p.bytes()).unwrap_or(0)
     }
 
     /// The model configuration.
@@ -307,8 +407,8 @@ impl Circuitformer {
         let te = self.tok.infer(&ids);
         let pe = self.pos.infer(&positions);
         let mut x = te.add(&pe);
-        for b in &self.blocks {
-            x = b.infer(&x, &spans);
+        for (i, b) in self.blocks.iter().enumerate() {
+            x = b.infer(&x, &spans, self.packed.as_ref().map(|p| &p.blocks[i]));
         }
         let n = self.final_ln.infer(&x);
         // Gather every sequence's CLS row into one [B, dim] head input.
@@ -316,7 +416,10 @@ impl Circuitformer {
         for (i, span) in spans.iter().enumerate() {
             cls.row_mut(i).copy_from_slice(n.row(span.start));
         }
-        let h = self.head1.infer(&cls);
+        let h = match &self.packed {
+            Some(p) => p.head1.infer(&cls),
+            None => self.head1.infer(&cls),
+        };
         let g = Gelu.infer(&h);
         let out = self.head2.infer(&g);
         (0..spans.len()).map(|i| [out.get(i, 0), out.get(i, 1), out.get(i, 2)]).collect()
@@ -352,7 +455,14 @@ impl Circuitformer {
     }
 
     /// Visits all parameters mutably.
+    ///
+    /// Any mutable visit drops the prepacked inference plan — the visitor
+    /// may rewrite weights (optimizer step, parameter load), and a stale
+    /// pack must never be consulted. Re-pack with
+    /// [`prepack`](Self::prepack) when mutation is done; until then
+    /// inference runs the unpacked (f32, bit-identical) layers.
     pub fn visit_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.packed = None;
         self.tok.visit_mut(f);
         self.pos.visit_mut(f);
         for b in &mut self.blocks {
@@ -368,13 +478,20 @@ impl Circuitformer {
         save_params(|f| self.visit(f))
     }
 
-    /// Restores parameters from a snapshot.
+    /// Restores parameters from a snapshot and rebuilds the prepacked
+    /// plan under the mode that was live before the load (f32 if none).
     ///
     /// # Errors
     ///
-    /// Returns an error if the snapshot does not match this architecture.
+    /// Returns an error if the snapshot does not match this architecture
+    /// (the plan is left dropped in that case — the parameters may be
+    /// partially overwritten, but the unpacked fallback stays coherent
+    /// with whatever they now hold).
     pub fn load(&mut self, state: &ModelState) -> Result<(), String> {
-        load_params(state, |f| self.visit_mut(f))
+        let mode = self.quant_mode();
+        load_params(state, |f| self.visit_mut(f))?;
+        self.prepack(mode);
+        Ok(())
     }
 }
 
@@ -503,6 +620,57 @@ mod tests {
                         solo[d]
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn prepack_lifecycle_tracks_mutation() {
+        let mut m = model();
+        // new() leaves a live f32 plan with real resident bytes.
+        assert!(m.is_prepacked());
+        assert_eq!(m.quant_mode(), sns_nn::QuantMode::F32);
+        assert!(m.prepack_bytes() > 0);
+        let packed_out = m.predict_batch(&[&[1usize, 2, 3][..]]);
+        // Any mutable visit drops the plan; the unpacked fallback is
+        // bit-identical.
+        m.visit_mut(&mut |_| {});
+        assert!(!m.is_prepacked());
+        assert_eq!(m.prepack_bytes(), 0);
+        let unpacked_out = m.predict_batch(&[&[1usize, 2, 3][..]]);
+        assert_eq!(packed_out, unpacked_out);
+        // Re-packing restores the plan and the outputs.
+        m.prepack(sns_nn::QuantMode::F32);
+        assert!(m.is_prepacked());
+        assert_eq!(m.predict_batch(&[&[1usize, 2, 3][..]]), packed_out);
+        // load() re-packs automatically.
+        let state = m.save();
+        m.visit_mut(&mut |_| {});
+        assert!(!m.is_prepacked());
+        m.load(&state).unwrap();
+        assert!(m.is_prepacked());
+        assert_eq!(m.predict_batch(&[&[1usize, 2, 3][..]]), packed_out);
+    }
+
+    #[test]
+    fn int8_mode_is_deterministic_and_close_to_f32() {
+        let mut m = model();
+        let paths: Vec<&[usize]> = vec![&[3, 40, 44, 9], &[1, 2, 3], &[7; 30]];
+        let f32_out = m.predict_batch(&paths);
+        m.prepack(sns_nn::QuantMode::Int8);
+        assert_eq!(m.quant_mode(), sns_nn::QuantMode::Int8);
+        let q1 = m.predict_batch(&paths);
+        let q2 = m.predict_batch(&paths);
+        assert_eq!(q1, q2, "int8 inference must be deterministic");
+        // Batch-invariance: each path solo under int8 equals its batched row.
+        for (i, p) in paths.iter().enumerate() {
+            assert_eq!(m.predict_batch(&[p])[0], q1[i], "int8 path {i} batch-variant");
+        }
+        // Tolerance versus f32 in normalized log space.
+        for (i, (qv, fv)) in q1.iter().zip(&f32_out).enumerate() {
+            for d in 0..3 {
+                let err = (qv[d] - fv[d]).abs();
+                assert!(err < 0.35, "path {i} dim {d}: int8 {} vs f32 {}", qv[d], fv[d]);
             }
         }
     }

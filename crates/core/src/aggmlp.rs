@@ -4,7 +4,7 @@
 
 use sns_rt::rng::{SliceRandom, StdRng};
 
-use sns_nn::{Grads, Linear, Mat, Optimizer, Relu, Sgd};
+use sns_nn::{Grads, Linear, Mat, Optimizer, PackedLinear, QuantMode, Relu, Sgd};
 
 /// Saved forward state for one backward pass through the four layers.
 type MlpFwdCtx = (
@@ -17,6 +17,18 @@ type MlpFwdCtx = (
     sns_nn::LinearCtx,
 );
 
+/// The four layers of an [`AggMlp`] in prepacked inference form. Always
+/// f32: the MLPs are microseconds per design, so the int8 path does not
+/// extend here — but the m=1 feature-vector GEMMs still benefit from
+/// skipping per-call weight packing.
+#[derive(Debug, Clone)]
+struct PackedMlp {
+    l1: PackedLinear,
+    l2: PackedLinear,
+    l3: PackedLinear,
+    out: PackedLinear,
+}
+
 /// One per-target Aggregation MLP (`input → 32 → 32 → 32 → 1`).
 #[derive(Debug, Clone)]
 pub struct AggMlp {
@@ -25,6 +37,7 @@ pub struct AggMlp {
     l2: Linear,
     l3: Linear,
     out: Linear,
+    packed: Option<PackedMlp>,
 }
 
 /// Training hyperparameters for the MLP (Table 6 row 2: SGD, batch 64,
@@ -65,7 +78,29 @@ impl AggMlp {
         let l2 = Linear::new(&mut reg, 32, 32, &mut rng);
         let l3 = Linear::new(&mut reg, 32, 32, &mut rng);
         let out = Linear::new(&mut reg, 32, 1, &mut rng);
-        AggMlp { registry: reg, l1, l2, l3, out }
+        let mut m = AggMlp { registry: reg, l1, l2, l3, out, packed: None };
+        m.prepack();
+        m
+    }
+
+    /// Rebuilds the prepacked inference snapshot (called by
+    /// [`new`](Self::new) and at the end of [`fit`](Self::fit); dropped by
+    /// any mutable parameter visit).
+    pub fn prepack(&mut self) {
+        self.packed = Some(PackedMlp {
+            l1: PackedLinear::pack(&self.l1, QuantMode::F32),
+            l2: PackedLinear::pack(&self.l2, QuantMode::F32),
+            l3: PackedLinear::pack(&self.l3, QuantMode::F32),
+            out: PackedLinear::pack(&self.out, QuantMode::F32),
+        });
+    }
+
+    /// Resident bytes of the prepacked layer panels (0 while mid-fit).
+    pub fn prepack_bytes(&self) -> usize {
+        self.packed
+            .as_ref()
+            .map(|p| p.l1.bytes() + p.l2.bytes() + p.l3.bytes() + p.out.bytes())
+            .unwrap_or(0)
     }
 
     /// Input feature dimensionality.
@@ -73,14 +108,25 @@ impl AggMlp {
         self.l1.in_dim()
     }
 
-    /// Predicts a scalar for one feature vector.
+    /// Predicts a scalar for one feature vector. Runs the prepacked
+    /// layers when a snapshot is live (bit-identical to the training
+    /// forward — both are f32 and honor the GEMM K-order contract), the
+    /// unpacked ones otherwise (mid-fit).
     ///
     /// # Panics
     ///
     /// Panics if `features.len() != input_dim()`.
     pub fn predict(&self, features: &[f32]) -> f32 {
         let x = Mat::from_rows(&[features]);
-        self.forward(&x).0.get(0, 0)
+        match &self.packed {
+            Some(p) => {
+                let a1 = Relu.infer(&p.l1.infer(&x));
+                let a2 = Relu.infer(&p.l2.infer(&a1));
+                let a3 = Relu.infer(&p.l3.infer(&a2));
+                p.out.infer(&a3).get(0, 0)
+            }
+            None => self.forward(&x).0.get(0, 0),
+        }
     }
 
     fn forward(&self, x: &Mat) -> (Mat, MlpFwdCtx) {
@@ -102,6 +148,10 @@ impl AggMlp {
     /// Panics if `data` is empty or a feature vector has the wrong width.
     pub fn fit(&mut self, data: &[(Vec<f32>, f32)], config: &MlpTrainConfig) -> Vec<f32> {
         assert!(!data.is_empty(), "no training data for the Aggregation MLP");
+        // The optimizer mutates layer parameters directly below, bypassing
+        // visit_mut's invalidation hook — drop the pack for the duration
+        // and rebuild it from the final weights on the way out.
+        self.packed = None;
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut opt = Sgd::new(config.lr, config.momentum);
         let mut order: Vec<usize> = (0..data.len()).collect();
@@ -137,6 +187,7 @@ impl AggMlp {
             }
             curve.push((epoch_loss / data.len() as f64) as f32);
         }
+        self.prepack();
         curve
     }
 
@@ -148,8 +199,12 @@ impl AggMlp {
         self.out.visit(f);
     }
 
-    /// Visits all parameters mutably.
+    /// Visits all parameters mutably. Drops the prepacked snapshot (the
+    /// visitor may rewrite weights); re-pack with
+    /// [`prepack`](Self::prepack) when done — prediction falls back to
+    /// the unpacked, bit-identical layers until then.
     pub fn visit_mut(&mut self, f: &mut dyn FnMut(&mut sns_nn::Param)) {
+        self.packed = None;
         self.l1.visit_mut(f);
         self.l2.visit_mut(f);
         self.l3.visit_mut(f);
@@ -184,6 +239,34 @@ mod tests {
         let curve = m.fit(&data, &cfg);
         assert!(curve.last().unwrap() < &0.01, "final loss {:?}", curve.last());
         assert!((m.predict(&[0.5, 0.5]) - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn packed_predict_is_bit_identical_and_tracks_mutation() {
+        let m = AggMlp::new(7, 9);
+        assert!(m.prepack_bytes() > 0);
+        let features: Vec<f32> = (0..7).map(|i| (i as f32 - 3.0) * 0.17).collect();
+        let packed_out = m.predict(&features);
+        let mut m2 = m.clone();
+        m2.visit_mut(&mut |_| {});
+        assert_eq!(m2.prepack_bytes(), 0);
+        let unpacked_out = m2.predict(&features);
+        assert_eq!(packed_out.to_bits(), unpacked_out.to_bits());
+        m2.prepack();
+        assert_eq!(m2.predict(&features).to_bits(), packed_out.to_bits());
+    }
+
+    #[test]
+    fn fit_leaves_a_fresh_pack() {
+        let mut m = AggMlp::new(2, 3);
+        let data = vec![(vec![0.1f32, 0.2], 0.5f32), (vec![0.3, 0.4], 0.7)];
+        let cfg = MlpTrainConfig { epochs: 3, batch_size: 2, lr: 1e-3, momentum: 0.9, seed: 1 };
+        m.fit(&data, &cfg);
+        assert!(m.prepack_bytes() > 0, "fit must re-pack its final weights");
+        // The pack reflects the trained weights, not the initial ones.
+        let mut unpacked = m.clone();
+        unpacked.packed = None;
+        assert_eq!(m.predict(&[0.1, 0.2]).to_bits(), unpacked.predict(&[0.1, 0.2]).to_bits());
     }
 
     #[test]

@@ -51,5 +51,6 @@ pub use eval::{cross_validate, CrossValidation, ScatterPoint};
 pub use metrics::{maep, rrse};
 pub use model_io::{load_model, save_model};
 pub use predictor::{DesignPrediction, SnsModel};
+pub use sns_nn::QuantMode;
 pub use session::{DesignSession, SessionError, SessionOutcome, SessionStore};
 pub use train::{train_sns, train_sns_on_labeled, SnsTrainConfig, TrainReport};

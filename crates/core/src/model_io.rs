@@ -145,6 +145,7 @@ pub fn load_model(path: impl AsRef<Path>) -> Result<SnsModel, String> {
     ];
     for (m, state) in mlps.iter_mut().zip(&saved.mlps) {
         load_params(state, |f| m.visit_mut(f))?;
+        m.prepack();
     }
     let sample = SampleConfig {
         k: saved.sample_k,
@@ -153,7 +154,7 @@ pub fn load_model(path: impl AsRef<Path>) -> Result<SnsModel, String> {
         seed: saved.sample_seed,
         dedup: true,
     };
-    Ok(SnsModel {
+    let mut model = SnsModel {
         circuitformer,
         path_scaler: saved.path_scaler,
         design_scaler: saved.design_scaler,
@@ -162,7 +163,15 @@ pub fn load_model(path: impl AsRef<Path>) -> Result<SnsModel, String> {
         sample,
         vocab,
         cache: PathPredictionCache::new(),
-    })
+    };
+    // The experimental int8 inference gate: consulted exactly once, at
+    // model load (per-call env reads would race between threads and make
+    // cached predictions mode-ambiguous). Programmatic switching is
+    // `SnsModel::set_quant_mode`.
+    if std::env::var("SNS_INT8").map(|v| v == "1").unwrap_or(false) {
+        model.set_quant_mode(sns_nn::QuantMode::Int8);
+    }
+    Ok(model)
 }
 
 #[cfg(test)]

@@ -68,8 +68,15 @@ impl SnsModel {
 
     /// Predicts the raw `[timing, area, power]` of a single path given as
     /// vocabulary token ids.
+    ///
+    /// Routed through the batched entry point (batch of one) so every
+    /// inference — including cache-miss recomputes inside the reductions —
+    /// runs the same prepacked kernels and quantization mode as the batch
+    /// path. In f32 mode this is bit-identical to the unbatched forward;
+    /// in int8 mode it keeps single-path values consistent with
+    /// batch-filled cache entries.
     pub fn predict_path(&self, tokens: &[usize]) -> [f64; 3] {
-        let z = self.circuitformer.predict_raw(tokens);
+        let z = self.circuitformer.predict_batch(&[tokens])[0];
         self.path_scaler.inverse(z)
     }
 
@@ -332,6 +339,34 @@ impl SnsModel {
     /// weights, which invalidates cached outputs.
     pub fn clear_cache(&self) {
         self.cache.clear();
+    }
+
+    /// Switches the Circuitformer's prepacked inference plan between f32
+    /// and int8 and drops the path-prediction cache (cached values carry
+    /// the arithmetic of the mode they were computed under, so they must
+    /// never survive a mode switch). The aggregation MLPs and scalers are
+    /// untouched — quantization applies to the transformer blocks only.
+    ///
+    /// This is the programmatic form of the `SNS_INT8=1` knob (the env
+    /// var is consulted once at model load, never per call, so tests and
+    /// concurrent servers can flip modes without env races).
+    pub fn set_quant_mode(&mut self, mode: sns_nn::QuantMode) {
+        self.circuitformer.prepack(mode);
+        self.cache.clear();
+    }
+
+    /// The quantization mode of the live prepacked plan.
+    pub fn quant_mode(&self) -> sns_nn::QuantMode {
+        self.circuitformer.quant_mode()
+    }
+
+    /// Resident bytes of all prepacked weight panels in this model: the
+    /// Circuitformer plan plus the aggregation MLPs' packed projections.
+    /// Surfaced through `/metrics` so operators can see what the
+    /// pack-once representation costs.
+    pub fn prepack_bytes(&self) -> usize {
+        self.circuitformer.prepack_bytes()
+            + self.mlps.iter().map(|m| m.prepack_bytes()).sum::<usize>()
     }
 
     /// Builds the Aggregation-MLP feature vector for target `dim`: the

@@ -160,6 +160,10 @@ pub fn train_sns_on_labeled(
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut circuitformer = Circuitformer::new(config.circuitformer.clone(), &mut rng);
     let cf_history = cf_train(&mut circuitformer, &train_set, &val_set, &config.cf_train);
+    // Training mutated the parameters (dropping the construction-time
+    // pack); snapshot the final weights so every inference below and every
+    // later prediction runs the prepacked kernels.
+    circuitformer.prepack(sns_nn::QuantMode::F32);
 
     // ---- Aggregation MLPs (§3.4) ----
     let design_labels: Vec<[f64; 3]> = entries

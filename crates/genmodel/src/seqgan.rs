@@ -165,12 +165,21 @@ impl SeqGan {
         loss_sum / batch.len().max(1) as f32
     }
 
+    /// Generator logits without backward contexts — the sampling loop
+    /// calls this once per generated token, so skipping the BPTT clones
+    /// matters (bit-identical to [`g_logits`](Self::g_logits)).
+    fn g_logits_infer(&self, input_ids: &[usize]) -> Mat {
+        let emb = self.g_emb.infer(input_ids);
+        let hs = self.g_gru.infer(&emb);
+        self.g_out.infer(&hs)
+    }
+
     /// Samples a sequence from the generator.
     pub fn sample(&self, rng: &mut StdRng, temperature: f32) -> Vec<usize> {
         let mut ids = vec![self.start_id()];
         let mut out = Vec::new();
         for _ in 0..self.cfg.max_len {
-            let (logits, _, _, _) = self.g_logits(&ids);
+            let logits = self.g_logits_infer(&ids);
             let last = logits.rows_slice(logits.rows() - 1, logits.rows());
             let scaled = last.scale(1.0 / temperature.max(1e-3));
             let probs = scaled.softmax_rows();
@@ -192,15 +201,18 @@ impl SeqGan {
         out
     }
 
-    /// Discriminator probability that `seq` is real.
+    /// Discriminator probability that `seq` is real. Scoring-only, so it
+    /// runs the ctx-free inference paths — no BPTT context clones for a
+    /// value that is immediately discarded (bit-identical to the training
+    /// forwards).
     pub fn discriminate(&self, seq: &[usize]) -> f32 {
         if seq.is_empty() {
             return 0.0;
         }
-        let (emb, _) = self.d_emb.forward(seq);
-        let (hs, _) = self.d_gru.forward(&emb);
+        let emb = self.d_emb.infer(seq);
+        let hs = self.d_gru.infer(&emb);
         let last = hs.rows_slice(hs.rows() - 1, hs.rows());
-        let (logit, _) = self.d_out.forward(&last);
+        let logit = self.d_out.infer(&last);
         sns_nn::act::sigmoid(logit.get(0, 0))
     }
 

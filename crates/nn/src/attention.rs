@@ -15,7 +15,7 @@
 
 use sns_rt::rng::StdRng;
 
-use crate::linear::{Linear, LinearCtx};
+use crate::linear::{Linear, LinearCtx, PackedLinear, PackedWeights, QuantMode};
 use crate::mat::Mat;
 use crate::param::{Grads, Param, ParamRegistry};
 
@@ -242,6 +242,137 @@ impl MultiHeadAttention {
     }
 }
 
+/// Query-row tile height of the streamed attention in
+/// [`PackedAttention::infer_masked`]: score tiles are `[TQ, padded]`, so
+/// peak attention scratch is `O(TQ · T)` instead of the `O(T²)` the
+/// materialized path allocates per head.
+const TQ: usize = 64;
+
+/// An inference-only snapshot of a [`MultiHeadAttention`] with two
+/// serving-path restructurings:
+///
+/// * **Fused QKV.** Wq, Wk and Wv are concatenated column-wise into one
+///   `[dim, 3·dim]` matrix and prepacked once, so the three input
+///   projections become a single prepacked GEMM per call. Each output
+///   element of a GEMM depends only on its own B column, so the fused
+///   product is bit-identical to the three separate ones.
+/// * **Tiled softmax·V.** Instead of materializing the full `[T, T]`
+///   score matrix per span and head, query rows stream through in blocks
+///   of [`TQ`]: each block computes its `[tq, padded]` score tile
+///   (`gemm_nt`), scales, span-masks, softmaxes and multiplies into V —
+///   then the tile is dropped. A true flash-attention running-max/sum
+///   rescale would *change the reduction order* and break the mandated
+///   f32 bit-identity, so the tiling is over whole query rows only: every
+///   per-row max/exp/sum/divide happens in exactly the
+///   [`Mat::softmax_rows`] op order, and every GEMM row is the same
+///   ascending-k reduction regardless of tile height. In
+///   [`QuantMode::F32`] the result is therefore bit-identical to
+///   [`MultiHeadAttention::infer_masked`]; memory never exceeds
+///   `O(TQ · T)` per attention tile.
+///
+/// Under [`QuantMode::Int8`] the QKV and output projections run the
+/// quantized prepacked kernel (tolerance-bounded, not bit-compared); the
+/// softmax·V arithmetic itself always stays f32.
+#[derive(Debug, Clone)]
+pub struct PackedAttention {
+    qkv: PackedWeights,
+    qkv_bias: Vec<f32>,
+    wo: PackedLinear,
+    heads: usize,
+    dim: usize,
+}
+
+impl PackedAttention {
+    /// Snapshots `mha` under `mode`, fusing the Q/K/V projections.
+    pub fn pack(mha: &MultiHeadAttention, mode: QuantMode) -> PackedAttention {
+        let dim = mha.dim;
+        let mut fused = Mat::zeros(dim, 3 * dim);
+        for l in 0..dim {
+            let row = fused.row_mut(l);
+            row[..dim].copy_from_slice(mha.wq.weight().row(l));
+            row[dim..2 * dim].copy_from_slice(mha.wk.weight().row(l));
+            row[2 * dim..].copy_from_slice(mha.wv.weight().row(l));
+        }
+        let mut qkv_bias = Vec::with_capacity(3 * dim);
+        qkv_bias.extend_from_slice(mha.wq.bias());
+        qkv_bias.extend_from_slice(mha.wk.bias());
+        qkv_bias.extend_from_slice(mha.wv.bias());
+        PackedAttention {
+            qkv: PackedWeights::pack(&fused, mode),
+            qkv_bias,
+            wo: PackedLinear::pack(&mha.wo, mode),
+            heads: mha.heads,
+            dim,
+        }
+    }
+
+    /// Number of heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Resident bytes of the packed projections.
+    pub fn bytes(&self) -> usize {
+        self.qkv.bytes() + self.wo.bytes()
+    }
+
+    /// Whether the projections are int8-quantized.
+    pub fn is_int8(&self) -> bool {
+        self.qkv.is_int8()
+    }
+
+    /// Copies `rows` rows of the `dh`-wide column window at `col0` out of
+    /// the packed `[ΣT, 3·dim]` QKV matrix.
+    fn window(qkv: &Mat, row0: usize, rows: usize, col0: usize, dh: usize) -> Mat {
+        let mut out = Mat::zeros(rows, dh);
+        for r in 0..rows {
+            out.row_mut(r).copy_from_slice(&qkv.row(row0 + r)[col0..col0 + dh]);
+        }
+        out
+    }
+
+    /// Batched, masked self-attention — the packed counterpart of
+    /// [`MultiHeadAttention::infer_masked`], with the same span/masking
+    /// semantics (see there) and, in f32 mode, bit-identical output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if spans overlap `x` out of bounds or `valid > padded`.
+    pub fn infer_masked(&self, x: &Mat, spans: &[SeqSpan]) -> Mat {
+        let qkv = self.qkv.matmul(x).add_row_broadcast(&self.qkv_bias);
+        let dh = self.dim / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut concat = Mat::zeros(x.rows(), self.dim);
+        for &span in spans {
+            assert!(span.valid <= span.padded, "span valid exceeds padded");
+            assert!(span.start + span.padded <= x.rows(), "span out of bounds");
+            for h in 0..self.heads {
+                let kh = Self::window(&qkv, span.start, span.padded, self.dim + h * dh, dh);
+                let vh = Self::window(&qkv, span.start, span.padded, 2 * self.dim + h * dh, dh);
+                let mut qb = 0;
+                while qb < span.padded {
+                    let tq = TQ.min(span.padded - qb);
+                    let qh = Self::window(&qkv, span.start + qb, tq, h * dh, dh);
+                    let mut scores = qh.matmul_nt(&kh).scale(scale);
+                    if span.valid < span.padded {
+                        for r in 0..tq {
+                            scores.row_mut(r)[span.valid..].fill(f32::NEG_INFINITY);
+                        }
+                    }
+                    let a = scores.softmax_rows();
+                    let ctxh = a.matmul(&vh);
+                    for r in 0..tq {
+                        concat.row_mut(span.start + qb + r)[h * dh..(h + 1) * dh]
+                            .copy_from_slice(ctxh.row(r));
+                    }
+                    qb += tq;
+                }
+            }
+        }
+        self.wo.infer(&concat)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,5 +526,67 @@ mod tests {
         let (_, a) = setup(8, 2);
         let x = Mat::zeros(4, 8);
         let _ = a.infer_masked(&x, &[SeqSpan::dense(2, 3)]);
+    }
+
+    /// Fused-QKV + tiled softmax·V is bit-identical to the unpacked
+    /// masked path across span layouts that cross the TQ tile boundary,
+    /// carry padding, or are empty.
+    #[test]
+    fn packed_attention_f32_is_bit_identical() {
+        let (_, a) = setup(8, 2);
+        let p = PackedAttention::pack(&a, QuantMode::F32);
+        assert!(!p.is_int8());
+        assert!(p.bytes() >= (3 * 8 * 8 + 8 * 8) * 4);
+        let mut rng = StdRng::seed_from_u64(31);
+        // Span lengths: tiny, exactly TQ, crossing TQ, padded, empty.
+        let spans = [
+            SeqSpan::dense(0, 1),
+            SeqSpan::dense(1, 64),
+            SeqSpan { start: 65, valid: 70, padded: 77 },
+            SeqSpan { start: 142, valid: 0, padded: 0 },
+            SeqSpan { start: 142, valid: 3, padded: 5 },
+        ];
+        let total = 147;
+        let x = rand_mat(total, 8, &mut rng);
+        let want = a.infer_masked(&x, &spans);
+        let got = p.infer_masked(&x, &spans);
+        for span in &spans {
+            for r in 0..span.valid {
+                for c in 0..8 {
+                    assert_eq!(
+                        got.get(span.start + r, c).to_bits(),
+                        want.get(span.start + r, c).to_bits(),
+                        "span@{} row {r} col {c}",
+                        span.start
+                    );
+                }
+            }
+        }
+    }
+
+    /// Int8 packed attention stays within a small relative error of f32
+    /// on valid rows and is deterministic.
+    #[test]
+    fn packed_attention_int8_is_close() {
+        let (_, a) = setup(8, 2);
+        let p = PackedAttention::pack(&a, QuantMode::Int8);
+        assert!(p.is_int8());
+        let mut rng = StdRng::seed_from_u64(32);
+        let spans = [SeqSpan::dense(0, 5), SeqSpan { start: 5, valid: 4, padded: 6 }];
+        let x = rand_mat(11, 8, &mut rng);
+        let want = a.infer_masked(&x, &spans);
+        let got = p.infer_masked(&x, &spans);
+        assert_eq!(got, p.infer_masked(&x, &spans), "int8 attention must be deterministic");
+        let (mut num, mut den) = (0.0f64, 0.0f64);
+        for span in &spans {
+            for r in 0..span.valid {
+                for (gv, wv) in got.row(span.start + r).iter().zip(want.row(span.start + r)) {
+                    num += (*gv as f64 - *wv as f64).powi(2);
+                    den += (*wv as f64).powi(2);
+                }
+            }
+        }
+        let rel = (num / den.max(1e-30)).sqrt();
+        assert!(rel < 0.15, "int8 attention relative error {rel}");
     }
 }

@@ -6,6 +6,22 @@
 //! `KC × NC` panel of B and an `MC × KC` panel of A into contiguous
 //! micro-panels, then sweep the micro-kernel over the block).
 //!
+//! On top of that sit two serving-oriented additions:
+//!
+//! * **Shape-aware dispatch.** For `m <= SMALL_M` output rows the packing
+//!   overhead of the blocked driver is paid on `k·n` elements while the
+//!   useful work is only `m·k·n` — at `m = 16` the blocked kernel used to
+//!   *lose* to the naive loop on wide B. Small-m products now route to
+//!   [`gemm_nn_smallm`], an l-outer "jammed" kernel that streams B exactly
+//!   once and keeps a j-tile of the output in L1, with no packing at all.
+//! * **Prepacked B.** [`PackedB`] stores a weight matrix in exactly the
+//!   `[kc][NR]` panel layout the blocked driver would build per call, so
+//!   [`gemm_prepacked_nn`] skips `pack_b` entirely: the per-call cost at
+//!   small m is just A-packing (tiny) plus micro-kernels. Weights are
+//!   packed once at model load and reused by every inference.
+//!   [`PackedBInt8`] is the quantized variant (symmetric per-output-column
+//!   scales, i32 accumulation) behind the experimental `SNS_INT8` path.
+//!
 //! # The K-order contract
 //!
 //! Every output element is produced by the *same additive reduction as the
@@ -16,9 +32,16 @@
 //! reloaded, which is exactly what the naive loop's memory accumulator
 //! does), so results are **bit-identical** to the retained references
 //! [`Mat::matmul_ref`], [`Mat::matmul_tn_ref`] and [`Mat::matmul_nt_ref`]
-//! at every shape. Tile edges are handled by zero-padding the packed
-//! panels: padded lanes accumulate into accumulator slots that are never
-//! written back, so real elements see no extra additions.
+//! at every shape. The small-m and prepacked drivers honor the same
+//! contract (the jammed kernel is the naive loop with `l` hoisted outward
+//! and `j` tiled — each element's reduction order is unchanged; the
+//! prepacked driver runs the identical block schedule, it just reads the
+//! B panels from the prepacked buffer). Tile edges are handled by
+//! zero-padding the packed panels: padded lanes accumulate into
+//! accumulator slots that are never written back, so real elements see no
+//! extra additions. The int8 path is the one deliberate exception — it is
+//! *not* bit-identical to f32 (it trades a bounded relative error for
+//! bandwidth) and is validated by tolerance oracles instead.
 //!
 //! The old element-level `a == 0.0` skip is gone — on dense embedding
 //! activations it was a branch per multiply that blocked vectorization.
@@ -27,6 +50,8 @@
 //! detected up front in one cheap scan and skipped as whole micro-tiles.
 //! A zero A row contributes only `±0.0` products whose running sum stays
 //! `+0.0`, so the skip is value-identical too.
+
+use std::cell::RefCell;
 
 /// Micro-kernel rows (register tile height).
 pub const MR: usize = 4;
@@ -38,6 +63,49 @@ const KC: usize = 256;
 const NC: usize = 512;
 /// M-dimension block: rows of A packed per panel.
 const MC: usize = 128;
+
+/// Largest `m` routed to the pack-free jammed kernel by [`gemm_nn`].
+/// Below this the per-call `pack_b` traffic (`k·n` elements) dominates
+/// the `m·k·n` useful work and the blocked driver stops paying for
+/// itself (BENCH_kernels.json: 0.93x at 16×128×2304 before dispatch).
+pub const SMALL_M: usize = 16;
+/// Minimum output j-tile width of the jammed kernel.
+const SMALL_J: usize = 256;
+/// Output-tile budget of the jammed kernel, in f32 (16 KiB): the j-tile
+/// widens to `OUT_TILE_F32 / m` so a 1-row product walks whole B rows
+/// sequentially (the prefetch-friendly naive pattern) while m = 16 keeps
+/// the original 256-column tile.
+const OUT_TILE_F32: usize = 4096;
+
+thread_local! {
+    /// Per-thread packing scratch reused across calls: the blocked driver
+    /// used to allocate fresh `ap`/`bp` panel buffers (up to ~0.5 MiB for
+    /// bp) on *every* invocation, which at m=16 was measurable allocator
+    /// traffic. The buffers only grow; the driver zero-fills exactly the
+    /// panel region it packs, so stale contents are never observed.
+    static PACK_SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Borrows the thread-local `(ap, bp)` packing scratch, grown to at least
+/// the requested lengths. Not reentrant — the driver never calls user
+/// code while holding the borrow.
+fn with_pack_scratch<R>(
+    ap_len: usize,
+    bp_len: usize,
+    f: impl FnOnce(&mut [f32], &mut [f32]) -> R,
+) -> R {
+    PACK_SCRATCH.with(|s| {
+        let (ap, bp) = &mut *s.borrow_mut();
+        if ap.len() < ap_len {
+            ap.resize(ap_len, 0.0);
+        }
+        if bp.len() < bp_len {
+            bp.resize(bp_len, 0.0);
+        }
+        f(&mut ap[..], &mut bp[..])
+    })
+}
 
 /// The portable register micro-kernel:
 /// `acc[r][c] += Σ_l ap[l][r] · bp[l][c]` with `l` ascending. `ap` is an
@@ -137,51 +205,78 @@ fn gemm_driver<PA, PB>(
     if k == 0 {
         return; // out stays zero, matching an empty reduction
     }
-    let mut bp = vec![0.0f32; NC.min(n).div_ceil(NR) * NR * KC.min(k)];
-    let mut ap = vec![0.0f32; MC.min(m).div_ceil(MR) * MR * KC.min(k)];
-    let mut jc = 0;
-    while jc < n {
-        let nc = NC.min(n - jc);
-        let n_panels = nc.div_ceil(NR);
-        let mut lc = 0;
-        while lc < k {
-            let kc = KC.min(k - lc);
-            bp[..n_panels * kc * NR].fill(0.0);
-            pack_b(&mut bp, jc, nc, lc, kc);
-            let mut ic = 0;
-            while ic < m {
-                let mc = MC.min(m - ic);
-                let m_panels = mc.div_ceil(MR);
-                ap[..m_panels * kc * MR].fill(0.0);
-                pack_a(&mut ap, ic, mc, lc, kc);
-                for pj in 0..n_panels {
-                    let j0 = jc + pj * NR;
-                    let nr = NR.min(n - j0);
-                    let bpanel = &bp[pj * kc * NR..(pj + 1) * kc * NR];
-                    for pi in 0..m_panels {
-                        let i0 = ic + pi * MR;
-                        let mr = MR.min(m - i0);
-                        if !zero_rows.is_empty() && zero_rows[i0..i0 + mr].iter().all(|&z| z) {
-                            continue;
-                        }
-                        let apanel = &ap[pi * kc * MR..(pi + 1) * kc * MR];
-                        let mut acc = [[0.0f32; NR]; MR];
-                        for (r, row) in acc.iter_mut().enumerate().take(mr) {
-                            let o = (i0 + r) * n + j0;
-                            row[..nr].copy_from_slice(&out[o..o + nr]);
-                        }
-                        micro_kernel(kc, apanel, bpanel, &mut acc);
-                        for (r, row) in acc.iter().enumerate().take(mr) {
-                            let o = (i0 + r) * n + j0;
-                            out[o..o + nr].copy_from_slice(&row[..nr]);
-                        }
-                    }
+    let bp_len = NC.min(n).div_ceil(NR) * NR * KC.min(k);
+    let ap_len = MC.min(m).div_ceil(MR) * MR * KC.min(k);
+    with_pack_scratch(ap_len, bp_len, |ap, bp| {
+        let mut jc = 0;
+        while jc < n {
+            let nc = NC.min(n - jc);
+            let n_panels = nc.div_ceil(NR);
+            let mut lc = 0;
+            while lc < k {
+                let kc = KC.min(k - lc);
+                bp[..n_panels * kc * NR].fill(0.0);
+                pack_b(bp, jc, nc, lc, kc);
+                let mut ic = 0;
+                while ic < m {
+                    let mc = MC.min(m - ic);
+                    let m_panels = mc.div_ceil(MR);
+                    ap[..m_panels * kc * MR].fill(0.0);
+                    pack_a(ap, ic, mc, lc, kc);
+                    micro_sweep(
+                        m, n, out, zero_rows, ap, bp, jc, lc, ic, nc, kc, mc,
+                    );
+                    ic += mc;
                 }
-                ic += mc;
+                lc += kc;
             }
-            lc += kc;
+            jc += nc;
         }
-        jc += nc;
+    });
+}
+
+/// Sweeps the micro-kernel over one packed `(jc, lc, ic)` block — the
+/// inner two loops shared by the per-call and prepacked drivers. `lc` is
+/// only used to document the block; the panels already hold that slice.
+#[allow(clippy::too_many_arguments)]
+fn micro_sweep(
+    m: usize,
+    n: usize,
+    out: &mut [f32],
+    zero_rows: &[bool],
+    ap: &[f32],
+    bp: &[f32],
+    jc: usize,
+    _lc: usize,
+    ic: usize,
+    nc: usize,
+    kc: usize,
+    mc: usize,
+) {
+    let n_panels = nc.div_ceil(NR);
+    let m_panels = mc.div_ceil(MR);
+    for pj in 0..n_panels {
+        let j0 = jc + pj * NR;
+        let nr = NR.min(n - j0);
+        let bpanel = &bp[pj * kc * NR..(pj + 1) * kc * NR];
+        for pi in 0..m_panels {
+            let i0 = ic + pi * MR;
+            let mr = MR.min(m - i0);
+            if !zero_rows.is_empty() && zero_rows[i0..i0 + mr].iter().all(|&z| z) {
+                continue;
+            }
+            let apanel = &ap[pi * kc * MR..(pi + 1) * kc * MR];
+            let mut acc = [[0.0f32; NR]; MR];
+            for (r, row) in acc.iter_mut().enumerate().take(mr) {
+                let o = (i0 + r) * n + j0;
+                row[..nr].copy_from_slice(&out[o..o + nr]);
+            }
+            micro_kernel(kc, apanel, bpanel, &mut acc);
+            for (r, row) in acc.iter().enumerate().take(mr) {
+                let o = (i0 + r) * n + j0;
+                out[o..o + nr].copy_from_slice(&row[..nr]);
+            }
+        }
     }
 }
 
@@ -191,12 +286,76 @@ fn zero_rows(a: &[f32], m: usize, k: usize) -> Vec<bool> {
     (0..m).map(|i| a[i * k..(i + 1) * k].iter().all(|&v| v == 0.0)).collect()
 }
 
+/// The pack-free small-m kernel: the naive `ikj` loop with the `l` loop
+/// hoisted outermost (unrolled ×4) and `j` tiled to an
+/// [`OUT_TILE_F32`]-budgeted width. Per j-tile, B streams through exactly
+/// once (the blocked driver *and* the naive loop both re-read it per
+/// output row) while the `m × tile` output tile stays in L1 across the
+/// whole reduction; the 4-way unroll cuts the per-`l` C reload/store
+/// traffic to a quarter. Each `out[i][j]` still accumulates
+/// `a(i,l)·b(l,j)` with `l` strictly ascending, one rounding per step —
+/// bit-identical to [`Mat::matmul_ref`]. Whole-zero A rows are skipped
+/// (`+0.0`-preserving, see the module docs).
+///
+/// [`Mat::matmul_ref`]: crate::mat::Mat::matmul_ref
+pub fn gemm_nn_smallm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let zr = zero_rows(a, m, k);
+    let jt = (OUT_TILE_F32 / m.max(1)).max(SMALL_J);
+    let mut jb = 0;
+    while jb < n {
+        let je = (jb + jt).min(n);
+        let w = je - jb;
+        let mut l = 0;
+        while l < k {
+            let lu = (k - l).min(4);
+            for i in 0..m {
+                if zr[i] {
+                    continue;
+                }
+                let arow = &a[i * k + l..i * k + l + lu];
+                let crow = &mut out[i * n + jb..i * n + je];
+                if lu == 4 {
+                    let (a0, a1, a2, a3) = (arow[0], arow[1], arow[2], arow[3]);
+                    let b0 = &b[l * n + jb..l * n + je];
+                    let b1 = &b[(l + 1) * n + jb..(l + 1) * n + je];
+                    let b2 = &b[(l + 2) * n + jb..(l + 2) * n + je];
+                    let b3 = &b[(l + 3) * n + jb..(l + 3) * n + je];
+                    for j in 0..w {
+                        let mut c = crow[j];
+                        c += a0 * b0[j];
+                        c += a1 * b1[j];
+                        c += a2 * b2[j];
+                        c += a3 * b3[j];
+                        crow[j] = c;
+                    }
+                } else {
+                    for (u, &alu) in arow.iter().enumerate() {
+                        let brow = &b[(l + u) * n + jb..(l + u) * n + je];
+                        for (c, &bv) in crow.iter_mut().zip(brow) {
+                            *c += alu * bv;
+                        }
+                    }
+                }
+            }
+            l += lu;
+        }
+        jb = je;
+    }
+}
+
 /// `out = a @ b` for row-major `a: [m, k]`, `b: [k, n]`. `out` must be
 /// zeroed (or hold a partial sum over earlier `l`, per the K-order
-/// contract).
+/// contract). Products with `m <= SMALL_M` rows dispatch to the
+/// pack-free [`gemm_nn_smallm`]; both variants are bit-identical.
 pub fn gemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
+    if m <= SMALL_M {
+        return gemm_nn_smallm(m, k, n, a, b, out);
+    }
     let zr = zero_rows(a, m, k);
     gemm_driver(
         m,
@@ -293,8 +452,314 @@ pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f3
     );
 }
 
+// ---------------------------------------------------------------------------
+// Prepacked B: pack the weight side once, at model load.
+// ---------------------------------------------------------------------------
+
+/// A row-major `[k, n]` matrix repacked once into the exact `[kc][NR]`
+/// panel sequence the blocked driver builds per call, stored in the
+/// driver's `(jc, lc)` block iteration order. [`gemm_prepacked_nn`]
+/// consumes it without ever touching `pack_b`, so the per-call cost of a
+/// weight GEMM is A-packing plus micro-kernels — which is what makes
+/// small-m (few uncached paths per request) track the hardware instead of
+/// the packing overhead.
+#[derive(Debug, Clone)]
+pub struct PackedB {
+    k: usize,
+    n: usize,
+    data: Vec<f32>,
+}
+
+/// Total panel floats for a `[k, n]` prepack (zero-padded edge panels
+/// included).
+fn packed_len(k: usize, n: usize) -> usize {
+    let mut total = 0;
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        total += nc.div_ceil(NR) * NR * k;
+        jc += nc;
+    }
+    total
+}
+
+impl PackedB {
+    /// Packs row-major `b: [k, n]` into driver panel order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != k * n`.
+    pub fn pack(b: &[f32], k: usize, n: usize) -> PackedB {
+        assert_eq!(b.len(), k * n, "PackedB shape/data mismatch");
+        let mut data = vec![0.0f32; packed_len(k, n)];
+        let mut off = 0;
+        let mut jc = 0;
+        while jc < n {
+            let nc = NC.min(n - jc);
+            let n_panels = nc.div_ceil(NR);
+            let mut lc = 0;
+            while lc < k {
+                let kc = KC.min(k - lc);
+                let buf = &mut data[off..off + n_panels * kc * NR];
+                for l in 0..kc {
+                    let src = &b[(lc + l) * n + jc..(lc + l) * n + jc + nc];
+                    for (ci, &v) in src.iter().enumerate() {
+                        let (pj, c) = (ci / NR, ci % NR);
+                        buf[pj * kc * NR + l * NR + c] = v;
+                    }
+                }
+                off += n_panels * kc * NR;
+                lc += kc;
+            }
+            jc += nc;
+        }
+        PackedB { k, n, data }
+    }
+
+    /// Reduction depth (rows of the original B).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output width (columns of the original B).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Resident bytes of the packed panels.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// `out = a @ B` against a prepacked B — the blocked driver with the
+/// `pack_b` stage deleted. Runs the identical `(jc, lc, ic)` block
+/// schedule and micro-kernels as [`gemm_nn`]'s driver, so the result is
+/// bit-identical to [`gemm_nn`] and the naive reference at every shape.
+///
+/// # Panics
+///
+/// Panics if `a.len() != m * pb.k()` or `out.len() != m * pb.n()`.
+pub fn gemm_prepacked_nn(m: usize, a: &[f32], pb: &PackedB, out: &mut [f32]) {
+    let (k, n) = (pb.k, pb.n);
+    assert_eq!(a.len(), m * k, "prepacked A shape");
+    assert_eq!(out.len(), m * n, "prepacked out shape");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let zr = zero_rows(a, m, k);
+    if m < MR {
+        return gemm_prepacked_smallm(m, a, pb, out, &zr);
+    }
+    let ap_len = MC.min(m).div_ceil(MR) * MR * KC.min(k);
+    with_pack_scratch(ap_len, 0, |ap, _| {
+        let mut off = 0;
+        let mut jc = 0;
+        while jc < n {
+            let nc = NC.min(n - jc);
+            let n_panels = nc.div_ceil(NR);
+            let mut lc = 0;
+            while lc < k {
+                let kc = KC.min(k - lc);
+                let bp = &pb.data[off..off + n_panels * kc * NR];
+                let mut ic = 0;
+                while ic < m {
+                    let mc = MC.min(m - ic);
+                    let m_panels = mc.div_ceil(MR);
+                    ap[..m_panels * kc * MR].fill(0.0);
+                    for ri in 0..mc {
+                        let (pi, r) = (ri / MR, ri % MR);
+                        let src = &a[(ic + ri) * k + lc..(ic + ri) * k + lc + kc];
+                        let panel = pi * kc * MR;
+                        for (l, &v) in src.iter().enumerate() {
+                            ap[panel + l * MR + r] = v;
+                        }
+                    }
+                    micro_sweep(m, n, out, &zr, ap, bp, jc, lc, ic, nc, kc, mc);
+                    ic += mc;
+                }
+                off += n_panels * kc * NR;
+                lc += kc;
+            }
+            jc += nc;
+        }
+    });
+}
+
+/// Strip-walking small-m path over a prepacked B. For `m < MR` the padded
+/// micro-kernel spends `MR / m`× its flops on all-zero A rows, so instead
+/// each output row carries a `[f32; NR]` register tile straight down every
+/// `[kc][NR]` panel strip — one fully sequential pass over the packed
+/// stream per row, no A packing at all. The `(jc, lc)` block order and
+/// ascending-`l` per-step rounding match the blocked driver exactly, so
+/// results stay bit-identical to [`gemm_nn`] and the naive reference.
+fn gemm_prepacked_smallm(m: usize, a: &[f32], pb: &PackedB, out: &mut [f32], zr: &[bool]) {
+    let (k, n) = (pb.k, pb.n);
+    let mut off = 0;
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let n_panels = nc.div_ceil(NR);
+        let mut lc = 0;
+        while lc < k {
+            let kc = KC.min(k - lc);
+            for pj in 0..n_panels {
+                let j0 = jc + pj * NR;
+                let w = NR.min(n - j0);
+                let strip = &pb.data[off + pj * kc * NR..off + (pj + 1) * kc * NR];
+                for i in 0..m {
+                    if zr[i] {
+                        continue;
+                    }
+                    let arow = &a[i * k + lc..i * k + lc + kc];
+                    let o = i * n + j0;
+                    let mut acc = [0.0f32; NR];
+                    acc[..w].copy_from_slice(&out[o..o + w]);
+                    for (l, &av) in arow.iter().enumerate() {
+                        let brow = &strip[l * NR..(l + 1) * NR];
+                        for (c, &bv) in acc.iter_mut().zip(brow) {
+                            *c += av * bv;
+                        }
+                    }
+                    out[o..o + w].copy_from_slice(&acc[..w]);
+                }
+            }
+            off += n_panels * kc * NR;
+            lc += kc;
+        }
+        jc += nc;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Int8 prepack: the experimental quantized inference path (SNS_INT8=1).
+// ---------------------------------------------------------------------------
+
+/// A weight matrix quantized to `i8` with one symmetric scale per output
+/// column (`scale[j] = max|B[:,j]| / 127`), stored as `[k][NR]` panels.
+/// Consumed by [`gemm_prepacked_int8`], which quantizes each activation
+/// row symmetrically on the fly and accumulates in `i32` — exact integer
+/// arithmetic, so the path is deterministic and batch-invariant, but the
+/// quantization itself makes results differ from f32 by a bounded
+/// relative error (validated by the conformance tolerance oracle, never
+/// bit-compared).
+#[derive(Debug, Clone)]
+pub struct PackedBInt8 {
+    k: usize,
+    n: usize,
+    /// `[n.div_ceil(NR)]` panels of `[k][NR]` quantized weights
+    /// (zero-padded edge columns).
+    q: Vec<i8>,
+    /// Per-output-column dequantization scales (`n` entries).
+    scales: Vec<f32>,
+}
+
+impl PackedBInt8 {
+    /// Quantizes and packs row-major `b: [k, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != k * n` or the `i32` accumulator could
+    /// overflow (`k > 133152`, far beyond any model shape here).
+    pub fn pack(b: &[f32], k: usize, n: usize) -> PackedBInt8 {
+        assert_eq!(b.len(), k * n, "PackedBInt8 shape/data mismatch");
+        assert!(
+            k as u64 * 127 * 127 < i32::MAX as u64,
+            "int8 GEMM accumulator would overflow at k={k}"
+        );
+        let mut scales = vec![0.0f32; n];
+        for j in 0..n {
+            let mut maxabs = 0.0f32;
+            for l in 0..k {
+                maxabs = maxabs.max(b[l * n + j].abs());
+            }
+            scales[j] = maxabs / 127.0;
+        }
+        let n_panels = n.div_ceil(NR);
+        let mut q = vec![0i8; n_panels * k * NR];
+        for l in 0..k {
+            for j in 0..n {
+                let (pj, c) = (j / NR, j % NR);
+                let s = scales[j];
+                let v = if s == 0.0 { 0.0 } else { (b[l * n + j] / s).round() };
+                q[pj * k * NR + l * NR + c] = v.clamp(-127.0, 127.0) as i8;
+            }
+        }
+        PackedBInt8 { k, n, q, scales }
+    }
+
+    /// Reduction depth.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output width.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Resident bytes of the quantized panels + scales.
+    pub fn bytes(&self) -> usize {
+        self.q.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// `out = a @ B` against an int8-prepacked B: each activation row is
+/// quantized symmetrically (`scale = max|row| / 127`, round-half-away,
+/// clamp to ±127), the dot products run in exact `i32`, and the result is
+/// dequantized per element as `(row_scale · col_scale) · acc`. Per-row
+/// arithmetic depends only on that row, so outputs are bit-stable across
+/// batch compositions and thread counts — just not bit-equal to f32.
+///
+/// # Panics
+///
+/// Panics if `a.len() != m * pb.k()` or `out.len() != m * pb.n()`.
+pub fn gemm_prepacked_int8(m: usize, a: &[f32], pb: &PackedBInt8, out: &mut [f32]) {
+    let (k, n) = (pb.k, pb.n);
+    assert_eq!(a.len(), m * k, "int8 A shape");
+    assert_eq!(out.len(), m * n, "int8 out shape");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let n_panels = n.div_ceil(NR);
+    let mut qa = vec![0i8; k];
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let mut maxabs = 0.0f32;
+        for &v in arow {
+            maxabs = maxabs.max(v.abs());
+        }
+        let sa = maxabs / 127.0;
+        if sa == 0.0 {
+            out[i * n..(i + 1) * n].fill(0.0);
+            continue;
+        }
+        for (q, &v) in qa.iter_mut().zip(arow) {
+            *q = (v / sa).round().clamp(-127.0, 127.0) as i8;
+        }
+        for pj in 0..n_panels {
+            let panel = &pb.q[pj * k * NR..(pj + 1) * k * NR];
+            let mut acc = [0i32; NR];
+            for (l, &qv) in qa.iter().enumerate() {
+                let al = qv as i32;
+                let brow = &panel[l * NR..(l + 1) * NR];
+                for (c, &bq) in brow.iter().enumerate() {
+                    acc[c] += al * bq as i32;
+                }
+            }
+            let j0 = pj * NR;
+            let nr = NR.min(n - j0);
+            let orow = &mut out[i * n + j0..i * n + j0 + nr];
+            for (c, o) in orow.iter_mut().enumerate() {
+                *o = (sa * pb.scales[j0 + c]) * acc[c] as f32;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::{gemm_prepacked_int8, gemm_prepacked_nn, PackedB, PackedBInt8};
     use crate::mat::Mat;
     use sns_rt::rng::StdRng;
 
@@ -307,7 +772,8 @@ mod tests {
     }
 
     /// Blocked kernels are bit-identical to the naive references across
-    /// shapes that hit every tile-edge case (1, MR±1, NR±1, > blocks).
+    /// shapes that hit every tile-edge case (1, MR±1, NR±1, > blocks) —
+    /// including the small-m jammed dispatch (every m <= SMALL_M here).
     #[test]
     fn blocked_kernels_match_references_bitwise() {
         let dims = [1usize, 3, 4, 5, 15, 16, 17, 33];
@@ -322,6 +788,22 @@ mod tests {
                     assert_bits(&at.matmul_tn(&b), &at.matmul_tn_ref(&b), "tn", m, k, n);
                     let bt = rand_mat(&mut rng, n, k);
                     assert_bits(&a.matmul_nt(&bt), &a.matmul_nt_ref(&bt), "nt", m, k, n);
+                }
+            }
+        }
+    }
+
+    /// The jammed small-m kernel across its j-tile boundary and the
+    /// blocked/smallm dispatch edge (m = 16 vs 17), against wide B.
+    #[test]
+    fn small_m_dispatch_matches_references_bitwise() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for &m in &[1usize, 2, 5, 16, 17] {
+            for &k in &[7usize, 128] {
+                for &n in &[255usize, 256, 257, 700] {
+                    let a = rand_mat(&mut rng, m, k);
+                    let b = rand_mat(&mut rng, k, n);
+                    assert_bits(&a.matmul(&b), &a.matmul_ref(&b), "nn-small", m, k, n);
                 }
             }
         }
@@ -351,5 +833,59 @@ mod tests {
         assert_eq!(a.matmul(&b), a.matmul_ref(&b));
         let bt = rand_mat(&mut rng, 21, 6);
         assert_eq!(a.matmul_nt(&bt), a.matmul_nt_ref(&bt));
+    }
+
+    /// Prepacked GEMM is bit-identical to the per-call paths at shapes
+    /// spanning micro-tile edges, multiple KC chunks and multiple NC
+    /// blocks (k = 300 > KC, n = 600 > NC).
+    #[test]
+    fn prepacked_matches_references_bitwise() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for &m in &[1usize, 2, 3, 16, 33, 130] {
+            for &(k, n) in &[(5usize, 17usize), (128, 512), (300, 600), (64, 2304)] {
+                let a = rand_mat(&mut rng, m, k);
+                let b = rand_mat(&mut rng, k, n);
+                let pb = PackedB::pack(b.as_slice(), k, n);
+                let mut out = Mat::zeros(m, n);
+                gemm_prepacked_nn(m, a.as_slice(), &pb, out.as_mut_slice());
+                assert_bits(&out, &a.matmul_ref(&b), "prepacked", m, k, n);
+                assert!(pb.bytes() >= k * n * 4);
+            }
+        }
+    }
+
+    /// The int8 path is deterministic, batch-invariant per row, and close
+    /// to f32 in relative terms.
+    #[test]
+    fn int8_is_deterministic_and_close_to_f32() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (m, k, n) = (7usize, 96usize, 48usize);
+        let a = rand_mat(&mut rng, m, k);
+        let b = rand_mat(&mut rng, k, n);
+        let pb = PackedBInt8::pack(b.as_slice(), k, n);
+        let mut q1 = Mat::zeros(m, n);
+        let mut q2 = Mat::zeros(m, n);
+        gemm_prepacked_int8(m, a.as_slice(), &pb, q1.as_mut_slice());
+        gemm_prepacked_int8(m, a.as_slice(), &pb, q2.as_mut_slice());
+        assert_eq!(q1, q2, "int8 GEMM must be deterministic");
+        // Row 3 alone must reproduce row 3 of the batch bit-for-bit.
+        let solo = a.rows_slice(3, 4);
+        let mut qs = Mat::zeros(1, n);
+        gemm_prepacked_int8(1, solo.as_slice(), &pb, qs.as_mut_slice());
+        assert_eq!(qs.row(0), q1.row(3), "int8 rows must be batch-invariant");
+        // Against f32: small relative error on a well-conditioned product.
+        let f = a.matmul_ref(&b);
+        let (mut num, mut den) = (0.0f64, 0.0f64);
+        for (qv, fv) in q1.as_slice().iter().zip(f.as_slice()) {
+            num += (*qv as f64 - *fv as f64).powi(2);
+            den += (*fv as f64).powi(2);
+        }
+        let rel = (num / den.max(1e-30)).sqrt();
+        assert!(rel < 0.05, "int8 relative error {rel} too large");
+        // All-zero activation rows stay exactly zero.
+        let z = Mat::zeros(2, k);
+        let mut qz = Mat::full(2, n, 7.0);
+        gemm_prepacked_int8(2, z.as_slice(), &pb, qz.as_mut_slice());
+        assert!(qz.as_slice().iter().all(|&v| v == 0.0));
     }
 }

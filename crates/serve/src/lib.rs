@@ -71,5 +71,5 @@ pub mod server;
 
 pub use batcher::MicroBatcher;
 pub use http::{read_request, write_response, HttpError, Request};
-pub use metrics::{CacheStats, ElabCacheStats, Histogram, Metrics};
+pub use metrics::{CacheStats, ElabCacheStats, Histogram, KernelStats, Metrics};
 pub use server::{ServeConfig, Server};

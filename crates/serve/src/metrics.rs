@@ -148,6 +148,18 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+/// Inference-kernel snapshot merged into the export by the server (the
+/// prepacked weight panels live on the model).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelStats {
+    /// Resident bytes of prepacked weight panels (Circuitformer blocks,
+    /// head, and the three Aggregation MLPs). Zero means the model is
+    /// running unpacked — a training-in-progress or load-failure signal.
+    pub prepack_bytes: usize,
+    /// Whether the experimental int8 path (`SNS_INT8=1`) is active.
+    pub int8: bool,
+}
+
 /// Module-elaboration-cache statistics snapshot merged into the export
 /// by the server (the cache itself lives on the session store).
 #[derive(Debug, Clone, Copy, Default)]
@@ -175,7 +187,7 @@ impl Metrics {
     }
 
     /// The full `/metrics` document.
-    pub fn to_json(&self, cache: CacheStats, elab: ElabCacheStats) -> Json {
+    pub fn to_json(&self, cache: CacheStats, elab: ElabCacheStats, kernels: KernelStats) -> Json {
         let lookups = cache.hits + cache.misses;
         let hit_rate =
             if lookups == 0 { 0.0 } else { cache.hits as f64 / lookups as f64 };
@@ -230,6 +242,13 @@ impl Metrics {
                     ("evictions", Json::UInt(elab.evictions)),
                     ("invalidations", Json::UInt(elab.invalidations)),
                     ("hit_rate", Json::Num(elab_hit_rate)),
+                ]),
+            ),
+            (
+                "kernels",
+                Json::obj(vec![
+                    ("prepack_bytes", Json::UInt(kernels.prepack_bytes as u64)),
+                    ("int8", Json::Bool(kernels.int8)),
                 ]),
             ),
             (
@@ -305,6 +324,7 @@ mod tests {
                 invalidations: 4,
                 sessions: 3,
             },
+            KernelStats { prepack_bytes: 4096, int8: false },
         );
         assert_eq!(j.get("requests_total").unwrap().as_u64().unwrap(), 3);
         let cache = j.get("cache").unwrap();
@@ -315,6 +335,9 @@ mod tests {
         assert_eq!(elab.get("invalidations").unwrap().as_u64().unwrap(), 4);
         assert!((elab.get("hit_rate").unwrap().as_f64().unwrap() - 6.0 / 13.0).abs() < 1e-12);
         assert_eq!(j.get("sessions").unwrap().as_u64().unwrap(), 3);
+        let kernels = j.get("kernels").unwrap();
+        assert_eq!(kernels.get("prepack_bytes").unwrap().as_u64().unwrap(), 4096);
+        assert!(!kernels.get("int8").unwrap().as_bool().unwrap());
         assert!(j.get("stages_us").unwrap().get("total").unwrap().get("count").is_ok());
         // The export is valid JSON text.
         sns_rt::json::parse(&j.print()).unwrap();

@@ -28,7 +28,7 @@ use sns_sampler::PathSampler;
 
 use crate::batcher::MicroBatcher;
 use crate::http::{lingering_close, read_request, write_response, HttpError, Request};
-use crate::metrics::{CacheStats, ElabCacheStats, Metrics};
+use crate::metrics::{CacheStats, ElabCacheStats, KernelStats, Metrics};
 
 /// Reads a positive integer environment knob.
 fn env_usize(name: &str) -> Option<usize> {
@@ -403,7 +403,11 @@ fn route(request: &Request, shared: &Shared) -> Reply {
                 invalidations: elab.invalidations(),
                 sessions: shared.sessions.session_count(),
             };
-            (200, Vec::new(), shared.metrics.to_json(stats, elab_stats))
+            let kernel_stats = KernelStats {
+                prepack_bytes: shared.model.prepack_bytes(),
+                int8: shared.model.quant_mode() == sns_core::QuantMode::Int8,
+            };
+            (200, Vec::new(), shared.metrics.to_json(stats, elab_stats, kernel_stats))
         }
         ("GET", "/healthz") => (200, Vec::new(), Json::obj(vec![("status", Json::Str("ok".into()))])),
         (_, "/predict") | (_, "/metrics") | (_, "/healthz") => (

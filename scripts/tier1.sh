@@ -59,4 +59,10 @@ cargo test -q --test serve_e2e -- --test-threads=1
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+# Informational: how the kernel-bench snapshot moved relative to HEAD.
+# Never fails the gate — the absolute acceptance numbers live in
+# BENCH_kernels.json itself.
+echo "==> bench_diff (informational)"
+./scripts/bench_diff.sh || true
+
 echo "==> tier-1 OK"

@@ -527,6 +527,33 @@ fn eco_session_and_patch_are_bit_identical_and_metered() {
     assert_eq!(entries, misses - evictions, "elab cache entry/miss reconciliation");
     assert!(elab.get("hits").unwrap().as_u64().unwrap() >= 1, "shared leaf unit hits");
     assert!(elab.get("invalidations").unwrap().as_u64().unwrap() >= 1, "leaf patch invalidates");
+
+    // The daemon serves from prepacked kernels: the kernels section
+    // reports exactly the model's resident panel bytes, in f32 mode.
+    let kernels = m.get("kernels").unwrap();
+    assert!(model.prepack_bytes() > 0, "trained model must be prepacked");
+    assert_eq!(
+        kernels.get("prepack_bytes").unwrap().as_u64().unwrap(),
+        model.prepack_bytes() as u64,
+        "kernels.prepack_bytes reconciles with the model"
+    );
+    assert!(!kernels.get("int8").unwrap().as_bool().unwrap(), "f32 mode by default");
+
+    // Warm repeat: the same patch against the same base — elaboration
+    // cache hot, every GEMM on prepacked panels — answers bit-identically
+    // to the cold patch above.
+    let body = Json::obj(vec![
+        ("base", Json::Str(token.clone())),
+        ("patch", Json::Str(leaf2.clone())),
+    ])
+    .print();
+    let (status, warm) = post_json(addr, "/predict", &body);
+    assert_eq!(status, 200, "{}", warm.print());
+    for field in ["timing_ps", "area_um2", "power_mw"] {
+        let cold = patched.get(field).unwrap().as_f64().unwrap();
+        let hot = warm.get(field).unwrap().as_f64().unwrap();
+        assert_eq!(hot.to_bits(), cold.to_bits(), "warm ECO patch {field}");
+    }
     server.join();
 }
 
