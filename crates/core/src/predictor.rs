@@ -329,6 +329,23 @@ impl SnsModel {
         &self.cache
     }
 
+    /// A replica-scoped handle on this model: identical weights, scalers,
+    /// vocabulary and sampling configuration, but a *fresh, empty*
+    /// [`PathPredictionCache`] owned by the new handle alone.
+    ///
+    /// This is the unit of scale-out for `sns-shard` mode: each replica
+    /// answers bit-identically to every other (the Circuitformer is pure
+    /// and the cache never changes values, only latency), while cache
+    /// contents stay partitioned so a consistent-hash router preserves
+    /// locality. The weight tensors and prepacked panels are cloned per
+    /// replica — a deliberate trade: replicas share nothing mutable, and
+    /// each one's working set stays local to the cores serving it.
+    pub fn fork_replica(&self) -> SnsModel {
+        let mut replica = self.clone();
+        replica.cache = PathPredictionCache::new();
+        replica
+    }
+
     /// The number of unique path sequences memoized so far (shared across
     /// predictions; see [`PathPredictionCache`]).
     pub fn cached_paths(&self) -> usize {

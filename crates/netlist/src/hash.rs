@@ -91,6 +91,19 @@ impl Fnv128 {
     }
 }
 
+/// FNV-128 over raw bytes: the same double-stream accumulator the module
+/// content hashes use, exposed for callers that key on opaque byte
+/// content rather than an AST — e.g. the `sns-serve` consistent-hash
+/// replica router, which keys requests on design/base-token content so
+/// identical designs always land on the same replica's caches.
+pub fn fnv128_bytes(bytes: &[u8]) -> [u64; 2] {
+    let mut h = Fnv128::new();
+    for &b in bytes {
+        h.byte(b);
+    }
+    h.finish()
+}
+
 /// FNV-1a over a name, used by the sampler for order keys too.
 pub fn fnv64_str(s: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;

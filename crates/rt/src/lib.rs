@@ -13,8 +13,12 @@
 //!   primitives, used by training minibatches, dataset labeling, and the
 //!   parallel path-inference hot path. Thread count defaults honour the
 //!   `SNS_THREADS` environment variable.
+//! * [`net`] — readiness-based I/O on `poll(2)` (poll sets, a self-pipe
+//!   waker, non-blocking fd control), the substrate under the
+//!   `sns-serve` event-driven reactor. Unix-only.
 
 pub mod json;
+pub mod net;
 pub mod pool;
 pub mod rng;
 

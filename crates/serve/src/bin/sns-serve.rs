@@ -2,11 +2,16 @@
 //! predictions over HTTP until SIGTERM/ctrl-C, then drain and exit.
 //!
 //! ```text
-//! sns-serve --model model.json [--addr 127.0.0.1:7878]
-//! sns-serve --train 8          [--addr 127.0.0.1:7878]   # demo model
+//! sns-serve --model model.json [--addr 127.0.0.1:7878] [--replicas N]
+//! sns-serve --train 8          [--addr 127.0.0.1:7878] [--replicas N]   # demo model
 //! ```
 //!
-//! Environment knobs: SNS_SERVE_WORKERS, SNS_QUEUE_CAP, SNS_MAX_BODY,
+//! `--replicas N` (or `SNS_REPLICAS=N`) enables **sns-shard mode**: N
+//! model replicas, each with a private path cache and micro-batcher,
+//! behind a consistent-hash router keyed on design content.
+//!
+//! Environment knobs: SNS_REPLICAS, SNS_WORKERS (alias
+//! SNS_SERVE_WORKERS), SNS_QUEUE_CAP, SNS_MAX_CONNS, SNS_MAX_BODY,
 //! SNS_DEADLINE_MS, SNS_CACHE_CAP, SNS_THREADS, SNS_BATCH,
 //! SNS_SESSION_CAP, SNS_ELAB_CACHE_CAP, SNS_INT8.
 //!
@@ -57,12 +62,12 @@ fn arg(args: &[String], name: &str) -> Option<String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:
-  sns-serve --model <model.json> [--addr <ip:port>]
-  sns-serve --train <n-designs>  [--addr <ip:port>]
+  sns-serve --model <model.json> [--addr <ip:port>] [--replicas <n>]
+  sns-serve --train <n-designs>  [--addr <ip:port>] [--replicas <n>]
 
-env: SNS_SERVE_WORKERS SNS_QUEUE_CAP SNS_MAX_BODY SNS_DEADLINE_MS
-     SNS_CACHE_CAP SNS_THREADS SNS_BATCH SNS_SESSION_CAP SNS_ELAB_CACHE_CAP
-     SNS_INT8"
+env: SNS_REPLICAS SNS_WORKERS SNS_QUEUE_CAP SNS_MAX_CONNS SNS_MAX_BODY
+     SNS_DEADLINE_MS SNS_CACHE_CAP SNS_THREADS SNS_BATCH SNS_SESSION_CAP
+     SNS_ELAB_CACHE_CAP SNS_INT8"
     );
     ExitCode::from(2)
 }
@@ -97,6 +102,10 @@ fn main() -> ExitCode {
 
     let mut config = ServeConfig::from_env();
     config.addr = arg(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    if let Some(n) = arg(&args, "--replicas") {
+        let Ok(n) = n.parse::<usize>() else { return usage() };
+        config.replicas = n.max(1);
+    }
 
     let server = match Server::start(model, config.clone()) {
         Ok(s) => s,
@@ -106,12 +115,14 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "sns-serve listening on http://{} (workers={}, threads={}, batch={}, queue_cap={}, cache_cap={}, deadline={})",
+        "sns-serve listening on http://{} (replicas={}, workers={}, threads={}, batch={}, queue_cap={}, max_conns={}, cache_cap={}, deadline={})",
         server.addr(),
+        config.replicas,
         config.workers,
         config.threads,
         config.batch,
         config.queue_cap,
+        config.max_conns,
         config.cache_cap.map_or("unbounded".to_string(), |c| c.to_string()),
         config.deadline.map_or("none".to_string(), |d| format!("{}ms", d.as_millis())),
     );

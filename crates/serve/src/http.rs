@@ -7,6 +7,13 @@
 //! Rejected with structured errors: header sections over
 //! [`MAX_HEAD_BYTES`], bodies over the configured limit, chunked
 //! transfer encoding, and any syntactically malformed framing.
+//!
+//! The framing core is *incremental*: [`parse_head`] inspects a growing
+//! byte buffer and reports "need more bytes" (`Ok(None)`) until the
+//! blank line arrives, which is what lets the event-driven reactor in
+//! [`crate::reactor`] frame requests from non-blocking reads without a
+//! thread parked per connection. The blocking [`read_request`] used by
+//! tests and simple clients is a thin loop over the same core.
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpStream};
@@ -58,32 +65,52 @@ impl From<std::io::Error> for HttpError {
     }
 }
 
-/// Reads one HTTP/1.1 request from `stream`, honouring `max_body`.
+/// A fully parsed request head: everything before the body, plus the
+/// framing facts a caller needs to finish reading the message.
+#[derive(Debug)]
+pub struct FramedHead {
+    /// The request with its headers parsed and an empty body.
+    pub request: Request,
+    /// Byte offset of the `\r\n\r\n` separator in the scanned buffer.
+    pub head_end: usize,
+    /// The declared `Content-Length` (0 when absent), already validated
+    /// against the body limit.
+    pub content_length: usize,
+}
+
+impl FramedHead {
+    /// Total framed size of the message: head, separator, and body.
+    pub fn total_len(&self) -> usize {
+        self.head_end + 4 + self.content_length
+    }
+}
+
+/// Incrementally parses a request head from `buf`.
+///
+/// Returns `Ok(None)` while the `\r\n\r\n` separator has not arrived yet
+/// (and the buffer is still within [`MAX_HEAD_BYTES`]) — the caller
+/// should read more bytes and try again with the grown buffer.
 ///
 /// # Errors
 ///
-/// [`HttpError::BadRequest`] for malformed framing,
-/// [`HttpError::PayloadTooLarge`] when `Content-Length > max_body`, and
-/// [`HttpError::Io`] when the socket fails (including read timeouts).
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
-    // Accumulate the head until the blank line, never past MAX_HEAD_BYTES.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 1024];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
-        }
+/// [`HttpError::BadRequest`] for malformed framing (including a head
+/// that exceeds [`MAX_HEAD_BYTES`] without terminating), and
+/// [`HttpError::PayloadTooLarge`] when the declared `Content-Length`
+/// exceeds `max_body`.
+pub fn parse_head(buf: &[u8], max_body: usize) -> Result<Option<FramedHead>, HttpError> {
+    let Some(head_end) = find_head_end(buf) else {
         if buf.len() >= MAX_HEAD_BYTES {
             return Err(HttpError::BadRequest(format!(
                 "header section exceeds {MAX_HEAD_BYTES} bytes"
             )));
         }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(HttpError::BadRequest("connection closed mid-headers".into()));
-        }
-        buf.extend_from_slice(&chunk[..n]);
+        return Ok(None);
     };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(HttpError::BadRequest(format!(
+            "header section exceeds {MAX_HEAD_BYTES} bytes"
+        )));
+    }
 
     let head = std::str::from_utf8(&buf[..head_end])
         .map_err(|_| HttpError::BadRequest("headers are not valid UTF-8".into()))?;
@@ -141,21 +168,48 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         return Err(HttpError::PayloadTooLarge { limit: max_body });
     }
 
+    Ok(Some(FramedHead { request, head_end, content_length }))
+}
+
+/// Reads one HTTP/1.1 request from `stream`, honouring `max_body`.
+/// Blocking; used by tests and simple clients (the server frames
+/// requests incrementally through [`parse_head`] instead).
+///
+/// # Errors
+///
+/// [`HttpError::BadRequest`] for malformed framing,
+/// [`HttpError::PayloadTooLarge`] when `Content-Length > max_body`, and
+/// [`HttpError::Io`] when the socket fails (including read timeouts).
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let framed = loop {
+        if let Some(framed) = parse_head(&buf, max_body)? {
+            break framed;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("connection closed mid-headers".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
     // The head read may have pulled in part (or all) of the body.
-    let mut body = buf[head_end + 4..].to_vec();
-    if body.len() > content_length {
+    let total = framed.total_len();
+    if buf.len() > total {
         return Err(HttpError::BadRequest("body longer than Content-Length".into()));
     }
-    while body.len() < content_length {
-        let want = (content_length - body.len()).min(chunk.len());
+    while buf.len() < total {
+        let want = (total - buf.len()).min(chunk.len());
         let n = stream.read(&mut chunk[..want])?;
         if n == 0 {
             return Err(HttpError::BadRequest("connection closed mid-body".into()));
         }
-        body.extend_from_slice(&chunk[..n]);
+        buf.extend_from_slice(&chunk[..n]);
     }
 
-    Ok(Request { body, ..request })
+    let body = buf[framed.head_end + 4..].to_vec();
+    Ok(Request { body, ..framed.request })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -169,6 +223,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
@@ -178,14 +233,8 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes one `Connection: close` JSON response. Errors are ignored by
-/// callers that are already tearing the connection down.
-pub fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    extra_headers: &[(&str, String)],
-    body: &str,
-) -> std::io::Result<()> {
+/// Serializes one `Connection: close` JSON response to wire bytes.
+pub fn build_response(status: u16, extra_headers: &[(&str, String)], body: &str) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
         reason(status),
@@ -198,8 +247,20 @@ pub fn write_response(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(body.as_bytes());
+    bytes
+}
+
+/// Writes one `Connection: close` JSON response. Errors are ignored by
+/// callers that are already tearing the connection down.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
+    stream.write_all(&build_response(status, extra_headers, body))?;
     stream.flush()
 }
 
@@ -209,7 +270,9 @@ pub fn write_response(
 /// Necessary whenever a response was written *without* fully reading the
 /// request (shed connections, 413s, framing errors): closing a socket
 /// with unread bytes in its receive buffer makes the kernel send RST,
-/// which can destroy the very response the peer is trying to read.
+/// which can destroy the very response the peer is trying to read. The
+/// reactor implements the same discipline as a non-blocking state
+/// (`Lingering`); this blocking form serves simple callers.
 pub fn lingering_close(stream: &mut TcpStream, timeout: Duration) {
     let _ = stream.shutdown(Shutdown::Write);
     let _ = stream.set_read_timeout(Some(timeout));
@@ -260,6 +323,25 @@ mod tests {
     }
 
     #[test]
+    fn incremental_parse_waits_for_the_blank_line() {
+        let full = b"POST /predict HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        for cut in 0..full.len() {
+            let r = parse_head(&full[..cut], 1024);
+            let complete = cut >= full.len() - 5; // separator fully present
+            match r {
+                Ok(None) => assert!(!complete, "cut={cut} should have parsed"),
+                Ok(Some(h)) => {
+                    assert!(complete, "cut={cut} parsed too early");
+                    assert_eq!(h.content_length, 5);
+                    assert_eq!(h.total_len(), full.len());
+                    assert_eq!(h.request.method, "POST");
+                }
+                Err(e) => panic!("cut={cut}: unexpected error {e:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn rejects_malformed_framing() {
         for bytes in [
             &b"NOT A REQUEST\r\n\r\n"[..],
@@ -300,5 +382,15 @@ mod tests {
             Err(HttpError::BadRequest(msg)) => assert!(msg.contains("mid-body")),
             other => panic!("expected BadRequest, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn build_response_round_trips_through_a_socket() {
+        let bytes = build_response(200, &[("retry-after", "1".into())], "{\"x\":1}");
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("content-length: 7\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"x\":1}"));
     }
 }

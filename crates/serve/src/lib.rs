@@ -30,25 +30,51 @@
 //!   histograms, all maintained on plain atomics.
 //! * **`GET /healthz`** — liveness.
 //!
+//! ## Event-driven connection core
+//!
+//! Socket I/O is readiness-based: a single [`reactor`] thread owns every
+//! connection, framing requests incrementally over non-blocking reads
+//! (`poll(2)` via `sns_rt::net` — still zero dependencies) and writing
+//! responses as `POLLOUT` allows. Workers only ever see complete
+//! requests through a bounded dispatch queue, so a slow or hostile peer
+//! (slow-loris headers, stalled reads, half-closed sockets) costs one
+//! connection-table entry, never a thread, and cannot head-of-line-block
+//! other requests.
+//!
+//! ## Replica sharding (`sns-shard` mode)
+//!
+//! With `SNS_REPLICAS=N` the server runs N model replicas, each owning a
+//! private path-prediction cache and [`MicroBatcher`](batcher::MicroBatcher),
+//! behind a consistent-hash router ([`shard`]) keyed on design content
+//! (FNV-128 of the Verilog + top, or of the session base token for ECO
+//! patches). Identical designs always land on the same warm cache;
+//! killing a replica moves only its keys (clean `503`s for requests
+//! caught mid-flight), and a revived replica resumes its old range.
+//! `/metrics` gains per-replica queue depth, shed counts, cache stats,
+//! and reactor loop latency.
+//!
 //! ## Throughput under concurrency
 //!
 //! Concurrent requests do not run inference independently: each handler
-//! submits its *uncached* path sequences to a shared
-//! [`MicroBatcher`](batcher::MicroBatcher), which unions everything
-//! queued at each round into the same length-bucketed `SNS_BATCH` packs
-//! the model uses internally, fanned over the `SNS_THREADS` pool. Under
-//! load, paths from many requests ride in one packed Circuitformer
-//! forward — throughput at N clients beats N sequential calls — while a
-//! lone request never waits on a coalescing timer.
+//! submits its *uncached* path sequences to its replica's
+//! [`MicroBatcher`](batcher::MicroBatcher), which serves jobs FIFO in
+//! rounds bounded at about one `SNS_BATCH` of unique sequences —
+//! cross-request de-duplication happens both inside a round (the union
+//! is deduplicated) and through the cache (queued jobs re-filter
+//! against what earlier rounds already computed), so a request's
+//! latency tracks *its own* missing work plus at most one well-packed
+//! forward instead of the largest union in the queue, while identical
+//! concurrent designs still compute once.
 //!
 //! ## Robustness
 //!
-//! Bounded accept queue with `503 + Retry-After` shedding, a per-request
-//! deadline (`SNS_DEADLINE_MS`) checked before every expensive stage
-//! (`504`), a request body limit (`413`), structured JSON error bodies
-//! for malformed HTTP or JSON (`400`), and graceful shutdown that drains
-//! queued and in-flight requests (SIGTERM / ctrl-C in the `sns-serve`
-//! binary).
+//! Bounded dispatch queue and connection cap with `503 + Retry-After`
+//! shedding, a fixed per-connection framing deadline (`408` for
+//! slow-loris peers), a per-request deadline (`SNS_DEADLINE_MS`) checked
+//! before every expensive stage (`504`), a request body limit (`413`),
+//! structured JSON error bodies for malformed HTTP or JSON (`400`), and
+//! graceful shutdown that drains queued and in-flight requests (SIGTERM
+//! / ctrl-C in the `sns-serve` binary).
 //!
 //! The Verilog body is *untrusted*: the `sns-netlist` front-end is total
 //! on arbitrary bytes (depth-bounded parsing, budget-checked
@@ -59,7 +85,8 @@
 //! panic costs one `500` (and bumps the `panics_total` metric) rather
 //! than the worker thread.
 //!
-//! Environment knobs: `SNS_SERVE_WORKERS`, `SNS_QUEUE_CAP`,
+//! Environment knobs: `SNS_REPLICAS`, `SNS_WORKERS` (alias
+//! `SNS_SERVE_WORKERS`), `SNS_QUEUE_CAP`, `SNS_MAX_CONNS`,
 //! `SNS_MAX_BODY`, `SNS_DEADLINE_MS`, `SNS_CACHE_CAP` (0 = unbounded),
 //! plus the model-level `SNS_THREADS` / `SNS_BATCH` and the elaboration
 //! budgets above.
@@ -67,9 +94,14 @@
 pub mod batcher;
 pub mod http;
 pub mod metrics;
+pub(crate) mod reactor;
 pub mod server;
+pub mod shard;
 
 pub use batcher::MicroBatcher;
 pub use http::{read_request, write_response, HttpError, Request};
-pub use metrics::{CacheStats, ElabCacheStats, Histogram, KernelStats, Metrics};
+pub use metrics::{
+    CacheStats, ElabCacheStats, Histogram, KernelStats, Metrics, ReplicaSnapshot, ReplicaStats,
+};
 pub use server::{ServeConfig, Server};
+pub use shard::{design_key, token_key, HashRing, RouteChoice};

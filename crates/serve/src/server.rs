@@ -1,22 +1,33 @@
-//! The accept loop, bounded work queue, worker pool, and the `/predict`
-//! pipeline.
+//! Server assembly: the reactor thread, the worker pool, the replica
+//! set with its consistent-hash router, and the `/predict` pipeline.
 //!
 //! ```text
-//! acceptor ──► bounded queue ──► workers ──┬─► parse ► sample ─┐
-//!    │ (full → 503 + Retry-After)          │                   │ missing
-//!    ▼                                     │                   ▼
-//!  shutdown flag (drain, then exit)        │             micro-batcher ──► shared cache
-//!                                          └─► reduce + MLP (predict_primed)
+//! reactor ──► dispatch queue ──► workers ──► router (FNV-128 of content)
+//!    ▲  (full → 503 + Retry-After)  │            │
+//!    │                              │            ▼ replica k (alive?)
+//!    └── completions + waker ◄──────┘   parse ► sample ► batcher_k ► cache_k
+//!                                                └─► reduce + MLP (predict_primed)
 //! ```
+//!
+//! Connection I/O lives entirely on the reactor thread
+//! ([`crate::reactor`]); workers only ever see complete requests, so
+//! inference latency and socket behaviour cannot interfere. In
+//! **shard mode** (`replicas > 1`) each replica owns a full model clone
+//! with a private path cache and micro-batcher; the router keys on
+//! design content (see [`crate::shard`]) so identical designs always
+//! land on the same warm cache. Replicas can be marked dead
+//! ([`Server::kill_replica`]) — in-flight requests routed there get a
+//! clean `503` at the next stage boundary, new requests fail over along
+//! the ring, and a revived replica resumes exactly its old key range.
 //!
 //! Every stage boundary checks the per-request deadline, so a request
 //! that has already blown `SNS_DEADLINE_MS` never starts sampling or
 //! inference.
 
 use std::collections::{HashMap, VecDeque};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -24,11 +35,20 @@ use sns_core::{SessionError, SessionOutcome, SessionStore, SnsModel};
 use sns_graphir::GraphIr;
 use sns_netlist::ModuleElabCache;
 use sns_rt::json::{parse as parse_json, Json};
+use sns_rt::net::Waker;
 use sns_sampler::PathSampler;
 
 use crate::batcher::MicroBatcher;
-use crate::http::{lingering_close, read_request, write_response, HttpError, Request};
-use crate::metrics::{CacheStats, ElabCacheStats, KernelStats, Metrics};
+use crate::http::{build_response, Request};
+use crate::metrics::{CacheStats, ElabCacheStats, KernelStats, Metrics, ReplicaSnapshot, ReplicaStats};
+use crate::reactor::reactor_loop;
+use crate::shard::{design_key, token_key, HashRing};
+
+/// Locks a mutex, recovering from poisoning (see `batcher.rs` for the
+/// rationale; the serve front-end must stay panic-free regardless).
+pub(crate) fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Reads a positive integer environment knob.
 fn env_usize(name: &str) -> Option<usize> {
@@ -42,26 +62,40 @@ fn env_usize(name: &str) -> Option<usize> {
 pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks an ephemeral port).
     pub addr: String,
-    /// HTTP worker threads (connection handling; not inference threads).
+    /// Request worker threads (routing + inference; socket I/O is the
+    /// reactor's, never theirs).
     pub workers: usize,
-    /// Bounded accept-queue length; beyond it connections get `503`.
+    /// Bounded dispatch-queue length; beyond it requests get `503`.
     pub queue_cap: usize,
     /// Request body byte limit (`413` beyond it).
     pub max_body: usize,
     /// Per-request deadline; stages are never started past it (`504`).
     pub deadline: Option<Duration>,
-    /// Entry cap installed on the model's path cache (`None` = unbounded).
+    /// Entry cap installed on each replica's path cache (`None` =
+    /// unbounded).
     pub cache_cap: Option<usize>,
     /// Inference pool threads per batch round (`SNS_THREADS`).
     pub threads: usize,
     /// Sequences per packed Circuitformer forward (`SNS_BATCH`).
     pub batch: usize,
-    /// Socket read timeout while receiving a request.
+    /// Per-connection framing deadline: a complete request must arrive
+    /// within this budget of the accept (fixed at accept time — trickling
+    /// bytes does not extend it), else `408`.
     pub read_timeout: Duration,
     /// Live design sessions retained as ECO bases (`SNS_SESSION_CAP`).
     pub session_cap: usize,
     /// Module-elaboration-unit cache entries (`SNS_ELAB_CACHE_CAP`).
     pub elab_cache_cap: usize,
+    /// Model replicas behind the consistent-hash router (`SNS_REPLICAS`).
+    /// 1 = classic single-replica serving.
+    pub replicas: usize,
+    /// Connection-count cap; accepts beyond it are shed with `503`
+    /// (`SNS_MAX_CONNS`).
+    pub max_conns: usize,
+    /// Test-only hooks (`x-sns-sleep-ms` header, `GET /debug/blob`).
+    /// Never enabled from the environment — deterministic concurrency
+    /// tests set it explicitly.
+    pub debug_hooks: bool,
 }
 
 impl Default for ServeConfig {
@@ -80,18 +114,23 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(10),
             session_cap: sns_core::session::DEFAULT_SESSION_CAP,
             elab_cache_cap: ModuleElabCache::DEFAULT_CAPACITY,
+            replicas: 1,
+            max_conns: 1024,
+            debug_hooks: false,
         }
     }
 }
 
 impl ServeConfig {
     /// The default configuration with every `SNS_*` environment knob
-    /// applied: `SNS_SERVE_WORKERS`, `SNS_QUEUE_CAP`, `SNS_MAX_BODY`,
-    /// `SNS_DEADLINE_MS`, `SNS_CACHE_CAP` (0 = unbounded), `SNS_THREADS`,
-    /// `SNS_BATCH`, `SNS_SESSION_CAP`, `SNS_ELAB_CACHE_CAP`.
+    /// applied: `SNS_WORKERS` (alias `SNS_SERVE_WORKERS`),
+    /// `SNS_QUEUE_CAP`, `SNS_MAX_BODY`, `SNS_DEADLINE_MS`,
+    /// `SNS_CACHE_CAP` (0 = unbounded), `SNS_THREADS`, `SNS_BATCH`,
+    /// `SNS_SESSION_CAP`, `SNS_ELAB_CACHE_CAP`, `SNS_REPLICAS`,
+    /// `SNS_MAX_CONNS`.
     pub fn from_env() -> Self {
         let mut c = ServeConfig::default();
-        if let Some(n) = env_usize("SNS_SERVE_WORKERS") {
+        if let Some(n) = env_usize("SNS_WORKERS").or_else(|| env_usize("SNS_SERVE_WORKERS")) {
             c.workers = n;
         }
         if let Some(n) = env_usize("SNS_QUEUE_CAP") {
@@ -116,19 +155,58 @@ impl ServeConfig {
         if let Some(n) = env_usize("SNS_ELAB_CACHE_CAP") {
             c.elab_cache_cap = n;
         }
+        if let Some(n) = env_usize("SNS_REPLICAS") {
+            c.replicas = n;
+        }
+        if let Some(n) = env_usize("SNS_MAX_CONNS") {
+            c.max_conns = n;
+        }
         c
     }
 }
 
-struct Shared {
-    model: Arc<SnsModel>,
-    metrics: Arc<Metrics>,
-    batcher: MicroBatcher,
-    config: ServeConfig,
-    sessions: SessionStore,
-    queue: Mutex<VecDeque<TcpStream>>,
-    queue_cv: Condvar,
-    shutdown: AtomicBool,
+/// A complete request handed from the reactor to the worker pool.
+pub(crate) struct Job {
+    pub conn_id: u64,
+    pub request: Request,
+}
+
+/// Rendered response bytes handed back from a worker to the reactor.
+pub(crate) struct Completion {
+    pub conn_id: u64,
+    pub bytes: Vec<u8>,
+}
+
+/// One model replica: a full model clone with a private path cache,
+/// its own micro-batcher, per-replica counters, and a liveness flag the
+/// chaos tests (and an eventual health checker) flip.
+pub(crate) struct Replica {
+    pub model: Arc<SnsModel>,
+    pub batcher: MicroBatcher,
+    pub stats: Arc<ReplicaStats>,
+    pub alive: AtomicBool,
+}
+
+impl Replica {
+    fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+}
+
+pub(crate) struct Shared {
+    pub config: ServeConfig,
+    pub metrics: Arc<Metrics>,
+    pub replicas: Vec<Replica>,
+    pub ring: HashRing,
+    /// Session store is deliberately shared across replicas: base tokens
+    /// are content-addressed, and ECO requests route by token so the
+    /// replica-local path caches still get affinity.
+    pub sessions: SessionStore,
+    pub dispatch: Mutex<VecDeque<Job>>,
+    pub dispatch_cv: Condvar,
+    pub completions: Mutex<Vec<Completion>>,
+    pub waker: Waker,
+    pub shutdown: AtomicBool,
 }
 
 /// A running inference daemon. Dropping it without calling
@@ -137,65 +215,105 @@ struct Shared {
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds and starts accepting. The model's path cache is bounded to
-    /// `config.cache_cap` entries.
+    /// Binds and starts accepting. Each replica's path cache is bounded
+    /// to `config.cache_cap` entries.
     ///
     /// # Errors
     ///
-    /// Returns the bind error if the address is unavailable.
+    /// Returns the bind error if the address is unavailable, or the OS
+    /// error if a thread or the waker pipe cannot be created.
     pub fn start(model: SnsModel, config: ServeConfig) -> std::io::Result<Server> {
         Self::start_shared(Arc::new(model), config)
     }
 
     /// [`start`](Self::start) for callers that keep their own handle to
     /// the model (benchmarks clearing the cache between rounds, tests).
+    /// The caller's model becomes replica 0; further replicas are
+    /// [`fork_replica`](SnsModel::fork_replica) clones with cold caches.
     pub fn start_shared(model: Arc<SnsModel>, config: ServeConfig) -> std::io::Result<Server> {
         model.cache().set_capacity(config.cache_cap);
+        let metrics = Arc::new(Metrics::default());
+        let replica_count = config.replicas.max(1);
+        let mut replicas = Vec::with_capacity(replica_count);
+        for i in 0..replica_count {
+            let replica_model = if i == 0 {
+                Arc::clone(&model)
+            } else {
+                let fork = model.fork_replica();
+                fork.cache().set_capacity(config.cache_cap);
+                Arc::new(fork)
+            };
+            let stats = Arc::new(ReplicaStats::default());
+            let batcher = MicroBatcher::start(
+                Arc::clone(&replica_model),
+                config.threads,
+                config.batch,
+                Arc::clone(&metrics),
+                Arc::clone(&stats),
+            )?;
+            replicas.push(Replica {
+                model: replica_model,
+                batcher,
+                stats,
+                alive: AtomicBool::new(true),
+            });
+        }
+
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let metrics = Arc::new(Metrics::default());
-        let batcher = MicroBatcher::start(
-            Arc::clone(&model),
-            config.threads,
-            config.batch,
-            Arc::clone(&metrics),
-        );
+        let waker = Waker::new()?;
         let sessions = SessionStore::new(config.session_cap, config.elab_cache_cap);
+        let ring = HashRing::new(replica_count);
+        let worker_count = config.workers.max(1);
         let shared = Arc::new(Shared {
-            model,
-            metrics,
-            batcher,
             config,
+            metrics,
+            replicas,
+            ring,
             sessions,
-            queue: Mutex::new(VecDeque::new()),
-            queue_cv: Condvar::new(),
+            dispatch: Mutex::new(VecDeque::new()),
+            dispatch_cv: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
+            waker,
             shutdown: AtomicBool::new(false),
         });
 
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("sns-accept".into())
-                .spawn(move || accept_loop(&listener, &shared))
-                .expect("spawn acceptor")
-        };
-        let workers = (0..shared.config.workers.max(1))
-            .map(|i| {
+        let spawn_all = || -> std::io::Result<(JoinHandle<()>, Vec<JoinHandle<()>>)> {
+            let reactor = {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
-                    .name(format!("sns-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
-            })
-            .collect();
-
-        Ok(Server { addr, shared, acceptor: Some(acceptor), workers })
+                    .name("sns-reactor".into())
+                    .spawn(move || reactor_loop(listener, &shared))?
+            };
+            let mut workers = Vec::with_capacity(worker_count);
+            for i in 0..worker_count {
+                let shared = Arc::clone(&shared);
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("sns-worker-{i}"))
+                        .spawn(move || worker_loop(&shared))?,
+                );
+            }
+            Ok((reactor, workers))
+        };
+        match spawn_all() {
+            Ok((reactor, workers)) => {
+                Ok(Server { addr, shared, reactor: Some(reactor), workers })
+            }
+            Err(e) => {
+                // Whatever did spawn must not linger headless.
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.waker.wake();
+                shared.dispatch_cv.notify_all();
+                Err(e)
+            }
+        }
     }
 
     /// The bound address (with the ephemeral port resolved).
@@ -213,12 +331,50 @@ impl Server {
         &self.shared.sessions
     }
 
+    /// Number of model replicas behind the router.
+    pub fn replica_count(&self) -> usize {
+        self.shared.replicas.len()
+    }
+
+    /// The replica a full-design request for (`verilog`, `top`) homes on
+    /// (ignoring liveness) — lets tests aim chaos at the right replica.
+    pub fn replica_for(&self, verilog: &str, top: &str) -> usize {
+        self.shared.ring.home(design_key(verilog, top)) as usize
+    }
+
+    /// Marks a replica dead: new requests fail over along the ring,
+    /// in-flight requests on it get `503` at their next stage boundary.
+    /// Returns `false` for an out-of-range index.
+    pub fn kill_replica(&self, idx: usize) -> bool {
+        match self.shared.replicas.get(idx) {
+            Some(r) => {
+                r.alive.store(false, Ordering::SeqCst);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Marks a replica alive again; it resumes its old ring range (its
+    /// cache kept warm through the outage — liveness is routing state,
+    /// not process state). Returns `false` for an out-of-range index.
+    pub fn revive_replica(&self, idx: usize) -> bool {
+        match self.shared.replicas.get(idx) {
+            Some(r) => {
+                r.alive.store(true, Ordering::SeqCst);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Begins a graceful shutdown: stop accepting, let queued and
     /// in-flight requests finish. Idempotent; safe from a signal-watcher
     /// thread.
     pub fn request_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.queue_cv.notify_all();
+        self.shared.dispatch_cv.notify_all();
+        self.shared.waker.wake();
     }
 
     /// Whether a shutdown has been requested.
@@ -226,18 +382,19 @@ impl Server {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Drains in-flight work and joins every thread (acceptor, workers,
-    /// micro-batcher). Implies [`request_shutdown`](Self::request_shutdown).
+    /// Drains in-flight work and joins every thread (reactor, workers,
+    /// per-replica micro-batchers). Implies
+    /// [`request_shutdown`](Self::request_shutdown).
     pub fn join(mut self) {
         self.request_shutdown();
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
+        if let Some(r) = self.reactor.take() {
+            let _ = r.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
         // Dropping `self` releases the last `Arc<Shared>` (all threads
-        // have exited), which drops the `MicroBatcher`, whose `Drop`
+        // have exited), which drops every `MicroBatcher`, whose `Drop`
         // drains any queued round and joins the batcher thread.
     }
 }
@@ -248,134 +405,53 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Shared) {
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        match listener.accept() {
-            Ok((stream, _)) => enqueue(stream, shared),
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
-    }
-}
-
-/// Admits a connection into the bounded queue, or sheds it with
-/// `503 + Retry-After` when the queue is full (backpressure: the client
-/// learns immediately instead of waiting on an invisible line).
-fn enqueue(mut stream: TcpStream, shared: &Shared) {
-    {
-        let mut queue = shared.queue.lock().expect("queue lock poisoned");
-        if queue.len() < shared.config.queue_cap {
-            queue.push_back(stream);
-            let depth = queue.len() as u64;
-            drop(queue);
-            shared.metrics.queue_depth.store(depth, Ordering::Relaxed);
-            shared.queue_cv.notify_one();
-            return;
-        }
-    }
-    shared.metrics.rejected_503.fetch_add(1, Ordering::Relaxed);
-    shared.metrics.responses_5xx.fetch_add(1, Ordering::Relaxed);
-    let body = error_body("server overloaded, retry shortly", "overload");
-    let _ = write_response(&mut stream, 503, &[("retry-after", "1".to_string())], &body.print());
-    // This runs on the acceptor thread and the request was never read,
-    // so linger briefly — long enough for a well-behaved peer to take
-    // the 503, short enough that a stalled one cannot starve accepts.
-    lingering_close(&mut stream, Duration::from_millis(250));
-}
-
-fn worker_loop(shared: &Shared) {
-    loop {
-        let stream = {
-            let mut queue = shared.queue.lock().expect("queue lock poisoned");
-            loop {
-                if let Some(s) = queue.pop_front() {
-                    shared.metrics.queue_depth.store(queue.len() as u64, Ordering::Relaxed);
-                    break s;
-                }
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return; // queue drained, shutting down
-                }
-                queue = shared.queue_cv.wait(queue).expect("queue lock poisoned");
-            }
-        };
-        shared.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
-        handle_connection(stream, shared);
-        shared.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
-    }
-}
-
-fn error_body(message: &str, kind: &str) -> Json {
+pub(crate) fn error_body(message: &str, kind: &str) -> Json {
     Json::obj(vec![
         ("error", Json::Str(message.to_string())),
         ("kind", Json::Str(kind.to_string())),
     ])
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
-    let _ = stream.set_nodelay(true);
-    // Only a failed read can leave request bytes unread on the socket
-    // (closing over them would RST the response away, so those paths
-    // linger); after a successful read the request was consumed fully.
-    let mut unread_input = false;
-    let (status, extra, body): Reply = match read_request(&mut stream, shared.config.max_body) {
-        Err(HttpError::Io(_)) => {
-            shared.metrics.conn_errors.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-        Err(HttpError::BadRequest(msg)) => {
-            shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-            unread_input = true;
-            (400, Vec::new(), error_body(&format!("malformed HTTP request: {msg}"), "http"))
-        }
-        Err(HttpError::PayloadTooLarge { limit }) => {
-            shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-            unread_input = true;
-            (
-                413,
-                Vec::new(),
-                error_body(&format!("request body exceeds the {limit}-byte limit"), "http"),
-            )
-        }
-        Ok(request) => {
-            shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-            // The pipeline is designed to be panic-free on arbitrary input
-            // (see the adversarial suites), but a residual bug must cost
-            // one 500, not the worker thread and every queued connection
-            // behind it. `AssertUnwindSafe` is sound: `shared` holds no
-            // lock across this call and all its state is atomics or
-            // poison-checked mutexes.
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                route(&request, shared)
-            })) {
-                Ok(reply) => reply,
-                Err(_) => {
-                    shared.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
-                    (
-                        500,
-                        Vec::new(),
-                        error_body("internal error while handling the request", "panic"),
-                    )
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = lock_or_recover(&shared.dispatch);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    shared.metrics.queue_depth.store(queue.len() as u64, Ordering::Relaxed);
+                    break job;
                 }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return; // queue drained, shutting down
+                }
+                queue = shared.dispatch_cv.wait(queue).unwrap_or_else(PoisonError::into_inner);
             }
-        }
-    };
-    let class = match status {
-        200..=299 => &shared.metrics.responses_2xx,
-        400..=499 => &shared.metrics.responses_4xx,
-        _ => &shared.metrics.responses_5xx,
-    };
-    class.fetch_add(1, Ordering::Relaxed);
-    if write_response(&mut stream, status, &extra, &body.print()).is_err() {
-        shared.metrics.conn_errors.fetch_add(1, Ordering::Relaxed);
-    }
-    if unread_input {
-        lingering_close(&mut stream, shared.config.read_timeout);
+        };
+        shared.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        // The pipeline is designed to be panic-free on arbitrary input
+        // (see the adversarial suites), but a residual bug must cost one
+        // 500, not the worker thread and every queued request behind it.
+        // `AssertUnwindSafe` is sound: `shared` holds no lock across this
+        // call and all its state is atomics or recover-on-poison mutexes.
+        let (status, extra, body) = match std::panic::catch_unwind(
+            std::panic::AssertUnwindSafe(|| route(&job.request, shared)),
+        ) {
+            Ok(reply) => reply,
+            Err(_) => {
+                shared.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
+                (500, Vec::new(), error_body("internal error while handling the request", "panic"))
+            }
+        };
+        shared.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let class = match status {
+            200..=299 => &shared.metrics.responses_2xx,
+            400..=499 => &shared.metrics.responses_4xx,
+            _ => &shared.metrics.responses_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+        let bytes = build_response(status, &extra, &body.print());
+        lock_or_recover(&shared.completions).push(Completion { conn_id: job.conn_id, bytes });
+        shared.waker.wake();
     }
 }
 
@@ -385,14 +461,24 @@ fn route(request: &Request, shared: &Shared) -> Reply {
     match (request.method.as_str(), request.target.as_str()) {
         ("POST", "/predict") => handle_predict(request, shared),
         ("GET", "/metrics") => {
-            let cache = shared.model.cache();
-            let stats = CacheStats {
-                entries: cache.len(),
-                capacity: cache.capacity(),
-                hits: cache.hits(),
-                misses: cache.misses(),
-                evictions: cache.evictions(),
-            };
+            let snapshots: Vec<ReplicaSnapshot> = shared
+                .replicas
+                .iter()
+                .map(|r| {
+                    let cache = r.model.cache();
+                    r.stats.snapshot(
+                        r.is_alive(),
+                        r.batcher.queue_depth() as u64,
+                        CacheStats {
+                            entries: cache.len(),
+                            capacity: cache.capacity(),
+                            hits: cache.hits(),
+                            misses: cache.misses(),
+                            evictions: cache.evictions(),
+                        },
+                    )
+                })
+                .collect();
             let elab = shared.sessions.elab_cache();
             let elab_stats = ElabCacheStats {
                 entries: elab.len(),
@@ -403,13 +489,26 @@ fn route(request: &Request, shared: &Shared) -> Reply {
                 invalidations: elab.invalidations(),
                 sessions: shared.sessions.session_count(),
             };
+            let model = &shared.replicas[0].model;
             let kernel_stats = KernelStats {
-                prepack_bytes: shared.model.prepack_bytes(),
-                int8: shared.model.quant_mode() == sns_core::QuantMode::Int8,
+                prepack_bytes: model.prepack_bytes(),
+                int8: model.quant_mode() == sns_core::QuantMode::Int8,
             };
-            (200, Vec::new(), shared.metrics.to_json(stats, elab_stats, kernel_stats))
+            (200, Vec::new(), shared.metrics.to_json(&snapshots, elab_stats, kernel_stats))
         }
         ("GET", "/healthz") => (200, Vec::new(), Json::obj(vec![("status", Json::Str("ok".into()))])),
+        ("GET", target)
+            if shared.config.debug_hooks && target.starts_with("/debug/blob") =>
+        {
+            // Test hook: a response big enough to overflow the socket
+            // send buffer, for exercising partial-write handling.
+            let kb = target
+                .split_once("kb=")
+                .and_then(|(_, v)| v.parse::<usize>().ok())
+                .unwrap_or(64)
+                .min(16 * 1024);
+            (200, Vec::new(), Json::obj(vec![("blob", Json::Str("x".repeat(kb * 1024)))]))
+        }
         (_, "/predict") | (_, "/metrics") | (_, "/healthz") => (
             405,
             Vec::new(),
@@ -509,25 +608,102 @@ fn deadline_reply(stage: &str, shared: &Shared) -> Reply {
     )
 }
 
-/// The full prediction pipeline with per-stage instrumentation and
-/// deadline checks. Responses are bit-identical to a direct
-/// `SnsModel::predict_verilog` call: the sampler is seeded by config, the
-/// micro-batcher fills the same shared cache `aggregate` would, and the
-/// final reduction is the model's own `predict_primed`.
+/// Raised (as `Err`) by stage-boundary liveness checks when the routed
+/// replica was killed mid-flight.
+struct ReplicaLost;
+
+fn check_alive(replica: &Replica) -> Result<(), ReplicaLost> {
+    if replica.is_alive() {
+        Ok(())
+    } else {
+        Err(ReplicaLost)
+    }
+}
+
+/// Routes the request body to a replica and runs it there, translating
+/// mid-flight replica loss into a clean `503` (never a truncated or
+/// wrong-valued body — the reply is either a full pipeline product or a
+/// structured error).
 fn handle_predict(request: &Request, shared: &Shared) -> Reply {
     let start = Instant::now();
-    let deadline = shared.config.deadline.map(|d| start + d);
     shared.metrics.predict_requests.fetch_add(1, Ordering::Relaxed);
 
-    let input = match parse_predict_body(&request.body) {
-        Ok(PredictBody::Full(input)) => input,
-        Ok(PredictBody::Session { verilog, top, clock_ps }) => {
-            return handle_session(shared, &verilog, &top, clock_ps, start)
-        }
-        Ok(PredictBody::Patch { base, patch, clock_ps }) => {
-            return handle_patch(shared, &base, &patch, clock_ps, start)
-        }
+    let body = match parse_predict_body(&request.body) {
+        Ok(body) => body,
         Err(msg) => return (400, Vec::new(), error_body(&msg, "json")),
+    };
+    let key = match &body {
+        PredictBody::Full(input) => design_key(&input.verilog, &input.top),
+        PredictBody::Session { verilog, top, .. } => design_key(verilog, top),
+        PredictBody::Patch { base, .. } => token_key(base),
+    };
+    let Some(choice) = shared.ring.route(key, |r| {
+        shared.replicas.get(r as usize).is_some_and(Replica::is_alive)
+    }) else {
+        return (
+            503,
+            vec![("retry-after", "1".to_string())],
+            error_body("no live replicas", "replica"),
+        );
+    };
+    if choice.failed_over {
+        shared.metrics.router_failovers.fetch_add(1, Ordering::Relaxed);
+    }
+    let replica = &shared.replicas[choice.replica as usize];
+    replica.stats.routed.fetch_add(1, Ordering::Relaxed);
+    replica.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+
+    // Deterministic chaos hook: lets tests hold a request in-flight on
+    // its routed replica (e.g. to kill the replica underneath it).
+    if shared.config.debug_hooks {
+        if let Some(ms) = request.header("x-sns-sleep-ms").and_then(|v| v.parse::<u64>().ok()) {
+            std::thread::sleep(Duration::from_millis(ms.min(10_000)));
+        }
+    }
+
+    let reply = match predict_on_replica(shared, replica, body, start) {
+        Ok(reply) => {
+            replica.stats.completed.fetch_add(1, Ordering::Relaxed);
+            reply
+        }
+        Err(ReplicaLost) => {
+            replica.stats.shed.fetch_add(1, Ordering::Relaxed);
+            (
+                503,
+                vec![("retry-after", "1".to_string())],
+                error_body(
+                    &format!("replica {} lost mid-flight, retry", choice.replica),
+                    "replica",
+                ),
+            )
+        }
+    };
+    replica.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+    reply
+}
+
+/// The full prediction pipeline on one replica, with per-stage
+/// instrumentation, deadline checks, and liveness checks at every stage
+/// boundary. Responses are bit-identical to a direct
+/// `SnsModel::predict_verilog` call: the sampler is seeded by config,
+/// the replica's micro-batcher fills the same cache `aggregate` would,
+/// and the final reduction is the model's own `predict_primed`.
+fn predict_on_replica(
+    shared: &Shared,
+    replica: &Replica,
+    body: PredictBody,
+    start: Instant,
+) -> Result<Reply, ReplicaLost> {
+    let deadline = shared.config.deadline.map(|d| start + d);
+    check_alive(replica)?;
+    let input = match body {
+        PredictBody::Full(input) => input,
+        PredictBody::Session { verilog, top, clock_ps } => {
+            return handle_session(shared, replica, &verilog, &top, clock_ps, start)
+        }
+        PredictBody::Patch { base, patch, clock_ps } => {
+            return handle_patch(shared, replica, &base, &patch, clock_ps, start)
+        }
     };
 
     // Stage 1: Verilog front-end.
@@ -538,43 +714,50 @@ fn handle_predict(request: &Request, shared: &Shared) -> Reply {
         // SNS_MAX_REPLICATION) are 422: the Verilog may be perfectly
         // well-formed, the deployment just refuses to elaborate something
         // that large. Malformed source stays 400.
-        Err(e) if e.is_budget() => return (422, Vec::new(), error_body(&e.to_string(), "budget")),
-        Err(e) => return (400, Vec::new(), error_body(&e.to_string(), "verilog")),
+        Err(e) if e.is_budget() => {
+            return Ok((422, Vec::new(), error_body(&e.to_string(), "budget")))
+        }
+        Err(e) => return Ok((400, Vec::new(), error_body(&e.to_string(), "verilog"))),
     };
     shared.metrics.stage_parse.record(t.elapsed());
+    check_alive(replica)?;
     if deadline.is_some_and(|d| Instant::now() >= d) {
-        return deadline_reply("sampling", shared);
+        return Ok(deadline_reply("sampling", shared));
     }
 
     // Stage 2: GraphIR + path sampling.
     let t = Instant::now();
     let graph = GraphIr::from_netlist(&netlist);
-    let paths = PathSampler::new(shared.model.sample_config().clone()).sample(&graph);
+    let paths = PathSampler::new(replica.model.sample_config().clone()).sample(&graph);
     shared.metrics.stage_sample.record(t.elapsed());
+    check_alive(replica)?;
     if deadline.is_some_and(|d| Instant::now() >= d) {
-        return deadline_reply("inference", shared);
+        return Ok(deadline_reply("inference", shared));
     }
 
     // Stage 3: micro-batched inference — only the sequences this request
-    // is missing; concurrent requests share packed forwards.
+    // is missing; concurrent requests for the same design share work
+    // through the replica's cache.
     let t = Instant::now();
-    let token_seqs = shared.model.tokenize_paths(&graph, &paths);
-    let missing = shared.model.cache().missing_unique(&token_seqs);
-    let gate = shared.batcher.submit(missing);
+    let token_seqs = replica.model.tokenize_paths(&graph, &paths);
+    let missing = replica.model.cache().missing_unique(&token_seqs);
+    let gate = replica.batcher.submit(missing);
     if !gate.wait(deadline) {
-        return deadline_reply("aggregation", shared);
+        return Ok(deadline_reply("aggregation", shared));
     }
     shared.metrics.stage_infer.record(t.elapsed());
+    check_alive(replica)?;
 
     // Stage 4: serial reduction + MLP refinement.
     let t = Instant::now();
-    let pred = shared.model.predict_primed(&graph, &paths, &token_seqs, input.activity.as_ref(), start);
+    let pred =
+        replica.model.predict_primed(&graph, &paths, &token_seqs, input.activity.as_ref(), start);
     shared.metrics.stage_aggregate.record(t.elapsed());
 
     let fields = prediction_fields(&pred, input.clock_ps);
     shared.metrics.predict_ok.fetch_add(1, Ordering::Relaxed);
     shared.metrics.stage_total.record(start.elapsed());
-    (200, Vec::new(), Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect()))
+    Ok((200, Vec::new(), Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())))
 }
 
 /// The `DesignPrediction` fields every successful `/predict` reply shares.
@@ -627,47 +810,53 @@ fn session_reply(
 /// incremental pipeline and register the design as an ECO base.
 fn handle_session(
     shared: &Shared,
+    replica: &Replica,
     verilog: &str,
     top: &str,
     clock_ps: Option<f64>,
     start: Instant,
-) -> Reply {
-    let outcome = match shared.model.predict_session(&shared.sessions, verilog, top) {
+) -> Result<Reply, ReplicaLost> {
+    let outcome = match replica.model.predict_session(&shared.sessions, verilog, top) {
         Ok(o) => o,
-        Err(e) if e.is_budget() => return (422, Vec::new(), error_body(&e.to_string(), "budget")),
-        Err(e) => return (400, Vec::new(), error_body(&e.to_string(), "verilog")),
+        Err(e) if e.is_budget() => {
+            return Ok((422, Vec::new(), error_body(&e.to_string(), "budget")))
+        }
+        Err(e) => return Ok((400, Vec::new(), error_body(&e.to_string(), "verilog"))),
     };
-    session_reply(shared, &outcome, clock_ps, start)
+    check_alive(replica)?;
+    Ok(session_reply(shared, &outcome, clock_ps, start))
 }
 
 /// `{"base": token, "patch": module sources}` — merge the patch into the
 /// base session's design and re-predict incrementally.
 fn handle_patch(
     shared: &Shared,
+    replica: &Replica,
     base: &str,
     patch: &str,
     clock_ps: Option<f64>,
     start: Instant,
-) -> Reply {
+) -> Result<Reply, ReplicaLost> {
     shared.metrics.eco_requests.fetch_add(1, Ordering::Relaxed);
-    let outcome = match shared.model.predict_patch(&shared.sessions, base, patch) {
+    let outcome = match replica.model.predict_patch(&shared.sessions, base, patch) {
         Ok(o) => o,
         Err(SessionError::UnknownBase(token)) => {
-            return (
+            return Ok((
                 404,
                 Vec::new(),
                 error_body(
                     &format!("unknown base design `{token}` (expired or never registered)"),
                     "session",
                 ),
-            )
+            ))
         }
         Err(SessionError::Front(e)) if e.is_budget() => {
-            return (422, Vec::new(), error_body(&e.to_string(), "budget"))
+            return Ok((422, Vec::new(), error_body(&e.to_string(), "budget")))
         }
         Err(SessionError::Front(e)) => {
-            return (400, Vec::new(), error_body(&e.to_string(), "verilog"))
+            return Ok((400, Vec::new(), error_body(&e.to_string(), "verilog")))
         }
     };
-    session_reply(shared, &outcome, clock_ps, start)
+    check_alive(replica)?;
+    Ok(session_reply(shared, &outcome, clock_ps, start))
 }

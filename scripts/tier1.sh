@@ -25,11 +25,14 @@ echo "==> cargo test -q -p sns-netlist -p sns-graphir -p sns-sampler"
 cargo test -q -p sns-netlist -p sns-graphir -p sns-sampler
 
 # No-new-panics gate: the untrusted pipeline (netlist/graphir/sampler)
-# must stay free of unwrap/expect/panic!/unreachable! outside tests —
-# every one of these is a remote crash when the input is hostile.
-echo "==> no-new-panics grep gate (crates/{netlist,graphir,sampler}/src)"
+# and the network-facing serving layer (serve front-end, its binary, and
+# the rt reactor substrate) must stay free of unwrap/expect/panic!/
+# unreachable! outside tests — every one of these is a remote crash when
+# the input is hostile.
+echo "==> no-new-panics grep gate (crates/{netlist,graphir,sampler,serve}/src + rt net)"
 panic_sites=$(
-  for f in crates/netlist/src/*.rs crates/graphir/src/*.rs crates/sampler/src/*.rs; do
+  for f in crates/netlist/src/*.rs crates/graphir/src/*.rs crates/sampler/src/*.rs \
+           crates/serve/src/*.rs crates/serve/src/bin/*.rs crates/rt/src/net.rs; do
     # Cut each file at its #[cfg(test)] module; test code may panic freely.
     awk '/^#\[cfg\(test\)\]/ { exit } { print FILENAME ":" FNR ": " $0 }' "$f"
   done | grep -E '\.unwrap\(\)|\.expect\(|panic!|unreachable!' | grep -vE ':\s*//' || true

@@ -6,9 +6,9 @@
 //! port, so the tests are safe under the default parallel test harness.
 
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sns::circuitformer::{CircuitformerConfig, TrainConfig};
 use sns::core::dataset::AugmentConfig;
@@ -304,48 +304,394 @@ fn zero_deadline_aborts_with_504_before_inference() {
 
 #[test]
 fn full_queue_sheds_with_503_and_retry_after() {
-    // One worker, queue depth one: occupy the worker with a stalled
-    // request, fill the queue slot, and every further connection must be
-    // rejected immediately — deterministically, not timing-luck.
+    // One worker, queue depth one: hold the worker with a deliberately
+    // slow request (debug sleep hook), fill the queue slot, and every
+    // further request must be rejected immediately — deterministically,
+    // not timing-luck. Under the reactor a *stalled* request can no
+    // longer occupy anything (framing costs no worker), so occupancy is
+    // created where it now lives: inside a handler.
     let server = Server::start_shared(
         model(),
-        ServeConfig { workers: 1, queue_cap: 1, ..test_config() },
+        ServeConfig { workers: 1, queue_cap: 1, debug_hooks: true, ..test_config() },
     )
     .unwrap();
     let addr = server.addr();
+    let d = &serve_designs()[0];
 
-    // Connection A: headers promise a body that never arrives (yet), so
-    // the lone worker blocks reading it.
+    // Connection A: the lone worker dequeues it and sleeps in-handler.
+    let body = predict_body(d);
+    let raw = format!(
+        "POST /predict HTTP/1.1\r\nhost: t\r\nx-sns-sleep-ms: 1500\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
     let mut a = TcpStream::connect(addr).unwrap();
-    a.write_all(b"POST /predict HTTP/1.1\r\nhost: t\r\ncontent-length: 10\r\n\r\n").unwrap();
-    std::thread::sleep(Duration::from_millis(300)); // worker has dequeued A
+    a.write_all(raw.as_bytes()).unwrap();
+    std::thread::sleep(Duration::from_millis(400)); // worker has dequeued A
 
     // Connection B takes the single queue slot.
     let mut b = TcpStream::connect(addr).unwrap();
     b.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n").unwrap();
-    std::thread::sleep(Duration::from_millis(300)); // acceptor has queued B
+    std::thread::sleep(Duration::from_millis(300)); // reactor has queued B
 
-    // C and D find the queue full → shed at the accept stage.
+    // C and D find the queue full → shed by the reactor, immediately —
+    // the sleeping worker never touches them.
     for _ in 0..2 {
         let raw = b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n";
+        let t = Instant::now();
         let (status, headers, body) = http_raw(addr, raw);
         assert_eq!(status, 503, "{body}");
+        assert!(t.elapsed() < Duration::from_millis(700), "shed was not immediate");
         assert_eq!(parse_json(&body).unwrap().get("kind").unwrap().as_str().unwrap(), "overload");
         let retry = headers.iter().find(|(k, _)| k == "retry-after");
         assert_eq!(retry.map(|(_, v)| v.as_str()), Some("1"));
     }
 
-    // A finally sends its 10 bytes (garbage) → 400, worker moves on to B.
-    a.write_all(b"0123456789").unwrap();
+    // A's sleep ends → its prediction completes; the worker moves on to B.
     let mut response = String::new();
     a.read_to_string(&mut response).unwrap();
-    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
     let mut response = String::new();
     b.read_to_string(&mut response).unwrap();
     assert!(response.starts_with("HTTP/1.1 200"), "{response}");
 
     let (_, m) = get(addr, "/metrics");
     assert_eq!(m.get("rejected_503").unwrap().as_u64().unwrap(), 2);
+    assert_eq!(m.get("panics_total").unwrap().as_u64().unwrap(), 0);
+    server.join();
+}
+
+#[test]
+fn slow_loris_headers_get_408_without_stalling_the_reactor() {
+    let server = Server::start_shared(
+        model(),
+        ServeConfig { read_timeout: Duration::from_millis(500), ..test_config() },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // A peer trickling one header byte at a time. The framing deadline
+    // is fixed at accept — diligent trickling must not extend it.
+    let mut loris = TcpStream::connect(addr).unwrap();
+    let mut writer = loris.try_clone().unwrap();
+    let trickler = std::thread::spawn(move || {
+        for byte in b"GET /healthz HTTP/1.1\r\nhost: tttttttttttttttttttttttttttt" {
+            if writer.write_all(&[*byte]).is_err() {
+                break; // the server gave up on us, as it should
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    });
+
+    // While the loris trickles, an honest request on another connection
+    // answers immediately: framing costs no worker under the reactor.
+    let t = Instant::now();
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200, "{}", body.print());
+    assert!(t.elapsed() < Duration::from_secs(2), "reactor stalled by a slow-loris peer");
+
+    // The loris itself gets a structured 408 once the deadline passes,
+    // well before its trickle would have completed the request.
+    let t = Instant::now();
+    let mut response = String::new();
+    loris.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 408"), "{response}");
+    assert!(t.elapsed() < Duration::from_secs(3), "408 did not arrive at the deadline");
+    let payload = response.split_once("\r\n\r\n").unwrap().1;
+    assert_eq!(parse_json(payload).unwrap().get("kind").unwrap().as_str().unwrap(), "timeout");
+    trickler.join().unwrap();
+
+    let (_, m) = get(addr, "/metrics");
+    assert!(m.get("read_timeouts").unwrap().as_u64().unwrap() >= 1);
+    assert_eq!(m.get("panics_total").unwrap().as_u64().unwrap(), 0);
+    server.join();
+}
+
+#[test]
+fn half_closed_connections_are_answered_or_dropped_cleanly() {
+    let server = Server::start_shared(model(), test_config()).unwrap();
+    let addr = server.addr();
+
+    // Half-close after a complete request: the response still arrives.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n").unwrap();
+    s.shutdown(Shutdown::Write).unwrap();
+    let mut response = String::new();
+    s.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+
+    // Half-close mid-headers: a structured 400, not a hang.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.1\r\nho").unwrap();
+    s.shutdown(Shutdown::Write).unwrap();
+    let mut response = String::new();
+    s.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(response.contains("mid-headers"), "{response}");
+
+    // Half-close mid-body (headers promised more than was sent).
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"POST /predict HTTP/1.1\r\nhost: t\r\ncontent-length: 50\r\n\r\nshort").unwrap();
+    s.shutdown(Shutdown::Write).unwrap();
+    let mut response = String::new();
+    s.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(response.contains("mid-body"), "{response}");
+
+    // A connection that half-closes without sending a byte disappears
+    // silently: no response, and no error counted.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.shutdown(Shutdown::Write).unwrap();
+    let mut sink = Vec::new();
+    assert_eq!(s.read_to_end(&mut sink).unwrap(), 0, "idle probe gets a silent close");
+
+    let (_, m) = get(addr, "/metrics");
+    assert_eq!(m.get("conn_errors").unwrap().as_u64().unwrap(), 0);
+    assert_eq!(m.get("panics_total").unwrap().as_u64().unwrap(), 0);
+    server.join();
+}
+
+#[test]
+fn oversized_and_pipelined_requests_are_rejected_at_the_framing_layer() {
+    let server =
+        Server::start_shared(model(), ServeConfig { max_body: 1 << 16, ..test_config() }).unwrap();
+    let addr = server.addr();
+
+    // A declared body beyond the limit draws 413 from the headers alone —
+    // the body itself is never read, let alone buffered.
+    let raw = format!("POST /predict HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n", 1 << 20);
+    let (status, _, body) = http_raw(addr, raw.as_bytes());
+    assert_eq!(status, 413, "{body}");
+    assert_eq!(parse_json(&body).unwrap().get("kind").unwrap().as_str().unwrap(), "http");
+
+    // A request head that never ends: 400 once it crosses the head cap,
+    // long before the framing deadline would fire.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    let filler = format!("x-filler: {}\r\n", "y".repeat(1024));
+    for _ in 0..17 {
+        if s.write_all(filler.as_bytes()).is_err() {
+            break;
+        }
+    }
+    let mut response = String::new();
+    s.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+    // Pipelining a second request behind the first is rejected: this
+    // server is strictly one-request-per-connection.
+    let one: &[u8] = b"GET /healthz HTTP/1.1\r\nhost: t\r\ncontent-length: 0\r\n\r\n";
+    let (status, _, body) = http_raw(addr, &[one, one].concat());
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("longer than Content-Length"), "{body}");
+
+    // The daemon is unfazed by all of it.
+    let (status, _) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    let (_, m) = get(addr, "/metrics");
+    assert_eq!(m.get("panics_total").unwrap().as_u64().unwrap(), 0);
+    server.join();
+}
+
+#[test]
+fn partial_writes_backpressure_without_blocking_other_connections() {
+    let server =
+        Server::start_shared(model(), ServeConfig { debug_hooks: true, ..test_config() }).unwrap();
+    let addr = server.addr();
+
+    // An 8 MiB response cannot fit any socket buffer: the reactor must
+    // drain it across many POLLOUT rounds while this client reads
+    // nothing at all for a while.
+    let mut slow = TcpStream::connect(addr).unwrap();
+    slow.write_all(b"GET /debug/blob?kb=8192 HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(200)); // response is stuck mid-write
+
+    // Meanwhile an honest request is served immediately: a stuffed
+    // connection costs a table entry, never the reactor loop.
+    let t = Instant::now();
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200, "{}", body.print());
+    assert!(t.elapsed() < Duration::from_secs(2), "reactor blocked on a partial write");
+
+    // Dribble-read the blob — deliberately tiny reads first, then the
+    // rest. Every byte must arrive intact.
+    let mut response = Vec::new();
+    let mut tiny = [0u8; 1024];
+    for _ in 0..16 {
+        let n = slow.read(&mut tiny).unwrap();
+        if n == 0 {
+            break;
+        }
+        response.extend_from_slice(&tiny[..n]);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    slow.read_to_end(&mut response).unwrap();
+    let text = String::from_utf8(response).unwrap();
+    assert!(text.starts_with("HTTP/1.1 200"), "{}", &text[..text.len().min(64)]);
+    let payload = text.split_once("\r\n\r\n").unwrap().1;
+    let blob = parse_json(payload).unwrap();
+    assert_eq!(blob.get("blob").unwrap().as_str().unwrap().len(), 8192 * 1024);
+
+    let (_, m) = get(addr, "/metrics");
+    assert_eq!(m.get("conn_errors").unwrap().as_u64().unwrap(), 0);
+    assert_eq!(m.get("panics_total").unwrap().as_u64().unwrap(), 0);
+    server.join();
+}
+
+#[test]
+fn killed_replica_fails_over_and_rejoins_with_reconciled_metrics() {
+    let model = model();
+    let server = Server::start_shared(
+        Arc::clone(&model),
+        ServeConfig { replicas: 4, debug_hooks: true, ..test_config() },
+    )
+    .unwrap();
+    let addr = server.addr();
+    assert_eq!(server.replica_count(), 4);
+
+    let d = serve_designs()[0].clone();
+    let home = server.replica_for(&d.verilog, &d.top);
+    let direct = model.predict_verilog(&d.verilog, &d.top).unwrap();
+
+    // A request held in-flight on its home replica (debug sleep hook)…
+    let body = predict_body(&d);
+    let raw = format!(
+        "POST /predict HTTP/1.1\r\nhost: t\r\nx-sns-sleep-ms: 1000\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let mut inflight = TcpStream::connect(addr).unwrap();
+    inflight.write_all(raw.as_bytes()).unwrap();
+    std::thread::sleep(Duration::from_millis(300)); // handler is sleeping on `home`
+
+    // …ends as a complete, parseable 503 when the replica dies under it —
+    // never a truncated or wrong-valued body.
+    assert!(server.kill_replica(home));
+    let mut response = String::new();
+    inflight.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+    assert!(response.to_ascii_lowercase().contains("retry-after: 1"), "{response}");
+    let payload = response.split_once("\r\n\r\n").unwrap().1;
+    assert_eq!(parse_json(payload).unwrap().get("kind").unwrap().as_str().unwrap(), "replica");
+
+    // New requests for the same design fail over along the ring and
+    // still answer bit-identically (the replicas are exact model clones).
+    let (status, resp) = post_json(addr, "/predict", &predict_body(&d));
+    assert_eq!(status, 200, "{}", resp.print());
+    assert_eq!(
+        resp.get("timing_ps").unwrap().as_f64().unwrap().to_bits(),
+        direct.timing_ps.to_bits()
+    );
+
+    // The revived replica resumes its old key range and keeps answering.
+    assert!(server.revive_replica(home));
+    let (status, resp) = post_json(addr, "/predict", &predict_body(&d));
+    assert_eq!(status, 200, "{}", resp.print());
+    assert_eq!(
+        resp.get("area_um2").unwrap().as_f64().unwrap().to_bits(),
+        direct.area_um2.to_bits()
+    );
+
+    // /metrics reconciles after the chaos: per-replica routed ==
+    // completed + shed, exactly one shed and one failover in total,
+    // everyone alive again, nothing left in flight, no panics.
+    let (_, m) = get(addr, "/metrics");
+    let replicas = m.get("replicas").unwrap().as_arr().unwrap();
+    assert_eq!(replicas.len(), 4);
+    let (mut routed, mut completed, mut shed) = (0, 0, 0);
+    for r in replicas {
+        let rr = r.get("routed").unwrap().as_u64().unwrap();
+        let rc = r.get("completed").unwrap().as_u64().unwrap();
+        let rs = r.get("shed").unwrap().as_u64().unwrap();
+        assert_eq!(rr, rc + rs, "replica ledger: routed == completed + shed");
+        assert_eq!(r.get("in_flight").unwrap().as_u64().unwrap(), 0);
+        assert!(r.get("alive").unwrap().as_bool().unwrap());
+        routed += rr;
+        completed += rc;
+        shed += rs;
+    }
+    assert_eq!((routed, completed, shed), (3, 2, 1));
+    assert_eq!(m.get("router").unwrap().get("failovers").unwrap().as_u64().unwrap(), 1);
+    assert_eq!(m.get("panics_total").unwrap().as_u64().unwrap(), 0);
+    server.join();
+}
+
+#[test]
+fn shard_mode_is_bit_identical_with_reconciled_replica_metrics() {
+    let model = model();
+    let config = ServeConfig { replicas: 4, ..test_config() };
+    let server = Server::start_shared(Arc::clone(&model), config.clone()).unwrap();
+    let addr = server.addr();
+    let designs = serve_designs();
+
+    // Placement is pure content hashing: an independently started server
+    // (fresh ring, fresh process state) homes every design identically.
+    let twin = Server::start_shared(Arc::clone(&model), config).unwrap();
+    for d in &designs {
+        assert_eq!(
+            server.replica_for(&d.verilog, &d.top),
+            twin.replica_for(&d.verilog, &d.top),
+            "routing must be deterministic across restarts ({})",
+            d.name
+        );
+    }
+    twin.join();
+
+    // The same 8-way concurrent mix as the single-replica test — shard
+    // mode must not change a single bit of any answer.
+    let mut handles = Vec::new();
+    for client in 0..8 {
+        let designs = designs.clone();
+        handles.push(std::thread::spawn(move || {
+            (0..3)
+                .map(|i| {
+                    let d = &designs[(client + i * 3) % designs.len()];
+                    let (status, body) = post_json(addr, "/predict", &predict_body(d));
+                    assert_eq!(status, 200, "{}: {}", d.name, body.print());
+                    (d.name.clone(), body)
+                })
+                .collect::<Vec<_>>()
+        }));
+    }
+    let responses: Vec<(String, Json)> =
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect();
+    assert_eq!(responses.len(), 24);
+    for d in &designs {
+        let direct = model.predict_verilog(&d.verilog, &d.top).unwrap();
+        for (name, body) in responses.iter().filter(|(n, _)| n == &d.name) {
+            for (field, want) in [
+                ("timing_ps", direct.timing_ps),
+                ("area_um2", direct.area_um2),
+                ("power_mw", direct.power_mw),
+            ] {
+                let got = body.get(field).unwrap().as_f64().unwrap();
+                assert_eq!(got.to_bits(), want.to_bits(), "{name} {field}");
+            }
+        }
+    }
+
+    // The request ledger reconciles in shard mode exactly as it does
+    // single-replica, plus the per-replica ledger sums to the total.
+    let (status, m) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(m.get("requests_total").unwrap().as_u64().unwrap(), 25);
+    assert_eq!(m.get("predict_requests").unwrap().as_u64().unwrap(), 24);
+    assert_eq!(m.get("predict_ok").unwrap().as_u64().unwrap(), 24);
+    assert_eq!(m.get("router").unwrap().get("replicas").unwrap().as_u64().unwrap(), 4);
+    let replicas = m.get("replicas").unwrap().as_arr().unwrap();
+    assert_eq!(replicas.len(), 4);
+    let (mut routed, mut completed) = (0, 0);
+    for r in replicas {
+        assert!(r.get("alive").unwrap().as_bool().unwrap());
+        assert_eq!(r.get("shed").unwrap().as_u64().unwrap(), 0);
+        assert_eq!(r.get("in_flight").unwrap().as_u64().unwrap(), 0);
+        routed += r.get("routed").unwrap().as_u64().unwrap();
+        completed += r.get("completed").unwrap().as_u64().unwrap();
+    }
+    assert_eq!(routed, 24);
+    assert_eq!(completed, 24);
+    assert_eq!(m.get("panics_total").unwrap().as_u64().unwrap(), 0);
     server.join();
 }
 
