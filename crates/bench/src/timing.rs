@@ -132,7 +132,9 @@ mod tests {
 
     #[test]
     fn bench_reports_sane_times() {
-        let r = bench("spin", || (0..100u64).fold(0, |a, b| a ^ b.wrapping_mul(31)));
+        // The bound goes through black_box so the fold cannot const-fold
+        // to a free call (whose per-call time rounds to 0 ns in release).
+        let r = bench("spin", || (0..black_box(100u64)).fold(0, |a, b| a ^ b.wrapping_mul(31)));
         assert!(r.min <= r.median);
         assert!(r.min.as_nanos() > 0);
         assert!(r.iters_per_sample >= 1);

@@ -20,7 +20,8 @@ use std::time::Instant;
 
 use sns_conformance::generator::{generate, GenConfig};
 use sns_conformance::oracle::{
-    check_sim_vs_gates, check_vsynth_invariants, OracleKind, PredictorHarness, ServeHarness,
+    check_sim_vs_gates, check_vsynth_invariants, check_vsynth_matches_reference, OracleKind,
+    PredictorHarness, ServeHarness,
 };
 use sns_conformance::{corpus, shrink};
 use sns_rt::json::Json;
@@ -29,6 +30,10 @@ const STIM_SEED_SALT: u64 = 0x5EED_5717;
 const SIM_CYCLES: usize = 6;
 /// Every how-many designs the model-level oracles run.
 const MODEL_STRIDE: usize = 20;
+/// Every how-many designs the fast-vs-reference synthesis identity oracle
+/// runs (the reference flow re-propagates the full graph every sizing
+/// iteration, so it dominates when run on every design).
+const VSYNTH_REF_STRIDE: usize = 10;
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -89,6 +94,7 @@ fn main() {
     eprintln!("conformance soak: {n} designs, seeds {seed0}..{}", seed0 + n as u64);
     let mut sim = OracleStat::new(OracleKind::SimVsGates);
     let mut vsynth = OracleStat::new(OracleKind::VsynthInvariants);
+    let mut vsynth_ref = OracleStat::new(OracleKind::VsynthReference);
     let mut predictor = OracleStat::new(OracleKind::PredictorDeterminism);
     let mut serve = OracleStat::new(OracleKind::ServeIdentity);
 
@@ -111,6 +117,9 @@ fn main() {
         let stim_seed = seed ^ STIM_SEED_SALT;
         sim.run(seed, &spec, &mut |s| check_sim_vs_gates(s, stim_seed, SIM_CYCLES));
         vsynth.run(seed, &spec, &mut check_vsynth_invariants);
+        if i % VSYNTH_REF_STRIDE == 0 {
+            vsynth_ref.run(seed, &spec, &mut check_vsynth_matches_reference);
+        }
         if i % MODEL_STRIDE == 0 {
             predictor.run(seed, &spec, &mut |s| harness.check(s));
             serve.run(seed, &spec, &mut |s| serve_harness.check(s));
@@ -126,7 +135,8 @@ fn main() {
     let seconds = t0.elapsed().as_secs_f64();
     serve_harness.shutdown();
 
-    let failures = sim.failed + vsynth.failed + predictor.failed + serve.failed;
+    let failures =
+        sim.failed + vsynth.failed + vsynth_ref.failed + predictor.failed + serve.failed;
     let report = Json::obj(vec![
         ("bench", Json::Str("conformance_soak".into())),
         ("designs", Json::Num(n as f64)),
@@ -137,7 +147,13 @@ fn main() {
         ("failures", Json::Num(failures as f64)),
         (
             "oracles",
-            Json::obj(vec![sim.json(), vsynth.json(), predictor.json(), serve.json()]),
+            Json::obj(vec![
+                sim.json(),
+                vsynth.json(),
+                vsynth_ref.json(),
+                predictor.json(),
+                serve.json(),
+            ]),
         ),
     ]);
     let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_conformance.json");

@@ -67,6 +67,8 @@ pub enum OracleKind {
     SimVsGates,
     /// Virtual-synthesizer label invariants.
     VsynthInvariants,
+    /// Fast (parallel/sparse/memoized) vs reference synthesis identity.
+    VsynthReference,
     /// Thread/batch/cache-capacity prediction identity.
     PredictorDeterminism,
     /// HTTP-vs-direct prediction identity.
@@ -81,6 +83,7 @@ impl OracleKind {
         match self {
             OracleKind::SimVsGates => "sim_vs_gates",
             OracleKind::VsynthInvariants => "vsynth_invariants",
+            OracleKind::VsynthReference => "vsynth_reference",
             OracleKind::PredictorDeterminism => "predictor_determinism",
             OracleKind::ServeIdentity => "serve_identity",
             OracleKind::Incremental => "incremental",
@@ -257,6 +260,15 @@ pub fn check_vsynth_invariants(spec: &DesignSpec) -> Result<(), String> {
     if a.timing_ps <= 0.0 {
         return Err(format!("timing_ps must be positive (base delay): {}", a.timing_ps));
     }
+    // The generator only emits well-formed designs: every read net is
+    // driven and no combinational loop exists, so any broken "cycle" is a
+    // front-end or elaboration bug.
+    if a.cycles_broken != 0 {
+        return Err(format!(
+            "well-formed generated design reported {} broken combinational cycles",
+            a.cycles_broken
+        ));
+    }
     if a.gate_count > 0 && (a.area_um2 <= 0.0 || a.leakage_mw <= 0.0 || a.transistor_count == 0) {
         return Err(format!(
             "{} gates but area={} leakage={} transistors={}",
@@ -290,6 +302,82 @@ pub fn check_vsynth_invariants(spec: &DesignSpec) -> Result<(), String> {
             "widening shrank the design: {} gates at base widths, {} gates widened",
             a.gate_count, w.gate_count
         ));
+    }
+    Ok(())
+}
+
+/// Oracle 2b: the fast synthesis flow (parallel elaboration, expansion
+/// memoization, sparse STA) must be bit-identical to the retained
+/// single-threaded dense reference flow — same gate graph node for node,
+/// same labels bit for bit — at every thread count.
+pub fn check_vsynth_matches_reference(spec: &DesignSpec) -> Result<(), String> {
+    let nl = elaborate(spec)?;
+    check_vsynth_matches_reference_netlist(&nl)
+}
+
+/// Netlist-level body of [`check_vsynth_matches_reference`], exposed so
+/// the vsynth soak can replay blessed corpus `.v` cases (which have no
+/// [`DesignSpec`]) through the same identity check.
+pub fn check_vsynth_matches_reference_netlist(nl: &Netlist) -> Result<(), String> {
+    let vs_ref = VirtualSynthesizer::new(SynthOptions::default());
+    let gl_ref = vs_ref.elaborate_gates_reference(nl);
+    let r_ref = vs_ref.analyze_reference(&gl_ref);
+
+    // Force the parallel path even on small designs by sweeping explicit
+    // thread counts; memoization stays on (the default).
+    for threads in [1usize, 4] {
+        let vs = VirtualSynthesizer::new(SynthOptions {
+            threads: Some(threads),
+            ..SynthOptions::default()
+        });
+        let gl = vs.elaborate_gates(nl);
+        if gl.graph != gl_ref.graph {
+            return Err(format!(
+                "fast elaboration diverges from reference at {threads} threads: \
+                 {} vs {} nodes, histograms {:?} vs {:?}",
+                gl.graph.len(),
+                gl_ref.graph.len(),
+                gl.graph.kind_histogram(),
+                gl_ref.graph.kind_histogram()
+            ));
+        }
+        if gl.regions != gl_ref.regions {
+            return Err(format!("region spans diverge from reference at {threads} threads"));
+        }
+        if gl.cycles_broken != gl_ref.cycles_broken {
+            return Err(format!(
+                "cycles_broken diverges from reference at {threads} threads: {} vs {}",
+                gl.cycles_broken, gl_ref.cycles_broken
+            ));
+        }
+        let r = vs.analyze(&gl);
+        for (name, x, y) in [
+            ("area_um2", r.area_um2, r_ref.area_um2),
+            ("timing_ps", r.timing_ps, r_ref.timing_ps),
+            ("power_mw", r.power_mw, r_ref.power_mw),
+            ("dynamic_mw", r.dynamic_mw, r_ref.dynamic_mw),
+            ("leakage_mw", r.leakage_mw, r_ref.leakage_mw),
+        ] {
+            if x.to_bits() != y.to_bits() {
+                return Err(format!(
+                    "fast label {name} diverges from reference at {threads} threads: {x} vs {y}"
+                ));
+            }
+        }
+        if (r.gate_count, r.transistor_count, r.cycles_broken)
+            != (r_ref.gate_count, r_ref.transistor_count, r_ref.cycles_broken)
+        {
+            return Err(format!(
+                "fast counts diverge from reference at {threads} threads: \
+                 gates {} vs {}, transistors {} vs {}, cycles {} vs {}",
+                r.gate_count,
+                r_ref.gate_count,
+                r.transistor_count,
+                r_ref.transistor_count,
+                r.cycles_broken,
+                r_ref.cycles_broken
+            ));
+        }
     }
     Ok(())
 }

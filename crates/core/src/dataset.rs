@@ -45,7 +45,14 @@ impl HardwareDesignDataset {
         let threads = sns_rt::pool::default_threads();
         let entries: Vec<LabeledDesign> =
             sns_rt::pool::par_map_chunks(designs, threads, |part| {
-                let synth = VirtualSynthesizer::new(options.clone());
+                // One design per worker already saturates the pool; pin the
+                // synthesizer's internal parallelism to 1 so the label
+                // factory doesn't oversubscribe (results are bit-identical
+                // at any thread count).
+                let synth = VirtualSynthesizer::new(SynthOptions {
+                    threads: Some(1),
+                    ..options.clone()
+                });
                 part.iter()
                     .map(|d| {
                         let nl = parse_and_elaborate(&d.verilog, &d.top)
@@ -280,6 +287,7 @@ mod tests {
                         leakage_mw: 0.5,
                         gate_count: 1,
                         transistor_count: 4,
+                        cycles_broken: 0,
                         runtime: std::time::Duration::ZERO,
                     },
                 })

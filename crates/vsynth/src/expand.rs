@@ -6,6 +6,12 @@
 //! balanced reduction trees. Widths are bit-exact: callers pass LSB-first
 //! bit vectors and get LSB-first bit vectors back.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use sns_netlist::CellKind;
+
 use crate::gates::{GateGraph, GateKind, NodeId, NO_NODE};
 
 /// Builder for gate subgraphs, caching the constant-0/1 nodes.
@@ -23,6 +29,13 @@ impl<'g> Expander<'g> {
         let c0 = g.push(GateKind::Const, [NO_NODE; 3]);
         let c1 = g.push(GateKind::Const, [NO_NODE; 3]);
         Expander { g, c0, c1 }
+    }
+
+    /// Re-wraps a graph whose constant nodes already exist (nodes 0 and 1,
+    /// as allocated by a previous [`Expander::new`] on the same graph).
+    pub fn attach(g: &'g mut GateGraph) -> Self {
+        debug_assert!(g.len() >= 2, "attach requires the constant nodes");
+        Expander { g, c0: 0, c1: 1 }
     }
 
     /// The constant-0 bit.
@@ -291,6 +304,223 @@ impl<'g> Expander<'g> {
     }
 }
 
+// ------------------------------------------------ expansion memoization --
+
+/// Key of a memoized expansion: everything the gate subgraph's *shape*
+/// depends on. Every expander above is width-driven — it never inspects
+/// which nodes its operand bits actually are (the one id comparison,
+/// `cin != c0` in `prefix_carries`, only ever sees internal constants) —
+/// so two cells with equal `(kind, attr, out_w, input widths)` expand to
+/// structurally identical subgraphs and can share one [`Template`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MemoKey {
+    /// The coarse cell kind.
+    pub kind: CellKind,
+    /// The cell attribute (constant payload, slice LSB, replicate count).
+    pub attr: u64,
+    /// Output net width.
+    pub out_w: u32,
+    /// Width of each input operand's bit vector, in input order.
+    pub in_widths: Vec<u32>,
+}
+
+/// A characterized gate subgraph, captured once from a canonical scratch
+/// expansion and splatted into live graphs with an offset remap.
+///
+/// Node ids below `n_ctx` are *context references*: slot 0 is constant-0,
+/// slot 1 is constant-1, and slots 2.. are the flattened input bits in
+/// operand order. Ids at or above `n_ctx` are internal nodes, stored in
+/// push order so a splat reproduces the exact node sequence a direct
+/// expansion would have pushed.
+#[derive(Debug, Clone)]
+pub struct Template {
+    n_ctx: u32,
+    nodes: Vec<(GateKind, [NodeId; 3])>,
+    outputs: Vec<NodeId>,
+}
+
+impl Template {
+    /// Captures the tail of `g` (everything from node `n_ctx` on) as a
+    /// template with the given output bits.
+    pub fn capture(g: &GateGraph, n_ctx: u32, outputs: &[NodeId]) -> Template {
+        let nodes = (n_ctx..g.len() as NodeId).map(|id| (g.kind(id), g.fanins(id))).collect();
+        Template { n_ctx, nodes, outputs: outputs.to_vec() }
+    }
+
+    /// Number of context slots the splat context must provide.
+    pub fn n_ctx(&self) -> usize {
+        self.n_ctx as usize
+    }
+
+    /// Number of internal nodes a splat appends.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Appends this template to `g`, mapping context references through
+    /// `ctx` (`[const0, const1, input bits...]`) and internal references
+    /// by offset. Returns the mapped output bits.
+    pub fn splat(&self, g: &mut GateGraph, ctx: &[NodeId]) -> Vec<NodeId> {
+        let base = g.len() as NodeId;
+        let n_ctx = self.n_ctx;
+        let map = |x: NodeId| {
+            if x == NO_NODE {
+                NO_NODE
+            } else if x < n_ctx {
+                ctx[x as usize]
+            } else {
+                base + (x - n_ctx)
+            }
+        };
+        for &(kind, fanins) in &self.nodes {
+            g.push(kind, [map(fanins[0]), map(fanins[1]), map(fanins[2])]);
+        }
+        self.outputs.iter().map(|&o| map(o)).collect()
+    }
+}
+
+/// Counters describing a memo's effectiveness (read by benchmarks).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemoStats {
+    /// Splats served from a cached template.
+    pub hits: u64,
+    /// Canonical expansions that had to be characterized.
+    pub misses: u64,
+    /// Clear-on-full evictions.
+    pub evictions: u64,
+    /// Cached templates right now.
+    pub templates: u64,
+    /// Total internal nodes across cached templates right now.
+    pub nodes: u64,
+}
+
+#[derive(Default)]
+struct MemoInner {
+    map: HashMap<MemoKey, Arc<Template>>,
+    total_nodes: usize,
+}
+
+/// A concurrent cache of characterized expansion templates, bounded by
+/// total template nodes with clear-on-full eviction (repeated shapes are
+/// heavily clustered, so a full clear refills with the working set almost
+/// immediately and needs no recency bookkeeping).
+pub struct ExpansionMemo {
+    inner: RwLock<MemoInner>,
+    cap_nodes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for ExpansionMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("ExpansionMemo").field("cap_nodes", &self.cap_nodes).field("stats", &s).finish()
+    }
+}
+
+/// Default template-node budget when `SNS_SYNTH_MEMO_CAP` is unset:
+/// roughly a few hundred MB worst case, far beyond any realistic working
+/// set of distinct `(kind, widths)` shapes.
+pub const DEFAULT_MEMO_CAP_NODES: usize = 4_000_000;
+
+impl ExpansionMemo {
+    /// A memo bounded at `cap_nodes` total template nodes (0 disables
+    /// caching entirely: lookups miss and inserts are dropped).
+    pub fn with_cap(cap_nodes: usize) -> Self {
+        ExpansionMemo {
+            inner: RwLock::new(MemoInner::default()),
+            cap_nodes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide memo, shared across synthesis runs (the soak and
+    /// the label factory synthesize thousands of designs that repeat the
+    /// same adder/multiplier/divider shapes endlessly). Capacity comes
+    /// from `SNS_SYNTH_MEMO_CAP` (total template nodes, read once);
+    /// returns `None` when the cap is 0, which disables memoization.
+    pub fn global() -> Option<&'static ExpansionMemo> {
+        static MEMO: OnceLock<ExpansionMemo> = OnceLock::new();
+        let memo = MEMO.get_or_init(|| {
+            let cap = std::env::var("SNS_SYNTH_MEMO_CAP")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(DEFAULT_MEMO_CAP_NODES);
+            ExpansionMemo::with_cap(cap)
+        });
+        if memo.cap_nodes == 0 {
+            None
+        } else {
+            Some(memo)
+        }
+    }
+
+    /// Fetches a cached template, counting a hit or miss.
+    pub fn lookup(&self, key: &MemoKey) -> Option<Arc<Template>> {
+        let hit = match self.inner.read() {
+            Ok(inner) => inner.map.get(key).cloned(),
+            Err(poisoned) => poisoned.into_inner().map.get(key).cloned(),
+        };
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Caches a freshly characterized template (no-op at cap 0; clears
+    /// the whole cache first when the node budget would overflow).
+    pub fn insert(&self, key: MemoKey, template: Arc<Template>) {
+        if self.cap_nodes == 0 {
+            return;
+        }
+        let mut inner = match self.inner.write() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let add = template.node_count();
+        if inner.total_nodes + add > self.cap_nodes && !inner.map.is_empty() {
+            inner.map.clear();
+            inner.total_nodes = 0;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        if inner.map.insert(key, template).is_none() {
+            inner.total_nodes += add;
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> MemoStats {
+        let (templates, nodes) = match self.inner.read() {
+            Ok(inner) => (inner.map.len() as u64, inner.total_nodes as u64),
+            Err(poisoned) => {
+                let inner = poisoned.into_inner();
+                (inner.map.len() as u64, inner.total_nodes as u64)
+            }
+        };
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            templates,
+            nodes,
+        }
+    }
+
+    /// Drops every cached template (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = match self.inner.write() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        inner.map.clear();
+        inner.total_nodes = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -482,5 +712,94 @@ mod tests {
         e.reduce(GateKind::And2, &a);
         // 63 AND gates for 64 bits.
         assert_eq!(g.kind_histogram()[GateKind::And2 as usize], 63);
+    }
+
+    /// Builds `(graph, template, outputs)` for an 8-bit adder two ways:
+    /// directly, and via capture + splat of a canonical scratch expansion.
+    #[test]
+    fn template_splat_reproduces_direct_expansion() {
+        let mut direct = GateGraph::new();
+        let direct_sum = {
+            let mut e = Expander::new(&mut direct);
+            let a = e.inputs(8);
+            let b = e.inputs(8);
+            let (s, _) = e.add(&a, &b);
+            s
+        };
+
+        // Canonical scratch expansion with fresh distinct inputs.
+        let mut scratch = GateGraph::new();
+        let (tpl_outputs, n_ctx) = {
+            let mut e = Expander::new(&mut scratch);
+            let a = e.inputs(8);
+            let b = e.inputs(8);
+            let n_ctx = e.g.len() as NodeId;
+            let (s, _) = e.add(&a, &b);
+            (s, n_ctx)
+        };
+        let tpl = Template::capture(&scratch, n_ctx, &tpl_outputs);
+        assert_eq!(tpl.n_ctx(), 18); // c0, c1, 16 input bits
+
+        // Splat into a graph with the same preamble as `direct`.
+        let mut via_tpl = GateGraph::new();
+        let ctx: Vec<NodeId> = {
+            let mut e = Expander::new(&mut via_tpl);
+            let a = e.inputs(8);
+            let b = e.inputs(8);
+            let mut ctx = vec![e.const0(), e.const1()];
+            ctx.extend(a);
+            ctx.extend(b);
+            ctx
+        };
+        let splat_sum = tpl.splat(&mut via_tpl, &ctx);
+
+        assert_eq!(splat_sum, direct_sum);
+        assert_eq!(via_tpl.len(), direct.len());
+        for id in 0..direct.len() as NodeId {
+            assert_eq!(via_tpl.kind(id), direct.kind(id), "node {id}");
+            assert_eq!(via_tpl.fanins(id), direct.fanins(id), "node {id}");
+        }
+    }
+
+    fn tiny_template(w: u32) -> (MemoKey, Arc<Template>) {
+        let mut g = GateGraph::new();
+        let (outs, n_ctx) = {
+            let mut e = Expander::new(&mut g);
+            let a = e.inputs(w);
+            let n_ctx = e.g.len() as NodeId;
+            let outs = e.map1(GateKind::Inv, &a);
+            (outs, n_ctx)
+        };
+        let key = MemoKey { kind: CellKind::Not, attr: 0, out_w: w, in_widths: vec![w] };
+        (key, Arc::new(Template::capture(&g, n_ctx, &outs)))
+    }
+
+    #[test]
+    fn memo_hits_after_insert_and_clears_when_full() {
+        let memo = ExpansionMemo::with_cap(12);
+        let (k4, t4) = tiny_template(4);
+        assert!(memo.lookup(&k4).is_none());
+        memo.insert(k4.clone(), t4);
+        assert!(memo.lookup(&k4).is_some());
+        let s = memo.stats();
+        assert_eq!((s.hits, s.misses, s.templates, s.nodes), (1, 1, 1, 4));
+
+        // 4 + 10 nodes exceeds the 12-node cap: clear-on-full.
+        let (k10, t10) = tiny_template(10);
+        memo.insert(k10.clone(), t10);
+        let s = memo.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!((s.templates, s.nodes), (1, 10));
+        assert!(memo.lookup(&k4).is_none());
+        assert!(memo.lookup(&k10).is_some());
+    }
+
+    #[test]
+    fn memo_cap_zero_disables_caching() {
+        let memo = ExpansionMemo::with_cap(0);
+        let (k, t) = tiny_template(4);
+        memo.insert(k.clone(), t);
+        assert!(memo.lookup(&k).is_none());
+        assert_eq!(memo.stats().templates, 0);
     }
 }

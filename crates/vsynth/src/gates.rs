@@ -79,7 +79,7 @@ impl GateKind {
 /// Nodes are appended in (combinational) topological order by the expander,
 /// except that flip-flop D fanins are patched in afterwards — which is fine
 /// because STA never propagates *through* a flip-flop.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GateGraph {
     kinds: Vec<GateKind>,
     fanins: Vec<[NodeId; 3]>,

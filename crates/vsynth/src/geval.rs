@@ -156,7 +156,9 @@ impl<'a> GateSim<'a> {
                     }
                 }
                 GateKind::Maj3 => (v(0) && v(1)) || (v(0) && v(2)) || (v(1) && v(2)),
-                GateKind::Input | GateKind::Const | GateKind::Dff => unreachable!("sources"),
+                // Filtered by the `is_source` check above; keep the match
+                // total without a panic path.
+                GateKind::Input | GateKind::Const | GateKind::Dff => continue,
             };
         }
     }

@@ -61,9 +61,10 @@ pub mod paths;
 pub mod scaling;
 pub mod synth;
 
+pub use expand::{ExpansionMemo, MemoKey, MemoStats, Template, DEFAULT_MEMO_CAP_NODES};
 pub use gates::{GateGraph, GateKind, NodeId};
 pub use geval::GateSim;
 pub use library::{CellLibrary, GateParams};
 pub use paths::{path_physical, unit_physical, PathPhysical, UnitCache, UnitPhysical};
 pub use scaling::{scale_area, scale_delay, scale_power, TechNode};
-pub use synth::{GateLevel, SynthOptions, SynthReport, VirtualSynthesizer};
+pub use synth::{AnalyzeBreakdown, GateLevel, SynthOptions, SynthReport, VirtualSynthesizer};

@@ -159,7 +159,9 @@ fn build_unit(e: &mut Expander<'_>, vtype: VocabType, w: u32) {
             let b = e.inputs(w);
             e.divmod(&a, &b);
         }
-        VocabType::Io | VocabType::Dff => unreachable!("handled by unit_physical"),
+        // Io/Dff units are costed directly by `unit_physical` and never
+        // reach the gate builder; an empty graph is the safe answer.
+        VocabType::Io | VocabType::Dff => {}
     }
 }
 

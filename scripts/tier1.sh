@@ -24,15 +24,17 @@ cargo test -q -p sns-rt -p sns-core -p sns-serve
 echo "==> cargo test -q -p sns-netlist -p sns-graphir -p sns-sampler"
 cargo test -q -p sns-netlist -p sns-graphir -p sns-sampler
 
-# No-new-panics gate: the untrusted pipeline (netlist/graphir/sampler)
-# and the network-facing serving layer (serve front-end, its binary, and
-# the rt reactor substrate) must stay free of unwrap/expect/panic!/
-# unreachable! outside tests — every one of these is a remote crash when
-# the input is hostile.
-echo "==> no-new-panics grep gate (crates/{netlist,graphir,sampler,serve}/src + rt net)"
+# No-new-panics gate: the untrusted pipeline (netlist/graphir/sampler),
+# the network-facing serving layer (serve front-end, its binary, and the
+# rt reactor substrate), and the virtual synthesizer (labels every
+# training design — a panic on one odd netlist kills a whole dataset
+# build) must stay free of unwrap/expect/panic!/unreachable! outside
+# tests — every one of these is a remote crash when the input is hostile.
+echo "==> no-new-panics grep gate (crates/{netlist,graphir,sampler,serve,vsynth}/src + rt net)"
 panic_sites=$(
   for f in crates/netlist/src/*.rs crates/graphir/src/*.rs crates/sampler/src/*.rs \
-           crates/serve/src/*.rs crates/serve/src/bin/*.rs crates/rt/src/net.rs; do
+           crates/serve/src/*.rs crates/serve/src/bin/*.rs crates/rt/src/net.rs \
+           crates/vsynth/src/*.rs; do
     # Cut each file at its #[cfg(test)] module; test code may panic freely.
     awk '/^#\[cfg\(test\)\]/ { exit } { print FILENAME ":" FNR ": " $0 }' "$f"
   done | grep -E '\.unwrap\(\)|\.expect\(|panic!|unreachable!' | grep -vE ':\s*//' || true
@@ -61,6 +63,12 @@ cargo test -q --test serve_e2e -- --test-threads=1
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
+
+# Fast-vs-reference synthesis identity on the blessed corpus plus a
+# quick generated sample; the full 2000-design sweep lives in
+# ./scripts/vsynth_soak.sh.
+echo "==> vsynth_soak (200 designs)"
+SNS_VSYNTH_SOAK_N=200 cargo run --release -q -p sns-conformance --bin vsynth_soak
 
 # Informational: how the kernel-bench snapshot moved relative to HEAD.
 # Never fails the gate — the absolute acceptance numbers live in

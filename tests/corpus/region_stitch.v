@@ -1,0 +1,25 @@
+// Parallel-elaboration region-stitch regression (generator seed 1786):
+// a non-wiring cell that expands to pure rewiring, with inputs defined in
+// an earlier chunk, must not leave an empty region span after stitching.
+module top (input clk, input [11:0] i0, output [8:0] o0, output [10:0] o1, output [3:0] o2, output [2:0] o3);
+    reg [8:0] s0;
+    always @(posedge clk) s0 <= (1'd0 % (1'd0 | 1'd0));
+    wire [10:0] s1;
+    assign s1 = (1'd0 % {3{i0}});
+    reg [3:0] s2;
+    always @(*) begin
+        s2 = s1;
+        case (s0[1:0])
+            2'd0: s2 = (1'd0 / {s1, s0, i0});
+            2'd1: s2 = (s1 >> 1'd0);
+            2'd2: s2 = ((s1 < 1'd0) * s0);
+            2'd3: s2 = ({s1, s1} >= 1'd0);
+        endcase
+    end
+    wire [2:0] s3;
+    assign s3 = ((|(s1 <= 1'd0)) & (1'd0 ? 1'd0 : {s0, i0, s1}));
+    assign o0 = s0;
+    assign o1 = s1;
+    assign o2 = s2;
+    assign o3 = s3;
+endmodule
