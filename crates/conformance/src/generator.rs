@@ -359,6 +359,16 @@ impl DesignSpec {
         "top"
     }
 
+    /// Packages the spec as a named [`sns_designs::Design`]
+    /// (`Family::Other`, base = the name), so generated RTL can flow
+    /// through the same dataset/labeling/training paths as catalog
+    /// designs — the `sns-train` label factory mints its corpus this way.
+    pub fn to_design(&self, name: impl Into<String>) -> sns_designs::Design {
+        let name = name.into();
+        let base = name.clone();
+        sns_designs::Design::new(name, sns_designs::Family::Other, self.top(), base, self.verilog())
+    }
+
     /// The name of signal `idx` (inputs first, then items).
     pub fn sig_name(&self, idx: usize) -> String {
         if idx < self.input_widths.len() {

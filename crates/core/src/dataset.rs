@@ -149,6 +149,28 @@ impl AugmentConfig {
     }
 }
 
+/// Labels one tokenized path with the virtual synthesizer's path model:
+/// raw `[timing_ps, area_um2, power_mw]` at the library's native node.
+/// The single labeling routine shared by batch dataset construction and
+/// the `sns-train` daemon's online path labeling, so both produce
+/// bit-identical labels for the same token sequence.
+pub fn label_path_tokens(
+    ids: &[usize],
+    vocab: &Vocab,
+    library: &CellLibrary,
+    cache: &mut UnitCache,
+) -> [f64; 3] {
+    let tokens: Vec<(sns_graphir::VocabType, u32)> = ids
+        .iter()
+        .map(|&t| {
+            let v = vocab.vertex(t);
+            (v.vtype, v.width)
+        })
+        .collect();
+    let phys = path_physical(&tokens, library, cache);
+    [phys.timing_ps, phys.area_um2, phys.power_mw]
+}
+
 /// The Circuit Path Dataset (Table 5): token sequences with raw
 /// `[timing_ps, area_um2, power_mw]` labels.
 #[derive(Debug, Clone, Default)]
@@ -217,13 +239,8 @@ impl CircuitPathDataset {
         let markov_count = markov_paths.len();
         let seqgan_count = seqgan_paths.len();
         for ids in direct.into_iter().chain(markov_paths).chain(seqgan_paths) {
-            let tokens: Vec<(sns_graphir::VocabType, u32)> =
-                ids.iter().map(|&t| {
-                    let v = vocab.vertex(t);
-                    (v.vtype, v.width)
-                }).collect();
-            let phys = path_physical(&tokens, library, &mut cache);
-            examples.push((ids, [phys.timing_ps, phys.area_um2, phys.power_mw]));
+            let label = label_path_tokens(&ids, &vocab, library, &mut cache);
+            examples.push((ids, label));
         }
         CircuitPathDataset { examples, direct_count, markov_count, seqgan_count }
     }

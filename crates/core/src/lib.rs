@@ -49,8 +49,14 @@ pub use cache::PathPredictionCache;
 pub use dataset::{CircuitPathDataset, HardwareDesignDataset, LabeledDesign};
 pub use eval::{cross_validate, CrossValidation, ScatterPoint};
 pub use metrics::{maep, rrse};
-pub use model_io::{load_model, save_model};
+pub use model_io::{
+    load_from_zoo, load_model, model_weight_hash, save_model, save_to_zoo, ZooCheckpointMeta,
+    ZooEntry, ZooError, ZooManifest, ZOO_MANIFEST,
+};
 pub use predictor::{DesignPrediction, SnsModel};
 pub use sns_nn::QuantMode;
 pub use session::{DesignSession, SessionError, SessionOutcome, SessionStore};
-pub use train::{train_sns, train_sns_on_labeled, SnsTrainConfig, TrainReport};
+pub use train::{
+    refit_correction, train_sns, train_sns_on_labeled, FineTuneConfig, FineTuner, SnsTrainConfig,
+    TrainReport,
+};

@@ -239,6 +239,176 @@ pub fn train_sns_on_labeled(
     (model, report)
 }
 
+/// Hyperparameters for online fine-tuning ([`FineTuner`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FineTuneConfig {
+    /// Adam learning rate (lower than from-scratch training: the daemon
+    /// nudges an already-converged model, it does not retrain it).
+    pub lr: f32,
+    /// Global gradient-norm clip (0 disables).
+    pub clip: f32,
+    /// Fixed gradient-accumulation chunk size. Examples are split into
+    /// chunks of exactly this many (last chunk ragged), each chunk's
+    /// gradients accumulated serially, and chunks merged in index order —
+    /// so the summed gradient is a pure function of the example sequence,
+    /// **independent of the worker thread count**. (The batch trainer's
+    /// chunking depends on `threads`, which is fine at its 1e-4 tolerance
+    /// but not for the daemon's bit-identical determinism contract.)
+    pub grad_chunk: usize,
+}
+
+impl FineTuneConfig {
+    /// The label-factory daemon's default schedule.
+    pub fn daemon() -> Self {
+        FineTuneConfig { lr: 3e-4, clip: 1.0, grad_chunk: 8 }
+    }
+}
+
+/// Online fine-tuner for a trained [`SnsModel`]'s Circuitformer.
+///
+/// Owns the Adam state so moment estimates persist across
+/// [`step`](Self::step) calls — the daemon's training loop is one long
+/// optimization, checkpointed mid-flight into the zoo. Each step
+/// consumes raw *physical* path labels (ps / µm² / mW straight from
+/// vsynth), normalizes them through the model's own label scaler,
+/// takes one clipped Adam step, re-packs the inference kernels and
+/// clears the prediction cache (the weights changed; serving stale
+/// cached predictions is exactly what the weight-hash cache keying
+/// exists to prevent).
+#[derive(Debug)]
+pub struct FineTuner {
+    config: FineTuneConfig,
+    opt: sns_nn::Adam,
+    steps: u64,
+}
+
+impl FineTuner {
+    /// Creates a fine-tuner with fresh optimizer state.
+    pub fn new(config: FineTuneConfig) -> Self {
+        let lr = config.lr;
+        FineTuner { config, opt: sns_nn::Adam::new(lr), steps: 0 }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Takes one fine-tune step on `examples` (token sequence, physical
+    /// label) and returns the mean normalized MSE over the batch. An
+    /// empty batch is a no-op returning 0.0 — the daemon's loop never
+    /// stalls on an all-filtered batch.
+    ///
+    /// Bit-identical at any `threads` ≥ 1 (see [`FineTuneConfig::grad_chunk`]).
+    pub fn step(
+        &mut self,
+        model: &mut SnsModel,
+        examples: &[(Vec<usize>, [f64; 3])],
+        threads: usize,
+    ) -> f32 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let normalized: Vec<(Vec<usize>, [f32; 3])> = examples
+            .iter()
+            .map(|(tokens, label)| (tokens.clone(), model.path_scaler.transform(*label)))
+            .collect();
+        let chunk = self.config.grad_chunk.max(1);
+        let chunks: Vec<&[(Vec<usize>, [f32; 3])]> = normalized.chunks(chunk).collect();
+        let cf = &model.circuitformer;
+        let partials = sns_rt::pool::par_map(&chunks, threads.max(1), |part| {
+            let mut grads = sns_nn::Grads::new(cf.registry());
+            let mut loss_sum = 0.0f32;
+            for (tokens, target) in part.iter() {
+                let (out, ctx) = cf.forward(tokens);
+                let pred = sns_nn::Mat::from_rows(&[&out]);
+                let tgt = sns_nn::Mat::from_rows(&[&target[..]]);
+                let (l, dl) = sns_nn::mse_loss(&pred, &tgt);
+                loss_sum += l;
+                cf.backward(&ctx, [dl.get(0, 0), dl.get(0, 1), dl.get(0, 2)], &mut grads);
+            }
+            (grads, loss_sum)
+        });
+        let mut iter = partials.into_iter();
+        let (mut grads, mut loss) = match iter.next() {
+            Some(first) => first,
+            None => return 0.0,
+        };
+        for (g, l) in iter {
+            grads.merge(&g);
+            loss += l;
+        }
+        grads.scale(1.0 / normalized.len() as f32);
+        if self.config.clip > 0.0 {
+            grads.clip_global_norm(self.config.clip);
+        }
+        use sns_nn::Optimizer as _;
+        self.opt.step_visit(&grads, |f| model.circuitformer.visit_mut(f));
+        // The weights changed: re-pack the inference kernels and drop
+        // every cached path prediction.
+        let mode = model.quant_mode();
+        model.circuitformer.prepack(mode);
+        model.clear_cache();
+        self.steps += 1;
+        loss / normalized.len() as f32
+    }
+}
+
+/// Refits the correction-ratio scaler and the three Aggregation MLPs on
+/// `entries` against the *current* Circuitformer — the tail of
+/// [`train_sns_on_labeled`], split out so the fine-tune daemon can
+/// periodically re-align the design-level correction after the path
+/// regressor has drifted from its original training distribution.
+///
+/// # Errors
+///
+/// Returns an error if `entries` is empty or a design fails to
+/// elaborate; the model is left unchanged in either case.
+pub fn refit_correction(
+    model: &mut SnsModel,
+    entries: &[&LabeledDesign],
+    mlp_train: &MlpTrainConfig,
+) -> Result<(), String> {
+    if entries.is_empty() {
+        return Err("refit_correction: no labeled designs".into());
+    }
+    let sampler = PathSampler::new(model.sample_config().clone());
+    let mut per_design: Vec<([f64; 3], usize, sns_graphir::GraphStats)> = Vec::new();
+    for e in entries.iter() {
+        let nl = parse_and_elaborate(&e.design.verilog, &e.design.top)
+            .map_err(|err| format!("design `{}`: {err}", e.design.name))?;
+        let graph = GraphIr::from_netlist(&nl);
+        let paths = sampler.sample(&graph);
+        let stats = graph.stats(&model.vocab);
+        let (aggs, _) = model.path_aggregates(&graph, &paths, None);
+        per_design.push((aggs, paths.len(), stats));
+    }
+    let ratios: Vec<[f64; 3]> = per_design
+        .iter()
+        .zip(entries)
+        .map(|((aggs, _, _), e)| {
+            [
+                e.report.timing_ps / aggs[0],
+                e.report.area_um2 / aggs[1],
+                e.report.power_mw / aggs[2],
+            ]
+        })
+        .collect();
+    model.corr_scaler = LabelScaler::fit(&ratios);
+    let mut feature_sets: [Vec<(Vec<f32>, f32)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for ((aggs, n_paths, stats), ratio) in per_design.iter().zip(&ratios) {
+        for d in 0..3 {
+            let f = model.features(d, *aggs, *n_paths, stats);
+            let target = model.corr_scaler.transform_dim(d, ratio[d]);
+            feature_sets[d].push((f, target));
+        }
+    }
+    for (mlp, set) in model.mlps.iter_mut().zip(&feature_sets) {
+        mlp.fit(set, mlp_train);
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +458,77 @@ mod tests {
         let first = report.cf_history.epochs.first().unwrap().train_loss;
         let last = report.cf_history.epochs.last().unwrap().train_loss;
         assert!(last < first, "Circuitformer loss {first} -> {last}");
+    }
+
+    #[test]
+    fn fine_tune_is_thread_count_invariant_and_reduces_loss() {
+        let designs = tiny_designs();
+        let (model, _) = train_sns(&designs[..2], &tiny_config());
+        // Path examples from the held-out designs, labeled physically.
+        let lib = sns_vsynth::CellLibrary::freepdk15();
+        let mut cache = sns_vsynth::UnitCache::new();
+        let vocab = Vocab::new();
+        let mut examples: Vec<(Vec<usize>, [f64; 3])> = Vec::new();
+        for d in &designs[2..] {
+            let nl = parse_and_elaborate(&d.verilog, &d.top).unwrap();
+            let graph = GraphIr::from_netlist(&nl);
+            let paths = PathSampler::new(model.sample_config().clone()).sample(&graph);
+            for toks in model.tokenize_paths(&graph, &paths) {
+                let label = crate::dataset::label_path_tokens(&toks, &vocab, &lib, &mut cache);
+                examples.push((toks, label));
+            }
+        }
+        examples.truncate(40);
+        assert!(examples.len() >= 8);
+
+        // Identical steps at 1 and 4 threads produce bit-identical weights.
+        let mut runs: Vec<(Vec<u32>, Vec<f32>)> = Vec::new();
+        for threads in [1usize, 4] {
+            let mut m = model.fork_replica();
+            let mut tuner = FineTuner::new(FineTuneConfig::daemon());
+            let mut losses = Vec::new();
+            for _ in 0..3 {
+                losses.push(tuner.step(&mut m, &examples, threads));
+            }
+            let mut bits = Vec::new();
+            m.circuitformer().visit(&mut |p| {
+                bits.extend(p.value.as_slice().iter().map(|v| v.to_bits()));
+            });
+            runs.push((bits, losses));
+        }
+        assert_eq!(runs[0].0, runs[1].0, "fine-tuned weights differ across thread counts");
+        assert_eq!(runs[0].1, runs[1].1, "losses differ across thread counts");
+        // Loss moves down over the three steps on this batch.
+        let losses = &runs[0].1;
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "fine-tune loss {losses:?} did not decrease"
+        );
+    }
+
+    #[test]
+    fn fine_tune_empty_batch_is_a_no_op() {
+        let designs = tiny_designs();
+        let (model, _) = train_sns(&designs[..2], &tiny_config());
+        let mut m = model.fork_replica();
+        let before = crate::model_io::model_weight_hash(&m);
+        let mut tuner = FineTuner::new(FineTuneConfig::daemon());
+        assert_eq!(tuner.step(&mut m, &[], 4), 0.0);
+        assert_eq!(tuner.steps(), 0);
+        assert_eq!(crate::model_io::model_weight_hash(&m), before);
+    }
+
+    #[test]
+    fn refit_correction_rejects_empty_and_accepts_labeled() {
+        let designs = tiny_designs();
+        let (mut model, _) = train_sns(&designs[..2], &tiny_config());
+        assert!(refit_correction(&mut model, &[], &MlpTrainConfig::fast()).is_err());
+        let labeled = HardwareDesignDataset::generate(&designs[..2], &SynthOptions::default());
+        let refs: Vec<&LabeledDesign> = labeled.entries.iter().collect();
+        let cfg = MlpTrainConfig { epochs: 10, ..MlpTrainConfig::fast() };
+        refit_correction(&mut model, &refs, &cfg).unwrap();
+        let pred = model.predict_verilog(&designs[0].verilog, &designs[0].top).unwrap();
+        assert!(pred.timing_ps.is_finite() && pred.timing_ps > 0.0);
     }
 
     #[test]

@@ -20,6 +20,6 @@ pub mod markov;
 pub mod seqgan;
 pub mod validate;
 
-pub use markov::MarkovChain;
+pub use markov::{MarkovArm, MarkovChain};
 pub use seqgan::{SeqGan, SeqGanConfig, SeqGanStats};
 pub use validate::PathValidator;

@@ -41,7 +41,7 @@ impl MarkovChain {
     pub fn fit(vocab: usize, paths: &[Vec<usize>], alpha: f64) -> Self {
         assert!(vocab > 0, "empty vocabulary");
         let n = vocab + 1;
-        let mut counts = vec![alpha; n * n];
+        let mut counts = vec![0.0; n * n];
         for p in paths {
             let mut prev = vocab; // START
             for &t in p {
@@ -51,8 +51,23 @@ impl MarkovChain {
             }
             counts[prev * n + vocab] += 1.0; // END
         }
-        // Normalize rows.
-        let mut probs = counts;
+        Self::from_counts(vocab, &counts, alpha)
+    }
+
+    /// Builds the chain from a raw `(vocab+1) x (vocab+1)` row-major
+    /// transition-count matrix (row `vocab` is START, column `vocab` is
+    /// END), adding Laplace smoothing `alpha` and normalizing rows. This
+    /// is the constructor online learners ([`MarkovArm`]) use to rebuild
+    /// the chain from incrementally maintained counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab == 0` or `counts.len() != (vocab+1)^2`.
+    pub fn from_counts(vocab: usize, counts: &[f64], alpha: f64) -> Self {
+        assert!(vocab > 0, "empty vocabulary");
+        let n = vocab + 1;
+        assert!(counts.len() == n * n, "counts must be (vocab+1)^2");
+        let mut probs: Vec<f64> = counts.iter().map(|&c| c + alpha).collect();
         for r in 0..n {
             let row = &mut probs[r * n..(r + 1) * n];
             let sum: f64 = row.iter().sum();
@@ -136,6 +151,105 @@ impl MarkovChain {
     }
 }
 
+/// An *online* Markov generator arm for the self-training daemon.
+///
+/// [`MarkovChain::fit`] is a batch constructor; the label factory instead
+/// streams sampled paths in as designs are labeled and periodically draws
+/// synthetic paths biased toward the transition statistics seen so far.
+/// `MarkovArm` keeps the raw transition counts incrementally
+/// ([`observe`](Self::observe)) and rebuilds the normalized chain lazily,
+/// only when generation is requested after new observations — so
+/// observing is O(path length) and generation amortizes the O(vocab²)
+/// normalization across a whole batch.
+///
+/// Determinism: counts depend only on the multiset of observed
+/// transitions (addition of whole counts is exact in f64 well past any
+/// realistic corpus size), and generation consumes a caller-provided
+/// seeded [`StdRng`], so identical observation sequences + seeds yield
+/// identical paths regardless of when the lazy rebuild happens.
+#[derive(Debug, Clone)]
+pub struct MarkovArm {
+    vocab: usize,
+    alpha: f64,
+    counts: Vec<f64>,
+    observed: usize,
+    chain: Option<MarkovChain>,
+}
+
+impl MarkovArm {
+    /// Creates an empty arm over `vocab` token ids with Laplace smoothing
+    /// `alpha` applied at (re)build time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab == 0`.
+    pub fn new(vocab: usize, alpha: f64) -> Self {
+        assert!(vocab > 0, "empty vocabulary");
+        let n = vocab + 1;
+        MarkovArm { vocab, alpha, counts: vec![0.0; n * n], observed: 0, chain: None }
+    }
+
+    /// Folds one real path's transitions into the counts. Tokens `>= vocab`
+    /// are skipped (the arm observes whatever subset of the path falls in
+    /// its vocabulary) and an empty path is a no-op.
+    pub fn observe(&mut self, path: &[usize]) {
+        if path.is_empty() {
+            return;
+        }
+        let n = self.vocab + 1;
+        let mut prev = self.vocab; // START
+        let mut any = false;
+        for &t in path {
+            if t >= self.vocab {
+                continue;
+            }
+            self.counts[prev * n + t] += 1.0;
+            prev = t;
+            any = true;
+        }
+        if !any {
+            return;
+        }
+        self.counts[prev * n + self.vocab] += 1.0; // END
+        self.observed += 1;
+        self.chain = None; // stale: rebuild lazily on next generate
+    }
+
+    /// Number of paths folded in so far.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// The vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Draws up to `count` unique synthetic paths (each ≥ 2 tokens, none in
+    /// `exclude`), rebuilding the normalized chain first if observations
+    /// arrived since the last call. Returns an empty vector until at least
+    /// one path has been observed — the daemon treats that as "arm not
+    /// warmed up yet" rather than sampling from pure smoothing noise.
+    pub fn generate_batch(
+        &mut self,
+        rng: &mut StdRng,
+        count: usize,
+        max_len: usize,
+        exclude: &HashSet<Vec<usize>>,
+    ) -> Vec<Vec<usize>> {
+        if self.observed == 0 || count == 0 {
+            return Vec::new();
+        }
+        if self.chain.is_none() {
+            self.chain = Some(MarkovChain::from_counts(self.vocab, &self.counts, self.alpha));
+        }
+        match &self.chain {
+            Some(chain) => chain.generate_unique(rng, count, max_len, exclude),
+            None => Vec::new(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,5 +321,84 @@ mod tests {
         // Token 2 never appears in training; smoothing off.
         let mc = MarkovChain::fit(3, &[vec![0, 1]], 0.0);
         assert!((mc.prob(2, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_counts_matches_fit() {
+        let paths = vec![vec![0, 1, 2], vec![0, 2, 1], vec![1, 0, 2]];
+        let fitted = MarkovChain::fit(3, &paths, 0.25);
+        let n = 4;
+        let mut counts = vec![0.0; n * n];
+        for p in &paths {
+            let mut prev = 3;
+            for &t in p {
+                counts[prev * n + t] += 1.0;
+                prev = t;
+            }
+            counts[prev * n + 3] += 1.0;
+        }
+        let rebuilt = MarkovChain::from_counts(3, &counts, 0.25);
+        for from in 0..n {
+            for to in 0..n {
+                assert_eq!(
+                    fitted.prob(from, to).to_bits(),
+                    rebuilt.prob(from, to).to_bits(),
+                    "prob({from},{to}) differs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arm_is_cold_until_observed() {
+        let mut arm = MarkovArm::new(4, 0.1);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(arm.generate_batch(&mut rng, 8, 8, &HashSet::new()).is_empty());
+        arm.observe(&[]); // no-op
+        arm.observe(&[9, 10]); // all out of vocab: still cold
+        assert_eq!(arm.observed(), 0);
+        assert!(arm.generate_batch(&mut rng, 8, 8, &HashSet::new()).is_empty());
+    }
+
+    #[test]
+    fn arm_matches_batch_fit_generation() {
+        // Observing paths one at a time must produce the exact chain that
+        // a batch fit on the same corpus produces.
+        let paths = vec![vec![0, 1, 2], vec![0, 2, 1], vec![1, 0, 2], vec![2, 1, 0]];
+        let mut arm = MarkovArm::new(3, 0.3);
+        for p in &paths {
+            arm.observe(p);
+        }
+        assert_eq!(arm.observed(), paths.len());
+        let exclude: HashSet<Vec<usize>> = paths.iter().cloned().collect();
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let from_arm = arm.generate_batch(&mut rng_a, 6, 8, &exclude);
+        let batch = MarkovChain::fit(3, &paths, 0.3);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        let from_fit = batch.generate_unique(&mut rng_b, 6, 8, &exclude);
+        assert_eq!(from_arm, from_fit);
+        assert!(!from_arm.is_empty());
+    }
+
+    #[test]
+    fn arm_rebuild_is_lazy_and_deterministic() {
+        // Interleaving observe/generate must not change what a given
+        // observation set generates for a given seed.
+        let mut interleaved = MarkovArm::new(3, 0.2);
+        interleaved.observe(&[0, 1, 2]);
+        let mut warmup_rng = StdRng::seed_from_u64(1);
+        let _ = interleaved.generate_batch(&mut warmup_rng, 2, 8, &HashSet::new());
+        interleaved.observe(&[2, 1, 0]);
+
+        let mut direct = MarkovArm::new(3, 0.2);
+        direct.observe(&[0, 1, 2]);
+        direct.observe(&[2, 1, 0]);
+
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        assert_eq!(
+            interleaved.generate_batch(&mut rng_a, 4, 8, &HashSet::new()),
+            direct.generate_batch(&mut rng_b, 4, 8, &HashSet::new()),
+        );
     }
 }

@@ -1,0 +1,104 @@
+//! Atomic file writes for on-disk artifacts readers may open mid-write.
+//!
+//! The model zoo (`sns-core::model_io`) is a directory shared between a
+//! training daemon appending checkpoints and serving processes loading
+//! them on `/admin/reload` / SIGHUP. Readers must never observe a
+//! half-written weights file or manifest, so every write goes through
+//! the classic temp-file-then-rename protocol: `rename(2)` within one
+//! directory is atomic on POSIX, so a concurrent reader sees either the
+//! old bytes or the new bytes, never a mixture.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically: the data lands in a sibling
+/// temporary file first (same directory, so the rename cannot cross a
+/// filesystem boundary) and is renamed over `path` only after a
+/// successful full write.
+///
+/// The temporary name is derived from the destination file name plus the
+/// process id, so concurrent writers in different processes do not
+/// trample each other's staging files (last rename wins, atomically).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error; on failure the destination is
+/// untouched and the staging file is removed on a best-effort basis.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("write_atomic: path {} has no file name", path.display()),
+            )
+        })?
+        .to_string_lossy()
+        .into_owned();
+    let tmp_name = format!(".{file_name}.tmp.{}", std::process::id());
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let write_all = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        // Push the bytes to the device before the rename publishes them,
+        // so a crash cannot leave the final name pointing at a hole.
+        f.sync_all()
+    })();
+    if let Err(e) = write_all {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("sns_fsx_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let d = tmp_dir("basic");
+        let p = d.join("file.json");
+        write_atomic(&p, b"one").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"one");
+        write_atomic(&p, b"two").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"two");
+        // No staging litter left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&d)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "staging files left: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn missing_directory_is_an_error_not_a_panic() {
+        let p = std::env::temp_dir().join("sns_fsx_no_such_dir").join("x").join("file");
+        assert!(write_atomic(&p, b"data").is_err());
+    }
+
+    #[test]
+    fn bare_file_name_is_an_error_free_zone() {
+        // A path with no file name is rejected cleanly.
+        assert!(write_atomic(Path::new("/"), b"data").is_err());
+    }
+}

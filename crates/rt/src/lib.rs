@@ -16,7 +16,11 @@
 //! * [`net`] — readiness-based I/O on `poll(2)` (poll sets, a self-pipe
 //!   waker, non-blocking fd control), the substrate under the
 //!   `sns-serve` event-driven reactor. Unix-only.
+//! * [`fsx`] — atomic file writes (temp + `rename(2)`), the publication
+//!   protocol for the on-disk model zoo shared by the training daemon
+//!   and serving processes.
 
+pub mod fsx;
 pub mod json;
 pub mod net;
 pub mod pool;

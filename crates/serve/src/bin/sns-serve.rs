@@ -2,7 +2,8 @@
 //! predictions over HTTP until SIGTERM/ctrl-C, then drain and exit.
 //!
 //! ```text
-//! sns-serve --model model.json [--addr 127.0.0.1:7878] [--replicas N]
+//! sns-serve --model model.json [--addr 127.0.0.1:7878] [--replicas N] [--zoo DIR]
+//! sns-serve --zoo zoo/         [--addr 127.0.0.1:7878] [--replicas N]   # latest checkpoint
 //! sns-serve --train 8          [--addr 127.0.0.1:7878] [--replicas N]   # demo model
 //! ```
 //!
@@ -10,10 +11,16 @@
 //! model replicas, each with a private path cache and micro-batcher,
 //! behind a consistent-hash router keyed on design content.
 //!
+//! `--zoo DIR` (or `SNS_ZOO_DIR`) points at a versioned model zoo (as
+//! written by `sns-train`); without `--model`/`--train` the latest
+//! checkpoint boots the server. A running server hot-swaps to the zoo's
+//! latest checkpoint on **SIGHUP** or `POST /admin/reload` without
+//! dropping in-flight requests.
+//!
 //! Environment knobs: SNS_REPLICAS, SNS_WORKERS (alias
 //! SNS_SERVE_WORKERS), SNS_QUEUE_CAP, SNS_MAX_CONNS, SNS_MAX_BODY,
 //! SNS_DEADLINE_MS, SNS_CACHE_CAP, SNS_THREADS, SNS_BATCH,
-//! SNS_SESSION_CAP, SNS_ELAB_CACHE_CAP, SNS_INT8.
+//! SNS_SESSION_CAP, SNS_ELAB_CACHE_CAP, SNS_INT8, SNS_ZOO_DIR.
 //!
 //! `SNS_INT8=1` switches the Circuitformer block GEMMs to the
 //! experimental int8 path (deterministic but not bit-equal to f32);
@@ -26,16 +33,19 @@ use std::time::Duration;
 use sns_serve::{ServeConfig, Server};
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static RELOAD: AtomicBool = AtomicBool::new(false);
 
 #[cfg(unix)]
 mod sig {
-    //! SIGINT/SIGTERM → a flag the main loop polls. Installed via the
-    //! C `signal` symbol that libc (already linked by `std`) exports —
-    //! no new dependency. The handler body is a single atomic store,
-    //! which is async-signal-safe.
+    //! SIGINT/SIGTERM → shutdown flag, SIGHUP → reload flag; the main
+    //! loop polls both. Installed via the C `signal` symbol that libc
+    //! (already linked by `std`) exports — no new dependency. The
+    //! handler bodies are single atomic stores, which are
+    //! async-signal-safe.
     use std::ffi::c_int;
     use std::sync::atomic::Ordering;
 
+    const SIGHUP: c_int = 1;
     const SIGINT: c_int = 2;
     const SIGTERM: c_int = 15;
 
@@ -47,10 +57,15 @@ mod sig {
         super::SHUTDOWN.store(true, Ordering::SeqCst);
     }
 
+    extern "C" fn on_reload(_signum: c_int) {
+        super::RELOAD.store(true, Ordering::SeqCst);
+    }
+
     pub fn install() {
         unsafe {
             signal(SIGINT, on_signal);
             signal(SIGTERM, on_signal);
+            signal(SIGHUP, on_reload);
         }
     }
 }
@@ -62,22 +77,35 @@ fn arg(args: &[String], name: &str) -> Option<String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:
-  sns-serve --model <model.json> [--addr <ip:port>] [--replicas <n>]
+  sns-serve --model <model.json> [--addr <ip:port>] [--replicas <n>] [--zoo <dir>]
+  sns-serve --zoo <dir>          [--addr <ip:port>] [--replicas <n>]
   sns-serve --train <n-designs>  [--addr <ip:port>] [--replicas <n>]
+
+SIGHUP or POST /admin/reload hot-swaps to the zoo's latest checkpoint.
 
 env: SNS_REPLICAS SNS_WORKERS SNS_QUEUE_CAP SNS_MAX_CONNS SNS_MAX_BODY
      SNS_DEADLINE_MS SNS_CACHE_CAP SNS_THREADS SNS_BATCH SNS_SESSION_CAP
-     SNS_ELAB_CACHE_CAP SNS_INT8"
+     SNS_ELAB_CACHE_CAP SNS_INT8 SNS_ZOO_DIR"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let model = if let Some(path) = arg(&args, "--model") {
+    let mut config = ServeConfig::from_env();
+    config.addr = arg(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    if let Some(n) = arg(&args, "--replicas") {
+        let Ok(n) = n.parse::<usize>() else { return usage() };
+        config.replicas = n.max(1);
+    }
+    if let Some(dir) = arg(&args, "--zoo") {
+        config.zoo_dir = Some(dir.into());
+    }
+
+    let (model, model_id) = if let Some(path) = arg(&args, "--model") {
         eprintln!("loading model from {path}...");
         match sns_core::load_model(&path) {
-            Ok(m) => m,
+            Ok(m) => (m, "boot".to_string()),
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
@@ -95,19 +123,25 @@ fn main() -> ExitCode {
         if std::env::var("SNS_INT8").map(|v| v == "1").unwrap_or(false) {
             model.set_quant_mode(sns_core::QuantMode::Int8);
         }
-        model
+        (model, "boot".to_string())
+    } else if let Some(dir) = config.zoo_dir.clone() {
+        eprintln!("loading latest checkpoint from zoo {}...", dir.display());
+        match sns_core::load_from_zoo(&dir, None) {
+            Ok((m, entry)) => {
+                eprintln!("loaded {} (weights {})", entry.id, entry.weight_hash);
+                (m, entry.id)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     } else {
         return usage();
     };
 
-    let mut config = ServeConfig::from_env();
-    config.addr = arg(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
-    if let Some(n) = arg(&args, "--replicas") {
-        let Ok(n) = n.parse::<usize>() else { return usage() };
-        config.replicas = n.max(1);
-    }
-
-    let server = match Server::start(model, config.clone()) {
+    let server = match Server::start_named(std::sync::Arc::new(model), &model_id, config.clone())
+    {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot bind {}: {e}", config.addr);
@@ -131,6 +165,15 @@ fn main() -> ExitCode {
     sig::install();
 
     while !SHUTDOWN.load(Ordering::SeqCst) {
+        if RELOAD.swap(false, Ordering::SeqCst) {
+            match server.reload_from_zoo(None) {
+                Ok(o) if o.swapped => {
+                    eprintln!("reloaded: {} -> {} (weights {})", o.previous_id, o.model_id, o.weight_hash)
+                }
+                Ok(o) => eprintln!("reload: {} already serving, caches kept warm", o.model_id),
+                Err(e) => eprintln!("reload failed (model unchanged): {e}"),
+            }
+        }
         std::thread::sleep(Duration::from_millis(50));
     }
 

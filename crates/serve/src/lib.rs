@@ -101,7 +101,8 @@ pub mod shard;
 pub use batcher::MicroBatcher;
 pub use http::{read_request, write_response, HttpError, Request};
 pub use metrics::{
-    CacheStats, ElabCacheStats, Histogram, KernelStats, Metrics, ReplicaSnapshot, ReplicaStats,
+    CacheStats, ElabCacheStats, Histogram, KernelStats, Metrics, ModelTally, ReplicaSnapshot,
+    ReplicaStats,
 };
-pub use server::{ServeConfig, Server};
+pub use server::{ReloadError, ReloadOutcome, ServeConfig, Server};
 pub use shard::{design_key, token_key, HashRing, RouteChoice};

@@ -110,6 +110,13 @@ pub struct Metrics {
     /// Requests the consistent-hash router re-homed because the primary
     /// replica for their key was marked dead.
     pub router_failovers: AtomicU64,
+    /// Completed model hot-swaps (`POST /admin/reload` or SIGHUP) that
+    /// actually installed a new model. A reload that found the serving
+    /// weights already current is not a swap.
+    pub model_swaps: AtomicU64,
+    /// Reload attempts that failed (zoo unreadable, corrupt weights,
+    /// unknown model id). The serving model is untouched by a failure.
+    pub reload_errors: AtomicU64,
     /// Requests whose handler panicked and was caught at the connection
     /// boundary (returned as a 500 instead of killing the worker). The
     /// front-end is supposed to be panic-free, so anything non-zero here
@@ -140,6 +147,32 @@ pub struct Metrics {
     /// readiness after `poll` returns — *not* the blocked wait). A fat
     /// tail here means some connection handler is stalling the loop.
     pub reactor_loop: Histogram,
+}
+
+/// Per-model service tallies, keyed by (model id, weight hash) in the
+/// server's model registry. A hot-swap that brings in new weights gets a
+/// fresh tally; swapping back to weights served before resumes the old
+/// one, so `/metrics` keeps an accurate per-model ledger across swaps.
+#[derive(Debug, Default)]
+pub struct ModelTally {
+    /// `/predict` requests routed while this model was serving.
+    pub requests: AtomicU64,
+    /// Of those, predictions that completed with a 200.
+    pub ok: AtomicU64,
+    /// Whole-request latency while this model was serving.
+    pub latency: Histogram,
+}
+
+impl ModelTally {
+    /// The per-model `/metrics` fragment (joined with id/hash by the
+    /// server, which owns the registry).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("requests", Json::UInt(self.requests.load(Ordering::Relaxed))),
+            ("ok", Json::UInt(self.ok.load(Ordering::Relaxed))),
+            ("latency_us", self.latency.to_json()),
+        ])
+    }
 }
 
 /// Per-replica service counters, shared between the router, the
@@ -271,11 +304,16 @@ impl Metrics {
     /// misses / evictions, so the `entries == misses − evictions`
     /// invariant survives sharding; `capacity` is the *per-replica*
     /// bound). The per-replica detail is exported under `"replicas"`.
+    ///
+    /// `models` carries one pre-assembled object per model the server
+    /// has ever served (id, weight hash, [`ModelTally`] counters); it is
+    /// exported verbatim under `"models"` alongside the swap counters.
     pub fn to_json(
         &self,
         replicas: &[ReplicaSnapshot],
         elab: ElabCacheStats,
         kernels: KernelStats,
+        models: Vec<Json>,
     ) -> Json {
         let cache = CacheStats {
             entries: replicas.iter().map(|r| r.cache.entries).sum(),
@@ -397,6 +435,9 @@ impl Metrics {
                     ("failovers", Self::g(&self.router_failovers)),
                 ]),
             ),
+            ("model_swaps", Self::g(&self.model_swaps)),
+            ("reload_errors", Self::g(&self.reload_errors)),
+            ("models", Json::Arr(models)),
             ("replicas", Json::Arr(replica_json)),
             (
                 "stages_us",
@@ -472,6 +513,7 @@ mod tests {
                 sessions: 3,
             },
             KernelStats { prepack_bytes: 4096, int8: false },
+            vec![Json::obj(vec![("id", Json::Str("m-000001".into()))])],
         );
         assert_eq!(j.get("requests_total").unwrap().as_u64().unwrap(), 3);
         let cache = j.get("cache").unwrap();
@@ -494,6 +536,10 @@ mod tests {
         assert_eq!(replicas[0].get("routed").unwrap().as_u64().unwrap(), 9);
         assert_eq!(replicas[0].get("queue_depth").unwrap().as_u64().unwrap(), 2);
         assert!(j.get("reactor_loop_us").unwrap().get("count").is_ok());
+        assert_eq!(j.get("model_swaps").unwrap().as_u64().unwrap(), 0);
+        let models = j.get("models").unwrap().as_arr().unwrap();
+        assert_eq!(models.len(), 1);
+        assert_eq!(models[0].get("id").unwrap().as_str().unwrap(), "m-000001");
         // The export is valid JSON text.
         sns_rt::json::parse(&j.print()).unwrap();
     }
@@ -516,7 +562,7 @@ mod tests {
                 )
             })
             .collect();
-        let j = m.to_json(&snaps, ElabCacheStats::default(), KernelStats::default());
+        let j = m.to_json(&snaps, ElabCacheStats::default(), KernelStats::default(), Vec::new());
         let cache = j.get("cache").unwrap();
         let entries = cache.get("entries").unwrap().as_u64().unwrap();
         let misses = cache.get("misses").unwrap().as_u64().unwrap();

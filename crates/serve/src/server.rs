@@ -26,12 +26,16 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use sns_core::{SessionError, SessionOutcome, SessionStore, SnsModel};
+use sns_core::{
+    load_from_zoo, model_weight_hash, SessionError, SessionOutcome, SessionStore, SnsModel,
+    ZooError,
+};
 use sns_graphir::GraphIr;
 use sns_netlist::ModuleElabCache;
 use sns_rt::json::{parse as parse_json, Json};
@@ -40,7 +44,9 @@ use sns_sampler::PathSampler;
 
 use crate::batcher::MicroBatcher;
 use crate::http::{build_response, Request};
-use crate::metrics::{CacheStats, ElabCacheStats, KernelStats, Metrics, ReplicaSnapshot, ReplicaStats};
+use crate::metrics::{
+    CacheStats, ElabCacheStats, KernelStats, Metrics, ModelTally, ReplicaSnapshot, ReplicaStats,
+};
 use crate::reactor::reactor_loop;
 use crate::shard::{design_key, token_key, HashRing};
 
@@ -96,6 +102,9 @@ pub struct ServeConfig {
     /// Never enabled from the environment — deterministic concurrency
     /// tests set it explicitly.
     pub debug_hooks: bool,
+    /// Model-zoo directory (`SNS_ZOO_DIR`) backing `POST /admin/reload`
+    /// and SIGHUP hot-swaps. `None` disables reloading (`409`).
+    pub zoo_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +126,7 @@ impl Default for ServeConfig {
             replicas: 1,
             max_conns: 1024,
             debug_hooks: false,
+            zoo_dir: None,
         }
     }
 }
@@ -127,7 +137,7 @@ impl ServeConfig {
     /// `SNS_QUEUE_CAP`, `SNS_MAX_BODY`, `SNS_DEADLINE_MS`,
     /// `SNS_CACHE_CAP` (0 = unbounded), `SNS_THREADS`, `SNS_BATCH`,
     /// `SNS_SESSION_CAP`, `SNS_ELAB_CACHE_CAP`, `SNS_REPLICAS`,
-    /// `SNS_MAX_CONNS`.
+    /// `SNS_MAX_CONNS`, `SNS_ZOO_DIR`.
     pub fn from_env() -> Self {
         let mut c = ServeConfig::default();
         if let Some(n) = env_usize("SNS_WORKERS").or_else(|| env_usize("SNS_SERVE_WORKERS")) {
@@ -161,6 +171,12 @@ impl ServeConfig {
         if let Some(n) = env_usize("SNS_MAX_CONNS") {
             c.max_conns = n;
         }
+        if let Ok(dir) = std::env::var("SNS_ZOO_DIR") {
+            let dir = dir.trim();
+            if !dir.is_empty() {
+                c.zoo_dir = Some(PathBuf::from(dir));
+            }
+        }
         c
     }
 }
@@ -177,12 +193,28 @@ pub(crate) struct Completion {
     pub bytes: Vec<u8>,
 }
 
-/// One model replica: a full model clone with a private path cache,
-/// its own micro-batcher, per-replica counters, and a liveness flag the
-/// chaos tests (and an eventual health checker) flip.
-pub(crate) struct Replica {
+/// One generation of the model behind a replica slot: the model clone
+/// with its private path cache, the micro-batcher filling that cache,
+/// and the zoo identity the server reports for every prediction it
+/// makes. Hot-swapping installs a new `Arc<ModelEntry>` in the slot;
+/// requests already holding the old `Arc` finish on the model they
+/// started with (bit-identical to a direct call on it), and the old
+/// generation — batcher thread included — is torn down when the last
+/// in-flight holder drops it.
+pub(crate) struct ModelEntry {
     pub model: Arc<SnsModel>,
     pub batcher: MicroBatcher,
+    pub model_id: String,
+    pub weight_hash: String,
+    pub tally: Arc<ModelTally>,
+}
+
+/// One model replica: a swappable [`ModelEntry`] slot, per-replica
+/// counters, and a liveness flag the chaos tests (and an eventual health
+/// checker) flip. Liveness and routing identity survive a model swap —
+/// only the entry changes.
+pub(crate) struct Replica {
+    pub entry: Mutex<Arc<ModelEntry>>,
     pub stats: Arc<ReplicaStats>,
     pub alive: AtomicBool,
 }
@@ -191,6 +223,24 @@ impl Replica {
     fn is_alive(&self) -> bool {
         self.alive.load(Ordering::SeqCst)
     }
+
+    /// The current model generation. The lock is held only for the
+    /// `Arc` clone; handlers pin one generation per request.
+    pub(crate) fn entry(&self) -> Arc<ModelEntry> {
+        Arc::clone(&lock_or_recover(&self.entry))
+    }
+
+    fn install(&self, entry: Arc<ModelEntry>) {
+        *lock_or_recover(&self.entry) = entry;
+    }
+}
+
+/// A model known to the `/metrics` registry: identity plus its tally.
+/// Re-installing weights served earlier resumes the existing tally.
+pub(crate) struct ModelInfo {
+    pub id: String,
+    pub weight_hash: String,
+    pub tally: Arc<ModelTally>,
 }
 
 pub(crate) struct Shared {
@@ -202,6 +252,11 @@ pub(crate) struct Shared {
     /// are content-addressed, and ECO requests route by token so the
     /// replica-local path caches still get affinity.
     pub sessions: SessionStore,
+    /// Every model this server has served, for per-model metrics.
+    pub models: Mutex<Vec<ModelInfo>>,
+    /// Serializes hot-swaps (`/admin/reload`, SIGHUP) so two concurrent
+    /// reloads cannot interleave replica installs.
+    pub reload_lock: Mutex<()>,
     pub dispatch: Mutex<VecDeque<Job>>,
     pub dispatch_cv: Condvar,
     pub completions: Mutex<Vec<Completion>>,
@@ -235,34 +290,43 @@ impl Server {
     /// the model (benchmarks clearing the cache between rounds, tests).
     /// The caller's model becomes replica 0; further replicas are
     /// [`fork_replica`](SnsModel::fork_replica) clones with cold caches.
+    /// The model is served under the id `"boot"` until a hot-swap
+    /// installs a zoo checkpoint.
     pub fn start_shared(model: Arc<SnsModel>, config: ServeConfig) -> std::io::Result<Server> {
+        Self::start_named(model, "boot", config)
+    }
+
+    /// [`start_shared`](Self::start_shared) with an explicit model id —
+    /// the identity `/metrics` and the `x-sns-model-id` response header
+    /// report (e.g. the zoo entry id the model was loaded from).
+    pub fn start_named(
+        model: Arc<SnsModel>,
+        model_id: &str,
+        config: ServeConfig,
+    ) -> std::io::Result<Server> {
         model.cache().set_capacity(config.cache_cap);
         let metrics = Arc::new(Metrics::default());
+        let weight_hash = model_weight_hash(&model);
+        let tally = Arc::new(ModelTally::default());
         let replica_count = config.replicas.max(1);
-        let mut replicas = Vec::with_capacity(replica_count);
-        for i in 0..replica_count {
-            let replica_model = if i == 0 {
-                Arc::clone(&model)
-            } else {
-                let fork = model.fork_replica();
-                fork.cache().set_capacity(config.cache_cap);
-                Arc::new(fork)
-            };
-            let stats = Arc::new(ReplicaStats::default());
-            let batcher = MicroBatcher::start(
-                Arc::clone(&replica_model),
-                config.threads,
-                config.batch,
-                Arc::clone(&metrics),
-                Arc::clone(&stats),
-            )?;
-            replicas.push(Replica {
-                model: replica_model,
-                batcher,
-                stats,
+        let stats: Vec<Arc<ReplicaStats>> =
+            (0..replica_count).map(|_| Arc::new(ReplicaStats::default())).collect();
+        let entries =
+            build_entries(&model, model_id, &weight_hash, &tally, &config, &metrics, &stats)?;
+        let replicas: Vec<Replica> = entries
+            .into_iter()
+            .zip(&stats)
+            .map(|(entry, stats)| Replica {
+                entry: Mutex::new(entry),
+                stats: Arc::clone(stats),
                 alive: AtomicBool::new(true),
-            });
-        }
+            })
+            .collect();
+        let models = vec![ModelInfo {
+            id: model_id.to_string(),
+            weight_hash,
+            tally,
+        }];
 
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
@@ -277,6 +341,8 @@ impl Server {
             replicas,
             ring,
             sessions,
+            models: Mutex::new(models),
+            reload_lock: Mutex::new(()),
             dispatch: Mutex::new(VecDeque::new()),
             dispatch_cv: Condvar::new(),
             completions: Mutex::new(Vec::new()),
@@ -368,6 +434,30 @@ impl Server {
         }
     }
 
+    /// The id and weight hash of the currently serving model generation.
+    pub fn current_model(&self) -> (String, String) {
+        let entry = self.shared.replicas[0].entry();
+        (entry.model_id.clone(), entry.weight_hash.clone())
+    }
+
+    /// Atomically hot-swaps the serving model from the configured zoo
+    /// (`id = None` loads the latest checkpoint). No in-flight request is
+    /// dropped: each request pins the model generation it started on and
+    /// finishes there bit-identically; new requests see the new model.
+    /// Swapping is keyed by weight hash — reloading weights already
+    /// serving is a no-op that keeps every cache warm. Safe from any
+    /// thread (the `/admin/reload` endpoint and the SIGHUP watcher both
+    /// funnel here); concurrent reloads serialize.
+    ///
+    /// # Errors
+    ///
+    /// [`ReloadError::NoZoo`] when no zoo directory is configured;
+    /// [`ReloadError::Zoo`] for zoo failures (unknown id, corrupt
+    /// manifest or weights) — the serving model is untouched.
+    pub fn reload_from_zoo(&self, id: Option<&str>) -> Result<ReloadOutcome, ReloadError> {
+        reload_from_zoo(&self.shared, id)
+    }
+
     /// Begins a graceful shutdown: stop accepting, let queued and
     /// in-flight requests finish. Idempotent; safe from a signal-watcher
     /// thread.
@@ -403,6 +493,166 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.request_shutdown();
     }
+}
+
+/// Why a hot-swap attempt failed. The serving model is never touched by
+/// a failed reload.
+#[derive(Debug)]
+pub enum ReloadError {
+    /// The server was started without a zoo directory (`SNS_ZOO_DIR` /
+    /// `ServeConfig::zoo_dir`).
+    NoZoo,
+    /// The zoo rejected the load (missing/corrupt manifest or weights,
+    /// unknown model id, hash mismatch).
+    Zoo(ZooError),
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadError::NoZoo => {
+                write!(f, "no model zoo configured (start with SNS_ZOO_DIR or --zoo)")
+            }
+            ReloadError::Zoo(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// What a [`Server::reload_from_zoo`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReloadOutcome {
+    /// Whether a new model generation was installed (`false` when the
+    /// requested checkpoint's weight hash already matched the serving
+    /// model — caches stay warm, nothing changes).
+    pub swapped: bool,
+    /// The now-serving model id.
+    pub model_id: String,
+    /// The now-serving weight hash.
+    pub weight_hash: String,
+    /// The previously serving model id.
+    pub previous_id: String,
+    /// The previously serving weight hash.
+    pub previous_hash: String,
+}
+
+/// Builds one [`ModelEntry`] per replica for `model`: replica 0 serves
+/// the given `Arc` directly, the rest serve
+/// [`fork_replica`](SnsModel::fork_replica) clones with cold private
+/// caches. All entries of a generation share one [`ModelTally`].
+fn build_entries(
+    model: &Arc<SnsModel>,
+    model_id: &str,
+    weight_hash: &str,
+    tally: &Arc<ModelTally>,
+    config: &ServeConfig,
+    metrics: &Arc<Metrics>,
+    stats: &[Arc<ReplicaStats>],
+) -> std::io::Result<Vec<Arc<ModelEntry>>> {
+    let mut entries = Vec::with_capacity(stats.len());
+    for (i, stats) in stats.iter().enumerate() {
+        let replica_model = if i == 0 {
+            Arc::clone(model)
+        } else {
+            let fork = model.fork_replica();
+            fork.cache().set_capacity(config.cache_cap);
+            Arc::new(fork)
+        };
+        let batcher = MicroBatcher::start(
+            Arc::clone(&replica_model),
+            config.threads,
+            config.batch,
+            Arc::clone(metrics),
+            Arc::clone(stats),
+        )?;
+        entries.push(Arc::new(ModelEntry {
+            model: replica_model,
+            batcher,
+            model_id: model_id.to_string(),
+            weight_hash: weight_hash.to_string(),
+            tally: Arc::clone(tally),
+        }));
+    }
+    Ok(entries)
+}
+
+/// The tally for (`id`, `weight_hash`) in the model registry, appending
+/// a fresh entry if this model has not served here before.
+fn tally_for(shared: &Shared, id: &str, weight_hash: &str) -> Arc<ModelTally> {
+    let mut models = lock_or_recover(&shared.models);
+    if let Some(info) =
+        models.iter().find(|m| m.id == id && m.weight_hash == weight_hash)
+    {
+        return Arc::clone(&info.tally);
+    }
+    let tally = Arc::new(ModelTally::default());
+    models.push(ModelInfo {
+        id: id.to_string(),
+        weight_hash: weight_hash.to_string(),
+        tally: Arc::clone(&tally),
+    });
+    tally
+}
+
+/// The hot-swap implementation behind [`Server::reload_from_zoo`] and
+/// `POST /admin/reload` (workers hold `Shared`, not `Server`).
+pub(crate) fn reload_from_zoo(
+    shared: &Shared,
+    id: Option<&str>,
+) -> Result<ReloadOutcome, ReloadError> {
+    let Some(dir) = shared.config.zoo_dir.as_deref() else {
+        return Err(ReloadError::NoZoo);
+    };
+    let _guard = lock_or_recover(&shared.reload_lock);
+    let current = shared.replicas[0].entry();
+    let (model, zoo_entry) = load_from_zoo(dir, id).map_err(ReloadError::Zoo)?;
+    if zoo_entry.weight_hash == current.weight_hash {
+        // Cache invalidation is keyed by weight hash: identical weights
+        // mean every cached path prediction is still exact, so the swap
+        // is skipped and the caches stay warm.
+        return Ok(ReloadOutcome {
+            swapped: false,
+            model_id: current.model_id.clone(),
+            weight_hash: current.weight_hash.clone(),
+            previous_id: current.model_id.clone(),
+            previous_hash: current.weight_hash.clone(),
+        });
+    }
+    model.cache().set_capacity(shared.config.cache_cap);
+    let sample_config_changed = model.sample_config() != current.model.sample_config();
+    let model = Arc::new(model);
+    let tally = tally_for(shared, &zoo_entry.id, &zoo_entry.weight_hash);
+    let stats: Vec<Arc<ReplicaStats>> =
+        shared.replicas.iter().map(|r| Arc::clone(&r.stats)).collect();
+    // Build the whole new generation before installing any of it, so a
+    // mid-build failure (batcher thread spawn) leaves the old generation
+    // fully serving.
+    let entries = build_entries(
+        &model,
+        &zoo_entry.id,
+        &zoo_entry.weight_hash,
+        &tally,
+        &shared.config,
+        &shared.metrics,
+        &stats,
+    )
+    .map_err(|e| ReloadError::Zoo(ZooError::Io(e.to_string())))?;
+    for (replica, entry) in shared.replicas.iter().zip(entries) {
+        replica.install(entry);
+    }
+    // Live ECO sessions hold terminal samples, which depend only on the
+    // sample config, not the weights — they stay bit-exact across a
+    // weight swap. A changed sample config invalidates them.
+    if sample_config_changed {
+        shared.sessions.clear();
+    }
+    shared.metrics.model_swaps.fetch_add(1, Ordering::Relaxed);
+    Ok(ReloadOutcome {
+        swapped: true,
+        model_id: zoo_entry.id,
+        weight_hash: zoo_entry.weight_hash,
+        previous_id: current.model_id.clone(),
+        previous_hash: current.weight_hash.clone(),
+    })
 }
 
 pub(crate) fn error_body(message: &str, kind: &str) -> Json {
@@ -460,15 +710,17 @@ type Reply = (u16, Vec<(&'static str, String)>, Json);
 fn route(request: &Request, shared: &Shared) -> Reply {
     match (request.method.as_str(), request.target.as_str()) {
         ("POST", "/predict") => handle_predict(request, shared),
+        ("POST", "/admin/reload") => handle_reload(request, shared),
         ("GET", "/metrics") => {
             let snapshots: Vec<ReplicaSnapshot> = shared
                 .replicas
                 .iter()
                 .map(|r| {
-                    let cache = r.model.cache();
+                    let entry = r.entry();
+                    let cache = entry.model.cache();
                     r.stats.snapshot(
                         r.is_alive(),
-                        r.batcher.queue_depth() as u64,
+                        entry.batcher.queue_depth() as u64,
                         CacheStats {
                             entries: cache.len(),
                             capacity: cache.capacity(),
@@ -489,12 +741,29 @@ fn route(request: &Request, shared: &Shared) -> Reply {
                 invalidations: elab.invalidations(),
                 sessions: shared.sessions.session_count(),
             };
-            let model = &shared.replicas[0].model;
+            let serving = shared.replicas[0].entry();
             let kernel_stats = KernelStats {
-                prepack_bytes: model.prepack_bytes(),
-                int8: model.quant_mode() == sns_core::QuantMode::Int8,
+                prepack_bytes: serving.model.prepack_bytes(),
+                int8: serving.model.quant_mode() == sns_core::QuantMode::Int8,
             };
-            (200, Vec::new(), shared.metrics.to_json(&snapshots, elab_stats, kernel_stats))
+            let models: Vec<Json> = lock_or_recover(&shared.models)
+                .iter()
+                .map(|info| {
+                    let mut obj = vec![
+                        ("id".to_string(), Json::Str(info.id.clone())),
+                        ("weight_hash".to_string(), Json::Str(info.weight_hash.clone())),
+                        (
+                            "serving".to_string(),
+                            Json::Bool(info.weight_hash == serving.weight_hash),
+                        ),
+                    ];
+                    if let Json::Obj(tally) = info.tally.to_json() {
+                        obj.extend(tally);
+                    }
+                    Json::Obj(obj)
+                })
+                .collect();
+            (200, Vec::new(), shared.metrics.to_json(&snapshots, elab_stats, kernel_stats, models))
         }
         ("GET", "/healthz") => (200, Vec::new(), Json::obj(vec![("status", Json::Str("ok".into()))])),
         ("GET", target)
@@ -509,12 +778,68 @@ fn route(request: &Request, shared: &Shared) -> Reply {
                 .min(16 * 1024);
             (200, Vec::new(), Json::obj(vec![("blob", Json::Str("x".repeat(kb * 1024)))]))
         }
-        (_, "/predict") | (_, "/metrics") | (_, "/healthz") => (
+        (_, "/predict") | (_, "/metrics") | (_, "/healthz") | (_, "/admin/reload") => (
             405,
             Vec::new(),
             error_body(&format!("method {} not allowed here", request.method), "http"),
         ),
         (_, target) => (404, Vec::new(), error_body(&format!("no such endpoint {target}"), "http")),
+    }
+}
+
+/// `POST /admin/reload` — hot-swap the serving model from the zoo. Body
+/// `{}`/empty loads the latest checkpoint, `{"model": id}` a specific
+/// one. `200` with the swap outcome; `409` when no zoo is configured;
+/// `404` for an unknown model id; `500` for a zoo that cannot be read.
+fn handle_reload(request: &Request, shared: &Shared) -> Reply {
+    let id = match request.body.is_empty() {
+        true => None,
+        false => {
+            let text = match std::str::from_utf8(&request.body) {
+                Ok(t) => t,
+                Err(_) => return (400, Vec::new(), error_body("body is not valid UTF-8", "json")),
+            };
+            let v = match parse_json(text) {
+                Ok(v) => v,
+                Err(e) => return (400, Vec::new(), error_body(&e.to_string(), "json")),
+            };
+            match v.get("model") {
+                Err(_) => None,
+                Ok(m) => match m.as_str() {
+                    Ok(s) => Some(s.to_string()),
+                    Err(e) => {
+                        return (400, Vec::new(), error_body(&format!("model: {e}"), "json"))
+                    }
+                },
+            }
+        }
+    };
+    match reload_from_zoo(shared, id.as_deref()) {
+        Ok(outcome) => (
+            200,
+            vec![
+                ("x-sns-model-id", outcome.model_id.clone()),
+                ("x-sns-weight-hash", outcome.weight_hash.clone()),
+            ],
+            Json::obj(vec![
+                ("swapped", Json::Bool(outcome.swapped)),
+                ("model_id", Json::Str(outcome.model_id)),
+                ("weight_hash", Json::Str(outcome.weight_hash)),
+                ("previous_id", Json::Str(outcome.previous_id)),
+                ("previous_hash", Json::Str(outcome.previous_hash)),
+            ]),
+        ),
+        Err(ReloadError::NoZoo) => {
+            (409, Vec::new(), error_body(&ReloadError::NoZoo.to_string(), "reload"))
+        }
+        Err(ReloadError::Zoo(e @ ZooError::UnknownModel(_))) => {
+            shared.metrics.reload_errors.fetch_add(1, Ordering::Relaxed);
+            (404, Vec::new(), error_body(&e.to_string(), "zoo"))
+        }
+        Err(ReloadError::Zoo(e)) => {
+            shared.metrics.reload_errors.fetch_add(1, Ordering::Relaxed);
+            (500, Vec::new(), error_body(&e.to_string(), "zoo"))
+        }
     }
 }
 
@@ -653,6 +978,14 @@ fn handle_predict(request: &Request, shared: &Shared) -> Reply {
     replica.stats.routed.fetch_add(1, Ordering::Relaxed);
     replica.stats.in_flight.fetch_add(1, Ordering::Relaxed);
 
+    // Pin one model generation for the whole request: model, batcher,
+    // and cache all come from this entry, so a concurrent hot-swap can
+    // never mix generations mid-pipeline — the response is bit-identical
+    // to a direct call on the model the request started with, and the
+    // headers below say which one that was.
+    let entry = replica.entry();
+    entry.tally.requests.fetch_add(1, Ordering::Relaxed);
+
     // Deterministic chaos hook: lets tests hold a request in-flight on
     // its routed replica (e.g. to kill the replica underneath it).
     if shared.config.debug_hooks {
@@ -661,7 +994,7 @@ fn handle_predict(request: &Request, shared: &Shared) -> Reply {
         }
     }
 
-    let reply = match predict_on_replica(shared, replica, body, start) {
+    let mut reply = match predict_on_replica(shared, replica, &entry, body, start) {
         Ok(reply) => {
             replica.stats.completed.fetch_add(1, Ordering::Relaxed);
             reply
@@ -678,6 +1011,12 @@ fn handle_predict(request: &Request, shared: &Shared) -> Reply {
             )
         }
     };
+    if reply.0 == 200 {
+        entry.tally.ok.fetch_add(1, Ordering::Relaxed);
+    }
+    entry.tally.latency.record(start.elapsed());
+    reply.1.push(("x-sns-model-id", entry.model_id.clone()));
+    reply.1.push(("x-sns-weight-hash", entry.weight_hash.clone()));
     replica.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
     reply
 }
@@ -691,6 +1030,7 @@ fn handle_predict(request: &Request, shared: &Shared) -> Reply {
 fn predict_on_replica(
     shared: &Shared,
     replica: &Replica,
+    entry: &ModelEntry,
     body: PredictBody,
     start: Instant,
 ) -> Result<Reply, ReplicaLost> {
@@ -699,10 +1039,10 @@ fn predict_on_replica(
     let input = match body {
         PredictBody::Full(input) => input,
         PredictBody::Session { verilog, top, clock_ps } => {
-            return handle_session(shared, replica, &verilog, &top, clock_ps, start)
+            return handle_session(shared, replica, entry, &verilog, &top, clock_ps, start)
         }
         PredictBody::Patch { base, patch, clock_ps } => {
-            return handle_patch(shared, replica, &base, &patch, clock_ps, start)
+            return handle_patch(shared, replica, entry, &base, &patch, clock_ps, start)
         }
     };
 
@@ -728,7 +1068,7 @@ fn predict_on_replica(
     // Stage 2: GraphIR + path sampling.
     let t = Instant::now();
     let graph = GraphIr::from_netlist(&netlist);
-    let paths = PathSampler::new(replica.model.sample_config().clone()).sample(&graph);
+    let paths = PathSampler::new(entry.model.sample_config().clone()).sample(&graph);
     shared.metrics.stage_sample.record(t.elapsed());
     check_alive(replica)?;
     if deadline.is_some_and(|d| Instant::now() >= d) {
@@ -737,11 +1077,11 @@ fn predict_on_replica(
 
     // Stage 3: micro-batched inference — only the sequences this request
     // is missing; concurrent requests for the same design share work
-    // through the replica's cache.
+    // through the pinned generation's cache.
     let t = Instant::now();
-    let token_seqs = replica.model.tokenize_paths(&graph, &paths);
-    let missing = replica.model.cache().missing_unique(&token_seqs);
-    let gate = replica.batcher.submit(missing);
+    let token_seqs = entry.model.tokenize_paths(&graph, &paths);
+    let missing = entry.model.cache().missing_unique(&token_seqs);
+    let gate = entry.batcher.submit(missing);
     if !gate.wait(deadline) {
         return Ok(deadline_reply("aggregation", shared));
     }
@@ -751,7 +1091,7 @@ fn predict_on_replica(
     // Stage 4: serial reduction + MLP refinement.
     let t = Instant::now();
     let pred =
-        replica.model.predict_primed(&graph, &paths, &token_seqs, input.activity.as_ref(), start);
+        entry.model.predict_primed(&graph, &paths, &token_seqs, input.activity.as_ref(), start);
     shared.metrics.stage_aggregate.record(t.elapsed());
 
     let fields = prediction_fields(&pred, input.clock_ps);
@@ -811,12 +1151,13 @@ fn session_reply(
 fn handle_session(
     shared: &Shared,
     replica: &Replica,
+    entry: &ModelEntry,
     verilog: &str,
     top: &str,
     clock_ps: Option<f64>,
     start: Instant,
 ) -> Result<Reply, ReplicaLost> {
-    let outcome = match replica.model.predict_session(&shared.sessions, verilog, top) {
+    let outcome = match entry.model.predict_session(&shared.sessions, verilog, top) {
         Ok(o) => o,
         Err(e) if e.is_budget() => {
             return Ok((422, Vec::new(), error_body(&e.to_string(), "budget")))
@@ -832,13 +1173,14 @@ fn handle_session(
 fn handle_patch(
     shared: &Shared,
     replica: &Replica,
+    entry: &ModelEntry,
     base: &str,
     patch: &str,
     clock_ps: Option<f64>,
     start: Instant,
 ) -> Result<Reply, ReplicaLost> {
     shared.metrics.eco_requests.fetch_add(1, Ordering::Relaxed);
-    let outcome = match replica.model.predict_patch(&shared.sessions, base, patch) {
+    let outcome = match entry.model.predict_patch(&shared.sessions, base, patch) {
         Ok(o) => o,
         Err(SessionError::UnknownBase(token)) => {
             return Ok((

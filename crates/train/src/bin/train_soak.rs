@@ -1,0 +1,153 @@
+//! Label-factory soak benchmark: runs the daemon until a target number
+//! of designs has been labeled, then writes `BENCH_train.json` with
+//! throughput and the disagreement trend over the run.
+//!
+//! ```text
+//! train_soak [--designs N] [--seed S] [--zoo DIR] [--out FILE]
+//! ```
+//!
+//! The trend metric is prequential: each step's model-vs-vsynth relative
+//! error is measured *before* that step's update, so a decreasing trend
+//! means the model is genuinely tracking the oracle better, not just
+//! memorizing the designs it trained on. With `SNS_TRAIN_REQUIRE_TREND=1`
+//! the process exits non-zero unless the mean relative error strictly
+//! decreases from the first to the last quartile of the run.
+
+use std::time::Instant;
+
+use sns_rt::json::Json;
+use sns_train::{DaemonConfig, TrainDaemon};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("train_soak: {msg}");
+    std::process::exit(2)
+}
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let designs_target: usize = match arg(&args, "--designs") {
+        Some(v) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => fail(&format!("bad --designs value `{v}`")),
+        },
+        None => 500,
+    };
+
+    let mut cfg = DaemonConfig::from_env();
+    if let Some(v) = arg(&args, "--seed") {
+        match v.parse() {
+            Ok(s) => cfg.seed = s,
+            Err(_) => fail(&format!("bad --seed value `{v}`")),
+        }
+    }
+    if let Some(dir) = arg(&args, "--zoo") {
+        cfg.zoo_dir = Some(dir.into());
+    }
+    let out_path = arg(&args, "--out").unwrap_or_else(|| "BENCH_train.json".into());
+
+    let steps = designs_target
+        .saturating_sub(cfg.bootstrap_designs)
+        .div_ceil(cfg.designs_per_step.max(1));
+    eprintln!(
+        "train_soak: bootstrap {} designs, then {} steps x {} designs (seed {:#x}, tech {} nm)",
+        cfg.bootstrap_designs,
+        steps,
+        cfg.designs_per_step,
+        cfg.seed,
+        cfg.tech.nanometres()
+    );
+
+    let t0 = Instant::now();
+    let mut daemon = match TrainDaemon::new(cfg) {
+        Ok(d) => d,
+        Err(e) => fail(&format!("bootstrap failed: {e}")),
+    };
+    let bootstrap_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let stats = match daemon.run(steps) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("run failed: {e}")),
+    };
+    let loop_s = t1.elapsed().as_secs_f64();
+    let total_s = t0.elapsed().as_secs_f64();
+
+    // Per-design disagreement in mint order, split into quartiles.
+    let errs: Vec<f64> = stats.iter().flat_map(|s| s.per_design_rel_err.iter().copied()).collect();
+    let quartiles = quartile_means(&errs);
+    let trend_ok = quartiles.first().zip(quartiles.last()).map(|(f, l)| l < f).unwrap_or(false);
+
+    let labeled = daemon.labeled_total();
+    let designs_per_s = if total_s > 0.0 { labeled as f64 / total_s } else { 0.0 };
+    let steps_per_s = if loop_s > 0.0 { stats.len() as f64 / loop_s } else { 0.0 };
+    let mean_first = stats.first().map(|s| s.mean_rel_err).unwrap_or(0.0);
+    let mean_last = stats.last().map(|s| s.mean_rel_err).unwrap_or(0.0);
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("train_soak".into())),
+        ("designs_labeled", Json::UInt(labeled)),
+        ("steps", Json::UInt(stats.len() as u64)),
+        ("fine_tune_steps", Json::UInt(daemon.steps_done() as u64)),
+        ("bootstrap_s", Json::Num(bootstrap_s)),
+        ("loop_s", Json::Num(loop_s)),
+        ("total_s", Json::Num(total_s)),
+        ("designs_per_s", Json::Num(designs_per_s)),
+        ("steps_per_s", Json::Num(steps_per_s)),
+        ("quartile_mean_rel_err", Json::Arr(quartiles.iter().map(|&q| Json::Num(q)).collect())),
+        ("first_step_mean_rel_err", Json::Num(mean_first)),
+        ("last_step_mean_rel_err", Json::Num(mean_last)),
+        ("trend_ok", Json::Bool(trend_ok)),
+        (
+            "checkpoints",
+            Json::Arr(daemon.checkpoints().iter().map(|e| Json::Str(e.id.clone())).collect()),
+        ),
+        (
+            "final_weight_hash",
+            Json::Str(
+                daemon
+                    .checkpoints()
+                    .last()
+                    .map(|e| e.weight_hash.clone())
+                    .unwrap_or_else(|| sns_core::model_weight_hash(daemon.model())),
+            ),
+        ),
+    ]);
+    if let Err(e) = sns_rt::fsx::write_atomic(std::path::Path::new(&out_path), report.print().as_bytes())
+    {
+        fail(&format!("writing {out_path}: {e}"));
+    }
+    eprintln!(
+        "train_soak: {labeled} designs in {total_s:.1}s ({designs_per_s:.1}/s), \
+         quartile rel-err {quartiles:?}, trend_ok={trend_ok} -> {out_path}"
+    );
+
+    let require_trend =
+        std::env::var("SNS_TRAIN_REQUIRE_TREND").map(|v| v == "1").unwrap_or(false);
+    if require_trend && !trend_ok {
+        fail(&format!(
+            "disagreement did not decrease: first quartile {:?} -> last {:?}",
+            quartiles.first(),
+            quartiles.last()
+        ));
+    }
+}
+
+/// Means of the four contiguous quartiles of `errs` (empty input → empty).
+fn quartile_means(errs: &[f64]) -> Vec<f64> {
+    if errs.is_empty() {
+        return Vec::new();
+    }
+    let n = errs.len();
+    (0..4)
+        .map(|q| {
+            let lo = q * n / 4;
+            let hi = ((q + 1) * n / 4).max(lo + 1).min(n);
+            let part = &errs[lo..hi];
+            part.iter().sum::<f64>() / part.len() as f64
+        })
+        .collect()
+}

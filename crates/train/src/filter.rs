@@ -1,0 +1,101 @@
+//! The active-learning batch filter.
+//!
+//! The label factory can synthesize labels for every design it mints,
+//! but fine-tune capacity is the scarce resource: each step should spend
+//! its gradient budget where the model is *wrong*. The filter takes the
+//! per-design disagreement scores (relative error between the model's
+//! prediction and vsynth's label) and keeps the top-q fraction — the
+//! classic uncertainty-sampling heuristic, with the oracle's labels
+//! standing in for uncertainty.
+
+/// Selects the indices of the top `q` fraction of `scores` (highest
+/// first), returning them in **ascending index order** so downstream
+/// iteration is deterministic.
+///
+/// * `k = ceil(q * n)`, clamped to `[0, n]` — so any `q > 0` with a
+///   non-empty batch selects at least one design, and `q >= 1` selects
+///   all of them.
+/// * Ties are broken toward the **lower index** (first minted wins), so
+///   selection is stable: permuting equal scores never changes which
+///   positions survive relative to distinct scores, and equal runs are
+///   taken prefix-first.
+/// * Non-finite scores sort via `f64::total_cmp` (NaN above +∞), so a
+///   pathological score cannot panic the loop — it just gets prioritized
+///   like the maximal disagreement it is.
+/// * An empty batch or `q <= 0` yields an empty selection; callers treat
+///   that as "skip the fine-tune step", never as a stall.
+pub fn select_top_q(scores: &[f64], q: f64) -> Vec<usize> {
+    let n = scores.len();
+    if n == 0 || q <= 0.0 {
+        return Vec::new();
+    }
+    let k = if q >= 1.0 { n } else { ((q * n as f64).ceil() as usize).clamp(1, n) };
+    let mut order: Vec<usize> = (0..n).collect();
+    // Descending by score, ascending by index on ties.
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    let mut selected = order[..k].to_vec();
+    selected.sort_unstable();
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_exact_top_q() {
+        let scores = [0.1, 0.9, 0.5, 0.7, 0.2, 0.8, 0.3, 0.4];
+        // q = 0.25 of 8 → exactly 2: indices of 0.9 and 0.8.
+        assert_eq!(select_top_q(&scores, 0.25), vec![1, 5]);
+        // q = 0.5 → 4 highest.
+        assert_eq!(select_top_q(&scores, 0.5), vec![1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn k_is_ceil_and_at_least_one() {
+        // ceil(0.3 * 7) = 3.
+        let scores = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        assert_eq!(select_top_q(&scores, 0.3).len(), 3);
+        // Tiny q on a non-empty batch still picks one.
+        assert_eq!(select_top_q(&scores, 0.001), vec![6]);
+        // q >= 1 selects everything, in index order.
+        assert_eq!(select_top_q(&scores, 1.0), vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(select_top_q(&scores, 3.5), vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn ties_break_toward_lower_index() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        assert_eq!(select_top_q(&scores, 0.5), vec![0, 1]);
+        // A distinct maximum plus a tied run: max survives, then the
+        // earliest of the tie.
+        let scores = [0.5, 0.9, 0.5, 0.5];
+        assert_eq!(select_top_q(&scores, 0.5), vec![0, 1]);
+    }
+
+    #[test]
+    fn tie_selection_is_stable_under_unrelated_permutation() {
+        // Moving the distinct scores around must not change which of the
+        // tied positions is chosen relative to them.
+        let a = [0.9, 0.5, 0.5, 0.1];
+        let b = [0.1, 0.5, 0.5, 0.9];
+        assert_eq!(select_top_q(&a, 0.5), vec![0, 1]);
+        assert_eq!(select_top_q(&b, 0.5), vec![1, 3]);
+    }
+
+    #[test]
+    fn empty_and_degenerate_batches_do_not_stall() {
+        assert!(select_top_q(&[], 0.5).is_empty());
+        assert!(select_top_q(&[1.0, 2.0], 0.0).is_empty());
+        assert!(select_top_q(&[1.0, 2.0], -1.0).is_empty());
+        // Single element.
+        assert_eq!(select_top_q(&[0.7], 0.5), vec![0]);
+    }
+
+    #[test]
+    fn non_finite_scores_are_prioritized_not_fatal() {
+        let scores = [0.5, f64::NAN, 0.9, f64::INFINITY];
+        let sel = select_top_q(&scores, 0.5);
+        assert_eq!(sel, vec![1, 3], "NaN and +inf outrank finite scores");
+    }
+}

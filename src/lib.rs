@@ -27,6 +27,7 @@
 //! | [`casestudies`] | `sns-casestudies` | BOOM DSE (§5.6) and DianNao (§5.7) |
 //! | [`serve`] | `sns-serve` | HTTP inference daemon with cross-request micro-batching |
 //! | [`conformance`] | `sns-conformance` | differential conformance harness (random RTL + oracles) |
+//! | [`train`] | `sns-train` | self-training label factory + versioned model zoo |
 //!
 //! # Quickstart
 //!
@@ -69,4 +70,5 @@ pub use sns_nn as nn;
 pub use sns_rt as rt;
 pub use sns_sampler as sampler;
 pub use sns_serve as serve;
+pub use sns_train as train;
 pub use sns_vsynth as vsynth;

@@ -12,11 +12,12 @@ use std::time::{Duration, Instant};
 
 use sns::circuitformer::{CircuitformerConfig, TrainConfig};
 use sns::core::dataset::AugmentConfig;
-use sns::core::{train_sns, SessionStore, SnsModel, SnsTrainConfig};
+use sns::core::{save_to_zoo, train_sns, SessionStore, SnsModel, SnsTrainConfig, ZooCheckpointMeta};
 use sns::designs::{dsp, nonlinear, sort, vector, Design};
 use sns::rt::json::{parse as parse_json, Json};
 use sns::sampler::SampleConfig;
 use sns::serve::{ServeConfig, Server};
+use sns::vsynth::TechNode;
 
 fn tiny_config() -> SnsTrainConfig {
     let mut c = SnsTrainConfig::fast();
@@ -931,4 +932,214 @@ fn graceful_shutdown_drains_in_flight_requests() {
     server.join();
     // ...and the listener is gone: new connections are refused.
     assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
+}
+
+// ----------------------------------------------------------- hot swap --
+
+/// A second model with different weights (smaller training set), so a
+/// hot-swap between the two changes every prediction — trained once and
+/// shared, like [`model`].
+fn alt_model() -> Arc<SnsModel> {
+    static ALT: OnceLock<Arc<SnsModel>> = OnceLock::new();
+    Arc::clone(ALT.get_or_init(|| {
+        let train = vec![
+            vector::simd_alu(2, 8),
+            nonlinear::piecewise(4, 8),
+            dsp::fir(4, 8),
+            sort::radix_sort_stage(4, 8),
+        ];
+        Arc::new(train_sns(&train, &tiny_config()).0)
+    }))
+}
+
+/// Writes a two-checkpoint zoo (`gen-a` = [`model`], `gen-b` =
+/// [`alt_model`]) under a unique temp dir.
+fn two_model_zoo(tag: &str) -> std::path::PathBuf {
+    let zoo = std::env::temp_dir().join(format!("sns-e2e-zoo-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&zoo);
+    for (id, m) in [("gen-a", model()), ("gen-b", alt_model())] {
+        save_to_zoo(
+            &m,
+            &zoo,
+            &ZooCheckpointMeta {
+                id: id.to_string(),
+                tech: TechNode::N15,
+                train_steps: 0,
+                labeled_designs: 0,
+                seed: 7,
+            },
+        )
+        .expect("zoo checkpoint");
+    }
+    zoo
+}
+
+/// POST returning status, headers, and parsed JSON body.
+fn post_json_full(addr: SocketAddr, path: &str, body: &str) -> (u16, Vec<(String, String)>, Json) {
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let (status, headers, body) = http_raw(addr, raw.as_bytes());
+    (status, headers, parse_json(&body).expect("response body is JSON"))
+}
+
+fn header<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+}
+
+/// The hot-swap race: clients hammer `/predict` while the main thread
+/// swaps the model back and forth through `/admin/reload`. Every
+/// response must be a 200 whose numbers are bit-identical to a direct
+/// call on the model generation its `x-sns-model-id` header names —
+/// never an error, never a cross-generation mix, never a panic.
+fn run_hot_swap_race(replicas: usize, tag: &str) {
+    let zoo = two_model_zoo(tag);
+    let direct: std::collections::HashMap<(String, String), sns::core::DesignPrediction> = {
+        let mut map = std::collections::HashMap::new();
+        for d in serve_designs() {
+            for (id, m) in [("gen-a", model()), ("gen-b", alt_model())] {
+                map.insert(
+                    (id.to_string(), d.name.clone()),
+                    m.predict_verilog(&d.verilog, &d.top).unwrap(),
+                );
+            }
+        }
+        map
+    };
+
+    let server = Server::start_named(
+        model(),
+        "gen-a",
+        ServeConfig { replicas, zoo_dir: Some(zoo.clone()), ..test_config() },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let designs = serve_designs();
+
+    // 8 clients × 12 requests, in flight across the swap loop below.
+    let mut handles = Vec::new();
+    for client in 0..8 {
+        let designs = designs.clone();
+        handles.push(std::thread::spawn(move || {
+            (0..12)
+                .map(|i| {
+                    let d = &designs[(client + i) % designs.len()];
+                    let (status, headers, body) =
+                        post_json_full(addr, "/predict", &predict_body(d));
+                    let model_id =
+                        header(&headers, "x-sns-model-id").expect("model id header").to_string();
+                    (d.name.clone(), status, model_id, body)
+                })
+                .collect::<Vec<_>>()
+        }));
+    }
+
+    // Swap loop: 6 alternating hot-swaps while the clients run.
+    let mut swaps = 0;
+    for target in ["gen-b", "gen-a", "gen-b", "gen-a", "gen-b", "gen-b"] {
+        let body = Json::obj(vec![("model", Json::Str(target.to_string()))]).print();
+        let (status, headers, reply) = post_json_full(addr, "/admin/reload", &body);
+        assert_eq!(status, 200, "{}", reply.print());
+        assert_eq!(header(&headers, "x-sns-model-id"), Some(target));
+        assert_eq!(reply.get("model_id").unwrap().as_str().unwrap(), target);
+        if reply.get("swapped").unwrap().as_bool().unwrap() {
+            swaps += 1;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(swaps, 5, "the double gen-b reload at the end must be the only no-op");
+
+    let responses: Vec<(String, u16, String, Json)> =
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect();
+    assert_eq!(responses.len(), 96);
+
+    // A request issued after the last swap must serve gen-b.
+    let d = &designs[0];
+    let (status, headers, _) = post_json_full(addr, "/predict", &predict_body(d));
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-sns-model-id"), Some("gen-b"));
+
+    for (name, status, model_id, body) in &responses {
+        assert_eq!(*status, 200, "{name} via {model_id}: {}", body.print());
+        let expect = &direct[&(model_id.clone(), name.clone())];
+        for (field, want) in [
+            ("timing_ps", expect.timing_ps),
+            ("area_um2", expect.area_um2),
+            ("power_mw", expect.power_mw),
+        ] {
+            let got = body.get(field).unwrap().as_f64().unwrap();
+            assert_eq!(got.to_bits(), want.to_bits(), "{name} {field} via {model_id}");
+        }
+    }
+
+    // No panic was caught anywhere, every swap is accounted for, and the
+    // per-model ledger covers every request.
+    let (status, m) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(m.get("panics_total").unwrap().as_u64().unwrap(), 0);
+    assert_eq!(m.get("model_swaps").unwrap().as_u64().unwrap(), 5);
+    assert_eq!(m.get("reload_errors").unwrap().as_u64().unwrap(), 0);
+    let models = m.get("models").unwrap().as_arr().unwrap();
+    assert_eq!(models.len(), 2);
+    let mut tallied = 0;
+    for info in models {
+        let id = info.get("id").unwrap().as_str().unwrap();
+        assert!(id == "gen-a" || id == "gen-b", "{id}");
+        let requests = info.get("requests").unwrap().as_u64().unwrap();
+        assert_eq!(info.get("ok").unwrap().as_u64().unwrap(), requests, "{id} all-200");
+        tallied += requests;
+    }
+    assert_eq!(tallied, 97, "every /predict tallied against exactly one model");
+    server.join();
+
+    let _ = std::fs::remove_dir_all(&zoo);
+}
+
+#[test]
+fn hot_swap_race_single_replica_is_atomic_and_bit_identical() {
+    run_hot_swap_race(1, "single");
+}
+
+#[test]
+fn hot_swap_race_in_shard_mode_is_atomic_and_bit_identical() {
+    run_hot_swap_race(3, "shard");
+}
+
+#[test]
+fn admin_reload_guards_cover_missing_zoo_and_unknown_models() {
+    // No zoo configured: reload is a structured 409, not a panic.
+    let server = Server::start_shared(model(), test_config()).unwrap();
+    let (status, _, reply) = post_json_full(server.addr(), "/admin/reload", "");
+    assert_eq!(status, 409, "{}", reply.print());
+    assert_eq!(reply.get("kind").unwrap().as_str().unwrap(), "reload");
+    server.join();
+
+    // Zoo configured: unknown ids 404, bad bodies 400, wrong method 405,
+    // and the state they leave behind is still the boot model.
+    let zoo = two_model_zoo("guards");
+    let server = Server::start_named(
+        model(),
+        "gen-a",
+        ServeConfig { zoo_dir: Some(zoo.clone()), ..test_config() },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let (status, _, reply) =
+        post_json_full(addr, "/admin/reload", r#"{"model": "gen-z"}"#);
+    assert_eq!(status, 404, "{}", reply.print());
+    assert_eq!(reply.get("kind").unwrap().as_str().unwrap(), "zoo");
+    let (status, _, reply) = post_json_full(addr, "/admin/reload", r#"{"model": 7}"#);
+    assert_eq!(status, 400, "{}", reply.print());
+    let (status, _) = get(addr, "/admin/reload");
+    assert_eq!(status, 405);
+    assert_eq!(server.current_model().0, "gen-a");
+
+    // Reloading the already-serving weights is an explicit no-op.
+    let (status, _, reply) =
+        post_json_full(addr, "/admin/reload", r#"{"model": "gen-a"}"#);
+    assert_eq!(status, 200, "{}", reply.print());
+    assert!(!reply.get("swapped").unwrap().as_bool().unwrap());
+    server.join();
+    let _ = std::fs::remove_dir_all(&zoo);
 }
